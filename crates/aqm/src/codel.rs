@@ -1,0 +1,324 @@
+//! CoDel [Nichols & Jacobson, ACM Queue 2012], the controlled-delay AQM
+//! the paper pairs with Cubic ("Cubic+Codel"). Standard parameters:
+//! target sojourn 5 ms, interval 100 ms, square-root drop-rate law.
+
+use netsim::packet::{Ecn, Packet};
+use netsim::queue::{Qdisc, QdiscStats};
+use netsim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+pub struct CodelConfig {
+    /// Acceptable standing sojourn time.
+    pub target: SimDuration,
+    /// Window in which sojourn must dip below target at least once.
+    pub interval: SimDuration,
+    /// Buffer limit (packets).
+    pub buffer_pkts: usize,
+    /// Mark CE instead of dropping for ECN-capable packets.
+    pub ecn_marking: bool,
+}
+
+impl Default for CodelConfig {
+    fn default() -> Self {
+        CodelConfig {
+            target: SimDuration::from_millis(5),
+            interval: SimDuration::from_millis(100),
+            buffer_pkts: 250,
+            ecn_marking: false,
+        }
+    }
+}
+
+pub struct Codel {
+    cfg: CodelConfig,
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    /// Time at which the sojourn first exceeded target continuously.
+    first_above: Option<SimTime>,
+    dropping: bool,
+    drop_next: SimTime,
+    drop_count: u32,
+    last_drop_count: u32,
+    stats: QdiscStats,
+}
+
+impl Codel {
+    pub fn new(cfg: CodelConfig) -> Self {
+        assert!(!cfg.interval.is_zero());
+        Codel {
+            cfg,
+            queue: VecDeque::new(),
+            bytes: 0,
+            first_above: None,
+            dropping: false,
+            drop_next: SimTime::ZERO,
+            drop_count: 0,
+            last_drop_count: 0,
+            stats: QdiscStats::default(),
+        }
+    }
+
+    /// `interval / sqrt(count)` — the CoDel control law.
+    fn control_law(&self, t: SimTime, count: u32) -> SimTime {
+        t + SimDuration::from_secs_f64(
+            self.cfg.interval.as_secs_f64() / (count.max(1) as f64).sqrt(),
+        )
+    }
+
+    /// Should the head packet be dropped? Implements the "sojourn above
+    /// target for a full interval" state machine.
+    fn ok_to_drop(&mut self, sojourn: SimDuration, now: SimTime) -> bool {
+        if sojourn < self.cfg.target {
+            self.first_above = None;
+            return false;
+        }
+        match self.first_above {
+            None => {
+                self.first_above = Some(now + self.cfg.interval);
+                false
+            }
+            Some(t) => now >= t,
+        }
+    }
+
+    fn pop(&mut self) -> Option<Packet> {
+        let p = self.queue.pop_front()?;
+        self.bytes -= p.size as u64;
+        Some(p)
+    }
+
+    /// Drop or CE-mark one packet. Returns the packet if it was marked
+    /// (and should still be transmitted), `None` if dropped.
+    fn drop_or_mark(&mut self, mut pkt: Packet) -> Option<Packet> {
+        if self.cfg.ecn_marking && pkt.ecn.is_ect() {
+            pkt.ecn = Ecn::Ce;
+            self.stats.ce_marked += 1;
+            Some(pkt)
+        } else {
+            self.stats.dropped_pkts += 1;
+            None
+        }
+    }
+}
+
+impl Qdisc for Codel {
+    netsim::impl_qdisc_downcast!();
+
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+        if self.queue.len() >= self.cfg.buffer_pkts {
+            self.stats.dropped_pkts += 1;
+            return false;
+        }
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+        self.stats.enqueued_pkts += 1;
+        true
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        loop {
+            let pkt = self.pop()?;
+            let sojourn = now.since(pkt.enqueued_at);
+            let drop_ok = self.ok_to_drop(sojourn, now);
+
+            if self.dropping {
+                if !drop_ok {
+                    self.dropping = false;
+                } else if now >= self.drop_next {
+                    // drop (or mark) and reschedule by the sqrt law
+                    self.drop_count += 1;
+                    match self.drop_or_mark(pkt) {
+                        Some(marked) => {
+                            // marking substitutes for dropping: deliver it
+                            self.drop_next = self.control_law(self.drop_next, self.drop_count);
+                            self.stats.dequeued_pkts += 1;
+                            self.stats.dequeued_bytes += marked.size as u64;
+                            return Some(marked);
+                        }
+                        None => {
+                            self.drop_next = self.control_law(self.drop_next, self.drop_count);
+                            continue; // dropped: try the next packet
+                        }
+                    }
+                }
+            } else if drop_ok {
+                // enter dropping state
+                self.dropping = true;
+                // resume from the previous drop rate if we were dropping
+                // recently (standard CoDel refinement)
+                let delta = self.drop_count.saturating_sub(self.last_drop_count);
+                self.drop_count = if delta > 1 && now < self.drop_next + self.cfg.interval * 16 {
+                    delta
+                } else {
+                    1
+                };
+                self.last_drop_count = self.drop_count;
+                match self.drop_or_mark(pkt) {
+                    Some(marked) => {
+                        self.drop_next = self.control_law(now, self.drop_count);
+                        self.stats.dequeued_pkts += 1;
+                        self.stats.dequeued_bytes += marked.size as u64;
+                        return Some(marked);
+                    }
+                    None => {
+                        self.drop_next = self.control_law(now, self.drop_count);
+                        continue;
+                    }
+                }
+            }
+
+            self.stats.dequeued_pkts += 1;
+            self.stats.dequeued_bytes += pkt.size as u64;
+            return Some(pkt);
+        }
+    }
+
+    fn peek_size(&self) -> Option<u32> {
+        self.queue.front().map(|p| p.size)
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
+        self.queue.front().map(|p| now.since(p.enqueued_at))
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Feedback, FlowId, NodeId, Route};
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn pkt(seq: u64) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            seq,
+            size: 1500,
+            ecn: Ecn::NotEct,
+            feedback: Feedback::None,
+            abc_capable: false,
+            sent_at: SimTime::ZERO,
+            retransmit: false,
+            ack: None,
+            route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
+            hop: 0,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn no_drops_below_target() {
+        let mut q = Codel::new(CodelConfig::default());
+        for i in 0..100 {
+            q.enqueue(pkt(i), at(i));
+            // dequeue 3ms later: below 5ms target
+            assert!(q.dequeue(at(i + 3)).is_some());
+        }
+        assert_eq!(q.stats().dropped_pkts, 0);
+    }
+
+    #[test]
+    fn sustained_high_sojourn_triggers_drops() {
+        let mut q = Codel::new(CodelConfig::default());
+        // keep ~50 packets of standing queue; dequeue one per ms with
+        // 50ms sojourn for well over an interval
+        for i in 0..50 {
+            q.enqueue(pkt(i), at(i));
+        }
+        let mut seq = 50;
+        let mut dropped_any = false;
+        for t in 50..500u64 {
+            q.enqueue(pkt(seq), at(t));
+            seq += 1;
+            let before = q.stats().dropped_pkts;
+            q.dequeue(at(t));
+            if q.stats().dropped_pkts > before {
+                dropped_any = true;
+            }
+        }
+        assert!(dropped_any, "CoDel never dropped under sustained load");
+        assert!(q.stats().dropped_pkts > 2, "drop rate should escalate");
+    }
+
+    #[test]
+    fn drop_rate_escalates_with_sqrt_law() {
+        let mut q = Codel::new(CodelConfig::default());
+        q.dropping = true;
+        q.drop_count = 1;
+        let t0 = at(1000);
+        let next1 = q.control_law(t0, 1);
+        let next4 = q.control_law(t0, 4);
+        // interval/sqrt(4) = half of interval/sqrt(1)
+        let d1 = next1.since(t0).as_millis_f64();
+        let d4 = next4.since(t0).as_millis_f64();
+        assert!((d1 - 100.0).abs() < 1e-6);
+        assert!((d4 - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecn_mode_marks_instead_of_dropping() {
+        let mut q = Codel::new(CodelConfig {
+            ecn_marking: true,
+            ..Default::default()
+        });
+        for i in 0..50 {
+            let mut p = pkt(i);
+            p.ecn = Ecn::Brake; // ECT(0): ECN-capable
+            q.enqueue(p, at(i));
+        }
+        let mut seq = 50;
+        let mut marked = 0;
+        for t in 50..500u64 {
+            let mut p = pkt(seq);
+            p.ecn = Ecn::Brake;
+            q.enqueue(p, at(t));
+            seq += 1;
+            if let Some(out) = q.dequeue(at(t)) {
+                if out.ecn == Ecn::Ce {
+                    marked += 1;
+                }
+            }
+        }
+        assert!(marked > 0, "ECN CoDel should CE-mark");
+        assert_eq!(q.stats().dropped_pkts, 0, "ECN mode should not drop");
+    }
+
+    #[test]
+    fn recovers_when_queue_drains() {
+        let mut q = Codel::new(CodelConfig::default());
+        // drive into dropping state
+        for i in 0..50 {
+            q.enqueue(pkt(i), at(i));
+        }
+        let mut seq = 50;
+        for t in 50..400u64 {
+            q.enqueue(pkt(seq), at(t));
+            seq += 1;
+            q.dequeue(at(t));
+        }
+        assert!(q.dropping);
+        // now drain: low sojourn should exit dropping state
+        while q.len_pkts() > 0 {
+            q.dequeue(at(400));
+        }
+        q.enqueue(pkt(seq), at(500));
+        q.dequeue(at(500)); // zero sojourn
+        assert!(!q.dropping, "should exit dropping after sojourn falls");
+    }
+}

@@ -1,0 +1,280 @@
+//! PIE — Proportional Integral controller Enhanced [Pan et al., HPSR 2013 /
+//! RFC 8033]. Drop probability is updated periodically from the current
+//! queuing-delay estimate and its trend.
+
+use netsim::packet::{Ecn, Packet};
+use netsim::queue::{Qdisc, QdiscStats};
+use netsim::rate::Rate;
+use netsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+pub struct PieConfig {
+    /// Delay reference the controller regulates to (RFC 8033 default 15 ms).
+    pub target: SimDuration,
+    /// Probability update period (RFC 8033 default 15 ms).
+    pub t_update: SimDuration,
+    /// Proportional gain α and integral gain β (RFC 8033 §4.2).
+    pub alpha: f64,
+    pub beta: f64,
+    pub buffer_pkts: usize,
+    pub ecn_marking: bool,
+    pub seed: u64,
+}
+
+impl Default for PieConfig {
+    fn default() -> Self {
+        PieConfig {
+            target: SimDuration::from_millis(15),
+            t_update: SimDuration::from_millis(15),
+            alpha: 0.125,
+            beta: 1.25,
+            buffer_pkts: 250,
+            ecn_marking: false,
+            seed: 0x91e,
+        }
+    }
+}
+
+pub struct Pie {
+    cfg: PieConfig,
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    drop_prob: f64,
+    qdelay_old: SimDuration,
+    last_update: Option<SimTime>,
+    /// Departure-rate estimate for the delay model.
+    depart_bytes: u64,
+    depart_start: SimTime,
+    avg_drate: f64, // bytes/s
+    rng: StdRng,
+    stats: QdiscStats,
+}
+
+impl Pie {
+    pub fn new(cfg: PieConfig) -> Self {
+        assert!(!cfg.t_update.is_zero());
+        Pie {
+            cfg,
+            queue: VecDeque::new(),
+            bytes: 0,
+            drop_prob: 0.0,
+            qdelay_old: SimDuration::ZERO,
+            last_update: None,
+            depart_bytes: 0,
+            depart_start: SimTime::ZERO,
+            avg_drate: 0.0,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            stats: QdiscStats::default(),
+        }
+    }
+
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// Current queuing-delay estimate: queue bytes over departure rate.
+    fn qdelay(&self) -> SimDuration {
+        if self.avg_drate <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(self.bytes as f64 / self.avg_drate)
+    }
+
+    fn maybe_update(&mut self, now: SimTime) {
+        let last = *self.last_update.get_or_insert(now);
+        if now.since(last) < self.cfg.t_update {
+            return;
+        }
+        self.last_update = Some(now);
+        let qdelay = self.qdelay();
+        // p += α·(qdelay − target) + β·(qdelay − qdelay_old), scaled down
+        // while p is small (RFC 8033 §4.2 auto-tuning ladder, abbreviated)
+        let scale = if self.drop_prob < 0.000_001 {
+            1.0 / 2048.0
+        } else if self.drop_prob < 0.000_01 {
+            1.0 / 512.0
+        } else if self.drop_prob < 0.000_1 {
+            1.0 / 128.0
+        } else if self.drop_prob < 0.001 {
+            1.0 / 32.0
+        } else if self.drop_prob < 0.01 {
+            1.0 / 8.0
+        } else if self.drop_prob < 0.1 {
+            1.0 / 2.0
+        } else {
+            1.0
+        };
+        let err = qdelay.as_secs_f64() - self.cfg.target.as_secs_f64();
+        let trend = qdelay.as_secs_f64() - self.qdelay_old.as_secs_f64();
+        self.drop_prob += scale * (self.cfg.alpha * err + self.cfg.beta * trend);
+        // decay when the queue is idle
+        if qdelay.is_zero() && self.qdelay_old.is_zero() {
+            self.drop_prob *= 0.98;
+        }
+        self.drop_prob = self.drop_prob.clamp(0.0, 1.0);
+        self.qdelay_old = qdelay;
+    }
+}
+
+impl Qdisc for Pie {
+    netsim::impl_qdisc_downcast!();
+
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+        self.maybe_update(now);
+        if self.queue.len() >= self.cfg.buffer_pkts {
+            self.stats.dropped_pkts += 1;
+            return false;
+        }
+        // early drop/mark decision on enqueue (PIE is an enqueue-side AQM);
+        // bypass while the queue is tiny (RFC 8033 §4.1 burst allowance)
+        if self.queue.len() > 2 && self.drop_prob > 0.0 {
+            let roll: f64 = self.rng.gen();
+            if roll < self.drop_prob {
+                if self.cfg.ecn_marking && pkt.ecn.is_ect() && self.drop_prob < 0.1 {
+                    pkt.ecn = Ecn::Ce;
+                    self.stats.ce_marked += 1;
+                } else {
+                    self.stats.dropped_pkts += 1;
+                    return false;
+                }
+            }
+        }
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+        self.stats.enqueued_pkts += 1;
+        true
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.maybe_update(now);
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        // departure-rate measurement
+        if self.depart_start == SimTime::ZERO {
+            self.depart_start = now;
+        }
+        self.depart_bytes += pkt.size as u64;
+        let span = now.since(self.depart_start);
+        if span >= SimDuration::from_millis(30) {
+            let rate = self.depart_bytes as f64 / span.as_secs_f64();
+            self.avg_drate = if self.avg_drate == 0.0 {
+                rate
+            } else {
+                0.9 * self.avg_drate + 0.1 * rate
+            };
+            self.depart_bytes = 0;
+            self.depart_start = now;
+        }
+        self.stats.dequeued_pkts += 1;
+        self.stats.dequeued_bytes += pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn peek_size(&self) -> Option<u32> {
+        self.queue.front().map(|p| p.size)
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn on_capacity(&mut self, rate: Rate, _now: SimTime) {
+        // a capacity oracle sharpens the delay model when available
+        if !rate.is_zero() {
+            self.avg_drate = rate.bps() / 8.0;
+        }
+    }
+
+    fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
+        self.queue.front().map(|p| now.since(p.enqueued_at))
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Feedback, FlowId, NodeId, Route};
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn pkt(seq: u64) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            seq,
+            size: 1500,
+            ecn: Ecn::NotEct,
+            feedback: Feedback::None,
+            abc_capable: false,
+            sent_at: SimTime::ZERO,
+            retransmit: false,
+            ack: None,
+            route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
+            hop: 0,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn idle_queue_keeps_zero_drop_prob() {
+        let mut q = Pie::new(PieConfig::default());
+        for i in 0..100 {
+            q.enqueue(pkt(i), at(i * 10));
+            q.dequeue(at(i * 10));
+        }
+        assert_eq!(q.drop_prob(), 0.0);
+        assert_eq!(q.stats().dropped_pkts, 0);
+    }
+
+    #[test]
+    fn standing_queue_raises_drop_prob() {
+        let mut q = Pie::new(PieConfig::default());
+        q.on_capacity(Rate::from_mbps(12.0), at(0));
+        // 100-packet standing queue at 12 Mbit/s = 100 ms delay ≫ 15 ms
+        for i in 0..100 {
+            q.enqueue(pkt(i), at(0));
+        }
+        let mut seq = 100;
+        for t in 1..1000u64 {
+            q.enqueue(pkt(seq), at(t));
+            seq += 1;
+            q.dequeue(at(t));
+        }
+        assert!(q.drop_prob() > 0.0, "p = {}", q.drop_prob());
+        assert!(q.stats().dropped_pkts > 0);
+    }
+
+    #[test]
+    fn drop_prob_decays_when_idle() {
+        let mut q = Pie::new(PieConfig::default());
+        q.drop_prob = 0.5;
+        // empty queue, let updates run
+        for t in 0..200u64 {
+            q.maybe_update(at(t * 15));
+        }
+        assert!(q.drop_prob() < 0.1, "p = {}", q.drop_prob());
+    }
+
+    #[test]
+    fn burst_allowance_spares_tiny_queues() {
+        let mut q = Pie::new(PieConfig::default());
+        q.drop_prob = 1.0; // even at certain drop...
+        assert!(q.enqueue(pkt(0), at(0))); // ...first packets pass
+        assert!(q.enqueue(pkt(1), at(0)));
+        assert!(q.enqueue(pkt(2), at(0)));
+        assert_eq!(q.stats().dropped_pkts, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! RED — Random Early Detection [Floyd & Jacobson, ToN 1993]. Included for
+//! completeness as the classical AQM (§2 cites it among the schemes that
+//! "can be used to signal congestion before the buffer fills up").
+
+use netsim::packet::{Ecn, Packet};
+use netsim::queue::{Qdisc, QdiscStats};
+use netsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+pub struct RedConfig {
+    /// Average-queue thresholds, in packets.
+    pub min_th: f64,
+    pub max_th: f64,
+    /// Drop probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue size.
+    pub weight: f64,
+    pub buffer_pkts: usize,
+    pub ecn_marking: bool,
+    pub seed: u64,
+}
+
+impl Default for RedConfig {
+    fn default() -> Self {
+        RedConfig {
+            min_th: 20.0,
+            max_th: 60.0,
+            max_p: 0.1,
+            weight: 0.002,
+            buffer_pkts: 250,
+            ecn_marking: false,
+            seed: 0x12ed,
+        }
+    }
+}
+
+pub struct Red {
+    cfg: RedConfig,
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    avg: f64,
+    /// Packets since the last drop (for the uniform-spacing correction).
+    count: i64,
+    rng: StdRng,
+    stats: QdiscStats,
+}
+
+impl Red {
+    pub fn new(cfg: RedConfig) -> Self {
+        assert!(cfg.min_th < cfg.max_th, "min_th must be below max_th");
+        Red {
+            cfg,
+            queue: VecDeque::new(),
+            bytes: 0,
+            avg: 0.0,
+            count: -1,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            stats: QdiscStats::default(),
+        }
+    }
+
+    pub fn avg_queue(&self) -> f64 {
+        self.avg
+    }
+
+    /// Early-drop decision for the arriving packet.
+    fn should_drop(&mut self) -> bool {
+        self.avg = (1.0 - self.cfg.weight) * self.avg + self.cfg.weight * self.queue.len() as f64;
+        if self.avg < self.cfg.min_th {
+            self.count = -1;
+            return false;
+        }
+        if self.avg >= self.cfg.max_th {
+            self.count = 0;
+            return true;
+        }
+        self.count += 1;
+        let pb = self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
+        let pa = pb / (1.0 - (self.count as f64 * pb).min(0.9999));
+        if self.rng.gen::<f64>() < pa {
+            self.count = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Qdisc for Red {
+    netsim::impl_qdisc_downcast!();
+
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+        if self.queue.len() >= self.cfg.buffer_pkts {
+            self.stats.dropped_pkts += 1;
+            return false;
+        }
+        if self.should_drop() {
+            if self.cfg.ecn_marking && pkt.ecn.is_ect() {
+                pkt.ecn = Ecn::Ce;
+                self.stats.ce_marked += 1;
+            } else {
+                self.stats.dropped_pkts += 1;
+                return false;
+            }
+        }
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+        self.stats.enqueued_pkts += 1;
+        true
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let _ = now;
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        self.stats.dequeued_pkts += 1;
+        self.stats.dequeued_bytes += pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn peek_size(&self) -> Option<u32> {
+        self.queue.front().map(|p| p.size)
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
+        self.queue.front().map(|p| now.since(p.enqueued_at))
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Feedback, FlowId, NodeId, Route};
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn pkt(seq: u64) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            seq,
+            size: 1500,
+            ecn: Ecn::NotEct,
+            feedback: Feedback::None,
+            abc_capable: false,
+            sent_at: SimTime::ZERO,
+            retransmit: false,
+            ack: None,
+            route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
+            hop: 0,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn small_queue_never_drops() {
+        let mut q = Red::new(RedConfig::default());
+        for i in 0..1000 {
+            q.enqueue(pkt(i), at(i));
+            if q.len_pkts() > 5 {
+                q.dequeue(at(i));
+            }
+        }
+        assert_eq!(q.stats().dropped_pkts, 0);
+    }
+
+    #[test]
+    fn sustained_overload_pushes_avg_past_max_th() {
+        let mut q = Red::new(RedConfig::default());
+        // overload 2:1 — drops can't save the queue, avg must pass max_th
+        let mut seq = 0u64;
+        let mut drops = 0;
+        for i in 0..4000u64 {
+            for _ in 0..2 {
+                let before = q.stats().dropped_pkts;
+                q.enqueue(pkt(seq), at(i));
+                drops += q.stats().dropped_pkts - before;
+                seq += 1;
+            }
+            q.dequeue(at(i));
+        }
+        assert!(drops > 100, "drops = {drops}");
+        assert!(q.avg_queue() > 60.0, "avg = {}", q.avg_queue());
+    }
+
+    #[test]
+    fn average_decays_after_queue_drains() {
+        // EWMA hysteresis: after a burst drains, the average follows the
+        // instantaneous queue back down and early drops cease
+        let mut q = Red::new(RedConfig {
+            weight: 0.05,
+            ..Default::default()
+        });
+        for i in 0..100 {
+            q.enqueue(pkt(i), at(0));
+        }
+        // drive avg up
+        for i in 100..300u64 {
+            q.enqueue(pkt(i), at(i));
+            q.dequeue(at(i));
+        }
+        let peak = q.avg_queue();
+        assert!(peak > 20.0, "avg never rose: {peak}");
+        // drain fully, then trickle: avg must fall back under min_th
+        while q.dequeue(at(300)).is_some() {}
+        let drops_after_drain = q.stats().dropped_pkts;
+        for i in 300..500u64 {
+            q.enqueue(pkt(i), at(i));
+            q.dequeue(at(i));
+        }
+        assert!(q.avg_queue() < 20.0, "avg = {}", q.avg_queue());
+        assert_eq!(
+            q.stats().dropped_pkts,
+            drops_after_drain,
+            "no early drops once the average falls below min_th"
+        );
+    }
+
+    #[test]
+    fn probabilistic_band_drops_some() {
+        let mut q = Red::new(RedConfig {
+            weight: 0.5, // fast-moving average for the test
+            ..Default::default()
+        });
+        // hold queue near 40 (between min 20 and max 60)
+        for i in 0..40 {
+            q.enqueue(pkt(i), at(0));
+        }
+        let mut drops = 0;
+        for i in 40..2000u64 {
+            let before = q.stats().dropped_pkts;
+            q.enqueue(pkt(i), at(i));
+            drops += q.stats().dropped_pkts - before;
+            q.dequeue(at(i));
+        }
+        assert!(drops > 0, "no early drops in the probabilistic band");
+        assert!(
+            (drops as f64) < 1960.0 * 0.5,
+            "dropping far too much: {drops}"
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! BBR v1 [Cardwell et al., ACM Queue 2016] — model-based congestion
+//! control. BBR paces at `pacing_gain × BtlBw` where `BtlBw` is a windowed
+//! *maximum* of delivery-rate samples. On links whose capacity drops, that
+//! max filter keeps the old (too high) estimate for ~10 RTTs, which is
+//! exactly the overshoot the ABC paper observes (footnote 1, §2).
+
+use netsim::flow::{AckEvent, CongestionControl, Pacing};
+use netsim::rate::Rate;
+use netsim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+const STARTUP_GAIN: f64 = 2.885; // 2/ln(2)
+const DRAIN_GAIN: f64 = 1.0 / 2.885;
+const CWND_GAIN: f64 = 2.0;
+const PROBE_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// BtlBw max-filter window, in round trips.
+const BW_WINDOW_RTTS: u32 = 10;
+/// RTprop min-filter window.
+const RTPROP_WINDOW: SimDuration = SimDuration::from_secs(10);
+const PROBE_RTT_INTERVAL: SimDuration = SimDuration::from_secs(10);
+const PROBE_RTT_DURATION: SimDuration = SimDuration::from_millis(200);
+const PROBE_RTT_CWND: f64 = 4.0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Startup,
+    Drain,
+    ProbeBw,
+    ProbeRtt,
+}
+
+/// Windowed max filter over (time, value) samples.
+#[derive(Debug, Default)]
+struct MaxFilter {
+    samples: VecDeque<(SimTime, f64)>,
+}
+
+impl MaxFilter {
+    fn update(&mut self, now: SimTime, window: SimDuration, v: f64) {
+        let cutoff = now.saturating_sub(window);
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(t, _)| t < cutoff)
+        {
+            self.samples.pop_front();
+        }
+        // monotonic deque: drop dominated samples
+        while self.samples.back().is_some_and(|&(_, x)| x <= v) {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((now, v));
+    }
+
+    fn max(&mut self, now: SimTime, window: SimDuration) -> f64 {
+        let cutoff = now.saturating_sub(window);
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(t, _)| t < cutoff)
+        {
+            self.samples.pop_front();
+        }
+        self.samples.front().map(|&(_, v)| v).unwrap_or(0.0)
+    }
+}
+
+pub struct Bbr {
+    state: State,
+    bw_filter: MaxFilter,
+    rtprop: SimDuration,
+    rtprop_stamp: SimTime,
+    srtt: SimDuration,
+
+    /// Round bookkeeping: a round ends one srtt after it began.
+    round_start: SimTime,
+    round_count: u64,
+
+    /// Startup exit detection: full pipe when bw hasn't grown 25% for 3 rounds.
+    full_bw: f64,
+    full_bw_rounds: u32,
+    filled_pipe: bool,
+
+    probe_phase: usize,
+    phase_start: SimTime,
+
+    probe_rtt_until: Option<SimTime>,
+    probe_rtt_next: SimTime,
+
+    pacing_gain: f64,
+}
+
+impl Bbr {
+    pub fn new() -> Self {
+        Bbr {
+            state: State::Startup,
+            bw_filter: MaxFilter::default(),
+            rtprop: SimDuration::MAX,
+            rtprop_stamp: SimTime::ZERO,
+            srtt: SimDuration::from_millis(100),
+            round_start: SimTime::ZERO,
+            round_count: 0,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            filled_pipe: false,
+            probe_phase: 0,
+            phase_start: SimTime::ZERO,
+            probe_rtt_until: None,
+            probe_rtt_next: SimTime::ZERO + PROBE_RTT_INTERVAL,
+            pacing_gain: STARTUP_GAIN,
+        }
+    }
+
+    fn btl_bw(&mut self, now: SimTime) -> Rate {
+        let window = self.srtt * BW_WINDOW_RTTS as u64;
+        Rate::from_bps(self.bw_filter.max(now, window.max(SimDuration::from_secs(1))))
+    }
+
+    fn bdp_pkts(&mut self, now: SimTime) -> f64 {
+        if self.rtprop == SimDuration::MAX {
+            return 10.0;
+        }
+        let bw = self.btl_bw(now);
+        (bw.bps() * self.rtprop.as_secs_f64() / (8.0 * 1500.0)).max(4.0)
+    }
+
+    fn advance_state(&mut self, now: SimTime, inflight: usize) {
+        match self.state {
+            State::Startup => {
+                if self.filled_pipe {
+                    self.state = State::Drain;
+                    self.pacing_gain = DRAIN_GAIN;
+                }
+            }
+            State::Drain => {
+                if (inflight as f64) <= self.bdp_pkts(now) {
+                    self.enter_probe_bw(now);
+                }
+            }
+            State::ProbeBw => {
+                // advance the gain cycle once per rtprop
+                let phase_len = if self.rtprop == SimDuration::MAX {
+                    self.srtt
+                } else {
+                    self.rtprop
+                };
+                if now.since(self.phase_start) >= phase_len {
+                    self.probe_phase = (self.probe_phase + 1) % PROBE_GAINS.len();
+                    self.phase_start = now;
+                    self.pacing_gain = PROBE_GAINS[self.probe_phase];
+                }
+            }
+            State::ProbeRtt => {
+                if let Some(until) = self.probe_rtt_until {
+                    if now >= until {
+                        self.probe_rtt_until = None;
+                        self.probe_rtt_next = now + PROBE_RTT_INTERVAL;
+                        if self.filled_pipe {
+                            self.enter_probe_bw(now);
+                        } else {
+                            self.state = State::Startup;
+                            self.pacing_gain = STARTUP_GAIN;
+                        }
+                    }
+                }
+            }
+        }
+        // ProbeRTT entry: rtprop estimate stale
+        if self.state != State::ProbeRtt
+            && now >= self.probe_rtt_next
+            && now.since(self.rtprop_stamp) > RTPROP_WINDOW
+        {
+            self.state = State::ProbeRtt;
+            self.pacing_gain = 1.0;
+            self.probe_rtt_until = Some(now + PROBE_RTT_DURATION);
+        }
+    }
+
+    fn enter_probe_bw(&mut self, now: SimTime) {
+        self.state = State::ProbeBw;
+        // start in a random-ish but deterministic phase ≠ 0.75
+        self.probe_phase = 2;
+        self.phase_start = now;
+        self.pacing_gain = PROBE_GAINS[self.probe_phase];
+    }
+}
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn name(&self) -> &'static str {
+        "bbr"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        let now = ev.now;
+        if !ev.srtt.is_zero() {
+            self.srtt = ev.srtt;
+        }
+        if let Some(rtt) = ev.rtt {
+            if rtt <= self.rtprop || now.since(self.rtprop_stamp) > RTPROP_WINDOW {
+                self.rtprop = rtt;
+                self.rtprop_stamp = now;
+            }
+        }
+        if !ev.delivery_rate.is_zero() {
+            let window = (self.srtt * BW_WINDOW_RTTS as u64).max(SimDuration::from_secs(1));
+            self.bw_filter.update(now, window, ev.delivery_rate.bps());
+        }
+
+        // round accounting
+        if now.since(self.round_start) >= self.srtt {
+            self.round_start = now;
+            self.round_count += 1;
+            // startup full-pipe check
+            if !self.filled_pipe {
+                let bw = self.btl_bw(now).bps();
+                if bw > self.full_bw * 1.25 {
+                    self.full_bw = bw;
+                    self.full_bw_rounds = 0;
+                } else {
+                    self.full_bw_rounds += 1;
+                    if self.full_bw_rounds >= 3 {
+                        self.filled_pipe = true;
+                    }
+                }
+            }
+        }
+        self.advance_state(now, ev.inflight_pkts);
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        // BBR v1 does not reduce on loss; an RTO restarts the model
+        self.full_bw = 0.0;
+        self.full_bw_rounds = 0;
+        self.filled_pipe = false;
+        self.state = State::Startup;
+        self.pacing_gain = STARTUP_GAIN;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        match self.state {
+            State::ProbeRtt => PROBE_RTT_CWND,
+            _ => {
+                // cwnd_gain × BDP, computed from cached filters (read-only
+                // view: recompute conservatively from current fields)
+                let bw = self
+                    .bw_filter
+                    .samples
+                    .front()
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0);
+                if bw == 0.0 || self.rtprop == SimDuration::MAX {
+                    return 10.0; // initial window
+                }
+                (CWND_GAIN * bw * self.rtprop.as_secs_f64() / (8.0 * 1500.0)).max(4.0)
+            }
+        }
+    }
+
+    fn pacing(&self) -> Pacing {
+        let bw = self
+            .bw_filter
+            .samples
+            .front()
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        if bw == 0.0 {
+            // no estimate yet: pace at a brisk default to start filling
+            return Pacing::Rate(Rate::from_mbps(10.0));
+        }
+        Pacing::Rate(Rate::from_bps((bw * self.pacing_gain).max(1e4)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Ecn, Feedback};
+
+    fn ack(now_ms: u64, rtt_ms: u64, rate_mbps: f64, inflight: usize) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + SimDuration::from_millis(now_ms),
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            min_rtt: SimDuration::from_millis(100),
+            srtt: SimDuration::from_millis(rtt_ms),
+            acked_bytes: 1500,
+            ecn_echo: Ecn::NotEct,
+            feedback: Feedback::None,
+            inflight_pkts: inflight,
+            delivery_rate: Rate::from_mbps(rate_mbps),
+            one_way_delay: SimDuration::from_millis(rtt_ms / 2),
+        }
+    }
+
+    #[test]
+    fn max_filter_tracks_max_and_expires() {
+        let mut f = MaxFilter::default();
+        let w = SimDuration::from_secs(1);
+        f.update(SimTime::from_nanos(0), w, 5.0);
+        f.update(SimTime::ZERO + SimDuration::from_millis(100), w, 3.0);
+        assert_eq!(f.max(SimTime::ZERO + SimDuration::from_millis(200), w), 5.0);
+        // 5.0 expires, 3.0 remains
+        assert_eq!(
+            f.max(SimTime::ZERO + SimDuration::from_millis(1050), w),
+            3.0
+        );
+    }
+
+    #[test]
+    fn startup_exits_when_bw_plateaus() {
+        let mut b = Bbr::new();
+        let mut t = 0;
+        // growing bandwidth: stays in startup
+        for i in 0..5 {
+            b.on_ack(&ack(t, 100, 2.0 * (i + 1) as f64, 20));
+            t += 100;
+        }
+        assert_eq!(b.state, State::Startup);
+        // plateau for >3 rounds: exits to drain (inflight kept above BDP
+        // ≈ 83 pkts so Drain doesn't complete immediately)
+        for _ in 0..6 {
+            b.on_ack(&ack(t, 100, 10.0, 200));
+            t += 100;
+        }
+        assert!(b.filled_pipe);
+        assert_eq!(b.state, State::Drain);
+        // drain until inflight ≤ BDP → probe_bw
+        b.on_ack(&ack(t, 100, 10.0, 2));
+        assert_eq!(b.state, State::ProbeBw);
+    }
+
+    #[test]
+    fn bw_estimate_holds_after_capacity_drop() {
+        // The property ABC's motivation hinges on: after a link-rate drop,
+        // BBR's max filter keeps the stale high estimate for ~10 RTTs.
+        let mut b = Bbr::new();
+        let mut t = 0;
+        for _ in 0..20 {
+            b.on_ack(&ack(t, 100, 10.0, 20));
+            t += 100;
+        }
+        // capacity drops to 2 Mbit/s
+        for _ in 0..3 {
+            b.on_ack(&ack(t, 150, 2.0, 20));
+            t += 100;
+        }
+        let bw = b.btl_bw(SimTime::ZERO + SimDuration::from_millis(t as u64));
+        assert!(
+            bw.mbps() > 9.0,
+            "max filter should still report ~10 Mbit/s, got {bw}"
+        );
+    }
+
+    #[test]
+    fn probe_rtt_reduces_cwnd() {
+        let mut b = Bbr::new();
+        b.state = State::ProbeRtt;
+        assert_eq!(b.cwnd_pkts(), PROBE_RTT_CWND);
+    }
+
+    #[test]
+    fn pacing_rate_scales_with_gain() {
+        let mut b = Bbr::new();
+        b.on_ack(&ack(0, 100, 8.0, 10));
+        b.pacing_gain = 1.25;
+        match b.pacing() {
+            Pacing::Rate(r) => assert!((r.mbps() - 10.0).abs() < 0.1, "got {r}"),
+            _ => panic!("BBR must pace"),
+        }
+    }
+}

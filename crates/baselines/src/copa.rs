@@ -1,0 +1,203 @@
+//! Copa [Arun & Balakrishnan, NSDI 2018]: delay-based target-rate control.
+//! Copa steers the sending rate toward `λ = 1/(δ·dq)` where `dq` is the
+//! standing queuing delay; velocity doubling accelerates convergence.
+//! (Default-mode Copa; the TCP-competitive mode switcher is not modeled —
+//! the paper's experiments run Copa by itself on the bottleneck.)
+
+use netsim::flow::{AckEvent, CongestionControl};
+use netsim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Copa's delta: packets of queueing each flow aims to keep (1/δ = 2 pkts).
+const DELTA: f64 = 0.5;
+
+pub struct Copa {
+    cwnd: f64,
+    velocity: f64,
+    /// Direction the window moved last update (+1 / −1).
+    direction: f64,
+    /// Consecutive same-direction updates (velocity doubles at ≥3 per RTT).
+    same_direction_count: u32,
+    last_update: SimTime,
+    /// RTT samples within the standing window (srtt/2) for RTTstanding.
+    rtt_window: VecDeque<(SimTime, SimDuration)>,
+    min_rtt: SimDuration,
+    in_slow_start: bool,
+}
+
+impl Copa {
+    pub fn new() -> Self {
+        Copa {
+            cwnd: 2.0,
+            velocity: 1.0,
+            direction: 1.0,
+            same_direction_count: 0,
+            last_update: SimTime::ZERO,
+            rtt_window: VecDeque::new(),
+            min_rtt: SimDuration::MAX,
+            in_slow_start: true,
+        }
+    }
+
+    /// RTTstanding: the minimum RTT over the last srtt/2 — filters out
+    /// ACK-compression spikes while staying current.
+    fn rtt_standing(&mut self, now: SimTime, srtt: SimDuration) -> Option<SimDuration> {
+        let cutoff = now.saturating_sub(srtt / 2);
+        while self
+            .rtt_window
+            .front()
+            .is_some_and(|&(t, _)| t < cutoff)
+        {
+            self.rtt_window.pop_front();
+        }
+        self.rtt_window.iter().map(|&(_, r)| r).min()
+    }
+}
+
+impl Default for Copa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Copa {
+    fn name(&self) -> &'static str {
+        "copa"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        let Some(rtt) = ev.rtt else { return };
+        let now = ev.now;
+        self.min_rtt = self.min_rtt.min(rtt);
+        self.rtt_window.push_back((now, rtt));
+        let srtt = if ev.srtt.is_zero() { rtt } else { ev.srtt };
+        let Some(standing) = self.rtt_standing(now, srtt) else {
+            return;
+        };
+
+        let dq = standing.saturating_sub(self.min_rtt).as_secs_f64();
+        let rtt_s = standing.as_secs_f64().max(1e-6);
+        // current rate λ = cwnd/RTTstanding; target λt = 1/(δ·dq)
+        let lambda = self.cwnd / rtt_s;
+        let lambda_target = if dq <= 1e-6 {
+            f64::INFINITY
+        } else {
+            1.0 / (DELTA * dq)
+        };
+
+        if self.in_slow_start {
+            if lambda <= lambda_target {
+                self.cwnd += 1.0; // doubles each RTT
+                return;
+            }
+            self.in_slow_start = false;
+        }
+
+        let step = self.velocity / (DELTA * self.cwnd);
+        let dir = if lambda <= lambda_target { 1.0 } else { -1.0 };
+        self.cwnd = (self.cwnd + dir * step).max(2.0);
+
+        // velocity update, once per RTT
+        if now.since(self.last_update) >= standing {
+            self.last_update = now;
+            if dir == self.direction {
+                self.same_direction_count += 1;
+                if self.same_direction_count >= 3 {
+                    self.velocity *= 2.0;
+                }
+            } else {
+                self.direction = dir;
+                self.same_direction_count = 0;
+                self.velocity = 1.0;
+            }
+            self.velocity = self.velocity.min(self.cwnd.max(1.0));
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        // default-mode Copa reduces via its delay law; on explicit loss be
+        // conservative
+        self.cwnd = (self.cwnd / 2.0).max(2.0);
+        self.velocity = 1.0;
+        self.in_slow_start = false;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.cwnd = 2.0;
+        self.velocity = 1.0;
+        self.in_slow_start = true;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Ecn, Feedback};
+    use netsim::rate::Rate;
+
+    fn ack(now_ms: u64, rtt_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + SimDuration::from_millis(now_ms),
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            min_rtt: SimDuration::from_millis(100),
+            srtt: SimDuration::from_millis(rtt_ms),
+            acked_bytes: 1500,
+            ecn_echo: Ecn::NotEct,
+            feedback: Feedback::None,
+            inflight_pkts: 5,
+            delivery_rate: Rate::ZERO,
+            one_way_delay: SimDuration::from_millis(rtt_ms / 2),
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_while_no_queue() {
+        let mut c = Copa::new();
+        let w0 = c.cwnd_pkts();
+        for i in 0..10 {
+            c.on_ack(&ack(i * 10, 100)); // rtt == min → dq = 0
+        }
+        assert!(c.cwnd_pkts() > w0);
+        assert!(c.in_slow_start);
+    }
+
+    #[test]
+    fn backs_off_when_queue_exceeds_target() {
+        let mut c = Copa::new();
+        c.in_slow_start = false;
+        c.cwnd = 50.0;
+        c.min_rtt = SimDuration::from_millis(100);
+        // standing RTT 200ms → dq = 100ms → λt = 1/(0.5·0.1) = 20 pkt/s;
+        // λ = 50/0.2 = 250 pkt/s ≫ λt → decrease
+        c.on_ack(&ack(1000, 200));
+        assert!(c.cwnd_pkts() < 50.0);
+    }
+
+    #[test]
+    fn grows_when_below_target() {
+        let mut c = Copa::new();
+        c.in_slow_start = false;
+        c.cwnd = 4.0;
+        c.min_rtt = SimDuration::from_millis(100);
+        // standing 102ms → dq = 2ms → λt = 1000 pkt/s; λ = 39 ≪ λt → grow
+        c.on_ack(&ack(1000, 102));
+        assert!(c.cwnd_pkts() > 4.0);
+    }
+
+    #[test]
+    fn velocity_resets_on_direction_change() {
+        let mut c = Copa::new();
+        c.in_slow_start = false;
+        c.velocity = 8.0;
+        c.direction = 1.0;
+        c.min_rtt = SimDuration::from_millis(100);
+        c.cwnd = 100.0;
+        // force a decrease (dq huge)
+        c.on_ack(&ack(5000, 400));
+        assert_eq!(c.velocity, 1.0);
+    }
+}

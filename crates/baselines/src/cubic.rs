@@ -1,0 +1,295 @@
+//! TCP Cubic (RFC 8312), the loss-based baseline the paper evaluates alone,
+//! with CoDel/PIE, and inside ABC's non-ABC window (§5.1.1).
+
+use netsim::flow::{AckEvent, CongestionControl};
+use netsim::packet::Ecn;
+use netsim::time::{SimDuration, SimTime};
+
+/// Multiplicative decrease factor (RFC 8312 §4.5).
+pub const BETA: f64 = 0.7;
+/// Cubic scaling constant (RFC 8312 §5.1), in packets/s³.
+pub const C: f64 = 0.4;
+
+/// The pure Cubic window state machine, reusable outside the
+/// [`CongestionControl`] glue: ABC's `w_nonabc` window embeds one.
+#[derive(Debug, Clone)]
+pub struct CubicWindow {
+    cwnd: f64,
+    ssthresh: f64,
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// TCP-friendly (AIMD) window estimate for the Reno region.
+    w_est: f64,
+    k: f64,
+    /// Reductions are applied at most once per RTT.
+    refractory_until: SimTime,
+}
+
+impl Default for CubicWindow {
+    fn default() -> Self {
+        Self::new(10.0)
+    }
+}
+
+impl CubicWindow {
+    pub fn new(init_cwnd: f64) -> Self {
+        CubicWindow {
+            cwnd: init_cwnd,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            w_est: 0.0,
+            k: 0.0,
+            refractory_until: SimTime::ZERO,
+        }
+    }
+
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Override the window (ABC caps `w_nonabc` at 2× in-flight, §5.1.1).
+    pub fn clamp_cwnd(&mut self, max: f64) {
+        self.cwnd = self.cwnd.min(max).max(1.0);
+    }
+
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Process one new ACK. `rtt` is the smoothed RTT estimate.
+    pub fn on_ack(&mut self, now: SimTime, rtt: SimDuration) {
+        if self.in_slow_start() {
+            self.cwnd += 1.0;
+            return;
+        }
+        let epoch = *self.epoch_start.get_or_insert_with(|| {
+            // new CA epoch: position the cubic so W_cubic(K) = w_max
+            self.w_max = self.w_max.max(self.cwnd);
+            self.k = ((self.w_max * (1.0 - BETA)) / C).cbrt();
+            self.w_est = self.cwnd;
+            now
+        });
+        let t = now.since(epoch).as_secs_f64();
+        let rtt_s = rtt.as_secs_f64().max(1e-4);
+        // where the cubic wants to be one RTT from now
+        let target = C * (t + rtt_s - self.k).powi(3) + self.w_max;
+        if target > self.cwnd {
+            // spread the increase over the current window's ACKs
+            self.cwnd += (target - self.cwnd) / self.cwnd;
+        } else {
+            // concave plateau: crawl (RFC: 1% of cwnd per cwnd ACKs)
+            self.cwnd += 0.01 / self.cwnd;
+        }
+        // TCP-friendly region (RFC 8312 §4.2)
+        self.w_est += (3.0 * (1.0 - BETA) / (1.0 + BETA)) / self.cwnd;
+        if self.w_est > self.cwnd {
+            self.cwnd = self.w_est;
+        }
+    }
+
+    /// Multiplicative decrease (packet loss or CE mark). Ignored when a
+    /// reduction already happened within the last RTT.
+    pub fn on_congestion(&mut self, now: SimTime, rtt: SimDuration) {
+        if now < self.refractory_until {
+            return;
+        }
+        self.refractory_until = now + rtt;
+        // fast convergence (RFC 8312 §4.6)
+        if self.cwnd < self.w_max {
+            self.w_max = self.cwnd * (1.0 + BETA) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.cwnd = (self.cwnd * BETA).max(1.0);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+    }
+
+    /// RTO: collapse to one segment and re-enter slow start.
+    pub fn on_rto(&mut self) {
+        self.ssthresh = (self.cwnd * BETA).max(2.0);
+        self.cwnd = 1.0;
+        self.w_max = 0.0;
+        self.epoch_start = None;
+    }
+}
+
+/// Cubic as a pluggable congestion controller.
+pub struct Cubic {
+    win: CubicWindow,
+    srtt: SimDuration,
+    /// React to CE marks (ECN mode); always reacts to losses.
+    ecn_enabled: bool,
+}
+
+impl Cubic {
+    pub fn new() -> Self {
+        Cubic {
+            win: CubicWindow::default(),
+            srtt: SimDuration::from_millis(100),
+            ecn_enabled: false,
+        }
+    }
+
+    /// Enable reaction to CE marks (for AQMs running in marking mode).
+    pub fn with_ecn(mut self) -> Self {
+        self.ecn_enabled = true;
+        self
+    }
+
+    pub fn window(&self) -> &CubicWindow {
+        &self.win
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if !ev.srtt.is_zero() {
+            self.srtt = ev.srtt;
+        }
+        if self.ecn_enabled && ev.ecn_echo == Ecn::Ce {
+            self.win.on_congestion(ev.now, self.srtt);
+            return;
+        }
+        self.win.on_ack(ev.now, self.srtt);
+    }
+
+    fn on_loss(&mut self, now: SimTime) {
+        self.win.on_congestion(now, self.srtt);
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.win.on_rto();
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.win.cwnd()
+    }
+
+    fn outgoing_ecn(&self) -> Ecn {
+        if self.ecn_enabled {
+            Ecn::Brake // ECT(0) under ABC's reinterpretation
+        } else {
+            Ecn::NotEct
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+    const RTT: SimDuration = SimDuration::from_millis(100);
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut w = CubicWindow::new(2.0);
+        // 2 ACKs (one window's worth) → cwnd 4; next 4 ACKs → 8 …
+        for _ in 0..2 {
+            w.on_ack(at(100), RTT);
+        }
+        assert_eq!(w.cwnd(), 4.0);
+        for _ in 0..4 {
+            w.on_ack(at(200), RTT);
+        }
+        assert_eq!(w.cwnd(), 8.0);
+    }
+
+    #[test]
+    fn loss_applies_beta() {
+        let mut w = CubicWindow::new(100.0);
+        w.ssthresh = 50.0; // force CA
+        w.on_congestion(at(0), RTT);
+        assert!((w.cwnd() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_loss_within_rtt_ignored() {
+        let mut w = CubicWindow::new(100.0);
+        w.ssthresh = 50.0;
+        w.on_congestion(at(0), RTT);
+        w.on_congestion(at(50), RTT); // within refractory period
+        assert!((w.cwnd() - 70.0).abs() < 1e-9);
+        w.on_congestion(at(150), RTT); // past it
+        assert!((w.cwnd() - 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_growth_recovers_toward_w_max() {
+        let mut w = CubicWindow::new(100.0);
+        w.ssthresh = 50.0;
+        w.on_congestion(at(0), RTT);
+        let after_drop = w.cwnd();
+        // feed ACKs for 10 simulated seconds
+        let mut now = at(100);
+        for _ in 0..100 {
+            for _ in 0..(w.cwnd() as usize) {
+                w.on_ack(now, RTT);
+            }
+            now += RTT;
+        }
+        assert!(w.cwnd() > after_drop, "window failed to grow");
+        // K = (100·0.3/0.4)^(1/3) ≈ 4.2 s, so by 10 s it should pass w_max
+        assert!(w.cwnd() >= 100.0, "cwnd {} below w_max", w.cwnd());
+    }
+
+    #[test]
+    fn rto_resets_to_one() {
+        let mut w = CubicWindow::new(64.0);
+        w.on_rto();
+        assert_eq!(w.cwnd(), 1.0);
+        assert!(w.in_slow_start());
+    }
+
+    #[test]
+    fn fast_convergence_shrinks_w_max() {
+        let mut w = CubicWindow::new(100.0);
+        w.ssthresh = 50.0;
+        w.on_congestion(at(0), RTT); // w_max=100, cwnd=70
+        w.on_congestion(at(200), RTT); // cwnd(70) < w_max(100) → fast conv
+        assert!((w.w_max - 70.0 * (1.0 + BETA) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cc_trait_reacts_to_ce_only_in_ecn_mode() {
+        use netsim::rate::Rate;
+        let ev = |ecn| AckEvent {
+            now: at(1000),
+            rtt: Some(RTT),
+            min_rtt: RTT,
+            srtt: RTT,
+            acked_bytes: 1500,
+            ecn_echo: ecn,
+            feedback: netsim::packet::Feedback::None,
+            inflight_pkts: 10,
+            delivery_rate: Rate::ZERO,
+            one_way_delay: SimDuration::from_millis(50),
+        };
+        let mut plain = Cubic::new();
+        plain.win.ssthresh = 5.0;
+        let w0 = plain.cwnd_pkts();
+        plain.on_ack(&ev(Ecn::Ce));
+        assert!(plain.cwnd_pkts() >= w0, "non-ECN Cubic must ignore CE");
+
+        let mut ecn = Cubic::new().with_ecn();
+        ecn.win.ssthresh = 5.0;
+        let w0 = ecn.cwnd_pkts();
+        ecn.on_ack(&ev(Ecn::Ce));
+        assert!(ecn.cwnd_pkts() < w0, "ECN Cubic must reduce on CE");
+    }
+}

@@ -1,0 +1,35 @@
+//! # baselines — end-to-end congestion-control schemes
+//!
+//! Every end-to-end scheme the ABC paper evaluates against:
+//!
+//! | Module | Scheme | Character on variable links (paper's finding) |
+//! |---|---|---|
+//! | [`cubic`] | TCP Cubic (RFC 8312) | high throughput, bufferbloat |
+//! | [`reno`] | TCP NewReno | high delay, loss-driven |
+//! | [`vegas`] | TCP Vegas | low delay, underutilizes |
+//! | [`bbr`] | BBR v1 model | high throughput, overshoots on drops |
+//! | [`copa`] | Copa (NSDI'18) | low delay, underutilizes on rises |
+//! | [`pcc`] | PCC Vivace-latency | high throughput, high delay |
+//! | [`sprout`] | Sprout-like forecaster | conservative, low utilization |
+//! | [`verus`] | Verus-like delay profile | oscillatory, high delay |
+//!
+//! All are implementations of [`netsim::flow::CongestionControl`] built
+//! from the published control laws; none are stubs.
+
+pub mod bbr;
+pub mod copa;
+pub mod cubic;
+pub mod pcc;
+pub mod reno;
+pub mod sprout;
+pub mod vegas;
+pub mod verus;
+
+pub use bbr::Bbr;
+pub use copa::Copa;
+pub use cubic::{Cubic, CubicWindow};
+pub use pcc::PccVivace;
+pub use reno::NewReno;
+pub use sprout::Sprout;
+pub use vegas::Vegas;
+pub use verus::Verus;

@@ -1,0 +1,268 @@
+//! PCC Vivace (latency flavor) [Dong et al., NSDI 2018]: online-learning,
+//! rate-based control. The sender runs monitor intervals (MIs) at slightly
+//! perturbed rates `r(1±ε)`, computes a utility for each, and moves the
+//! rate along the empirical utility gradient.
+//!
+//! Utility (Vivace-latency):
+//! `U(r) = r^t − b·r·(dRTT/dT)⁺ − c·r·loss`, with t = 0.9, b = 900, c = 11.35
+//! (rates in Mbit/s inside the utility, as in the PCC reference code).
+
+use netsim::flow::{AckEvent, CongestionControl, Pacing};
+use netsim::rate::Rate;
+use netsim::time::{SimDuration, SimTime};
+
+const EXPONENT: f64 = 0.9;
+const LATENCY_COEFF: f64 = 900.0;
+const LOSS_COEFF: f64 = 11.35;
+const EPSILON: f64 = 0.05;
+/// Conversion step from utility gradient to rate delta (Mbit/s per unit
+/// gradient), with the confidence-amplification ladder of the PCC code.
+const STEP_MBPS: f64 = 0.35;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Exponential rate doubling until utility decreases.
+    Starting,
+    /// Trial MI at `rate·(1+ε)`.
+    ProbeUp,
+    /// Trial MI at `rate·(1−ε)`.
+    ProbeDown,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct MiStats {
+    acked: u64,
+    lost: u64,
+    first_rtt: Option<SimDuration>,
+    last_rtt: Option<SimDuration>,
+    start: SimTime,
+}
+
+impl MiStats {
+    fn utility(&self, rate_mbps: f64, duration: SimDuration) -> f64 {
+        let total = (self.acked + self.lost).max(1);
+        let loss_frac = self.lost as f64 / total as f64;
+        let rtt_grad = match (self.first_rtt, self.last_rtt) {
+            (Some(a), Some(b)) if !duration.is_zero() => {
+                (b.as_secs_f64() - a.as_secs_f64()) / duration.as_secs_f64()
+            }
+            _ => 0.0,
+        };
+        rate_mbps.powf(EXPONENT)
+            - LATENCY_COEFF * rate_mbps * rtt_grad.max(0.0)
+            - LOSS_COEFF * rate_mbps * loss_frac
+    }
+}
+
+pub struct PccVivace {
+    rate: Rate,
+    phase: Phase,
+    mi: MiStats,
+    mi_len: SimDuration,
+    mi_deadline: SimTime,
+    /// Utility of the completed probe-up MI, pending comparison.
+    up_utility: Option<f64>,
+    prev_utility: f64,
+    /// Consecutive same-direction moves (confidence amplification).
+    streak: i32,
+    srtt: SimDuration,
+}
+
+impl PccVivace {
+    pub fn new() -> Self {
+        PccVivace {
+            rate: Rate::from_mbps(1.0),
+            phase: Phase::Starting,
+            mi: MiStats::default(),
+            mi_len: SimDuration::from_millis(100),
+            mi_deadline: SimTime::ZERO,
+            up_utility: None,
+            prev_utility: 0.0,
+            streak: 0,
+            srtt: SimDuration::from_millis(100),
+        }
+    }
+
+    fn mi_rate(&self) -> Rate {
+        match self.phase {
+            Phase::Starting => self.rate,
+            Phase::ProbeUp => self.rate * (1.0 + EPSILON),
+            Phase::ProbeDown => self.rate * (1.0 - EPSILON),
+        }
+    }
+
+    fn finish_mi(&mut self, now: SimTime) {
+        let dur = now.since(self.mi.start);
+        let u = self.mi.utility(self.mi_rate().mbps(), dur);
+        match self.phase {
+            Phase::Starting => {
+                if u >= self.prev_utility {
+                    self.prev_utility = u;
+                    self.rate = self.rate * 2.0;
+                } else {
+                    // utility fell: stop doubling, back off and probe
+                    self.rate = self.rate / 2.0;
+                    self.phase = Phase::ProbeUp;
+                }
+            }
+            Phase::ProbeUp => {
+                self.up_utility = Some(u);
+                self.phase = Phase::ProbeDown;
+            }
+            Phase::ProbeDown => {
+                let up = self.up_utility.take().unwrap_or(u);
+                let down = u;
+                // empirical gradient over the 2ε rate spread
+                let grad = (up - down) / (2.0 * EPSILON * self.rate.mbps().max(1e-3));
+                let dir = grad.signum();
+                if dir == self.streak.signum() as f64 && dir != 0.0 {
+                    self.streak += dir as i32;
+                } else {
+                    self.streak = dir as i32;
+                }
+                let amplify = 1.0 + (self.streak.unsigned_abs() as f64 - 1.0).max(0.0) * 0.5;
+                let delta = (STEP_MBPS * grad * amplify)
+                    .clamp(-0.5 * self.rate.mbps(), 0.5 * self.rate.mbps().max(0.5));
+                let new = (self.rate.mbps() + delta).max(0.05);
+                self.rate = Rate::from_mbps(new);
+                self.phase = Phase::ProbeUp;
+            }
+        }
+        self.mi = MiStats {
+            start: now,
+            ..Default::default()
+        };
+        self.mi_deadline = now + self.mi_len;
+    }
+}
+
+impl Default for PccVivace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for PccVivace {
+    fn name(&self) -> &'static str {
+        "pcc-vivace"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if !ev.srtt.is_zero() {
+            self.srtt = ev.srtt;
+            self.mi_len = ev.srtt.max(SimDuration::from_millis(10));
+        }
+        self.mi.acked += 1;
+        if let Some(rtt) = ev.rtt {
+            if self.mi.first_rtt.is_none() {
+                self.mi.first_rtt = Some(rtt);
+            }
+            self.mi.last_rtt = Some(rtt);
+        }
+        if self.mi_deadline == SimTime::ZERO {
+            self.mi.start = ev.now;
+            self.mi_deadline = ev.now + self.mi_len;
+        } else if ev.now >= self.mi_deadline {
+            self.finish_mi(ev.now);
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        self.mi.lost += 1;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.rate = Rate::from_mbps((self.rate.mbps() / 2.0).max(0.05));
+        self.phase = Phase::ProbeUp;
+        self.streak = 0;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        // generous cap: rate × (srtt + 100ms of queue headroom)
+        let horizon = self.srtt.as_secs_f64() + 0.1;
+        (self.mi_rate().bps() * horizon / (8.0 * 1500.0)).max(4.0) * 2.0
+    }
+
+    fn pacing(&self) -> Pacing {
+        Pacing::Rate(self.mi_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_penalizes_rtt_gradient() {
+        let flat = MiStats {
+            acked: 100,
+            lost: 0,
+            first_rtt: Some(SimDuration::from_millis(100)),
+            last_rtt: Some(SimDuration::from_millis(100)),
+            start: SimTime::ZERO,
+        };
+        let rising = MiStats {
+            last_rtt: Some(SimDuration::from_millis(150)),
+            ..flat
+        };
+        let d = SimDuration::from_millis(100);
+        assert!(flat.utility(5.0, d) > rising.utility(5.0, d));
+    }
+
+    #[test]
+    fn utility_penalizes_loss() {
+        let clean = MiStats {
+            acked: 100,
+            lost: 0,
+            first_rtt: Some(SimDuration::from_millis(100)),
+            last_rtt: Some(SimDuration::from_millis(100)),
+            start: SimTime::ZERO,
+        };
+        let lossy = MiStats {
+            acked: 80,
+            lost: 20,
+            ..clean
+        };
+        let d = SimDuration::from_millis(100);
+        assert!(clean.utility(5.0, d) > lossy.utility(5.0, d));
+    }
+
+    #[test]
+    fn starting_phase_doubles_until_utility_drops() {
+        let mut p = PccVivace::new();
+        assert_eq!(p.phase, Phase::Starting);
+        let r0 = p.rate.mbps();
+        // clean MI → double
+        p.mi = MiStats {
+            acked: 50,
+            start: SimTime::ZERO,
+            first_rtt: Some(SimDuration::from_millis(100)),
+            last_rtt: Some(SimDuration::from_millis(100)),
+            ..Default::default()
+        };
+        p.finish_mi(SimTime::ZERO + SimDuration::from_millis(100));
+        assert!((p.rate.mbps() - 2.0 * r0).abs() < 1e-9);
+        // disastrous MI (huge RTT growth) → exit starting
+        p.mi = MiStats {
+            acked: 10,
+            lost: 40,
+            start: SimTime::ZERO + SimDuration::from_millis(100),
+            first_rtt: Some(SimDuration::from_millis(100)),
+            last_rtt: Some(SimDuration::from_millis(400)),
+            ..Default::default()
+        };
+        p.finish_mi(SimTime::ZERO + SimDuration::from_millis(200));
+        assert_eq!(p.phase, Phase::ProbeUp);
+    }
+
+    #[test]
+    fn paces_at_perturbed_rate() {
+        let mut p = PccVivace::new();
+        p.rate = Rate::from_mbps(10.0);
+        p.phase = Phase::ProbeUp;
+        match p.pacing() {
+            Pacing::Rate(r) => assert!((r.mbps() - 10.5).abs() < 1e-9),
+            _ => panic!("PCC is rate-based"),
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! TCP NewReno (RFC 5681/6582-style AIMD), the classical loss-based
+//! baseline the paper's motivation section contrasts against.
+
+use netsim::flow::{AckEvent, CongestionControl};
+use netsim::packet::Ecn;
+use netsim::time::{SimDuration, SimTime};
+
+pub struct NewReno {
+    cwnd: f64,
+    ssthresh: f64,
+    refractory_until: SimTime,
+    srtt: SimDuration,
+    ecn_enabled: bool,
+}
+
+impl NewReno {
+    pub fn new() -> Self {
+        NewReno {
+            cwnd: 10.0,
+            ssthresh: f64::INFINITY,
+            refractory_until: SimTime::ZERO,
+            srtt: SimDuration::from_millis(100),
+            ecn_enabled: false,
+        }
+    }
+
+    pub fn with_ecn(mut self) -> Self {
+        self.ecn_enabled = true;
+        self
+    }
+
+    fn reduce(&mut self, now: SimTime) {
+        if now < self.refractory_until {
+            return;
+        }
+        self.refractory_until = now + self.srtt;
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+    }
+}
+
+impl Default for NewReno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if !ev.srtt.is_zero() {
+            self.srtt = ev.srtt;
+        }
+        if self.ecn_enabled && ev.ecn_echo == Ecn::Ce {
+            self.reduce(ev.now);
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, now: SimTime) {
+        self.reduce(now);
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn outgoing_ecn(&self) -> Ecn {
+        if self.ecn_enabled {
+            Ecn::Brake
+        } else {
+            Ecn::NotEct
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::rate::Rate;
+
+    fn ack(now_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + SimDuration::from_millis(now_ms),
+            rtt: Some(SimDuration::from_millis(100)),
+            min_rtt: SimDuration::from_millis(100),
+            srtt: SimDuration::from_millis(100),
+            acked_bytes: 1500,
+            ecn_echo: Ecn::NotEct,
+            feedback: netsim::packet::Feedback::None,
+            inflight_pkts: 5,
+            delivery_rate: Rate::ZERO,
+            one_way_delay: SimDuration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn slow_start_then_congestion_avoidance() {
+        let mut r = NewReno::new();
+        r.ssthresh = 12.0;
+        r.on_ack(&ack(0)); // 11 (ss)
+        r.on_ack(&ack(1)); // 12 — reaches ssthresh
+        assert_eq!(r.cwnd_pkts(), 12.0);
+        r.on_ack(&ack(2)); // CA: +1/12
+        assert!((r.cwnd_pkts() - (12.0 + 1.0 / 12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_halves() {
+        let mut r = NewReno::new();
+        r.cwnd = 40.0;
+        r.ssthresh = 10.0;
+        r.on_loss(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(r.cwnd_pkts(), 20.0);
+    }
+
+    #[test]
+    fn rto_restarts_slow_start() {
+        let mut r = NewReno::new();
+        r.cwnd = 40.0;
+        r.on_rto(SimTime::ZERO);
+        assert_eq!(r.cwnd_pkts(), 1.0);
+        assert_eq!(r.ssthresh, 20.0);
+    }
+}

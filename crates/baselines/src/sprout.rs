@@ -1,0 +1,227 @@
+//! Sprout-like forecaster [Winstein et al., NSDI 2013].
+//!
+//! Sprout models the cellular link as a stochastic process, forecasts the
+//! 5th-percentile cumulative deliverable bytes over the next few ticks,
+//! and sizes its window so queued data drains within a delay target with
+//! 95% confidence. We reproduce that structure — tick-based rate tracking
+//! with drift uncertainty, a conservative quantile forecast, and a
+//! delay-budgeted window — without Sprout's full Bayesian inference over
+//! Poisson draws (the behavioral consequences, conservatism and
+//! low-delay/low-utilization operation, are what the ABC paper compares
+//! against; see DESIGN.md).
+
+use netsim::flow::{AckEvent, CongestionControl};
+use netsim::stats::WindowedRate;
+use netsim::time::{SimDuration, SimTime};
+
+/// Sprout's tick length.
+const TICK: SimDuration = SimDuration::from_millis(20);
+/// Forecast horizon (Sprout forecasts 8 ticks ≈ 160 ms ahead).
+const HORIZON_TICKS: u32 = 8;
+/// Target end-to-end queueing budget.
+const DELAY_TARGET: SimDuration = SimDuration::from_millis(100);
+/// Z-score of the conservative forecast quantile (~10th percentile; the
+/// paper's Sprout uses the 5th, but its richer inference model has tighter
+/// posteriors — this setting lands the same qualitative conservatism).
+const Z95: f64 = 1.3;
+/// Per-tick relative drift of the link-rate belief (uncertainty grows with
+/// the forecast horizon, as in Sprout's Brownian volatility).
+const DRIFT: f64 = 0.05;
+
+pub struct Sprout {
+    /// Rate belief (bytes/s) and its variance, updated per tick.
+    mean_rate: f64,
+    var_rate: f64,
+    tick_start: SimTime,
+    /// Arrivals over a ~1-RTT sliding window; sampling this at each tick
+    /// (instead of raw 20 ms bins) keeps ACK-clocked burstiness from
+    /// masquerading as link-rate variance.
+    arrivals: WindowedRate,
+    last_tick_time: SimTime,
+    cwnd: f64,
+    initialized: bool,
+    /// Most recent one-way delay, for the belief's upward probe: while the
+    /// path shows no queueing, the belief may be sender-limited rather
+    /// than link-limited, so it is optimistically inflated (real Sprout
+    /// gets this signal from its Poisson service-time inference; an
+    /// observed-throughput proxy needs the explicit probe).
+    last_delay: SimDuration,
+    min_delay: SimDuration,
+    /// Multiplier applied to the belief while no queueing is observed;
+    /// resets to 1 as soon as a queue appears. Kept separate from the
+    /// belief so the probe does not pollute the variance estimate.
+    probe_gain: f64,
+}
+
+impl Sprout {
+    pub fn new() -> Self {
+        Sprout {
+            mean_rate: 0.0,
+            var_rate: 0.0,
+            tick_start: SimTime::ZERO,
+            arrivals: WindowedRate::new(SimDuration::from_millis(100)),
+            last_tick_time: SimTime::ZERO,
+            cwnd: 4.0,
+            initialized: false,
+            last_delay: SimDuration::ZERO,
+            min_delay: SimDuration::MAX,
+            probe_gain: 1.0,
+        }
+    }
+
+    /// Conservative (5th percentile) deliverable bytes over the horizon,
+    /// integrating growing drift uncertainty tick by tick.
+    fn conservative_bytes(&self) -> f64 {
+        let mut total = 0.0;
+        let tick_s = TICK.as_secs_f64();
+        for k in 1..=HORIZON_TICKS {
+            // std of the belief k ticks out: measurement std + drift·k
+            let sigma = (self.var_rate.sqrt() + self.mean_rate * DRIFT * k as f64)
+                .min(self.mean_rate); // never forecast below zero
+            let p5 = (self.mean_rate - Z95 * sigma).max(0.0);
+            total += p5 * tick_s;
+        }
+        total
+    }
+
+    fn end_tick(&mut self) {
+        let tick_s = TICK.as_secs_f64();
+        let sample = self.arrivals.rate(self.last_tick_time).bps() / 8.0;
+        if !self.initialized {
+            self.mean_rate = sample;
+            self.var_rate = (sample * 0.5).powi(2);
+            self.initialized = true;
+        } else {
+            // EWMA belief update with variance tracking
+            let alpha = 0.25;
+            let err = sample - self.mean_rate;
+            self.mean_rate += alpha * err;
+            self.var_rate = (1.0 - alpha) * (self.var_rate + alpha * err * err);
+        }
+        // Upward probe: if the path shows essentially no queueing, the
+        // current belief is sender-limited, not link-limited — scale the
+        // window up until a queue signal appears.
+        let queuing = self.last_delay.saturating_sub(
+            if self.min_delay == SimDuration::MAX {
+                SimDuration::ZERO
+            } else {
+                self.min_delay
+            },
+        );
+        if queuing < SimDuration::from_millis(25) {
+            self.probe_gain = (self.probe_gain * 1.15).min(4.0);
+        } else {
+            self.probe_gain = 1.0;
+        }
+        // window: bytes deliverable within the delay budget at the
+        // conservative rate, scaled from the forecast horizon
+        let budget_frac = DELAY_TARGET.as_secs_f64() / (HORIZON_TICKS as f64 * tick_s);
+        let bytes = self.conservative_bytes() * budget_frac * self.probe_gain;
+        self.cwnd = (bytes / 1500.0).max(2.0);
+    }
+}
+
+impl Default for Sprout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Sprout {
+    fn name(&self) -> &'static str {
+        "sprout"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if self.tick_start == SimTime::ZERO {
+            self.tick_start = ev.now;
+        }
+        self.arrivals.record(ev.now, ev.acked_bytes as u64);
+        self.last_delay = ev.one_way_delay;
+        self.min_delay = self.min_delay.min(ev.one_way_delay);
+        while ev.now.since(self.tick_start) >= TICK {
+            self.tick_start += TICK;
+            self.last_tick_time = ev.now;
+            self.end_tick();
+        }
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.cwnd = 2.0;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    // Sprout is ACK-clocked here (the default): its window already encodes
+    // the forecast budget. Pacing at the *belief* rate would deadlock after
+    // an underestimate — slow sending begets a lower belief. The real
+    // Sprout sends its per-tick budget immediately, which ACK-clocking
+    // approximates safely.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Ecn, Feedback};
+    use netsim::rate::Rate;
+
+    fn ack(now_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + SimDuration::from_millis(now_ms),
+            rtt: Some(SimDuration::from_millis(100)),
+            min_rtt: SimDuration::from_millis(100),
+            srtt: SimDuration::from_millis(100),
+            acked_bytes: 1500,
+            ecn_echo: Ecn::NotEct,
+            feedback: Feedback::None,
+            inflight_pkts: 5,
+            delivery_rate: Rate::ZERO,
+            one_way_delay: SimDuration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn steady_rate_builds_a_window() {
+        let mut s = Sprout::new();
+        // 1 pkt/ms = 12 Mbit/s for 2 seconds
+        for i in 1..2000 {
+            s.on_ack(&ack(i));
+        }
+        assert!(s.cwnd_pkts() > 10.0, "cwnd {}", s.cwnd_pkts());
+    }
+
+    #[test]
+    fn forecast_is_conservative() {
+        let mut s = Sprout::new();
+        for i in 1..2000 {
+            s.on_ack(&ack(i));
+        }
+        // steady 1500 B/ms → mean 1.5 MB/s; conservative horizon forecast
+        // must be below the mean-rate horizon product
+        let optimistic = s.mean_rate * TICK.as_secs_f64() * HORIZON_TICKS as f64;
+        assert!(s.conservative_bytes() < optimistic);
+        assert!(s.conservative_bytes() > 0.0);
+    }
+
+    #[test]
+    fn variance_grows_window_shrinks() {
+        let mut steady = Sprout::new();
+        let mut bursty = Sprout::new();
+        for i in 1..4000 {
+            steady.on_ack(&ack(i));
+        }
+        // same average rate, delivered in alternating bursts/silences
+        for i in 1..2000 {
+            bursty.on_ack(&ack(i * 2));
+        }
+        // give the same total time so both have the same observation span
+        assert!(
+            bursty.cwnd_pkts() <= steady.cwnd_pkts() + 1.0,
+            "bursty {} vs steady {}",
+            bursty.cwnd_pkts(),
+            steady.cwnd_pkts()
+        );
+    }
+}

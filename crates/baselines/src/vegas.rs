@@ -1,0 +1,165 @@
+//! TCP Vegas [Brakmo & Peterson, SIGCOMM'94]: delay-based congestion
+//! avoidance. The paper evaluates Vegas on both cellular and Wi-Fi paths;
+//! it holds delays low but cannot track capacity increases quickly.
+
+use netsim::flow::{AckEvent, CongestionControl};
+use netsim::time::{SimDuration, SimTime};
+
+/// Vegas α/β thresholds in packets of queue occupancy.
+const ALPHA: f64 = 2.0;
+const BETA: f64 = 4.0;
+/// Slow-start exit threshold.
+const GAMMA: f64 = 1.0;
+
+pub struct Vegas {
+    cwnd: f64,
+    base_rtt: SimDuration,
+    /// Window adjustments happen once per RTT.
+    next_update: SimTime,
+    in_slow_start: bool,
+    /// Slow start doubles every *other* RTT (Vegas's cautious probing).
+    ss_toggle: bool,
+}
+
+impl Vegas {
+    pub fn new() -> Self {
+        Vegas {
+            cwnd: 2.0,
+            base_rtt: SimDuration::MAX,
+            next_update: SimTime::ZERO,
+            in_slow_start: true,
+            ss_toggle: false,
+        }
+    }
+
+    /// Expected − actual throughput difference, in packets buffered.
+    fn diff_pkts(&self, rtt: SimDuration) -> f64 {
+        if self.base_rtt == SimDuration::MAX || rtt.is_zero() {
+            return 0.0;
+        }
+        let base = self.base_rtt.as_secs_f64();
+        let cur = rtt.as_secs_f64();
+        self.cwnd * (1.0 - base / cur)
+    }
+}
+
+impl Default for Vegas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        let Some(rtt) = ev.rtt else { return };
+        self.base_rtt = self.base_rtt.min(rtt);
+        if ev.now < self.next_update {
+            return;
+        }
+        self.next_update = ev.now + rtt;
+        let diff = self.diff_pkts(rtt);
+        if self.in_slow_start {
+            if diff > GAMMA {
+                self.in_slow_start = false;
+                self.cwnd = (self.cwnd - 1.0).max(2.0);
+            } else {
+                self.ss_toggle = !self.ss_toggle;
+                if self.ss_toggle {
+                    self.cwnd *= 2.0;
+                }
+            }
+            return;
+        }
+        if diff < ALPHA {
+            self.cwnd += 1.0;
+        } else if diff > BETA {
+            self.cwnd = (self.cwnd - 1.0).max(2.0);
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        self.cwnd = (self.cwnd * 0.75).max(2.0);
+        self.in_slow_start = false;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.cwnd = 2.0;
+        self.in_slow_start = true;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Ecn, Feedback};
+    use netsim::rate::Rate;
+
+    fn ack(now_ms: u64, rtt_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + SimDuration::from_millis(now_ms),
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            min_rtt: SimDuration::from_millis(100),
+            srtt: SimDuration::from_millis(rtt_ms),
+            acked_bytes: 1500,
+            ecn_echo: Ecn::NotEct,
+            feedback: Feedback::None,
+            inflight_pkts: 5,
+            delivery_rate: Rate::ZERO,
+            one_way_delay: SimDuration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn grows_when_queue_empty() {
+        let mut v = Vegas::new();
+        v.in_slow_start = false;
+        v.cwnd = 10.0;
+        v.base_rtt = SimDuration::from_millis(100);
+        // rtt == base → diff 0 < α → +1 (once per RTT)
+        v.on_ack(&ack(1000, 100));
+        assert_eq!(v.cwnd_pkts(), 11.0);
+        // second ack within the same RTT: no change
+        v.on_ack(&ack(1050, 100));
+        assert_eq!(v.cwnd_pkts(), 11.0);
+    }
+
+    #[test]
+    fn shrinks_when_queue_builds() {
+        let mut v = Vegas::new();
+        v.in_slow_start = false;
+        v.cwnd = 20.0;
+        v.base_rtt = SimDuration::from_millis(100);
+        // rtt 150ms → diff = 20·(1−100/150) ≈ 6.7 > β → −1
+        v.on_ack(&ack(1000, 150));
+        assert_eq!(v.cwnd_pkts(), 19.0);
+    }
+
+    #[test]
+    fn holds_inside_band() {
+        let mut v = Vegas::new();
+        v.in_slow_start = false;
+        v.cwnd = 10.0;
+        v.base_rtt = SimDuration::from_millis(100);
+        // diff = 10·(1−100/135) ≈ 2.6 ∈ (α, β) → hold
+        v.on_ack(&ack(1000, 135));
+        assert_eq!(v.cwnd_pkts(), 10.0);
+    }
+
+    #[test]
+    fn slow_start_exits_on_queue_signal() {
+        let mut v = Vegas::new();
+        v.base_rtt = SimDuration::from_millis(100);
+        v.cwnd = 8.0;
+        // big queue: diff = 8·(1−100/200)=4 > γ → exit ss
+        v.on_ack(&ack(1000, 200));
+        assert!(!v.in_slow_start);
+    }
+}

@@ -1,0 +1,223 @@
+//! Verus-like controller [Zaki et al., SIGCOMM 2015].
+//!
+//! Verus learns a *delay profile* — an empirical mapping from congestion
+//! window to observed delay — and each epoch chooses the window whose
+//! profiled delay matches a target that itself chases recent delay
+//! conditions (shrinking sharply when delay spikes, probing upward
+//! otherwise). The resulting behavior on variable links is aggressive
+//! probing with large oscillations and elevated delay, which is exactly
+//! the character Fig. 1b of the ABC paper shows. We reproduce the
+//! profile-plus-target structure with the published constants
+//! (R = 2, δ₁ = 1 pkt, δ₂ = 2 pkt, epoch = 5 ms).
+
+use netsim::flow::{AckEvent, CongestionControl};
+use netsim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+const EPOCH: SimDuration = SimDuration::from_millis(20);
+/// Delay-target ratio: D_target = D_max_observed / R.
+const R: f64 = 2.0;
+/// Window increment per epoch while under the delay budget (Verus probes
+/// aggressively — this is what builds its characteristic queues).
+const DELTA_1: f64 = 2.0;
+/// Window decrement applied (per epoch) when delay is rising.
+const DELTA_2: f64 = 2.0;
+/// Multiplicative backoff on loss.
+const LOSS_BACKOFF: f64 = 0.5;
+/// Window bucketing for the delay profile.
+const BUCKET: f64 = 2.0;
+
+pub struct Verus {
+    cwnd: f64,
+    /// Empirical delay profile: window bucket → EWMA delay (s).
+    profile: BTreeMap<u64, f64>,
+    epoch_start: SimTime,
+    epoch_delay_sum: f64,
+    epoch_delay_n: u32,
+    last_epoch_delay: f64,
+    d_max: f64,
+    d_min: f64,
+    in_slow_start: bool,
+}
+
+impl Verus {
+    pub fn new() -> Self {
+        Verus {
+            cwnd: 2.0,
+            profile: BTreeMap::new(),
+            epoch_start: SimTime::ZERO,
+            epoch_delay_sum: 0.0,
+            epoch_delay_n: 0,
+            last_epoch_delay: 0.0,
+            d_max: 0.0,
+            d_min: f64::MAX,
+            in_slow_start: true,
+        }
+    }
+
+    fn bucket(w: f64) -> u64 {
+        (w / BUCKET).round() as u64
+    }
+
+    fn learn(&mut self, w: f64, delay: f64) {
+        let e = self.profile.entry(Self::bucket(w)).or_insert(delay);
+        *e += 0.25 * (delay - *e);
+    }
+
+    /// Largest window whose profiled delay is ≤ `target` (the profile
+    /// inverse Verus uses to pick the next epoch's window).
+    fn window_for_delay(&self, target: f64) -> Option<f64> {
+        self.profile
+            .iter()
+            .filter(|&(_, &d)| d <= target)
+            .map(|(&b, _)| b as f64 * BUCKET)
+            .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.max(w))))
+    }
+
+    fn end_epoch(&mut self) {
+        if self.epoch_delay_n == 0 {
+            return;
+        }
+        let delay = self.epoch_delay_sum / self.epoch_delay_n as f64;
+        self.epoch_delay_sum = 0.0;
+        self.epoch_delay_n = 0;
+        self.d_max = self.d_max.max(delay);
+        self.d_min = self.d_min.min(delay);
+        self.learn(self.cwnd, delay);
+
+        if self.in_slow_start {
+            self.cwnd += 2.0;
+            if delay > 2.0 * self.d_min && self.d_min < f64::MAX {
+                self.in_slow_start = false;
+            }
+            self.last_epoch_delay = delay;
+            return;
+        }
+
+        // Verus' target: chase D_max/R — a *relative* budget, so as its own
+        // queues push D_max up, the budget follows; that built-in positive
+        // feedback is the source of its large oscillations and high delays.
+        let target = (self.d_max / R).max(self.d_min * 1.5);
+        self.last_epoch_delay = delay;
+
+        if delay > target {
+            // over budget: jump to the profiled window for the target, or
+            // decrement multiplicatively if the profile has no answer yet
+            let fallback = (self.cwnd * 0.9).min(self.cwnd - DELTA_2);
+            let w = self.window_for_delay(target).unwrap_or(fallback);
+            self.cwnd = w.min(fallback).max(2.0);
+        } else {
+            // under budget: probe upward aggressively
+            self.cwnd += DELTA_1;
+        }
+        // slow decay of the historical max so old spikes stop dominating
+        self.d_max *= 0.998;
+    }
+}
+
+impl Default for Verus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Verus {
+    fn name(&self) -> &'static str {
+        "verus"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        let Some(rtt) = ev.rtt else { return };
+        if self.epoch_start == SimTime::ZERO {
+            self.epoch_start = ev.now;
+        }
+        self.epoch_delay_sum += rtt.as_secs_f64();
+        self.epoch_delay_n += 1;
+        while ev.now.since(self.epoch_start) >= EPOCH {
+            self.epoch_start += EPOCH;
+            self.end_epoch();
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        self.cwnd = (self.cwnd * LOSS_BACKOFF).max(2.0);
+        self.in_slow_start = false;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.cwnd = 2.0;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Ecn, Feedback};
+    use netsim::rate::Rate;
+
+    fn ack(now_ms: u64, rtt_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + SimDuration::from_millis(now_ms),
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            min_rtt: SimDuration::from_millis(100),
+            srtt: SimDuration::from_millis(rtt_ms),
+            acked_bytes: 1500,
+            ecn_echo: Ecn::NotEct,
+            feedback: Feedback::None,
+            inflight_pkts: 5,
+            delivery_rate: Rate::ZERO,
+            one_way_delay: SimDuration::from_millis(rtt_ms / 2),
+        }
+    }
+
+    #[test]
+    fn profile_learns_monotone_delay() {
+        let mut v = Verus::new();
+        v.learn(10.0, 0.05);
+        v.learn(50.0, 0.20);
+        assert_eq!(v.window_for_delay(0.10), Some(10.0));
+        assert_eq!(v.window_for_delay(0.25), Some(50.0));
+        assert_eq!(v.window_for_delay(0.01), None);
+    }
+
+    #[test]
+    fn rising_delay_past_target_shrinks_window() {
+        let mut v = Verus::new();
+        v.in_slow_start = false;
+        v.cwnd = 40.0;
+        v.d_min = 0.05;
+        v.d_max = 0.4;
+        v.last_epoch_delay = 0.1;
+        // feed several epochs of very high delay (300ms > target 200ms)
+        for i in 0..60 {
+            v.on_ack(&ack(1000 + i, 300));
+        }
+        assert!(v.cwnd_pkts() < 40.0, "cwnd {}", v.cwnd_pkts());
+    }
+
+    #[test]
+    fn falling_delay_probes_up() {
+        let mut v = Verus::new();
+        v.in_slow_start = false;
+        v.cwnd = 10.0;
+        v.d_min = 0.1;
+        v.d_max = 0.3;
+        v.last_epoch_delay = 0.2;
+        for i in 0..10 {
+            v.on_ack(&ack(2000 + i, 110)); // 110ms < target 150ms, falling
+        }
+        assert!(v.cwnd_pkts() >= 10.0);
+    }
+
+    #[test]
+    fn loss_backs_off_multiplicatively() {
+        let mut v = Verus::new();
+        v.cwnd = 64.0;
+        v.on_loss(SimTime::ZERO);
+        assert_eq!(v.cwnd_pkts(), 32.0);
+    }
+}

@@ -1,0 +1,628 @@
+//! Coexistence with non-ABC flows (§5.2): the dual-queue router.
+//!
+//! ABC and non-ABC packets are isolated into two queues served by a
+//! weighted scheduler. The weight of each queue is set by a
+//! [`WeightPolicy`]:
+//!
+//! * [`WeightPolicy::MaxMin`] — the paper's contribution: measure the rate
+//!   of the top-K flows per queue ([`crate::topk::SpaceSaving`]), treat the
+//!   rest as a short-flow aggregate, inflate top-K demands by X%, compute
+//!   the max-min allocation ([`crate::maxmin`]), and weight each queue by
+//!   the total allocation of its flows;
+//! * [`WeightPolicy::ZombieList`] — the RCP baseline: estimate the flow
+//!   *count* per queue with an SRED-style zombie list and equalize
+//!   per-flow average rate, which overweights queues full of short flows
+//!   (the unfairness Fig. 12b demonstrates);
+//! * [`WeightPolicy::Fixed`] — a static split, for tests.
+
+use crate::router::{AbcQdisc, AbcRouterConfig};
+use crate::maxmin::{max_min_allocate, Demand};
+use crate::topk::SpaceSaving;
+use netsim::packet::{FlowId, Packet};
+use netsim::queue::{Qdisc, QdiscStats};
+use netsim::rate::Rate;
+use netsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// How the dual queue assigns scheduler weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightPolicy {
+    /// Max-min over estimated demands; `headroom` is X (demands of top-K
+    /// flows are assumed X% above current throughput; the paper uses 10%).
+    MaxMin { headroom: f64 },
+    /// RCP's approach: weight ∝ estimated number of flows.
+    ZombieList,
+    /// Fixed ABC-queue weight.
+    Fixed(f64),
+}
+
+/// SRED-style flow-count estimator: a small cache of recently seen flows
+/// ("zombies"); the hit probability of new arrivals against a random
+/// zombie estimates 1/N.
+#[derive(Debug)]
+struct ZombieList {
+    zombies: Vec<FlowId>,
+    capacity: usize,
+    hit_prob: f64,
+    rng: StdRng,
+}
+
+impl ZombieList {
+    fn new(capacity: usize, seed: u64) -> Self {
+        ZombieList {
+            zombies: Vec::with_capacity(capacity),
+            capacity,
+            hit_prob: 1.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn observe(&mut self, flow: FlowId) {
+        if self.zombies.len() < self.capacity {
+            self.zombies.push(flow);
+            return;
+        }
+        let idx = self.rng.gen_range(0..self.zombies.len());
+        let hit = self.zombies[idx] == flow;
+        // EWMA with the SRED constant
+        const ALPHA: f64 = 0.02;
+        self.hit_prob += ALPHA * ((hit as u8 as f64) - self.hit_prob);
+        if !hit && self.rng.gen::<f64>() < 0.25 {
+            self.zombies[idx] = flow;
+        }
+    }
+
+    /// Estimated number of active flows.
+    fn flow_count(&self) -> f64 {
+        if self.zombies.is_empty() {
+            return 0.0;
+        }
+        (1.0 / self.hit_prob.max(1e-3)).max(1.0)
+    }
+}
+
+/// Per-queue measurement state for the weight update.
+struct QueueMeter {
+    topk: SpaceSaving,
+    dequeued_bytes: u64,
+    zombies: ZombieList,
+    /// Consecutive epochs each flow has stayed in the top-K with a
+    /// non-trivial guaranteed count. Long-running flows persist across
+    /// epochs; a 10-KB short flow cannot appear twice.
+    persist: std::collections::HashMap<FlowId, u32>,
+}
+
+impl QueueMeter {
+    fn new(k: usize, seed: u64) -> Self {
+        QueueMeter {
+            topk: SpaceSaving::new(k),
+            dequeued_bytes: 0,
+            zombies: ZombieList::new(100, seed),
+            persist: std::collections::HashMap::new(),
+        }
+    }
+
+    fn on_dequeue(&mut self, flow: FlowId, bytes: u64) {
+        self.topk.record(flow, bytes);
+        self.dequeued_bytes += bytes;
+        self.zombies.observe(flow);
+    }
+
+    /// Demands per §5.2: top-K flows want X% more than their measured
+    /// rate; the short-flow remainder wants exactly its current rate.
+    /// Returns the elephant demands and the short-flow aggregate rate
+    /// separately: the short aggregate is *inelastic* (those flows cannot
+    /// send faster), so the weight computation grants it off the top and
+    /// runs max-min only over the elephants — lumping the shorts into one
+    /// max-min entry would cap hundreds of flows at a single flow's fair
+    /// share and starve the queue they share with elephants.
+    fn demands(&self, tag: usize, epoch: SimDuration, headroom: f64) -> (Vec<Demand>, f64) {
+        let mut out = Vec::new();
+        let mut top_bytes = 0u64;
+        // An entry is a long-running flow only if its *guaranteed* count
+        // (count − error) is substantial: a 10-KB short flow can never
+        // guarantee more than 10 KB, while an elephant moves hundreds of
+        // KB per epoch. Entries that merely inherited an evicted counter
+        // under churn stay classified as short traffic.
+        const ELEPHANT_MIN_BYTES: u64 = 50_000;
+        // …or it has persisted in the top-K across epochs: a starved
+        // elephant moves few bytes per epoch but keeps reappearing,
+        // while 10-KB shorts cannot outlive one epoch.
+        const PERSIST_EPOCHS: u32 = 3;
+        for e in self.topk.top() {
+            let guaranteed = e.count - e.error;
+            let persisted = self.persist.get(&e.flow).copied().unwrap_or(0);
+            if guaranteed < ELEPHANT_MIN_BYTES && persisted < PERSIST_EPOCHS {
+                continue;
+            }
+            // subtract the full (over-)count so inherited short bytes are
+            // not double-counted in the short aggregate; for genuine
+            // elephants error ≈ 0 so demand is barely affected
+            top_bytes += e.count;
+            let rate = guaranteed as f64 * 8.0 / epoch.as_secs_f64();
+            out.push(Demand {
+                tag,
+                demand: rate * (1.0 + headroom),
+            });
+        }
+        let short_bytes = self.dequeued_bytes.saturating_sub(top_bytes);
+        let short_rate = short_bytes as f64 * 8.0 / epoch.as_secs_f64();
+        (out, short_rate)
+    }
+
+    fn reset_epoch(&mut self) {
+        // update flow persistence before forgetting the epoch's counts
+        let seen: std::collections::HashSet<FlowId> = self
+            .topk
+            .top()
+            .iter()
+            .filter(|e| e.count - e.error >= 11_000)
+            .map(|e| e.flow)
+            .collect();
+        self.persist.retain(|f, _| seen.contains(f));
+        for f in seen {
+            *self.persist.entry(f).or_insert(0) += 1;
+        }
+        self.topk.reset();
+        self.dequeued_bytes = 0;
+    }
+}
+
+/// Configuration of the dual-queue coexistence router.
+#[derive(Debug, Clone, Copy)]
+pub struct DualQueueConfig {
+    pub abc: AbcRouterConfig,
+    pub policy: WeightPolicy,
+    /// Per-queue buffer (packets).
+    pub buffer_pkts: usize,
+    /// Weight-update epoch.
+    pub epoch: SimDuration,
+    /// Track this many heavy hitters per queue.
+    pub top_k: usize,
+    /// Weight clamp, keeps either class from starving entirely.
+    pub min_weight: f64,
+}
+
+impl Default for DualQueueConfig {
+    fn default() -> Self {
+        DualQueueConfig {
+            abc: AbcRouterConfig::default(),
+            policy: WeightPolicy::MaxMin { headroom: 0.10 },
+            buffer_pkts: 250,
+            epoch: SimDuration::from_millis(200),
+            top_k: 20,
+            min_weight: 0.05,
+        }
+    }
+}
+
+/// The dual-queue qdisc.
+pub struct DualQueue {
+    cfg: DualQueueConfig,
+    /// The ABC class: a full ABC router over its share of the link.
+    abc_q: AbcQdisc,
+    /// The legacy class: plain FIFO.
+    other_q: VecDeque<Packet>,
+    other_bytes: u64,
+    /// Scheduler virtual time: bytes served normalized by weight.
+    v_abc: f64,
+    v_other: f64,
+    w_abc: f64,
+    mu: Rate,
+    meter_abc: QueueMeter,
+    meter_other: QueueMeter,
+    epoch_start: Option<SimTime>,
+    /// EWMA of "the non-ABC queue is idle", so the ABC class's capacity
+    /// share ramps smoothly between its weighted share and the full link
+    /// instead of flapping 10× whenever the other queue drains for a
+    /// moment (which whipsaws ABC's control loop into overshoot).
+    other_idle: f64,
+    stats: QdiscStats,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Class {
+    Abc,
+    Other,
+}
+
+impl DualQueue {
+    pub fn new(cfg: DualQueueConfig) -> Self {
+        let abc_cfg = AbcRouterConfig {
+            buffer_pkts: cfg.buffer_pkts,
+            ..cfg.abc
+        };
+        let w0 = match cfg.policy {
+            WeightPolicy::Fixed(w) => w,
+            _ => 0.5,
+        };
+        DualQueue {
+            cfg,
+            abc_q: AbcQdisc::new(abc_cfg),
+            other_q: VecDeque::new(),
+            other_bytes: 0,
+            v_abc: 0.0,
+            v_other: 0.0,
+            w_abc: w0.clamp(cfg.min_weight, 1.0 - cfg.min_weight),
+            mu: Rate::ZERO,
+            meter_abc: QueueMeter::new(cfg.top_k, 0x5eed_0001),
+            meter_other: QueueMeter::new(cfg.top_k, 0x5eed_0002),
+            epoch_start: None,
+            other_idle: 1.0,
+            stats: QdiscStats::default(),
+        }
+    }
+
+    pub fn weight_abc(&self) -> f64 {
+        self.w_abc
+    }
+
+    pub fn abc_queue(&self) -> &AbcQdisc {
+        &self.abc_q
+    }
+
+    pub fn other_len_pkts(&self) -> usize {
+        self.other_q.len()
+    }
+
+    /// Which class the scheduler serves next (weighted virtual time; work
+    /// conserving when one class is idle).
+    fn choose(&self) -> Option<Class> {
+        let abc_empty = self.abc_q.is_empty();
+        let other_empty = self.other_q.is_empty();
+        match (abc_empty, other_empty) {
+            (true, true) => None,
+            (false, true) => Some(Class::Abc),
+            (true, false) => Some(Class::Other),
+            (false, false) => {
+                if self.v_abc <= self.v_other {
+                    Some(Class::Abc)
+                } else {
+                    Some(Class::Other)
+                }
+            }
+        }
+    }
+
+    fn maybe_update_weights(&mut self, now: SimTime) {
+        let start = *self.epoch_start.get_or_insert(now);
+        if now.since(start) < self.cfg.epoch {
+            return;
+        }
+        self.epoch_start = Some(now);
+        let epoch = self.cfg.epoch;
+        let w = match self.cfg.policy {
+            WeightPolicy::Fixed(w) => w,
+            WeightPolicy::MaxMin { headroom } => {
+                let (mut demands, short_abc) = self.meter_abc.demands(0, epoch, headroom);
+                let (other_demands, short_other) =
+                    self.meter_other.demands(1, epoch, headroom);
+                demands.extend(other_demands);
+                // A persistently backlogged class is *not* demand-limited:
+                // its serviced rate understates what its elephants want
+                // (measured×(1+X) would freeze a starved class at its
+                // current share). Let such elephants enter the water-fill
+                // as unsatisfied so they get equalized at the fair share.
+                let abc_backlogged = self.abc_q.len_pkts() > 20;
+                let other_backlogged = self.other_q.len() > 20;
+                for d in demands.iter_mut() {
+                    let backlogged = if d.tag == 0 {
+                        abc_backlogged
+                    } else {
+                        other_backlogged
+                    };
+                    if backlogged {
+                        d.demand = d.demand.max(self.mu.bps());
+                    }
+                }
+                // A backlogged class with no measurable elephants (flows
+                // in timeout move too few bytes to register) still has
+                // demand: the standing queue is the evidence.
+                if abc_backlogged && !demands.iter().any(|d| d.tag == 0) {
+                    demands.push(Demand {
+                        tag: 0,
+                        demand: self.mu.bps(),
+                    });
+                }
+                if other_backlogged && !demands.iter().any(|d| d.tag == 1) {
+                    demands.push(Demand {
+                        tag: 1,
+                        demand: self.mu.bps(),
+                    });
+                }
+                if (demands.is_empty() && short_abc + short_other <= 0.0)
+                    || self.mu.is_zero()
+                {
+                    self.w_abc
+                } else {
+                    // grant the inelastic short aggregates off the top
+                    // (with the same headroom so their service can grow),
+                    // then max-min the elephants over what remains
+                    let shorts = (short_abc + short_other) * (1.0 + headroom);
+                    let remaining = (self.mu.bps() - shorts).max(self.mu.bps() * 0.05);
+                    let alloc = max_min_allocate(&demands, remaining);
+                    let abc_share: f64 = alloc
+                        .iter()
+                        .filter(|a| a.tag == 0)
+                        .map(|a| a.allocated)
+                        .sum::<f64>()
+                        + short_abc * (1.0 + headroom);
+                    // §5.2: "it sets the weight of each queue to be equal
+                    // to the total max-min rate allocation of its flows" —
+                    // normalize by capacity, not by the total allocation:
+                    // ABC's η-headroom (it deliberately uses 98% of its
+                    // share) must not compound into a shrinking weight.
+                    if self.mu.is_zero() {
+                        self.w_abc
+                    } else {
+                        abc_share / self.mu.bps()
+                    }
+                }
+            }
+            WeightPolicy::ZombieList => {
+                let na = self.meter_abc.zombies.flow_count();
+                let no = self.meter_other.zombies.flow_count();
+                if na + no <= 0.0 {
+                    self.w_abc
+                } else {
+                    na / (na + no)
+                }
+            }
+        };
+        // Slew-limit the weight: a class arrival can halve the computed
+        // allocation in a single epoch, but applying that step instantly
+        // leaves the ABC class targeting a stale capacity for a full
+        // control lag — the queue overshoots, drops, and the measured-rate
+        // demand estimate collapses into a self-sustaining starvation.
+        // Bounding the per-epoch change keeps both classes' control loops
+        // inside their stable region while the weights converge.
+        const MAX_STEP: f64 = 0.05;
+        let target = w.clamp(self.cfg.min_weight, 1.0 - self.cfg.min_weight);
+        let step = (target - self.w_abc).clamp(-MAX_STEP, MAX_STEP);
+        self.w_abc += step;
+        self.meter_abc.reset_epoch();
+        self.meter_other.reset_epoch();
+    }
+
+    /// Capacity the ABC control law should target: its weighted share,
+    /// blending up to the whole link as the other class goes idle (work
+    /// conservation, smoothed over ~500 packets).
+    fn abc_share(&self) -> Rate {
+        self.mu * (self.w_abc + (1.0 - self.w_abc) * self.other_idle)
+    }
+}
+
+impl Qdisc for DualQueue {
+    netsim::impl_qdisc_downcast!();
+
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+        self.maybe_update_weights(now);
+        if pkt.abc_capable {
+            let ok = self.abc_q.enqueue(pkt, now);
+            if !ok {
+                self.stats.dropped_pkts += 1;
+            } else {
+                self.stats.enqueued_pkts += 1;
+            }
+            ok
+        } else {
+            if self.other_q.len() >= self.cfg.buffer_pkts {
+                self.stats.dropped_pkts += 1;
+                return false;
+            }
+            pkt.enqueued_at = now;
+            self.other_bytes += pkt.size as u64;
+            self.other_q.push_back(pkt);
+            self.stats.enqueued_pkts += 1;
+            true
+        }
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.maybe_update_weights(now);
+        const IDLE_ALPHA: f64 = 0.02;
+        self.other_idle +=
+            IDLE_ALPHA * ((self.other_q.is_empty() as u8 as f64) - self.other_idle);
+        // the ABC class computes its feedback against its current share
+        self.abc_q.on_capacity(self.abc_share(), now);
+        let class = self.choose()?;
+        let pkt = match class {
+            Class::Abc => {
+                let p = self.abc_q.dequeue(now)?;
+                self.v_abc += p.size as f64 / self.w_abc.max(1e-6);
+                self.meter_abc.on_dequeue(p.flow, p.size as u64);
+                p
+            }
+            Class::Other => {
+                let p = self.other_q.pop_front()?;
+                self.other_bytes -= p.size as u64;
+                self.v_other += p.size as f64 / (1.0 - self.w_abc).max(1e-6);
+                self.meter_other.on_dequeue(p.flow, p.size as u64);
+                p
+            }
+        };
+        // keep idle-class virtual time from falling behind unboundedly
+        let vmin = self.v_abc.min(self.v_other);
+        self.v_abc -= vmin;
+        self.v_other -= vmin;
+        self.stats.dequeued_pkts += 1;
+        self.stats.dequeued_bytes += pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn peek_size(&self) -> Option<u32> {
+        match self.choose()? {
+            Class::Abc => self.abc_q.peek_size(),
+            Class::Other => self.other_q.front().map(|p| p.size),
+        }
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.abc_q.len_pkts() + self.other_q.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.abc_q.len_bytes() + self.other_bytes
+    }
+
+    fn on_capacity(&mut self, rate: Rate, _now: SimTime) {
+        self.mu = rate;
+    }
+
+    fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
+        match self.choose()? {
+            Class::Abc => self.abc_q.head_sojourn(now),
+            Class::Other => self.other_q.front().map(|p| now.since(p.enqueued_at)),
+        }
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Ecn, Feedback, NodeId, Route};
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn pkt(flow: u32, abc: bool, seq: u64) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            seq,
+            size: 1500,
+            ecn: if abc { Ecn::Accelerate } else { Ecn::NotEct },
+            feedback: Feedback::None,
+            abc_capable: abc,
+            sent_at: SimTime::ZERO,
+            retransmit: false,
+            ack: None,
+            route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
+            hop: 0,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn classifies_by_abc_flag() {
+        let mut q = DualQueue::new(DualQueueConfig::default());
+        q.enqueue(pkt(1, true, 0), at(0));
+        q.enqueue(pkt(2, false, 0), at(0));
+        assert_eq!(q.abc_queue().len_pkts(), 1);
+        assert_eq!(q.other_len_pkts(), 1);
+    }
+
+    #[test]
+    fn fixed_weights_split_service() {
+        let mut q = DualQueue::new(DualQueueConfig {
+            policy: WeightPolicy::Fixed(0.75),
+            ..Default::default()
+        });
+        q.on_capacity(Rate::from_mbps(12.0), at(0));
+        // keep both queues backlogged, observe the service mix
+        let mut abc_served = 0;
+        let mut other_served = 0;
+        let mut seq = 0;
+        for t in 0..400u64 {
+            q.enqueue(pkt(1, true, seq), at(t));
+            q.enqueue(pkt(2, false, seq), at(t));
+            seq += 1;
+            if let Some(p) = q.dequeue(at(t)) {
+                if p.abc_capable {
+                    abc_served += 1;
+                } else {
+                    other_served += 1;
+                }
+            }
+        }
+        let share = abc_served as f64 / (abc_served + other_served) as f64;
+        assert!((share - 0.75).abs() < 0.05, "abc share {share}");
+    }
+
+    #[test]
+    fn work_conserving_when_one_class_idle() {
+        let mut q = DualQueue::new(DualQueueConfig {
+            policy: WeightPolicy::Fixed(0.5),
+            ..Default::default()
+        });
+        q.on_capacity(Rate::from_mbps(12.0), at(0));
+        for i in 0..10 {
+            q.enqueue(pkt(1, true, i), at(0));
+        }
+        for i in 0..10 {
+            assert!(q.dequeue(at(i)).is_some(), "must serve the busy class");
+        }
+    }
+
+    #[test]
+    fn maxmin_weights_track_demand() {
+        let mut q = DualQueue::new(DualQueueConfig {
+            policy: WeightPolicy::MaxMin { headroom: 0.10 },
+            epoch: SimDuration::from_millis(100),
+            ..Default::default()
+        });
+        q.on_capacity(Rate::from_mbps(12.0), at(0));
+        // one elephant per class, balanced load → weight near 0.5
+        let mut seq = 0;
+        for t in 0..2000u64 {
+            q.enqueue(pkt(1, true, seq), at(t));
+            q.enqueue(pkt(2, false, seq), at(t));
+            seq += 1;
+            q.dequeue(at(t));
+            q.dequeue(at(t));
+        }
+        assert!(
+            (q.weight_abc() - 0.5).abs() < 0.15,
+            "weight {}",
+            q.weight_abc()
+        );
+    }
+
+    #[test]
+    fn zombie_list_estimates_flow_count() {
+        let mut z = ZombieList::new(100, 42);
+        // 4 flows, uniform traffic
+        for i in 0..20_000u32 {
+            z.observe(FlowId(i % 4));
+        }
+        let n = z.flow_count();
+        assert!((n - 4.0).abs() < 1.5, "estimated {n} flows");
+        // many flows → larger estimate
+        let mut z2 = ZombieList::new(100, 43);
+        for i in 0..20_000u32 {
+            z2.observe(FlowId(i % 40));
+        }
+        assert!(z2.flow_count() > 20.0, "estimated {}", z2.flow_count());
+    }
+
+    #[test]
+    fn abc_share_blends_toward_weight_when_other_busy() {
+        let mut q = DualQueue::new(DualQueueConfig {
+            policy: WeightPolicy::Fixed(0.3),
+            ..Default::default()
+        });
+        q.on_capacity(Rate::from_mbps(10.0), at(0));
+        // other class idle since start → full link
+        assert!((q.abc_share().mbps() - 10.0).abs() < 1e-9);
+        // keep the other class backlogged: the idle EWMA decays and the
+        // share approaches the 30% weight
+        let mut seq = 0;
+        for t in 0..4000u64 {
+            q.enqueue(pkt(1, true, seq), at(t));
+            q.enqueue(pkt(2, false, seq), at(t));
+            seq += 1;
+            q.dequeue(at(t));
+        }
+        let share = q.abc_share().mbps();
+        assert!(
+            (share - 3.0).abs() < 0.4,
+            "share {share} should approach w·µ = 3"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # abc-core — Accel-Brake Control
+//!
+//! The primary contribution of *ABC: A Simple Explicit Congestion
+//! Controller for Wireless Networks* (NSDI 2020), reproduced in full:
+//!
+//! * [`sender`] — the ABC congestion controller (Eq. 3 window updates,
+//!   additive increase for fairness, the dual `w_abc`/`w_nonabc` windows of
+//!   §5.1.1 with Cubic fallback, and the 2×-in-flight caps);
+//! * [`router`] — the ABC queueing discipline (target rate Eq. 1, marking
+//!   fraction Eq. 2, deterministic token-bucket marking Algorithm 1,
+//!   per-packet feedback recomputation, dequeue- vs enqueue-rate ablation);
+//! * [`coexist`] — the dual-queue router isolating ABC from legacy flows,
+//!   with the max-min weight policy (§5.2) and the RCP Zombie-List
+//!   baseline it is compared against;
+//! * [`topk`] — Space-Saving top-K flow measurement;
+//! * [`maxmin`] — water-filling max-min fair allocation;
+//! * [`stability`] — Theorem 3.1: the `δ > ⅔·τ` criterion, fluid-model
+//!   fixed points, and a delay-differential integrator for the stability
+//!   sweep bench.
+//!
+//! ECN-bit reinterpretation (§5.1.2) lives in [`netsim::packet::Ecn`]: the
+//! sender stamps every data packet ECT(1) (= accelerate), routers demote to
+//! ECT(0) (= brake) and never promote, and legacy CE (11) still means
+//! congestion — which is what lets ABC ride existing ECN plumbing.
+
+pub mod coexist;
+pub mod maxmin;
+pub mod router;
+pub mod sender;
+pub mod stability;
+pub mod topk;
+
+pub use coexist::{DualQueue, DualQueueConfig, WeightPolicy};
+pub use maxmin::{max_min_allocate, Allocation, Demand};
+pub use router::{AbcQdisc, AbcRouterConfig, EcnDialect, FeedbackBasis, MarkingMode};
+pub use sender::{AbcSender, AbcSenderConfig};
+pub use topk::SpaceSaving;

@@ -1,0 +1,179 @@
+//! Water-filling max-min fair allocation.
+//!
+//! §5.2: the ABC router estimates per-flow demands (top-K flows are assumed
+//! to want X% more than they currently get; short-flow aggregates exactly
+//! what they get), computes the max-min fair allocation of the link among
+//! those demands, and sets each queue's scheduler weight to the sum of its
+//! flows' allocations.
+
+/// One demand entering the allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demand {
+    /// Opaque tag the caller uses to map allocations back (e.g. queue id).
+    pub tag: usize,
+    /// Requested rate (any consistent unit; bit/s here).
+    pub demand: f64,
+}
+
+/// Result of the allocation for one demand, same order as the input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Allocation {
+    pub tag: usize,
+    pub demand: f64,
+    pub allocated: f64,
+}
+
+/// Progressive-filling max-min: repeatedly divide remaining capacity
+/// equally among unsatisfied demands; demands below the fair share are
+/// granted fully and removed.
+///
+/// Properties (checked by the property tests below):
+/// * Σ allocated ≤ capacity, with equality when Σ demand ≥ capacity;
+/// * allocated ≤ demand for every entry;
+/// * any two unsatisfied demands receive equal allocations.
+pub fn max_min_allocate(demands: &[Demand], capacity: f64) -> Vec<Allocation> {
+    assert!(capacity >= 0.0 && capacity.is_finite());
+    let mut alloc: Vec<Allocation> = demands
+        .iter()
+        .map(|d| {
+            assert!(d.demand >= 0.0 && d.demand.is_finite(), "bad demand");
+            Allocation {
+                tag: d.tag,
+                demand: d.demand,
+                allocated: 0.0,
+            }
+        })
+        .collect();
+
+    let mut remaining = capacity;
+    let mut unsatisfied: Vec<usize> = (0..alloc.len()).collect();
+    while !unsatisfied.is_empty() && remaining > 1e-9 {
+        let share = remaining / unsatisfied.len() as f64;
+        let mut granted_fully = Vec::new();
+        for &i in &unsatisfied {
+            let want = alloc[i].demand - alloc[i].allocated;
+            if want <= share {
+                alloc[i].allocated = alloc[i].demand;
+                remaining -= want;
+                granted_fully.push(i);
+            }
+        }
+        if granted_fully.is_empty() {
+            // everyone takes the equal share and is capped by capacity
+            for &i in &unsatisfied {
+                alloc[i].allocated += share;
+            }
+            break;
+        }
+        unsatisfied.retain(|i| !granted_fully.contains(i));
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(tag: usize, demand: f64) -> Demand {
+        Demand { tag, demand }
+    }
+
+    #[test]
+    fn under_subscribed_grants_everything() {
+        let a = max_min_allocate(&[d(0, 10.0), d(1, 20.0)], 100.0);
+        assert_eq!(a[0].allocated, 10.0);
+        assert_eq!(a[1].allocated, 20.0);
+    }
+
+    #[test]
+    fn over_subscribed_splits_equally() {
+        let a = max_min_allocate(&[d(0, 100.0), d(1, 100.0)], 60.0);
+        assert!((a[0].allocated - 30.0).abs() < 1e-9);
+        assert!((a[1].allocated - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_demand_filled_then_rest_split() {
+        // classic water-filling: demands 10, 100, 100 over 90
+        // → 10 granted; remaining 80 split 40/40
+        let a = max_min_allocate(&[d(0, 10.0), d(1, 100.0), d(2, 100.0)], 90.0);
+        assert!((a[0].allocated - 10.0).abs() < 1e-9);
+        assert!((a[1].allocated - 40.0).abs() < 1e-9);
+        assert!((a[2].allocated - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_short_flow_scenario() {
+        // The RCP-zombie-list failure mode (§5.2): queue A has one elephant
+        // (demand 100) and many mice (aggregate demand 5, inelastic);
+        // queue B has one elephant (demand 100). Capacity 85.
+        // Max-min: mice get 5, elephants get 40 each → queue weights
+        // 45 vs 40, *not* 50/50-by-flow-count.
+        let a = max_min_allocate(&[d(0, 100.0), d(0, 5.0), d(1, 100.0)], 85.0);
+        let qa: f64 = a.iter().filter(|x| x.tag == 0).map(|x| x.allocated).sum();
+        let qb: f64 = a.iter().filter(|x| x.tag == 1).map(|x| x.allocated).sum();
+        assert!((qa - 45.0).abs() < 1e-9, "queue A got {qa}");
+        assert!((qb - 40.0).abs() < 1e-9, "queue B got {qb}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(max_min_allocate(&[], 10.0).is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_grants_nothing() {
+        let a = max_min_allocate(&[d(0, 5.0)], 0.0);
+        assert_eq!(a[0].allocated, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn never_exceeds_demand_or_capacity(
+            demands in proptest::collection::vec(0.0f64..1000.0, 1..20),
+            capacity in 0.0f64..5000.0,
+        ) {
+            let ds: Vec<Demand> = demands
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| d(i, x))
+                .collect();
+            let a = max_min_allocate(&ds, capacity);
+            let total: f64 = a.iter().map(|x| x.allocated).sum();
+            prop_assert!(total <= capacity + 1e-6);
+            for x in &a {
+                prop_assert!(x.allocated <= x.demand + 1e-6);
+                prop_assert!(x.allocated >= -1e-12);
+            }
+            // work conservation: either all demand met or capacity used up
+            let demand_total: f64 = demands.iter().sum();
+            if demand_total >= capacity {
+                prop_assert!((total - capacity).abs() < 1e-6 * capacity.max(1.0));
+            } else {
+                prop_assert!((total - demand_total).abs() < 1e-6 * demand_total.max(1.0));
+            }
+        }
+
+        #[test]
+        fn unsatisfied_demands_get_equal_shares(
+            demands in proptest::collection::vec(1.0f64..1000.0, 2..20),
+            capacity in 1.0f64..2000.0,
+        ) {
+            let ds: Vec<Demand> = demands
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| d(i, x))
+                .collect();
+            let a = max_min_allocate(&ds, capacity);
+            let unsat: Vec<f64> = a
+                .iter()
+                .filter(|x| x.allocated < x.demand - 1e-6)
+                .map(|x| x.allocated)
+                .collect();
+            for w in unsat.windows(2) {
+                prop_assert!((w[0] - w[1]).abs() < 1e-6, "unequal: {:?}", unsat);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Fluid-model stability analysis (§3.1.4, Theorem 3.1, Appendix A).
+//!
+//! The queuing-delay dynamics of a single ABC link with N flows reduce to
+//! the delay-differential equation
+//!
+//! ```text
+//! ẋ(t) = A − (1/δ)·(x(t−τ) − dt)⁺,   A = (η−1) + N/(µ·l)
+//! ```
+//!
+//! (µ in packets/s, `l` the seconds-per-packet additive increase). Yorke's
+//! condition gives global asymptotic stability iff δ > ⅔·τ. This module
+//! computes the criterion, the fixed points, and integrates the fluid model
+//! so the stability bench can sweep δ/τ and exhibit the boundary.
+
+use netsim::rate::Rate;
+use netsim::time::SimDuration;
+
+/// Theorem 3.1: ABC is globally asymptotically stable if δ > ⅔·τ.
+pub fn is_stable(delta: SimDuration, max_rtt: SimDuration) -> bool {
+    3 * delta.as_nanos() > 2 * max_rtt.as_nanos()
+}
+
+/// The constant `A` of the fluid model.
+///
+/// * `eta` — target utilization;
+/// * `n_flows` — number of ABC flows;
+/// * `mu` — link capacity;
+/// * `pkt_bytes` — packet size (converts µ to packets/s);
+/// * `ai_interval` — seconds per +1-packet additive increase (`l`; one RTT
+///   for the Eq. 3 sender).
+pub fn fluid_a(eta: f64, n_flows: u32, mu: Rate, pkt_bytes: u32, ai_interval: f64) -> f64 {
+    assert!(ai_interval > 0.0);
+    let mu_pps = mu.bps() / (8.0 * pkt_bytes as f64);
+    assert!(mu_pps > 0.0, "zero capacity");
+    (eta - 1.0) + n_flows as f64 / (mu_pps * ai_interval)
+}
+
+/// Fixed point of the queuing delay: `x* = A·δ + dt` when `A > 0`, else 0.
+pub fn fixed_point_delay(a: f64, delta: SimDuration, dt: SimDuration) -> SimDuration {
+    if a <= 0.0 {
+        SimDuration::ZERO
+    } else {
+        dt + delta.mul_f64(a)
+    }
+}
+
+/// Result of integrating the fluid model.
+#[derive(Debug, Clone)]
+pub struct FluidTrace {
+    /// (time s, queuing delay s) samples.
+    pub samples: Vec<(f64, f64)>,
+    /// Largest |x − x*| over the final quarter of the horizon.
+    pub residual: f64,
+    pub fixed_point: f64,
+}
+
+/// Integrate `ẋ = A − (1/δ)(x(t−τ) − dt)⁺` by forward Euler with history.
+///
+/// * `x0` — initial queuing delay (s);
+/// * `horizon` — integration length (s);
+/// * `step` — Euler step (s).
+pub fn integrate_fluid(
+    a: f64,
+    delta: SimDuration,
+    dt: SimDuration,
+    tau: SimDuration,
+    x0: f64,
+    horizon: f64,
+    step: f64,
+) -> FluidTrace {
+    assert!(step > 0.0 && horizon > step);
+    let delta_s = delta.as_secs_f64();
+    let dt_s = dt.as_secs_f64();
+    let tau_s = tau.as_secs_f64();
+    let lag = (tau_s / step).round() as usize;
+    let n = (horizon / step).ceil() as usize;
+    let mut xs = Vec::with_capacity(n + 1);
+    xs.push(x0);
+    for i in 0..n {
+        let delayed = if i >= lag { xs[i - lag] } else { x0 };
+        let dx = a - (delayed - dt_s).max(0.0) / delta_s;
+        let next = (xs[i] + dx * step).max(0.0);
+        xs.push(next);
+    }
+    let fixed_point = if a <= 0.0 { 0.0 } else { a * delta_s + dt_s };
+    let tail_start = n * 3 / 4;
+    let residual = xs[tail_start..]
+        .iter()
+        .map(|x| (x - fixed_point).abs())
+        .fold(0.0, f64::max);
+    let samples = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 * step, x))
+        .collect();
+    FluidTrace {
+        samples,
+        residual,
+        fixed_point,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn criterion_boundary() {
+        // paper's setting: δ = 133 ms for τ = 100 ms → stable
+        assert!(is_stable(ms(133), ms(100)));
+        // δ = 50 ms for τ = 100 ms violates δ > 66.7 ms
+        assert!(!is_stable(ms(50), ms(100)));
+        // boundary: δ = 2τ/3 exactly is NOT stable (strict inequality)
+        assert!(!is_stable(SimDuration::from_nanos(2_000), SimDuration::from_nanos(3_000)));
+        assert!(is_stable(SimDuration::from_nanos(2_001), SimDuration::from_nanos(3_000)));
+    }
+
+    #[test]
+    fn fluid_a_signs() {
+        // η=0.98, many flows on a slow link → A > 0 (standing queue)
+        let a_pos = fluid_a(0.98, 50, Rate::from_mbps(12.0), 1500, 0.1);
+        assert!(a_pos > 0.0);
+        // 1 flow on a fast link → A < 0 (queue drains)
+        let a_neg = fluid_a(0.98, 1, Rate::from_mbps(96.0), 1500, 0.1);
+        assert!(a_neg < 0.0);
+    }
+
+    #[test]
+    fn stable_parameters_converge() {
+        // δ = 133 ms, τ = 100 ms, A > 0: residual shrinks to ~0
+        let a = 0.05;
+        let tr = integrate_fluid(a, ms(133), ms(20), ms(100), 0.5, 20.0, 1e-3);
+        assert!(
+            tr.residual < 1e-3,
+            "did not converge: residual {}",
+            tr.residual
+        );
+        assert!((tr.fixed_point - (0.05 * 0.133 + 0.020)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_parameters_oscillate() {
+        // δ = 20 ms ≪ ⅔·100 ms: sustained oscillation, residual stays large
+        let a = 0.05;
+        let tr = integrate_fluid(a, ms(20), ms(20), ms(100), 0.5, 20.0, 1e-3);
+        assert!(
+            tr.residual > 0.01,
+            "expected oscillation, residual {}",
+            tr.residual
+        );
+    }
+
+    #[test]
+    fn negative_a_drains_queue() {
+        let tr = integrate_fluid(-0.1, ms(133), ms(20), ms(100), 0.5, 30.0, 1e-3);
+        assert_eq!(tr.fixed_point, 0.0);
+        assert!(tr.residual < 1e-6, "queue should empty: {}", tr.residual);
+    }
+
+    #[test]
+    fn fixed_point_formula() {
+        assert_eq!(fixed_point_delay(-1.0, ms(133), ms(20)), SimDuration::ZERO);
+        let fp = fixed_point_delay(0.1, ms(133), ms(20));
+        assert_eq!(fp, ms(20) + SimDuration::from_micros(13_300));
+    }
+}

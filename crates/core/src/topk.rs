@@ -1,0 +1,142 @@
+//! Space-Saving top-K heavy hitters [Metwally et al., ICDT 2005].
+//!
+//! The ABC router's coexistence logic (§5.2) measures the rate of the K
+//! largest flows in each queue with O(K) state; everything else is treated
+//! as short-flow aggregate.
+
+use netsim::packet::FlowId;
+use std::collections::HashMap;
+
+/// One monitored flow: estimated count and maximum possible overestimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopEntry {
+    pub flow: FlowId,
+    pub count: u64,
+    pub error: u64,
+}
+
+/// The Space-Saving sketch over byte counts.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    k: usize,
+    counts: HashMap<FlowId, (u64, u64)>, // flow -> (count, error)
+}
+
+impl SpaceSaving {
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        SpaceSaving {
+            k,
+            counts: HashMap::with_capacity(k + 1),
+        }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Record `bytes` for `flow`.
+    pub fn record(&mut self, flow: FlowId, bytes: u64) {
+        if let Some((c, _)) = self.counts.get_mut(&flow) {
+            *c += bytes;
+            return;
+        }
+        if self.counts.len() < self.k {
+            self.counts.insert(flow, (bytes, 0));
+            return;
+        }
+        // evict the current minimum; the newcomer inherits its count as
+        // the overestimation error
+        let (&victim, &(min_count, _)) = self
+            .counts
+            .iter()
+            .min_by_key(|(_, &(c, _))| c)
+            .expect("non-empty by construction");
+        self.counts.remove(&victim);
+        self.counts.insert(flow, (min_count + bytes, min_count));
+    }
+
+    /// Current top-K entries, largest first.
+    pub fn top(&self) -> Vec<TopEntry> {
+        let mut v: Vec<TopEntry> = self
+            .counts
+            .iter()
+            .map(|(&flow, &(count, error))| TopEntry { flow, count, error })
+            .collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.flow.cmp(&b.flow)));
+        v
+    }
+
+    /// Total bytes attributed to monitored flows (upper bound).
+    pub fn monitored_bytes(&self) -> u64 {
+        self.counts.values().map(|&(c, _)| c).sum()
+    }
+
+    /// Forget all counts (called at each weight-update epoch).
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_under_k() {
+        let mut s = SpaceSaving::new(4);
+        s.record(FlowId(1), 100);
+        s.record(FlowId(2), 50);
+        s.record(FlowId(1), 100);
+        let top = s.top();
+        assert_eq!(top[0].flow, FlowId(1));
+        assert_eq!(top[0].count, 200);
+        assert_eq!(top[0].error, 0);
+        assert_eq!(top[1].count, 50);
+    }
+
+    #[test]
+    fn heavy_hitters_survive_churn() {
+        let mut s = SpaceSaving::new(3);
+        // two elephants + a parade of mice
+        for i in 0..1000u32 {
+            s.record(FlowId(100), 1000);
+            s.record(FlowId(200), 800);
+            s.record(FlowId(i % 50), 10); // 50 rotating mice
+        }
+        let top = s.top();
+        assert_eq!(top[0].flow, FlowId(100));
+        assert_eq!(top[1].flow, FlowId(200));
+        // elephant counts are overestimates by at most `error`
+        assert!(top[0].count >= 1_000_000);
+        assert!(top[0].count - top[0].error <= 1_000_000 + 10_000);
+    }
+
+    #[test]
+    fn guaranteed_count_lower_bound() {
+        let mut s = SpaceSaving::new(2);
+        for _ in 0..100 {
+            s.record(FlowId(1), 10);
+        }
+        s.record(FlowId(2), 5);
+        s.record(FlowId(3), 5); // evicts FlowId(2), inherits its count
+        let top = s.top();
+        let f3 = top.iter().find(|e| e.flow == FlowId(3)).unwrap();
+        assert!(f3.count - f3.error == 5, "true contribution recoverable");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = SpaceSaving::new(2);
+        s.record(FlowId(1), 10);
+        s.reset();
+        assert!(s.top().is_empty());
+        assert_eq!(s.monitored_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerate any table/figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin figgen            # list figures
+//! cargo run --release -p experiments --bin figgen fig8       # one figure
+//! cargo run --release -p experiments --bin figgen all        # everything
+//! cargo run --release -p experiments --bin figgen fig8 --fast  # CI scale
+//! ```
+
+use experiments::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let all = figures::all();
+
+    if which.is_empty() {
+        eprintln!("figures available:");
+        for (id, desc, _) in &all {
+            eprintln!("  {id:<10} {desc}");
+        }
+        eprintln!("usage: figgen <id>|all [--fast]");
+        std::process::exit(2);
+    }
+
+    for name in which {
+        if name == "all" {
+            for (id, _, f) in &all {
+                eprintln!(">>> {id}");
+                println!("{}", f(fast));
+            }
+            continue;
+        }
+        match all.iter().find(|(id, ..)| id == name) {
+            Some((_, _, f)) => println!("{}", f(fast)),
+            None => {
+                eprintln!("unknown figure {name:?}; run with no args for the list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

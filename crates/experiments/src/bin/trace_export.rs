@@ -1,0 +1,29 @@
+//! Export the built-in synthetic cellular traces as Mahimahi-format files
+//! (one delivery-opportunity timestamp in ms per line), so they can be
+//! used with real Mahimahi or inspected directly.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin trace_export [out_dir]
+//! ```
+
+use std::fs::{self, File};
+use std::io::BufWriter;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "traces".to_string());
+    fs::create_dir_all(&out_dir)?;
+    for trace in cellular::all_builtin() {
+        let path = format!("{out_dir}/{}.pps", trace.name.to_lowercase());
+        let f = File::create(&path)?;
+        trace.write_mahimahi(BufWriter::new(f))?;
+        println!(
+            "{path}: {} opportunities over {:.0} s, mean {:.2} Mbit/s",
+            trace.opportunities.len(),
+            trace.duration().as_secs_f64(),
+            trace.mean_rate().mbps()
+        );
+    }
+    Ok(())
+}

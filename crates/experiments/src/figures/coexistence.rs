@@ -1,0 +1,338 @@
+//! Coexistence figures: Fig. 6 (non-ABC bottleneck, dual windows), Fig. 7
+//! (dual queue vs Cubic), Fig. 11 (cross traffic), Fig. 12 (max-min vs
+//! Zombie-List under short-flow load), Fig. 13 (application-limited flows).
+
+use crate::report::sparkline;
+use crate::scenario::{CellScenario, LinkSpec};
+use crate::scheme::Scheme;
+use crate::topos::{CoexistScenario, CrossTraffic, MixedPathScenario};
+use abc_core::coexist::WeightPolicy;
+use netsim::flow::TrafficSource;
+use netsim::rate::Rate;
+use netsim::time::{SimDuration, SimTime};
+use std::fmt::Write;
+
+/// Fig. 6: wireless rate steps every 5 s; a 12 Mbit/s wired droptail link
+/// sits behind it. The flow must obey whichever window is tighter.
+pub fn fig6(fast: bool) -> String {
+    let steps_s: &[(u64, f64)] = &[
+        (0, 16.0),
+        (5, 9.0),
+        (10, 5.0),
+        (15, 14.0),
+        (20, 7.0),
+        (25, 18.0),
+        (30, 16.0),
+    ];
+    let reps = if fast { 1 } else { 5 };
+    let mut schedule = Vec::new();
+    for rep in 0..reps {
+        for &(t, r) in steps_s {
+            schedule.push((
+                SimTime::ZERO + SimDuration::from_secs(rep * 35 + t),
+                Rate::from_mbps(r),
+            ));
+        }
+    }
+    let duration = SimDuration::from_secs(reps * 35);
+    let res = MixedPathScenario {
+        wireless: LinkSpec::Steps(schedule),
+        wired_rate: Rate::from_mbps(12.0),
+        rtt: SimDuration::from_millis(100),
+        buffer_pkts: 250,
+        cross: CrossTraffic::None,
+        duration,
+    }
+    .run();
+    let mut out = String::new();
+    writeln!(out, "# Fig 6 — coexistence with a non-ABC (wired) bottleneck").unwrap();
+    let wabc: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, a, _, _)| (t, a)).collect();
+    let wnon: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, _, n, _)| (t, n)).collect();
+    let good: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, _, _, g)| (t, g)).collect();
+    writeln!(out, "wireless cap: {}", sparkline(&res.report.capacity_series, 60)).unwrap();
+    writeln!(out, "goodput     : {}", sparkline(&good, 60)).unwrap();
+    writeln!(out, "w_abc       : {}", sparkline(&wabc, 60)).unwrap();
+    writeln!(out, "w_cubic     : {}", sparkline(&wnon, 60)).unwrap();
+    writeln!(out, "wireless qdelay: {}", sparkline(&res.wireless_qdelay, 60)).unwrap();
+    writeln!(out, "wired    qdelay: {}", sparkline(&res.wired_qdelay, 60)).unwrap();
+
+    // regime analysis: when wireless < 12 the wireless hop binds; goodput
+    // should track min(wireless, 12) throughout
+    let mut err = 0.0;
+    let mut n = 0;
+    for &(t, _, _, g) in &res.windows.samples {
+        if t < 3.0 {
+            continue; // ramp
+        }
+        let phase = (t as u64) % 35;
+        let wireless = steps_s
+            .iter()
+            .rev()
+            .find(|&&(s, _)| phase >= s)
+            .map(|&(_, r)| r)
+            .unwrap_or(16.0);
+        let ideal = wireless.min(12.0);
+        err += ((g - ideal) / ideal).abs();
+        n += 1;
+    }
+    writeln!(
+        out,
+        "mean |goodput − min(wireless, wired)| / ideal = {:.1}% over {n} samples",
+        err / n as f64 * 100.0
+    )
+    .unwrap();
+    out
+}
+
+/// Fig. 7: two ABC flows then two Cubic flows arrive one after another on
+/// a dual-queue 24 Mbit/s bottleneck.
+pub fn fig7(fast: bool) -> String {
+    let r = CoexistScenario {
+        link_rate: Rate::from_mbps(24.0),
+        n_abc: 2,
+        n_cubic: 2,
+        stagger: SimDuration::from_secs(if fast { 10 } else { 25 }),
+        duration: SimDuration::from_secs(if fast { 60 } else { 200 }),
+        warmup: SimDuration::from_secs(if fast { 25 } else { 80 }),
+        ..Default::default()
+    }
+    .run();
+    let mut out = String::new();
+    writeln!(out, "# Fig 7 — ABC and Cubic flows sharing a dual-queue ABC router").unwrap();
+    for (name, series) in &r.series {
+        writeln!(out, "{name:<8}: {}", sparkline(series, 60)).unwrap();
+    }
+    let abc_mean = r.abc_tputs.iter().sum::<f64>() / r.abc_tputs.len() as f64;
+    let cub_mean = r.cubic_tputs.iter().sum::<f64>() / r.cubic_tputs.len() as f64;
+    writeln!(
+        out,
+        "steady-state per-flow goodput: ABC {:.2} Mbit/s, Cubic {:.2} Mbit/s ({:+.1}% apart)",
+        abc_mean,
+        cub_mean,
+        (abc_mean - cub_mean) / cub_mean * 100.0
+    )
+    .unwrap();
+    writeln!(out, "ABC-class 95p queuing delay: {:.1} ms", r.abc_qdelay_p95_ms).unwrap();
+    out
+}
+
+/// Fig. 11: like Fig. 6 but with on-off Cubic cross traffic contending on
+/// the wired hop; ABC should track min(wireless, fair share of wired).
+pub fn fig11(fast: bool) -> String {
+    let dur = if fast { 40 } else { 80 };
+    let steps: Vec<(SimTime, Rate)> = (0..dur / 5)
+        .map(|i| {
+            let rates = [10.0, 6.0, 4.0, 8.0, 3.0, 9.0, 5.0, 7.0];
+            (
+                SimTime::ZERO + SimDuration::from_secs(i * 5),
+                Rate::from_mbps(rates[(i % 8) as usize]),
+            )
+        })
+        .collect();
+    let res = MixedPathScenario {
+        wireless: LinkSpec::Steps(steps.clone()),
+        wired_rate: Rate::from_mbps(12.0),
+        rtt: SimDuration::from_millis(100),
+        buffer_pkts: 250,
+        cross: CrossTraffic::OnOffCubic {
+            on: SimDuration::from_secs(20),
+            off: SimDuration::from_secs(10),
+        },
+        duration: SimDuration::from_secs(dur),
+    }
+    .run();
+    let mut out = String::new();
+    writeln!(out, "# Fig 11 — non-ABC bottleneck with on-off Cubic cross traffic").unwrap();
+    let good: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, _, _, g)| (t, g)).collect();
+    writeln!(out, "wireless cap : {}", sparkline(&res.report.capacity_series, 60)).unwrap();
+    writeln!(out, "ABC goodput  : {}", sparkline(&good, 60)).unwrap();
+    writeln!(out, "cross traffic: {}", sparkline(&res.cross_tput, 60)).unwrap();
+    writeln!(out, "wireless qdly: {}", sparkline(&res.wireless_qdelay, 60)).unwrap();
+
+    // tracking error against the ideal rate: min(wireless, wired fair share)
+    let mut err = 0.0;
+    let mut n = 0;
+    for &(t, _, _, g) in &res.windows.samples {
+        if t < 3.0 {
+            continue;
+        }
+        let wireless = steps
+            .iter()
+            .rev()
+            .find(|(s, _)| t >= s.as_secs_f64())
+            .map(|(_, r)| r.mbps())
+            .unwrap_or(10.0);
+        let cross_on = (t as u64) % 30 < 20;
+        let wired_share = if cross_on { 6.0 } else { 12.0 };
+        let ideal = wireless.min(wired_share);
+        err += ((g - ideal) / ideal).abs();
+        n += 1;
+    }
+    writeln!(out, "mean |goodput − ideal| / ideal = {:.1}%", err / n as f64 * 100.0).unwrap();
+    out
+}
+
+/// Fig. 12: 3 ABC + 3 Cubic long flows + Poisson 10-KB short flows at
+/// several offered loads; max-min weights vs RCP's Zombie List.
+pub fn fig12(fast: bool) -> String {
+    let loads: &[f64] = if fast {
+        &[0.125, 0.5]
+    } else {
+        &[0.0625, 0.125, 0.25, 0.5]
+    };
+    let runs = if fast { 1 } else { 3 };
+    let mut out = String::new();
+    writeln!(out, "# Fig 12 — long-flow fairness under short-flow churn (96 Mbit/s)").unwrap();
+    for (pname, policy) in [
+        ("ABC max-min", WeightPolicy::MaxMin { headroom: 0.10 }),
+        ("RCP Zombie-List", WeightPolicy::ZombieList),
+    ] {
+        writeln!(out, "\n## {pname}").unwrap();
+        writeln!(
+            out,
+            "{:>12} {:>22} {:>22} {:>8}",
+            "load", "ABC Mbit/s (mean±sd)", "Cubic Mbit/s (mean±sd)", "gap"
+        )
+        .unwrap();
+        for &load in loads {
+            let mut abc_all = Vec::new();
+            let mut cub_all = Vec::new();
+            for run in 0..runs {
+                let r = CoexistScenario {
+                    policy,
+                    short_flow_load: load,
+                    duration: SimDuration::from_secs(40),
+                    warmup: SimDuration::from_secs(10),
+                    seed: 100 + run,
+                    ..Default::default()
+                }
+                .run();
+                abc_all.extend(r.abc_tputs);
+                cub_all.extend(r.cubic_tputs);
+            }
+            let a = netsim::stats::summarize(&abc_all);
+            let c = netsim::stats::summarize(&cub_all);
+            writeln!(
+                out,
+                "{:>11.2}% {:>15.2}±{:<5.2} {:>15.2}±{:<5.2} {:>+7.1}%",
+                load * 100.0,
+                a.mean,
+                a.std_dev,
+                c.mean,
+                c.std_dev,
+                (c.mean - a.mean) / a.mean * 100.0
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Fig. 13: one backlogged ABC flow sharing a cellular link with 200
+/// application-limited ABC flows (1 Mbit/s aggregate).
+pub fn fig13(fast: bool) -> String {
+    let n_limited = if fast { 50 } else { 200 };
+    let trace = cellular::builtin("Verizon1").unwrap();
+    // build manually: flow 1 backlogged, flows 2.. rate-limited
+    let mut sc = CellScenario::new(Scheme::Abc, LinkSpec::Trace(trace));
+    sc.n_flows = 1;
+    sc.duration = SimDuration::from_secs(if fast { 20 } else { 60 });
+    let mut b = sc.build();
+    // add the application-limited flows into the same simulator
+    {
+        use netsim::flow::{Sender, Sink};
+        use netsim::packet::{FlowId, Route};
+        let per_flow = Rate::from_bps(1e6 / n_limited as f64);
+        for i in 0..n_limited {
+            let flow = FlowId(100 + i);
+            let sender_id = b.sim.reserve_node();
+            let sink_id = b.sim.reserve_node();
+            let q = SimDuration::from_millis(25);
+            let fwd = Route::new(vec![(b.link_id, q), (sink_id, q)]);
+            let back = Route::new(vec![(sender_id, SimDuration::from_millis(50))]);
+            b.sim.install_node(
+                sink_id,
+                Box::new(Sink::new(flow, back).with_metrics(b.hub.clone())),
+            );
+            b.sim.install_node(
+                sender_id,
+                Box::new(Sender::new(
+                    flow,
+                    Scheme::Abc.make_cc(),
+                    fwd,
+                    TrafficSource::RateLimited {
+                        rate: per_flow,
+                        burst_bytes: 4500.0,
+                    },
+                )),
+            );
+        }
+    }
+    b.run_to_end();
+    let hub = b.hub.clone();
+    let report = b.finish();
+    let mut out = String::new();
+    writeln!(out, "# Fig 13 — {n_limited} application-limited ABC flows + 1 backlogged").unwrap();
+    writeln!(out, "goodput : {}", sparkline(&report.tput_series, 60)).unwrap();
+    writeln!(out, "qdelay  : {}", sparkline(&report.qdelay_series, 60)).unwrap();
+    let hubref = hub.borrow();
+    let limited_bytes: u64 = hubref
+        .flows
+        .iter()
+        .filter(|(f, _)| f.0 >= 100)
+        .map(|(_, r)| r.delivered_bytes)
+        .sum();
+    writeln!(
+        out,
+        "util {:>5.1}%  qdelay p95 {:>6.1} ms  app-limited aggregate {:.2} Mbit/s",
+        report.utilization * 100.0,
+        report.qdelay_ms.p95,
+        limited_bytes as f64 * 8.0 / report.tput_series.len().max(1) as f64 / 0.1 / 1e6
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_tracks_the_binding_constraint() {
+        let f = fig6(true);
+        let err: f64 = f
+            .lines()
+            .find(|l| l.contains("mean |goodput"))
+            .and_then(|l| l.split('=').nth(1))
+            .and_then(|x| x.trim().trim_end_matches(|c: char| !c.is_ascii_digit() && c != '.').split('%').next())
+            .and_then(|x| x.trim().parse().ok())
+            .unwrap();
+        assert!(err < 30.0, "tracking error {err}%");
+    }
+
+    #[test]
+    fn fig12_maxmin_fairer_than_zombie() {
+        let f = fig12(true);
+        // extract the gap column for the highest load of each policy
+        let gaps: Vec<f64> = f
+            .lines()
+            .filter(|l| l.trim_start().starts_with("50.00%"))
+            .map(|l| {
+                l.trim_end_matches('%')
+                    .rsplit_once(' ')
+                    .unwrap()
+                    .1
+                    .parse::<f64>()
+                    .unwrap()
+                    .abs()
+            })
+            .collect();
+        assert_eq!(gaps.len(), 2, "expected one 50% row per policy:\n{f}");
+        assert!(
+            gaps[0] < gaps[1],
+            "max-min gap {}% should beat zombie-list {}%\n{f}",
+            gaps[0],
+            gaps[1]
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Appendix D: ABC vs the explicit-control schemes — the per-trace sweep
+//! (Fig. 16) and the square-wave time series (Fig. 17).
+
+use super::matrix::{averages, run_matrix, sim_duration, traces};
+use crate::report::sparkline;
+use crate::scenario::{CellScenario, LinkSpec};
+use crate::scheme::{Scheme, EXPLICIT_LINEUP};
+use netsim::rate::Rate;
+use netsim::time::SimDuration;
+use std::fmt::Write;
+
+/// Fig. 16: utilization and 95p delay of ABC / XCP / XCPw / VCP / RCP
+/// across the cellular traces.
+pub fn fig16(fast: bool) -> String {
+    let trs = traces(fast);
+    let cells = run_matrix(
+        &EXPLICIT_LINEUP,
+        &trs,
+        SimDuration::from_millis(100),
+        sim_duration(fast),
+    );
+    let avg = averages(&cells, &EXPLICIT_LINEUP);
+    let mut out = String::new();
+    writeln!(out, "# Fig 16 — ABC vs explicit control (avg over {} traces)", trs.len()).unwrap();
+    writeln!(out, "{:<8} {:>7} {:>16} {:>16}", "Scheme", "Util", "95p delay (ms)", "mean delay (ms)").unwrap();
+    for (s, util, p95, mean, _) in avg {
+        writeln!(out, "{:<8} {:>7.3} {:>16.1} {:>16.1}", s.name(), util, p95, mean).unwrap();
+    }
+    out
+}
+
+/// Fig. 17: 12 ↔ 24 Mbit/s square wave every 500 ms. ABC and XCPw track
+/// the rate; RCP (rate-based) lags and underutilizes after drops.
+pub fn fig17(fast: bool) -> String {
+    let dur = SimDuration::from_secs(if fast { 10 } else { 30 });
+    let mut out = String::new();
+    writeln!(out, "# Fig 17 — square-wave link 12↔24 Mbit/s every 500 ms").unwrap();
+    for scheme in [Scheme::Abc, Scheme::Rcp, Scheme::Xcpw] {
+        let mut sc = CellScenario::new(
+            scheme,
+            LinkSpec::Square {
+                a: Rate::from_mbps(12.0),
+                b: Rate::from_mbps(24.0),
+                half_period: SimDuration::from_millis(500),
+            },
+        );
+        sc.duration = dur;
+        sc.warmup = SimDuration::from_secs(2);
+        let r = sc.run();
+        writeln!(out, "\n## {}", scheme.name()).unwrap();
+        writeln!(out, "goodput: {}", sparkline(&r.tput_series, 60)).unwrap();
+        writeln!(out, "qdelay : {}", sparkline(&r.qdelay_series, 60)).unwrap();
+        writeln!(
+            out,
+            "util {:>5.1}%  qdelay p50/p95 {:>5.0}/{:>5.0} ms",
+            r.utilization * 100.0,
+            r.qdelay_ms.p50,
+            r.qdelay_ms.p95
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn utils_of(fig: &str) -> Vec<(String, f64)> {
+        fig.lines()
+            .filter(|l| l.contains("util") && l.contains('%'))
+            .map(|l| {
+                let u: f64 = l
+                    .split("util")
+                    .nth(1)
+                    .unwrap()
+                    .trim()
+                    .split('%')
+                    .next()
+                    .unwrap()
+                    .trim()
+                    .parse()
+                    .unwrap();
+                (l.to_string(), u)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig17_abc_and_xcpw_beat_rcp_utilization() {
+        let f = fig17(true);
+        let utils = utils_of(&f);
+        assert_eq!(utils.len(), 3, "{f}");
+        let (abc, rcp, xcpw) = (utils[0].1, utils[1].1, utils[2].1);
+        assert!(abc > rcp, "ABC {abc}% vs RCP {rcp}%\n{f}");
+        assert!(xcpw > rcp, "XCPw {xcpw}% vs RCP {rcp}%\n{f}");
+        assert!(abc > 85.0, "ABC utilization {abc}%");
+    }
+}

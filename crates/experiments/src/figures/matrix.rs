@@ -1,0 +1,70 @@
+//! The scheme × trace sweep engine behind Table 1 and Figs. 8/9/15/16/18.
+
+use crate::report::Report;
+use crate::scenario::{CellScenario, LinkSpec};
+use crate::scheme::Scheme;
+use cellular::CellTrace;
+use netsim::time::SimDuration;
+
+pub struct MatrixCell {
+    pub scheme: Scheme,
+    pub trace: String,
+    pub report: Report,
+}
+
+/// Run every scheme over every trace.
+pub fn run_matrix(
+    schemes: &[Scheme],
+    traces: &[CellTrace],
+    rtt: SimDuration,
+    duration: SimDuration,
+) -> Vec<MatrixCell> {
+    let mut out = Vec::new();
+    for trace in traces {
+        for &scheme in schemes {
+            let mut sc = CellScenario::new(scheme, LinkSpec::Trace(trace.clone()));
+            sc.rtt = rtt;
+            sc.duration = duration;
+            out.push(MatrixCell {
+                scheme,
+                trace: trace.name.clone(),
+                report: sc.run(),
+            });
+        }
+    }
+    out
+}
+
+/// Per-scheme averages across traces: (scheme, mean util, mean p95 delay,
+/// mean mean-delay, mean p95 queuing delay).
+pub fn averages(cells: &[MatrixCell], schemes: &[Scheme]) -> Vec<(Scheme, f64, f64, f64, f64)> {
+    schemes
+        .iter()
+        .map(|&s| {
+            let mine: Vec<&MatrixCell> = cells.iter().filter(|c| c.scheme == s).collect();
+            let n = mine.len().max(1) as f64;
+            let util = mine.iter().map(|c| c.report.utilization).sum::<f64>() / n;
+            let p95 = mine.iter().map(|c| c.report.delay_ms.p95).sum::<f64>() / n;
+            let mean = mine.iter().map(|c| c.report.delay_ms.mean).sum::<f64>() / n;
+            let qp95 = mine.iter().map(|c| c.report.qdelay_ms.p95).sum::<f64>() / n;
+            (s, util, p95, mean, qp95)
+        })
+        .collect()
+}
+
+/// The traces for a run: all eight, or a truncated fast subset.
+pub fn traces(fast: bool) -> Vec<CellTrace> {
+    let mut all = cellular::all_builtin();
+    if fast {
+        all.truncate(2);
+    }
+    all
+}
+
+pub fn sim_duration(fast: bool) -> SimDuration {
+    if fast {
+        SimDuration::from_secs(20)
+    } else {
+        SimDuration::from_secs(120)
+    }
+}

@@ -1,0 +1,42 @@
+//! One module per table/figure of the paper's evaluation. Every module
+//! exposes `run(fast) -> String`: the rendered rows/series the paper
+//! reports, at full scale (`fast = false`, what EXPERIMENTS.md records) or
+//! at a reduced scale for benches and CI (`fast = true`).
+
+pub mod ablations;
+pub mod coexistence;
+pub mod explicit_figs;
+pub mod matrix;
+pub mod motivation;
+pub mod pareto;
+pub mod stability_fig;
+pub mod wifi_figs;
+
+/// Index of every generator: (id, description, runner).
+pub fn all() -> Vec<(&'static str, &'static str, fn(bool) -> String)> {
+    vec![
+        ("table1", "§1 normalized tput/delay summary", pareto::table1 as fn(bool) -> String),
+        ("fig1", "motivation time series (Cubic/Verus/Cubic+CoDel/ABC)", motivation::fig1),
+        ("fig2", "dequeue- vs enqueue-rate feedback", ablations::fig2),
+        ("fig3", "fairness with/without additive increase", ablations::fig3),
+        ("fig4", "Wi-Fi inter-ACK time vs batch size", wifi_figs::fig4),
+        ("fig5", "Wi-Fi link-rate prediction accuracy", wifi_figs::fig5),
+        ("fig6", "coexistence with a non-ABC bottleneck (dual windows)", coexistence::fig6),
+        ("fig7", "coexistence with non-ABC flows (dual queue)", coexistence::fig7),
+        ("fig8", "utilization vs 95p delay Pareto (down/up/two-hop)", pareto::fig8),
+        ("fig9", "utilization + 95p delay across 8 traces", pareto::fig9),
+        ("fig10", "Wi-Fi throughput/delay, 1 and 2 users", wifi_figs::fig10),
+        ("fig11", "non-ABC bottleneck with cross traffic", coexistence::fig11),
+        ("fig12", "max-min vs Zombie-List weights under short flows", coexistence::fig12),
+        ("fig13", "application-limited ABC flows", coexistence::fig13),
+        ("fig14", "Wi-Fi Brownian-motion MCS", wifi_figs::fig14),
+        ("fig15", "mean per-packet delay across traces", pareto::fig15),
+        ("fig16", "ABC vs explicit schemes (XCP/XCPw/RCP/VCP)", explicit_figs::fig16),
+        ("fig17", "square-wave link time series (ABC/RCP/XCPw)", explicit_figs::fig17),
+        ("fig18", "RTT sensitivity sweep", pareto::fig18),
+        ("pk_abc", "§6.6 perfect-future-knowledge ABC", ablations::pk_abc),
+        ("stability", "Theorem 3.1 δ/τ stability sweep", stability_fig::stability),
+        ("jain", "§6.5 Jain index, 2..32 ABC flows", ablations::jain),
+        ("marking", "deterministic vs probabilistic marking ablation", ablations::marking),
+    ]
+}

@@ -1,0 +1,218 @@
+//! Table 1, Fig. 8 (Pareto scatter), Fig. 9 / Fig. 15 (per-trace bars),
+//! Fig. 18 (RTT sweep).
+
+use super::matrix::{averages, run_matrix, sim_duration, traces};
+use crate::scenario::{CellScenario, LinkSpec};
+use crate::scheme::{Scheme, CELLULAR_LINEUP};
+use crate::topos::TwoHopScenario;
+use netsim::time::SimDuration;
+use std::fmt::Write;
+
+/// Table 1 of §1: throughput and 95th-percentile delay normalized to ABC,
+/// averaged over the traces.
+pub fn table1(fast: bool) -> String {
+    let schemes = [
+        Scheme::Abc,
+        Scheme::Xcp,
+        Scheme::CubicCodel,
+        Scheme::Copa,
+        Scheme::Cubic,
+        Scheme::Pcc,
+        Scheme::Bbr,
+        Scheme::Sprout,
+        Scheme::Verus,
+    ];
+    let cells = run_matrix(&schemes, &traces(fast), SimDuration::from_millis(100), sim_duration(fast));
+    let avg = averages(&cells, &schemes);
+    let (abc_util, abc_delay) = avg
+        .iter()
+        .find(|(s, ..)| *s == Scheme::Abc)
+        .map(|&(_, u, d, ..)| (u, d))
+        .expect("ABC in lineup");
+    let mut out = String::new();
+    writeln!(out, "# Table 1 — normalized throughput and 95p delay (ABC = 1)").unwrap();
+    writeln!(out, "{:<14} {:>11} {:>18}", "Scheme", "Norm. Tput", "Norm. Delay (95%)").unwrap();
+    for (s, util, p95, ..) in &avg {
+        writeln!(
+            out,
+            "{:<14} {:>11.2} {:>18.2}",
+            s.name(),
+            util / abc_util,
+            p95 / abc_delay
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Fig. 8: utilization vs 95th-percentile per-packet delay on (a) a
+/// downlink trace, (b) an uplink trace, (c) the two-hop uplink+downlink
+/// path. One row per scheme per panel; the Pareto frontier of the
+/// *non-ABC* schemes is flagged so ABC's position relative to it is
+/// explicit.
+pub fn fig8(fast: bool) -> String {
+    let down = cellular::builtin("Verizon1").unwrap();
+    let up = cellular::builtin("Verizon2").unwrap();
+    let dur = sim_duration(fast);
+    let mut out = String::new();
+
+    let panel = |name: &str, rows: Vec<(String, f64, f64)>, out: &mut String| {
+        writeln!(out, "\n## Fig 8{name}").unwrap();
+        writeln!(out, "{:<14} {:>7} {:>16} {:>8}", "Scheme", "Util", "95p delay (ms)", "Pareto").unwrap();
+        // Pareto frontier among non-ABC schemes: no other scheme has both
+        // higher util and lower delay
+        for (n, u, d) in &rows {
+            let is_abc = n.starts_with("ABC");
+            let dominated = rows
+                .iter()
+                .filter(|(m, ..)| !m.starts_with("ABC") && m != n)
+                .any(|(_, u2, d2)| *u2 >= *u && *d2 <= *d);
+            let tag = if is_abc {
+                if !dominated { "OUTSIDE" } else { "inside" }
+            } else if !dominated {
+                "frontier"
+            } else {
+                ""
+            };
+            writeln!(out, "{:<14} {:>7.3} {:>16.1} {:>8}", n, u, d, tag).unwrap();
+        }
+    };
+
+    for (tag, trace) in [("a (downlink)", &down), ("b (uplink)", &up)] {
+        let rows: Vec<(String, f64, f64)> = CELLULAR_LINEUP
+            .iter()
+            .map(|&s| {
+                let mut sc = CellScenario::new(s, LinkSpec::Trace(trace.clone()));
+                sc.duration = dur;
+                let r = sc.run();
+                (s.name(), r.utilization, r.delay_ms.p95)
+            })
+            .collect();
+        panel(tag, rows, &mut out);
+    }
+
+    // (c) two-hop uplink + downlink
+    let rows: Vec<(String, f64, f64)> = CELLULAR_LINEUP
+        .iter()
+        .map(|&s| {
+            let mut sc = TwoHopScenario::new(
+                s,
+                LinkSpec::Trace(up.clone()),
+                LinkSpec::Trace(down.clone()),
+            );
+            sc.duration = dur;
+            let r = sc.run();
+            (s.name(), r.utilization, r.delay_ms.p95)
+        })
+        .collect();
+    panel("c (uplink+downlink, two-hop)", rows, &mut out);
+    out
+}
+
+/// Fig. 9: utilization and 95th-percentile delay for every scheme on every
+/// trace, plus the cross-trace average.
+pub fn fig9(fast: bool) -> String {
+    fig9_like(fast, false)
+}
+
+/// Fig. 15 (Appendix C): same sweep, *mean* per-packet delay.
+pub fn fig15(fast: bool) -> String {
+    fig9_like(fast, true)
+}
+
+fn fig9_like(fast: bool, mean_delay: bool) -> String {
+    let trs = traces(fast);
+    let cells = run_matrix(
+        &CELLULAR_LINEUP,
+        &trs,
+        SimDuration::from_millis(100),
+        sim_duration(fast),
+    );
+    let mut out = String::new();
+    let which = if mean_delay { "mean" } else { "95p" };
+    writeln!(out, "# Fig {} — utilization and {which} per-packet delay per trace",
+        if mean_delay { "15" } else { "9" }).unwrap();
+    write!(out, "{:<14}", "Scheme").unwrap();
+    for t in &trs {
+        write!(out, " {:>18}", t.name).unwrap();
+    }
+    writeln!(out, " {:>18}", "AVERAGE").unwrap();
+    for &s in &CELLULAR_LINEUP {
+        write!(out, "{:<14}", s.name()).unwrap();
+        let mut us = Vec::new();
+        let mut ds = Vec::new();
+        for t in &trs {
+            let c = cells
+                .iter()
+                .find(|c| c.scheme == s && c.trace == t.name)
+                .unwrap();
+            let d = if mean_delay {
+                c.report.delay_ms.mean
+            } else {
+                c.report.delay_ms.p95
+            };
+            us.push(c.report.utilization);
+            ds.push(d);
+            write!(out, " {:>8.2}/{:>6.0}ms", c.report.utilization, d).unwrap();
+        }
+        let mu = us.iter().sum::<f64>() / us.len() as f64;
+        let md = ds.iter().sum::<f64>() / ds.len() as f64;
+        writeln!(out, " {:>8.2}/{:>6.0}ms", mu, md).unwrap();
+    }
+    out
+}
+
+/// Fig. 18 (Appendix E): the full lineup at RTT ∈ {20, 50, 100, 200} ms on
+/// one trace; reports utilization and 95p *queuing* delay (the appendix's
+/// y-axis), so propagation differences don't mask the comparison.
+pub fn fig18(fast: bool) -> String {
+    let trace = cellular::builtin("Verizon1").unwrap();
+    let rtts = [20u64, 50, 100, 200];
+    let dur = sim_duration(fast);
+    let schemes: &[Scheme] = if fast {
+        &[Scheme::Abc, Scheme::CubicCodel, Scheme::Cubic]
+    } else {
+        &CELLULAR_LINEUP
+    };
+    let mut out = String::new();
+    writeln!(out, "# Fig 18 — RTT sensitivity (utilization / 95p queuing delay ms)").unwrap();
+    write!(out, "{:<14}", "Scheme").unwrap();
+    for r in rtts {
+        write!(out, " {:>16}", format!("RTT {r}ms")).unwrap();
+    }
+    writeln!(out).unwrap();
+    for &s in schemes {
+        write!(out, "{:<14}", s.name()).unwrap();
+        for rtt in rtts {
+            let mut sc = CellScenario::new(s, LinkSpec::Trace(trace.clone()));
+            sc.rtt = SimDuration::from_millis(rtt);
+            sc.duration = dur;
+            let r = sc.run();
+            write!(out, " {:>8.2}/{:>5.0}ms", r.utilization, r.qdelay_ms.p95).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_normalizes_to_abc() {
+        let t = table1(true);
+        // the ABC row must read 1.00 / 1.00
+        let abc_line = t.lines().find(|l| l.starts_with("ABC")).unwrap();
+        assert!(abc_line.contains("1.00"), "{abc_line}");
+    }
+
+    #[test]
+    fn fig8_flags_abc_outside_frontier() {
+        let f = fig8(true);
+        assert!(f.contains("Fig 8a"));
+        assert!(f.contains("Fig 8c"));
+        // ABC should be outside the non-ABC frontier on at least one panel
+        assert!(f.contains("OUTSIDE"), "{f}");
+    }
+}

@@ -1,0 +1,19 @@
+//! # experiments — per-figure/table harnesses
+//!
+//! Scenario builders and generators that regenerate every table and figure
+//! of the paper's evaluation (see DESIGN.md §3 for the index and
+//! EXPERIMENTS.md for paper-vs-measured numbers). Each figure has a
+//! binary (`cargo run --release -p experiments --bin figN`).
+
+pub mod figures;
+pub mod report;
+pub mod scenario;
+pub mod scheme;
+pub mod topos;
+pub mod wifi;
+
+pub use report::{downsample, sparkline, Report};
+pub use scenario::{BuiltScenario, CellScenario, LinkSpec};
+pub use scheme::{Scheme, CELLULAR_LINEUP, EXPLICIT_LINEUP, WIFI_LINEUP};
+pub use topos::{CoexistResult, CoexistScenario, CrossTraffic, MixedPathScenario, TwoHopScenario};
+pub use wifi::{estimator_accuracy, McsSpec, WifiScenario};

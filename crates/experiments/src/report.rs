@@ -1,0 +1,105 @@
+//! Experiment results in the units the paper reports.
+
+use netsim::stats::Summary;
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub scheme: String,
+    /// Delivered bits ÷ link delivery opportunities (cellular emulation's
+    /// utilization definition).
+    pub utilization: f64,
+    /// One-way per-packet delay (ms), receiver-observed: queuing +
+    /// propagation. The paper's "95th percentile packet delay" axis.
+    pub delay_ms: Summary,
+    /// Queuing delay at the bottleneck (ms) — Appendix E's y-axis.
+    pub qdelay_ms: Summary,
+    pub flow_tputs_mbps: Vec<f64>,
+    pub total_tput_mbps: f64,
+    pub jain: f64,
+    pub drops: u64,
+    /// (t seconds, Mbit/s) aggregate goodput series.
+    pub tput_series: Vec<(f64, f64)>,
+    /// (t seconds, ms) bottleneck queuing delay, downsampled.
+    pub qdelay_series: Vec<(f64, f64)>,
+    /// (t seconds, Mbit/s) link capacity series (for plots).
+    pub capacity_series: Vec<(f64, f64)>,
+}
+
+impl Report {
+    /// One row of the standard util/delay table.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<14} util {:>5.1}%  tput {:>7.3} Mbit/s  delay p50/p95/mean {:>7.1}/{:>7.1}/{:>7.1} ms  qdelay p95 {:>7.1} ms  drops {:>6}",
+            self.scheme,
+            self.utilization * 100.0,
+            self.total_tput_mbps,
+            self.delay_ms.p50,
+            self.delay_ms.p95,
+            self.delay_ms.mean,
+            self.qdelay_ms.p95,
+            self.drops
+        )
+    }
+}
+
+/// Downsample a dense series to at most `n` points (mean per bucket).
+pub fn downsample(series: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    if series.len() <= n || n == 0 {
+        return series.to_vec();
+    }
+    let bucket = series.len().div_ceil(n);
+    series
+        .chunks(bucket)
+        .map(|c| {
+            let t = c[0].0;
+            let v = c.iter().map(|p| p.1).sum::<f64>() / c.len() as f64;
+            (t, v)
+        })
+        .collect()
+}
+
+/// Render a small ASCII sparkline of a series (figures in a terminal).
+pub fn sparkline(series: &[(f64, f64)], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let pts = downsample(series, width);
+    let max = pts.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    let min = pts.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+    if pts.is_empty() || !max.is_finite() || max <= min {
+        return String::new();
+    }
+    pts.iter()
+        .map(|p| {
+            let idx = ((p.1 - min) / (max - min) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_preserves_short_series() {
+        let s = vec![(0.0, 1.0), (1.0, 2.0)];
+        assert_eq!(downsample(&s, 10), s);
+    }
+
+    #[test]
+    fn downsample_buckets_means() {
+        let s: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64)).collect();
+        let d = downsample(&s, 10);
+        assert_eq!(d.len(), 10);
+        assert!((d[0].1 - 4.5).abs() < 1e-9); // mean of 0..=9
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s: Vec<(f64, f64)> = (0..64).map(|i| (i as f64, i as f64)).collect();
+        let sp = sparkline(&s, 16);
+        assert_eq!(sp.chars().count(), 16);
+        assert!(sp.starts_with('▁'));
+        assert!(sp.ends_with('█'));
+    }
+}

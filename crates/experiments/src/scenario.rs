@@ -1,0 +1,306 @@
+//! The single-bottleneck scenario runner behind most figures: N flows of
+//! one scheme over one (emulated cellular or synthetic) link.
+
+use crate::report::{downsample, Report};
+use crate::scheme::Scheme;
+use cellular::CellTrace;
+use netsim::flow::{Sender, Sink, TrafficSource};
+use netsim::link::{ConstantRate, RateProcess, SerialLink, SquareWave, StepSchedule, Transmitter};
+use netsim::linkqueue::LinkQueue;
+use netsim::metrics::{new_hub, Metrics};
+use netsim::packet::{FlowId, NodeId, Route};
+use netsim::rate::Rate;
+use netsim::sim::Simulator;
+use netsim::time::{SimDuration, SimTime};
+
+/// The bottleneck link of a scenario.
+#[derive(Debug, Clone)]
+pub enum LinkSpec {
+    /// Mahimahi-style trace (cellular emulation).
+    Trace(CellTrace),
+    Constant(Rate),
+    Square {
+        a: Rate,
+        b: Rate,
+        half_period: SimDuration,
+    },
+    Steps(Vec<(SimTime, Rate)>),
+}
+
+impl LinkSpec {
+    pub fn build(&self) -> Box<dyn Transmitter> {
+        match self {
+            LinkSpec::Trace(t) => Box::new(t.to_link()),
+            LinkSpec::Constant(r) => Box::new(SerialLink::new(ConstantRate(*r))),
+            LinkSpec::Square { a, b, half_period } => {
+                Box::new(SerialLink::new(SquareWave::new(*a, *b, *half_period)))
+            }
+            LinkSpec::Steps(steps) => {
+                Box::new(SerialLink::new(StepSchedule::new(steps.clone())))
+            }
+        }
+    }
+
+    /// Capacity curve for plotting, sampled per `step`.
+    pub fn capacity_series(&self, until: SimDuration, step: SimDuration) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t < SimTime::ZERO + until {
+            let r = match self {
+                LinkSpec::Trace(tr) => tr.rate_in_window(t, step),
+                LinkSpec::Constant(r) => *r,
+                LinkSpec::Square { a, b, half_period } => {
+                    SquareWave::new(*a, *b, *half_period).rate_at(t)
+                }
+                LinkSpec::Steps(steps) => StepSchedule::new(steps.clone()).rate_at(t),
+            };
+            out.push((t.as_secs_f64(), r.mbps()));
+            t += step;
+        }
+        out
+    }
+}
+
+/// A single-bottleneck scenario.
+#[derive(Clone)]
+pub struct CellScenario {
+    pub scheme: Scheme,
+    pub link: LinkSpec,
+    /// Path round-trip propagation delay.
+    pub rtt: SimDuration,
+    pub buffer_pkts: usize,
+    pub n_flows: u32,
+    pub duration: SimDuration,
+    /// Measurements before this offset are discarded.
+    pub warmup: SimDuration,
+    /// Flow i starts at `i × stagger` (Fig. 3's joins).
+    pub stagger: SimDuration,
+    /// Also stop flows one by one: flow i stops at
+    /// `duration − (n−1−i)·stagger` (Fig. 3's departures).
+    pub stagger_departures: bool,
+    /// Per-flow application pattern.
+    pub app: TrafficSource,
+    /// PK-ABC: let the router control law see µ(t + lookahead).
+    pub oracle_lookahead: Option<SimDuration>,
+}
+
+impl CellScenario {
+    pub fn new(scheme: Scheme, link: LinkSpec) -> Self {
+        CellScenario {
+            scheme,
+            link,
+            rtt: SimDuration::from_millis(100),
+            buffer_pkts: 250,
+            n_flows: 1,
+            duration: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(5),
+            stagger: SimDuration::ZERO,
+            stagger_departures: false,
+            app: TrafficSource::Backlogged,
+            oracle_lookahead: None,
+        }
+    }
+
+    /// Build the simulator without running it (callers that need to sample
+    /// state mid-run use this, then `run_chunk`/`finish`).
+    pub fn build(&self) -> BuiltScenario {
+        let mut sim = Simulator::new();
+        let hub = new_hub();
+        hub.borrow_mut()
+            .set_epoch(SimTime::ZERO + self.warmup);
+        let link_id = sim.reserve_node();
+        let mut sender_ids = Vec::new();
+
+        // split the propagation RTT: ¼ sender→link, ¼ link→sink, ½ back
+        let q1 = self.rtt / 4;
+        let back_d = self.rtt / 2;
+
+        for i in 0..self.n_flows {
+            let flow = FlowId(i + 1);
+            let sender_id = sim.reserve_node();
+            let sink_id = sim.reserve_node();
+            let fwd = Route::new(vec![(link_id, q1), (sink_id, q1)]);
+            let back = Route::new(vec![(sender_id, back_d)]);
+            sim.install_node(
+                sink_id,
+                Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
+            );
+            let mut sender = Sender::new(flow, self.scheme.make_cc(), fwd, self.app)
+                .with_start_at(SimTime::ZERO + self.stagger * i as u64);
+            if self.stagger_departures && !self.stagger.is_zero() {
+                let lead = (self.n_flows - 1 - i) as u64;
+                let stop = (SimTime::ZERO + self.duration)
+                    .saturating_sub(self.stagger * lead);
+                sender = sender.with_stop_at(stop);
+            }
+            sim.install_node(sender_id, Box::new(sender));
+            sender_ids.push(sender_id);
+        }
+
+        let mut lq = LinkQueue::new(
+            self.scheme.make_qdisc(self.buffer_pkts),
+            self.link.build(),
+        )
+        .with_metrics("bottleneck", hub.clone());
+        if let Some(look) = self.oracle_lookahead {
+            lq = lq.with_oracle_lookahead(look);
+        }
+        sim.install_node(link_id, Box::new(lq));
+
+        BuiltScenario {
+            sim,
+            hub,
+            link_id,
+            sender_ids,
+            scheme: self.scheme,
+            link: self.link.clone(),
+            duration: self.duration,
+            warmup: self.warmup,
+        }
+    }
+
+    /// Build, run to completion, and report.
+    pub fn run(&self) -> Report {
+        let mut b = self.build();
+        b.run_to_end();
+        b.finish()
+    }
+}
+
+/// A constructed scenario, exposing the simulator for mid-run sampling.
+pub struct BuiltScenario {
+    pub sim: Simulator,
+    pub hub: Metrics,
+    pub link_id: NodeId,
+    pub sender_ids: Vec<NodeId>,
+    scheme: Scheme,
+    link: LinkSpec,
+    duration: SimDuration,
+    warmup: SimDuration,
+}
+
+impl BuiltScenario {
+    pub fn run_to_end(&mut self) {
+        self.sim.run_until(SimTime::ZERO + self.duration);
+    }
+
+    /// Advance simulated time by `d` (for sampling loops).
+    pub fn run_chunk(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    pub fn end_time(&self) -> SimTime {
+        SimTime::ZERO + self.duration
+    }
+
+    /// Downcast a sender for window inspection.
+    pub fn sender(&self, idx: usize) -> &Sender {
+        self.sim
+            .node(self.sender_ids[idx])
+            .and_then(|n| n.as_any().downcast_ref())
+            .expect("sender node")
+    }
+
+    pub fn finish(self) -> Report {
+        // account link opportunities over the measured window
+        let end = SimTime::ZERO + self.duration;
+        {
+            let lq: &LinkQueue = self
+                .sim
+                .node(self.link_id)
+                .and_then(|n| n.as_any().downcast_ref())
+                .expect("link node");
+            lq.finalize_opportunity(end);
+        }
+        let hub = self.hub.borrow();
+        let window = self.duration.saturating_sub(self.warmup);
+        static EMPTY: std::sync::OnceLock<netsim::metrics::LinkRecord> = std::sync::OnceLock::new();
+        let link = hub
+            .links
+            .get("bottleneck")
+            .unwrap_or_else(|| EMPTY.get_or_init(Default::default));
+        let qdelay_series: Vec<(f64, f64)> = link
+            .qdelay_series
+            .iter()
+            .map(|(t, d)| (t.as_secs_f64(), d.as_millis_f64()))
+            .collect();
+        let flow_tputs: Vec<f64> = hub
+            .flows
+            .values()
+            .map(|f| f.throughput_over(window) / 1e6)
+            .collect();
+        Report {
+            scheme: self.scheme.name(),
+            utilization: link.utilization(),
+            delay_ms: hub.delay_summary_ms(),
+            qdelay_ms: link.qdelay_summary_ms(),
+            total_tput_mbps: flow_tputs.iter().sum(),
+            jain: hub.jain(window),
+            drops: link.dropped_pkts,
+            flow_tputs_mbps: flow_tputs,
+            tput_series: hub.total_throughput_series_mbps(),
+            qdelay_series: downsample(&qdelay_series, 600),
+            capacity_series: self
+                .link
+                .capacity_series(self.duration, SimDuration::from_millis(100)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abc_on_constant_link_reaches_eta() {
+        let r = CellScenario::new(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+            .run();
+        assert!(r.utilization > 0.9, "{}", r.row());
+        assert!(r.qdelay_ms.p95 < 60.0, "{}", r.row());
+    }
+
+    #[test]
+    fn cubic_fills_droptail_buffer() {
+        let r = CellScenario::new(Scheme::Cubic, LinkSpec::Constant(Rate::from_mbps(12.0)))
+            .run();
+        assert!(r.utilization > 0.9, "{}", r.row());
+        // 250-pkt buffer at 12 Mbit/s = 250 ms of queuing when full
+        assert!(
+            r.qdelay_ms.p95 > 100.0,
+            "Cubic should bufferbloat: {}",
+            r.row()
+        );
+    }
+
+    #[test]
+    fn cubic_codel_cuts_delay() {
+        let cubic = CellScenario::new(Scheme::Cubic, LinkSpec::Constant(Rate::from_mbps(12.0)))
+            .run();
+        let codel =
+            CellScenario::new(Scheme::CubicCodel, LinkSpec::Constant(Rate::from_mbps(12.0)))
+                .run();
+        assert!(
+            codel.qdelay_ms.p95 < cubic.qdelay_ms.p95 / 2.0,
+            "codel {} vs cubic {}",
+            codel.qdelay_ms.p95,
+            cubic.qdelay_ms.p95
+        );
+    }
+
+    #[test]
+    fn trace_link_scenario_runs() {
+        let trace = cellular::builtin("Verizon1").unwrap();
+        let r = CellScenario::new(Scheme::Abc, LinkSpec::Trace(trace)).run();
+        assert!(r.utilization > 0.3, "{}", r.row());
+        assert!(r.total_tput_mbps > 0.5, "{}", r.row());
+    }
+
+    #[test]
+    fn sampling_interface_exposes_windows() {
+        let sc = CellScenario::new(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)));
+        let mut b = sc.build();
+        b.run_chunk(SimDuration::from_secs(5));
+        let s = b.sender(0);
+        assert!(s.cwnd_pkts() > 1.0);
+    }
+}

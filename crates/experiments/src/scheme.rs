@@ -1,0 +1,212 @@
+//! The scheme registry: every congestion-control protocol in the paper's
+//! evaluation, with its endpoint controller and (for in-network schemes)
+//! its bottleneck qdisc.
+
+use abc_core::router::{AbcQdisc, AbcRouterConfig, FeedbackBasis};
+use abc_core::sender::AbcSender;
+use aqm::{Codel, CodelConfig, Pie, PieConfig};
+use baselines::{Bbr, Copa, Cubic, NewReno, PccVivace, Sprout, Vegas, Verus};
+use explicit::{RcpQdisc, RcpSender, VcpQdisc, VcpSender, XcpConfig, XcpQdisc, XcpSender};
+use netsim::flow::CongestionControl;
+use netsim::queue::{DropTail, Qdisc};
+use netsim::time::SimDuration;
+
+/// Every scheme in the evaluation. `AbcDt` parameterizes the delay
+/// threshold in ms (the Fig. 10 ABC_20/60/100 variants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    Abc,
+    /// ABC with a non-default delay threshold dt (ms).
+    AbcDt(u64),
+    /// ABC without the additive-increase term (Fig. 3 ablation).
+    AbcNoAi,
+    /// ABC computing f(t) from the enqueue rate (Fig. 2 ablation).
+    AbcEnqueue,
+    Cubic,
+    CubicCodel,
+    CubicPie,
+    NewReno,
+    Vegas,
+    Bbr,
+    Copa,
+    Pcc,
+    Sprout,
+    Verus,
+    Xcp,
+    Xcpw,
+    Rcp,
+    Vcp,
+}
+
+/// The scheme lineup of Fig. 8/9 (end-to-end + AQM + XCP variants).
+pub const CELLULAR_LINEUP: [Scheme; 12] = [
+    Scheme::Abc,
+    Scheme::Xcp,
+    Scheme::Xcpw,
+    Scheme::CubicCodel,
+    Scheme::CubicPie,
+    Scheme::Copa,
+    Scheme::Sprout,
+    Scheme::Vegas,
+    Scheme::Verus,
+    Scheme::Bbr,
+    Scheme::Pcc,
+    Scheme::Cubic,
+];
+
+/// The explicit-scheme lineup of Fig. 16.
+pub const EXPLICIT_LINEUP: [Scheme; 5] =
+    [Scheme::Abc, Scheme::Xcp, Scheme::Xcpw, Scheme::Vcp, Scheme::Rcp];
+
+/// The Wi-Fi lineup of Fig. 10 (Sprout/Verus excluded: cellular-specific).
+pub const WIFI_LINEUP: [Scheme; 9] = [
+    Scheme::AbcDt(20),
+    Scheme::AbcDt(60),
+    Scheme::AbcDt(100),
+    Scheme::CubicCodel,
+    Scheme::Copa,
+    Scheme::Vegas,
+    Scheme::Bbr,
+    Scheme::Pcc,
+    Scheme::Cubic,
+];
+
+impl Scheme {
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Abc => "ABC".into(),
+            Scheme::AbcDt(ms) => format!("ABC_{ms}"),
+            Scheme::AbcNoAi => "ABC-noAI".into(),
+            Scheme::AbcEnqueue => "ABC-enq".into(),
+            Scheme::Cubic => "Cubic".into(),
+            Scheme::CubicCodel => "Cubic+Codel".into(),
+            Scheme::CubicPie => "Cubic+PIE".into(),
+            Scheme::NewReno => "NewReno".into(),
+            Scheme::Vegas => "Vegas".into(),
+            Scheme::Bbr => "BBR".into(),
+            Scheme::Copa => "Copa".into(),
+            Scheme::Pcc => "PCC".into(),
+            Scheme::Sprout => "Sprout".into(),
+            Scheme::Verus => "Verus".into(),
+            Scheme::Xcp => "XCP".into(),
+            Scheme::Xcpw => "XCPw".into(),
+            Scheme::Rcp => "RCP".into(),
+            Scheme::Vcp => "VCP".into(),
+        }
+    }
+
+    pub fn is_abc(&self) -> bool {
+        matches!(
+            self,
+            Scheme::Abc | Scheme::AbcDt(_) | Scheme::AbcNoAi | Scheme::AbcEnqueue
+        )
+    }
+
+    /// Build the endpoint congestion controller.
+    pub fn make_cc(&self) -> Box<dyn CongestionControl> {
+        match self {
+            Scheme::Abc | Scheme::AbcDt(_) | Scheme::AbcEnqueue => Box::new(AbcSender::new()),
+            Scheme::AbcNoAi => Box::new(AbcSender::without_additive_increase()),
+            Scheme::Cubic | Scheme::CubicCodel | Scheme::CubicPie => Box::new(Cubic::new()),
+            Scheme::NewReno => Box::new(NewReno::new()),
+            Scheme::Vegas => Box::new(Vegas::new()),
+            Scheme::Bbr => Box::new(Bbr::new()),
+            Scheme::Copa => Box::new(Copa::new()),
+            Scheme::Pcc => Box::new(PccVivace::new()),
+            Scheme::Sprout => Box::new(Sprout::new()),
+            Scheme::Verus => Box::new(Verus::new()),
+            Scheme::Xcp | Scheme::Xcpw => Box::new(XcpSender::new()),
+            Scheme::Rcp => Box::new(RcpSender::new()),
+            Scheme::Vcp => Box::new(VcpSender::new()),
+        }
+    }
+
+    /// Build the bottleneck qdisc this scheme runs over.
+    pub fn make_qdisc(&self, buffer_pkts: usize) -> Box<dyn Qdisc> {
+        match self {
+            Scheme::Abc | Scheme::AbcNoAi => Box::new(AbcQdisc::new(AbcRouterConfig {
+                buffer_pkts,
+                ..Default::default()
+            })),
+            Scheme::AbcDt(ms) => Box::new(AbcQdisc::new(AbcRouterConfig {
+                buffer_pkts,
+                dt: SimDuration::from_millis(*ms),
+                ..Default::default()
+            })),
+            Scheme::AbcEnqueue => Box::new(AbcQdisc::new(AbcRouterConfig {
+                buffer_pkts,
+                basis: FeedbackBasis::Enqueue,
+                ..Default::default()
+            })),
+            Scheme::CubicCodel => Box::new(Codel::new(CodelConfig {
+                buffer_pkts,
+                ..Default::default()
+            })),
+            Scheme::CubicPie => Box::new(Pie::new(PieConfig {
+                buffer_pkts,
+                ..Default::default()
+            })),
+            Scheme::Xcp => Box::new(XcpQdisc::new(XcpConfig {
+                buffer_pkts,
+                ..Default::default()
+            })),
+            Scheme::Xcpw => Box::new(XcpQdisc::new(XcpConfig {
+                buffer_pkts,
+                ..XcpConfig::wireless()
+            })),
+            Scheme::Rcp => Box::new(RcpQdisc::new(explicit::RcpConfig {
+                buffer_pkts,
+                ..Default::default()
+            })),
+            Scheme::Vcp => Box::new(VcpQdisc::new(explicit::VcpConfig {
+                buffer_pkts,
+                ..Default::default()
+            })),
+            _ => Box::new(DropTail::new(buffer_pkts)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scheme_builds() {
+        let all = [
+            Scheme::Abc,
+            Scheme::AbcDt(60),
+            Scheme::AbcNoAi,
+            Scheme::AbcEnqueue,
+            Scheme::Cubic,
+            Scheme::CubicCodel,
+            Scheme::CubicPie,
+            Scheme::NewReno,
+            Scheme::Vegas,
+            Scheme::Bbr,
+            Scheme::Copa,
+            Scheme::Pcc,
+            Scheme::Sprout,
+            Scheme::Verus,
+            Scheme::Xcp,
+            Scheme::Xcpw,
+            Scheme::Rcp,
+            Scheme::Vcp,
+        ];
+        for s in all {
+            let cc = s.make_cc();
+            assert!(!cc.name().is_empty());
+            let q = s.make_qdisc(100);
+            assert_eq!(q.len_pkts(), 0);
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn abc_variants_flagged() {
+        assert!(Scheme::Abc.is_abc());
+        assert!(Scheme::AbcDt(20).is_abc());
+        assert!(!Scheme::Cubic.is_abc());
+        assert!(!Scheme::Xcp.is_abc());
+    }
+}

@@ -1,0 +1,614 @@
+//! Beyond-single-bottleneck topologies: the two-hop cellular path
+//! (Fig. 8c), the wireless+wired mixed-bottleneck path (Figs. 6, 11), the
+//! dual-queue coexistence router (Figs. 7, 12), and Wi-Fi (Figs. 4-5, 10, 14).
+
+use crate::report::{downsample, Report};
+use crate::scenario::LinkSpec;
+use crate::scheme::Scheme;
+use abc_core::coexist::{DualQueue, DualQueueConfig, WeightPolicy};
+use baselines::Cubic;
+use netsim::flow::{Sender, Sink, TrafficSource};
+use netsim::linkqueue::LinkQueue;
+use netsim::metrics::new_hub;
+use netsim::packet::{FlowId, Route};
+use netsim::queue::{DropTail, Qdisc};
+use netsim::rate::Rate;
+use netsim::sim::Simulator;
+use netsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fig. 8c: a flow traversing *two* potential bottlenecks in series (the
+/// cellular uplink then downlink); both run the scheme's qdisc. ACKs
+/// return over plain propagation.
+pub struct TwoHopScenario {
+    pub scheme: Scheme,
+    pub up: LinkSpec,
+    pub down: LinkSpec,
+    pub rtt: SimDuration,
+    pub buffer_pkts: usize,
+    pub duration: SimDuration,
+    pub warmup: SimDuration,
+}
+
+impl TwoHopScenario {
+    pub fn new(scheme: Scheme, up: LinkSpec, down: LinkSpec) -> Self {
+        TwoHopScenario {
+            scheme,
+            up,
+            down,
+            rtt: SimDuration::from_millis(100),
+            buffer_pkts: 250,
+            duration: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(5),
+        }
+    }
+
+    pub fn run(&self) -> Report {
+        let mut sim = Simulator::new();
+        let hub = new_hub();
+        hub.borrow_mut().set_epoch(SimTime::ZERO + self.warmup);
+        let up_id = sim.reserve_node();
+        let down_id = sim.reserve_node();
+        let sender_id = sim.reserve_node();
+        let sink_id = sim.reserve_node();
+        let q = self.rtt / 6;
+        let back = self.rtt / 2;
+        let fwd = Route::new(vec![(up_id, q), (down_id, q), (sink_id, q)]);
+        let back_route = Route::new(vec![(sender_id, back)]);
+        sim.install_node(
+            sink_id,
+            Box::new(Sink::new(FlowId(1), back_route).with_metrics(hub.clone())),
+        );
+        sim.install_node(
+            sender_id,
+            Box::new(Sender::new(
+                FlowId(1),
+                self.scheme.make_cc(),
+                fwd,
+                TrafficSource::Backlogged,
+            )),
+        );
+        sim.install_node(
+            up_id,
+            Box::new(
+                LinkQueue::new(self.scheme.make_qdisc(self.buffer_pkts), self.up.build())
+                    .with_metrics("uplink", hub.clone()),
+            ),
+        );
+        sim.install_node(
+            down_id,
+            Box::new(
+                LinkQueue::new(self.scheme.make_qdisc(self.buffer_pkts), self.down.build())
+                    .with_metrics("downlink", hub.clone()),
+            ),
+        );
+        let end = SimTime::ZERO + self.duration;
+        sim.run_until(end);
+        for id in [up_id, down_id] {
+            let lq: &LinkQueue = sim
+                .node(id)
+                .and_then(|n| n.as_any().downcast_ref())
+                .unwrap();
+            lq.finalize_opportunity(end);
+        }
+        let hubref = hub.borrow();
+        let window = self.duration.saturating_sub(self.warmup);
+        // the tighter hop determines achievable utilization; report the
+        // downlink (final hop) delivery against the min-capacity hop
+        static EMPTY: std::sync::OnceLock<netsim::metrics::LinkRecord> = std::sync::OnceLock::new();
+        let empty = || EMPTY.get_or_init(Default::default);
+        let up_l = hubref.links.get("uplink").unwrap_or_else(empty);
+        let down_l = hubref.links.get("downlink").unwrap_or_else(empty);
+        let min_opportunity = up_l.opportunity_bits.min(down_l.opportunity_bits);
+        let util = if min_opportunity > 0.0 {
+            (down_l.delivered_bytes as f64 * 8.0 / min_opportunity).min(1.0)
+        } else {
+            0.0
+        };
+        let qdelay_series: Vec<(f64, f64)> = down_l
+            .qdelay_series
+            .iter()
+            .map(|(t, d)| (t.as_secs_f64(), d.as_millis_f64()))
+            .collect();
+        let flow_tputs: Vec<f64> = hubref
+            .flows
+            .values()
+            .map(|f| f.throughput_over(window) / 1e6)
+            .collect();
+        Report {
+            scheme: self.scheme.name(),
+            utilization: util,
+            delay_ms: hubref.delay_summary_ms(),
+            qdelay_ms: down_l.qdelay_summary_ms(),
+            total_tput_mbps: flow_tputs.iter().sum(),
+            jain: hubref.jain(window),
+            drops: up_l.dropped_pkts + down_l.dropped_pkts,
+            flow_tputs_mbps: flow_tputs,
+            tput_series: hubref.total_throughput_series_mbps(),
+            qdelay_series: downsample(&qdelay_series, 600),
+            capacity_series: Vec::new(),
+        }
+    }
+}
+
+/// Cross-traffic pattern on the wired hop of [`MixedPathScenario`].
+#[derive(Debug, Clone, Copy)]
+pub enum CrossTraffic {
+    None,
+    /// A Cubic flow that is backlogged during `on`, silent during `off`.
+    OnOffCubic { on: SimDuration, off: SimDuration },
+}
+
+/// Figs. 6 and 11: an ABC flow whose path is ABC-wireless followed by a
+/// fixed-rate wired droptail link, optionally shared with Cubic cross
+/// traffic. The bottleneck flips between hops as the wireless rate steps.
+pub struct MixedPathScenario {
+    pub wireless: LinkSpec,
+    pub wired_rate: Rate,
+    pub rtt: SimDuration,
+    pub buffer_pkts: usize,
+    pub cross: CrossTraffic,
+    pub duration: SimDuration,
+}
+
+/// Samples of the ABC flow's two windows over time (Fig. 6's bottom panel).
+#[derive(Debug, Clone, Default)]
+pub struct WindowTrace {
+    /// (t s, w_abc pkts, w_nonabc pkts, goodput Mbit/s)
+    pub samples: Vec<(f64, f64, f64, f64)>,
+}
+
+pub struct MixedPathResult {
+    pub report: Report,
+    pub windows: WindowTrace,
+    /// (t s, queuing delay ms) at the *wireless* hop.
+    pub wireless_qdelay: Vec<(f64, f64)>,
+    /// (t s, queuing delay ms) at the wired hop.
+    pub wired_qdelay: Vec<(f64, f64)>,
+    /// Cross-traffic goodput series (Mbit/s).
+    pub cross_tput: Vec<(f64, f64)>,
+}
+
+impl MixedPathScenario {
+    pub fn run(&self) -> MixedPathResult {
+        let mut sim = Simulator::new();
+        let hub = new_hub();
+        let wireless_id = sim.reserve_node();
+        let wired_id = sim.reserve_node();
+        let sender_id = sim.reserve_node();
+        let sink_id = sim.reserve_node();
+        let q = self.rtt / 6;
+        let fwd = Route::new(vec![(wireless_id, q), (wired_id, q), (sink_id, q)]);
+        let back = Route::new(vec![(sender_id, self.rtt / 2)]);
+        sim.install_node(
+            sink_id,
+            Box::new(Sink::new(FlowId(1), back).with_metrics(hub.clone())),
+        );
+        sim.install_node(
+            sender_id,
+            Box::new(Sender::new(
+                FlowId(1),
+                Scheme::Abc.make_cc(),
+                fwd,
+                TrafficSource::Backlogged,
+            )),
+        );
+        sim.install_node(
+            wireless_id,
+            Box::new(
+                LinkQueue::new(Scheme::Abc.make_qdisc(self.buffer_pkts), self.wireless.build())
+                    .with_metrics("wireless", hub.clone()),
+            ),
+        );
+        sim.install_node(
+            wired_id,
+            Box::new(
+                LinkQueue::new(
+                    Box::new(DropTail::new(self.buffer_pkts)),
+                    LinkSpec::Constant(self.wired_rate).build(),
+                )
+                .with_metrics("wired", hub.clone()),
+            ),
+        );
+
+        // cross traffic enters only the wired hop
+        if let CrossTraffic::OnOffCubic { on, off } = self.cross {
+            let xs_id = sim.reserve_node();
+            let xsink_id = sim.reserve_node();
+            let xfwd = Route::new(vec![(wired_id, q), (xsink_id, q)]);
+            let xback = Route::new(vec![(xs_id, self.rtt / 2)]);
+            sim.install_node(
+                xsink_id,
+                Box::new(Sink::new(FlowId(2), xback).with_metrics(hub.clone())),
+            );
+            sim.install_node(
+                xs_id,
+                Box::new(Sender::new(
+                    FlowId(2),
+                    Box::new(Cubic::new()),
+                    xfwd,
+                    TrafficSource::OnOff { on, off },
+                )),
+            );
+        }
+
+        // run in chunks, sampling the ABC sender's windows
+        let mut windows = WindowTrace::default();
+        let chunk = SimDuration::from_millis(200);
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + self.duration;
+        let mut last_bytes = 0u64;
+        while t < end {
+            sim.run_until(t + chunk);
+            t += chunk;
+            let s: &Sender = sim
+                .node(sender_id)
+                .and_then(|n| n.as_any().downcast_ref())
+                .unwrap();
+            let cc = s.cc();
+            let (wabc, wnon) = cc
+                .as_abc_windows()
+                .unwrap_or((cc.cwnd_pkts(), cc.cwnd_pkts()));
+            let bytes = hub
+                .borrow()
+                .flows
+                .get(&FlowId(1))
+                .map(|f| f.delivered_bytes)
+                .unwrap_or(0);
+            let goodput = (bytes - last_bytes) as f64 * 8.0 / chunk.as_secs_f64() / 1e6;
+            last_bytes = bytes;
+            windows
+                .samples
+                .push((t.as_secs_f64(), wabc, wnon, goodput));
+        }
+
+        for (id, _tag) in [(wireless_id, "wireless"), (wired_id, "wired")] {
+            let lq: &LinkQueue = sim
+                .node(id)
+                .and_then(|n| n.as_any().downcast_ref())
+                .unwrap();
+            lq.finalize_opportunity(end);
+        }
+        let hubref = hub.borrow();
+        let series = |tag: &str| -> Vec<(f64, f64)> {
+            hubref.links[tag]
+                .qdelay_series
+                .iter()
+                .map(|(t, d)| (t.as_secs_f64(), d.as_millis_f64()))
+                .collect()
+        };
+        let wireless_qdelay = downsample(&series("wireless"), 600);
+        let wired_qdelay = downsample(&series("wired"), 600);
+        let window = self.duration;
+        let flow_tputs: Vec<f64> = hubref
+            .flows
+            .values()
+            .map(|f| f.throughput_over(window) / 1e6)
+            .collect();
+        let report = Report {
+            scheme: "ABC(mixed-path)".into(),
+            utilization: hubref.links["wireless"].utilization(),
+            delay_ms: hubref.delay_summary_ms(),
+            qdelay_ms: hubref.links["wireless"].qdelay_summary_ms(),
+            total_tput_mbps: flow_tputs.iter().sum(),
+            jain: hubref.jain(window),
+            drops: hubref.links["wired"].dropped_pkts,
+            flow_tputs_mbps: flow_tputs,
+            tput_series: hubref.throughput_series_mbps(FlowId(1)),
+            qdelay_series: wireless_qdelay.clone(),
+            capacity_series: self
+                .wireless
+                .capacity_series(self.duration, SimDuration::from_millis(100)),
+        };
+        MixedPathResult {
+            report,
+            windows,
+            wireless_qdelay,
+            wired_qdelay,
+            cross_tput: hubref.throughput_series_mbps(FlowId(2)),
+        }
+    }
+}
+
+/// Figs. 7 & 12: long-lived ABC and Cubic flows sharing a dual-queue ABC
+/// router, plus optional Poisson short (Cubic) flows at a target offered
+/// load.
+pub struct CoexistScenario {
+    pub link_rate: Rate,
+    pub n_abc: u32,
+    pub n_cubic: u32,
+    pub policy: WeightPolicy,
+    /// Offered load of 10-KB short flows as a fraction of link rate.
+    pub short_flow_load: f64,
+    pub rtt: SimDuration,
+    pub duration: SimDuration,
+    pub warmup: SimDuration,
+    /// Stagger between long-flow arrivals (Fig. 7 uses ~25 s).
+    pub stagger: SimDuration,
+    pub seed: u64,
+}
+
+impl Default for CoexistScenario {
+    fn default() -> Self {
+        CoexistScenario {
+            link_rate: Rate::from_mbps(96.0),
+            n_abc: 3,
+            n_cubic: 3,
+            policy: WeightPolicy::MaxMin { headroom: 0.10 },
+            short_flow_load: 0.0,
+            rtt: SimDuration::from_millis(100),
+            duration: SimDuration::from_secs(40),
+            warmup: SimDuration::from_secs(5),
+            stagger: SimDuration::ZERO,
+            seed: 7,
+        }
+    }
+}
+
+pub struct CoexistResult {
+    /// Per-flow average goodput (Mbit/s) of the long ABC flows.
+    pub abc_tputs: Vec<f64>,
+    /// Per-flow average goodput of the long Cubic flows.
+    pub cubic_tputs: Vec<f64>,
+    /// Goodput series per long flow (Fig. 7 top panel).
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// (t s, ms) queuing delay of the ABC class / the other class.
+    pub abc_qdelay_p95_ms: f64,
+    pub short_flows_completed: u64,
+}
+
+impl CoexistScenario {
+    pub fn run(&self) -> CoexistResult {
+        self.run_sampled(|_, _, _, _| {})
+    }
+
+    /// Like [`CoexistScenario::run`], invoking `probe(t_secs, w_abc,
+    /// abc_queue_pkts, other_queue_pkts)` every 100 ms of simulated time.
+    pub fn run_sampled(&self, mut probe: impl FnMut(f64, f64, usize, usize)) -> CoexistResult {
+        let mut sim = Simulator::new();
+        let hub = new_hub();
+        hub.borrow_mut().set_epoch(SimTime::ZERO + self.warmup);
+        let link_id = sim.reserve_node();
+        let q = self.rtt / 4;
+        let back_d = self.rtt / 2;
+        let mut next_flow = 1u32;
+        let mut long_flows: Vec<(String, FlowId)> = Vec::new();
+
+        let add_flow = |sim: &mut Simulator,
+                            scheme: Scheme,
+                            start: SimTime,
+                            app: TrafficSource,
+                            next_flow: &mut u32|
+         -> FlowId {
+            let flow = FlowId(*next_flow);
+            *next_flow += 1;
+            let sender_id = sim.reserve_node();
+            let sink_id = sim.reserve_node();
+            let fwd = Route::new(vec![(link_id, q), (sink_id, q)]);
+            let back = Route::new(vec![(sender_id, back_d)]);
+            sim.install_node(
+                sink_id,
+                Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
+            );
+            sim.install_node(
+                sender_id,
+                Box::new(
+                    Sender::new(flow, scheme.make_cc(), fwd, app).with_start_at(start),
+                ),
+            );
+            flow
+        };
+
+        for i in 0..self.n_abc {
+            let f = add_flow(
+                &mut sim,
+                Scheme::Abc,
+                SimTime::ZERO + self.stagger * i as u64,
+                TrafficSource::Backlogged,
+                &mut next_flow,
+            );
+            long_flows.push((format!("ABC {}", i + 1), f));
+        }
+        for i in 0..self.n_cubic {
+            let f = add_flow(
+                &mut sim,
+                Scheme::Cubic,
+                SimTime::ZERO + self.stagger * (self.n_abc + i) as u64,
+                TrafficSource::Backlogged,
+                &mut next_flow,
+            );
+            long_flows.push((format!("Cubic {}", i + 1), f));
+        }
+
+        // Poisson 10-KB short flows (non-ABC), at `short_flow_load`.
+        let mut short_count = 0u64;
+        if self.short_flow_load > 0.0 {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            let bytes_per_flow = 10_000.0;
+            let arrivals_per_s =
+                self.short_flow_load * self.link_rate.bps() / 8.0 / bytes_per_flow;
+            let mut t = 0.0;
+            while t < self.duration.as_secs_f64() {
+                let gap = -rng.gen_range(1e-9f64..1.0).ln() / arrivals_per_s;
+                t += gap;
+                if t >= self.duration.as_secs_f64() {
+                    break;
+                }
+                add_flow(
+                    &mut sim,
+                    Scheme::Cubic,
+                    SimTime::from_secs_f64(t),
+                    TrafficSource::Finite {
+                        bytes: bytes_per_flow as u64,
+                    },
+                    &mut next_flow,
+                );
+                short_count += 1;
+            }
+        }
+
+        let qdisc = DualQueue::new(DualQueueConfig {
+            policy: self.policy,
+            ..Default::default()
+        });
+        sim.install_node(
+            link_id,
+            Box::new(
+                LinkQueue::new(Box::new(qdisc), LinkSpec::Constant(self.link_rate).build())
+                    .with_metrics("bottleneck", hub.clone()),
+            ),
+        );
+
+        let end = SimTime::ZERO + self.duration;
+        let mut t = SimTime::ZERO;
+        while t < end {
+            sim.run_until(t + SimDuration::from_millis(100));
+            t += SimDuration::from_millis(100);
+            let lq: &LinkQueue = sim
+                .node(link_id)
+                .and_then(|n| n.as_any().downcast_ref())
+                .unwrap();
+            if let Some(dq) = lq.qdisc().as_any_qdisc().downcast_ref::<DualQueue>() {
+                probe(
+                    t.as_secs_f64(),
+                    dq.weight_abc(),
+                    dq.abc_queue().len_pkts(),
+                    dq.other_len_pkts(),
+                );
+            }
+        }
+
+        let hubref = hub.borrow();
+        let window = self.duration - self.warmup;
+        let tput = |f: FlowId| {
+            hubref
+                .flows
+                .get(&f)
+                .map(|r| r.throughput_over(window) / 1e6)
+                .unwrap_or(0.0)
+        };
+        let abc_tputs: Vec<f64> = long_flows
+            .iter()
+            .filter(|(n, _)| n.starts_with("ABC"))
+            .map(|(_, f)| tput(*f))
+            .collect();
+        let cubic_tputs: Vec<f64> = long_flows
+            .iter()
+            .filter(|(n, _)| n.starts_with("Cubic"))
+            .map(|(_, f)| tput(*f))
+            .collect();
+        let series = long_flows
+            .iter()
+            .map(|(n, f)| (n.clone(), hubref.throughput_series_mbps(*f)))
+            .collect();
+        // ABC-class queuing delay: per-packet delays of ABC flows minus
+        // propagation (the sink-side observable)
+        let prop = (q + q).as_millis_f64();
+        let mut abc_delays: Vec<f64> = long_flows
+            .iter()
+            .filter(|(n, _)| n.starts_with("ABC"))
+            .filter_map(|(_, f)| hubref.flows.get(f))
+            .flat_map(|r| r.delays_s.iter().map(|d| (d * 1e3 - prop).max(0.0)))
+            .collect();
+        abc_delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let abc_qdelay_p95_ms = netsim::stats::percentile(&abc_delays, 95.0);
+        CoexistResult {
+            abc_tputs,
+            cubic_tputs,
+            series,
+            abc_qdelay_p95_ms,
+            short_flows_completed: short_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_hop_abc_tracks_tighter_link() {
+        let r = TwoHopScenario::new(
+            Scheme::Abc,
+            LinkSpec::Constant(Rate::from_mbps(24.0)),
+            LinkSpec::Constant(Rate::from_mbps(12.0)),
+        )
+        .run();
+        // bottleneck is the 12 Mbit/s downlink
+        assert!(r.total_tput_mbps > 10.0, "{}", r.row());
+        assert!(r.total_tput_mbps < 12.5, "{}", r.row());
+        assert!(r.qdelay_ms.p95 < 60.0, "{}", r.row());
+    }
+
+    #[test]
+    fn mixed_path_switches_bottleneck() {
+        // wireless steps 16 → 6 → 16 Mbit/s; wired fixed 12
+        let r = MixedPathScenario {
+            wireless: LinkSpec::Steps(vec![
+                (SimTime::ZERO, Rate::from_mbps(16.0)),
+                (SimTime::ZERO + SimDuration::from_secs(20), Rate::from_mbps(6.0)),
+                (SimTime::ZERO + SimDuration::from_secs(40), Rate::from_mbps(16.0)),
+            ]),
+            wired_rate: Rate::from_mbps(12.0),
+            rtt: SimDuration::from_millis(100),
+            buffer_pkts: 250,
+            cross: CrossTraffic::None,
+            duration: SimDuration::from_secs(60),
+        }
+        .run();
+        // middle third: wireless (6) is the bottleneck; outer thirds:
+        // wired (12). Check goodput in each regime.
+        let mid: Vec<f64> = r
+            .windows
+            .samples
+            .iter()
+            .filter(|(t, ..)| (25.0..38.0).contains(t))
+            .map(|&(_, _, _, g)| g)
+            .collect();
+        let outer: Vec<f64> = r
+            .windows
+            .samples
+            .iter()
+            .filter(|(t, ..)| (45.0..58.0).contains(t))
+            .map(|&(_, _, _, g)| g)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            (mean(&mid) - 6.0).abs() < 1.2,
+            "mid-regime goodput {}",
+            mean(&mid)
+        );
+        assert!(
+            mean(&outer) > 9.5,
+            "outer-regime goodput {} (wired should cap at ~12)",
+            mean(&outer)
+        );
+    }
+
+    #[test]
+    fn coexist_long_flows_share_fairly() {
+        let r = CoexistScenario {
+            link_rate: Rate::from_mbps(48.0),
+            n_abc: 2,
+            n_cubic: 2,
+            duration: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(20),
+            ..Default::default()
+        }
+        .run();
+        let abc: f64 = r.abc_tputs.iter().sum::<f64>() / r.abc_tputs.len() as f64;
+        let cubic: f64 = r.cubic_tputs.iter().sum::<f64>() / r.cubic_tputs.len() as f64;
+        let diff = (abc - cubic).abs() / abc.max(cubic);
+        assert!(
+            diff < 0.25,
+            "ABC {abc:.2} vs Cubic {cubic:.2} Mbit/s ({diff:.2} apart)"
+        );
+        // ABC keeps its class's delay low despite the Cubic queue
+        assert!(
+            r.abc_qdelay_p95_ms < 100.0,
+            "ABC-class queuing delay {:.1} ms",
+            r.abc_qdelay_p95_ms
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # explicit — explicit-feedback congestion control baselines
+//!
+//! The in-network schemes the ABC paper compares against (§6.3, App. D):
+//!
+//! * [`xcp`] — XCP (multi-bit per-packet window deltas, per-interval
+//!   aggregate feedback) and XCPw, the paper's wireless-tuned variant that
+//!   recomputes feedback on every packet;
+//! * [`rcp`] — RCP (router-advertised stub rate; rate-based, hence slower
+//!   to drain queues than window-based schemes — Fig. 17);
+//! * [`vcp`] — VCP (2-bit load factor; fixed MI/AI/MD constants make it
+//!   slow to track wireless rate swings).
+//!
+//! Each module provides the router side as a [`netsim::queue::Qdisc`] and
+//! the endpoint as a [`netsim::flow::CongestionControl`]. All three need
+//! packet fields that do not exist in IP headers — the deployment problem
+//! ABC's single-ECN-bit design removes.
+
+pub mod rcp;
+pub mod vcp;
+pub mod xcp;
+
+pub use rcp::{RcpConfig, RcpQdisc, RcpSender};
+pub use vcp::{VcpConfig, VcpQdisc, VcpSender};
+pub use xcp::{XcpConfig, XcpQdisc, XcpSender};

@@ -1,0 +1,323 @@
+//! RCP — Rate Control Protocol [Dukkipati et al.; the ABC paper compares
+//! against the INFOCOM'08 deployment-focused variant]. The router
+//! maintains a single stub rate `R` handed to every flow and updates it
+//! each control interval:
+//!
+//! ```text
+//! R ← R·(1 + (T/d̄)·(α·(C − y) − β·q/d̄) / C)
+//! ```
+//!
+//! with α = 0.5, β = 0.25 (the settings the ABC paper uses). Being
+//! *rate*-based, RCP reacts a queue-drain slower than window-based ABC —
+//! the Fig. 17 comparison.
+
+use netsim::flow::{AckEvent, CongestionControl, Pacing};
+use netsim::packet::{Feedback, Packet};
+use netsim::queue::{Qdisc, QdiscStats};
+use netsim::rate::Rate;
+use netsim::stats::WindowedRate;
+use netsim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+pub struct RcpConfig {
+    pub alpha: f64,
+    pub beta: f64,
+    pub buffer_pkts: usize,
+    /// Control interval T (RCP uses ~10 ms or the mean RTT; we follow the
+    /// common 10 ms slotting with d̄ tracked separately).
+    pub interval: SimDuration,
+}
+
+impl Default for RcpConfig {
+    fn default() -> Self {
+        RcpConfig {
+            alpha: 0.5,
+            beta: 0.25,
+            buffer_pkts: 250,
+            interval: SimDuration::from_millis(10),
+        }
+    }
+}
+
+pub struct RcpQdisc {
+    cfg: RcpConfig,
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    capacity: Rate,
+    /// The advertised stub rate.
+    rate: Rate,
+    /// Mean RTT of traffic (EWMA of header-carried RTTs).
+    mean_rtt: SimDuration,
+    input: WindowedRate,
+    last_update: Option<SimTime>,
+    stats: QdiscStats,
+}
+
+impl RcpQdisc {
+    pub fn new(cfg: RcpConfig) -> Self {
+        RcpQdisc {
+            cfg,
+            queue: VecDeque::new(),
+            bytes: 0,
+            capacity: Rate::ZERO,
+            rate: Rate::from_mbps(1.0),
+            mean_rtt: SimDuration::from_millis(100),
+            input: WindowedRate::new(SimDuration::from_millis(100)),
+            last_update: None,
+            stats: QdiscStats::default(),
+        }
+    }
+
+    pub fn advertised_rate(&self) -> Rate {
+        self.rate
+    }
+
+    fn maybe_update(&mut self, now: SimTime) {
+        let last = *self.last_update.get_or_insert(now);
+        if now.since(last) < self.cfg.interval {
+            return;
+        }
+        self.last_update = Some(now);
+        if self.capacity.is_zero() {
+            return;
+        }
+        let c = self.capacity.bps();
+        let y = self.input.rate(now).bps();
+        let q_bits = self.bytes as f64 * 8.0;
+        let t = self.cfg.interval.as_secs_f64();
+        let d = self.mean_rtt.as_secs_f64().max(1e-3);
+        let delta = (t / d) * (self.cfg.alpha * (c - y) - self.cfg.beta * q_bits / d) / c;
+        let new = self.rate.bps() * (1.0 + delta);
+        // clamp: a floor keeps new flows bootstrapped, the ceiling is C
+        self.rate = Rate::from_bps(new.clamp(c * 0.001, c));
+    }
+}
+
+impl Qdisc for RcpQdisc {
+    netsim::impl_qdisc_downcast!();
+
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+        self.maybe_update(now);
+        if self.queue.len() >= self.cfg.buffer_pkts {
+            self.stats.dropped_pkts += 1;
+            return false;
+        }
+        self.input.record(now, pkt.size as u64);
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+        self.stats.enqueued_pkts += 1;
+        true
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.maybe_update(now);
+        let mut pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        if let Feedback::Rcp { rate_bps } = pkt.feedback {
+            // multi-bottleneck: stamp the minimum along the path
+            pkt.feedback = Feedback::Rcp {
+                rate_bps: rate_bps.min(self.rate.bps()),
+            };
+        }
+        self.stats.dequeued_pkts += 1;
+        self.stats.dequeued_bytes += pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn peek_size(&self) -> Option<u32> {
+        self.queue.front().map(|p| p.size)
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn on_capacity(&mut self, rate: Rate, _now: SimTime) {
+        if self.capacity.is_zero() && !rate.is_zero() {
+            // bootstrap the stub rate at a fraction of capacity
+            self.rate = rate * 0.1;
+        }
+        self.capacity = rate;
+    }
+
+    fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
+        self.queue.front().map(|p| now.since(p.enqueued_at))
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+}
+
+/// The RCP endpoint: paces at the minimum stamped rate.
+pub struct RcpSender {
+    rate: Rate,
+    srtt: SimDuration,
+}
+
+impl RcpSender {
+    pub fn new() -> Self {
+        RcpSender {
+            rate: Rate::from_mbps(0.5),
+            srtt: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl Default for RcpSender {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for RcpSender {
+    fn name(&self) -> &'static str {
+        "rcp"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if !ev.srtt.is_zero() {
+            self.srtt = ev.srtt;
+        }
+        if let Feedback::Rcp { rate_bps } = ev.feedback {
+            if rate_bps.is_finite() && rate_bps > 0.0 {
+                self.rate = Rate::from_bps(rate_bps);
+            }
+        }
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.rate = Rate::from_bps((self.rate.bps() / 2.0).max(1e4));
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        // window cap: 2 rate·RTT products so pacing, not window, governs
+        (self.rate.bps() * self.srtt.as_secs_f64() / (8.0 * 1500.0) * 2.0).max(2.0)
+    }
+
+    fn pacing(&self) -> Pacing {
+        Pacing::Rate(self.rate)
+    }
+
+    fn outgoing_feedback(&mut self, _now: SimTime) -> Feedback {
+        Feedback::Rcp { rate_bps: f64::MAX }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Ecn, FlowId, NodeId, Route};
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn rcp_pkt(seq: u64) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            seq,
+            size: 1500,
+            ecn: Ecn::NotEct,
+            feedback: Feedback::Rcp { rate_bps: f64::MAX },
+            abc_capable: false,
+            sent_at: SimTime::ZERO,
+            retransmit: false,
+            ack: None,
+            route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
+            hop: 0,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn rate_rises_on_spare_capacity() {
+        let mut q = RcpQdisc::new(RcpConfig::default());
+        q.on_capacity(Rate::from_mbps(24.0), at(0));
+        let r0 = q.advertised_rate();
+        // trickle traffic, lots of spare capacity
+        let mut seq = 0;
+        for t in (0..2000u64).step_by(10) {
+            q.enqueue(rcp_pkt(seq), at(t));
+            seq += 1;
+            q.dequeue(at(t));
+        }
+        assert!(
+            q.advertised_rate().bps() > r0.bps() * 2.0,
+            "rate {} → {}",
+            r0,
+            q.advertised_rate()
+        );
+    }
+
+    #[test]
+    fn rate_falls_when_queue_builds() {
+        let mut q = RcpQdisc::new(RcpConfig::default());
+        q.on_capacity(Rate::from_mbps(12.0), at(0));
+        // drive the advertised rate up first
+        let mut seq = 0;
+        for t in (0..1000u64).step_by(10) {
+            q.enqueue(rcp_pkt(seq), at(t));
+            seq += 1;
+            q.dequeue(at(t));
+        }
+        let high = q.advertised_rate();
+        // now overload: 3 in per ms, 1 out
+        for t in 1000..1400u64 {
+            for _ in 0..3 {
+                q.enqueue(rcp_pkt(seq), at(t));
+                seq += 1;
+            }
+            q.dequeue(at(t));
+        }
+        assert!(
+            q.advertised_rate().bps() < high.bps(),
+            "rate should fall under overload: {} → {}",
+            high,
+            q.advertised_rate()
+        );
+    }
+
+    #[test]
+    fn router_stamps_minimum_rate() {
+        let mut q = RcpQdisc::new(RcpConfig::default());
+        q.on_capacity(Rate::from_mbps(24.0), at(0));
+        let mut p = rcp_pkt(0);
+        p.feedback = Feedback::Rcp { rate_bps: 1000.0 }; // upstream tighter
+        q.enqueue(p, at(0));
+        match q.dequeue(at(0)).unwrap().feedback {
+            Feedback::Rcp { rate_bps } => assert_eq!(rate_bps, 1000.0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn sender_adopts_stamped_rate_and_paces() {
+        let mut s = RcpSender::new();
+        let ev = AckEvent {
+            now: at(100),
+            rtt: Some(SimDuration::from_millis(100)),
+            min_rtt: SimDuration::from_millis(100),
+            srtt: SimDuration::from_millis(100),
+            acked_bytes: 1500,
+            ecn_echo: Ecn::NotEct,
+            feedback: Feedback::Rcp { rate_bps: 6e6 },
+            inflight_pkts: 2,
+            delivery_rate: Rate::ZERO,
+            one_way_delay: SimDuration::from_millis(50),
+        };
+        s.on_ack(&ev);
+        match s.pacing() {
+            Pacing::Rate(r) => assert!((r.mbps() - 6.0).abs() < 1e-9),
+            _ => panic!("RCP must pace"),
+        }
+        // cwnd cap = 2·rate·rtt = 2·6e6·0.1/12000 = 100 pkts
+        assert!((s.cwnd_pkts() - 100.0).abs() < 1.0);
+    }
+}

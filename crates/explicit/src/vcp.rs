@@ -1,0 +1,361 @@
+//! VCP — Variable-structure Congestion control Protocol [Xia et al.,
+//! SIGCOMM 2005]. The router classifies its load factor into three regions
+//! encoded in two bits; senders switch between multiplicative increase,
+//! additive increase, and multiplicative decrease. The ABC paper's point
+//! (§7): with fixed MI/MD constants it takes VCP ~12 RTTs to double its
+//! rate, far too slow for wireless variation. Constants per the paper:
+//! ξ = 0.0625, α = 1.0, β = 0.875, κ = 0.25, load interval 200 ms.
+
+use netsim::flow::{AckEvent, CongestionControl};
+use netsim::packet::{Feedback, Packet, VcpLoad};
+use netsim::queue::{Qdisc, QdiscStats};
+use netsim::rate::Rate;
+use netsim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+pub struct VcpConfig {
+    /// Load-factor measurement interval t_ρ.
+    pub interval: SimDuration,
+    /// Queue weight κ in the load factor.
+    pub kappa: f64,
+    /// Target utilization γ.
+    pub gamma: f64,
+    pub buffer_pkts: usize,
+}
+
+impl Default for VcpConfig {
+    fn default() -> Self {
+        VcpConfig {
+            interval: SimDuration::from_millis(200),
+            kappa: 0.25,
+            gamma: 0.98,
+            buffer_pkts: 250,
+        }
+    }
+}
+
+pub struct VcpQdisc {
+    cfg: VcpConfig,
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    capacity: Rate,
+    arrived_bytes: f64,
+    interval_start: Option<SimTime>,
+    load: VcpLoad,
+    load_factor: f64,
+    stats: QdiscStats,
+}
+
+impl VcpQdisc {
+    pub fn new(cfg: VcpConfig) -> Self {
+        VcpQdisc {
+            cfg,
+            queue: VecDeque::new(),
+            bytes: 0,
+            capacity: Rate::ZERO,
+            arrived_bytes: 0.0,
+            interval_start: None,
+            load: VcpLoad::Low,
+            load_factor: 0.0,
+            stats: QdiscStats::default(),
+        }
+    }
+
+    pub fn load_factor(&self) -> f64 {
+        self.load_factor
+    }
+
+    pub fn load(&self) -> VcpLoad {
+        self.load
+    }
+
+    fn maybe_update(&mut self, now: SimTime) {
+        let start = *self.interval_start.get_or_insert(now);
+        if now.since(start) < self.cfg.interval {
+            return;
+        }
+        self.interval_start = Some(now);
+        if self.capacity.is_zero() {
+            self.load = VcpLoad::Overload;
+            self.load_factor = f64::INFINITY;
+        } else {
+            let t = self.cfg.interval.as_secs_f64();
+            let lambda = self.arrived_bytes * 8.0; // bits this interval
+            let q_bits = self.bytes as f64 * 8.0;
+            let rho =
+                (lambda + self.cfg.kappa * q_bits) / (self.cfg.gamma * self.capacity.bps() * t);
+            self.load_factor = rho;
+            self.load = if rho < 0.8 {
+                VcpLoad::Low
+            } else if rho <= 1.0 {
+                VcpLoad::High
+            } else {
+                VcpLoad::Overload
+            };
+        }
+        self.arrived_bytes = 0.0;
+    }
+}
+
+impl Qdisc for VcpQdisc {
+    netsim::impl_qdisc_downcast!();
+
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+        self.maybe_update(now);
+        if self.queue.len() >= self.cfg.buffer_pkts {
+            self.stats.dropped_pkts += 1;
+            return false;
+        }
+        self.arrived_bytes += pkt.size as f64;
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+        self.stats.enqueued_pkts += 1;
+        true
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.maybe_update(now);
+        let mut pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        if let Feedback::Vcp(current) = pkt.feedback {
+            // stamp the *worst* load along the path (Low < High < Overload)
+            let worst = match (current, self.load) {
+                (VcpLoad::Overload, _) | (_, VcpLoad::Overload) => VcpLoad::Overload,
+                (VcpLoad::High, _) | (_, VcpLoad::High) => VcpLoad::High,
+                _ => VcpLoad::Low,
+            };
+            pkt.feedback = Feedback::Vcp(worst);
+        }
+        self.stats.dequeued_pkts += 1;
+        self.stats.dequeued_bytes += pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn peek_size(&self) -> Option<u32> {
+        self.queue.front().map(|p| p.size)
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn on_capacity(&mut self, rate: Rate, _now: SimTime) {
+        self.capacity = rate;
+    }
+
+    fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
+        self.queue.front().map(|p| now.since(p.enqueued_at))
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+}
+
+/// VCP endpoint constants (per the ABC paper's Appendix D).
+const XI: f64 = 0.0625; // MI factor per RTT
+const AI_ALPHA: f64 = 1.0; // packets per RTT
+const MD_BETA: f64 = 0.875;
+
+pub struct VcpSender {
+    cwnd: f64,
+    /// Worst load signal observed in the current RTT round.
+    round_worst: VcpLoad,
+    round_end: SimTime,
+    srtt: SimDuration,
+}
+
+impl VcpSender {
+    pub fn new() -> Self {
+        VcpSender {
+            cwnd: 2.0,
+            round_worst: VcpLoad::Low,
+            round_end: SimTime::ZERO,
+            srtt: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl Default for VcpSender {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for VcpSender {
+    fn name(&self) -> &'static str {
+        "vcp"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if !ev.srtt.is_zero() {
+            self.srtt = ev.srtt;
+        }
+        if let Feedback::Vcp(load) = ev.feedback {
+            self.round_worst = match (self.round_worst, load) {
+                (VcpLoad::Overload, _) | (_, VcpLoad::Overload) => VcpLoad::Overload,
+                (VcpLoad::High, _) | (_, VcpLoad::High) => VcpLoad::High,
+                _ => VcpLoad::Low,
+            };
+        }
+        if ev.now >= self.round_end {
+            match self.round_worst {
+                VcpLoad::Low => self.cwnd *= 1.0 + XI,
+                VcpLoad::High => self.cwnd += AI_ALPHA,
+                VcpLoad::Overload => self.cwnd *= MD_BETA,
+            }
+            self.cwnd = self.cwnd.max(1.0);
+            self.round_worst = VcpLoad::Low;
+            self.round_end = ev.now + self.srtt;
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        self.cwnd = (self.cwnd * MD_BETA).max(1.0);
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.cwnd = 2.0;
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn outgoing_feedback(&mut self, _now: SimTime) -> Feedback {
+        Feedback::Vcp(VcpLoad::Low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::{Ecn, FlowId, NodeId, Route};
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn vcp_pkt(seq: u64) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            seq,
+            size: 1500,
+            ecn: Ecn::NotEct,
+            feedback: Feedback::Vcp(VcpLoad::Low),
+            abc_capable: false,
+            sent_at: SimTime::ZERO,
+            retransmit: false,
+            ack: None,
+            route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
+            hop: 0,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn load_regions_classify_correctly() {
+        let mut q = VcpQdisc::new(VcpConfig::default());
+        q.on_capacity(Rate::from_mbps(12.0), at(0));
+        // 50% load: 1 pkt per 2 ms for 400 ms
+        let mut seq = 0;
+        for t in (0..400u64).step_by(2) {
+            q.enqueue(vcp_pkt(seq), at(t));
+            seq += 1;
+            q.dequeue(at(t));
+        }
+        assert_eq!(q.load(), VcpLoad::Low);
+        assert!(q.load_factor() < 0.8, "ρ = {}", q.load_factor());
+
+        // ~100% load for 400 ms
+        for t in 400..800u64 {
+            q.enqueue(vcp_pkt(seq), at(t));
+            seq += 1;
+            q.dequeue(at(t));
+        }
+        assert!(
+            q.load() == VcpLoad::High || q.load() == VcpLoad::Overload,
+            "ρ = {}",
+            q.load_factor()
+        );
+
+        // 200% offered, queue building
+        for t in 800..1200u64 {
+            q.enqueue(vcp_pkt(seq), at(t));
+            seq += 1;
+            q.enqueue(vcp_pkt(seq), at(t));
+            seq += 1;
+            q.dequeue(at(t));
+        }
+        assert_eq!(q.load(), VcpLoad::Overload);
+    }
+
+    fn ev(now_ms: u64, load: VcpLoad) -> AckEvent {
+        AckEvent {
+            now: at(now_ms),
+            rtt: Some(SimDuration::from_millis(100)),
+            min_rtt: SimDuration::from_millis(100),
+            srtt: SimDuration::from_millis(100),
+            acked_bytes: 1500,
+            ecn_echo: Ecn::NotEct,
+            feedback: Feedback::Vcp(load),
+            inflight_pkts: 5,
+            delivery_rate: Rate::ZERO,
+            one_way_delay: SimDuration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn mi_ai_md_transitions() {
+        let mut s = VcpSender::new();
+        s.cwnd = 16.0;
+        // Low → MI once per RTT
+        s.on_ack(&ev(100, VcpLoad::Low));
+        assert!((s.cwnd_pkts() - 17.0).abs() < 1e-9); // 16·1.0625
+        // within the same round nothing more happens
+        s.on_ack(&ev(150, VcpLoad::Low));
+        assert!((s.cwnd_pkts() - 17.0).abs() < 1e-9);
+        // next round: High → AI
+        s.on_ack(&ev(201, VcpLoad::High));
+        assert!((s.cwnd_pkts() - 18.0).abs() < 1e-9);
+        // next round: Overload → MD
+        s.on_ack(&ev(302, VcpLoad::Overload));
+        assert!((s.cwnd_pkts() - 18.0 * 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubling_takes_about_twelve_rtts() {
+        // §7's observation: (1.0625)^n = 2 → n ≈ 11.4
+        let mut s = VcpSender::new();
+        s.cwnd = 10.0;
+        let mut rtts = 0;
+        let mut t = 100;
+        while s.cwnd_pkts() < 20.0 {
+            s.on_ack(&ev(t, VcpLoad::Low));
+            t += 101;
+            rtts += 1;
+            assert!(rtts < 20, "runaway");
+        }
+        assert!((11..=13).contains(&rtts), "took {rtts} RTTs");
+    }
+
+    #[test]
+    fn worst_load_wins_on_path() {
+        let mut q = VcpQdisc::new(VcpConfig::default());
+        q.on_capacity(Rate::from_mbps(12.0), at(0));
+        q.load = VcpLoad::High;
+        let mut p = vcp_pkt(0);
+        p.feedback = Feedback::Vcp(VcpLoad::Overload); // upstream said worse
+        q.enqueue(p, at(0));
+        match q.dequeue(at(0)).unwrap().feedback {
+            Feedback::Vcp(l) => assert_eq!(l, VcpLoad::Overload),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The event queue: a time-ordered heap with deterministic tie-breaking.
+
+use crate::packet::{NodeId, Packet};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What a node is asked to do when its event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet arrives at the node (propagation already elapsed).
+    Deliver(Packet),
+    /// A timer previously set by the node fires; the token is whatever the
+    /// node passed to [`crate::node::Context::set_timer`].
+    Timer(u64),
+}
+
+#[derive(Debug)]
+pub struct Event {
+    pub time: SimTime,
+    pub node: NodeId,
+    pub kind: EventKind,
+    /// Global insertion order: equal-time events fire in the order they
+    /// were scheduled, which makes runs bit-reproducible.
+    seq: u64,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (then first-scheduled)
+        // pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            node,
+            kind,
+            seq,
+        });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), NodeId(0), EventKind::Timer(3));
+        q.push(t(10), NodeId(0), EventKind::Timer(1));
+        q.push(t(20), NodeId(0), EventKind::Timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer(x) => x,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(t(5), NodeId(0), EventKind::Timer(i));
+        }
+        for i in 0..100u64 {
+            match q.pop().unwrap().kind {
+                EventKind::Timer(x) => assert_eq!(x, i),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(42), NodeId(1), EventKind::Timer(0));
+        q.push(t(7), NodeId(1), EventKind::Timer(0));
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Fault injection: lossy and corrupting wires.
+//!
+//! The paper's traces "include outages (highlighting ABC's ability to
+//! handle ACK losses)" — this module provides the complementary
+//! *random* impairments: a [`LossyWire`] node that drops (or strips
+//! feedback from) packets with a seeded probability, insertable anywhere
+//! on a route. Inspired by smoltcp's fault-injection examples.
+
+use crate::event::EventKind;
+use crate::node::{Context, Node};
+use crate::packet::{Ecn, Feedback};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the wire does to unlucky packets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Impairment {
+    /// Drop the packet entirely.
+    Drop,
+    /// Deliver it, but wipe its ECN bits to Not-ECT (a middlebox that
+    /// bleaches ECN — a real deployment hazard for ABC).
+    BleachEcn,
+    /// Deliver it, but strip explicit-feedback headers (a middlebox that
+    /// drops unknown options — §2's argument against XCP-style headers).
+    StripFeedback,
+}
+
+/// A wire that impairs packets with probability `p`, forwarding the rest
+/// unchanged along their route.
+pub struct LossyWire {
+    p: f64,
+    what: Impairment,
+    rng: StdRng,
+    pub passed: u64,
+    pub impaired: u64,
+}
+
+impl LossyWire {
+    pub fn new(p: f64, what: Impairment, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        LossyWire {
+            p,
+            what,
+            rng: StdRng::seed_from_u64(seed),
+            passed: 0,
+            impaired: 0,
+        }
+    }
+}
+
+impl Node for LossyWire {
+    crate::impl_node_downcast!();
+
+    fn handle(&mut self, ctx: &mut Context, event: EventKind) {
+        let EventKind::Deliver(mut pkt) = event else {
+            return;
+        };
+        if self.rng.gen::<f64>() < self.p {
+            self.impaired += 1;
+            match self.what {
+                Impairment::Drop => return,
+                Impairment::BleachEcn => pkt.ecn = Ecn::NotEct,
+                Impairment::StripFeedback => pkt.feedback = Feedback::None,
+            }
+        } else {
+            self.passed += 1;
+        }
+        if pkt.next_hop().is_some() {
+            ctx.forward(pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId, Packet, Route};
+    use crate::sim::Simulator;
+    use crate::time::{SimDuration, SimTime};
+
+    struct Counter {
+        got: u64,
+        ecn_seen: Vec<Ecn>,
+    }
+
+    impl Node for Counter {
+        crate::impl_node_downcast!();
+        fn handle(&mut self, _ctx: &mut Context, ev: EventKind) {
+            if let EventKind::Deliver(p) = ev {
+                self.got += 1;
+                self.ecn_seen.push(p.ecn);
+            }
+        }
+    }
+
+    fn run(p: f64, what: Impairment, n: u64) -> (u64, Vec<Ecn>) {
+        let mut sim = Simulator::new();
+        let wire_id = sim.reserve_node();
+        let sink_id = sim.reserve_node();
+        sim.install_node(wire_id, Box::new(LossyWire::new(p, what, 42)));
+        sim.install_node(
+            sink_id,
+            Box::new(Counter {
+                got: 0,
+                ecn_seen: vec![],
+            }),
+        );
+        struct Src {
+            n: u64,
+            wire: NodeId,
+            sink: NodeId,
+        }
+        impl Node for Src {
+            crate::impl_node_downcast!();
+            fn start(&mut self, ctx: &mut Context) {
+                for seq in 0..self.n {
+                    let route = Route::new(vec![
+                        (self.wire, SimDuration::from_millis(1)),
+                        (self.sink, SimDuration::from_millis(1)),
+                    ]);
+                    ctx.forward(Packet {
+                        flow: FlowId(1),
+                        seq,
+                        size: 1500,
+                        ecn: Ecn::Accelerate,
+                        feedback: Feedback::Rcp { rate_bps: 1e6 },
+                        abc_capable: true,
+                        sent_at: ctx.now(),
+                        retransmit: false,
+                        ack: None,
+                        route,
+                        hop: 0,
+                        enqueued_at: ctx.now(),
+                    });
+                }
+            }
+            fn handle(&mut self, _: &mut Context, _: EventKind) {}
+        }
+        sim.add_node(Box::new(Src {
+            n,
+            wire: wire_id,
+            sink: sink_id,
+        }));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let c: &Counter = sim
+            .node(sink_id)
+            .and_then(|nd| nd.as_any().downcast_ref())
+            .unwrap();
+        (c.got, c.ecn_seen.clone())
+    }
+
+    #[test]
+    fn drop_rate_matches_probability() {
+        let (got, _) = run(0.2, Impairment::Drop, 10_000);
+        let loss = 1.0 - got as f64 / 10_000.0;
+        assert!((loss - 0.2).abs() < 0.02, "observed loss {loss}");
+    }
+
+    #[test]
+    fn zero_probability_is_transparent() {
+        let (got, ecn) = run(0.0, Impairment::Drop, 1000);
+        assert_eq!(got, 1000);
+        assert!(ecn.iter().all(|&e| e == Ecn::Accelerate));
+    }
+
+    #[test]
+    fn bleaching_wipes_ecn_but_delivers() {
+        let (got, ecn) = run(1.0, Impairment::BleachEcn, 1000);
+        assert_eq!(got, 1000);
+        assert!(ecn.iter().all(|&e| e == Ecn::NotEct));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(0.3, Impairment::Drop, 5000).0;
+        let b = run(0.3, Impairment::Drop, 5000).0;
+        assert_eq!(a, b);
+    }
+}

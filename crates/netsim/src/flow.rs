@@ -1,0 +1,1083 @@
+//! Transport endpoints: the [`Sender`] (reliable, window- or rate-driven,
+//! pluggable congestion control) and the per-flow [`Sink`] that echoes
+//! feedback in ACKs.
+
+use crate::event::EventKind;
+use crate::metrics::Metrics;
+use crate::node::{Context, Node};
+use crate::packet::{AckData, Ecn, Feedback, FlowId, Packet, Route, MTU_BYTES};
+use crate::rate::Rate;
+use crate::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// Everything a congestion controller may want to know about an ACK.
+#[derive(Debug, Clone, Copy)]
+pub struct AckEvent {
+    pub now: SimTime,
+    /// RTT sample for this ACK; `None` when the acked packet was a
+    /// retransmission (Karn's rule).
+    pub rtt: Option<SimDuration>,
+    pub min_rtt: SimDuration,
+    pub srtt: SimDuration,
+    pub acked_bytes: u32,
+    /// ECN bits as received by the peer: `Accelerate`/`Brake` for ABC,
+    /// `Ce` for legacy AQM marks.
+    pub ecn_echo: Ecn,
+    /// Explicit-scheme feedback echoed by the peer.
+    pub feedback: Feedback,
+    /// Packets still in flight after this ACK was processed.
+    pub inflight_pkts: usize,
+    /// Delivery-rate sample (BBR-style): delivered bytes between the acked
+    /// packet's send time and now, over that interval.
+    pub delivery_rate: Rate,
+    /// One-way delay experienced by the acked data packet.
+    pub one_way_delay: SimDuration,
+}
+
+/// How the sender releases packets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Transmissions are triggered by ACK arrivals (window-based schemes).
+    AckClocked,
+    /// Transmissions are released by a pacing clock at this rate,
+    /// still subject to the congestion window cap.
+    Rate(Rate),
+}
+
+/// A pluggable congestion-control algorithm.
+///
+/// Implementations live in the `abc-core`, `baselines`, and `explicit`
+/// crates; the sender is generic over all of them.
+pub trait CongestionControl {
+    fn name(&self) -> &'static str;
+
+    /// Process an ACK (the common case — every algorithm reacts here).
+    fn on_ack(&mut self, ev: &AckEvent);
+
+    /// A loss was inferred via duplicate-ACK threshold. Called once per
+    /// loss episode (per round trip), not once per lost packet.
+    fn on_loss(&mut self, _now: SimTime) {}
+
+    /// The retransmission timer fired.
+    fn on_rto(&mut self, _now: SimTime) {}
+
+    /// Current congestion window in packets (fractional windows allowed;
+    /// the sender floors for admission).
+    fn cwnd_pkts(&self) -> f64;
+
+    fn pacing(&self) -> Pacing {
+        Pacing::AckClocked
+    }
+
+    /// ECN codepoint stamped on outgoing data packets. ABC senders send
+    /// `Accelerate`; ECN-capable legacy senders `Brake` (= ECT(0));
+    /// non-ECN senders `NotEct`.
+    fn outgoing_ecn(&self) -> Ecn {
+        Ecn::NotEct
+    }
+
+    /// Explicit-feedback header stamped on outgoing data packets
+    /// (XCP writes cwnd/rtt; RCP a rate request).
+    fn outgoing_feedback(&mut self, _now: SimTime) -> Feedback {
+        Feedback::None
+    }
+
+    /// Whether routers should classify this flow into the ABC queue.
+    fn is_abc(&self) -> bool {
+        false
+    }
+
+    /// ABC's dual windows `(w_abc, w_nonabc)`, for telemetry (Fig. 6 of
+    /// the paper plots both). Non-ABC controllers return `None`.
+    fn as_abc_windows(&self) -> Option<(f64, f64)> {
+        None
+    }
+}
+
+/// Application traffic pattern feeding the sender.
+#[derive(Debug, Clone, Copy)]
+pub enum TrafficSource {
+    /// Always has data (iperf-style backlogged flow).
+    Backlogged,
+    /// Token bucket: data becomes available at `rate`, with at most
+    /// `burst_bytes` accumulating while the flow is blocked.
+    RateLimited { rate: Rate, burst_bytes: f64 },
+    /// A flow of fixed total size; the sender stops offering data once
+    /// everything has been handed to the transport.
+    Finite { bytes: u64 },
+    /// Backlogged during `[0, on)`, silent during `[on, on+off)`, repeating.
+    OnOff { on: SimDuration, off: SimDuration },
+}
+
+/// Counters exposed for harnesses and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SenderStats {
+    pub sent_pkts: u64,
+    pub sent_bytes: u64,
+    pub acked_pkts: u64,
+    pub acked_bytes: u64,
+    pub retransmits: u64,
+    pub losses_detected: u64,
+    pub rtos: u64,
+    pub accel_acks: u64,
+    pub brake_acks: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SentRecord {
+    sent_at: SimTime,
+    size: u32,
+    retransmit: bool,
+    /// Cumulative ACK passes observed; 3 ⇒ inferred lost.
+    passed: u32,
+    /// Sender's delivered-bytes counter when this packet left (for
+    /// delivery-rate sampling).
+    delivered_at_send: u64,
+}
+
+const TOK_RTO: u64 = 1;
+const TOK_PACE: u64 = 2;
+const TOK_APP: u64 = 3;
+const GEN_SHIFT: u64 = 8;
+
+/// Duplicate-ACK threshold for loss inference (no reordering in the
+/// simulator, so 3 is conservative and faithful).
+const DUPACK_THRESHOLD: u32 = 3;
+const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+const INITIAL_RTO: SimDuration = SimDuration::from_secs(1);
+
+/// A reliable transport sender with pluggable congestion control.
+pub struct Sender {
+    flow: FlowId,
+    cc: Box<dyn CongestionControl>,
+    route: Rc<Route>,
+    app: TrafficSource,
+    pkt_size: u32,
+    start_at: SimTime,
+    stop_at: Option<SimTime>,
+
+    next_seq: u64,
+    outstanding: BTreeMap<u64, SentRecord>,
+    retx_queue: VecDeque<u64>,
+    /// Loss-episode guard: losses on seqs below this were already reacted to.
+    recovery_until: u64,
+
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rtt: SimDuration,
+    rto: SimDuration,
+    rto_backoff: u32,
+    rto_gen: u64,
+
+    pace_gen: u64,
+    pace_armed: bool,
+    /// A TOK_APP wakeup is pending; prevents every ACK from spawning an
+    /// additional timer chain (each chain re-arms itself forever).
+    app_timer_armed: bool,
+
+    // token-bucket state for RateLimited
+    app_tokens: f64,
+    app_last: SimTime,
+    app_bytes_offered: u64,
+
+    delivered_bytes: u64,
+    stats: SenderStats,
+    started: bool,
+}
+
+impl Sender {
+    pub fn new(
+        flow: FlowId,
+        cc: Box<dyn CongestionControl>,
+        route: Rc<Route>,
+        app: TrafficSource,
+    ) -> Self {
+        Sender {
+            flow,
+            cc,
+            route,
+            app,
+            pkt_size: MTU_BYTES,
+            start_at: SimTime::ZERO,
+            stop_at: None,
+            next_seq: 0,
+            outstanding: BTreeMap::new(),
+            retx_queue: VecDeque::new(),
+            recovery_until: 0,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rtt: SimDuration::MAX,
+            rto: INITIAL_RTO,
+            rto_backoff: 0,
+            rto_gen: 0,
+            pace_gen: 0,
+            pace_armed: false,
+            app_timer_armed: false,
+            app_tokens: 0.0,
+            app_last: SimTime::ZERO,
+            app_bytes_offered: 0,
+            delivered_bytes: 0,
+            stats: SenderStats::default(),
+            started: false,
+        }
+    }
+
+    /// Delay the flow's start (staggered-arrival experiments).
+    pub fn with_start_at(mut self, t: SimTime) -> Self {
+        self.start_at = t;
+        self
+    }
+
+    /// Stop offering application data at `t` (staggered departures).
+    pub fn with_stop_at(mut self, t: SimTime) -> Self {
+        self.stop_at = Some(t);
+        self
+    }
+
+    pub fn with_pkt_size(mut self, size: u32) -> Self {
+        assert!(size > 0);
+        self.pkt_size = size;
+        self
+    }
+
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    pub fn cc(&self) -> &dyn CongestionControl {
+        &*self.cc
+    }
+
+    pub fn cwnd_pkts(&self) -> f64 {
+        self.cc.cwnd_pkts()
+    }
+
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        (self.min_rtt != SimDuration::MAX).then_some(self.min_rtt)
+    }
+
+    pub fn inflight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn app_has_data(&mut self, now: SimTime) -> bool {
+        if self.stop_at.is_some_and(|t| now >= t) {
+            return false;
+        }
+        match self.app {
+            TrafficSource::Backlogged => true,
+            TrafficSource::Finite { bytes } => self.app_bytes_offered < bytes,
+            TrafficSource::RateLimited { rate, burst_bytes } => {
+                let dt = now.since(self.app_last);
+                self.app_last = now;
+                self.app_tokens =
+                    (self.app_tokens + rate.bps() / 8.0 * dt.as_secs_f64()).min(burst_bytes);
+                self.app_tokens >= self.pkt_size as f64
+            }
+            TrafficSource::OnOff { on, off } => {
+                let period = (on + off).as_nanos();
+                let phase = now.since(self.start_at).as_nanos() % period;
+                phase < on.as_nanos()
+            }
+        }
+    }
+
+    /// When will the app next have data, if it currently doesn't?
+    fn app_next_ready(&self, now: SimTime) -> Option<SimTime> {
+        match self.app {
+            TrafficSource::Backlogged | TrafficSource::Finite { .. } => None,
+            TrafficSource::RateLimited { rate, .. } => {
+                let deficit = (self.pkt_size as f64 - self.app_tokens).max(0.0);
+                if rate.is_zero() {
+                    return None;
+                }
+                let dt = SimDuration::from_secs_f64(deficit / (rate.bps() / 8.0));
+                Some(now + dt.max(SimDuration::from_micros(100)))
+            }
+            TrafficSource::OnOff { on, off } => {
+                let period = (on + off).as_nanos();
+                let since = now.since(self.start_at).as_nanos();
+                let phase = since % period;
+                if phase < on.as_nanos() {
+                    None // already on
+                } else {
+                    Some(self.start_at + SimDuration::from_nanos(since - phase + period))
+                }
+            }
+        }
+    }
+
+    fn consume_app(&mut self, bytes: u32) {
+        match &mut self.app {
+            TrafficSource::RateLimited { .. } => self.app_tokens -= bytes as f64,
+            TrafficSource::Finite { .. } => self.app_bytes_offered += bytes as u64,
+            _ => {}
+        }
+    }
+
+    fn window_allows(&self) -> bool {
+        (self.outstanding.len() as f64) < self.cc.cwnd_pkts().floor().max(1.0)
+    }
+
+    fn send_one(&mut self, ctx: &mut Context, seq: u64, retransmit: bool) {
+        let now = ctx.now();
+        let pkt = Packet {
+            flow: self.flow,
+            seq,
+            size: self.pkt_size,
+            ecn: self.cc.outgoing_ecn(),
+            feedback: self.cc.outgoing_feedback(now),
+            abc_capable: self.cc.is_abc(),
+            sent_at: now,
+            retransmit,
+            ack: None,
+            route: self.route.clone(),
+            hop: 0,
+            enqueued_at: now,
+        };
+        self.outstanding.insert(
+            seq,
+            SentRecord {
+                sent_at: now,
+                size: self.pkt_size,
+                retransmit,
+                passed: 0,
+                delivered_at_send: self.delivered_bytes,
+            },
+        );
+        self.stats.sent_pkts += 1;
+        self.stats.sent_bytes += self.pkt_size as u64;
+        if retransmit {
+            self.stats.retransmits += 1;
+        }
+        ctx.forward(pkt);
+        self.arm_rto(ctx);
+    }
+
+    /// Transmit as much as window + application allow (ACK-clocked mode),
+    /// or ensure the pacing clock is armed (paced mode).
+    fn try_send(&mut self, ctx: &mut Context) {
+        if ctx.now() < self.start_at {
+            return;
+        }
+        match self.cc.pacing() {
+            Pacing::AckClocked => {
+                while self.window_allows() {
+                    if let Some(seq) = self.retx_queue.pop_front() {
+                        self.send_one(ctx, seq, true);
+                        continue;
+                    }
+                    if self.app_has_data(ctx.now()) {
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        self.consume_app(self.pkt_size);
+                        self.send_one(ctx, seq, false);
+                    } else {
+                        if !self.app_timer_armed {
+                            if let Some(at) = self.app_next_ready(ctx.now()) {
+                                ctx.set_timer_at(at, TOK_APP);
+                                self.app_timer_armed = true;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            Pacing::Rate(_) => self.arm_pacer(ctx),
+        }
+    }
+
+    fn arm_pacer(&mut self, ctx: &mut Context) {
+        if self.pace_armed {
+            return;
+        }
+        if let Pacing::Rate(r) = self.cc.pacing() {
+            let gap = r
+                .tx_time(self.pkt_size)
+                .max(SimDuration::from_micros(10))
+                .min(SimDuration::from_secs(1));
+            self.pace_gen += 1;
+            self.pace_armed = true;
+            ctx.set_timer(gap, TOK_PACE | (self.pace_gen << GEN_SHIFT));
+        }
+    }
+
+    fn on_pace_tick(&mut self, ctx: &mut Context) {
+        self.pace_armed = false;
+        if ctx.now() < self.start_at {
+            self.arm_pacer(ctx);
+            return;
+        }
+        if self.window_allows() {
+            if let Some(seq) = self.retx_queue.pop_front() {
+                self.send_one(ctx, seq, true);
+            } else if self.app_has_data(ctx.now()) {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.consume_app(self.pkt_size);
+                self.send_one(ctx, seq, false);
+            }
+        }
+        self.arm_pacer(ctx);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Context) {
+        self.rto_gen += 1;
+        let backoff = 1u64 << self.rto_backoff.min(6);
+        let timeout = self.rto * backoff;
+        ctx.set_timer(timeout, TOK_RTO | (self.rto_gen << GEN_SHIFT));
+    }
+
+    fn update_rtt(&mut self, sample: SimDuration) {
+        self.min_rtt = self.min_rtt.min(sample);
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                // RFC 6298 with α=1/8, β=1/4
+                let diff = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
+                self.rttvar = self.rttvar.mul_f64(0.75) + diff.mul_f64(0.25);
+                self.srtt = Some(srtt.mul_f64(0.875) + sample.mul_f64(0.125));
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        self.rto = (srtt + self.rttvar * 4).max(MIN_RTO);
+    }
+
+    fn on_ack(&mut self, ctx: &mut Context, ack: AckData) {
+        let now = ctx.now();
+        // Cumulative credit first: packets below the receiver's cumulative
+        // point were delivered even if their individual ACKs were lost.
+        // They are removed silently — no loss inference, no retransmission
+        // — and their bytes are credited to this ACK (§3.1.1's byte
+        // counting, which makes window updates robust to lost ACKs).
+        let mut implicit_bytes: u32 = 0;
+        let covered: Vec<u64> = self
+            .outstanding
+            .range(..ack.cumulative_before)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in covered {
+            if s == ack.seq {
+                continue; // handled explicitly below
+            }
+            if let Some(r) = self.outstanding.remove(&s) {
+                implicit_bytes += r.size;
+                self.delivered_bytes += r.size as u64;
+                self.stats.acked_pkts += 1;
+                self.stats.acked_bytes += r.size as u64;
+            }
+        }
+        self.retx_queue.retain(|&s| s >= ack.cumulative_before);
+
+        let Some(rec) = self.outstanding.remove(&ack.seq) else {
+            // duplicate / already-retransmitted ACK; the cumulative credit
+            // above still applied. Resume sending if window opened.
+            if implicit_bytes > 0 {
+                self.try_send(ctx);
+            }
+            return;
+        };
+        self.rto_backoff = 0;
+        self.delivered_bytes += rec.size as u64;
+        self.stats.acked_pkts += 1;
+        self.stats.acked_bytes += rec.size as u64;
+        match ack.ecn_echo {
+            Ecn::Accelerate => self.stats.accel_acks += 1,
+            Ecn::Brake => self.stats.brake_acks += 1,
+            _ => {}
+        }
+
+        let rtt_sample = (!rec.retransmit).then(|| now.since(rec.sent_at));
+        if let Some(s) = rtt_sample {
+            self.update_rtt(s);
+        }
+
+        // delivery-rate sample over the acked packet's flight
+        let interval = now.since(rec.sent_at);
+        let delivery_rate = if interval.is_zero() {
+            Rate::ZERO
+        } else {
+            Rate::from_bytes_per(self.delivered_bytes - rec.delivered_at_send, interval)
+        };
+
+        // Dupack-equivalent loss inference. The path is FIFO, so if the
+        // acked packet arrived, every packet *transmitted before it* that
+        // is still outstanding was passed. The transmission-time check
+        // matters for retransmissions: a fresh retransmit sits behind a
+        // full queue, and ACKs of packets sent before it must not count
+        // against it (else it is spuriously retransmitted every 3 ACKs).
+        let acked_tx_time = rec.sent_at;
+        let mut lost = Vec::new();
+        for (&seq, r) in self.outstanding.range_mut(..ack.seq) {
+            if r.sent_at < acked_tx_time {
+                r.passed += 1;
+                if r.passed >= DUPACK_THRESHOLD {
+                    lost.push(seq);
+                }
+            }
+        }
+        let mut new_episode = false;
+        for seq in &lost {
+            self.outstanding.remove(seq);
+            if !self.retx_queue.contains(seq) {
+                self.retx_queue.push_back(*seq);
+            }
+            self.stats.losses_detected += 1;
+            if *seq >= self.recovery_until {
+                new_episode = true;
+            }
+        }
+        if new_episode {
+            self.recovery_until = self.next_seq;
+            self.cc.on_loss(now);
+        }
+
+        let ev = AckEvent {
+            now,
+            rtt: rtt_sample,
+            min_rtt: if self.min_rtt == SimDuration::MAX {
+                SimDuration::ZERO
+            } else {
+                self.min_rtt
+            },
+            srtt: self.srtt.unwrap_or(SimDuration::ZERO),
+            acked_bytes: rec.size + implicit_bytes,
+            ecn_echo: ack.ecn_echo,
+            feedback: ack.feedback,
+            inflight_pkts: self.outstanding.len(),
+            delivery_rate,
+            one_way_delay: ack.one_way_delay,
+        };
+        self.cc.on_ack(&ev);
+        if self.outstanding.is_empty() {
+            // quiesce the RTO timer
+            self.rto_gen += 1;
+        } else {
+            self.arm_rto(ctx);
+        }
+        self.try_send(ctx);
+    }
+
+    fn on_rto_fire(&mut self, ctx: &mut Context) {
+        if self.outstanding.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        self.stats.rtos += 1;
+        self.rto_backoff += 1;
+        self.cc.on_rto(now);
+        // conservative go-back-N: everything outstanding is presumed lost
+        let seqs: Vec<u64> = self.outstanding.keys().copied().collect();
+        self.outstanding.clear();
+        for s in seqs {
+            if !self.retx_queue.contains(&s) {
+                self.retx_queue.push_back(s);
+            }
+        }
+        self.recovery_until = self.next_seq;
+        self.try_send(ctx);
+    }
+}
+
+impl Node for Sender {
+    crate::impl_node_downcast!();
+
+    fn start(&mut self, ctx: &mut Context) {
+        self.started = true;
+        self.app_last = ctx.now();
+        if self.start_at > ctx.now() {
+            ctx.set_timer_at(self.start_at, TOK_APP);
+        } else {
+            self.try_send(ctx);
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Context, event: EventKind) {
+        match event {
+            EventKind::Deliver(pkt) => {
+                if let Some(ack) = pkt.ack {
+                    debug_assert_eq!(pkt.flow, self.flow, "ACK routed to wrong sender");
+                    self.on_ack(ctx, ack);
+                }
+            }
+            EventKind::Timer(tok) => {
+                let kind = tok & 0xff;
+                let gen = tok >> GEN_SHIFT;
+                match kind {
+                    TOK_RTO if gen == self.rto_gen => self.on_rto_fire(ctx),
+                    TOK_PACE if gen == self.pace_gen => self.on_pace_tick(ctx),
+                    TOK_APP => {
+                        self.app_timer_armed = false;
+                        self.try_send(ctx);
+                    }
+                    _ => {} // stale generation
+                }
+            }
+        }
+    }
+}
+
+/// Per-flow receiver: records deliveries, echoes feedback in an ACK sent
+/// along `ack_route`.
+///
+/// By default every data packet is acknowledged immediately. With
+/// [`Sink::with_ack_batching`], ACKs are held until `batch` have
+/// accumulated or `max_delay` passes, then released together — modeling
+/// delayed/compressed ACKs. Each released ACK still covers exactly one
+/// data packet (the feedback echo is per-packet), so batching stresses
+/// senders with bursty ACK arrival without changing reliability semantics.
+pub struct Sink {
+    flow: FlowId,
+    ack_route: Rc<Route>,
+    metrics: Option<Metrics>,
+    pub received_pkts: u64,
+    pub received_bytes: u64,
+    batch: usize,
+    max_delay: SimDuration,
+    pending: Vec<Packet>,
+    flush_gen: u64,
+    /// Lowest data sequence not yet received (cumulative-ACK point).
+    next_expected: u64,
+    /// Received sequences at/above `next_expected` (out-of-order set).
+    ooo: std::collections::BTreeSet<u64>,
+}
+
+const TOK_FLUSH: u64 = 7;
+
+impl Sink {
+    pub fn new(flow: FlowId, ack_route: Rc<Route>) -> Self {
+        Sink {
+            flow,
+            ack_route,
+            metrics: None,
+            received_pkts: 0,
+            received_bytes: 0,
+            batch: 1,
+            max_delay: SimDuration::ZERO,
+            pending: Vec::new(),
+            flush_gen: 0,
+            next_expected: 0,
+            ooo: std::collections::BTreeSet::new(),
+        }
+    }
+
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Hold ACKs until `batch` accumulate or `max_delay` passes.
+    pub fn with_ack_batching(mut self, batch: usize, max_delay: SimDuration) -> Self {
+        assert!(batch >= 1);
+        self.batch = batch;
+        self.max_delay = max_delay;
+        self
+    }
+
+    fn flush(&mut self, ctx: &mut Context) {
+        self.flush_gen += 1;
+        for ack in self.pending.drain(..) {
+            ctx.forward(ack);
+        }
+    }
+}
+
+impl Node for Sink {
+    crate::impl_node_downcast!();
+
+    fn handle(&mut self, ctx: &mut Context, event: EventKind) {
+        let pkt = match event {
+            EventKind::Deliver(p) => p,
+            EventKind::Timer(tok) => {
+                if tok >> GEN_SHIFT == self.flush_gen && (tok & 0xff) == TOK_FLUSH {
+                    self.flush(ctx);
+                }
+                return;
+            }
+        };
+        if pkt.is_ack() {
+            return; // not expected at a sink
+        }
+        debug_assert_eq!(pkt.flow, self.flow, "data packet routed to wrong sink");
+        let now = ctx.now();
+        let delay = now.since(pkt.sent_at);
+        self.received_pkts += 1;
+        self.received_bytes += pkt.size as u64;
+        // advance the cumulative point
+        if pkt.seq >= self.next_expected {
+            self.ooo.insert(pkt.seq);
+            while self.ooo.remove(&self.next_expected) {
+                self.next_expected += 1;
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.borrow_mut()
+                .on_delivery(pkt.flow, now, delay, pkt.size);
+        }
+        let ack = Packet {
+            flow: pkt.flow,
+            seq: pkt.seq,
+            size: crate::packet::ACK_BYTES,
+            ecn: Ecn::NotEct,
+            feedback: Feedback::None,
+            abc_capable: pkt.abc_capable,
+            sent_at: now,
+            retransmit: false,
+            ack: Some(AckData {
+                seq: pkt.seq,
+                cumulative_before: self.next_expected,
+                data_sent_at: pkt.sent_at,
+                data_size: pkt.size,
+                ecn_echo: pkt.ecn,
+                feedback: pkt.feedback,
+                one_way_delay: delay,
+                retransmit: pkt.retransmit,
+            }),
+            route: self.ack_route.clone(),
+            hop: 0,
+            enqueued_at: now,
+        };
+        if self.batch <= 1 {
+            ctx.forward(ack);
+            return;
+        }
+        self.pending.push(ack);
+        if self.pending.len() >= self.batch {
+            self.flush(ctx);
+        } else if self.pending.len() == 1 && !self.max_delay.is_zero() {
+            ctx.set_timer(self.max_delay, TOK_FLUSH | (self.flush_gen << GEN_SHIFT));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{ConstantRate, SerialLink};
+    use crate::linkqueue::LinkQueue;
+    use crate::metrics::new_hub;
+    use crate::packet::NodeId;
+    use crate::queue::DropTail;
+    use crate::sim::Simulator;
+
+    /// Fixed-window controller for substrate tests.
+    struct FixedWindow {
+        w: f64,
+        acks: u64,
+        losses: u64,
+        rtos: u64,
+    }
+
+    impl CongestionControl for FixedWindow {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn on_ack(&mut self, _ev: &AckEvent) {
+            self.acks += 1;
+        }
+        fn on_loss(&mut self, _now: SimTime) {
+            self.losses += 1;
+        }
+        fn on_rto(&mut self, _now: SimTime) {
+            self.rtos += 1;
+        }
+        fn cwnd_pkts(&self) -> f64 {
+            self.w
+        }
+    }
+
+    /// Build sender → link → sink → sender over a `rate` link with
+    /// `one_way` propagation each direction; returns (sim, sender_id, hub).
+    fn loop_topology(
+        rate_mbps: f64,
+        buf: usize,
+        w: f64,
+        app: TrafficSource,
+    ) -> (Simulator, NodeId, Metrics) {
+        let mut sim = Simulator::new();
+        let hub = new_hub();
+        let sender_id = sim.reserve_node();
+        let link_id = sim.reserve_node();
+        let sink_id = sim.reserve_node();
+
+        let fwd = Route::new(vec![
+            (link_id, SimDuration::from_millis(10)),
+            (sink_id, SimDuration::from_millis(40)),
+        ]);
+        let back = Route::new(vec![(sender_id, SimDuration::from_millis(50))]);
+
+        sim.install_node(
+            link_id,
+            Box::new(
+                LinkQueue::new(
+                    Box::new(DropTail::new(buf)),
+                    Box::new(SerialLink::new(ConstantRate(Rate::from_mbps(rate_mbps)))),
+                )
+                .with_metrics("bottleneck", hub.clone()),
+            ),
+        );
+        sim.install_node(
+            sink_id,
+            Box::new(Sink::new(FlowId(1), back).with_metrics(hub.clone())),
+        );
+        sim.install_node(
+            sender_id,
+            Box::new(Sender::new(
+                FlowId(1),
+                Box::new(FixedWindow {
+                    w,
+                    acks: 0,
+                    losses: 0,
+                    rtos: 0,
+                }),
+                fwd,
+                app,
+            )),
+        );
+        (sim, sender_id, hub)
+    }
+
+    fn sender_of(sim: &Simulator, id: NodeId) -> &Sender {
+        sim.node(id)
+            .and_then(|n| n.as_any().downcast_ref())
+            .unwrap()
+    }
+
+    #[test]
+    fn window_limits_inflight_and_acks_clock_sends() {
+        // 12 Mbit/s, RTT 100ms → BDP = 100 pkts; window of 10 → ~10% util
+        let (mut sim, sender_id, hub) =
+            loop_topology(12.0, 250, 10.0, TrafficSource::Backlogged);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let s = sender_of(&sim, sender_id);
+        assert!(s.inflight() <= 10);
+        assert_eq!(s.stats().losses_detected, 0);
+        // expected throughput ≈ 10 pkt / 100ms ≈ 1.2 Mbit/s
+        let tput = hub
+            .borrow()
+            .flows[&FlowId(1)]
+            .throughput_over(SimDuration::from_secs(10));
+        assert!(
+            (tput / 1e6 - 1.2).abs() < 0.15,
+            "throughput {} Mbit/s",
+            tput / 1e6
+        );
+    }
+
+    #[test]
+    fn rtt_estimator_converges_to_path_rtt() {
+        let (mut sim, sender_id, _) = loop_topology(12.0, 250, 4.0, TrafficSource::Backlogged);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let s = sender_of(&sim, sender_id);
+        // path RTT = 100ms prop + 1ms serialization
+        let srtt = s.srtt().unwrap().as_millis_f64();
+        assert!((srtt - 101.0).abs() < 2.0, "srtt={srtt}ms");
+        let min = s.min_rtt().unwrap().as_millis_f64();
+        assert!((min - 101.0).abs() < 1.5, "min_rtt={min}ms");
+    }
+
+    #[test]
+    fn overload_fills_buffer_and_detects_loss() {
+        // window 400 over a 100-pkt BDP w/ 50-pkt buffer → sustained loss
+        let (mut sim, sender_id, hub) =
+            loop_topology(12.0, 50, 400.0, TrafficSource::Backlogged);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let s = sender_of(&sim, sender_id);
+        assert!(s.stats().losses_detected > 0, "no losses detected");
+        assert!(s.stats().retransmits > 0, "no retransmissions");
+        assert!(hub.borrow().links["bottleneck"].dropped_pkts > 0);
+        // the link itself should be saturated
+        let q = hub.borrow().links["bottleneck"].delivered_pkts;
+        assert!(q > 9000, "link under-driven: {q} pkts");
+    }
+
+    #[test]
+    fn finite_flow_stops() {
+        let (mut sim, sender_id, _) = loop_topology(
+            12.0,
+            250,
+            10.0,
+            TrafficSource::Finite { bytes: 15_000 },
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let s = sender_of(&sim, sender_id);
+        assert_eq!(s.stats().sent_pkts, 10); // 15000/1500
+        assert_eq!(s.stats().acked_pkts, 10);
+        assert_eq!(s.inflight(), 0);
+    }
+
+    #[test]
+    fn rate_limited_app_paces_itself() {
+        let (mut sim, sender_id, hub) = loop_topology(
+            12.0,
+            250,
+            100.0,
+            TrafficSource::RateLimited {
+                rate: Rate::from_mbps(1.2),
+                burst_bytes: 3000.0,
+            },
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let s = sender_of(&sim, sender_id);
+        // ~1.2 Mbit/s = 100 pkt/s for 10s ≈ 1000 pkts (±5%)
+        assert!(
+            (s.stats().sent_pkts as i64 - 1000).unsigned_abs() < 50,
+            "sent {}",
+            s.stats().sent_pkts
+        );
+        let tput = hub
+            .borrow()
+            .flows[&FlowId(1)]
+            .throughput_over(SimDuration::from_secs(10));
+        assert!((tput / 1e6 - 1.2).abs() < 0.1, "tput {tput}");
+    }
+
+    #[test]
+    fn onoff_source_gates_sending() {
+        let (mut sim, sender_id, hub) = loop_topology(
+            12.0,
+            250,
+            10.0,
+            TrafficSource::OnOff {
+                on: SimDuration::from_secs(1),
+                off: SimDuration::from_secs(1),
+            },
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let s = sender_of(&sim, sender_id);
+        assert!(s.stats().sent_pkts > 0);
+        // roughly half the packets of an always-on flow (which would be
+        // ~100 pkt/s · 10 s = 1000 at this window)
+        assert!(
+            s.stats().sent_pkts < 700,
+            "on/off sent too much: {}",
+            s.stats().sent_pkts
+        );
+        assert!(hub.borrow().flows[&FlowId(1)].delivered_pkts > 300);
+    }
+}
+
+#[cfg(test)]
+mod sink_batching_tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::node::Node;
+    use crate::packet::NodeId;
+    use crate::sim::Simulator;
+
+    struct AckCounter {
+        arrivals: Vec<SimTime>,
+    }
+
+    impl Node for AckCounter {
+        crate::impl_node_downcast!();
+        fn handle(&mut self, ctx: &mut Context, ev: EventKind) {
+            if let EventKind::Deliver(p) = ev {
+                assert!(p.is_ack());
+                self.arrivals.push(ctx.now());
+            }
+        }
+    }
+
+    /// Emits `n` data packets to the sink, one per ms.
+    struct DataSource {
+        n: u64,
+        sink: NodeId,
+        sent: u64,
+    }
+
+    impl Node for DataSource {
+        crate::impl_node_downcast!();
+        fn start(&mut self, ctx: &mut Context) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn handle(&mut self, ctx: &mut Context, _ev: EventKind) {
+            if self.sent >= self.n {
+                return;
+            }
+            let route = Route::new(vec![(self.sink, SimDuration::ZERO)]);
+            ctx.forward(Packet {
+                flow: FlowId(1),
+                seq: self.sent,
+                size: 1500,
+                ecn: Ecn::Accelerate,
+                feedback: Feedback::None,
+                abc_capable: true,
+                sent_at: ctx.now(),
+                retransmit: false,
+                ack: None,
+                route,
+                hop: 0,
+                enqueued_at: ctx.now(),
+            });
+            self.sent += 1;
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+    }
+
+    fn run_batched(n: u64, batch: usize, max_delay_ms: u64) -> Vec<SimTime> {
+        let mut sim = Simulator::new();
+        let sink_id = sim.reserve_node();
+        let counter_id = sim.reserve_node();
+        let back = Route::new(vec![(counter_id, SimDuration::ZERO)]);
+        sim.install_node(
+            sink_id,
+            Box::new(
+                Sink::new(FlowId(1), back)
+                    .with_ack_batching(batch, SimDuration::from_millis(max_delay_ms)),
+            ),
+        );
+        sim.install_node(counter_id, Box::new(AckCounter { arrivals: vec![] }));
+        sim.add_node(Box::new(DataSource {
+            n,
+            sink: sink_id,
+            sent: 0,
+        }));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let c: &AckCounter = sim
+            .node(counter_id)
+            .and_then(|nd| nd.as_any().downcast_ref())
+            .unwrap();
+        c.arrivals.clone()
+    }
+
+    #[test]
+    fn batch_of_one_acks_immediately() {
+        let arrivals = run_batched(10, 1, 0);
+        assert_eq!(arrivals.len(), 10);
+        // one per ms, no bunching
+        assert!(arrivals.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn batches_release_together() {
+        let arrivals = run_batched(12, 4, 100);
+        assert_eq!(arrivals.len(), 12);
+        // groups of 4 share a timestamp
+        for chunk in arrivals.chunks(4) {
+            assert!(chunk.iter().all(|&t| t == chunk[0]), "unbatched: {chunk:?}");
+        }
+    }
+
+    #[test]
+    fn partial_batch_flushes_on_timeout() {
+        // 2 packets with batch=4: the 10 ms timer must flush them
+        let arrivals = run_batched(2, 4, 10);
+        assert_eq!(arrivals.len(), 2);
+        // data at 1,2 ms; flush timer armed at first pending ack → ~11 ms
+        let last = arrivals[1].as_millis_f64();
+        assert!((10.0..13.0).contains(&last), "flush at {last} ms");
+    }
+}

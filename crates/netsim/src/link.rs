@@ -1,0 +1,518 @@
+//! Link capacity models.
+//!
+//! Two abstractions:
+//!
+//! * [`RateProcess`] — a time-varying capacity curve `µ(t)` (constant, step
+//!   schedule, square wave). Used by serialization links and by router
+//!   control laws that are granted capacity knowledge (the cellular setting,
+//!   §6.2: "ABC's router has knowledge of the underlying link capacity").
+//! * [`Transmitter`] — the engine a [`crate::linkqueue::LinkQueue`] node uses
+//!   to learn *when* the head-of-line packet finishes transmission. The
+//!   trace-driven implementation reproduces Mahimahi's delivery-opportunity
+//!   semantics: an opportunity arriving at an empty queue is wasted, which is
+//!   exactly why utilization is a meaningful metric on these links.
+
+use crate::rate::Rate;
+use crate::time::{SimDuration, SimTime};
+
+/// A deterministic capacity curve.
+pub trait RateProcess {
+    /// Instantaneous capacity at `t`.
+    fn rate_at(&self, t: SimTime) -> Rate;
+
+    /// Exact integral of the curve over `[a, b]`, in bits. Used for
+    /// utilization accounting on serialization links.
+    fn bits_between(&self, a: SimTime, b: SimTime) -> f64;
+}
+
+/// Fixed-capacity link.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantRate(pub Rate);
+
+impl RateProcess for ConstantRate {
+    fn rate_at(&self, _t: SimTime) -> Rate {
+        self.0
+    }
+
+    fn bits_between(&self, a: SimTime, b: SimTime) -> f64 {
+        self.0.bits_in(b.since(a))
+    }
+}
+
+/// Piecewise-constant schedule: `steps[i] = (start_time, rate)` sorted by
+/// time; the rate before the first step is the first step's rate.
+#[derive(Debug, Clone)]
+pub struct StepSchedule {
+    steps: Vec<(SimTime, Rate)>,
+}
+
+impl StepSchedule {
+    /// # Panics
+    /// If `steps` is empty or not sorted by time.
+    pub fn new(steps: Vec<(SimTime, Rate)>) -> Self {
+        assert!(!steps.is_empty(), "empty step schedule");
+        assert!(
+            steps.windows(2).all(|w| w[0].0 <= w[1].0),
+            "step schedule not sorted"
+        );
+        StepSchedule { steps }
+    }
+
+    /// Index of the step active at `t`.
+    fn active_idx(&self, t: SimTime) -> usize {
+        match self.steps.binary_search_by(|(s, _)| s.cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+impl RateProcess for StepSchedule {
+    fn rate_at(&self, t: SimTime) -> Rate {
+        self.steps[self.active_idx(t)].1
+    }
+
+    fn bits_between(&self, a: SimTime, b: SimTime) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        let mut bits = 0.0;
+        let mut cur = a;
+        let mut idx = self.active_idx(a);
+        while cur < b {
+            let seg_end = self
+                .steps
+                .get(idx + 1)
+                .map(|(s, _)| *s)
+                .unwrap_or(SimTime::MAX)
+                .min(b);
+            bits += self.steps[idx].1.bits_in(seg_end.since(cur));
+            cur = seg_end;
+            idx += 1;
+        }
+        bits
+    }
+}
+
+/// Square wave alternating between `first` and `second` every `half_period`
+/// — the Appendix D "12↔24 Mbit/s every 500 ms" link (Fig. 17).
+#[derive(Debug, Clone, Copy)]
+pub struct SquareWave {
+    pub first: Rate,
+    pub second: Rate,
+    pub half_period: SimDuration,
+}
+
+impl SquareWave {
+    pub fn new(first: Rate, second: Rate, half_period: SimDuration) -> Self {
+        assert!(!half_period.is_zero(), "zero half-period");
+        SquareWave {
+            first,
+            second,
+            half_period,
+        }
+    }
+}
+
+impl RateProcess for SquareWave {
+    fn rate_at(&self, t: SimTime) -> Rate {
+        let phase = t.as_nanos() / self.half_period.as_nanos();
+        if phase.is_multiple_of(2) {
+            self.first
+        } else {
+            self.second
+        }
+    }
+
+    fn bits_between(&self, a: SimTime, b: SimTime) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        // walk half-period boundaries
+        let hp = self.half_period.as_nanos();
+        let mut bits = 0.0;
+        let mut cur = a.as_nanos();
+        let end = b.as_nanos();
+        while cur < end {
+            let boundary = ((cur / hp) + 1) * hp;
+            let seg_end = boundary.min(end);
+            let rate = self.rate_at(SimTime::from_nanos(cur));
+            bits += rate.bits_in(SimDuration::from_nanos(seg_end - cur));
+            cur = seg_end;
+        }
+        bits
+    }
+}
+
+/// Answers "when does a `size`-byte head-of-line packet, ready at `now`,
+/// finish transmission?" — stateful because links remember busy periods
+/// and partially-consumed delivery opportunities.
+pub trait Transmitter {
+    /// Absolute completion time for a transmission of `size` bytes whose
+    /// head-of-line packet became transmittable at `now`. Must be `≥ now`.
+    /// Returns [`SimTime::MAX`] if the link can never deliver it (stalled
+    /// forever) — callers park the queue.
+    fn schedule_tx(&mut self, now: SimTime, size: u32) -> SimTime;
+
+    /// Capacity the control plane may observe at `t` (routers granted
+    /// capacity knowledge; `t` in the future implements PK-ABC's oracle).
+    fn rate_at(&self, t: SimTime) -> Rate;
+
+    /// Bits the link *could* have carried in `[a, b]` — the denominator of
+    /// utilization.
+    fn opportunity_bits(&self, a: SimTime, b: SimTime) -> f64;
+}
+
+/// Classic store-and-forward serialization link over a [`RateProcess`]:
+/// transmission takes `size·8 / rate` and the link serves one packet at a
+/// time.
+pub struct SerialLink<P: RateProcess> {
+    process: P,
+    busy_until: SimTime,
+}
+
+impl<P: RateProcess> SerialLink<P> {
+    pub fn new(process: P) -> Self {
+        SerialLink {
+            process,
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    pub fn process(&self) -> &P {
+        &self.process
+    }
+}
+
+impl<P: RateProcess> Transmitter for SerialLink<P> {
+    fn schedule_tx(&mut self, now: SimTime, size: u32) -> SimTime {
+        let start = now.max(self.busy_until);
+        // The completion time is where the integral of the rate curve
+        // reaches the packet's bits — a transmission that straddles a rate
+        // step finishes at the *new* rate, so an outage ends when the link
+        // recovers rather than holding the packet hostage for size/ε.
+        let bits = size as f64 * 8.0;
+        // exponential search for an upper bound…
+        let mut span = self
+            .process
+            .rate_at(start)
+            .tx_time(size)
+            .min(SimDuration::from_secs(3600))
+            .max(SimDuration::from_nanos(1_000));
+        let mut hi = start + span;
+        let mut guard = 0;
+        while self.process.bits_between(start, hi) < bits {
+            span = span * 2;
+            hi = start + span;
+            guard += 1;
+            if guard > 40 {
+                return SimTime::MAX; // link is dead as far as we can see
+            }
+        }
+        // …then binary search to nanosecond resolution
+        let mut lo = start;
+        while hi.as_nanos() - lo.as_nanos() > 1 {
+            let mid = SimTime::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2);
+            if self.process.bits_between(start, mid) < bits {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        self.busy_until = hi;
+        hi
+    }
+
+    fn rate_at(&self, t: SimTime) -> Rate {
+        self.process.rate_at(t)
+    }
+
+    fn opportunity_bits(&self, a: SimTime, b: SimTime) -> f64 {
+        self.process.bits_between(a, b)
+    }
+}
+
+/// Mahimahi-style trace-driven link: the trace is a sorted list of delivery
+/// opportunities (times at which up to `bytes_per_opp` bytes may leave the
+/// queue). The trace repeats with period `period`. Opportunities that find
+/// an empty queue are wasted; leftover budget within one opportunity serves
+/// the next packet at the same instant (so several 40-byte ACKs ride one
+/// 1500-byte opportunity, as in Mahimahi).
+pub struct TraceLink {
+    /// Opportunity offsets within one period, sorted, each < period.
+    opportunities: Vec<SimDuration>,
+    period: SimDuration,
+    bytes_per_opp: u32,
+    /// `Some((t, bytes))`: the opportunity at `t` has been claimed and has
+    /// `bytes` of budget left (possibly zero, meaning fully consumed).
+    credit: Option<(SimTime, u32)>,
+    /// Smoothing window for [`Transmitter::rate_at`].
+    rate_window: SimDuration,
+}
+
+impl TraceLink {
+    /// # Panics
+    /// If the trace is empty, unsorted, or has opportunities ≥ `period`.
+    pub fn new(opportunities: Vec<SimDuration>, period: SimDuration) -> Self {
+        assert!(!opportunities.is_empty(), "empty trace");
+        assert!(
+            opportunities.windows(2).all(|w| w[0] <= w[1]),
+            "trace not sorted"
+        );
+        assert!(
+            *opportunities.last().unwrap() < period,
+            "opportunity at/after trace period"
+        );
+        TraceLink {
+            opportunities,
+            period,
+            bytes_per_opp: crate::packet::MTU_BYTES,
+            credit: None,
+            rate_window: SimDuration::from_millis(40),
+        }
+    }
+
+    pub fn with_rate_window(mut self, w: SimDuration) -> Self {
+        assert!(!w.is_zero());
+        self.rate_window = w;
+        self
+    }
+
+    pub fn with_bytes_per_opportunity(mut self, b: u32) -> Self {
+        assert!(b > 0);
+        self.bytes_per_opp = b;
+        self
+    }
+
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Number of opportunities in one period.
+    pub fn opportunities_per_period(&self) -> usize {
+        self.opportunities.len()
+    }
+
+    /// Mean capacity of the trace over one full period.
+    pub fn mean_rate(&self) -> Rate {
+        Rate::from_bytes_per(
+            self.opportunities.len() as u64 * self.bytes_per_opp as u64,
+            self.period,
+        )
+    }
+
+    /// First opportunity at time ≥ `t` (the trace repeats forever).
+    fn next_opportunity(&self, t: SimTime) -> SimTime {
+        let period = self.period.as_nanos();
+        let tn = t.as_nanos();
+        let cycle = tn / period;
+        let offset = SimDuration::from_nanos(tn % period);
+        // binary search for first opportunity >= offset in this cycle
+        let idx = self.opportunities.partition_point(|&o| o < offset);
+        if idx < self.opportunities.len() {
+            SimTime::from_nanos(cycle * period + self.opportunities[idx].as_nanos())
+        } else {
+            SimTime::from_nanos((cycle + 1) * period + self.opportunities[0].as_nanos())
+        }
+    }
+
+    /// Count of opportunities in `[a, b)`.
+    fn opportunities_between(&self, a: SimTime, b: SimTime) -> u64 {
+        if b <= a {
+            return 0;
+        }
+        let period = self.period.as_nanos();
+        let count_before = |t: u64| -> u64 {
+            let cycles = t / period;
+            let offset = SimDuration::from_nanos(t % period);
+            let within = self.opportunities.partition_point(|&o| o < offset) as u64;
+            cycles * self.opportunities.len() as u64 + within
+        };
+        count_before(b.as_nanos()) - count_before(a.as_nanos())
+    }
+}
+
+impl Transmitter for TraceLink {
+    fn schedule_tx(&mut self, now: SimTime, size: u32) -> SimTime {
+        let mut remaining = size;
+        let mut search_from = now;
+        if let Some((ct, cb)) = self.credit {
+            // Leftover budget is usable only if the head-of-line packet was
+            // already waiting when that opportunity fired (ct ≥ now);
+            // otherwise the opportunity passed an empty queue and is gone.
+            if ct >= now {
+                let used = remaining.min(cb);
+                remaining -= used;
+                if remaining == 0 {
+                    self.credit = Some((ct, cb - used));
+                    return ct;
+                }
+                // that opportunity is exhausted; continue strictly after it
+                search_from = ct + SimDuration::from_nanos(1);
+            }
+        }
+        let mut t = search_from;
+        loop {
+            let opp = self.next_opportunity(t);
+            if remaining <= self.bytes_per_opp {
+                self.credit = Some((opp, self.bytes_per_opp - remaining));
+                return opp;
+            }
+            remaining -= self.bytes_per_opp;
+            t = opp + SimDuration::from_nanos(1);
+        }
+    }
+
+    fn rate_at(&self, t: SimTime) -> Rate {
+        let from = t.saturating_sub(self.rate_window);
+        let n = self.opportunities_between(from, t + SimDuration::from_nanos(1));
+        Rate::from_bytes_per(n * self.bytes_per_opp as u64, self.rate_window)
+    }
+
+    fn opportunity_bits(&self, a: SimTime, b: SimTime) -> f64 {
+        self.opportunities_between(a, b) as f64 * self.bytes_per_opp as f64 * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+    fn at(x: u64) -> SimTime {
+        SimTime::ZERO + ms(x)
+    }
+
+    #[test]
+    fn constant_rate_integral() {
+        let p = ConstantRate(Rate::from_mbps(12.0));
+        assert!((p.bits_between(at(0), at(1000)) - 12e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn step_schedule_lookup_and_integral() {
+        let p = StepSchedule::new(vec![
+            (at(0), Rate::from_mbps(10.0)),
+            (at(100), Rate::from_mbps(20.0)),
+        ]);
+        assert_eq!(p.rate_at(at(50)).mbps(), 10.0);
+        assert_eq!(p.rate_at(at(100)).mbps(), 20.0);
+        assert_eq!(p.rate_at(at(500)).mbps(), 20.0);
+        // 100ms @10 + 100ms @20 = 1e6 + 2e6 bits
+        assert!((p.bits_between(at(0), at(200)) - 3e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let p = SquareWave::new(Rate::from_mbps(12.0), Rate::from_mbps(24.0), ms(500));
+        assert_eq!(p.rate_at(at(0)).mbps(), 12.0);
+        assert_eq!(p.rate_at(at(499)).mbps(), 12.0);
+        assert_eq!(p.rate_at(at(500)).mbps(), 24.0);
+        assert_eq!(p.rate_at(at(1000)).mbps(), 12.0);
+        // one full second = 500ms of each
+        assert!((p.bits_between(at(0), at(1000)) - 18e6).abs() < 1.0);
+        // straddling a boundary
+        assert!((p.bits_between(at(400), at(600)) - (12e6 * 0.1 + 24e6 * 0.1)).abs() < 1.0);
+    }
+
+    #[test]
+    fn serial_link_serializes_back_to_back() {
+        let mut l = SerialLink::new(ConstantRate(Rate::from_mbps(12.0)));
+        // 1500B at 12 Mbit/s = 1 ms
+        let d1 = l.schedule_tx(at(0), 1500);
+        assert_eq!(d1, at(1));
+        let d2 = l.schedule_tx(at(0), 1500); // queued behind the first
+        assert_eq!(d2, at(2));
+        // after idle, starts immediately
+        let d3 = l.schedule_tx(at(10), 1500);
+        assert_eq!(d3, at(11));
+    }
+
+    #[test]
+    fn serial_link_zero_rate_parks() {
+        let mut l = SerialLink::new(ConstantRate(Rate::ZERO));
+        assert_eq!(l.schedule_tx(at(5), 1500), SimTime::MAX);
+    }
+
+    fn trace_every_ms() -> TraceLink {
+        // one opportunity per ms → 12 Mbit/s with 1500B packets
+        let opps = (0..1000).map(ms).collect();
+        TraceLink::new(opps, SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn trace_link_mean_rate() {
+        let l = trace_every_ms();
+        assert!((l.mean_rate().mbps() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_link_delivers_at_opportunities() {
+        let mut l = trace_every_ms();
+        // packet ready at 0.5ms → next opportunity at 1ms
+        let d = l.schedule_tx(at(0) + SimDuration::from_micros(500), 1500);
+        assert_eq!(d, at(1));
+        // next full packet: strictly later opportunity (2ms)
+        let d2 = l.schedule_tx(d, 1500);
+        assert_eq!(d2, at(2));
+    }
+
+    #[test]
+    fn trace_link_wastes_idle_opportunities() {
+        let mut l = trace_every_ms();
+        let d = l.schedule_tx(at(0), 1500);
+        assert_eq!(d, at(0)); // opportunity exactly at 0
+                              // idle until 5.5ms → opportunity at 6ms, the ones at 1..5ms wasted
+        let d2 = l.schedule_tx(at(5) + SimDuration::from_micros(500), 1500);
+        assert_eq!(d2, at(6));
+    }
+
+    #[test]
+    fn trace_link_packs_small_packets_into_one_opportunity() {
+        let mut l = trace_every_ms();
+        let d1 = l.schedule_tx(at(0), 40);
+        assert_eq!(d1, at(0));
+        // 36 more ACKs fit in the same 1500B opportunity (37·40=1480)
+        for _ in 0..36 {
+            assert_eq!(l.schedule_tx(d1, 40), at(0));
+        }
+        // the 38th spills into the next opportunity
+        assert_eq!(l.schedule_tx(d1, 40), at(1));
+    }
+
+    #[test]
+    fn trace_link_spans_periods() {
+        let opps = vec![ms(0), ms(500)];
+        let mut l = TraceLink::new(opps, SimDuration::from_secs(1));
+        let d = l.schedule_tx(at(600), 1500);
+        assert_eq!(d, at(1000)); // wraps into the next period
+        let d2 = l.schedule_tx(at(1100), 1500);
+        assert_eq!(d2, at(1500));
+    }
+
+    #[test]
+    fn trace_link_rate_window() {
+        let l = trace_every_ms();
+        // 40ms window with one 1500B opportunity per ms = 12 Mbit/s
+        let r = l.rate_at(at(100));
+        assert!((r.mbps() - 12.0).abs() < 0.5, "got {r}");
+    }
+
+    #[test]
+    fn trace_link_opportunity_bits() {
+        let l = trace_every_ms();
+        let bits = l.opportunity_bits(at(0), at(1000));
+        assert!((bits - 12e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_link_large_packet_spans_opportunities() {
+        let mut l = trace_every_ms();
+        // 3000B needs two opportunities: 0ms and 1ms
+        let d = l.schedule_tx(at(0), 3000);
+        assert_eq!(d, at(1));
+    }
+}

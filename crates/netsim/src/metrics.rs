@@ -1,0 +1,312 @@
+//! Simulation-wide measurement collection.
+//!
+//! A [`MetricsHub`] is shared (single-threaded `Rc<RefCell>`) between the
+//! nodes that produce measurements and the harness that reports them. The
+//! quantities match what the paper reports: per-packet delay (mean and
+//! 95th percentile), link utilization, per-flow throughput, and time series
+//! for the figure plots.
+
+use crate::packet::FlowId;
+use crate::stats::{jain_index, summarize, Summary};
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Cheap shared handle to the hub.
+pub type Metrics = Rc<RefCell<MetricsHub>>;
+
+pub fn new_hub() -> Metrics {
+    Rc::new(RefCell::new(MetricsHub::default()))
+}
+
+/// Per-flow delivery accounting (recorded by sinks).
+#[derive(Debug, Clone, Default)]
+pub struct FlowRecord {
+    pub delivered_bytes: u64,
+    pub delivered_pkts: u64,
+    pub first_delivery: Option<SimTime>,
+    pub last_delivery: Option<SimTime>,
+    /// One-way packet delays (s), as observed by the receiver.
+    pub delays_s: Vec<f64>,
+}
+
+impl FlowRecord {
+    /// Average goodput over the flow's active period.
+    pub fn throughput_bps(&self) -> f64 {
+        match (self.first_delivery, self.last_delivery) {
+            (Some(a), Some(b)) if b > a => self.delivered_bytes as f64 * 8.0 / (b - a).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Average goodput over an externally-chosen window (the usual choice:
+    /// the whole experiment, so idle flows score zero, matching how the
+    /// paper computes aggregate utilization).
+    pub fn throughput_over(&self, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 * 8.0 / window.as_secs_f64()
+    }
+}
+
+/// Per-link accounting (recorded by link nodes).
+#[derive(Debug, Clone, Default)]
+pub struct LinkRecord {
+    pub delivered_bytes: u64,
+    pub delivered_pkts: u64,
+    pub dropped_pkts: u64,
+    /// Bits the link could have carried while the experiment ran.
+    pub opportunity_bits: f64,
+    /// (time, queuing delay) samples taken at each dequeue.
+    pub qdelay_series: Vec<(SimTime, SimDuration)>,
+}
+
+impl LinkRecord {
+    pub fn utilization(&self) -> f64 {
+        if self.opportunity_bits <= 0.0 {
+            return 0.0;
+        }
+        (self.delivered_bytes as f64 * 8.0 / self.opportunity_bits).min(1.0)
+    }
+
+    pub fn qdelay_summary_ms(&self) -> Summary {
+        let v: Vec<f64> = self
+            .qdelay_series
+            .iter()
+            .map(|(_, d)| d.as_millis_f64())
+            .collect();
+        summarize(&v)
+    }
+}
+
+/// One throughput sample bin: delivered bytes per flow in `[start, start+width)`.
+#[derive(Debug, Clone)]
+pub struct ThroughputBin {
+    pub start: SimTime,
+    pub bytes: BTreeMap<FlowId, u64>,
+}
+
+#[derive(Debug)]
+pub struct MetricsHub {
+    pub flows: BTreeMap<FlowId, FlowRecord>,
+    pub links: BTreeMap<&'static str, LinkRecord>,
+    bin_width: SimDuration,
+    bins: Vec<ThroughputBin>,
+    /// Measurement starts here; earlier samples are warm-up and ignored.
+    epoch: SimTime,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        MetricsHub {
+            flows: BTreeMap::new(),
+            links: BTreeMap::new(),
+            bin_width: SimDuration::from_millis(100),
+            bins: Vec::new(),
+            epoch: SimTime::ZERO,
+        }
+    }
+}
+
+impl MetricsHub {
+    /// Ignore everything recorded before `t` (warm-up trimming).
+    pub fn set_epoch(&mut self, t: SimTime) {
+        self.epoch = t;
+    }
+
+    pub fn epoch(&self) -> SimTime {
+        self.epoch
+    }
+
+    pub fn set_bin_width(&mut self, w: SimDuration) {
+        assert!(!w.is_zero());
+        self.bin_width = w;
+    }
+
+    /// Called by sinks for every delivered data packet.
+    pub fn on_delivery(&mut self, flow: FlowId, now: SimTime, delay: SimDuration, bytes: u32) {
+        if now < self.epoch {
+            return;
+        }
+        let rec = self.flows.entry(flow).or_default();
+        rec.delivered_bytes += bytes as u64;
+        rec.delivered_pkts += 1;
+        rec.first_delivery.get_or_insert(now);
+        rec.last_delivery = Some(now);
+        rec.delays_s.push(delay.as_secs_f64());
+
+        // throughput time series
+        let bin_idx = (now.since(self.epoch).as_nanos() / self.bin_width.as_nanos()) as usize;
+        while self.bins.len() <= bin_idx {
+            let start = self.epoch + self.bin_width * self.bins.len() as u64;
+            self.bins.push(ThroughputBin {
+                start,
+                bytes: BTreeMap::new(),
+            });
+        }
+        *self.bins[bin_idx].bytes.entry(flow).or_insert(0) += bytes as u64;
+    }
+
+    /// Called by link nodes at each dequeue.
+    pub fn on_link_dequeue(
+        &mut self,
+        link: &'static str,
+        now: SimTime,
+        qdelay: SimDuration,
+        bytes: u32,
+    ) {
+        if now < self.epoch {
+            return;
+        }
+        let rec = self.links.entry(link).or_default();
+        rec.delivered_bytes += bytes as u64;
+        rec.delivered_pkts += 1;
+        rec.qdelay_series.push((now, qdelay));
+    }
+
+    pub fn on_link_drop(&mut self, link: &'static str, now: SimTime) {
+        if now < self.epoch {
+            return;
+        }
+        self.links.entry(link).or_default().dropped_pkts += 1;
+    }
+
+    /// Called once, at teardown, with the link's total opportunity bits
+    /// over the measurement period.
+    pub fn set_link_opportunity(&mut self, link: &'static str, bits: f64) {
+        self.links.entry(link).or_default().opportunity_bits = bits;
+    }
+
+    /// One-way delay summary (ms) across all packets of all flows.
+    pub fn delay_summary_ms(&self) -> Summary {
+        let v: Vec<f64> = self
+            .flows
+            .values()
+            .flat_map(|f| f.delays_s.iter().map(|d| d * 1e3))
+            .collect();
+        summarize(&v)
+    }
+
+    /// Jain fairness index of per-flow throughput over `window`.
+    pub fn jain(&self, window: SimDuration) -> f64 {
+        let tputs: Vec<f64> = self
+            .flows
+            .values()
+            .map(|f| f.throughput_over(window))
+            .collect();
+        jain_index(&tputs)
+    }
+
+    /// Total goodput across flows over `window`, bit/s.
+    pub fn total_throughput_bps(&self, window: SimDuration) -> f64 {
+        self.flows
+            .values()
+            .map(|f| f.throughput_over(window))
+            .sum()
+    }
+
+    /// Throughput time series for `flow`: (bin start seconds, Mbit/s).
+    pub fn throughput_series_mbps(&self, flow: FlowId) -> Vec<(f64, f64)> {
+        let w = self.bin_width.as_secs_f64();
+        self.bins
+            .iter()
+            .map(|b| {
+                let bytes = b.bytes.get(&flow).copied().unwrap_or(0);
+                (b.start.as_secs_f64(), bytes as f64 * 8.0 / w / 1e6)
+            })
+            .collect()
+    }
+
+    /// Aggregate throughput time series across all flows.
+    pub fn total_throughput_series_mbps(&self) -> Vec<(f64, f64)> {
+        let w = self.bin_width.as_secs_f64();
+        self.bins
+            .iter()
+            .map(|b| {
+                let bytes: u64 = b.bytes.values().sum();
+                (b.start.as_secs_f64(), bytes as f64 * 8.0 / w / 1e6)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn delivery_accounting() {
+        let hub = new_hub();
+        {
+            let mut h = hub.borrow_mut();
+            for i in 0..10 {
+                h.on_delivery(FlowId(1), at(100 * i), SimDuration::from_millis(20), 1500);
+            }
+        }
+        let h = hub.borrow();
+        let f = &h.flows[&FlowId(1)];
+        assert_eq!(f.delivered_bytes, 15000);
+        assert_eq!(f.delivered_pkts, 10);
+        // 15000B over 1s window = 120 kbit/s
+        assert!((f.throughput_over(SimDuration::from_secs(1)) - 120_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn epoch_trims_warmup() {
+        let hub = new_hub();
+        {
+            let mut h = hub.borrow_mut();
+            h.set_epoch(at(1000));
+            h.on_delivery(FlowId(1), at(500), SimDuration::from_millis(5), 1500);
+            h.on_delivery(FlowId(1), at(1500), SimDuration::from_millis(5), 1500);
+        }
+        assert_eq!(hub.borrow().flows[&FlowId(1)].delivered_pkts, 1);
+    }
+
+    #[test]
+    fn utilization_capped_at_one() {
+        let mut rec = LinkRecord {
+            delivered_bytes: 2000,
+            opportunity_bits: 8000.0,
+            ..Default::default()
+        };
+        assert_eq!(rec.utilization(), 1.0);
+        rec.delivered_bytes = 500;
+        assert!((rec.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_series_bins() {
+        let hub = new_hub();
+        {
+            let mut h = hub.borrow_mut();
+            h.on_delivery(FlowId(1), at(50), SimDuration::ZERO, 1500);
+            h.on_delivery(FlowId(1), at(250), SimDuration::ZERO, 1500);
+            h.on_delivery(FlowId(1), at(260), SimDuration::ZERO, 1500);
+        }
+        let series = hub.borrow().throughput_series_mbps(FlowId(1));
+        assert_eq!(series.len(), 3);
+        // bin 0: 1500B/100ms = 0.12 Mbit/s
+        assert!((series[0].1 - 0.12).abs() < 1e-9);
+        assert!((series[1].1 - 0.0).abs() < 1e-12);
+        assert!((series[2].1 - 0.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_over_flows() {
+        let hub = new_hub();
+        {
+            let mut h = hub.borrow_mut();
+            h.on_delivery(FlowId(1), at(10), SimDuration::ZERO, 1000);
+            h.on_delivery(FlowId(2), at(10), SimDuration::ZERO, 1000);
+        }
+        let j = hub.borrow().jain(SimDuration::from_secs(1));
+        assert!((j - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! The `Node` trait and the `Context` through which nodes act on the world.
+
+use crate::event::EventKind;
+use crate::packet::{NodeId, Packet};
+use crate::time::{SimDuration, SimTime};
+
+/// Deferred effects a node produces while handling an event. The simulator
+/// drains these into the event queue after the handler returns, so nodes
+/// never borrow the queue (or each other) directly.
+pub struct Context<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    out: &'a mut Vec<(SimTime, NodeId, EventKind)>,
+}
+
+impl<'a> Context<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        self_id: NodeId,
+        out: &'a mut Vec<(SimTime, NodeId, EventKind)>,
+    ) -> Self {
+        Context { now, self_id, out }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id under which this node is registered.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Forward `pkt` along its route: deliver it to the next hop after that
+    /// segment's propagation delay. Packets whose route is exhausted are
+    /// dropped with a debug assertion — a terminal node (sender absorbing
+    /// its own ACK) should simply not forward.
+    pub fn forward(&mut self, mut pkt: Packet) {
+        match pkt.next_hop() {
+            Some((next, delay)) => {
+                pkt.hop += 1;
+                self.out
+                    .push((self.now + delay, next, EventKind::Deliver(pkt)));
+            }
+            None => {
+                debug_assert!(false, "forward() on exhausted route");
+            }
+        }
+    }
+
+    /// Deliver `pkt` to an explicit node after `delay`, ignoring the route.
+    /// Used by link nodes delivering to themselves, e.g. loopback tests.
+    pub fn deliver(&mut self, to: NodeId, delay: SimDuration, pkt: Packet) {
+        self.out
+            .push((self.now + delay, to, EventKind::Deliver(pkt)));
+    }
+
+    /// Fire `Timer(token)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.out
+            .push((self.now + delay, self.self_id, EventKind::Timer(token)));
+    }
+
+    /// Fire `Timer(token)` on this node at absolute time `at` (clamped to
+    /// be no earlier than now).
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        let at = at.max(self.now);
+        self.out.push((at, self.self_id, EventKind::Timer(token)));
+    }
+}
+
+/// A simulation participant: a traffic source, a link queue, a sink…
+/// Nodes own all their state; the simulator only routes events.
+pub trait Node: std::any::Any {
+    /// Called once when the simulation starts, so nodes can arm their
+    /// first timers (pacing clocks, trace cursors, …).
+    fn start(&mut self, _ctx: &mut Context) {}
+
+    /// Handle a delivered packet or a fired timer.
+    fn handle(&mut self, ctx: &mut Context, event: EventKind);
+
+    /// Downcast support for post-run inspection of node state.
+    fn as_any(&self) -> &dyn std::any::Any;
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Implements the `as_any_qdisc` boilerplate for a qdisc type.
+#[macro_export]
+macro_rules! impl_qdisc_downcast {
+    () => {
+        fn as_any_qdisc(&self) -> &dyn std::any::Any {
+            self
+        }
+    };
+}
+
+/// Implements the two `as_any` boilerplate methods for a node type.
+#[macro_export]
+macro_rules! impl_node_downcast {
+    () => {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    };
+}

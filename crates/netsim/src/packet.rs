@@ -1,0 +1,230 @@
+//! Packets, ECN codepoints (including ABC's reinterpretation), and the
+//! feedback fields used by the explicit-control baselines.
+
+use crate::time::SimTime;
+use std::rc::Rc;
+
+/// Identifies a flow (sender/receiver pair) across the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+/// Identifies a node registered with the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+/// MTU used throughout the evaluation (Mahimahi uses MTU-sized packets).
+pub const MTU_BYTES: u32 = 1500;
+/// Size of a pure ACK on the wire.
+pub const ACK_BYTES: u32 = 40;
+
+/// The two ECN bits of the IP header, under ABC's reinterpretation (§5.1.2).
+///
+/// | ECT | CE | Classic meaning | ABC meaning |
+/// |-----|----|-----------------|-------------|
+/// |  0  | 0  | Not-ECT         | Not-ECT (non-ABC traffic) |
+/// |  0  | 1  | ECT(1)          | **Accelerate** |
+/// |  1  | 0  | ECT(0)          | **Brake** |
+/// |  1  | 1  | CE (congestion) | CE — legacy ECN routers still mark this |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Ecn {
+    /// 00 — sender does not speak ECN (nor ABC).
+    #[default]
+    NotEct,
+    /// 01 — ECT(1); ABC senders transmit every packet as Accelerate.
+    Accelerate,
+    /// 10 — ECT(0); ABC routers demote Accelerate to Brake, never the reverse.
+    Brake,
+    /// 11 — Congestion Experienced, set by legacy ECN-capable AQM routers.
+    Ce,
+}
+
+impl Ecn {
+    /// Raw two-bit value `(ECT << 1) | CE` as it would appear in the IP header.
+    pub fn bits(self) -> u8 {
+        match self {
+            Ecn::NotEct => 0b00,
+            Ecn::Accelerate => 0b01,
+            Ecn::Brake => 0b10,
+            Ecn::Ce => 0b11,
+        }
+    }
+
+    pub fn from_bits(bits: u8) -> Ecn {
+        match bits & 0b11 {
+            0b00 => Ecn::NotEct,
+            0b01 => Ecn::Accelerate,
+            0b10 => Ecn::Brake,
+            _ => Ecn::Ce,
+        }
+    }
+
+    /// Would a legacy (non-ABC) ECN router consider this packet ECN-capable?
+    /// Both ABC codepoints map onto ECT(0)/ECT(1), so the answer is yes —
+    /// this is what makes ABC deployable over existing ECN infrastructure.
+    pub fn is_ect(self) -> bool {
+        matches!(self, Ecn::Accelerate | Ecn::Brake)
+    }
+}
+
+/// Per-packet feedback fields for explicit-control baselines. XCP/RCP/VCP
+/// require *new* header fields (one of the deployment problems the paper
+/// highlights); we model them as typed metadata rather than raw bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Feedback {
+    /// No explicit header (ABC and all end-to-end schemes).
+    #[default]
+    None,
+    /// XCP congestion header: sender states cwnd and rtt, router writes a
+    /// per-packet window delta (bytes, may be negative).
+    Xcp {
+        cwnd_bytes: f64,
+        rtt_s: f64,
+        delta_bytes: f64,
+    },
+    /// RCP header: router stamps the rate (bit/s) it currently offers;
+    /// the sender takes the minimum along the path.
+    Rcp { rate_bps: f64 },
+    /// VCP: a 2-bit load factor classification.
+    Vcp(VcpLoad),
+}
+
+/// VCP's three load regions, encoded in 2 bits on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VcpLoad {
+    #[default]
+    Low,
+    High,
+    Overload,
+}
+
+/// Data echoed back to the sender in an ACK.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AckData {
+    /// Sequence number of the data packet being acknowledged.
+    pub seq: u64,
+    /// Cumulative acknowledgment: every sequence below this was received.
+    /// Lets senders credit packets whose individual ACKs were lost
+    /// (§3.1.1: byte counting makes ABC robust to lost/partial ACKs).
+    pub cumulative_before: u64,
+    /// When the acknowledged data packet left the sender.
+    pub data_sent_at: SimTime,
+    /// Wire size of the acknowledged data packet.
+    pub data_size: u32,
+    /// ECN bits as they arrived at the receiver (accel/brake/CE echo).
+    pub ecn_echo: Ecn,
+    /// Explicit-scheme feedback as it arrived at the receiver.
+    pub feedback: Feedback,
+    /// One-way delay experienced by the data packet (receiver-observed).
+    pub one_way_delay: crate::time::SimDuration,
+    /// True if the acknowledged packet was a retransmission (Karn's rule:
+    /// no RTT sample).
+    pub retransmit: bool,
+}
+
+/// A route is the ordered list of nodes a packet visits, with the
+/// propagation delay charged on the segment *into* each node. Routes are
+/// immutable and shared (`Rc`), so forwarding costs one pointer copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    pub hops: Vec<(NodeId, crate::time::SimDuration)>,
+}
+
+impl Route {
+    pub fn new(hops: Vec<(NodeId, crate::time::SimDuration)>) -> Rc<Route> {
+        Rc::new(Route { hops })
+    }
+
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Total propagation delay along the route.
+    pub fn total_delay(&self) -> crate::time::SimDuration {
+        self.hops
+            .iter()
+            .fold(crate::time::SimDuration::ZERO, |acc, (_, d)| acc + *d)
+    }
+}
+
+/// A simulated packet. Value type; the simulator moves it between nodes.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    pub flow: FlowId,
+    /// Per-flow sequence number (data packets) or the seq being ACKed.
+    pub seq: u64,
+    /// Wire size in bytes, headers included.
+    pub size: u32,
+    pub ecn: Ecn,
+    pub feedback: Feedback,
+    /// True for flows whose packets an ABC router classifies into the ABC
+    /// queue (§5.2 assumes routers can identify ABC traffic, e.g. via the
+    /// IPv6 flow label or a proxy's address).
+    pub abc_capable: bool,
+    /// Departure time from the original sender.
+    pub sent_at: SimTime,
+    /// Set when this transmission is a retransmission of a lost packet.
+    pub retransmit: bool,
+    /// Present iff this is an ACK.
+    pub ack: Option<AckData>,
+    /// Remaining path. `hop` indexes the *next* node to visit.
+    pub route: Rc<Route>,
+    pub hop: usize,
+    /// Scratch: when this packet entered the queue it currently occupies.
+    pub enqueued_at: SimTime,
+}
+
+impl Packet {
+    pub fn is_ack(&self) -> bool {
+        self.ack.is_some()
+    }
+
+    /// Next node on the route with the propagation delay to reach it,
+    /// or `None` when the route is exhausted.
+    pub fn next_hop(&self) -> Option<(NodeId, crate::time::SimDuration)> {
+        self.route.hops.get(self.hop).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn ecn_bits_round_trip() {
+        for e in [Ecn::NotEct, Ecn::Accelerate, Ecn::Brake, Ecn::Ce] {
+            assert_eq!(Ecn::from_bits(e.bits()), e);
+        }
+    }
+
+    #[test]
+    fn abc_codepoints_look_ect_to_legacy_routers() {
+        assert!(Ecn::Accelerate.is_ect());
+        assert!(Ecn::Brake.is_ect());
+        assert!(!Ecn::NotEct.is_ect());
+        assert!(!Ecn::Ce.is_ect());
+    }
+
+    #[test]
+    fn ecn_wire_encoding_matches_paper_table() {
+        // §5.1.2: accelerate = 01, brake = 10, ECN set = 11.
+        assert_eq!(Ecn::Accelerate.bits(), 0b01);
+        assert_eq!(Ecn::Brake.bits(), 0b10);
+        assert_eq!(Ecn::Ce.bits(), 0b11);
+        assert_eq!(Ecn::NotEct.bits(), 0b00);
+    }
+
+    #[test]
+    fn route_total_delay_sums_segments() {
+        let r = Route::new(vec![
+            (NodeId(1), SimDuration::from_millis(25)),
+            (NodeId(2), SimDuration::from_millis(25)),
+        ]);
+        assert_eq!(r.total_delay(), SimDuration::from_millis(50));
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Queueing disciplines.
+//!
+//! A [`Qdisc`] owns the buffered packets at a link and decides what to drop
+//! (on enqueue or dequeue), what to mark (ECN / accel-brake / explicit
+//! feedback headers), and — for multi-queue disciplines — what to serve
+//! next. The link node drives it: `enqueue` on packet arrival, `dequeue`
+//! when the link can transmit.
+
+use crate::packet::Packet;
+use crate::rate::Rate;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Counters every qdisc maintains for the metrics pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QdiscStats {
+    pub enqueued_pkts: u64,
+    pub dequeued_pkts: u64,
+    pub dropped_pkts: u64,
+    pub dequeued_bytes: u64,
+    /// Packets marked CE (legacy AQM in ECN mode).
+    pub ce_marked: u64,
+    /// Packets demoted Accelerate→Brake (ABC routers).
+    pub braked: u64,
+}
+
+pub trait Qdisc: std::any::Any {
+    /// Downcast support (harnesses inspect concrete qdisc state mid-run).
+    fn as_any_qdisc(&self) -> &dyn std::any::Any;
+
+    /// Offer a packet to the queue at `now`. Returns `true` if the packet
+    /// was accepted, `false` if it was dropped (tail drop / AQM drop).
+    /// Implementations must stamp `pkt.enqueued_at = now` on accept.
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> bool;
+
+    /// Remove the next packet to transmit. AQMs may drop packets here
+    /// (head drop) before returning one; marking (CE, accel→brake,
+    /// explicit-feedback stamping) also happens here, at departure time.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Wire size of the packet `dequeue` would return, without effects.
+    fn peek_size(&self) -> Option<u32>;
+
+    fn len_pkts(&self) -> usize;
+    fn len_bytes(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.len_pkts() == 0
+    }
+
+    /// Feed the current link capacity µ(t). Link nodes call this before
+    /// each dequeue; control-law qdiscs (ABC, XCP, RCP, VCP) use it,
+    /// passive ones ignore it.
+    fn on_capacity(&mut self, _rate: Rate, _now: SimTime) {}
+
+    /// Queuing delay of the head-of-line packet (the delay the *next*
+    /// departing packet has experienced).
+    fn head_sojourn(&self, now: SimTime) -> Option<SimDuration>;
+
+    fn stats(&self) -> QdiscStats;
+}
+
+/// Plain FIFO tail-drop queue with a byte or packet capacity limit.
+///
+/// The paper's cellular experiments use a 250-packet droptail buffer for
+/// every end-to-end scheme.
+pub struct DropTail {
+    queue: VecDeque<Packet>,
+    limit_pkts: usize,
+    bytes: u64,
+    stats: QdiscStats,
+}
+
+impl DropTail {
+    pub fn new(limit_pkts: usize) -> Self {
+        assert!(limit_pkts > 0, "zero-capacity queue");
+        DropTail {
+            queue: VecDeque::new(),
+            limit_pkts,
+            bytes: 0,
+            stats: QdiscStats::default(),
+        }
+    }
+}
+
+impl Qdisc for DropTail {
+    crate::impl_qdisc_downcast!();
+
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+        if self.queue.len() >= self.limit_pkts {
+            self.stats.dropped_pkts += 1;
+            return false;
+        }
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+        self.stats.enqueued_pkts += 1;
+        true
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        self.stats.dequeued_pkts += 1;
+        self.stats.dequeued_bytes += pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn peek_size(&self) -> Option<u32> {
+        self.queue.front().map(|p| p.size)
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
+        self.queue.front().map(|p| now.since(p.enqueued_at))
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_packet(seq: u64, size: u32) -> Packet {
+    use crate::packet::{Ecn, Feedback, FlowId, NodeId, Route};
+    Packet {
+        flow: FlowId(0),
+        seq,
+        size,
+        ecn: Ecn::NotEct,
+        feedback: Feedback::None,
+        abc_capable: false,
+        sent_at: SimTime::ZERO,
+        retransmit: false,
+        ack: None,
+        route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
+        hop: 0,
+        enqueued_at: SimTime::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTail::new(10);
+        for i in 0..5 {
+            assert!(q.enqueue(test_packet(i, 1500), at(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue(at(10)).unwrap().seq, i);
+        }
+        assert!(q.dequeue(at(10)).is_none());
+    }
+
+    #[test]
+    fn tail_drop_at_limit() {
+        let mut q = DropTail::new(2);
+        assert!(q.enqueue(test_packet(0, 1500), at(0)));
+        assert!(q.enqueue(test_packet(1, 1500), at(0)));
+        assert!(!q.enqueue(test_packet(2, 1500), at(0)));
+        assert_eq!(q.stats().dropped_pkts, 1);
+        assert_eq!(q.len_pkts(), 2);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut q = DropTail::new(10);
+        q.enqueue(test_packet(0, 1500), at(0));
+        q.enqueue(test_packet(1, 40), at(0));
+        assert_eq!(q.len_bytes(), 1540);
+        q.dequeue(at(1));
+        assert_eq!(q.len_bytes(), 40);
+    }
+
+    #[test]
+    fn head_sojourn_measures_wait() {
+        let mut q = DropTail::new(10);
+        q.enqueue(test_packet(0, 1500), at(0));
+        assert_eq!(q.head_sojourn(at(30)), Some(SimDuration::from_millis(30)));
+        q.dequeue(at(30));
+        assert_eq!(q.head_sojourn(at(30)), None);
+    }
+
+    #[test]
+    fn enqueue_stamps_time() {
+        let mut q = DropTail::new(10);
+        let mut p = test_packet(0, 100);
+        p.enqueued_at = at(999); // stale value must be overwritten
+        q.enqueue(p, at(5));
+        assert_eq!(q.dequeue(at(6)).unwrap().enqueued_at, at(5));
+    }
+}

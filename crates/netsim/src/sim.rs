@@ -1,0 +1,295 @@
+//! The simulator: node registry, virtual clock, and the run loop.
+
+use crate::event::{EventKind, EventQueue};
+use crate::node::{Context, Node};
+use crate::packet::NodeId;
+use crate::time::SimTime;
+
+/// A deterministic discrete-event simulator.
+///
+/// ```
+/// use netsim::sim::Simulator;
+/// use netsim::node::{Context, Node};
+/// use netsim::event::EventKind;
+/// use netsim::time::{SimDuration, SimTime};
+///
+/// struct Ticker { fired: u32 }
+/// impl Node for Ticker {
+///     netsim::impl_node_downcast!();
+///     fn start(&mut self, ctx: &mut Context) {
+///         ctx.set_timer(SimDuration::from_millis(10), 0);
+///     }
+///     fn handle(&mut self, ctx: &mut Context, ev: EventKind) {
+///         if let EventKind::Timer(_) = ev {
+///             self.fired += 1;
+///             if self.fired < 5 {
+///                 ctx.set_timer(SimDuration::from_millis(10), 0);
+///             }
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// sim.add_node(Box::new(Ticker { fired: 0 }));
+/// sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+/// // five ticks processed, then the clock idles forward to the deadline
+/// assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(1));
+/// assert_eq!(sim.events_processed(), 5);
+/// ```
+pub struct Simulator {
+    clock: SimTime,
+    queue: EventQueue,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    started: bool,
+    scratch: Vec<(SimTime, NodeId, EventKind)>,
+    events_processed: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    pub fn new() -> Self {
+        Simulator {
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            started: false,
+            scratch: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Register a node; the returned id is how packets route to it.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Reserve an id before the node exists — lets topologies with cycles
+    /// (sender → … → sender) build routes first and install nodes after.
+    pub fn reserve_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(None);
+        id
+    }
+
+    /// Install a node into a reserved slot.
+    ///
+    /// # Panics
+    /// If the slot is already occupied.
+    pub fn install_node(&mut self, id: NodeId, node: Box<dyn Node>) {
+        let slot = &mut self.nodes[id.0 as usize];
+        assert!(slot.is_none(), "node slot {id:?} already installed");
+        *slot = Some(node);
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn start_all(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            if let Some(mut node) = self.nodes[i].take() {
+                {
+                    let mut ctx = Context::new(self.clock, id, &mut self.scratch);
+                    node.start(&mut ctx);
+                }
+                self.nodes[i] = Some(node);
+                self.flush_scratch();
+            }
+        }
+    }
+
+    fn flush_scratch(&mut self) {
+        for (time, node, kind) in self.scratch.drain(..) {
+            self.queue.push(time, node, kind);
+        }
+    }
+
+    /// Run until the clock reaches `deadline` (events at exactly `deadline`
+    /// are processed) or the event queue drains, whichever is first.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_all();
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.time >= self.clock, "event queue time went backwards");
+            self.clock = ev.time;
+            self.events_processed += 1;
+            let idx = ev.node.0 as usize;
+            // Take the node out so the handler can't alias the registry.
+            // A missing node (reserved but never installed) drops the event.
+            if let Some(mut node) = self.nodes.get_mut(idx).and_then(Option::take) {
+                {
+                    let mut ctx = Context::new(self.clock, ev.node, &mut self.scratch);
+                    node.handle(&mut ctx, ev.kind);
+                }
+                self.nodes[idx] = Some(node);
+                self.flush_scratch();
+            }
+        }
+        // Advance the clock to the deadline even if we idled out early.
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+    }
+
+    /// Run for `dur` of simulated time from the current clock.
+    pub fn run_for(&mut self, dur: crate::time::SimDuration) {
+        let deadline = self.clock + dur;
+        self.run_until(deadline);
+    }
+
+    /// Access a node for post-run inspection (e.g. reading counters).
+    /// Returns `None` for reserved-but-empty slots.
+    pub fn node(&self, id: NodeId) -> Option<&dyn Node> {
+        self.nodes
+            .get(id.0 as usize)
+            .and_then(|n| n.as_deref())
+    }
+
+    /// Mutable access, for test scaffolding.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Box<dyn Node>> {
+        self.nodes.get_mut(id.0 as usize).and_then(|n| n.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Ecn, Feedback, FlowId, Packet, Route};
+    use crate::time::SimDuration;
+
+    /// Bounces a counter packet back and forth with a peer.
+    struct PingPong {
+        peer: Option<NodeId>,
+        received: u32,
+        limit: u32,
+    }
+
+    impl Node for PingPong {
+        crate::impl_node_downcast!();
+
+        fn start(&mut self, ctx: &mut Context) {
+            if let Some(peer) = self.peer {
+                let route = Route::new(vec![(peer, SimDuration::from_millis(5))]);
+                let pkt = Packet {
+                    flow: FlowId(0),
+                    seq: 0,
+                    size: 100,
+                    ecn: Ecn::NotEct,
+                    feedback: Feedback::None,
+                    abc_capable: false,
+                    sent_at: ctx.now(),
+                    retransmit: false,
+                    ack: None,
+                    route,
+                    hop: 0,
+                    enqueued_at: ctx.now(),
+                };
+                ctx.forward(pkt);
+            }
+        }
+
+        fn handle(&mut self, ctx: &mut Context, ev: EventKind) {
+            if let EventKind::Deliver(pkt) = ev {
+                self.received += 1;
+                if self.received < self.limit {
+                    // send it back to whoever it came from via a fresh route
+                    let from = if let Some(peer) = self.peer {
+                        peer
+                    } else {
+                        // responder learns the peer from the packet's route origin:
+                        // route carried us as the only hop; reply to flow origin
+                        // is modeled by tests wiring both sides with peers.
+                        return;
+                    };
+                    let mut reply = pkt;
+                    reply.route = Route::new(vec![(from, SimDuration::from_millis(5))]);
+                    reply.hop = 0;
+                    ctx.forward(reply);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_clock_by_propagation() {
+        let mut sim = Simulator::new();
+        let a = sim.reserve_node();
+        let b = sim.reserve_node();
+        sim.install_node(
+            a,
+            Box::new(PingPong {
+                peer: Some(b),
+                received: 0,
+                limit: 3,
+            }),
+        );
+        sim.install_node(
+            b,
+            Box::new(PingPong {
+                peer: Some(a),
+                received: 0,
+                limit: 3,
+            }),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        // a starts -> b (5ms). b replies -> a (10ms). a replies -> b (15ms)...
+        // each side also fires its own start packet; just sanity-check time
+        // advanced in 5ms multiples and the sim terminated.
+        assert!(sim.now() == SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(sim.events_processed() >= 4);
+    }
+
+    #[test]
+    fn run_until_is_resumable() {
+        struct T {
+            count: u32,
+        }
+        impl Node for T {
+            crate::impl_node_downcast!();
+
+            fn start(&mut self, ctx: &mut Context) {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+            fn handle(&mut self, ctx: &mut Context, _: EventKind) {
+                self.count += 1;
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add_node(Box::new(T { count: 0 }));
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(35));
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(100));
+        // timers at 10,20,...,100 → 10 firings
+        let t: &T = sim
+            .node(id)
+            .and_then(|n| n.as_any().downcast_ref())
+            .unwrap();
+        assert_eq!(t.count, 10);
+    }
+
+    #[test]
+    fn deadline_without_events_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(5));
+    }
+}

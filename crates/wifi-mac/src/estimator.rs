@@ -1,0 +1,276 @@
+//! ABC's Wi-Fi link-rate estimator (§4.1, Eqs. 5–8, Figs. 4–5).
+//!
+//! The AP observes, per A-MPDU batch: the batch size `b`, the frame size
+//! `S`, the PHY bitrate `R`, and the inter-ACK time `T_IA`. The estimator
+//! extrapolates what the ACK interval *would have been* for a full batch
+//! of `M` frames —
+//!
+//! ```text
+//! T̂IA(M) = T_IA(b) + (M − b)·S/R          (Eq. 8)
+//! µ̂       = M·S / T̂IA(M)                  (Eq. 6)
+//! ```
+//!
+//! — then smooths the samples with a moving average over a sliding window
+//! `T` (40 ms in the paper) and caps the prediction at 2× the current
+//! dequeue rate (ABC cannot use more than a doubling per RTT anyway).
+
+use netsim::rate::Rate;
+use netsim::stats::WindowedRate;
+use netsim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One observed batch transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSample {
+    pub when: SimTime,
+    /// Frames in the A-MPDU.
+    pub batch: u32,
+    /// Frame size (bytes).
+    pub frame_bytes: u32,
+    /// PHY bitrate used.
+    pub phy_rate: Rate,
+    /// Time between this block-ACK and the start of the batch.
+    pub inter_ack: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorConfig {
+    /// Maximum A-MPDU frames the receiver negotiated (M).
+    pub max_batch: u32,
+    /// Smoothing window T (must exceed the largest inter-ACK time).
+    pub window: SimDuration,
+    /// Cap factor relative to the current dequeue rate.
+    pub cap_factor: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            max_batch: 20,
+            window: SimDuration::from_millis(40),
+            cap_factor: 2.0,
+        }
+    }
+}
+
+pub struct WifiRateEstimator {
+    cfg: EstimatorConfig,
+    /// Recent per-batch capacity estimates: (time, µ̂ sample bps, weight).
+    samples: VecDeque<(SimTime, f64, f64)>,
+    dequeue_rate: WindowedRate,
+    /// All raw samples (for the Fig. 4 scatter), cheaply cap-limited.
+    log: Vec<BatchSample>,
+    log_cap: usize,
+}
+
+impl WifiRateEstimator {
+    pub fn new(cfg: EstimatorConfig) -> Self {
+        assert!(cfg.max_batch > 0);
+        assert!(!cfg.window.is_zero());
+        WifiRateEstimator {
+            cfg,
+            samples: VecDeque::new(),
+            dequeue_rate: WindowedRate::new(cfg.window),
+            log: Vec::new(),
+            log_cap: 100_000,
+        }
+    }
+
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.cfg
+    }
+
+    /// Record a completed batch and its block-ACK timing.
+    pub fn on_batch(&mut self, s: BatchSample) {
+        assert!(s.batch > 0, "empty batch");
+        if self.log.len() < self.log_cap {
+            self.log.push(s);
+        }
+        self.dequeue_rate
+            .record(s.when, s.batch as u64 * s.frame_bytes as u64);
+
+        let m = self.cfg.max_batch as f64;
+        let b = (s.batch.min(self.cfg.max_batch)) as f64;
+        let frame_bits = s.frame_bytes as f64 * 8.0;
+        let r = s.phy_rate.bps();
+        if r <= 0.0 {
+            return;
+        }
+        // Eq. 8: extrapolate the ACK interval to a full batch
+        let t_full = s.inter_ack.as_secs_f64() + (m - b) * frame_bits / r;
+        if t_full <= 0.0 {
+            return;
+        }
+        // Eq. 6
+        let mu_hat = m * frame_bits / t_full;
+        // weight longer batches more: they carry more signal about h(t)
+        self.samples.push_back((s.when, mu_hat, b));
+        let cutoff = s.when.saturating_sub(self.cfg.window);
+        while self.samples.front().is_some_and(|&(t, ..)| t < cutoff) {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Smoothed, capped link-capacity estimate at `now`.
+    pub fn estimate(&mut self, now: SimTime) -> Rate {
+        let cutoff = now.saturating_sub(self.cfg.window);
+        while self.samples.front().is_some_and(|&(t, ..)| t < cutoff) {
+            self.samples.pop_front();
+        }
+        if self.samples.is_empty() {
+            return Rate::ZERO;
+        }
+        let wsum: f64 = self.samples.iter().map(|&(_, _, w)| w).sum();
+        let mean = self
+            .samples
+            .iter()
+            .map(|&(_, v, w)| v * w)
+            .sum::<f64>()
+            / wsum;
+        let cr = self.dequeue_rate.rate(now).bps();
+        let capped = if cr > 0.0 {
+            mean.min(self.cfg.cap_factor * cr)
+        } else {
+            mean
+        };
+        Rate::from_bps(capped)
+    }
+
+    /// Raw batch log (for the Fig. 4 inter-ACK scatter).
+    pub fn batch_log(&self) -> &[BatchSample] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    /// Synthetic ground truth: R = 13 Mbit/s PHY, overhead h = 1.5 ms,
+    /// M = 20, S = 1500 B → µ = M·S·8/(M·S·8/R + h).
+    fn true_capacity(r_mbps: f64, h_ms: f64, m: f64) -> f64 {
+        let frame_bits = 1500.0 * 8.0;
+        m * frame_bits / (m * frame_bits / (r_mbps * 1e6) + h_ms / 1e3)
+    }
+
+    fn sample(when: SimTime, b: u32, r_mbps: f64, h_ms: f64) -> BatchSample {
+        let frame_bits = 1500.0 * 8.0;
+        let tx = b as f64 * frame_bits / (r_mbps * 1e6);
+        BatchSample {
+            when,
+            batch: b,
+            frame_bytes: 1500,
+            phy_rate: Rate::from_mbps(r_mbps),
+            inter_ack: SimDuration::from_secs_f64(tx + h_ms / 1e3),
+        }
+    }
+
+    #[test]
+    fn full_batches_recover_capacity_exactly() {
+        let mut e = WifiRateEstimator::new(EstimatorConfig::default());
+        let mut t = 0;
+        for _ in 0..20 {
+            e.on_batch(sample(at(t), 20, 13.0, 1.5));
+            t += 2_000;
+        }
+        let est = e.estimate(at(t)).bps();
+        let truth = true_capacity(13.0, 1.5, 20.0);
+        assert!(
+            (est - truth).abs() / truth < 0.01,
+            "est {est} vs true {truth}"
+        );
+    }
+
+    #[test]
+    fn partial_batches_extrapolate_within_5_percent() {
+        // the headline Fig. 5 property: a NON-backlogged user (small
+        // batches) still yields the full-batch capacity
+        for b in [1u32, 2, 5, 10, 15] {
+            let mut e = WifiRateEstimator::new(EstimatorConfig::default());
+            let mut t = 0;
+            for _ in 0..30 {
+                e.on_batch(sample(at(t), b, 13.0, 1.5));
+                t += 2_000;
+            }
+            let est = e.estimate(at(t)).bps();
+            let truth = true_capacity(13.0, 1.5, 20.0);
+            // disable the cr cap effect by checking the raw ratio range:
+            // small batches under-drive the link, so the 2× cap may bind
+            let cr = b as f64 * 12000.0 / 0.002; // bytes→bits per 2 ms
+            let expected = truth.min(2.0 * cr);
+            assert!(
+                (est - expected).abs() / expected < 0.05,
+                "b={b}: est {est} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_variation_averages_out() {
+        let mut e = WifiRateEstimator::new(EstimatorConfig {
+            window: SimDuration::from_millis(100),
+            ..Default::default()
+        });
+        let mut t = 0;
+        // alternate short/long overheads around 1.5 ms
+        for i in 0..50 {
+            let h = if i % 2 == 0 { 1.0 } else { 2.0 };
+            e.on_batch(sample(at(t), 20, 13.0, h));
+            t += 2_000;
+        }
+        let est = e.estimate(at(t)).bps();
+        let truth = true_capacity(13.0, 1.5, 20.0);
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "est {est} vs true {truth}"
+        );
+    }
+
+    #[test]
+    fn cap_limits_prediction_to_twice_dequeue_rate() {
+        let mut e = WifiRateEstimator::new(EstimatorConfig::default());
+        // a single tiny batch: µ̂ extrapolates high, but cr is tiny
+        e.on_batch(sample(at(0), 1, 65.0, 1.0));
+        let est = e.estimate(at(100)).bps();
+        let cr = 1500.0 * 8.0 / 0.04; // one frame in the 40 ms window
+        assert!(
+            est <= 2.0 * cr + 1.0,
+            "estimate {est} exceeds 2×cr {}",
+            2.0 * cr
+        );
+    }
+
+    #[test]
+    fn stale_samples_expire() {
+        let mut e = WifiRateEstimator::new(EstimatorConfig::default());
+        e.on_batch(sample(at(0), 20, 13.0, 1.5));
+        assert!(e.estimate(at(1_000)).bps() > 0.0);
+        // 1 s later the 40 ms window is long empty
+        assert_eq!(e.estimate(at(1_000_000)).bps(), 0.0);
+    }
+
+    #[test]
+    fn tracks_mcs_change() {
+        let mut e = WifiRateEstimator::new(EstimatorConfig::default());
+        let mut t = 0;
+        for _ in 0..30 {
+            e.on_batch(sample(at(t), 20, 13.0, 1.5));
+            t += 2_000;
+        }
+        // MCS jumps to 65 Mbit/s
+        for _ in 0..30 {
+            e.on_batch(sample(at(t), 20, 65.0, 1.5));
+            t += 2_000;
+        }
+        let est = e.estimate(at(t)).bps();
+        let truth = true_capacity(65.0, 1.5, 20.0);
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "est {est} vs true {truth}"
+        );
+    }
+}

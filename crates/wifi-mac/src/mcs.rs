@@ -1,0 +1,153 @@
+//! 802.11n MCS (Modulation and Coding Scheme) table and the index-variation
+//! processes the paper's Wi-Fi experiments use (§6.3: alternate the index
+//! between 1 and 7 every 2 s; Appendix B: Brownian motion over [3, 7]).
+
+use netsim::rate::Rate;
+use netsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 802.11n single-stream, 20 MHz, long guard interval PHY bitrates
+/// (Mbit/s) for MCS 0–7.
+pub const MCS_RATE_MBPS: [f64; 8] = [6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0];
+
+/// PHY bitrate for an MCS index.
+///
+/// # Panics
+/// If `idx > 7`.
+pub fn mcs_rate(idx: u8) -> Rate {
+    Rate::from_mbps(MCS_RATE_MBPS[idx as usize])
+}
+
+/// A deterministic (seeded) MCS-index schedule.
+pub trait McsProcess {
+    fn mcs_at(&mut self, t: SimTime) -> u8;
+}
+
+/// Constant index.
+pub struct FixedMcs(pub u8);
+
+impl McsProcess for FixedMcs {
+    fn mcs_at(&mut self, _t: SimTime) -> u8 {
+        self.0
+    }
+}
+
+/// Alternate between two indices every `period` (the paper's §6.3 setup:
+/// 1 ↔ 7 every 2 s, mimicking endpoint movement).
+pub struct AlternatingMcs {
+    pub a: u8,
+    pub b: u8,
+    pub period: SimDuration,
+}
+
+impl McsProcess for AlternatingMcs {
+    fn mcs_at(&mut self, t: SimTime) -> u8 {
+        let phase = t.as_nanos() / self.period.as_nanos();
+        if phase.is_multiple_of(2) {
+            self.a
+        } else {
+            self.b
+        }
+    }
+}
+
+/// Brownian-motion index over `[min, max]`, re-stepped every `period`
+/// (Appendix B: values bounded to [3, 7], changing every 2 s).
+pub struct BrownianMcs {
+    pub min: u8,
+    pub max: u8,
+    pub period: SimDuration,
+    current: u8,
+    last_step: Option<u64>,
+    rng: StdRng,
+}
+
+impl BrownianMcs {
+    pub fn new(min: u8, max: u8, period: SimDuration, seed: u64) -> Self {
+        assert!(min <= max && max <= 7);
+        BrownianMcs {
+            min,
+            max,
+            period,
+            current: (min + max) / 2,
+            last_step: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl McsProcess for BrownianMcs {
+    fn mcs_at(&mut self, t: SimTime) -> u8 {
+        let phase = t.as_nanos() / self.period.as_nanos();
+        match self.last_step {
+            Some(last) if last >= phase => {}
+            _ => {
+                // advance the walk once per period boundary crossed
+                let steps = match self.last_step {
+                    Some(last) => phase - last,
+                    None => 1,
+                };
+                for _ in 0..steps.min(32) {
+                    let delta: i8 = [-1, 0, 1][self.rng.gen_range(0..3)];
+                    let next = self.current as i8 + delta;
+                    self.current = next.clamp(self.min as i8, self.max as i8) as u8;
+                }
+                self.last_step = Some(phase);
+            }
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn table_is_monotone() {
+        for w in MCS_RATE_MBPS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(mcs_rate(7).mbps(), 65.0);
+    }
+
+    #[test]
+    fn alternating_schedule() {
+        let mut m = AlternatingMcs {
+            a: 1,
+            b: 7,
+            period: SimDuration::from_secs(2),
+        };
+        assert_eq!(m.mcs_at(at(0)), 1);
+        assert_eq!(m.mcs_at(at(1999)), 1);
+        assert_eq!(m.mcs_at(at(2000)), 7);
+        assert_eq!(m.mcs_at(at(4000)), 1);
+    }
+
+    #[test]
+    fn brownian_stays_in_bounds_and_moves() {
+        let mut m = BrownianMcs::new(3, 7, SimDuration::from_secs(2), 7);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..200u64 {
+            let idx = m.mcs_at(at(s * 2000));
+            assert!((3..=7).contains(&idx));
+            seen.insert(idx);
+        }
+        assert!(seen.len() > 1, "walk never moved");
+    }
+
+    #[test]
+    fn brownian_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = BrownianMcs::new(3, 7, SimDuration::from_secs(2), seed);
+            (0..50u64).map(|s| m.mcs_at(at(s * 2000))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's headline experiment in one command: every congestion-control
+//! scheme over an emulated cellular trace, reporting the
+//! utilization/delay tradeoff (Fig. 8's axes).
+//!
+//! ```sh
+//! cargo run --release --example cellular_pareto             # Verizon1
+//! cargo run --release --example cellular_pareto TMobile1    # another trace
+//! ```
+
+use abc_repro::cellular;
+use abc_repro::experiments::{CellScenario, LinkSpec, CELLULAR_LINEUP};
+use abc_repro::netsim::time::SimDuration;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Verizon1".into());
+    let trace = cellular::builtin(&name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown trace {name:?}; built-ins: {:?}",
+            cellular::builtin_specs()
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+        );
+        std::process::exit(2);
+    });
+    println!(
+        "trace {} — mean capacity {:.2} Mbit/s over {:.0} s\n",
+        trace.name,
+        trace.mean_rate().mbps(),
+        trace.duration().as_secs_f64()
+    );
+    println!(
+        "{:<14} {:>6} {:>16} {:>14}",
+        "Scheme", "Util", "95p delay (ms)", "tput (Mbit/s)"
+    );
+    let mut rows = Vec::new();
+    for scheme in CELLULAR_LINEUP {
+        let mut sc = CellScenario::new(scheme, LinkSpec::Trace(trace.clone()));
+        sc.duration = SimDuration::from_secs(60);
+        let r = sc.run();
+        println!(
+            "{:<14} {:>6.3} {:>16.1} {:>14.2}",
+            r.scheme, r.utilization, r.delay_ms.p95, r.total_tput_mbps
+        );
+        rows.push(r);
+    }
+    // point out who dominates whom
+    let abc = rows.iter().find(|r| r.scheme == "ABC").unwrap();
+    let dominated = rows
+        .iter()
+        .filter(|r| r.scheme != "ABC")
+        .filter(|r| abc.utilization >= r.utilization && abc.delay_ms.p95 <= r.delay_ms.p95)
+        .count();
+    println!(
+        "\nABC Pareto-dominates {dominated} of {} other schemes on this trace.",
+        rows.len() - 1
+    );
+}

@@ -1,0 +1,97 @@
+//! Property tests over the congestion-control state machines: no window
+//! ever collapses below its floor, explodes to non-finite values, or
+//! violates its scheme's monotonicity rules, under arbitrary ACK streams.
+
+use abc_repro::baselines::{Bbr, Copa, Cubic, NewReno, PccVivace, Sprout, Vegas, Verus};
+use abc_repro::explicit::{RcpSender, VcpSender, XcpSender};
+use abc_repro::netsim::flow::{AckEvent, CongestionControl, Pacing};
+use abc_repro::netsim::packet::{Ecn, Feedback, VcpLoad};
+use abc_repro::netsim::rate::Rate;
+use abc_repro::netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Drive any controller with an arbitrary but plausible ACK stream and
+/// random loss/RTO events; assert universal invariants.
+fn fuzz_cc(mut cc: Box<dyn CongestionControl>, script: &[(u8, u16, u16)]) {
+    let mut now_ms: u64 = 0;
+    for &(kind, rtt_extra_ms, gap_ms) in script {
+        now_ms += gap_ms as u64 + 1;
+        let now = SimTime::ZERO + SimDuration::from_millis(now_ms);
+        match kind % 8 {
+            6 => cc.on_loss(now),
+            7 => cc.on_rto(now),
+            k => {
+                let ecn = match k {
+                    0 | 1 => Ecn::Accelerate,
+                    2 => Ecn::Brake,
+                    3 => Ecn::Ce,
+                    _ => Ecn::NotEct,
+                };
+                let feedback = match k {
+                    4 => Feedback::Rcp {
+                        rate_bps: 1e6 + rtt_extra_ms as f64 * 1e4,
+                    },
+                    5 => Feedback::Vcp(match rtt_extra_ms % 3 {
+                        0 => VcpLoad::Low,
+                        1 => VcpLoad::High,
+                        _ => VcpLoad::Overload,
+                    }),
+                    _ => Feedback::Xcp {
+                        cwnd_bytes: 30_000.0,
+                        rtt_s: 0.1,
+                        delta_bytes: (rtt_extra_ms as f64 - 500.0) * 10.0,
+                    },
+                };
+                let rtt = SimDuration::from_millis(100 + rtt_extra_ms as u64 % 900);
+                cc.on_ack(&AckEvent {
+                    now,
+                    rtt: Some(rtt),
+                    min_rtt: SimDuration::from_millis(100),
+                    srtt: rtt,
+                    acked_bytes: 1500,
+                    ecn_echo: ecn,
+                    feedback,
+                    inflight_pkts: (rtt_extra_ms % 300) as usize,
+                    delivery_rate: Rate::from_bps(rtt_extra_ms as f64 * 1e4),
+                    one_way_delay: rtt / 2,
+                });
+            }
+        }
+        let w = cc.cwnd_pkts();
+        assert!(w.is_finite(), "{}: non-finite window", cc.name());
+        assert!(w >= 1.0, "{}: window {} below 1 packet", cc.name(), w);
+        assert!(w < 1e9, "{}: window {} exploded", cc.name(), w);
+        if let Pacing::Rate(r) = cc.pacing() {
+            assert!(r.bps().is_finite() && r.bps() >= 0.0, "{}: bad pacing", cc.name());
+        }
+    }
+}
+
+macro_rules! cc_fuzz_test {
+    ($name:ident, $make:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn $name(script in proptest::collection::vec((0u8..8, 0u16..1000, 0u16..200), 1..300)) {
+                fuzz_cc(Box::new($make), &script);
+            }
+        }
+    };
+}
+
+cc_fuzz_test!(cubic_invariants, Cubic::new());
+cc_fuzz_test!(cubic_ecn_invariants, Cubic::new().with_ecn());
+cc_fuzz_test!(newreno_invariants, NewReno::new());
+cc_fuzz_test!(vegas_invariants, Vegas::new());
+cc_fuzz_test!(bbr_invariants, Bbr::new());
+cc_fuzz_test!(copa_invariants, Copa::new());
+cc_fuzz_test!(pcc_invariants, PccVivace::new());
+cc_fuzz_test!(sprout_invariants, Sprout::new());
+cc_fuzz_test!(verus_invariants, Verus::new());
+cc_fuzz_test!(xcp_invariants, XcpSender::new());
+cc_fuzz_test!(rcp_invariants, RcpSender::new());
+cc_fuzz_test!(vcp_invariants, VcpSender::new());
+cc_fuzz_test!(
+    abc_invariants,
+    abc_repro::abc_core::sender::AbcSender::new()
+);

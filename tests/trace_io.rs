@@ -1,0 +1,67 @@
+//! Mahimahi trace file round trips: the synthetic traces can be written to
+//! disk in Mahimahi's format and parsed back without loss of information
+//! (so the substitution for the paper's captures is file-compatible).
+
+use abc_repro::cellular::{self, CellTrace};
+use std::io::Cursor;
+
+#[test]
+fn every_builtin_trace_round_trips_through_mahimahi_format() {
+    for trace in cellular::all_builtin() {
+        let mut buf = Vec::new();
+        trace.write_mahimahi(&mut buf).unwrap();
+        let parsed = CellTrace::parse_mahimahi(&trace.name, Cursor::new(&buf)).unwrap();
+        // timestamps are quantized to ms by the format; counts must match
+        // and every timestamp must agree at ms precision
+        assert_eq!(
+            parsed.opportunities.len(),
+            trace.opportunities.len(),
+            "{}: opportunity count changed",
+            trace.name
+        );
+        for (a, b) in trace.opportunities.iter().zip(parsed.opportunities.iter()) {
+            assert_eq!(
+                a.as_nanos() / 1_000_000,
+                b.as_nanos() / 1_000_000,
+                "{}: timestamp mismatch",
+                trace.name
+            );
+        }
+        // the parsed trace must drive a link (mean rate within the ms
+        // quantization tolerance)
+        let rel = (parsed.mean_rate().mbps() - trace.mean_rate().mbps()).abs()
+            / trace.mean_rate().mbps();
+        assert!(rel < 0.02, "{}: mean rate drifted {rel:.4}", trace.name);
+    }
+}
+
+#[test]
+fn trace_file_on_disk_round_trips() {
+    let dir = std::env::temp_dir().join("abc_repro_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("verizon1.pps");
+    let trace = cellular::builtin("Verizon1").unwrap();
+    {
+        let f = std::fs::File::create(&path).unwrap();
+        trace.write_mahimahi(std::io::BufWriter::new(f)).unwrap();
+    }
+    let f = std::fs::File::open(&path).unwrap();
+    let parsed = CellTrace::parse_mahimahi("Verizon1", std::io::BufReader::new(f)).unwrap();
+    assert_eq!(parsed.opportunities.len(), trace.opportunities.len());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn parsed_trace_runs_in_simulator() {
+    use abc_repro::experiments::{CellScenario, LinkSpec, Scheme};
+    use abc_repro::netsim::time::SimDuration;
+
+    let trace = cellular::builtin("ATT2").unwrap();
+    let mut buf = Vec::new();
+    trace.write_mahimahi(&mut buf).unwrap();
+    let parsed = CellTrace::parse_mahimahi("ATT2", Cursor::new(&buf)).unwrap();
+    let mut sc = CellScenario::new(Scheme::Abc, LinkSpec::Trace(parsed));
+    sc.duration = SimDuration::from_secs(20);
+    let r = sc.run();
+    assert!(r.utilization > 0.3, "{}", r.row());
+}
