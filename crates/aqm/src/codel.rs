@@ -241,11 +241,10 @@ mod tests {
         for i in 0..50 {
             q.enqueue(pkt(i), at(i));
         }
-        let mut seq = 50;
         let mut dropped_any = false;
+        // seq tracks t one-to-one
         for t in 50..500u64 {
-            q.enqueue(pkt(seq), at(t));
-            seq += 1;
+            q.enqueue(pkt(t), at(t));
             let before = q.stats().dropped_pkts;
             q.dequeue(at(t));
             if q.stats().dropped_pkts > before {
@@ -282,13 +281,12 @@ mod tests {
             p.ecn = Ecn::Brake; // ECT(0): ECN-capable
             q.enqueue(p, at(i));
         }
-        let mut seq = 50;
         let mut marked = 0;
+        // seq tracks t one-to-one
         for t in 50..500u64 {
-            let mut p = pkt(seq);
+            let mut p = pkt(t);
             p.ecn = Ecn::Brake;
             q.enqueue(p, at(t));
-            seq += 1;
             if let Some(out) = q.dequeue(at(t)) {
                 if out.ecn == Ecn::Ce {
                     marked += 1;
@@ -306,10 +304,9 @@ mod tests {
         for i in 0..50 {
             q.enqueue(pkt(i), at(i));
         }
-        let mut seq = 50;
+        // seq tracks t one-to-one
         for t in 50..400u64 {
-            q.enqueue(pkt(seq), at(t));
-            seq += 1;
+            q.enqueue(pkt(t), at(t));
             q.dequeue(at(t));
         }
         assert!(q.dropping);
@@ -317,7 +314,7 @@ mod tests {
         while q.len_pkts() > 0 {
             q.dequeue(at(400));
         }
-        q.enqueue(pkt(seq), at(500));
+        q.enqueue(pkt(400), at(500));
         q.dequeue(at(500)); // zero sojourn
         assert!(!q.dropping, "should exit dropping after sojourn falls");
     }

@@ -247,10 +247,9 @@ mod tests {
         for i in 0..100 {
             q.enqueue(pkt(i), at(0));
         }
-        let mut seq = 100;
+        // seq runs ahead of t by the 99-packet preload
         for t in 1..1000u64 {
-            q.enqueue(pkt(seq), at(t));
-            seq += 1;
+            q.enqueue(pkt(t + 99), at(t));
             q.dequeue(at(t));
         }
         assert!(q.drop_prob() > 0.0, "p = {}", q.drop_prob());

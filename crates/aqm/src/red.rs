@@ -78,7 +78,8 @@ impl Red {
             return true;
         }
         self.count += 1;
-        let pb = self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
+        let pb =
+            self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
         let pa = pb / (1.0 - (self.count as f64 * pb).min(0.9999));
         if self.rng.gen::<f64>() < pa {
             self.count = 0;
@@ -187,7 +188,7 @@ mod tests {
         // overload 2:1 — drops can't save the queue, avg must pass max_th
         let mut seq = 0u64;
         let mut drops = 0;
-        for i in 0..4000u64 {
+        for i in 0..8000u64 {
             for _ in 0..2 {
                 let before = q.stats().dropped_pkts;
                 q.enqueue(pkt(seq), at(i));

@@ -38,11 +38,7 @@ struct MaxFilter {
 impl MaxFilter {
     fn update(&mut self, now: SimTime, window: SimDuration, v: f64) {
         let cutoff = now.saturating_sub(window);
-        while self
-            .samples
-            .front()
-            .is_some_and(|&(t, _)| t < cutoff)
-        {
+        while self.samples.front().is_some_and(|&(t, _)| t < cutoff) {
             self.samples.pop_front();
         }
         // monotonic deque: drop dominated samples
@@ -54,11 +50,7 @@ impl MaxFilter {
 
     fn max(&mut self, now: SimTime, window: SimDuration) -> f64 {
         let cutoff = now.saturating_sub(window);
-        while self
-            .samples
-            .front()
-            .is_some_and(|&(t, _)| t < cutoff)
-        {
+        while self.samples.front().is_some_and(|&(t, _)| t < cutoff) {
             self.samples.pop_front();
         }
         self.samples.front().map(|&(_, v)| v).unwrap_or(0.0)
@@ -113,7 +105,10 @@ impl Bbr {
 
     fn btl_bw(&mut self, now: SimTime) -> Rate {
         let window = self.srtt * BW_WINDOW_RTTS as u64;
-        Rate::from_bps(self.bw_filter.max(now, window.max(SimDuration::from_secs(1))))
+        Rate::from_bps(
+            self.bw_filter
+                .max(now, window.max(SimDuration::from_secs(1))),
+        )
     }
 
     fn bdp_pkts(&mut self, now: SimTime) -> f64 {
@@ -349,7 +344,7 @@ mod tests {
             b.on_ack(&ack(t, 150, 2.0, 20));
             t += 100;
         }
-        let bw = b.btl_bw(SimTime::ZERO + SimDuration::from_millis(t as u64));
+        let bw = b.btl_bw(SimTime::ZERO + SimDuration::from_millis(t));
         assert!(
             bw.mbps() > 9.0,
             "max filter should still report ~10 Mbit/s, got {bw}"

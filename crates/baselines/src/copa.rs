@@ -43,11 +43,7 @@ impl Copa {
     /// ACK-compression spikes while staying current.
     fn rtt_standing(&mut self, now: SimTime, srtt: SimDuration) -> Option<SimDuration> {
         let cutoff = now.saturating_sub(srtt / 2);
-        while self
-            .rtt_window
-            .front()
-            .is_some_and(|&(t, _)| t < cutoff)
-        {
+        while self.rtt_window.front().is_some_and(|&(t, _)| t < cutoff) {
             self.rtt_window.pop_front();
         }
         self.rtt_window.iter().map(|&(_, r)| r).min()

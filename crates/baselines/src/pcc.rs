@@ -249,7 +249,6 @@ mod tests {
             start: SimTime::ZERO + SimDuration::from_millis(100),
             first_rtt: Some(SimDuration::from_millis(100)),
             last_rtt: Some(SimDuration::from_millis(400)),
-            ..Default::default()
         };
         p.finish_mi(SimTime::ZERO + SimDuration::from_millis(200));
         assert_eq!(p.phase, Phase::ProbeUp);

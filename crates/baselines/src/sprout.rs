@@ -76,8 +76,8 @@ impl Sprout {
         let tick_s = TICK.as_secs_f64();
         for k in 1..=HORIZON_TICKS {
             // std of the belief k ticks out: measurement std + drift·k
-            let sigma = (self.var_rate.sqrt() + self.mean_rate * DRIFT * k as f64)
-                .min(self.mean_rate); // never forecast below zero
+            let sigma =
+                (self.var_rate.sqrt() + self.mean_rate * DRIFT * k as f64).min(self.mean_rate); // never forecast below zero
             let p5 = (self.mean_rate - Z95 * sigma).max(0.0);
             total += p5 * tick_s;
         }
@@ -101,13 +101,13 @@ impl Sprout {
         // Upward probe: if the path shows essentially no queueing, the
         // current belief is sender-limited, not link-limited — scale the
         // window up until a queue signal appears.
-        let queuing = self.last_delay.saturating_sub(
-            if self.min_delay == SimDuration::MAX {
+        let queuing = self
+            .last_delay
+            .saturating_sub(if self.min_delay == SimDuration::MAX {
                 SimDuration::ZERO
             } else {
                 self.min_delay
-            },
-        );
+            });
         if queuing < SimDuration::from_millis(25) {
             self.probe_gain = (self.probe_gain * 1.15).min(4.0);
         } else {

@@ -35,13 +35,14 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig1_kernel", |b| b.iter(|| cell_kernel(Scheme::Verus)));
 
     // Fig 2: enqueue-basis ablation
-    g.bench_function("fig2_kernel", |b| b.iter(|| cell_kernel(Scheme::AbcEnqueue)));
+    g.bench_function("fig2_kernel", |b| {
+        b.iter(|| cell_kernel(Scheme::AbcEnqueue))
+    });
 
     // Fig 3 / jain: multi-flow fairness
     g.bench_function("fig3_jain_kernel", |b| {
         b.iter(|| {
-            let mut sc =
-                CellScenario::new(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(24.0)));
+            let mut sc = CellScenario::new(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(24.0)));
             sc.n_flows = 5;
             sc.duration = SimDuration::from_secs(KERNEL_SECS);
             sc.warmup = SimDuration::from_secs(1);
@@ -51,9 +52,7 @@ fn bench_figures(c: &mut Criterion) {
 
     // Fig 4 / Fig 5 / Fig 10 / Fig 14: Wi-Fi kernels
     g.bench_function("fig4_fig5_estimator_kernel", |b| {
-        b.iter(|| {
-            experiments::estimator_accuracy(1, 8.0, SimDuration::from_secs(KERNEL_SECS)).1
-        })
+        b.iter(|| experiments::estimator_accuracy(1, 8.0, SimDuration::from_secs(KERNEL_SECS)).1)
     });
     g.bench_function("fig10_fig14_wifi_kernel", |b| {
         b.iter(|| {
@@ -74,7 +73,10 @@ fn bench_figures(c: &mut Criterion) {
             MixedPathScenario {
                 wireless: LinkSpec::Steps(vec![
                     (SimTime::ZERO, Rate::from_mbps(16.0)),
-                    (SimTime::ZERO + SimDuration::from_secs(2), Rate::from_mbps(6.0)),
+                    (
+                        SimTime::ZERO + SimDuration::from_secs(2),
+                        Rate::from_mbps(6.0),
+                    ),
                 ]),
                 wired_rate: Rate::from_mbps(12.0),
                 rtt: SimDuration::from_millis(100),
@@ -137,7 +139,9 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     // Fig 16 / Fig 17: explicit schemes
-    g.bench_function("fig16_explicit_kernel", |b| b.iter(|| cell_kernel(Scheme::Xcpw)));
+    g.bench_function("fig16_explicit_kernel", |b| {
+        b.iter(|| cell_kernel(Scheme::Xcpw))
+    });
     g.bench_function("fig17_square_wave_kernel", |b| {
         b.iter(|| {
             let mut sc = CellScenario::new(

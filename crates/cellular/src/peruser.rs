@@ -90,23 +90,22 @@ impl PerUserLink {
         let tn = t.as_nanos();
         let cycle = tn / period;
         let offset = SimDuration::from_nanos(tn % period);
-        let idx = self
-            .trace
-            .opportunities
-            .partition_point(|&o| o < offset);
+        let idx = self.trace.opportunities.partition_point(|&o| o < offset);
         if idx < self.trace.opportunities.len() {
             SimTime::from_nanos(cycle * period + self.trace.opportunities[idx].as_nanos())
         } else {
-            SimTime::from_nanos(
-                (cycle + 1) * period + self.trace.opportunities[0].as_nanos(),
-            )
+            SimTime::from_nanos((cycle + 1) * period + self.trace.opportunities[0].as_nanos())
         }
     }
 
     /// Users that were backlogged recently (drives the per-user µ share).
     fn active_users(&self, now: SimTime) -> usize {
         let cutoff = now.saturating_sub(self.activity_window);
-        self.activity.iter().filter(|&&t| t >= cutoff).count().max(1)
+        self.activity
+            .iter()
+            .filter(|&&t| t >= cutoff)
+            .count()
+            .max(1)
     }
 
     /// Per-user capacity estimate: the whole link when alone, the fair

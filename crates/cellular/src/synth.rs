@@ -68,8 +68,8 @@ impl SynthSpec {
             } else {
                 // geometric random walk with reflecting bounds
                 let z: f64 = standard_normal(&mut rng);
-                rate_mbps = (rate_mbps * (self.sigma * z).exp())
-                    .clamp(self.min_mbps, self.max_mbps);
+                rate_mbps =
+                    (rate_mbps * (self.sigma * z).exp()).clamp(self.min_mbps, self.max_mbps);
             }
             let effective = if outage_left > 0 { 0.0 } else { rate_mbps };
             credit += effective * 1e6 * step_s / pkt_bits;

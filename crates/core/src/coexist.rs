@@ -15,8 +15,8 @@
 //!   (the unfairness Fig. 12b demonstrates);
 //! * [`WeightPolicy::Fixed`] — a static split, for tests.
 
-use crate::router::{AbcQdisc, AbcRouterConfig};
 use crate::maxmin::{max_min_allocate, Demand};
+use crate::router::{AbcQdisc, AbcRouterConfig};
 use crate::topk::SpaceSaving;
 use netsim::packet::{FlowId, Packet};
 use netsim::queue::{Qdisc, QdiscStats};
@@ -297,8 +297,7 @@ impl DualQueue {
             WeightPolicy::Fixed(w) => w,
             WeightPolicy::MaxMin { headroom } => {
                 let (mut demands, short_abc) = self.meter_abc.demands(0, epoch, headroom);
-                let (other_demands, short_other) =
-                    self.meter_other.demands(1, epoch, headroom);
+                let (other_demands, short_other) = self.meter_other.demands(1, epoch, headroom);
                 demands.extend(other_demands);
                 // A persistently backlogged class is *not* demand-limited:
                 // its serviced rate understates what its elephants want
@@ -332,9 +331,7 @@ impl DualQueue {
                         demand: self.mu.bps(),
                     });
                 }
-                if (demands.is_empty() && short_abc + short_other <= 0.0)
-                    || self.mu.is_zero()
-                {
+                if (demands.is_empty() && short_abc + short_other <= 0.0) || self.mu.is_zero() {
                     self.w_abc
                 } else {
                     // grant the inelastic short aggregates off the top
@@ -423,8 +420,7 @@ impl Qdisc for DualQueue {
     fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
         self.maybe_update_weights(now);
         const IDLE_ALPHA: f64 = 0.02;
-        self.other_idle +=
-            IDLE_ALPHA * ((self.other_q.is_empty() as u8 as f64) - self.other_idle);
+        self.other_idle += IDLE_ALPHA * ((self.other_q.is_empty() as u8 as f64) - self.other_idle);
         // the ABC class computes its feedback against its current share
         self.abc_q.on_capacity(self.abc_share(), now);
         let class = self.choose()?;
@@ -528,11 +524,10 @@ mod tests {
         // keep both queues backlogged, observe the service mix
         let mut abc_served = 0;
         let mut other_served = 0;
-        let mut seq = 0;
+        // seq tracks t one-to-one
         for t in 0..400u64 {
-            q.enqueue(pkt(1, true, seq), at(t));
-            q.enqueue(pkt(2, false, seq), at(t));
-            seq += 1;
+            q.enqueue(pkt(1, true, t), at(t));
+            q.enqueue(pkt(2, false, t), at(t));
             if let Some(p) = q.dequeue(at(t)) {
                 if p.abc_capable {
                     abc_served += 1;
@@ -569,11 +564,10 @@ mod tests {
         });
         q.on_capacity(Rate::from_mbps(12.0), at(0));
         // one elephant per class, balanced load → weight near 0.5
-        let mut seq = 0;
+        // seq tracks t one-to-one
         for t in 0..2000u64 {
-            q.enqueue(pkt(1, true, seq), at(t));
-            q.enqueue(pkt(2, false, seq), at(t));
-            seq += 1;
+            q.enqueue(pkt(1, true, t), at(t));
+            q.enqueue(pkt(2, false, t), at(t));
             q.dequeue(at(t));
             q.dequeue(at(t));
         }
@@ -612,11 +606,10 @@ mod tests {
         assert!((q.abc_share().mbps() - 10.0).abs() < 1e-9);
         // keep the other class backlogged: the idle EWMA decays and the
         // share approaches the 30% weight
-        let mut seq = 0;
+        // seq tracks t one-to-one
         for t in 0..4000u64 {
-            q.enqueue(pkt(1, true, seq), at(t));
-            q.enqueue(pkt(2, false, seq), at(t));
-            seq += 1;
+            q.enqueue(pkt(1, true, t), at(t));
+            q.enqueue(pkt(2, false, t), at(t));
             q.dequeue(at(t));
         }
         let share = q.abc_share().mbps();

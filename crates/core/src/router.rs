@@ -321,12 +321,11 @@ mod tests {
         q.on_capacity(Rate::from_mbps(12.0), at(0));
         // steady state: enqueue + dequeue 1 pkt per ms → cr = 12 Mbit/s,
         // zero queuing delay
-        let mut t = 0;
+        // one packet per ms: t tracks seq one-to-one
         for seq in 0..200u64 {
-            assert!(q.enqueue(abc_packet(seq), at(t)));
-            let p = q.dequeue(at(t)).unwrap();
+            assert!(q.enqueue(abc_packet(seq), at(seq)));
+            let p = q.dequeue(at(seq)).unwrap();
             assert_eq!(p.seq, seq);
-            t += 1;
         }
         // tr = 0.98·12 = 11.76; f = 0.5·11.76/12 = 0.49
         assert!(
@@ -344,18 +343,17 @@ mod tests {
         q.on_capacity(Rate::from_mbps(12.0), at(0));
         let mut accel = 0;
         let mut total = 0;
-        let mut t = 0;
+        // one packet per ms: t tracks seq one-to-one
         for seq in 0..400u64 {
-            q.enqueue(abc_packet(seq), at(t));
-            let p = q.dequeue(at(t)).unwrap();
-            if t >= 100 {
+            q.enqueue(abc_packet(seq), at(seq));
+            let p = q.dequeue(at(seq)).unwrap();
+            if seq >= 100 {
                 // past warm-up
                 total += 1;
                 if p.ecn == Ecn::Accelerate {
                     accel += 1;
                 }
             }
-            t += 1;
         }
         let share = accel as f64 / total as f64;
         assert!(share < 0.55, "accel share {share}");
@@ -453,17 +451,16 @@ mod tests {
         q.on_capacity(Rate::from_mbps(12.0), at(0));
         let mut accel = 0;
         let mut total = 0;
-        let mut t = 0;
+        // one packet per ms: t tracks seq one-to-one
         for seq in 0..2000u64 {
-            q.enqueue(abc_packet(seq), at(t));
-            let p = q.dequeue(at(t)).unwrap();
-            if t >= 100 {
+            q.enqueue(abc_packet(seq), at(seq));
+            let p = q.dequeue(at(seq)).unwrap();
+            if seq >= 100 {
                 total += 1;
                 if p.ecn == Ecn::Accelerate {
                     accel += 1;
                 }
             }
-            t += 1;
         }
         let share = accel as f64 / total as f64;
         assert!((share - 0.49).abs() < 0.05, "share {share}");

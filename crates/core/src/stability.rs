@@ -115,8 +115,14 @@ mod tests {
         // δ = 50 ms for τ = 100 ms violates δ > 66.7 ms
         assert!(!is_stable(ms(50), ms(100)));
         // boundary: δ = 2τ/3 exactly is NOT stable (strict inequality)
-        assert!(!is_stable(SimDuration::from_nanos(2_000), SimDuration::from_nanos(3_000)));
-        assert!(is_stable(SimDuration::from_nanos(2_001), SimDuration::from_nanos(3_000)));
+        assert!(!is_stable(
+            SimDuration::from_nanos(2_000),
+            SimDuration::from_nanos(3_000)
+        ));
+        assert!(is_stable(
+            SimDuration::from_nanos(2_001),
+            SimDuration::from_nanos(3_000)
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! abcsim --list
 //! ```
 
-use experiments::{sparkline, CellScenario, LinkSpec, Scheme};
+use experiments::{sparkline, CellScenario, LinkSpec, ScenarioEngine, Scheme};
 use netsim::flow::TrafficSource;
 use netsim::rate::Rate;
 use netsim::time::SimDuration;
@@ -124,7 +124,9 @@ fn main() {
             half_period: SimDuration::from_millis_f64(parts[2]),
         }
     } else {
-        let mbps: f64 = get("--rate-mbps").and_then(|x| x.parse().ok()).unwrap_or(12.0);
+        let mbps: f64 = get("--rate-mbps")
+            .and_then(|x| x.parse().ok())
+            .unwrap_or(12.0);
         LinkSpec::Constant(Rate::from_mbps(mbps))
     };
 
@@ -154,7 +156,7 @@ fn main() {
         sc.oracle_lookahead = Some(SimDuration::from_millis(x));
     }
 
-    let r = sc.run();
+    let r = ScenarioEngine::new().run(&sc.spec());
     if args.iter().any(|a| a == "--series") {
         println!("capacity: {}", sparkline(&r.capacity_series, 70));
         println!("goodput : {}", sparkline(&r.tput_series, 70));

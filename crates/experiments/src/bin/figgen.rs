@@ -4,14 +4,21 @@
 //! cargo run --release -p experiments --bin figgen            # list figures
 //! cargo run --release -p experiments --bin figgen fig8       # one figure
 //! cargo run --release -p experiments --bin figgen all        # everything
-//! cargo run --release -p experiments --bin figgen fig8 --fast  # CI scale
+//! cargo run --release -p experiments --bin figgen fig8 --fast  # reduced scale
+//! cargo run --release -p experiments --bin figgen all --tiny   # wiring check
 //! ```
 
-use experiments::figures;
+use experiments::figures::{self, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
+    let scale = if args.iter().any(|a| a == "--tiny") {
+        Scale::Tiny
+    } else if args.iter().any(|a| a == "--fast") {
+        Scale::Fast
+    } else {
+        Scale::Full
+    };
     let which: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let all = figures::all();
 
@@ -20,7 +27,7 @@ fn main() {
         for (id, desc, _) in &all {
             eprintln!("  {id:<10} {desc}");
         }
-        eprintln!("usage: figgen <id>|all [--fast]");
+        eprintln!("usage: figgen <id>|all [--fast|--tiny]");
         std::process::exit(2);
     }
 
@@ -28,12 +35,12 @@ fn main() {
         if name == "all" {
             for (id, _, f) in &all {
                 eprintln!(">>> {id}");
-                println!("{}", f(fast));
+                println!("{}", f(scale));
             }
             continue;
         }
         match all.iter().find(|(id, ..)| id == name) {
-            Some((_, _, f)) => println!("{}", f(fast)),
+            Some((_, _, f)) => println!("{}", f(scale)),
             None => {
                 eprintln!("unknown figure {name:?}; run with no args for the list");
                 std::process::exit(2);

@@ -1,0 +1,931 @@
+//! # The scenario engine: spec → engine → report
+//!
+//! Every simulation in this workspace — figure harnesses, the `abcsim` and
+//! `figgen` binaries, the examples, the benches — is described by a
+//! declarative [`ScenarioSpec`] and executed by the [`ScenarioEngine`].
+//! Nothing outside this module (and `netsim`'s own tests) wires a
+//! [`Simulator`] by hand.
+//!
+//! The pipeline has three stages:
+//!
+//! 1. **Spec.** A [`ScenarioSpec`] is plain data: a [`Topology`] (which
+//!    links/hops exist), a [`Scheme`] (endpoint controller + bottleneck
+//!    qdisc), a [`FlowSchedule`] (who sends, when, with what application
+//!    pattern), an optional [`QdiscSpec`] AQM override, the path RTT,
+//!    buffer size, duration/warmup, and a `seed` that fixes every random
+//!    choice (Poisson short-flow arrivals today; anything stochastic
+//!    tomorrow). Specs are `Clone + Send + Sync`, so they can be generated,
+//!    stored, and farmed out freely.
+//! 2. **Engine.** [`ScenarioEngine::build`] turns a spec into a
+//!    [`BuiltScenario`]: it constructs the `Simulator`, reserves and
+//!    installs every node (senders, sinks, link queues, Wi-Fi APs), splits
+//!    the propagation RTT across the hops, attaches the metrics hub, and
+//!    applies qdisc overrides and the PK-ABC oracle. [`ScenarioEngine::run`]
+//!    does build + run-to-end + [`BuiltScenario::finish`] in one call, and
+//!    [`ScenarioEngine::run_batch`] executes **independent scenarios in
+//!    parallel** on a scoped worker pool (see below).
+//! 3. **Report.** [`BuiltScenario::finish`] folds the metrics hub into the
+//!    [`Report`] the paper's tables use: utilization against delivery
+//!    opportunities, per-packet delay and queuing-delay percentiles, Jain
+//!    fairness, and the plotting series. Scenarios that need more than a
+//!    `Report` (mid-run window samples, estimator internals) use
+//!    [`ScenarioEngine::build`] and the typed accessors
+//!    ([`BuiltScenario::sender`], [`BuiltScenario::link_queue`],
+//!    [`BuiltScenario::wifi_ap_mut`]) between [`BuiltScenario::run_chunk`]
+//!    calls.
+//!
+//! ## Adding a new scheme or scenario in ≤ 10 lines
+//!
+//! A new *scenario* is just a new spec value — no wiring:
+//!
+//! ```
+//! use experiments::engine::{ScenarioEngine, ScenarioSpec};
+//! use experiments::{LinkSpec, Scheme};
+//! use netsim::rate::Rate;
+//!
+//! let spec = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+//!     .flows(4)
+//!     .duration_secs(2)
+//!     .warmup_secs(1);
+//! let report = ScenarioEngine::new().run(&spec);
+//! assert!(report.utilization > 0.5);
+//! ```
+//!
+//! A new *scheme* is one variant in [`Scheme`] plus arms in
+//! `Scheme::{name, make_cc, make_qdisc}`; every harness in the workspace
+//! (figures, bins, examples, sweeps) picks it up with no further changes,
+//! because they all go through this engine.
+//!
+//! ## Parallelism
+//!
+//! `run_batch` distributes specs over `min(threads, specs)` scoped OS
+//! threads pulling from a shared work queue. Each worker builds and runs
+//! its scenarios entirely on its own thread (the simulator itself stays
+//! single-threaded and deterministic), so N cores regenerate an
+//! N×-scenario sweep in roughly the time of its slowest cell. The pool is
+//! implemented with `std::thread::scope` because this workspace builds
+//! offline with zero external crates; the work-queue shape is exactly
+//! rayon's `par_iter().map().collect()`, so swapping rayon in (where
+//! crates.io is reachable) is a three-line change in `parallel_map`.
+//!
+//! Determinism is per-spec, not per-batch: a scenario's result depends
+//! only on its spec (including `seed`), never on which thread ran it or
+//! on its neighbors — `tests/engine_determinism.rs` pins this down.
+
+use crate::report::{downsample, Report};
+use crate::scenario::LinkSpec;
+use crate::scheme::Scheme;
+use crate::wifi::McsSpec;
+use abc_core::coexist::{DualQueue, DualQueueConfig, WeightPolicy};
+use abc_core::router::{AbcQdisc, AbcRouterConfig};
+use netsim::flow::{Sender, Sink, TrafficSource};
+use netsim::linkqueue::LinkQueue;
+use netsim::metrics::{new_hub, LinkRecord, Metrics};
+use netsim::packet::{FlowId, NodeId, Route};
+use netsim::queue::{DropTail, Qdisc};
+use netsim::rate::Rate;
+use netsim::sim::Simulator;
+use netsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wifi_mac::{WifiAp, WifiApConfig};
+
+/// The links a scenario's packets traverse. Each variant fixes the hop
+/// chain and its metrics tags; flows enter at any hop (see
+/// [`FlowSpec::entry_hop`]).
+#[derive(Debug, Clone)]
+pub enum Topology {
+    /// One bottleneck (tag `"bottleneck"`): the single-link cellular /
+    /// wired scenarios behind most figures.
+    SingleBottleneck(LinkSpec),
+    /// Two bottlenecks in series (tags `"uplink"`, `"downlink"`), both
+    /// running the scheme's qdisc — Fig. 8c's cellular up+down path.
+    TwoHop { up: LinkSpec, down: LinkSpec },
+    /// An ABC-style wireless hop (tag `"wireless"`, scheme qdisc) followed
+    /// by a fixed-rate wired droptail hop (tag `"wired"`) — Figs. 6/11.
+    MixedPath { wireless: LinkSpec, wired: Rate },
+    /// The 802.11n A-MPDU access point (tag `"wifi"`) with a time-varying
+    /// MCS index — Figs. 4/5/10/14.
+    Wifi { mcs: McsSpec, ap_buffer_pkts: usize },
+}
+
+impl Topology {
+    /// Metrics tags of the hop chain, in path order.
+    pub fn hop_tags(&self) -> &'static [&'static str] {
+        match self {
+            Topology::SingleBottleneck(_) => &["bottleneck"],
+            Topology::TwoHop { .. } => &["uplink", "downlink"],
+            Topology::MixedPath { .. } => &["wireless", "wired"],
+            Topology::Wifi { .. } => &["wifi"],
+        }
+    }
+
+    /// The hop whose queue the headline `qdelay_ms` metric reports: the
+    /// final cellular hop, the wireless hop of a mixed path, the AP.
+    pub fn primary_tag(&self) -> &'static str {
+        match self {
+            Topology::SingleBottleneck(_) => "bottleneck",
+            Topology::TwoHop { .. } => "downlink",
+            Topology::MixedPath { .. } => "wireless",
+            Topology::Wifi { .. } => "wifi",
+        }
+    }
+
+    /// The link spec whose capacity curve belongs on the report's plot.
+    fn capacity_link(&self) -> Option<&LinkSpec> {
+        match self {
+            Topology::SingleBottleneck(l) => Some(l),
+            Topology::MixedPath { wireless, .. } => Some(wireless),
+            _ => None,
+        }
+    }
+}
+
+/// Overrides the bottleneck qdisc the scheme would normally install.
+/// `SchemeDefault` keeps [`Scheme::make_qdisc`]'s choice.
+#[derive(Debug, Clone)]
+pub enum QdiscSpec {
+    SchemeDefault,
+    /// Plain droptail regardless of scheme.
+    DropTail,
+    /// An ABC router with an explicit config (the δ-sweep of the
+    /// stability figure; dt variants beyond `Scheme::AbcDt`).
+    AbcWith(AbcRouterConfig),
+    /// The §5.2 dual-queue coexistence router.
+    DualQueue(WeightPolicy),
+}
+
+/// One flow: who sends, from when to when, with what application pattern,
+/// entering the hop chain where.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Shown in per-flow outputs (`BuiltScenario::flows`).
+    pub label: String,
+    /// `None` inherits the spec's scheme.
+    pub scheme: Option<Scheme>,
+    pub start: SimTime,
+    pub stop: Option<SimTime>,
+    pub app: TrafficSource,
+    /// Index into [`Topology::hop_tags`]: 0 traverses the whole path;
+    /// `k > 0` joins at hop `k` (cross traffic on the wired hop).
+    pub entry_hop: usize,
+}
+
+impl FlowSpec {
+    pub fn new(label: impl Into<String>) -> Self {
+        FlowSpec {
+            label: label.into(),
+            scheme: None,
+            start: SimTime::ZERO,
+            stop: None,
+            app: TrafficSource::Backlogged,
+            entry_hop: 0,
+        }
+    }
+
+    pub fn scheme(mut self, s: Scheme) -> Self {
+        self.scheme = Some(s);
+        self
+    }
+
+    pub fn start_at(mut self, t: SimTime) -> Self {
+        self.start = t;
+        self
+    }
+
+    pub fn stop_at(mut self, t: SimTime) -> Self {
+        self.stop = Some(t);
+        self
+    }
+
+    pub fn app(mut self, app: TrafficSource) -> Self {
+        self.app = app;
+        self
+    }
+
+    pub fn entry_hop(mut self, hop: usize) -> Self {
+        self.entry_hop = hop;
+        self
+    }
+}
+
+/// Poisson arrivals of short finite flows at a target offered load
+/// (Fig. 12's churn). Expanded into concrete [`FlowSpec`]s at build time
+/// from the spec's `seed`.
+#[derive(Debug, Clone)]
+pub struct PoissonShortFlows {
+    /// Offered load as a fraction of the bottleneck's nominal rate.
+    pub load: f64,
+    pub bytes: u64,
+    pub scheme: Scheme,
+}
+
+/// Who sends, and when.
+#[derive(Debug, Clone)]
+pub enum FlowSchedule {
+    /// `n` identical flows of the spec's scheme. Flow `i` starts at
+    /// `i × stagger`; with `stagger_departures`, flow `i` also stops at
+    /// `duration − (n−1−i) × stagger` (Fig. 3's joins and leaves).
+    Uniform {
+        n: u32,
+        app: TrafficSource,
+        stagger: SimDuration,
+        stagger_departures: bool,
+    },
+    /// Arbitrary per-flow specs (coexistence mixes, cross traffic,
+    /// application-limited fleets).
+    Explicit(Vec<FlowSpec>),
+}
+
+impl FlowSchedule {
+    pub fn backlogged(n: u32) -> Self {
+        FlowSchedule::Uniform {
+            n,
+            app: TrafficSource::Backlogged,
+            stagger: SimDuration::ZERO,
+            stagger_departures: false,
+        }
+    }
+}
+
+/// The declarative description of one simulation run. See the
+/// [module docs](self) for the full pipeline.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    pub scheme: Scheme,
+    pub topology: Topology,
+    pub flows: FlowSchedule,
+    /// Poisson short-flow churn on top of `flows`.
+    pub short_flows: Option<PoissonShortFlows>,
+    /// AQM override for the scheme-controlled hops.
+    pub qdisc: QdiscSpec,
+    /// Path round-trip propagation delay, split evenly across hops.
+    pub rtt: SimDuration,
+    pub buffer_pkts: usize,
+    pub duration: SimDuration,
+    /// Measurements before this offset are discarded.
+    pub warmup: SimDuration,
+    /// Fixes every stochastic choice the engine makes.
+    pub seed: u64,
+    /// PK-ABC: let the first hop's control law see µ(t + lookahead).
+    pub oracle_lookahead: Option<SimDuration>,
+}
+
+impl ScenarioSpec {
+    /// A single-bottleneck scenario with the defaults most figures share:
+    /// 100 ms RTT, 250-packet buffer, one backlogged flow, 60 s run with
+    /// 5 s warmup.
+    pub fn single(scheme: Scheme, link: LinkSpec) -> Self {
+        ScenarioSpec {
+            scheme,
+            topology: Topology::SingleBottleneck(link),
+            flows: FlowSchedule::backlogged(1),
+            short_flows: None,
+            qdisc: QdiscSpec::SchemeDefault,
+            rtt: SimDuration::from_millis(100),
+            buffer_pkts: 250,
+            duration: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(5),
+            seed: 7,
+            oracle_lookahead: None,
+        }
+    }
+
+    /// Two scheme-controlled bottlenecks in series (Fig. 8c).
+    pub fn two_hop(scheme: Scheme, up: LinkSpec, down: LinkSpec) -> Self {
+        ScenarioSpec {
+            topology: Topology::TwoHop { up, down },
+            ..ScenarioSpec::single(scheme, LinkSpec::Constant(Rate::ZERO))
+        }
+    }
+
+    /// ABC wireless + fixed-rate wired droptail (Figs. 6/11). Warmup is
+    /// zero: these scenarios analyze the whole time series.
+    pub fn mixed_path(wireless: LinkSpec, wired: Rate) -> Self {
+        ScenarioSpec {
+            topology: Topology::MixedPath { wireless, wired },
+            warmup: SimDuration::ZERO,
+            ..ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::ZERO))
+        }
+    }
+
+    /// Flows through the 802.11n AP model (Figs. 4/5/10/14). Commodity
+    /// Wi-Fi routers ship bufferbloat-sized queues (the paper observes
+    /// multi-second tails on its NETGEAR testbed), hence the 2000-packet
+    /// default AP buffer.
+    pub fn wifi(scheme: Scheme, users: u32, mcs: McsSpec) -> Self {
+        ScenarioSpec {
+            topology: Topology::Wifi {
+                mcs,
+                ap_buffer_pkts: 2000,
+            },
+            flows: FlowSchedule::backlogged(users),
+            duration: SimDuration::from_secs(45),
+            ..ScenarioSpec::single(scheme, LinkSpec::Constant(Rate::ZERO))
+        }
+    }
+
+    pub fn flows(mut self, n: u32) -> Self {
+        self.flows = FlowSchedule::backlogged(n);
+        self
+    }
+
+    pub fn app(mut self, app: TrafficSource) -> Self {
+        match &mut self.flows {
+            FlowSchedule::Uniform { app: a, .. } => *a = app,
+            FlowSchedule::Explicit(v) => {
+                for f in v {
+                    f.app = app;
+                }
+            }
+        }
+        self
+    }
+
+    pub fn rtt(mut self, rtt: SimDuration) -> Self {
+        self.rtt = rtt;
+        self
+    }
+
+    pub fn buffer_pkts(mut self, pkts: usize) -> Self {
+        self.buffer_pkts = pkts;
+        self
+    }
+
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    pub fn duration_secs(self, s: u64) -> Self {
+        self.duration(SimDuration::from_secs(s))
+    }
+
+    pub fn warmup(mut self, d: SimDuration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    pub fn warmup_secs(self, s: u64) -> Self {
+        self.warmup(SimDuration::from_secs(s))
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn qdisc(mut self, q: QdiscSpec) -> Self {
+        self.qdisc = q;
+        self
+    }
+
+    /// Expand the schedule (+ Poisson churn) into concrete flows.
+    fn expand_flows(&self) -> Vec<FlowSpec> {
+        let mut out = match &self.flows {
+            FlowSchedule::Uniform {
+                n,
+                app,
+                stagger,
+                stagger_departures,
+            } => (0..*n)
+                .map(|i| {
+                    let mut f = FlowSpec::new(format!("flow {}", i + 1))
+                        .start_at(SimTime::ZERO + *stagger * i as u64)
+                        .app(*app);
+                    if *stagger_departures && !stagger.is_zero() {
+                        let lead = (*n - 1 - i) as u64;
+                        f = f.stop_at(
+                            (SimTime::ZERO + self.duration).saturating_sub(*stagger * lead),
+                        );
+                    }
+                    f
+                })
+                .collect(),
+            FlowSchedule::Explicit(v) => v.clone(),
+        };
+        if let Some(short) = &self.short_flows {
+            let reference = self.nominal_rate();
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            let arrivals_per_s = short.load * reference.bps() / 8.0 / short.bytes as f64;
+            let mut t = 0.0;
+            let mut i = 0u32;
+            while t < self.duration.as_secs_f64() {
+                let gap = -rng.gen_range(1e-9f64..1.0).ln() / arrivals_per_s;
+                t += gap;
+                if t >= self.duration.as_secs_f64() {
+                    break;
+                }
+                i += 1;
+                out.push(
+                    FlowSpec::new(format!("short {i}"))
+                        .scheme(short.scheme)
+                        .start_at(SimTime::from_secs_f64(t))
+                        .app(TrafficSource::Finite { bytes: short.bytes }),
+                );
+            }
+        }
+        out
+    }
+
+    /// The first hop's nominal rate — the reference for offered-load
+    /// fractions.
+    fn nominal_rate(&self) -> Rate {
+        match &self.topology {
+            Topology::SingleBottleneck(l) | Topology::TwoHop { up: l, .. } => l.nominal_rate(),
+            Topology::MixedPath { wireless, .. } => wireless.nominal_rate(),
+            // MCS 7, full batches ≈ 65 Mbit/s PHY; close enough for load
+            // fractions, which only Fig. 12 (single-bottleneck) uses today.
+            Topology::Wifi { .. } => Rate::from_mbps(65.0),
+        }
+    }
+}
+
+/// Executes [`ScenarioSpec`]s: serially via [`run`](Self::run), in
+/// parallel via [`run_batch`](Self::run_batch). See the [module
+/// docs](self).
+#[derive(Debug, Clone)]
+pub struct ScenarioEngine {
+    threads: usize,
+}
+
+impl Default for ScenarioEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioEngine {
+    /// An engine sized to the machine (one worker per available core).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ScenarioEngine { threads }
+    }
+
+    /// Cap the batch worker pool (1 = serial batches).
+    pub fn with_threads(threads: usize) -> Self {
+        ScenarioEngine {
+            threads: threads.max(1),
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Construct the simulator for `spec` without running it. Use this
+    /// (plus [`BuiltScenario::run_chunk`] and the typed accessors) when a
+    /// harness needs to sample mid-run state; otherwise call
+    /// [`run`](Self::run).
+    pub fn build(&self, spec: &ScenarioSpec) -> BuiltScenario {
+        let mut sim = Simulator::new();
+        let hub = new_hub();
+        hub.borrow_mut().set_epoch(SimTime::ZERO + spec.warmup);
+
+        let tags = spec.topology.hop_tags();
+        let hop_ids: Vec<NodeId> = tags.iter().map(|_| sim.reserve_node()).collect();
+
+        // Split the propagation RTT: equal legs along the forward path
+        // (sender → hop₁ → … → hopₙ → sink), half the RTT straight back.
+        let legs = (tags.len() + 1) as u64;
+        let leg = spec.rtt / (2 * legs);
+        let back_d = spec.rtt / 2;
+
+        let flows = spec.expand_flows();
+        let mut sender_ids = Vec::with_capacity(flows.len());
+        let mut flow_ids = Vec::with_capacity(flows.len());
+        for (i, f) in flows.iter().enumerate() {
+            let flow = FlowId(i as u32 + 1);
+            let sender_id = sim.reserve_node();
+            let sink_id = sim.reserve_node();
+            assert!(
+                f.entry_hop < hop_ids.len(),
+                "flow {:?} enters hop {} of a {}-hop topology",
+                f.label,
+                f.entry_hop,
+                hop_ids.len()
+            );
+            let mut legs_fwd: Vec<(NodeId, SimDuration)> =
+                hop_ids[f.entry_hop..].iter().map(|&id| (id, leg)).collect();
+            legs_fwd.push((sink_id, leg));
+            let fwd = Route::new(legs_fwd);
+            let back = Route::new(vec![(sender_id, back_d)]);
+            sim.install_node(
+                sink_id,
+                Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
+            );
+            let scheme = f.scheme.unwrap_or(spec.scheme);
+            let mut sender = Sender::new(flow, scheme.make_cc(), fwd, f.app).with_start_at(f.start);
+            if let Some(stop) = f.stop {
+                sender = sender.with_stop_at(stop);
+            }
+            sim.install_node(sender_id, Box::new(sender));
+            sender_ids.push(sender_id);
+            flow_ids.push((f.label.clone(), flow));
+        }
+
+        // Install the hop chain.
+        match &spec.topology {
+            Topology::SingleBottleneck(link) => {
+                let mut lq = LinkQueue::new(self.make_qdisc(spec, spec.buffer_pkts), link.build())
+                    .with_metrics("bottleneck", hub.clone());
+                if let Some(look) = spec.oracle_lookahead {
+                    lq = lq.with_oracle_lookahead(look);
+                }
+                sim.install_node(hop_ids[0], Box::new(lq));
+            }
+            Topology::TwoHop { up, down } => {
+                for (idx, (link, tag)) in [(up, "uplink"), (down, "downlink")].iter().enumerate() {
+                    let mut lq =
+                        LinkQueue::new(self.make_qdisc(spec, spec.buffer_pkts), link.build())
+                            .with_metrics(tag, hub.clone());
+                    if idx == 0 {
+                        if let Some(look) = spec.oracle_lookahead {
+                            lq = lq.with_oracle_lookahead(look);
+                        }
+                    }
+                    sim.install_node(hop_ids[idx], Box::new(lq));
+                }
+            }
+            Topology::MixedPath { wireless, wired } => {
+                let mut lq =
+                    LinkQueue::new(self.make_qdisc(spec, spec.buffer_pkts), wireless.build())
+                        .with_metrics("wireless", hub.clone());
+                if let Some(look) = spec.oracle_lookahead {
+                    lq = lq.with_oracle_lookahead(look);
+                }
+                sim.install_node(hop_ids[0], Box::new(lq));
+                // The wired hop is definitionally non-ABC: plain droptail.
+                let wired_lq = LinkQueue::new(
+                    Box::new(DropTail::new(spec.buffer_pkts)),
+                    LinkSpec::Constant(*wired).build(),
+                )
+                .with_metrics("wired", hub.clone());
+                sim.install_node(hop_ids[1], Box::new(wired_lq));
+            }
+            Topology::Wifi {
+                mcs,
+                ap_buffer_pkts,
+            } => {
+                let ap = WifiAp::new(
+                    WifiApConfig::default(),
+                    self.make_qdisc(spec, *ap_buffer_pkts),
+                    mcs.build(),
+                )
+                .with_metrics("wifi", hub.clone());
+                sim.install_node(hop_ids[0], Box::new(ap));
+            }
+        }
+
+        BuiltScenario {
+            sim,
+            hub,
+            hops: tags.iter().copied().zip(hop_ids).collect(),
+            sender_ids,
+            flows: flow_ids,
+            scheme_name: spec.scheme.name(),
+            topology: spec.topology.clone(),
+            duration: spec.duration,
+            warmup: spec.warmup,
+        }
+    }
+
+    /// Build, run to completion, and fold into a [`Report`].
+    pub fn run(&self, spec: &ScenarioSpec) -> Report {
+        let mut b = self.build(spec);
+        b.run_to_end();
+        b.finish()
+    }
+
+    /// Run independent scenarios in parallel; `reports[i]` belongs to
+    /// `specs[i]`. Results are bit-identical to running each spec with
+    /// [`run`](Self::run) serially.
+    pub fn run_batch(&self, specs: &[ScenarioSpec]) -> Vec<Report> {
+        self.run_batch_map(specs, |engine, spec| engine.run(spec))
+    }
+
+    /// The generic parallel sweep under [`run_batch`](Self::run_batch):
+    /// applies `f` to every spec on the worker pool and collects results
+    /// in spec order. Use it when a harness's per-scenario output is
+    /// richer than a [`Report`].
+    pub fn run_batch_map<T, F>(&self, specs: &[ScenarioSpec], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ScenarioEngine, &ScenarioSpec) -> T + Sync,
+    {
+        parallel_map(specs, self.threads, |spec| f(self, spec))
+    }
+
+    /// The qdisc for a scheme-controlled hop with `buffer` packets of
+    /// room (the Wi-Fi AP passes its own, larger buffer). The MixedPath
+    /// wired hop is definitionally droptail and bypasses this.
+    fn make_qdisc(&self, spec: &ScenarioSpec, buffer: usize) -> Box<dyn Qdisc> {
+        match &spec.qdisc {
+            QdiscSpec::SchemeDefault => spec.scheme.make_qdisc(buffer),
+            QdiscSpec::DropTail => Box::new(DropTail::new(buffer)),
+            QdiscSpec::AbcWith(cfg) => Box::new(AbcQdisc::new(*cfg)),
+            QdiscSpec::DualQueue(policy) => Box::new(DualQueue::new(DualQueueConfig {
+                policy: *policy,
+                ..Default::default()
+            })),
+        }
+    }
+}
+
+/// Order-preserving parallel map over a scoped worker pool. Swap the body
+/// for `items.par_iter().map(f).collect()` to use rayon instead.
+fn parallel_map<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// A constructed scenario: the simulator plus everything needed to sample
+/// it mid-run and fold it into a [`Report`] afterwards.
+pub struct BuiltScenario {
+    pub sim: Simulator,
+    pub hub: Metrics,
+    /// `(metrics tag, node id)` of each hop, in path order.
+    pub hops: Vec<(&'static str, NodeId)>,
+    pub sender_ids: Vec<NodeId>,
+    /// `(label, flow id)` of every expanded flow, in spec order.
+    pub flows: Vec<(String, FlowId)>,
+    scheme_name: String,
+    topology: Topology,
+    duration: SimDuration,
+    warmup: SimDuration,
+}
+
+impl BuiltScenario {
+    pub fn run_to_end(&mut self) {
+        self.sim.run_until(self.end_time());
+    }
+
+    /// Advance simulated time by `d` (for sampling loops).
+    pub fn run_chunk(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    pub fn end_time(&self) -> SimTime {
+        SimTime::ZERO + self.duration
+    }
+
+    /// The node id of the first hop (the bottleneck in single-link
+    /// scenarios).
+    pub fn link_id(&self) -> NodeId {
+        self.hops[0].1
+    }
+
+    /// Downcast the `idx`-th flow's sender for window inspection.
+    pub fn sender(&self, idx: usize) -> &Sender {
+        self.sim
+            .node(self.sender_ids[idx])
+            .and_then(|n| n.as_any().downcast_ref())
+            .expect("sender node")
+    }
+
+    /// Downcast a hop to its [`LinkQueue`] (panics on the Wi-Fi hop,
+    /// which is an AP, or an unknown tag).
+    pub fn link_queue(&self, tag: &str) -> &LinkQueue {
+        let id = self.hop_id(tag);
+        self.sim
+            .node(id)
+            .and_then(|n| n.as_any().downcast_ref())
+            .unwrap_or_else(|| panic!("hop {tag:?} is not a LinkQueue"))
+    }
+
+    /// Downcast the Wi-Fi hop to its access point.
+    pub fn wifi_ap(&self, tag: &str) -> &WifiAp {
+        let id = self.hop_id(tag);
+        self.sim
+            .node(id)
+            .and_then(|n| n.as_any().downcast_ref())
+            .unwrap_or_else(|| panic!("hop {tag:?} is not a WifiAp"))
+    }
+
+    /// Mutable AP access (the estimator's `estimate()` needs `&mut` for
+    /// window expiry).
+    pub fn wifi_ap_mut(&mut self, tag: &str) -> &mut WifiAp {
+        let id = self.hop_id(tag);
+        self.sim
+            .node_mut(id)
+            .and_then(|n| n.as_any_mut().downcast_mut())
+            .unwrap_or_else(|| panic!("hop {tag:?} is not a WifiAp"))
+    }
+
+    fn hop_id(&self, tag: &str) -> NodeId {
+        self.hops
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, id)| *id)
+            .unwrap_or_else(|| panic!("no hop tagged {tag:?}"))
+    }
+
+    /// Account link delivery opportunities up to the scenario end on every
+    /// wired/cellular hop (Wi-Fi has no opportunity accounting).
+    fn finalize_opportunities(&self) {
+        let end = self.end_time();
+        for (_, id) in &self.hops {
+            if let Some(lq) = self
+                .sim
+                .node(*id)
+                .and_then(|n| n.as_any().downcast_ref::<LinkQueue>())
+            {
+                lq.finalize_opportunity(end);
+            }
+        }
+    }
+
+    /// Fold the run into the paper's [`Report`].
+    pub fn finish(self) -> Report {
+        self.finalize_opportunities();
+        let hub = self.hub.borrow();
+        let window = self.duration.saturating_sub(self.warmup);
+        static EMPTY: std::sync::OnceLock<LinkRecord> = std::sync::OnceLock::new();
+        let link_of = |tag: &str| -> &LinkRecord {
+            hub.links
+                .get(tag)
+                .unwrap_or_else(|| EMPTY.get_or_init(Default::default))
+        };
+        let primary = link_of(self.topology.primary_tag());
+
+        let utilization = match &self.topology {
+            Topology::SingleBottleneck(_) | Topology::MixedPath { .. } => primary.utilization(),
+            Topology::TwoHop { .. } => {
+                // The tighter hop determines achievable utilization: report
+                // the final hop's delivery against the min-capacity hop.
+                let up = link_of("uplink");
+                let down = link_of("downlink");
+                let min_opportunity = up.opportunity_bits.min(down.opportunity_bits);
+                if min_opportunity > 0.0 {
+                    (down.delivered_bytes as f64 * 8.0 / min_opportunity).min(1.0)
+                } else {
+                    0.0
+                }
+            }
+            // No opportunity accounting on Wi-Fi.
+            Topology::Wifi { .. } => f64::NAN,
+        };
+
+        let qdelay_series: Vec<(f64, f64)> = primary
+            .qdelay_series
+            .iter()
+            .map(|(t, d)| (t.as_secs_f64(), d.as_millis_f64()))
+            .collect();
+        let drops = self
+            .hops
+            .iter()
+            .map(|(tag, _)| link_of(tag).dropped_pkts)
+            .sum();
+        let flow_tputs: Vec<f64> = hub
+            .flows
+            .values()
+            .map(|f| f.throughput_over(window) / 1e6)
+            .collect();
+        let capacity_series = self
+            .topology
+            .capacity_link()
+            .map(|l| l.capacity_series(self.duration, SimDuration::from_millis(100)))
+            .unwrap_or_default();
+        Report {
+            scheme: self.scheme_name.clone(),
+            utilization,
+            delay_ms: hub.delay_summary_ms(),
+            qdelay_ms: primary.qdelay_summary_ms(),
+            total_tput_mbps: flow_tputs.iter().sum(),
+            jain: hub.jain(window),
+            drops,
+            flow_tputs_mbps: flow_tputs,
+            tput_series: hub.total_throughput_series_mbps(),
+            qdelay_series: downsample(&qdelay_series, 600),
+            capacity_series,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scheme: Scheme) -> ScenarioSpec {
+        ScenarioSpec::single(scheme, LinkSpec::Constant(Rate::from_mbps(12.0)))
+            .duration_secs(2)
+            .warmup_secs(1)
+    }
+
+    #[test]
+    fn single_bottleneck_round_trip() {
+        let r = ScenarioEngine::new().run(&tiny(Scheme::Abc));
+        assert!(r.utilization > 0.5, "{}", r.row());
+        assert_eq!(r.flow_tputs_mbps.len(), 1);
+        assert!(!r.capacity_series.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_serial_exactly() {
+        let specs: Vec<ScenarioSpec> = [Scheme::Abc, Scheme::Cubic].map(tiny).into_iter().collect();
+        let serial: Vec<Report> = specs.iter().map(|s| ScenarioEngine::new().run(s)).collect();
+        let batch = ScenarioEngine::with_threads(2).run_batch(&specs);
+        for (a, b) in serial.iter().zip(&batch) {
+            assert_eq!(a, b, "parallel placement changed a result");
+        }
+    }
+
+    #[test]
+    fn explicit_flows_keep_labels_and_order() {
+        let mut spec = tiny(Scheme::Abc);
+        spec.flows = FlowSchedule::Explicit(vec![
+            FlowSpec::new("main"),
+            FlowSpec::new("cross").scheme(Scheme::Cubic),
+        ]);
+        let b = ScenarioEngine::new().build(&spec);
+        assert_eq!(b.flows[0].0, "main");
+        assert_eq!(b.flows[1], ("cross".to_string(), FlowId(2)));
+        assert_eq!(b.sender_ids.len(), 2);
+    }
+
+    #[test]
+    fn short_flow_expansion_is_seeded() {
+        let mut spec = tiny(Scheme::Abc);
+        spec.short_flows = Some(PoissonShortFlows {
+            load: 0.25,
+            bytes: 10_000,
+            scheme: Scheme::Cubic,
+        });
+        let a = spec.expand_flows();
+        let b = spec.expand_flows();
+        assert!(a.len() > 1, "expected short-flow arrivals, got {}", a.len());
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.start == y.start && x.label == y.label));
+        let c = spec.clone().seed(99).expand_flows();
+        assert!(
+            a.len() != c.len() || a.iter().zip(&c).any(|(x, y)| x.start != y.start),
+            "different seeds should reshuffle arrivals"
+        );
+    }
+
+    #[test]
+    fn mixed_path_hops_are_tagged() {
+        let spec = ScenarioSpec::mixed_path(
+            LinkSpec::Constant(Rate::from_mbps(16.0)),
+            Rate::from_mbps(12.0),
+        )
+        .duration_secs(2);
+        let mut b = ScenarioEngine::new().build(&spec);
+        b.run_to_end();
+        let _wireless = b.link_queue("wireless");
+        let _wired = b.link_queue("wired");
+        let r = b.finish();
+        assert!(r.total_tput_mbps > 5.0, "{}", r.row());
+    }
+
+    #[test]
+    fn entry_hop_out_of_range_panics() {
+        let mut spec = tiny(Scheme::Abc);
+        spec.flows = FlowSchedule::Explicit(vec![FlowSpec::new("bad").entry_hop(3)]);
+        let res = std::panic::catch_unwind(|| ScenarioEngine::new().build(&spec));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -2,6 +2,7 @@
 //! (additive increase and fairness), §6.6 PK-ABC, §6.5 Jain sweep, and the
 //! deterministic-vs-probabilistic marking comparison (Algorithm 1).
 
+use super::Scale;
 use crate::report::sparkline;
 use crate::scenario::{CellScenario, LinkSpec};
 use crate::scheme::Scheme;
@@ -11,17 +12,16 @@ use std::fmt::Write;
 
 /// Fig. 2: computing f(t) from the enqueue rate roughly doubles the 95th
 /// percentile queuing delay relative to ABC's dequeue-rate rule.
-pub fn fig2(fast: bool) -> String {
+pub fn fig2(scale: Scale) -> String {
     let trace = cellular::builtin("Verizon2").unwrap();
-    let dur = if fast {
-        SimDuration::from_secs(30)
-    } else {
-        SimDuration::from_secs(120)
-    };
+    let dur = scale.secs(120, 30, 2);
     let mut out = String::new();
     writeln!(out, "# Fig 2 — feedback basis (dequeue vs enqueue rate)").unwrap();
     let mut results = Vec::new();
-    for (name, scheme) in [("dequeue (ABC)", Scheme::Abc), ("enqueue", Scheme::AbcEnqueue)] {
+    for (name, scheme) in [
+        ("dequeue (ABC)", Scheme::Abc),
+        ("enqueue", Scheme::AbcEnqueue),
+    ] {
         let mut sc = CellScenario::new(scheme, LinkSpec::Trace(trace.clone()));
         sc.duration = dur;
         let r = sc.run();
@@ -47,11 +47,15 @@ pub fn fig2(fast: bool) -> String {
 
 /// Fig. 3: five staggered ABC flows on a 24 Mbit/s link, with and without
 /// the additive-increase term of Eq. 3.
-pub fn fig3(fast: bool) -> String {
-    let dur_s = if fast { 100u64 } else { 250 };
+pub fn fig3(scale: Scale) -> String {
+    let dur_s = scale.pick(250u64, 100, 2);
     let stagger_s = dur_s / 10; // join every stagger, leave symmetric
     let mut out = String::new();
-    writeln!(out, "# Fig 3 — fairness among five staggered ABC flows (24 Mbit/s)").unwrap();
+    writeln!(
+        out,
+        "# Fig 3 — fairness among five staggered ABC flows (24 Mbit/s)"
+    )
+    .unwrap();
     for (panel, scheme) in [("a (no AI)", Scheme::AbcNoAi), ("b (with AI)", Scheme::Abc)] {
         let mut sc = CellScenario::new(scheme, LinkSpec::Constant(Rate::from_mbps(24.0)));
         sc.n_flows = 5;
@@ -87,7 +91,10 @@ pub fn fig3(fast: bool) -> String {
         writeln!(
             out,
             "all-active Jain index {jain:.3}   per-flow Mbit/s {:?}",
-            tputs.iter().map(|x| (x * 10.0).round() / 10.0).collect::<Vec<_>>()
+            tputs
+                .iter()
+                .map(|x| (x * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
         )
         .unwrap();
         let _ = report;
@@ -97,16 +104,15 @@ pub fn fig3(fast: bool) -> String {
 
 /// §6.6: PK-ABC — the router control law sees µ(t + RTT) from the trace
 /// oracle instead of µ(t).
-pub fn pk_abc(fast: bool) -> String {
+pub fn pk_abc(scale: Scale) -> String {
     let trace = cellular::builtin("Verizon2").unwrap();
-    let dur = if fast {
-        SimDuration::from_secs(30)
-    } else {
-        SimDuration::from_secs(120)
-    };
+    let dur = scale.secs(120, 30, 2);
     let mut out = String::new();
     writeln!(out, "# PK-ABC — perfect future capacity knowledge (§6.6)").unwrap();
-    for (name, look) in [("ABC", None), ("PK-ABC", Some(SimDuration::from_millis(100)))] {
+    for (name, look) in [
+        ("ABC", None),
+        ("PK-ABC", Some(SimDuration::from_millis(100))),
+    ] {
         let mut sc = CellScenario::new(Scheme::Abc, LinkSpec::Trace(trace.clone()));
         sc.duration = dur;
         sc.oracle_lookahead = look;
@@ -125,15 +131,23 @@ pub fn pk_abc(fast: bool) -> String {
 
 /// §6.5: Jain fairness index for 2..32 competing ABC flows on a 24 Mbit/s
 /// wired link (paper: within 5% of 1 in every case).
-pub fn jain(fast: bool) -> String {
-    let counts: &[u32] = if fast { &[2, 8] } else { &[2, 4, 8, 16, 32] };
+pub fn jain(scale: Scale) -> String {
+    let counts: &[u32] = if scale.reduced() {
+        &[2, 8]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
     let mut out = String::new();
-    writeln!(out, "# §6.5 — Jain index across competing ABC flows (24 Mbit/s, 60 s)").unwrap();
+    writeln!(
+        out,
+        "# §6.5 — Jain index across competing ABC flows (24 Mbit/s, 60 s)"
+    )
+    .unwrap();
     for &n in counts {
         let mut sc = CellScenario::new(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(24.0)));
         sc.n_flows = n;
-        sc.duration = SimDuration::from_secs(if fast { 60 } else { 120 });
-        sc.warmup = SimDuration::from_secs(if fast { 20 } else { 60 });
+        sc.duration = scale.secs(120, 60, 2);
+        sc.warmup = scale.secs(60, 20, 0);
         let r = sc.run();
         writeln!(out, "{n:>3} flows: Jain {:.4}", r.jain).unwrap();
     }
@@ -144,14 +158,18 @@ pub fn jain(fast: bool) -> String {
 /// marking. The deterministic marker spaces accelerates evenly, which
 /// shows up as a lower coefficient of variation of the inter-accelerate
 /// gap and (slightly) calmer queues.
-pub fn marking(fast: bool) -> String {
+pub fn marking(scale: Scale) -> String {
     use abc_core::router::{AbcQdisc, AbcRouterConfig, MarkingMode};
     use netsim::packet::{Ecn, FlowId, NodeId, Packet, Route};
     use netsim::queue::Qdisc;
 
-    let n = if fast { 5_000u64 } else { 50_000 };
+    let n = scale.pick(50_000u64, 5_000, 1_000);
     let mut out = String::new();
-    writeln!(out, "# Algorithm 1 ablation — deterministic vs probabilistic marking").unwrap();
+    writeln!(
+        out,
+        "# Algorithm 1 ablation — deterministic vs probabilistic marking"
+    )
+    .unwrap();
     for (name, mode) in [
         ("deterministic", MarkingMode::Deterministic),
         ("probabilistic", MarkingMode::Probabilistic),
@@ -199,7 +217,11 @@ pub fn marking(fast: bool) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(lower cv = smoother accel spacing = less bursty senders)").unwrap();
+    writeln!(
+        out,
+        "(lower cv = smoother accel spacing = less bursty senders)"
+    )
+    .unwrap();
     out
 }
 
@@ -209,7 +231,7 @@ mod tests {
 
     #[test]
     fn fig2_enqueue_worsens_tail_delay() {
-        let f = fig2(true);
+        let f = fig2(Scale::Fast);
         let ratio: f64 = f
             .lines()
             .find(|l| l.contains("ratio"))
@@ -222,7 +244,7 @@ mod tests {
 
     #[test]
     fn fig3_ai_improves_fairness() {
-        let f = fig3(true);
+        let f = fig3(Scale::Fast);
         let jains: Vec<f64> = f
             .lines()
             .filter(|l| l.contains("Jain index"))
@@ -230,7 +252,6 @@ mod tests {
                 l.split("Jain index")
                     .nth(1)
                     .unwrap()
-                    .trim()
                     .split_whitespace()
                     .next()
                     .unwrap()
@@ -250,7 +271,7 @@ mod tests {
 
     #[test]
     fn marking_deterministic_is_smoother() {
-        let m = marking(true);
+        let m = marking(Scale::Fast);
         let cvs: Vec<f64> = m
             .lines()
             .filter(|l| l.starts_with("deterministic") || l.starts_with("probabilistic"))

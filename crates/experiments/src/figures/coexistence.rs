@@ -2,8 +2,10 @@
 //! (dual queue vs Cubic), Fig. 11 (cross traffic), Fig. 12 (max-min vs
 //! Zombie-List under short-flow load), Fig. 13 (application-limited flows).
 
+use super::Scale;
+use crate::engine::{FlowSchedule, FlowSpec, ScenarioEngine, ScenarioSpec};
 use crate::report::sparkline;
-use crate::scenario::{CellScenario, LinkSpec};
+use crate::scenario::LinkSpec;
 use crate::scheme::Scheme;
 use crate::topos::{CoexistScenario, CrossTraffic, MixedPathScenario};
 use abc_core::coexist::WeightPolicy;
@@ -14,7 +16,7 @@ use std::fmt::Write;
 
 /// Fig. 6: wireless rate steps every 5 s; a 12 Mbit/s wired droptail link
 /// sits behind it. The flow must obey whichever window is tighter.
-pub fn fig6(fast: bool) -> String {
+pub fn fig6(scale: Scale) -> String {
     let steps_s: &[(u64, f64)] = &[
         (0, 16.0),
         (5, 9.0),
@@ -24,7 +26,7 @@ pub fn fig6(fast: bool) -> String {
         (25, 18.0),
         (30, 16.0),
     ];
-    let reps = if fast { 1 } else { 5 };
+    let reps = scale.pick(5u64, 1, 1);
     let mut schedule = Vec::new();
     for rep in 0..reps {
         for &(t, r) in steps_s {
@@ -34,7 +36,12 @@ pub fn fig6(fast: bool) -> String {
             ));
         }
     }
-    let duration = SimDuration::from_secs(reps * 35);
+    // Tiny runs a 2 s prefix of the single-rep schedule
+    let duration = scale.pick(
+        SimDuration::from_secs(reps * 35),
+        SimDuration::from_secs(reps * 35),
+        SimDuration::from_secs(2),
+    );
     let res = MixedPathScenario {
         wireless: LinkSpec::Steps(schedule),
         wired_rate: Rate::from_mbps(12.0),
@@ -45,15 +52,44 @@ pub fn fig6(fast: bool) -> String {
     }
     .run();
     let mut out = String::new();
-    writeln!(out, "# Fig 6 — coexistence with a non-ABC (wired) bottleneck").unwrap();
-    let wabc: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, a, _, _)| (t, a)).collect();
-    let wnon: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, _, n, _)| (t, n)).collect();
-    let good: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, _, _, g)| (t, g)).collect();
-    writeln!(out, "wireless cap: {}", sparkline(&res.report.capacity_series, 60)).unwrap();
+    writeln!(
+        out,
+        "# Fig 6 — coexistence with a non-ABC (wired) bottleneck"
+    )
+    .unwrap();
+    let wabc: Vec<(f64, f64)> = res
+        .windows
+        .samples
+        .iter()
+        .map(|&(t, a, _, _)| (t, a))
+        .collect();
+    let wnon: Vec<(f64, f64)> = res
+        .windows
+        .samples
+        .iter()
+        .map(|&(t, _, n, _)| (t, n))
+        .collect();
+    let good: Vec<(f64, f64)> = res
+        .windows
+        .samples
+        .iter()
+        .map(|&(t, _, _, g)| (t, g))
+        .collect();
+    writeln!(
+        out,
+        "wireless cap: {}",
+        sparkline(&res.report.capacity_series, 60)
+    )
+    .unwrap();
     writeln!(out, "goodput     : {}", sparkline(&good, 60)).unwrap();
     writeln!(out, "w_abc       : {}", sparkline(&wabc, 60)).unwrap();
     writeln!(out, "w_cubic     : {}", sparkline(&wnon, 60)).unwrap();
-    writeln!(out, "wireless qdelay: {}", sparkline(&res.wireless_qdelay, 60)).unwrap();
+    writeln!(
+        out,
+        "wireless qdelay: {}",
+        sparkline(&res.wireless_qdelay, 60)
+    )
+    .unwrap();
     writeln!(out, "wired    qdelay: {}", sparkline(&res.wired_qdelay, 60)).unwrap();
 
     // regime analysis: when wireless < 12 the wireless hop binds; goodput
@@ -86,19 +122,27 @@ pub fn fig6(fast: bool) -> String {
 
 /// Fig. 7: two ABC flows then two Cubic flows arrive one after another on
 /// a dual-queue 24 Mbit/s bottleneck.
-pub fn fig7(fast: bool) -> String {
+pub fn fig7(scale: Scale) -> String {
     let r = CoexistScenario {
         link_rate: Rate::from_mbps(24.0),
         n_abc: 2,
         n_cubic: 2,
-        stagger: SimDuration::from_secs(if fast { 10 } else { 25 }),
-        duration: SimDuration::from_secs(if fast { 60 } else { 200 }),
-        warmup: SimDuration::from_secs(if fast { 25 } else { 80 }),
+        stagger: scale.pick(
+            SimDuration::from_secs(25),
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(250),
+        ),
+        duration: scale.secs(200, 60, 2),
+        warmup: scale.secs(80, 25, 0),
         ..Default::default()
     }
     .run();
     let mut out = String::new();
-    writeln!(out, "# Fig 7 — ABC and Cubic flows sharing a dual-queue ABC router").unwrap();
+    writeln!(
+        out,
+        "# Fig 7 — ABC and Cubic flows sharing a dual-queue ABC router"
+    )
+    .unwrap();
     for (name, series) in &r.series {
         writeln!(out, "{name:<8}: {}", sparkline(series, 60)).unwrap();
     }
@@ -112,15 +156,20 @@ pub fn fig7(fast: bool) -> String {
         (abc_mean - cub_mean) / cub_mean * 100.0
     )
     .unwrap();
-    writeln!(out, "ABC-class 95p queuing delay: {:.1} ms", r.abc_qdelay_p95_ms).unwrap();
+    writeln!(
+        out,
+        "ABC-class 95p queuing delay: {:.1} ms",
+        r.abc_qdelay_p95_ms
+    )
+    .unwrap();
     out
 }
 
 /// Fig. 11: like Fig. 6 but with on-off Cubic cross traffic contending on
 /// the wired hop; ABC should track min(wireless, fair share of wired).
-pub fn fig11(fast: bool) -> String {
-    let dur = if fast { 40 } else { 80 };
-    let steps: Vec<(SimTime, Rate)> = (0..dur / 5)
+pub fn fig11(scale: Scale) -> String {
+    let dur = scale.pick(80u64, 40, 2);
+    let steps: Vec<(SimTime, Rate)> = (0..(dur / 5).max(1))
         .map(|i| {
             let rates = [10.0, 6.0, 4.0, 8.0, 3.0, 9.0, 5.0, 7.0];
             (
@@ -142,12 +191,31 @@ pub fn fig11(fast: bool) -> String {
     }
     .run();
     let mut out = String::new();
-    writeln!(out, "# Fig 11 — non-ABC bottleneck with on-off Cubic cross traffic").unwrap();
-    let good: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, _, _, g)| (t, g)).collect();
-    writeln!(out, "wireless cap : {}", sparkline(&res.report.capacity_series, 60)).unwrap();
+    writeln!(
+        out,
+        "# Fig 11 — non-ABC bottleneck with on-off Cubic cross traffic"
+    )
+    .unwrap();
+    let good: Vec<(f64, f64)> = res
+        .windows
+        .samples
+        .iter()
+        .map(|&(t, _, _, g)| (t, g))
+        .collect();
+    writeln!(
+        out,
+        "wireless cap : {}",
+        sparkline(&res.report.capacity_series, 60)
+    )
+    .unwrap();
     writeln!(out, "ABC goodput  : {}", sparkline(&good, 60)).unwrap();
     writeln!(out, "cross traffic: {}", sparkline(&res.cross_tput, 60)).unwrap();
-    writeln!(out, "wireless qdly: {}", sparkline(&res.wireless_qdelay, 60)).unwrap();
+    writeln!(
+        out,
+        "wireless qdly: {}",
+        sparkline(&res.wireless_qdelay, 60)
+    )
+    .unwrap();
 
     // tracking error against the ideal rate: min(wireless, wired fair share)
     let mut err = 0.0;
@@ -168,21 +236,30 @@ pub fn fig11(fast: bool) -> String {
         err += ((g - ideal) / ideal).abs();
         n += 1;
     }
-    writeln!(out, "mean |goodput − ideal| / ideal = {:.1}%", err / n as f64 * 100.0).unwrap();
+    writeln!(
+        out,
+        "mean |goodput − ideal| / ideal = {:.1}%",
+        err / n as f64 * 100.0
+    )
+    .unwrap();
     out
 }
 
 /// Fig. 12: 3 ABC + 3 Cubic long flows + Poisson 10-KB short flows at
 /// several offered loads; max-min weights vs RCP's Zombie List.
-pub fn fig12(fast: bool) -> String {
-    let loads: &[f64] = if fast {
+pub fn fig12(scale: Scale) -> String {
+    let loads: &[f64] = if scale.reduced() {
         &[0.125, 0.5]
     } else {
         &[0.0625, 0.125, 0.25, 0.5]
     };
-    let runs = if fast { 1 } else { 3 };
+    let runs = scale.pick(3u64, 1, 1);
     let mut out = String::new();
-    writeln!(out, "# Fig 12 — long-flow fairness under short-flow churn (96 Mbit/s)").unwrap();
+    writeln!(
+        out,
+        "# Fig 12 — long-flow fairness under short-flow churn (96 Mbit/s)"
+    )
+    .unwrap();
     for (pname, policy) in [
         ("ABC max-min", WeightPolicy::MaxMin { headroom: 0.10 }),
         ("RCP Zombie-List", WeightPolicy::ZombieList),
@@ -201,8 +278,8 @@ pub fn fig12(fast: bool) -> String {
                 let r = CoexistScenario {
                     policy,
                     short_flow_load: load,
-                    duration: SimDuration::from_secs(40),
-                    warmup: SimDuration::from_secs(10),
+                    duration: scale.secs(40, 40, 2),
+                    warmup: scale.secs(10, 10, 0),
                     seed: 100 + run,
                     ..Default::default()
                 }
@@ -230,57 +307,47 @@ pub fn fig12(fast: bool) -> String {
 
 /// Fig. 13: one backlogged ABC flow sharing a cellular link with 200
 /// application-limited ABC flows (1 Mbit/s aggregate).
-pub fn fig13(fast: bool) -> String {
-    let n_limited = if fast { 50 } else { 200 };
+pub fn fig13(scale: Scale) -> String {
+    let n_limited = scale.pick(200u32, 50, 10);
     let trace = cellular::builtin("Verizon1").unwrap();
-    // build manually: flow 1 backlogged, flows 2.. rate-limited
-    let mut sc = CellScenario::new(Scheme::Abc, LinkSpec::Trace(trace));
-    sc.n_flows = 1;
-    sc.duration = SimDuration::from_secs(if fast { 20 } else { 60 });
-    let mut b = sc.build();
-    // add the application-limited flows into the same simulator
-    {
-        use netsim::flow::{Sender, Sink};
-        use netsim::packet::{FlowId, Route};
-        let per_flow = Rate::from_bps(1e6 / n_limited as f64);
-        for i in 0..n_limited {
-            let flow = FlowId(100 + i);
-            let sender_id = b.sim.reserve_node();
-            let sink_id = b.sim.reserve_node();
-            let q = SimDuration::from_millis(25);
-            let fwd = Route::new(vec![(b.link_id, q), (sink_id, q)]);
-            let back = Route::new(vec![(sender_id, SimDuration::from_millis(50))]);
-            b.sim.install_node(
-                sink_id,
-                Box::new(Sink::new(flow, back).with_metrics(b.hub.clone())),
-            );
-            b.sim.install_node(
-                sender_id,
-                Box::new(Sender::new(
-                    flow,
-                    Scheme::Abc.make_cc(),
-                    fwd,
-                    TrafficSource::RateLimited {
-                        rate: per_flow,
-                        burst_bytes: 4500.0,
-                    },
-                )),
-            );
-        }
+    // flow 1 backlogged, the rest rate-limited to 1 Mbit/s aggregate
+    let per_flow = Rate::from_bps(1e6 / n_limited as f64);
+    let mut flows = vec![FlowSpec::new("backlogged")];
+    for i in 0..n_limited {
+        flows.push(
+            FlowSpec::new(format!("limited {}", i + 1)).app(TrafficSource::RateLimited {
+                rate: per_flow,
+                burst_bytes: 4500.0,
+            }),
+        );
     }
+    let mut spec = ScenarioSpec::single(Scheme::Abc, LinkSpec::Trace(trace))
+        .duration(scale.secs(60, 20, 2))
+        .warmup(scale.secs(5, 5, 0));
+    spec.flows = FlowSchedule::Explicit(flows);
+    let mut b = ScenarioEngine::new().build(&spec);
+    let limited_ids: Vec<_> = b
+        .flows
+        .iter()
+        .filter(|(n, _)| n.starts_with("limited"))
+        .map(|(_, f)| *f)
+        .collect();
     b.run_to_end();
     let hub = b.hub.clone();
     let report = b.finish();
     let mut out = String::new();
-    writeln!(out, "# Fig 13 — {n_limited} application-limited ABC flows + 1 backlogged").unwrap();
+    writeln!(
+        out,
+        "# Fig 13 — {n_limited} application-limited ABC flows + 1 backlogged"
+    )
+    .unwrap();
     writeln!(out, "goodput : {}", sparkline(&report.tput_series, 60)).unwrap();
     writeln!(out, "qdelay  : {}", sparkline(&report.qdelay_series, 60)).unwrap();
     let hubref = hub.borrow();
-    let limited_bytes: u64 = hubref
-        .flows
+    let limited_bytes: u64 = limited_ids
         .iter()
-        .filter(|(f, _)| f.0 >= 100)
-        .map(|(_, r)| r.delivered_bytes)
+        .filter_map(|f| hubref.flows.get(f))
+        .map(|r| r.delivered_bytes)
         .sum();
     writeln!(
         out,
@@ -299,12 +366,17 @@ mod tests {
 
     #[test]
     fn fig6_tracks_the_binding_constraint() {
-        let f = fig6(true);
+        let f = fig6(Scale::Fast);
         let err: f64 = f
             .lines()
             .find(|l| l.contains("mean |goodput"))
             .and_then(|l| l.split('=').nth(1))
-            .and_then(|x| x.trim().trim_end_matches(|c: char| !c.is_ascii_digit() && c != '.').split('%').next())
+            .and_then(|x| {
+                x.trim()
+                    .trim_end_matches(|c: char| !c.is_ascii_digit() && c != '.')
+                    .split('%')
+                    .next()
+            })
             .and_then(|x| x.trim().parse().ok())
             .unwrap();
         assert!(err < 30.0, "tracking error {err}%");
@@ -312,7 +384,7 @@ mod tests {
 
     #[test]
     fn fig12_maxmin_fairer_than_zombie() {
-        let f = fig12(true);
+        let f = fig12(Scale::Fast);
         // extract the gap column for the highest load of each policy
         let gaps: Vec<f64> = f
             .lines()

@@ -2,6 +2,7 @@
 //! (Fig. 16) and the square-wave time series (Fig. 17).
 
 use super::matrix::{averages, run_matrix, sim_duration, traces};
+use super::Scale;
 use crate::report::sparkline;
 use crate::scenario::{CellScenario, LinkSpec};
 use crate::scheme::{Scheme, EXPLICIT_LINEUP};
@@ -11,28 +12,46 @@ use std::fmt::Write;
 
 /// Fig. 16: utilization and 95p delay of ABC / XCP / XCPw / VCP / RCP
 /// across the cellular traces.
-pub fn fig16(fast: bool) -> String {
-    let trs = traces(fast);
+pub fn fig16(scale: Scale) -> String {
+    let trs = traces(scale);
     let cells = run_matrix(
         &EXPLICIT_LINEUP,
         &trs,
         SimDuration::from_millis(100),
-        sim_duration(fast),
+        sim_duration(scale),
     );
     let avg = averages(&cells, &EXPLICIT_LINEUP);
     let mut out = String::new();
-    writeln!(out, "# Fig 16 — ABC vs explicit control (avg over {} traces)", trs.len()).unwrap();
-    writeln!(out, "{:<8} {:>7} {:>16} {:>16}", "Scheme", "Util", "95p delay (ms)", "mean delay (ms)").unwrap();
+    writeln!(
+        out,
+        "# Fig 16 — ABC vs explicit control (avg over {} traces)",
+        trs.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>7} {:>16} {:>16}",
+        "Scheme", "Util", "95p delay (ms)", "mean delay (ms)"
+    )
+    .unwrap();
     for (s, util, p95, mean, _) in avg {
-        writeln!(out, "{:<8} {:>7.3} {:>16.1} {:>16.1}", s.name(), util, p95, mean).unwrap();
+        writeln!(
+            out,
+            "{:<8} {:>7.3} {:>16.1} {:>16.1}",
+            s.name(),
+            util,
+            p95,
+            mean
+        )
+        .unwrap();
     }
     out
 }
 
 /// Fig. 17: 12 ↔ 24 Mbit/s square wave every 500 ms. ABC and XCPw track
 /// the rate; RCP (rate-based) lags and underutilizes after drops.
-pub fn fig17(fast: bool) -> String {
-    let dur = SimDuration::from_secs(if fast { 10 } else { 30 });
+pub fn fig17(scale: Scale) -> String {
+    let dur = scale.secs(30, 10, 2);
     let mut out = String::new();
     writeln!(out, "# Fig 17 — square-wave link 12↔24 Mbit/s every 500 ms").unwrap();
     for scheme in [Scheme::Abc, Scheme::Rcp, Scheme::Xcpw] {
@@ -45,7 +64,7 @@ pub fn fig17(fast: bool) -> String {
             },
         );
         sc.duration = dur;
-        sc.warmup = SimDuration::from_secs(2);
+        sc.warmup = scale.secs(2, 2, 0);
         let r = sc.run();
         writeln!(out, "\n## {}", scheme.name()).unwrap();
         writeln!(out, "goodput: {}", sparkline(&r.tput_series, 60)).unwrap();
@@ -88,7 +107,7 @@ mod tests {
 
     #[test]
     fn fig17_abc_and_xcpw_beat_rcp_utilization() {
-        let f = fig17(true);
+        let f = fig17(Scale::Fast);
         let utils = utils_of(&f);
         assert_eq!(utils.len(), 3, "{f}");
         let (abc, rcp, xcpw) = (utils[0].1, utils[1].1, utils[2].1);

@@ -1,5 +1,11 @@
 //! The scheme × trace sweep engine behind Table 1 and Figs. 8/9/15/16/18.
+//!
+//! Sweeps are embarrassingly parallel, so the matrix is a single
+//! [`ScenarioEngine::run_batch`] call: one spec per (scheme, trace) cell,
+//! executed across the machine's cores.
 
+use super::Scale;
+use crate::engine::ScenarioEngine;
 use crate::report::Report;
 use crate::scenario::{CellScenario, LinkSpec};
 use crate::scheme::Scheme;
@@ -12,27 +18,38 @@ pub struct MatrixCell {
     pub report: Report,
 }
 
-/// Run every scheme over every trace.
+/// Run every scheme over every trace, in parallel.
 pub fn run_matrix(
     schemes: &[Scheme],
     traces: &[CellTrace],
     rtt: SimDuration,
     duration: SimDuration,
 ) -> Vec<MatrixCell> {
-    let mut out = Vec::new();
-    for trace in traces {
-        for &scheme in schemes {
-            let mut sc = CellScenario::new(scheme, LinkSpec::Trace(trace.clone()));
-            sc.rtt = rtt;
-            sc.duration = duration;
-            out.push(MatrixCell {
-                scheme,
-                trace: trace.name.clone(),
-                report: sc.run(),
-            });
-        }
-    }
-    out
+    let cells: Vec<(Scheme, String)> = traces
+        .iter()
+        .flat_map(|trace| schemes.iter().map(|&s| (s, trace.name.clone())))
+        .collect();
+    let specs: Vec<_> = traces
+        .iter()
+        .flat_map(|trace| {
+            schemes.iter().map(|&scheme| {
+                let mut sc = CellScenario::new(scheme, LinkSpec::Trace(trace.clone()));
+                sc.rtt = rtt;
+                sc.duration = duration;
+                sc.spec()
+            })
+        })
+        .collect();
+    let reports = ScenarioEngine::new().run_batch(&specs);
+    cells
+        .into_iter()
+        .zip(reports)
+        .map(|((scheme, trace), report)| MatrixCell {
+            scheme,
+            trace,
+            report,
+        })
+        .collect()
 }
 
 /// Per-scheme averages across traces: (scheme, mean util, mean p95 delay,
@@ -52,19 +69,13 @@ pub fn averages(cells: &[MatrixCell], schemes: &[Scheme]) -> Vec<(Scheme, f64, f
         .collect()
 }
 
-/// The traces for a run: all eight, or a truncated fast subset.
-pub fn traces(fast: bool) -> Vec<CellTrace> {
+/// The traces for a run: all eight, or a truncated subset.
+pub fn traces(scale: Scale) -> Vec<CellTrace> {
     let mut all = cellular::all_builtin();
-    if fast {
-        all.truncate(2);
-    }
+    all.truncate(scale.pick(usize::MAX, 2, 1));
     all
 }
 
-pub fn sim_duration(fast: bool) -> SimDuration {
-    if fast {
-        SimDuration::from_secs(20)
-    } else {
-        SimDuration::from_secs(120)
-    }
+pub fn sim_duration(scale: Scale) -> SimDuration {
+    scale.secs(120, 20, 2)
 }

@@ -1,21 +1,21 @@
 //! Fig. 1: the motivation time series — Cubic bufferbloat, Verus
 //! oscillation, Cubic+CoDel underutilization, ABC tracking.
 
+use super::Scale;
 use crate::report::sparkline;
 use crate::scenario::{CellScenario, LinkSpec};
 use crate::scheme::Scheme;
-use netsim::time::SimDuration;
 use std::fmt::Write;
 
-pub fn fig1(fast: bool) -> String {
+pub fn fig1(scale: Scale) -> String {
     let trace = cellular::builtin("Verizon1").unwrap();
-    let dur = if fast {
-        SimDuration::from_secs(15)
-    } else {
-        SimDuration::from_secs(30)
-    };
+    let dur = scale.secs(30, 15, 2);
     let mut out = String::new();
-    writeln!(out, "# Fig 1 — 30 s on an emulated LTE link (dashed = capacity)").unwrap();
+    writeln!(
+        out,
+        "# Fig 1 — 30 s on an emulated LTE link (dashed = capacity)"
+    )
+    .unwrap();
     for (panel, scheme) in [
         ("a", Scheme::Cubic),
         ("b", Scheme::Verus),
@@ -24,7 +24,7 @@ pub fn fig1(fast: bool) -> String {
     ] {
         let mut sc = CellScenario::new(scheme, LinkSpec::Trace(trace.clone()));
         sc.duration = dur;
-        sc.warmup = SimDuration::from_secs(2);
+        sc.warmup = scale.secs(2, 2, 0);
         let r = sc.run();
         writeln!(out, "\n## Fig 1{panel} — {}", scheme.name()).unwrap();
         writeln!(out, "capacity : {}", sparkline(&r.capacity_series, 60)).unwrap();
@@ -49,7 +49,7 @@ mod tests {
 
     #[test]
     fn fig1_shapes_hold() {
-        let f = fig1(true);
+        let f = fig1(Scale::Fast);
         assert!(f.contains("Fig 1a"));
         assert!(f.contains("Fig 1d"));
         // crude shape check embedded in the output itself: parse the util
@@ -57,7 +57,16 @@ mod tests {
         let utils: Vec<f64> = f
             .lines()
             .filter(|l| l.starts_with("util"))
-            .map(|l| l.split('%').next().unwrap().split_whitespace().last().unwrap().parse().unwrap())
+            .map(|l| {
+                l.split('%')
+                    .next()
+                    .unwrap()
+                    .split_whitespace()
+                    .last()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
             .collect();
         assert_eq!(utils.len(), 4);
         let (cubic, codel, abc) = (utils[0], utils[2], utils[3]);

@@ -2,6 +2,8 @@
 //! Fig. 18 (RTT sweep).
 
 use super::matrix::{averages, run_matrix, sim_duration, traces};
+use super::Scale;
+use crate::engine::ScenarioEngine;
 use crate::scenario::{CellScenario, LinkSpec};
 use crate::scheme::{Scheme, CELLULAR_LINEUP};
 use crate::topos::TwoHopScenario;
@@ -10,7 +12,7 @@ use std::fmt::Write;
 
 /// Table 1 of §1: throughput and 95th-percentile delay normalized to ABC,
 /// averaged over the traces.
-pub fn table1(fast: bool) -> String {
+pub fn table1(scale: Scale) -> String {
     let schemes = [
         Scheme::Abc,
         Scheme::Xcp,
@@ -22,7 +24,12 @@ pub fn table1(fast: bool) -> String {
         Scheme::Sprout,
         Scheme::Verus,
     ];
-    let cells = run_matrix(&schemes, &traces(fast), SimDuration::from_millis(100), sim_duration(fast));
+    let cells = run_matrix(
+        &schemes,
+        &traces(scale),
+        SimDuration::from_millis(100),
+        sim_duration(scale),
+    );
     let avg = averages(&cells, &schemes);
     let (abc_util, abc_delay) = avg
         .iter()
@@ -30,8 +37,17 @@ pub fn table1(fast: bool) -> String {
         .map(|&(_, u, d, ..)| (u, d))
         .expect("ABC in lineup");
     let mut out = String::new();
-    writeln!(out, "# Table 1 — normalized throughput and 95p delay (ABC = 1)").unwrap();
-    writeln!(out, "{:<14} {:>11} {:>18}", "Scheme", "Norm. Tput", "Norm. Delay (95%)").unwrap();
+    writeln!(
+        out,
+        "# Table 1 — normalized throughput and 95p delay (ABC = 1)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>11} {:>18}",
+        "Scheme", "Norm. Tput", "Norm. Delay (95%)"
+    )
+    .unwrap();
     for (s, util, p95, ..) in &avg {
         writeln!(
             out,
@@ -50,15 +66,20 @@ pub fn table1(fast: bool) -> String {
 /// path. One row per scheme per panel; the Pareto frontier of the
 /// *non-ABC* schemes is flagged so ABC's position relative to it is
 /// explicit.
-pub fn fig8(fast: bool) -> String {
+pub fn fig8(scale: Scale) -> String {
     let down = cellular::builtin("Verizon1").unwrap();
     let up = cellular::builtin("Verizon2").unwrap();
-    let dur = sim_duration(fast);
+    let dur = sim_duration(scale);
     let mut out = String::new();
 
     let panel = |name: &str, rows: Vec<(String, f64, f64)>, out: &mut String| {
         writeln!(out, "\n## Fig 8{name}").unwrap();
-        writeln!(out, "{:<14} {:>7} {:>16} {:>8}", "Scheme", "Util", "95p delay (ms)", "Pareto").unwrap();
+        writeln!(
+            out,
+            "{:<14} {:>7} {:>16} {:>8}",
+            "Scheme", "Util", "95p delay (ms)", "Pareto"
+        )
+        .unwrap();
         // Pareto frontier among non-ABC schemes: no other scheme has both
         // higher util and lower delay
         for (n, u, d) in &rows {
@@ -68,7 +89,11 @@ pub fn fig8(fast: bool) -> String {
                 .filter(|(m, ..)| !m.starts_with("ABC") && m != n)
                 .any(|(_, u2, d2)| *u2 >= *u && *d2 <= *d);
             let tag = if is_abc {
-                if !dominated { "OUTSIDE" } else { "inside" }
+                if !dominated {
+                    "OUTSIDE"
+                } else {
+                    "inside"
+                }
             } else if !dominated {
                 "frontier"
             } else {
@@ -78,21 +103,26 @@ pub fn fig8(fast: bool) -> String {
         }
     };
 
+    let engine = ScenarioEngine::new();
     for (tag, trace) in [("a (downlink)", &down), ("b (uplink)", &up)] {
-        let rows: Vec<(String, f64, f64)> = CELLULAR_LINEUP
+        let specs: Vec<_> = CELLULAR_LINEUP
             .iter()
             .map(|&s| {
                 let mut sc = CellScenario::new(s, LinkSpec::Trace(trace.clone()));
                 sc.duration = dur;
-                let r = sc.run();
-                (s.name(), r.utilization, r.delay_ms.p95)
+                sc.spec()
             })
+            .collect();
+        let rows: Vec<(String, f64, f64)> = CELLULAR_LINEUP
+            .iter()
+            .zip(engine.run_batch(&specs))
+            .map(|(s, r)| (s.name(), r.utilization, r.delay_ms.p95))
             .collect();
         panel(tag, rows, &mut out);
     }
 
     // (c) two-hop uplink + downlink
-    let rows: Vec<(String, f64, f64)> = CELLULAR_LINEUP
+    let specs: Vec<_> = CELLULAR_LINEUP
         .iter()
         .map(|&s| {
             let mut sc = TwoHopScenario::new(
@@ -101,9 +131,13 @@ pub fn fig8(fast: bool) -> String {
                 LinkSpec::Trace(down.clone()),
             );
             sc.duration = dur;
-            let r = sc.run();
-            (s.name(), r.utilization, r.delay_ms.p95)
+            sc.spec()
         })
+        .collect();
+    let rows: Vec<(String, f64, f64)> = CELLULAR_LINEUP
+        .iter()
+        .zip(engine.run_batch(&specs))
+        .map(|(s, r)| (s.name(), r.utilization, r.delay_ms.p95))
         .collect();
     panel("c (uplink+downlink, two-hop)", rows, &mut out);
     out
@@ -111,27 +145,31 @@ pub fn fig8(fast: bool) -> String {
 
 /// Fig. 9: utilization and 95th-percentile delay for every scheme on every
 /// trace, plus the cross-trace average.
-pub fn fig9(fast: bool) -> String {
-    fig9_like(fast, false)
+pub fn fig9(scale: Scale) -> String {
+    fig9_like(scale, false)
 }
 
 /// Fig. 15 (Appendix C): same sweep, *mean* per-packet delay.
-pub fn fig15(fast: bool) -> String {
-    fig9_like(fast, true)
+pub fn fig15(scale: Scale) -> String {
+    fig9_like(scale, true)
 }
 
-fn fig9_like(fast: bool, mean_delay: bool) -> String {
-    let trs = traces(fast);
+fn fig9_like(scale: Scale, mean_delay: bool) -> String {
+    let trs = traces(scale);
     let cells = run_matrix(
         &CELLULAR_LINEUP,
         &trs,
         SimDuration::from_millis(100),
-        sim_duration(fast),
+        sim_duration(scale),
     );
     let mut out = String::new();
     let which = if mean_delay { "mean" } else { "95p" };
-    writeln!(out, "# Fig {} — utilization and {which} per-packet delay per trace",
-        if mean_delay { "15" } else { "9" }).unwrap();
+    writeln!(
+        out,
+        "# Fig {} — utilization and {which} per-packet delay per trace",
+        if mean_delay { "15" } else { "9" }
+    )
+    .unwrap();
     write!(out, "{:<14}", "Scheme").unwrap();
     for t in &trs {
         write!(out, " {:>18}", t.name).unwrap();
@@ -165,29 +203,42 @@ fn fig9_like(fast: bool, mean_delay: bool) -> String {
 /// Fig. 18 (Appendix E): the full lineup at RTT ∈ {20, 50, 100, 200} ms on
 /// one trace; reports utilization and 95p *queuing* delay (the appendix's
 /// y-axis), so propagation differences don't mask the comparison.
-pub fn fig18(fast: bool) -> String {
+pub fn fig18(scale: Scale) -> String {
     let trace = cellular::builtin("Verizon1").unwrap();
     let rtts = [20u64, 50, 100, 200];
-    let dur = sim_duration(fast);
-    let schemes: &[Scheme] = if fast {
+    let dur = sim_duration(scale);
+    let schemes: &[Scheme] = if scale.reduced() {
         &[Scheme::Abc, Scheme::CubicCodel, Scheme::Cubic]
     } else {
         &CELLULAR_LINEUP
     };
     let mut out = String::new();
-    writeln!(out, "# Fig 18 — RTT sensitivity (utilization / 95p queuing delay ms)").unwrap();
+    writeln!(
+        out,
+        "# Fig 18 — RTT sensitivity (utilization / 95p queuing delay ms)"
+    )
+    .unwrap();
     write!(out, "{:<14}", "Scheme").unwrap();
     for r in rtts {
         write!(out, " {:>16}", format!("RTT {r}ms")).unwrap();
     }
     writeln!(out).unwrap();
-    for &s in schemes {
+    // the full scheme × RTT grid as one parallel batch
+    let specs: Vec<_> = schemes
+        .iter()
+        .flat_map(|&s| {
+            rtts.map(|rtt| {
+                let mut sc = CellScenario::new(s, LinkSpec::Trace(trace.clone()));
+                sc.rtt = SimDuration::from_millis(rtt);
+                sc.duration = dur;
+                sc.spec()
+            })
+        })
+        .collect();
+    let reports = ScenarioEngine::new().run_batch(&specs);
+    for (i, &s) in schemes.iter().enumerate() {
         write!(out, "{:<14}", s.name()).unwrap();
-        for rtt in rtts {
-            let mut sc = CellScenario::new(s, LinkSpec::Trace(trace.clone()));
-            sc.rtt = SimDuration::from_millis(rtt);
-            sc.duration = dur;
-            let r = sc.run();
+        for r in &reports[i * rtts.len()..(i + 1) * rtts.len()] {
             write!(out, " {:>8.2}/{:>5.0}ms", r.utilization, r.qdelay_ms.p95).unwrap();
         }
         writeln!(out).unwrap();
@@ -201,7 +252,7 @@ mod tests {
 
     #[test]
     fn table1_normalizes_to_abc() {
-        let t = table1(true);
+        let t = table1(Scale::Fast);
         // the ABC row must read 1.00 / 1.00
         let abc_line = t.lines().find(|l| l.starts_with("ABC")).unwrap();
         assert!(abc_line.contains("1.00"), "{abc_line}");
@@ -209,7 +260,7 @@ mod tests {
 
     #[test]
     fn fig8_flags_abc_outside_frontier() {
-        let f = fig8(true);
+        let f = fig8(Scale::Fast);
         assert!(f.contains("Fig 8a"));
         assert!(f.contains("Fig 8c"));
         // ABC should be outside the non-ABC frontier on at least one panel

@@ -1,23 +1,30 @@
 //! Theorem 3.1 validation: the fluid-model δ/τ sweep plus a full-simulator
 //! sweep showing the same boundary empirically.
 
+use super::Scale;
+use crate::engine::{QdiscSpec, ScenarioEngine};
 use crate::scenario::{CellScenario, LinkSpec};
 use crate::scheme::Scheme;
-use abc_core::router::{AbcQdisc, AbcRouterConfig};
+use abc_core::router::AbcRouterConfig;
 use abc_core::stability::{fluid_a, integrate_fluid, is_stable};
 use netsim::rate::Rate;
 use netsim::time::SimDuration;
 use std::fmt::Write;
 
-pub fn stability(fast: bool) -> String {
+pub fn stability(scale: Scale) -> String {
     let mut out = String::new();
     writeln!(out, "# Theorem 3.1 — stability requires δ > ⅔·τ").unwrap();
 
     // fluid model sweep: fix τ = 100 ms, sweep δ/τ
     let tau = SimDuration::from_millis(100);
     writeln!(out, "\n## fluid model (A > 0 regime)").unwrap();
-    writeln!(out, "{:>8} {:>10} {:>12} {:>10}", "δ/τ", "criterion", "residual", "verdict").unwrap();
-    let ratios: &[f64] = if fast {
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>10}",
+        "δ/τ", "criterion", "residual", "verdict"
+    )
+    .unwrap();
+    let ratios: &[f64] = if scale.reduced() {
         &[0.3, 0.5, 0.8, 1.33]
     } else {
         &[0.2, 0.33, 0.5, 0.6, 0.7, 0.8, 1.0, 1.33, 2.0]
@@ -42,29 +49,34 @@ pub fn stability(fast: bool) -> String {
     // full-simulator sweep: N ABC flows on a constant link, vary δ;
     // measure queuing-delay dispersion after convergence
     writeln!(out, "\n## full simulator (20 flows, 12 Mbit/s, τ = 100 ms)").unwrap();
-    writeln!(out, "{:>9} {:>10} {:>14} {:>12}", "δ (ms)", "criterion", "qdelay sd (ms)", "util").unwrap();
-    let deltas: &[u64] = if fast { &[30, 200] } else { &[20, 40, 60, 90, 133, 200, 400] };
-    for &dms in deltas {
-        let mut sc = CellScenario::new(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)));
-        sc.n_flows = 20;
-        sc.duration = SimDuration::from_secs(if fast { 30 } else { 60 });
-        sc.warmup = SimDuration::from_secs(10);
-        let built = sc.build();
-        // swap in a router with the chosen δ
-        let mut b = built;
-        {
-            let lq: &mut netsim::linkqueue::LinkQueue = b
-                .sim
-                .node_mut(b.link_id)
-                .and_then(|n| n.as_any_mut().downcast_mut())
-                .unwrap();
-            *lq.qdisc_boxed_mut() = Box::new(AbcQdisc::new(AbcRouterConfig {
+    writeln!(
+        out,
+        "{:>9} {:>10} {:>14} {:>12}",
+        "δ (ms)", "criterion", "qdelay sd (ms)", "util"
+    )
+    .unwrap();
+    let deltas: &[u64] = if scale.reduced() {
+        &[30, 200]
+    } else {
+        &[20, 40, 60, 90, 133, 200, 400]
+    };
+    // one spec per δ, with the router override declared in the spec; the
+    // sweep runs in parallel
+    let specs: Vec<_> = deltas
+        .iter()
+        .map(|&dms| {
+            let mut sc = CellScenario::new(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)));
+            sc.n_flows = 20;
+            sc.duration = scale.secs(60, 30, 2);
+            sc.warmup = scale.secs(10, 10, 0);
+            sc.spec().qdisc(QdiscSpec::AbcWith(AbcRouterConfig {
                 delta: SimDuration::from_millis(dms),
                 ..Default::default()
-            }));
-        }
-        b.run_to_end();
-        let r = b.finish();
+            }))
+        })
+        .collect();
+    let reports = ScenarioEngine::new().run_batch(&specs);
+    for (&dms, r) in deltas.iter().zip(&reports) {
         writeln!(
             out,
             "{:>9} {:>10} {:>14.1} {:>11.1}%",
@@ -79,7 +91,11 @@ pub fn stability(fast: bool) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(small δ ⇒ oscillation: larger qdelay dispersion and/or lost utilization)").unwrap();
+    writeln!(
+        out,
+        "(small δ ⇒ oscillation: larger qdelay dispersion and/or lost utilization)"
+    )
+    .unwrap();
     out
 }
 
@@ -89,7 +105,7 @@ mod tests {
 
     #[test]
     fn fluid_verdicts_match_criterion() {
-        let s = stability(true);
+        let s = stability(Scale::Fast);
         // every fluid-model row labeled "stable" must have converged and
         // the 0.3 ratio must oscillate
         let mut saw_unstable_oscillation = false;
@@ -102,6 +118,9 @@ mod tests {
                 saw_unstable_oscillation = true;
             }
         }
-        assert!(saw_unstable_oscillation, "sweep never exhibited instability:\n{s}");
+        assert!(
+            saw_unstable_oscillation,
+            "sweep never exhibited instability:\n{s}"
+        );
     }
 }

@@ -2,6 +2,8 @@
 //! prediction accuracy), Fig. 10 (single/two-user tradeoff), Fig. 14
 //! (Brownian MCS).
 
+use super::Scale;
+use crate::engine::ScenarioEngine;
 use crate::scheme::{Scheme, WIFI_LINEUP};
 use crate::wifi::{estimator_accuracy, McsSpec, WifiScenario};
 use netsim::time::SimDuration;
@@ -10,68 +12,57 @@ use std::fmt::Write;
 /// Fig. 4: mean inter-ACK time per A-MPDU batch size, with the regression
 /// slope against S/R. Uses a lightly-loaded fixed-MCS link so every batch
 /// size occurs.
-pub fn fig4(fast: bool) -> String {
+pub fn fig4(scale: Scale) -> String {
     use netsim::flow::TrafficSource;
     let mut sc = WifiScenario::new(Scheme::Cubic, 1, McsSpec::Fixed(1));
-    sc.duration = SimDuration::from_secs(if fast { 10 } else { 45 });
+    sc.duration = scale.secs(45, 10, 2);
+    sc.warmup = scale.secs(5, 5, 0);
     sc.app = TrafficSource::RateLimited {
         rate: netsim::rate::Rate::from_mbps(8.0),
         burst_bytes: 40_000.0,
     };
-    // run manually to reach the AP's batch log
-    let mut sim = netsim::sim::Simulator::new();
-    let hub = netsim::metrics::new_hub();
-    let ap_id = sim.reserve_node();
-    let sender_id = sim.reserve_node();
-    let sink_id = sim.reserve_node();
-    let q = sc.rtt / 4;
-    let fwd = netsim::packet::Route::new(vec![(ap_id, q), (sink_id, q)]);
-    let back = netsim::packet::Route::new(vec![(sender_id, sc.rtt / 2)]);
-    sim.install_node(
-        sink_id,
-        Box::new(netsim::flow::Sink::new(netsim::packet::FlowId(1), back).with_metrics(hub)),
-    );
-    sim.install_node(
-        sender_id,
-        Box::new(netsim::flow::Sender::new(
-            netsim::packet::FlowId(1),
-            sc.scheme.make_cc(),
-            fwd,
-            sc.app,
-        )),
-    );
-    sim.install_node(
-        ap_id,
-        Box::new(wifi_mac::WifiAp::new(
-            wifi_mac::WifiApConfig::default(),
-            sc.scheme.make_qdisc(2000),
-            McsSpec::Fixed(1).build(),
-        )),
-    );
-    sim.run_until(netsim::time::SimTime::ZERO + sc.duration);
-    let ap: &wifi_mac::WifiAp = sim
-        .node(ap_id)
-        .and_then(|n| n.as_any().downcast_ref())
-        .unwrap();
+    // build (not run) so the AP's batch log is reachable afterwards
+    let mut b = ScenarioEngine::new().build(&sc.spec());
+    b.run_to_end();
+    let ap = b.wifi_ap("wifi");
     let log = ap.estimator().batch_log();
 
     let mut out = String::new();
-    writeln!(out, "# Fig 4 — inter-ACK time vs A-MPDU batch size (MCS 1, R = 13 Mbit/s)").unwrap();
-    writeln!(out, "{:>6} {:>8} {:>14} {:>14}", "batch", "count", "mean T_IA (ms)", "sd (ms)").unwrap();
+    writeln!(
+        out,
+        "# Fig 4 — inter-ACK time vs A-MPDU batch size (MCS 1, R = 13 Mbit/s)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>8} {:>14} {:>14}",
+        "batch", "count", "mean T_IA (ms)", "sd (ms)"
+    )
+    .unwrap();
     let mut by_b: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
     for s in log {
-        by_b.entry(s.batch).or_default().push(s.inter_ack.as_millis_f64());
+        by_b.entry(s.batch)
+            .or_default()
+            .push(s.inter_ack.as_millis_f64());
     }
     for (b, v) in &by_b {
         let s = netsim::stats::summarize(v);
-        writeln!(out, "{:>6} {:>8} {:>14.3} {:>14.3}", b, s.count, s.mean, s.std_dev).unwrap();
+        writeln!(
+            out,
+            "{:>6} {:>8} {:>14.3} {:>14.3}",
+            b, s.count, s.mean, s.std_dev
+        )
+        .unwrap();
     }
     // regression slope vs S/R
     let n = log.len() as f64;
     let sx: f64 = log.iter().map(|s| s.batch as f64).sum();
     let sy: f64 = log.iter().map(|s| s.inter_ack.as_secs_f64()).sum();
     let sxx: f64 = log.iter().map(|s| (s.batch as f64).powi(2)).sum();
-    let sxy: f64 = log.iter().map(|s| s.batch as f64 * s.inter_ack.as_secs_f64()).sum();
+    let sxy: f64 = log
+        .iter()
+        .map(|s| s.batch as f64 * s.inter_ack.as_secs_f64())
+        .sum();
     let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
     let expected = 12_000.0 / 13e6;
     writeln!(
@@ -87,8 +78,8 @@ pub fn fig4(fast: bool) -> String {
 
 /// Fig. 5: predicted vs true link rate for a non-backlogged sender over
 /// three different Wi-Fi links (MCS 1, 4, 7), across offered loads.
-pub fn fig5(fast: bool) -> String {
-    let dur = SimDuration::from_secs(if fast { 10 } else { 30 });
+pub fn fig5(scale: Scale) -> String {
+    let dur = scale.secs(30, 10, 2);
     let mut out = String::new();
     writeln!(out, "# Fig 5 — Wi-Fi link-rate prediction vs offered load").unwrap();
     writeln!(
@@ -98,7 +89,7 @@ pub fn fig5(fast: bool) -> String {
     )
     .unwrap();
     for mcs in [1u8, 4, 7] {
-        let loads: &[f64] = if fast {
+        let loads: &[f64] = if scale.reduced() {
             &[4.0, 20.0]
         } else {
             &[2.0, 4.0, 8.0, 16.0, 24.0, 40.0]
@@ -126,41 +117,51 @@ pub fn fig5(fast: bool) -> String {
 
 /// Fig. 10: throughput vs 95p per-packet delay for the Wi-Fi lineup, with
 /// the MCS alternating 1 ↔ 7 every 2 s; single-user and two-user panels.
-pub fn fig10(fast: bool) -> String {
+pub fn fig10(scale: Scale) -> String {
     wifi_panel(
         "Fig 10 — Wi-Fi, MCS alternating 1↔7 every 2 s",
         McsSpec::Alternating(1, 7, SimDuration::from_secs(2)),
-        fast,
+        scale,
     )
 }
 
 /// Fig. 14 (Appendix B): Brownian-motion MCS over [3, 7].
-pub fn fig14(fast: bool) -> String {
+pub fn fig14(scale: Scale) -> String {
     wifi_panel(
         "Fig 14 — Wi-Fi, Brownian-motion MCS in [3, 7]",
         McsSpec::Brownian(3, 7, SimDuration::from_secs(2), 0xf14),
-        fast,
+        scale,
     )
 }
 
-fn wifi_panel(title: &str, mcs: McsSpec, fast: bool) -> String {
+fn wifi_panel(title: &str, mcs: McsSpec, scale: Scale) -> String {
     let mut out = String::new();
     writeln!(out, "# {title}").unwrap();
-    let schemes: &[Scheme] = if fast {
+    let schemes: &[Scheme] = if scale.reduced() {
         &[Scheme::AbcDt(60), Scheme::CubicCodel, Scheme::Cubic]
     } else {
         &WIFI_LINEUP
     };
     for users in [1u32, 2] {
         writeln!(out, "\n## {users} user(s)").unwrap();
-        writeln!(out, "{:<14} {:>14} {:>16}", "Scheme", "tput (Mbit/s)", "95p delay (ms)").unwrap();
+        writeln!(
+            out,
+            "{:<14} {:>14} {:>16}",
+            "Scheme", "tput (Mbit/s)", "95p delay (ms)"
+        )
+        .unwrap();
+        // the whole lineup as one parallel batch
+        let specs: Vec<_> = schemes
+            .iter()
+            .map(|&s| {
+                let mut sc = WifiScenario::new(s, users, mcs);
+                sc.duration = scale.secs(45, 15, 2);
+                sc.warmup = scale.secs(5, 5, 0);
+                sc.spec()
+            })
+            .collect();
         let mut rows = Vec::new();
-        for &s in schemes {
-            let mut sc = WifiScenario::new(s, users, mcs);
-            if fast {
-                sc.duration = SimDuration::from_secs(15);
-            }
-            let r = sc.run();
+        for (&s, r) in schemes.iter().zip(ScenarioEngine::new().run_batch(&specs)) {
             writeln!(
                 out,
                 "{:<14} {:>14.2} {:>16.0}",
@@ -181,7 +182,12 @@ fn wifi_panel(title: &str, mcs: McsSpec, fast: bool) -> String {
                     .filter(|(m, ..)| !m.starts_with("ABC"))
                     .any(|(_, t2, d2)| t2 >= tput && d2 <= d)
             });
-        writeln!(out, "ABC outside non-ABC Pareto frontier: {}", if abc_best { "yes" } else { "no" }).unwrap();
+        writeln!(
+            out,
+            "ABC outside non-ABC Pareto frontier: {}",
+            if abc_best { "yes" } else { "no" }
+        )
+        .unwrap();
     }
     out
 }
@@ -192,7 +198,7 @@ mod tests {
 
     #[test]
     fn fig4_slope_matches_s_over_r() {
-        let f = fig4(true);
+        let f = fig4(Scale::Fast);
         let err: f64 = f
             .lines()
             .find(|l| l.contains("regression slope"))
@@ -210,7 +216,7 @@ mod tests {
 
     #[test]
     fn fig5_accurate_or_cap_bound() {
-        let f = fig5(true);
+        let f = fig5(Scale::Fast);
         for line in f.lines().skip(2) {
             if line.trim().is_empty() {
                 continue;

@@ -1,10 +1,14 @@
-//! # experiments — per-figure/table harnesses
+//! # experiments — the scenario engine and per-figure/table harnesses
 //!
-//! Scenario builders and generators that regenerate every table and figure
-//! of the paper's evaluation (see DESIGN.md §3 for the index and
-//! EXPERIMENTS.md for paper-vs-measured numbers). Each figure has a
-//! binary (`cargo run --release -p experiments --bin figN`).
+//! [`engine`] is the chassis: a declarative [`ScenarioSpec`] executed
+//! (serially or in parallel) by the [`ScenarioEngine`] — see its module
+//! docs for the spec → engine → report pipeline. [`scenario`], [`topos`],
+//! and [`wifi`] are thin presets that denote specs; [`figures`] holds the
+//! generators that regenerate every table and figure of the paper's
+//! evaluation (see DESIGN.md §3 for the index and EXPERIMENTS.md for
+//! paper-vs-measured numbers).
 
+pub mod engine;
 pub mod figures;
 pub mod report;
 pub mod scenario;
@@ -12,8 +16,12 @@ pub mod scheme;
 pub mod topos;
 pub mod wifi;
 
+pub use engine::{
+    BuiltScenario, FlowSchedule, FlowSpec, PoissonShortFlows, QdiscSpec, ScenarioEngine,
+    ScenarioSpec, Topology,
+};
 pub use report::{downsample, sparkline, Report};
-pub use scenario::{BuiltScenario, CellScenario, LinkSpec};
+pub use scenario::{CellScenario, LinkSpec};
 pub use scheme::{Scheme, CELLULAR_LINEUP, EXPLICIT_LINEUP, WIFI_LINEUP};
 pub use topos::{CoexistResult, CoexistScenario, CrossTraffic, MixedPathScenario, TwoHopScenario};
 pub use wifi::{estimator_accuracy, McsSpec, WifiScenario};

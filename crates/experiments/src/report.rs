@@ -3,6 +3,12 @@
 use netsim::stats::Summary;
 
 /// Outcome of one scenario run.
+///
+/// `PartialEq` compares every metric bit-for-bit — the determinism tests
+/// rely on two runs of the same spec producing equal `Report`s. Floats
+/// are compared by bit pattern, not `==`, so `NaN` fields (Wi-Fi
+/// utilization has no opportunity accounting) still compare equal across
+/// identical runs.
 #[derive(Debug, Clone)]
 pub struct Report {
     pub scheme: String,
@@ -24,6 +30,44 @@ pub struct Report {
     pub qdelay_series: Vec<(f64, f64)>,
     /// (t seconds, Mbit/s) link capacity series (for plots).
     pub capacity_series: Vec<(f64, f64)>,
+}
+
+impl PartialEq for Report {
+    fn eq(&self, other: &Self) -> bool {
+        fn feq(a: f64, b: f64) -> bool {
+            a.to_bits() == b.to_bits()
+        }
+        fn veq(a: &[f64], b: &[f64]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| feq(*x, *y))
+        }
+        fn seq(a: &[(f64, f64)], b: &[(f64, f64)]) -> bool {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b)
+                    .all(|((t1, v1), (t2, v2))| feq(*t1, *t2) && feq(*v1, *v2))
+        }
+        fn sumeq(a: &Summary, b: &Summary) -> bool {
+            a.count == b.count
+                && feq(a.mean, b.mean)
+                && feq(a.std_dev, b.std_dev)
+                && feq(a.min, b.min)
+                && feq(a.max, b.max)
+                && feq(a.p50, b.p50)
+                && feq(a.p95, b.p95)
+                && feq(a.p99, b.p99)
+        }
+        self.scheme == other.scheme
+            && feq(self.utilization, other.utilization)
+            && sumeq(&self.delay_ms, &other.delay_ms)
+            && sumeq(&self.qdelay_ms, &other.qdelay_ms)
+            && veq(&self.flow_tputs_mbps, &other.flow_tputs_mbps)
+            && feq(self.total_tput_mbps, other.total_tput_mbps)
+            && feq(self.jain, other.jain)
+            && self.drops == other.drops
+            && seq(&self.tput_series, &other.tput_series)
+            && seq(&self.qdelay_series, &other.qdelay_series)
+            && seq(&self.capacity_series, &other.capacity_series)
+    }
 }
 
 impl Report {

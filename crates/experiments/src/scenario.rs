@@ -1,16 +1,17 @@
-//! The single-bottleneck scenario runner behind most figures: N flows of
+//! The single-bottleneck scenario preset behind most figures: N flows of
 //! one scheme over one (emulated cellular or synthetic) link.
+//!
+//! [`CellScenario`] is a convenience builder — all construction and
+//! execution happens in [`crate::engine`]; [`CellScenario::spec`] shows
+//! exactly which [`ScenarioSpec`] a preset denotes.
 
-use crate::report::{downsample, Report};
+use crate::engine::{BuiltScenario, FlowSchedule, ScenarioEngine, ScenarioSpec};
+use crate::report::Report;
 use crate::scheme::Scheme;
 use cellular::CellTrace;
-use netsim::flow::{Sender, Sink, TrafficSource};
+use netsim::flow::TrafficSource;
 use netsim::link::{ConstantRate, RateProcess, SerialLink, SquareWave, StepSchedule, Transmitter};
-use netsim::linkqueue::LinkQueue;
-use netsim::metrics::{new_hub, Metrics};
-use netsim::packet::{FlowId, NodeId, Route};
 use netsim::rate::Rate;
-use netsim::sim::Simulator;
 use netsim::time::{SimDuration, SimTime};
 
 /// The bottleneck link of a scenario.
@@ -35,9 +36,7 @@ impl LinkSpec {
             LinkSpec::Square { a, b, half_period } => {
                 Box::new(SerialLink::new(SquareWave::new(*a, *b, *half_period)))
             }
-            LinkSpec::Steps(steps) => {
-                Box::new(SerialLink::new(StepSchedule::new(steps.clone())))
-            }
+            LinkSpec::Steps(steps) => Box::new(SerialLink::new(StepSchedule::new(steps.clone()))),
         }
     }
 
@@ -58,6 +57,25 @@ impl LinkSpec {
             t += step;
         }
         out
+    }
+
+    /// A single representative rate — the reference for offered-load
+    /// fractions (Poisson short-flow churn).
+    pub fn nominal_rate(&self) -> Rate {
+        match self {
+            LinkSpec::Trace(t) => t.mean_rate(),
+            LinkSpec::Constant(r) => *r,
+            LinkSpec::Square { a, b, .. } => Rate::from_bps((a.bps() + b.bps()) / 2.0),
+            LinkSpec::Steps(steps) => {
+                if steps.is_empty() {
+                    Rate::ZERO
+                } else {
+                    Rate::from_bps(
+                        steps.iter().map(|(_, r)| r.bps()).sum::<f64>() / steps.len() as f64,
+                    )
+                }
+            }
+        }
     }
 }
 
@@ -101,149 +119,32 @@ impl CellScenario {
         }
     }
 
+    /// The [`ScenarioSpec`] this preset denotes.
+    pub fn spec(&self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::single(self.scheme, self.link.clone());
+        spec.flows = FlowSchedule::Uniform {
+            n: self.n_flows,
+            app: self.app,
+            stagger: self.stagger,
+            stagger_departures: self.stagger_departures,
+        };
+        spec.rtt = self.rtt;
+        spec.buffer_pkts = self.buffer_pkts;
+        spec.duration = self.duration;
+        spec.warmup = self.warmup;
+        spec.oracle_lookahead = self.oracle_lookahead;
+        spec
+    }
+
     /// Build the simulator without running it (callers that need to sample
     /// state mid-run use this, then `run_chunk`/`finish`).
     pub fn build(&self) -> BuiltScenario {
-        let mut sim = Simulator::new();
-        let hub = new_hub();
-        hub.borrow_mut()
-            .set_epoch(SimTime::ZERO + self.warmup);
-        let link_id = sim.reserve_node();
-        let mut sender_ids = Vec::new();
-
-        // split the propagation RTT: ¼ sender→link, ¼ link→sink, ½ back
-        let q1 = self.rtt / 4;
-        let back_d = self.rtt / 2;
-
-        for i in 0..self.n_flows {
-            let flow = FlowId(i + 1);
-            let sender_id = sim.reserve_node();
-            let sink_id = sim.reserve_node();
-            let fwd = Route::new(vec![(link_id, q1), (sink_id, q1)]);
-            let back = Route::new(vec![(sender_id, back_d)]);
-            sim.install_node(
-                sink_id,
-                Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
-            );
-            let mut sender = Sender::new(flow, self.scheme.make_cc(), fwd, self.app)
-                .with_start_at(SimTime::ZERO + self.stagger * i as u64);
-            if self.stagger_departures && !self.stagger.is_zero() {
-                let lead = (self.n_flows - 1 - i) as u64;
-                let stop = (SimTime::ZERO + self.duration)
-                    .saturating_sub(self.stagger * lead);
-                sender = sender.with_stop_at(stop);
-            }
-            sim.install_node(sender_id, Box::new(sender));
-            sender_ids.push(sender_id);
-        }
-
-        let mut lq = LinkQueue::new(
-            self.scheme.make_qdisc(self.buffer_pkts),
-            self.link.build(),
-        )
-        .with_metrics("bottleneck", hub.clone());
-        if let Some(look) = self.oracle_lookahead {
-            lq = lq.with_oracle_lookahead(look);
-        }
-        sim.install_node(link_id, Box::new(lq));
-
-        BuiltScenario {
-            sim,
-            hub,
-            link_id,
-            sender_ids,
-            scheme: self.scheme,
-            link: self.link.clone(),
-            duration: self.duration,
-            warmup: self.warmup,
-        }
+        ScenarioEngine::new().build(&self.spec())
     }
 
     /// Build, run to completion, and report.
     pub fn run(&self) -> Report {
-        let mut b = self.build();
-        b.run_to_end();
-        b.finish()
-    }
-}
-
-/// A constructed scenario, exposing the simulator for mid-run sampling.
-pub struct BuiltScenario {
-    pub sim: Simulator,
-    pub hub: Metrics,
-    pub link_id: NodeId,
-    pub sender_ids: Vec<NodeId>,
-    scheme: Scheme,
-    link: LinkSpec,
-    duration: SimDuration,
-    warmup: SimDuration,
-}
-
-impl BuiltScenario {
-    pub fn run_to_end(&mut self) {
-        self.sim.run_until(SimTime::ZERO + self.duration);
-    }
-
-    /// Advance simulated time by `d` (for sampling loops).
-    pub fn run_chunk(&mut self, d: SimDuration) {
-        self.sim.run_for(d);
-    }
-
-    pub fn end_time(&self) -> SimTime {
-        SimTime::ZERO + self.duration
-    }
-
-    /// Downcast a sender for window inspection.
-    pub fn sender(&self, idx: usize) -> &Sender {
-        self.sim
-            .node(self.sender_ids[idx])
-            .and_then(|n| n.as_any().downcast_ref())
-            .expect("sender node")
-    }
-
-    pub fn finish(self) -> Report {
-        // account link opportunities over the measured window
-        let end = SimTime::ZERO + self.duration;
-        {
-            let lq: &LinkQueue = self
-                .sim
-                .node(self.link_id)
-                .and_then(|n| n.as_any().downcast_ref())
-                .expect("link node");
-            lq.finalize_opportunity(end);
-        }
-        let hub = self.hub.borrow();
-        let window = self.duration.saturating_sub(self.warmup);
-        static EMPTY: std::sync::OnceLock<netsim::metrics::LinkRecord> = std::sync::OnceLock::new();
-        let link = hub
-            .links
-            .get("bottleneck")
-            .unwrap_or_else(|| EMPTY.get_or_init(Default::default));
-        let qdelay_series: Vec<(f64, f64)> = link
-            .qdelay_series
-            .iter()
-            .map(|(t, d)| (t.as_secs_f64(), d.as_millis_f64()))
-            .collect();
-        let flow_tputs: Vec<f64> = hub
-            .flows
-            .values()
-            .map(|f| f.throughput_over(window) / 1e6)
-            .collect();
-        Report {
-            scheme: self.scheme.name(),
-            utilization: link.utilization(),
-            delay_ms: hub.delay_summary_ms(),
-            qdelay_ms: link.qdelay_summary_ms(),
-            total_tput_mbps: flow_tputs.iter().sum(),
-            jain: hub.jain(window),
-            drops: link.dropped_pkts,
-            flow_tputs_mbps: flow_tputs,
-            tput_series: hub.total_throughput_series_mbps(),
-            qdelay_series: downsample(&qdelay_series, 600),
-            capacity_series: self
-                .link
-                .capacity_series(self.duration, SimDuration::from_millis(100)),
-        }
+        ScenarioEngine::new().run(&self.spec())
     }
 }
 
@@ -253,16 +154,14 @@ mod tests {
 
     #[test]
     fn abc_on_constant_link_reaches_eta() {
-        let r = CellScenario::new(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
-            .run();
+        let r = CellScenario::new(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0))).run();
         assert!(r.utilization > 0.9, "{}", r.row());
         assert!(r.qdelay_ms.p95 < 60.0, "{}", r.row());
     }
 
     #[test]
     fn cubic_fills_droptail_buffer() {
-        let r = CellScenario::new(Scheme::Cubic, LinkSpec::Constant(Rate::from_mbps(12.0)))
-            .run();
+        let r = CellScenario::new(Scheme::Cubic, LinkSpec::Constant(Rate::from_mbps(12.0))).run();
         assert!(r.utilization > 0.9, "{}", r.row());
         // 250-pkt buffer at 12 Mbit/s = 250 ms of queuing when full
         assert!(
@@ -274,11 +173,13 @@ mod tests {
 
     #[test]
     fn cubic_codel_cuts_delay() {
-        let cubic = CellScenario::new(Scheme::Cubic, LinkSpec::Constant(Rate::from_mbps(12.0)))
-            .run();
-        let codel =
-            CellScenario::new(Scheme::CubicCodel, LinkSpec::Constant(Rate::from_mbps(12.0)))
-                .run();
+        let cubic =
+            CellScenario::new(Scheme::Cubic, LinkSpec::Constant(Rate::from_mbps(12.0))).run();
+        let codel = CellScenario::new(
+            Scheme::CubicCodel,
+            LinkSpec::Constant(Rate::from_mbps(12.0)),
+        )
+        .run();
         assert!(
             codel.qdelay_ms.p95 < cubic.qdelay_ms.p95 / 2.0,
             "codel {} vs cubic {}",
@@ -302,5 +203,27 @@ mod tests {
         b.run_chunk(SimDuration::from_secs(5));
         let s = b.sender(0);
         assert!(s.cwnd_pkts() > 1.0);
+    }
+
+    #[test]
+    fn nominal_rate_covers_every_link_kind() {
+        assert_eq!(
+            LinkSpec::Constant(Rate::from_mbps(12.0)).nominal_rate(),
+            Rate::from_mbps(12.0)
+        );
+        let sq = LinkSpec::Square {
+            a: Rate::from_mbps(10.0),
+            b: Rate::from_mbps(20.0),
+            half_period: SimDuration::from_millis(500),
+        };
+        assert!((sq.nominal_rate().mbps() - 15.0).abs() < 1e-9);
+        let steps = LinkSpec::Steps(vec![
+            (SimTime::ZERO, Rate::from_mbps(6.0)),
+            (
+                SimTime::ZERO + SimDuration::from_secs(1),
+                Rate::from_mbps(18.0),
+            ),
+        ]);
+        assert!((steps.nominal_rate().mbps() - 12.0).abs() < 1e-9);
     }
 }

@@ -55,8 +55,13 @@ pub const CELLULAR_LINEUP: [Scheme; 12] = [
 ];
 
 /// The explicit-scheme lineup of Fig. 16.
-pub const EXPLICIT_LINEUP: [Scheme; 5] =
-    [Scheme::Abc, Scheme::Xcp, Scheme::Xcpw, Scheme::Vcp, Scheme::Rcp];
+pub const EXPLICIT_LINEUP: [Scheme; 5] = [
+    Scheme::Abc,
+    Scheme::Xcp,
+    Scheme::Xcpw,
+    Scheme::Vcp,
+    Scheme::Rcp,
+];
 
 /// The Wi-Fi lineup of Fig. 10 (Sprout/Verus excluded: cellular-specific).
 pub const WIFI_LINEUP: [Scheme; 9] = [

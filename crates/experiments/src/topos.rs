@@ -1,22 +1,24 @@
-//! Beyond-single-bottleneck topologies: the two-hop cellular path
-//! (Fig. 8c), the wireless+wired mixed-bottleneck path (Figs. 6, 11), the
-//! dual-queue coexistence router (Figs. 7, 12), and Wi-Fi (Figs. 4-5, 10, 14).
+//! Beyond-single-bottleneck presets: the two-hop cellular path (Fig. 8c),
+//! the wireless+wired mixed-bottleneck path (Figs. 6, 11), and the
+//! dual-queue coexistence router (Figs. 7, 12).
+//!
+//! Like [`CellScenario`](crate::scenario::CellScenario), these are
+//! builders over [`crate::engine`]: each preset denotes a
+//! [`ScenarioSpec`], and every simulator is constructed by the
+//! [`ScenarioEngine`].
 
+use crate::engine::{
+    FlowSchedule, FlowSpec, PoissonShortFlows, QdiscSpec, ScenarioEngine, ScenarioSpec,
+};
 use crate::report::{downsample, Report};
 use crate::scenario::LinkSpec;
 use crate::scheme::Scheme;
-use abc_core::coexist::{DualQueue, DualQueueConfig, WeightPolicy};
-use baselines::Cubic;
-use netsim::flow::{Sender, Sink, TrafficSource};
-use netsim::linkqueue::LinkQueue;
-use netsim::metrics::new_hub;
-use netsim::packet::{FlowId, Route};
-use netsim::queue::{DropTail, Qdisc};
+use abc_core::coexist::{DualQueue, WeightPolicy};
+use netsim::flow::TrafficSource;
+use netsim::packet::FlowId;
+use netsim::queue::Qdisc;
 use netsim::rate::Rate;
-use netsim::sim::Simulator;
 use netsim::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Fig. 8c: a flow traversing *two* potential bottlenecks in series (the
 /// cellular uplink then downlink); both run the scheme's qdisc. ACKs
@@ -44,91 +46,16 @@ impl TwoHopScenario {
         }
     }
 
+    pub fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec::two_hop(self.scheme, self.up.clone(), self.down.clone())
+            .rtt(self.rtt)
+            .buffer_pkts(self.buffer_pkts)
+            .duration(self.duration)
+            .warmup(self.warmup)
+    }
+
     pub fn run(&self) -> Report {
-        let mut sim = Simulator::new();
-        let hub = new_hub();
-        hub.borrow_mut().set_epoch(SimTime::ZERO + self.warmup);
-        let up_id = sim.reserve_node();
-        let down_id = sim.reserve_node();
-        let sender_id = sim.reserve_node();
-        let sink_id = sim.reserve_node();
-        let q = self.rtt / 6;
-        let back = self.rtt / 2;
-        let fwd = Route::new(vec![(up_id, q), (down_id, q), (sink_id, q)]);
-        let back_route = Route::new(vec![(sender_id, back)]);
-        sim.install_node(
-            sink_id,
-            Box::new(Sink::new(FlowId(1), back_route).with_metrics(hub.clone())),
-        );
-        sim.install_node(
-            sender_id,
-            Box::new(Sender::new(
-                FlowId(1),
-                self.scheme.make_cc(),
-                fwd,
-                TrafficSource::Backlogged,
-            )),
-        );
-        sim.install_node(
-            up_id,
-            Box::new(
-                LinkQueue::new(self.scheme.make_qdisc(self.buffer_pkts), self.up.build())
-                    .with_metrics("uplink", hub.clone()),
-            ),
-        );
-        sim.install_node(
-            down_id,
-            Box::new(
-                LinkQueue::new(self.scheme.make_qdisc(self.buffer_pkts), self.down.build())
-                    .with_metrics("downlink", hub.clone()),
-            ),
-        );
-        let end = SimTime::ZERO + self.duration;
-        sim.run_until(end);
-        for id in [up_id, down_id] {
-            let lq: &LinkQueue = sim
-                .node(id)
-                .and_then(|n| n.as_any().downcast_ref())
-                .unwrap();
-            lq.finalize_opportunity(end);
-        }
-        let hubref = hub.borrow();
-        let window = self.duration.saturating_sub(self.warmup);
-        // the tighter hop determines achievable utilization; report the
-        // downlink (final hop) delivery against the min-capacity hop
-        static EMPTY: std::sync::OnceLock<netsim::metrics::LinkRecord> = std::sync::OnceLock::new();
-        let empty = || EMPTY.get_or_init(Default::default);
-        let up_l = hubref.links.get("uplink").unwrap_or_else(empty);
-        let down_l = hubref.links.get("downlink").unwrap_or_else(empty);
-        let min_opportunity = up_l.opportunity_bits.min(down_l.opportunity_bits);
-        let util = if min_opportunity > 0.0 {
-            (down_l.delivered_bytes as f64 * 8.0 / min_opportunity).min(1.0)
-        } else {
-            0.0
-        };
-        let qdelay_series: Vec<(f64, f64)> = down_l
-            .qdelay_series
-            .iter()
-            .map(|(t, d)| (t.as_secs_f64(), d.as_millis_f64()))
-            .collect();
-        let flow_tputs: Vec<f64> = hubref
-            .flows
-            .values()
-            .map(|f| f.throughput_over(window) / 1e6)
-            .collect();
-        Report {
-            scheme: self.scheme.name(),
-            utilization: util,
-            delay_ms: hubref.delay_summary_ms(),
-            qdelay_ms: down_l.qdelay_summary_ms(),
-            total_tput_mbps: flow_tputs.iter().sum(),
-            jain: hubref.jain(window),
-            drops: up_l.dropped_pkts + down_l.dropped_pkts,
-            flow_tputs_mbps: flow_tputs,
-            tput_series: hubref.total_throughput_series_mbps(),
-            qdelay_series: downsample(&qdelay_series, 600),
-            capacity_series: Vec::new(),
-        }
+        ScenarioEngine::new().run(&self.spec())
     }
 }
 
@@ -137,7 +64,10 @@ impl TwoHopScenario {
 pub enum CrossTraffic {
     None,
     /// A Cubic flow that is backlogged during `on`, silent during `off`.
-    OnOffCubic { on: SimDuration, off: SimDuration },
+    OnOffCubic {
+        on: SimDuration,
+        off: SimDuration,
+    },
 }
 
 /// Figs. 6 and 11: an ABC flow whose path is ABC-wireless followed by a
@@ -171,86 +101,43 @@ pub struct MixedPathResult {
 }
 
 impl MixedPathScenario {
-    pub fn run(&self) -> MixedPathResult {
-        let mut sim = Simulator::new();
-        let hub = new_hub();
-        let wireless_id = sim.reserve_node();
-        let wired_id = sim.reserve_node();
-        let sender_id = sim.reserve_node();
-        let sink_id = sim.reserve_node();
-        let q = self.rtt / 6;
-        let fwd = Route::new(vec![(wireless_id, q), (wired_id, q), (sink_id, q)]);
-        let back = Route::new(vec![(sender_id, self.rtt / 2)]);
-        sim.install_node(
-            sink_id,
-            Box::new(Sink::new(FlowId(1), back).with_metrics(hub.clone())),
-        );
-        sim.install_node(
-            sender_id,
-            Box::new(Sender::new(
-                FlowId(1),
-                Scheme::Abc.make_cc(),
-                fwd,
-                TrafficSource::Backlogged,
-            )),
-        );
-        sim.install_node(
-            wireless_id,
-            Box::new(
-                LinkQueue::new(Scheme::Abc.make_qdisc(self.buffer_pkts), self.wireless.build())
-                    .with_metrics("wireless", hub.clone()),
-            ),
-        );
-        sim.install_node(
-            wired_id,
-            Box::new(
-                LinkQueue::new(
-                    Box::new(DropTail::new(self.buffer_pkts)),
-                    LinkSpec::Constant(self.wired_rate).build(),
-                )
-                .with_metrics("wired", hub.clone()),
-            ),
-        );
-
-        // cross traffic enters only the wired hop
+    pub fn spec(&self) -> ScenarioSpec {
+        let mut flows = vec![FlowSpec::new("abc")];
         if let CrossTraffic::OnOffCubic { on, off } = self.cross {
-            let xs_id = sim.reserve_node();
-            let xsink_id = sim.reserve_node();
-            let xfwd = Route::new(vec![(wired_id, q), (xsink_id, q)]);
-            let xback = Route::new(vec![(xs_id, self.rtt / 2)]);
-            sim.install_node(
-                xsink_id,
-                Box::new(Sink::new(FlowId(2), xback).with_metrics(hub.clone())),
-            );
-            sim.install_node(
-                xs_id,
-                Box::new(Sender::new(
-                    FlowId(2),
-                    Box::new(Cubic::new()),
-                    xfwd,
-                    TrafficSource::OnOff { on, off },
-                )),
+            flows.push(
+                FlowSpec::new("cross")
+                    .scheme(Scheme::Cubic)
+                    .app(TrafficSource::OnOff { on, off })
+                    .entry_hop(1),
             );
         }
+        let mut spec = ScenarioSpec::mixed_path(self.wireless.clone(), self.wired_rate)
+            .rtt(self.rtt)
+            .buffer_pkts(self.buffer_pkts)
+            .duration(self.duration);
+        spec.flows = FlowSchedule::Explicit(flows);
+        spec
+    }
+
+    pub fn run(&self) -> MixedPathResult {
+        let mut b = ScenarioEngine::new().build(&self.spec());
 
         // run in chunks, sampling the ABC sender's windows
         let mut windows = WindowTrace::default();
         let chunk = SimDuration::from_millis(200);
         let mut t = SimTime::ZERO;
-        let end = SimTime::ZERO + self.duration;
+        let end = b.end_time();
         let mut last_bytes = 0u64;
         while t < end {
-            sim.run_until(t + chunk);
+            b.run_chunk(chunk);
             t += chunk;
-            let s: &Sender = sim
-                .node(sender_id)
-                .and_then(|n| n.as_any().downcast_ref())
-                .unwrap();
+            let s = b.sender(0);
             let cc = s.cc();
             let (wabc, wnon) = cc
                 .as_abc_windows()
                 .unwrap_or((cc.cwnd_pkts(), cc.cwnd_pkts()));
-            let bytes = hub
+            let bytes = b
+                .hub
                 .borrow()
                 .flows
                 .get(&FlowId(1))
@@ -258,18 +145,11 @@ impl MixedPathScenario {
                 .unwrap_or(0);
             let goodput = (bytes - last_bytes) as f64 * 8.0 / chunk.as_secs_f64() / 1e6;
             last_bytes = bytes;
-            windows
-                .samples
-                .push((t.as_secs_f64(), wabc, wnon, goodput));
+            windows.samples.push((t.as_secs_f64(), wabc, wnon, goodput));
         }
 
-        for (id, _tag) in [(wireless_id, "wireless"), (wired_id, "wired")] {
-            let lq: &LinkQueue = sim
-                .node(id)
-                .and_then(|n| n.as_any().downcast_ref())
-                .unwrap();
-            lq.finalize_opportunity(end);
-        }
+        let hub = b.hub.clone();
+        let mut report = b.finish();
         let hubref = hub.borrow();
         let series = |tag: &str| -> Vec<(f64, f64)> {
             hubref.links[tag]
@@ -280,27 +160,12 @@ impl MixedPathScenario {
         };
         let wireless_qdelay = downsample(&series("wireless"), 600);
         let wired_qdelay = downsample(&series("wired"), 600);
-        let window = self.duration;
-        let flow_tputs: Vec<f64> = hubref
-            .flows
-            .values()
-            .map(|f| f.throughput_over(window) / 1e6)
-            .collect();
-        let report = Report {
-            scheme: "ABC(mixed-path)".into(),
-            utilization: hubref.links["wireless"].utilization(),
-            delay_ms: hubref.delay_summary_ms(),
-            qdelay_ms: hubref.links["wireless"].qdelay_summary_ms(),
-            total_tput_mbps: flow_tputs.iter().sum(),
-            jain: hubref.jain(window),
-            drops: hubref.links["wired"].dropped_pkts,
-            flow_tputs_mbps: flow_tputs,
-            tput_series: hubref.throughput_series_mbps(FlowId(1)),
-            qdelay_series: wireless_qdelay.clone(),
-            capacity_series: self
-                .wireless
-                .capacity_series(self.duration, SimDuration::from_millis(100)),
-        };
+        // The headline series tracks the ABC flow, not the cross traffic;
+        // wired-hop drops are the ones that matter (the wireless hop is
+        // ABC-controlled and effectively lossless).
+        report.scheme = "ABC(mixed-path)".into();
+        report.tput_series = hubref.throughput_series_mbps(FlowId(1));
+        report.drops = hubref.links["wired"].dropped_pkts;
         MixedPathResult {
             report,
             windows,
@@ -359,6 +224,39 @@ pub struct CoexistResult {
 }
 
 impl CoexistScenario {
+    pub fn spec(&self) -> ScenarioSpec {
+        let mut flows = Vec::new();
+        for i in 0..self.n_abc {
+            flows.push(
+                FlowSpec::new(format!("ABC {}", i + 1))
+                    .scheme(Scheme::Abc)
+                    .start_at(SimTime::ZERO + self.stagger * i as u64),
+            );
+        }
+        for i in 0..self.n_cubic {
+            flows.push(
+                FlowSpec::new(format!("Cubic {}", i + 1))
+                    .scheme(Scheme::Cubic)
+                    .start_at(SimTime::ZERO + self.stagger * (self.n_abc + i) as u64),
+            );
+        }
+        let mut spec = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(self.link_rate))
+            .rtt(self.rtt)
+            .duration(self.duration)
+            .warmup(self.warmup)
+            .seed(self.seed)
+            .qdisc(QdiscSpec::DualQueue(self.policy));
+        spec.flows = FlowSchedule::Explicit(flows);
+        if self.short_flow_load > 0.0 {
+            spec.short_flows = Some(PoissonShortFlows {
+                load: self.short_flow_load,
+                bytes: 10_000,
+                scheme: Scheme::Cubic,
+            });
+        }
+        spec
+    }
+
     pub fn run(&self) -> CoexistResult {
         self.run_sampled(|_, _, _, _| {})
     }
@@ -366,109 +264,21 @@ impl CoexistScenario {
     /// Like [`CoexistScenario::run`], invoking `probe(t_secs, w_abc,
     /// abc_queue_pkts, other_queue_pkts)` every 100 ms of simulated time.
     pub fn run_sampled(&self, mut probe: impl FnMut(f64, f64, usize, usize)) -> CoexistResult {
-        let mut sim = Simulator::new();
-        let hub = new_hub();
-        hub.borrow_mut().set_epoch(SimTime::ZERO + self.warmup);
-        let link_id = sim.reserve_node();
-        let q = self.rtt / 4;
-        let back_d = self.rtt / 2;
-        let mut next_flow = 1u32;
-        let mut long_flows: Vec<(String, FlowId)> = Vec::new();
+        let mut b = ScenarioEngine::new().build(&self.spec());
+        let long_flows: Vec<(String, FlowId)> = b
+            .flows
+            .iter()
+            .filter(|(n, _)| !n.starts_with("short"))
+            .cloned()
+            .collect();
+        let short_count = (b.flows.len() - long_flows.len()) as u64;
 
-        let add_flow = |sim: &mut Simulator,
-                            scheme: Scheme,
-                            start: SimTime,
-                            app: TrafficSource,
-                            next_flow: &mut u32|
-         -> FlowId {
-            let flow = FlowId(*next_flow);
-            *next_flow += 1;
-            let sender_id = sim.reserve_node();
-            let sink_id = sim.reserve_node();
-            let fwd = Route::new(vec![(link_id, q), (sink_id, q)]);
-            let back = Route::new(vec![(sender_id, back_d)]);
-            sim.install_node(
-                sink_id,
-                Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
-            );
-            sim.install_node(
-                sender_id,
-                Box::new(
-                    Sender::new(flow, scheme.make_cc(), fwd, app).with_start_at(start),
-                ),
-            );
-            flow
-        };
-
-        for i in 0..self.n_abc {
-            let f = add_flow(
-                &mut sim,
-                Scheme::Abc,
-                SimTime::ZERO + self.stagger * i as u64,
-                TrafficSource::Backlogged,
-                &mut next_flow,
-            );
-            long_flows.push((format!("ABC {}", i + 1), f));
-        }
-        for i in 0..self.n_cubic {
-            let f = add_flow(
-                &mut sim,
-                Scheme::Cubic,
-                SimTime::ZERO + self.stagger * (self.n_abc + i) as u64,
-                TrafficSource::Backlogged,
-                &mut next_flow,
-            );
-            long_flows.push((format!("Cubic {}", i + 1), f));
-        }
-
-        // Poisson 10-KB short flows (non-ABC), at `short_flow_load`.
-        let mut short_count = 0u64;
-        if self.short_flow_load > 0.0 {
-            let mut rng = StdRng::seed_from_u64(self.seed);
-            let bytes_per_flow = 10_000.0;
-            let arrivals_per_s =
-                self.short_flow_load * self.link_rate.bps() / 8.0 / bytes_per_flow;
-            let mut t = 0.0;
-            while t < self.duration.as_secs_f64() {
-                let gap = -rng.gen_range(1e-9f64..1.0).ln() / arrivals_per_s;
-                t += gap;
-                if t >= self.duration.as_secs_f64() {
-                    break;
-                }
-                add_flow(
-                    &mut sim,
-                    Scheme::Cubic,
-                    SimTime::from_secs_f64(t),
-                    TrafficSource::Finite {
-                        bytes: bytes_per_flow as u64,
-                    },
-                    &mut next_flow,
-                );
-                short_count += 1;
-            }
-        }
-
-        let qdisc = DualQueue::new(DualQueueConfig {
-            policy: self.policy,
-            ..Default::default()
-        });
-        sim.install_node(
-            link_id,
-            Box::new(
-                LinkQueue::new(Box::new(qdisc), LinkSpec::Constant(self.link_rate).build())
-                    .with_metrics("bottleneck", hub.clone()),
-            ),
-        );
-
-        let end = SimTime::ZERO + self.duration;
+        let end = b.end_time();
         let mut t = SimTime::ZERO;
         while t < end {
-            sim.run_until(t + SimDuration::from_millis(100));
+            b.run_chunk(SimDuration::from_millis(100));
             t += SimDuration::from_millis(100);
-            let lq: &LinkQueue = sim
-                .node(link_id)
-                .and_then(|n| n.as_any().downcast_ref())
-                .unwrap();
+            let lq = b.link_queue("bottleneck");
             if let Some(dq) = lq.qdisc().as_any_qdisc().downcast_ref::<DualQueue>() {
                 probe(
                     t.as_secs_f64(),
@@ -479,7 +289,7 @@ impl CoexistScenario {
             }
         }
 
-        let hubref = hub.borrow();
+        let hubref = b.hub.borrow();
         let window = self.duration - self.warmup;
         let tput = |f: FlowId| {
             hubref
@@ -504,6 +314,7 @@ impl CoexistScenario {
             .collect();
         // ABC-class queuing delay: per-packet delays of ABC flows minus
         // propagation (the sink-side observable)
+        let q = self.rtt / 4;
         let prop = (q + q).as_millis_f64();
         let mut abc_delays: Vec<f64> = long_flows
             .iter()
@@ -547,8 +358,14 @@ mod tests {
         let r = MixedPathScenario {
             wireless: LinkSpec::Steps(vec![
                 (SimTime::ZERO, Rate::from_mbps(16.0)),
-                (SimTime::ZERO + SimDuration::from_secs(20), Rate::from_mbps(6.0)),
-                (SimTime::ZERO + SimDuration::from_secs(40), Rate::from_mbps(16.0)),
+                (
+                    SimTime::ZERO + SimDuration::from_secs(20),
+                    Rate::from_mbps(6.0),
+                ),
+                (
+                    SimTime::ZERO + SimDuration::from_secs(40),
+                    Rate::from_mbps(16.0),
+                ),
             ]),
             wired_rate: Rate::from_mbps(12.0),
             rtt: SimDuration::from_millis(100),

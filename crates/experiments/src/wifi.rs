@@ -1,16 +1,19 @@
 //! Wi-Fi experiments (§6.3 Fig. 10, Appendix B Fig. 14, and the
 //! estimator-accuracy studies of Figs. 4-5): flows through the 802.11n
 //! A-MPDU access-point model with a time-varying MCS index.
+//!
+//! Presets over [`crate::engine`]: the AP topology is
+//! [`Topology::Wifi`](crate::engine::Topology), and harnesses that reach
+//! into the AP (batch logs, the link-rate estimator) use
+//! [`ScenarioEngine::build`] plus [`BuiltScenario::wifi_ap_mut`].
 
-use crate::report::{downsample, Report};
+use crate::engine::{BuiltScenario, ScenarioEngine, ScenarioSpec, Topology};
+use crate::report::Report;
 use crate::scheme::Scheme;
-use netsim::flow::{Sender, Sink, TrafficSource};
-use netsim::metrics::new_hub;
-use netsim::packet::{FlowId, Route};
-use netsim::sim::Simulator;
+use netsim::flow::TrafficSource;
 use netsim::stats::summarize;
 use netsim::time::{SimDuration, SimTime};
-use wifi_mac::{AlternatingMcs, BrownianMcs, FixedMcs, McsProcess, WifiAp, WifiApConfig};
+use wifi_mac::{AlternatingMcs, BrownianMcs, FixedMcs, McsProcess};
 
 /// MCS-variation pattern of the experiment.
 #[derive(Debug, Clone, Copy)]
@@ -55,68 +58,16 @@ impl WifiScenario {
         }
     }
 
-    pub fn run(&self) -> Report {
-        let mut sim = Simulator::new();
-        let hub = new_hub();
-        hub.borrow_mut().set_epoch(SimTime::ZERO + self.warmup);
-        let ap_id = sim.reserve_node();
-        let q = self.rtt / 4;
-        for i in 0..self.users {
-            let flow = FlowId(i + 1);
-            let sender_id = sim.reserve_node();
-            let sink_id = sim.reserve_node();
-            let fwd = Route::new(vec![(ap_id, q), (sink_id, q)]);
-            let back = Route::new(vec![(sender_id, self.rtt / 2)]);
-            sim.install_node(
-                sink_id,
-                Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
-            );
-            sim.install_node(
-                sender_id,
-                Box::new(Sender::new(flow, self.scheme.make_cc(), fwd, self.app)),
-            );
-        }
-        // Commodity Wi-Fi routers ship bufferbloat-sized queues (the paper
-        // observes multi-second tail delays on its NETGEAR testbed).
-        let ap = WifiAp::new(
-            WifiApConfig::default(),
-            self.scheme.make_qdisc(2000),
-            self.mcs.build(),
-        )
-        .with_metrics("wifi", hub.clone());
-        sim.install_node(ap_id, Box::new(ap));
-        sim.run_until(SimTime::ZERO + self.duration);
+    pub fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec::wifi(self.scheme, self.users, self.mcs)
+            .app(self.app)
+            .rtt(self.rtt)
+            .duration(self.duration)
+            .warmup(self.warmup)
+    }
 
-        let hubref = hub.borrow();
-        let window = self.duration.saturating_sub(self.warmup);
-        static EMPTY: std::sync::OnceLock<netsim::metrics::LinkRecord> = std::sync::OnceLock::new();
-        let link = hubref
-            .links
-            .get("wifi")
-            .unwrap_or_else(|| EMPTY.get_or_init(Default::default));
-        let qdelay_series: Vec<(f64, f64)> = link
-            .qdelay_series
-            .iter()
-            .map(|(t, d)| (t.as_secs_f64(), d.as_millis_f64()))
-            .collect();
-        let flow_tputs: Vec<f64> = hubref
-            .flows
-            .values()
-            .map(|f| f.throughput_over(window) / 1e6)
-            .collect();
-        Report {
-            scheme: self.scheme.name(),
-            utilization: f64::NAN, // no opportunity accounting on Wi-Fi
-            delay_ms: hubref.delay_summary_ms(),
-            qdelay_ms: link.qdelay_summary_ms(),
-            total_tput_mbps: flow_tputs.iter().sum(),
-            jain: hubref.jain(window),
-            drops: link.dropped_pkts,
-            flow_tputs_mbps: flow_tputs,
-            tput_series: hubref.total_throughput_series_mbps(),
-            qdelay_series: downsample(&qdelay_series, 600),
-            capacity_series: Vec::new(),
-        }
+    pub fn run(&self) -> Report {
+        ScenarioEngine::new().run(&self.spec())
     }
 }
 
@@ -124,75 +75,37 @@ impl WifiScenario {
 /// offered load over a fixed-MCS link. Returns (offered Mbit/s, predicted
 /// Mbit/s, true capacity Mbit/s).
 pub fn estimator_accuracy(mcs: u8, offered_mbps: f64, duration: SimDuration) -> (f64, f64, f64) {
-    let mut sc = WifiScenario::new(Scheme::Cubic, 1, McsSpec::Fixed(mcs));
-    sc.duration = duration;
-    sc.app = TrafficSource::RateLimited {
-        rate: netsim::rate::Rate::from_mbps(offered_mbps),
-        burst_bytes: 6000.0,
-    };
-    // run manually so we can reach into the AP afterwards
-    let mut sim = Simulator::new();
-    let hub = new_hub();
-    let ap_id = sim.reserve_node();
-    let sender_id = sim.reserve_node();
-    let sink_id = sim.reserve_node();
-    let q = sc.rtt / 4;
-    let fwd = Route::new(vec![(ap_id, q), (sink_id, q)]);
-    let back = Route::new(vec![(sender_id, sc.rtt / 2)]);
-    sim.install_node(
-        sink_id,
-        Box::new(Sink::new(FlowId(1), back).with_metrics(hub.clone())),
-    );
-    sim.install_node(
-        sender_id,
-        Box::new(Sender::new(FlowId(1), sc.scheme.make_cc(), fwd, sc.app)),
-    );
-    sim.install_node(
-        ap_id,
-        Box::new(WifiAp::new(
-            WifiApConfig::default(),
-            sc.scheme.make_qdisc(250),
-            sc.mcs.build(),
-        )),
-    );
+    let mut spec = ScenarioSpec::wifi(Scheme::Cubic, 1, McsSpec::Fixed(mcs))
+        .app(TrafficSource::RateLimited {
+            rate: netsim::rate::Rate::from_mbps(offered_mbps),
+            burst_bytes: 6000.0,
+        })
+        .duration(duration);
+    // Fig. 5 measures the estimator, not bufferbloat: a normal-sized AP
+    // queue keeps the offered load in charge of how full batches are.
+    if let Topology::Wifi { ap_buffer_pkts, .. } = &mut spec.topology {
+        *ap_buffer_pkts = 250;
+    }
+    let mut b: BuiltScenario = ScenarioEngine::new().build(&spec);
+
     // sample the estimate periodically over the second half of the run
     let mut estimates = Vec::new();
     let mut t = SimTime::ZERO;
-    let end = SimTime::ZERO + duration;
+    let end = b.end_time();
     while t < end {
-        sim.run_until(t + SimDuration::from_millis(500));
+        b.run_chunk(SimDuration::from_millis(500));
         t += SimDuration::from_millis(500);
-        if t.as_secs_f64() > duration.as_secs_f64() / 2.0 {
-            let ap: &mut WifiAp = sim
-                .node_mut(ap_id)
-                .and_then(|n| n.as_any_mut().downcast_mut())
-                .unwrap();
-            let e = ap.estimator().batch_log().len(); // ensure activity
-            if e > 0 {
-                let est = {
-                    // estimate() needs &mut (window expiry)
-                    let est_rate = {
-                        let ap2: &mut WifiAp = sim
-                            .node_mut(ap_id)
-                            .and_then(|n| n.as_any_mut().downcast_mut())
-                            .unwrap();
-                        ap2.estimator_mut().estimate(t)
-                    };
-                    est_rate
-                };
-                if !est.is_zero() {
-                    estimates.push(est.mbps());
-                }
+        if t.as_secs_f64() > duration.as_secs_f64() / 2.0
+            && !b.wifi_ap("wifi").estimator().batch_log().is_empty()
+        {
+            // estimate() needs &mut (window expiry)
+            let est = b.wifi_ap_mut("wifi").estimator_mut().estimate(t);
+            if !est.is_zero() {
+                estimates.push(est.mbps());
             }
         }
     }
-    let truth = {
-        let ap: &mut WifiAp = sim
-            .node_mut(ap_id)
-            .and_then(|n| n.as_any_mut().downcast_mut())
-            .unwrap();
-        ap.true_capacity_at(end).mbps()
-    };
+    let truth = b.wifi_ap_mut("wifi").true_capacity_at(end).mbps();
     let predicted = summarize(&estimates).mean;
     (offered_mbps, predicted, truth)
 }
@@ -231,9 +144,11 @@ mod tests {
     #[test]
     fn estimator_accuracy_within_5_percent_when_loaded() {
         // at high offered load the estimator must nail the capacity
-        let (_, predicted, truth) =
-            estimator_accuracy(1, 20.0, SimDuration::from_secs(20));
+        let (_, predicted, truth) = estimator_accuracy(1, 20.0, SimDuration::from_secs(20));
         let err = (predicted - truth).abs() / truth;
-        assert!(err < 0.05, "pred {predicted:.2} vs true {truth:.2} ({err:.3})");
+        assert!(
+            err < 0.05,
+            "pred {predicted:.2} vs true {truth:.2} ({err:.3})"
+        );
     }
 }

@@ -242,10 +242,8 @@ mod tests {
         q.on_capacity(Rate::from_mbps(24.0), at(0));
         let r0 = q.advertised_rate();
         // trickle traffic, lots of spare capacity
-        let mut seq = 0;
         for t in (0..2000u64).step_by(10) {
-            q.enqueue(rcp_pkt(seq), at(t));
-            seq += 1;
+            q.enqueue(rcp_pkt(t / 10), at(t));
             q.dequeue(at(t));
         }
         assert!(

@@ -318,7 +318,7 @@ mod tests {
         // Low → MI once per RTT
         s.on_ack(&ev(100, VcpLoad::Low));
         assert!((s.cwnd_pkts() - 17.0).abs() < 1e-9); // 16·1.0625
-        // within the same round nothing more happens
+                                                      // within the same round nothing more happens
         s.on_ack(&ev(150, VcpLoad::Low));
         assert!((s.cwnd_pkts() - 17.0).abs() < 1e-9);
         // next round: High → AI

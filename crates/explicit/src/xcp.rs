@@ -56,9 +56,9 @@ impl XcpConfig {
 #[derive(Debug, Default, Clone, Copy)]
 struct IntervalSums {
     input_bytes: f64,
-    sum_s: f64,                // Σ s_i
-    sum_rtt_s_over_cwnd: f64,  // Σ rtt_i·s_i / cwnd_i
-    sum_rtt_weighted: f64,     // Σ rtt_i·s_i (for mean RTT)
+    sum_s: f64,               // Σ s_i
+    sum_rtt_s_over_cwnd: f64, // Σ rtt_i·s_i / cwnd_i
+    sum_rtt_weighted: f64,    // Σ rtt_i·s_i (for mean RTT)
     min_queue_bytes: f64,
 }
 
@@ -142,11 +142,7 @@ impl XcpQdisc {
     /// XCPw: ξ factors recomputed from the last-`d` sliding window.
     fn sliding_xi(&mut self, now: SimTime) -> (f64, f64) {
         let cutoff = now.saturating_sub(self.d);
-        while self
-            .window_pkts
-            .front()
-            .is_some_and(|&(t, ..)| t < cutoff)
-        {
+        while self.window_pkts.front().is_some_and(|&(t, ..)| t < cutoff) {
             self.window_pkts.pop_front();
         }
         let d = self.d.as_secs_f64();
@@ -204,7 +200,8 @@ impl Qdisc for XcpQdisc {
             self.cur.sum_rtt_weighted += rtt * s;
 
             let (xp, xn) = if self.cfg.per_packet {
-                self.window_pkts.push_back((now, s, rtt * s / cwnd, rtt * s));
+                self.window_pkts
+                    .push_back((now, s, rtt * s / cwnd, rtt * s));
                 self.sliding_xi(now)
             } else {
                 let start = *self.interval_start.get_or_insert(now);

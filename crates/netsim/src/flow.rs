@@ -723,8 +723,7 @@ impl Node for Sink {
             }
         }
         if let Some(m) = &self.metrics {
-            m.borrow_mut()
-                .on_delivery(pkt.flow, now, delay, pkt.size);
+            m.borrow_mut().on_delivery(pkt.flow, now, delay, pkt.size);
         }
         let ack = Packet {
             flow: pkt.flow,
@@ -858,17 +857,13 @@ mod tests {
     #[test]
     fn window_limits_inflight_and_acks_clock_sends() {
         // 12 Mbit/s, RTT 100ms → BDP = 100 pkts; window of 10 → ~10% util
-        let (mut sim, sender_id, hub) =
-            loop_topology(12.0, 250, 10.0, TrafficSource::Backlogged);
+        let (mut sim, sender_id, hub) = loop_topology(12.0, 250, 10.0, TrafficSource::Backlogged);
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
         let s = sender_of(&sim, sender_id);
         assert!(s.inflight() <= 10);
         assert_eq!(s.stats().losses_detected, 0);
         // expected throughput ≈ 10 pkt / 100ms ≈ 1.2 Mbit/s
-        let tput = hub
-            .borrow()
-            .flows[&FlowId(1)]
-            .throughput_over(SimDuration::from_secs(10));
+        let tput = hub.borrow().flows[&FlowId(1)].throughput_over(SimDuration::from_secs(10));
         assert!(
             (tput / 1e6 - 1.2).abs() < 0.15,
             "throughput {} Mbit/s",
@@ -891,8 +886,7 @@ mod tests {
     #[test]
     fn overload_fills_buffer_and_detects_loss() {
         // window 400 over a 100-pkt BDP w/ 50-pkt buffer → sustained loss
-        let (mut sim, sender_id, hub) =
-            loop_topology(12.0, 50, 400.0, TrafficSource::Backlogged);
+        let (mut sim, sender_id, hub) = loop_topology(12.0, 50, 400.0, TrafficSource::Backlogged);
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
         let s = sender_of(&sim, sender_id);
         assert!(s.stats().losses_detected > 0, "no losses detected");
@@ -905,12 +899,8 @@ mod tests {
 
     #[test]
     fn finite_flow_stops() {
-        let (mut sim, sender_id, _) = loop_topology(
-            12.0,
-            250,
-            10.0,
-            TrafficSource::Finite { bytes: 15_000 },
-        );
+        let (mut sim, sender_id, _) =
+            loop_topology(12.0, 250, 10.0, TrafficSource::Finite { bytes: 15_000 });
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
         let s = sender_of(&sim, sender_id);
         assert_eq!(s.stats().sent_pkts, 10); // 15000/1500
@@ -937,10 +927,7 @@ mod tests {
             "sent {}",
             s.stats().sent_pkts
         );
-        let tput = hub
-            .borrow()
-            .flows[&FlowId(1)]
-            .throughput_over(SimDuration::from_secs(10));
+        let tput = hub.borrow().flows[&FlowId(1)].throughput_over(SimDuration::from_secs(10));
         assert!((tput / 1e6 - 1.2).abs() < 0.1, "tput {tput}");
     }
 

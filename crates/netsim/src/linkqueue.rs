@@ -143,12 +143,7 @@ impl Node for LinkQueue {
                             for _ in 0..dropped {
                                 m.on_link_drop(self.tag, now);
                             }
-                            m.on_link_dequeue(
-                                self.tag,
-                                now,
-                                now.since(pkt.enqueued_at),
-                                pkt.size,
-                            );
+                            m.on_link_dequeue(self.tag, now, now.since(pkt.enqueued_at), pkt.size);
                         }
                         if pkt.next_hop().is_some() {
                             ctx.forward(pkt);

@@ -35,7 +35,9 @@ impl FlowRecord {
     /// Average goodput over the flow's active period.
     pub fn throughput_bps(&self) -> f64 {
         match (self.first_delivery, self.last_delivery) {
-            (Some(a), Some(b)) if b > a => self.delivered_bytes as f64 * 8.0 / (b - a).as_secs_f64(),
+            (Some(a), Some(b)) if b > a => {
+                self.delivered_bytes as f64 * 8.0 / (b - a).as_secs_f64()
+            }
             _ => 0.0,
         }
     }
@@ -201,10 +203,7 @@ impl MetricsHub {
 
     /// Total goodput across flows over `window`, bit/s.
     pub fn total_throughput_bps(&self, window: SimDuration) -> f64 {
-        self.flows
-            .values()
-            .map(|f| f.throughput_over(window))
-            .sum()
+        self.flows.values().map(|f| f.throughput_over(window)).sum()
     }
 
     /// Throughput time series for `flow`: (bin start seconds, Mbit/s).

@@ -159,9 +159,7 @@ impl Simulator {
     /// Access a node for post-run inspection (e.g. reading counters).
     /// Returns `None` for reserved-but-empty slots.
     pub fn node(&self, id: NodeId) -> Option<&dyn Node> {
-        self.nodes
-            .get(id.0 as usize)
-            .and_then(|n| n.as_deref())
+        self.nodes.get(id.0 as usize).and_then(|n| n.as_deref())
     }
 
     /// Mutable access, for test scaffolding.

@@ -275,7 +275,10 @@ mod tests {
     fn mul_f64_rounds() {
         let d = SimDuration::from_nanos(3);
         assert_eq!(d.mul_f64(0.5).as_nanos(), 2); // rounds half up
-        assert_eq!(SimDuration::from_secs(1).mul_f64(2.0 / 3.0).as_nanos(), 666_666_667);
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(2.0 / 3.0).as_nanos(),
+            666_666_667
+        );
     }
 
     #[test]
@@ -289,7 +292,10 @@ mod tests {
     #[test]
     fn saturating_ops_do_not_wrap() {
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
-        assert_eq!(SimTime::ZERO.saturating_sub(SimDuration::from_secs(1)), SimTime::ZERO);
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(SimDuration::from_secs(1)),
+            SimTime::ZERO
+        );
     }
 
     #[test]

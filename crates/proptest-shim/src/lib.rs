@@ -1,0 +1,256 @@
+//! # abc-proptest — an offline, deterministic stand-in for `proptest`
+//!
+//! The workspace builds with zero external dependencies, so the property
+//! tests' `proptest!` surface is reimplemented here: range and tuple
+//! strategies, [`collection::vec`], `prop_assert!`/`prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`. The lib target is named `proptest`, so
+//! test files keep `use proptest::prelude::*;` unchanged.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case prints its number and the panic from
+//!   the assertion; the run is seeded per test name, so re-running
+//!   reproduces it exactly.
+//! * **Deterministic seeds.** Cases are driven by the workspace's seeded
+//!   [`rand`] shim, keyed on the test's name (FNV-1a), so CI failures are
+//!   always reproducible locally.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng, Standard};
+use std::ops::{Range, RangeInclusive};
+
+/// How a `proptest!` block runs its cases.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test inputs. Unlike the real crate's `Strategy` this is
+/// sampling-only (no value tree, no shrinking).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[inline]
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `any::<T>()` for the handful of `Standard` types the shim's rand knows.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+    #[inline]
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample(rng)
+    }
+}
+
+/// A fixed value used as a strategy (`Just` in the real crate).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[inline]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a over the test path: a stable per-test seed with no global state.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `cases` samples of a property body. Used by the `proptest!` macro;
+/// callers never invoke it directly.
+pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut StdRng, u32)) {
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    for case in 0..cases {
+        // Re-derive per-case so a panic message's case number is enough to
+        // reproduce that single case in isolation.
+        let mut case_rng = StdRng::seed_from_u64(rng.next_u64() ^ case as u64);
+        body(&mut case_rng, case);
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(concat!(module_path!(), "::", stringify!($name)), cfg.cases, |rng, case| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                #[allow(unused_mut)]
+                let mut run = move || -> Result<(), String> { $body Ok(()) };
+                if let Err(msg) = run() {
+                    panic!("proptest case {case} failed: {msg}");
+                }
+            });
+        }
+    )*};
+}
+
+/// `prop_assert!`: like `assert!` but returns an error so the harness can
+/// attach the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!("assertion failed: {:?} != {:?}", a, b));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn vec_strategy_obeys_len(v in collection::vec(0u8..10, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            for x in &v {
+                prop_assert!(*x < 10, "element {x} out of range");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn tuples_and_mut_patterns(mut v in collection::vec(0i32..100, 1..5), (a, b) in (0u8..4, 0.0f64..1.0)) {
+            v.sort();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(a < 4);
+            prop_assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_across_runs() {
+        assert_eq!(super::seed_for("x"), super::seed_for("x"));
+        assert_ne!(super::seed_for("x"), super::seed_for("y"));
+    }
+}

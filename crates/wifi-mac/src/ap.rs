@@ -197,12 +197,8 @@ impl WifiAp {
         }
         for pkt in self.in_flight.drain(..) {
             if let Some(m) = &self.metrics {
-                m.borrow_mut().on_link_dequeue(
-                    self.tag,
-                    now,
-                    now.since(pkt.enqueued_at),
-                    pkt.size,
-                );
+                m.borrow_mut()
+                    .on_link_dequeue(self.tag, now, now.since(pkt.enqueued_at), pkt.size);
             }
             if pkt.next_hop().is_some() {
                 ctx.forward(pkt);
@@ -324,7 +320,9 @@ mod tests {
     }
 
     fn ap_of(sim: &Simulator, id: NodeId) -> &WifiAp {
-        sim.node(id).and_then(|n| n.as_any().downcast_ref()).unwrap()
+        sim.node(id)
+            .and_then(|n| n.as_any().downcast_ref())
+            .unwrap()
     }
 
     #[test]

@@ -121,12 +121,7 @@ impl WifiRateEstimator {
             return Rate::ZERO;
         }
         let wsum: f64 = self.samples.iter().map(|&(_, _, w)| w).sum();
-        let mean = self
-            .samples
-            .iter()
-            .map(|&(_, v, w)| v * w)
-            .sum::<f64>()
-            / wsum;
+        let mean = self.samples.iter().map(|&(_, v, w)| v * w).sum::<f64>() / wsum;
         let cr = self.dequeue_rate.rate(now).bps();
         let capped = if cr > 0.0 {
             mean.min(self.cfg.cap_factor * cr)

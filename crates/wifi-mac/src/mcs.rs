@@ -89,7 +89,7 @@ impl McsProcess for BrownianMcs {
                     None => 1,
                 };
                 for _ in 0..steps.min(32) {
-                    let delta: i8 = [-1, 0, 1][self.rng.gen_range(0..3)];
+                    let delta: i8 = [-1, 0, 1][self.rng.gen_range(0..3usize)];
                     let next = self.current as i8 + delta;
                     self.current = next.clamp(self.min as i8, self.max as i8) as u8;
                 }
@@ -145,7 +145,9 @@ mod tests {
     fn brownian_is_deterministic_per_seed() {
         let run = |seed| {
             let mut m = BrownianMcs::new(3, 7, SimDuration::from_secs(2), seed);
-            (0..50u64).map(|s| m.mcs_at(at(s * 2000))).collect::<Vec<_>>()
+            (0..50u64)
+                .map(|s| m.mcs_at(at(s * 2000)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

@@ -2,14 +2,16 @@
 //! scheme over an emulated cellular trace, reporting the
 //! utilization/delay tradeoff (Fig. 8's axes).
 //!
+//! The whole lineup is one [`ScenarioEngine::run_batch`] call — twelve
+//! independent scenarios spread across the machine's cores.
+//!
 //! ```sh
 //! cargo run --release --example cellular_pareto             # Verizon1
 //! cargo run --release --example cellular_pareto TMobile1    # another trace
 //! ```
 
 use abc_repro::cellular;
-use abc_repro::experiments::{CellScenario, LinkSpec, CELLULAR_LINEUP};
-use abc_repro::netsim::time::SimDuration;
+use abc_repro::experiments::{LinkSpec, ScenarioEngine, ScenarioSpec, CELLULAR_LINEUP};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Verizon1".into());
@@ -33,16 +35,18 @@ fn main() {
         "{:<14} {:>6} {:>16} {:>14}",
         "Scheme", "Util", "95p delay (ms)", "tput (Mbit/s)"
     );
-    let mut rows = Vec::new();
-    for scheme in CELLULAR_LINEUP {
-        let mut sc = CellScenario::new(scheme, LinkSpec::Trace(trace.clone()));
-        sc.duration = SimDuration::from_secs(60);
-        let r = sc.run();
+    let specs: Vec<ScenarioSpec> = CELLULAR_LINEUP
+        .iter()
+        .map(|&scheme| {
+            ScenarioSpec::single(scheme, LinkSpec::Trace(trace.clone())).duration_secs(60)
+        })
+        .collect();
+    let rows = ScenarioEngine::new().run_batch(&specs);
+    for r in &rows {
         println!(
             "{:<14} {:>6.3} {:>16.1} {:>14.2}",
             r.scheme, r.utilization, r.delay_ms.p95, r.total_tput_mbps
         );
-        rows.push(r);
     }
     // point out who dominates whom
     let abc = rows.iter().find(|r| r.scheme == "ABC").unwrap();

@@ -5,6 +5,10 @@
 //! ```sh
 //! cargo run --release --example coexistence
 //! ```
+//!
+//! `CoexistScenario` is a preset over the scenario engine: its mixed
+//! ABC/Cubic flow schedule, dual-queue qdisc, and seeded Poisson
+//! short-flow churn are all fields of the `ScenarioSpec` it denotes.
 
 use abc_repro::abc_core::coexist::WeightPolicy;
 use abc_repro::experiments::{sparkline, CoexistScenario};
@@ -40,7 +44,10 @@ fn main() {
 
     println!("\n--- same scenario under RCP's Zombie-List weights, with short-flow churn ---");
     for policy in [
-        ("max-min (ABC §5.2)", WeightPolicy::MaxMin { headroom: 0.10 }),
+        (
+            "max-min (ABC §5.2)",
+            WeightPolicy::MaxMin { headroom: 0.10 },
+        ),
         ("zombie list (RCP)", WeightPolicy::ZombieList),
     ] {
         let r = CoexistScenario {

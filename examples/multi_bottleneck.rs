@@ -7,6 +7,10 @@
 //! ```sh
 //! cargo run --release --example multi_bottleneck
 //! ```
+//!
+//! `TwoHopScenario` and `MixedPathScenario` are presets over the scenario
+//! engine (`experiments::engine`): each denotes a `ScenarioSpec`, and the
+//! `ScenarioEngine` does all simulator wiring.
 
 use abc_repro::experiments::{
     sparkline, CrossTraffic, LinkSpec, MixedPathScenario, Scheme, TwoHopScenario,
@@ -50,15 +54,36 @@ fn main() {
         duration: SimDuration::from_secs(60),
     }
     .run();
-    let wabc: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, a, ..)| (t, a)).collect();
-    let wnon: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, _, n, _)| (t, n)).collect();
-    let good: Vec<(f64, f64)> = res.windows.samples.iter().map(|&(t, _, _, g)| (t, g)).collect();
-    println!("wireless capacity : {}", sparkline(&res.report.capacity_series, 70));
+    let wabc: Vec<(f64, f64)> = res
+        .windows
+        .samples
+        .iter()
+        .map(|&(t, a, ..)| (t, a))
+        .collect();
+    let wnon: Vec<(f64, f64)> = res
+        .windows
+        .samples
+        .iter()
+        .map(|&(t, _, n, _)| (t, n))
+        .collect();
+    let good: Vec<(f64, f64)> = res
+        .windows
+        .samples
+        .iter()
+        .map(|&(t, _, _, g)| (t, g))
+        .collect();
+    println!(
+        "wireless capacity : {}",
+        sparkline(&res.report.capacity_series, 70)
+    );
     println!("ABC goodput       : {}", sparkline(&good, 70));
     println!("cross (Cubic)     : {}", sparkline(&res.cross_tput, 70));
     println!("w_abc             : {}", sparkline(&wabc, 70));
     println!("w_cubic           : {}", sparkline(&wnon, 70));
-    println!("wireless qdelay ms: {}", sparkline(&res.wireless_qdelay, 70));
+    println!(
+        "wireless qdelay ms: {}",
+        sparkline(&res.wireless_qdelay, 70)
+    );
     println!("wired    qdelay ms: {}", sparkline(&res.wired_qdelay, 70));
     println!(
         "\nWhichever window is smaller governs: ABC behaves like Cubic when the \

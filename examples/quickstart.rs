@@ -7,8 +7,11 @@
 //! Builds the smallest complete ABC system — sender, router, link, sink —
 //! runs it for a minute, and prints what the paper's Fig. 1d shows: high
 //! utilization *and* low queuing delay on a link whose rate keeps moving.
+//!
+//! Everything goes through the scenario engine: describe the run as a
+//! [`ScenarioSpec`], hand it to [`ScenarioEngine`], read the `Report`.
 
-use abc_repro::experiments::{sparkline, CellScenario, LinkSpec, Scheme};
+use abc_repro::experiments::{sparkline, LinkSpec, ScenarioEngine, ScenarioSpec, Scheme};
 use abc_repro::netsim::rate::Rate;
 use abc_repro::netsim::time::SimDuration;
 use abc_repro::netsim::SimTime;
@@ -19,16 +22,23 @@ fn main() {
     // for the full cellular emulation.
     let link = LinkSpec::Steps(vec![
         (SimTime::ZERO, Rate::from_mbps(12.0)),
-        (SimTime::ZERO + SimDuration::from_secs(15), Rate::from_mbps(24.0)),
-        (SimTime::ZERO + SimDuration::from_secs(30), Rate::from_mbps(6.0)),
-        (SimTime::ZERO + SimDuration::from_secs(45), Rate::from_mbps(18.0)),
+        (
+            SimTime::ZERO + SimDuration::from_secs(15),
+            Rate::from_mbps(24.0),
+        ),
+        (
+            SimTime::ZERO + SimDuration::from_secs(30),
+            Rate::from_mbps(6.0),
+        ),
+        (
+            SimTime::ZERO + SimDuration::from_secs(45),
+            Rate::from_mbps(18.0),
+        ),
     ]);
 
-    let mut scenario = CellScenario::new(Scheme::Abc, link);
-    scenario.rtt = SimDuration::from_millis(100);
-    scenario.duration = SimDuration::from_secs(60);
-
-    let report = scenario.run();
+    let engine = ScenarioEngine::new();
+    let spec = ScenarioSpec::single(Scheme::Abc, link.clone()).duration_secs(60);
+    let report = engine.run(&spec);
 
     println!("ABC over a stepping link, 60 s:");
     println!("  capacity : {}", sparkline(&report.capacity_series, 60));
@@ -45,14 +55,7 @@ fn main() {
     );
 
     // Compare with Cubic on the same link:
-    let link2 = LinkSpec::Steps(vec![
-        (SimTime::ZERO, Rate::from_mbps(12.0)),
-        (SimTime::ZERO + SimDuration::from_secs(15), Rate::from_mbps(24.0)),
-        (SimTime::ZERO + SimDuration::from_secs(30), Rate::from_mbps(6.0)),
-        (SimTime::ZERO + SimDuration::from_secs(45), Rate::from_mbps(18.0)),
-    ]);
-    let mut cubic = CellScenario::new(Scheme::Cubic, link2);
-    cubic.duration = SimDuration::from_secs(60);
-    let cr = cubic.run();
+    let cubic = ScenarioSpec::single(Scheme::Cubic, link).duration_secs(60);
+    let cr = engine.run(&cubic);
     println!("\nFor contrast:\n{}", cr.row());
 }

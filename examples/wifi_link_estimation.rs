@@ -6,6 +6,10 @@
 //! ```sh
 //! cargo run --release --example wifi_link_estimation
 //! ```
+//!
+//! `WifiScenario` and `estimator_accuracy` run on the scenario engine's
+//! Wi-Fi topology; the estimator internals are reached through
+//! `BuiltScenario::wifi_ap_mut`.
 
 use abc_repro::experiments::{estimator_accuracy, McsSpec, Scheme, WifiScenario};
 use abc_repro::netsim::time::SimDuration;
@@ -18,8 +22,7 @@ fn main() {
     );
     for mcs in [1u8, 4, 7] {
         for offered in [2.0, 6.0, 12.0, 24.0, 40.0] {
-            let (off, pred, truth) =
-                estimator_accuracy(mcs, offered, SimDuration::from_secs(20));
+            let (off, pred, truth) = estimator_accuracy(mcs, offered, SimDuration::from_secs(20));
             println!(
                 "{:>5} {:>14.1} {:>14.2} {:>14.2} {:>+8.1}%",
                 mcs,

@@ -1,133 +1,92 @@
 //! End-to-end integration: the ABC sender and router closing the loop over
-//! the netsim substrate. These tests exercise the paper's core claims on
-//! simple links where ground truth is computable by hand.
+//! the netsim substrate, driven entirely through the scenario engine.
+//! These tests exercise the paper's core claims on simple links where
+//! ground truth is computable by hand.
 
-use abc_core::router::{AbcQdisc, AbcRouterConfig};
-use abc_core::sender::AbcSender;
-use netsim::link::{ConstantRate, SerialLink, SquareWave};
-use netsim::linkqueue::LinkQueue;
-use netsim::metrics::{new_hub, Metrics};
-use netsim::packet::{FlowId, NodeId, Route};
-use netsim::rate::Rate;
-use netsim::sim::Simulator;
-use netsim::time::{SimDuration, SimTime};
-use netsim::flow::{Sender, Sink, TrafficSource};
-use netsim::Transmitter;
+use abc_repro::abc_core::router::AbcRouterConfig;
+use abc_repro::experiments::{
+    BuiltScenario, LinkSpec, QdiscSpec, ScenarioEngine, ScenarioSpec, Scheme,
+};
+use abc_repro::netsim::flow::Sender;
+use abc_repro::netsim::packet::FlowId;
+use abc_repro::netsim::rate::Rate;
+use abc_repro::netsim::time::{SimDuration, SimTime};
 
-struct AbcLoop {
-    sim: Simulator,
-    hub: Metrics,
-    link_id: NodeId,
-    sender_ids: Vec<NodeId>,
-}
-
-/// Build `n` ABC flows over one ABC bottleneck with ~100 ms RTT.
-fn abc_over(tx: Box<dyn Transmitter>, n: u32, qcfg: AbcRouterConfig) -> AbcLoop {
-    let mut sim = Simulator::new();
-    let hub = new_hub();
-    let link_id = sim.reserve_node();
-    let mut sender_ids = Vec::new();
-    for i in 0..n {
-        let flow = FlowId(i + 1);
-        let sender_id = sim.reserve_node();
-        let sink_id = sim.reserve_node();
-        let fwd = Route::new(vec![
-            (link_id, SimDuration::from_millis(10)),
-            (sink_id, SimDuration::from_millis(40)),
-        ]);
-        let back = Route::new(vec![(sender_id, SimDuration::from_millis(50))]);
-        sim.install_node(
-            sink_id,
-            Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
-        );
-        sim.install_node(
-            sender_id,
-            Box::new(Sender::new(
-                flow,
-                Box::new(AbcSender::new()),
-                fwd,
-                TrafficSource::Backlogged,
-            )),
-        );
-        sender_ids.push(sender_id);
-    }
-    sim.install_node(
-        link_id,
-        Box::new(
-            LinkQueue::new(Box::new(AbcQdisc::new(qcfg)), tx)
-                .with_metrics("bottleneck", hub.clone()),
-        ),
-    );
-    AbcLoop {
-        sim,
-        hub,
-        link_id,
-        sender_ids,
-    }
-}
-
-fn finalize(l: &mut AbcLoop, end: SimTime) {
-    let lq: &LinkQueue = l
-        .sim
-        .node(l.link_id)
-        .and_then(|n| n.as_any().downcast_ref())
-        .unwrap();
-    lq.finalize_opportunity(end);
+/// `n` ABC flows over one ABC bottleneck with 100 ms RTT and router
+/// config `qcfg`, warmed up for `warmup_s` and run for `secs`.
+fn abc_over(
+    link: LinkSpec,
+    n: u32,
+    qcfg: AbcRouterConfig,
+    warmup_s: u64,
+    secs: u64,
+) -> BuiltScenario {
+    let spec = ScenarioSpec::single(Scheme::Abc, link)
+        .flows(n)
+        .qdisc(QdiscSpec::AbcWith(qcfg))
+        .warmup_secs(warmup_s)
+        .duration_secs(secs);
+    let mut b = ScenarioEngine::new().build(&spec);
+    b.run_to_end();
+    b
 }
 
 #[test]
 fn abc_high_utilization_low_delay_constant_link() {
-    let mut l = abc_over(
-        Box::new(SerialLink::new(ConstantRate(Rate::from_mbps(12.0)))),
+    let b = abc_over(
+        LinkSpec::Constant(Rate::from_mbps(12.0)),
         1,
         AbcRouterConfig::default(),
+        10,
+        60,
     );
-    let end = SimTime::ZERO + SimDuration::from_secs(60);
-    l.hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(10));
-    l.sim.run_until(end);
-    finalize(&mut l, end);
-
-    let hub = l.hub.borrow();
-    let util = hub.links["bottleneck"].utilization();
+    let r = b.finish();
     assert!(
-        util > 0.90,
-        "ABC should achieve ≥ ~η utilization on a fixed link, got {util:.3}"
+        r.utilization > 0.90,
+        "ABC should achieve ≥ ~η utilization on a fixed link, got {:.3}",
+        r.utilization
     );
-    let q = hub.links["bottleneck"].qdelay_summary_ms();
     assert!(
-        q.p95 < 50.0,
+        r.qdelay_ms.p95 < 50.0,
         "ABC 95p queuing delay should be low, got {:.1} ms",
-        q.p95
+        r.qdelay_ms.p95
     );
-    assert_eq!(hub.links["bottleneck"].dropped_pkts, 0, "no drops expected");
+    assert_eq!(r.drops, 0, "no drops expected");
 }
 
 #[test]
 fn abc_tracks_square_wave_link() {
     // Fig. 17's link: 12 ↔ 24 Mbit/s every 500 ms. ABC should stay near
     // full utilization with bounded delays.
-    let mut l = abc_over(
-        Box::new(SerialLink::new(SquareWave::new(
-            Rate::from_mbps(12.0),
-            Rate::from_mbps(24.0),
-            SimDuration::from_millis(500),
-        ))),
+    let b = abc_over(
+        LinkSpec::Square {
+            a: Rate::from_mbps(12.0),
+            b: Rate::from_mbps(24.0),
+            half_period: SimDuration::from_millis(500),
+        },
         1,
         AbcRouterConfig::default(),
+        10,
+        60,
     );
-    let end = SimTime::ZERO + SimDuration::from_secs(60);
-    l.hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(10));
-    l.sim.run_until(end);
-    finalize(&mut l, end);
-
-    let hub = l.hub.borrow();
-    let util = hub.links["bottleneck"].utilization();
-    assert!(util > 0.85, "utilization on square wave: {util:.3}");
-    let q = hub.links["bottleneck"].qdelay_summary_ms();
+    let r = b.finish();
+    assert!(
+        r.utilization > 0.85,
+        "utilization on square wave: {:.3}",
+        r.utilization
+    );
     // Each capacity halving leaves ~1 RTT of over-window in the queue,
     // drained within δ; the paper's Fig. 17 shows the same ~100 ms spikes.
-    assert!(q.p95 < 150.0, "95p queuing delay {:.1} ms", q.p95);
-    assert!(q.p50 < 40.0, "median queuing delay {:.1} ms", q.p50);
+    assert!(
+        r.qdelay_ms.p95 < 150.0,
+        "95p queuing delay {:.1} ms",
+        r.qdelay_ms.p95
+    );
+    assert!(
+        r.qdelay_ms.p50 < 40.0,
+        "median queuing delay {:.1} ms",
+        r.qdelay_ms.p50
+    );
 }
 
 #[test]
@@ -136,36 +95,36 @@ fn abc_flows_share_fairly() {
     // component makes windows slosh around the fair share (visible in the
     // paper's Fig. 3b too), so fairness is evaluated over a long window
     // after the additive-increase term has had time to act.
-    let mut l = abc_over(
-        Box::new(SerialLink::new(ConstantRate(Rate::from_mbps(24.0)))),
+    let b = abc_over(
+        LinkSpec::Constant(Rate::from_mbps(24.0)),
         4,
         AbcRouterConfig::default(),
+        60,
+        180,
     );
-    let end = SimTime::ZERO + SimDuration::from_secs(180);
-    l.hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(60));
-    l.sim.run_until(end);
-    finalize(&mut l, end);
-
-    let hub = l.hub.borrow();
-    let j = hub.jain(SimDuration::from_secs(120));
-    assert!(j > 0.95, "Jain index across 4 ABC flows: {j:.4}");
-    let util = hub.links["bottleneck"].utilization();
-    assert!(util > 0.90, "aggregate utilization {util:.3}");
+    let r = b.finish();
+    assert!(
+        r.jain > 0.95,
+        "Jain index across 4 ABC flows: {:.4}",
+        r.jain
+    );
+    assert!(
+        r.utilization > 0.90,
+        "aggregate utilization {:.3}",
+        r.utilization
+    );
 }
 
 #[test]
 fn senders_see_mixed_accel_brake_in_steady_state() {
-    let mut l = abc_over(
-        Box::new(SerialLink::new(ConstantRate(Rate::from_mbps(12.0)))),
+    let b = abc_over(
+        LinkSpec::Constant(Rate::from_mbps(12.0)),
         1,
         AbcRouterConfig::default(),
+        0,
+        30,
     );
-    l.sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
-    let s: &Sender = l
-        .sim
-        .node(l.sender_ids[0])
-        .and_then(|n| n.as_any().downcast_ref())
-        .unwrap();
+    let s: &Sender = b.sender(0);
     let st = s.stats();
     assert!(st.accel_acks > 0, "no accelerates seen");
     assert!(st.brake_acks > 0, "no brakes seen");
@@ -182,27 +141,28 @@ fn senders_see_mixed_accel_brake_in_steady_state() {
 fn abc_router_brakes_hard_when_capacity_halves() {
     // Capacity halving is where window-based + dequeue-rate feedback
     // shines: the queue must drain within a few RTTs.
-    let steps = netsim::link::StepSchedule::new(vec![
-        (SimTime::ZERO, Rate::from_mbps(24.0)),
-        (SimTime::ZERO + SimDuration::from_secs(20), Rate::from_mbps(6.0)),
-    ]);
-    let mut l = abc_over(
-        Box::new(SerialLink::new(steps)),
+    let b = abc_over(
+        LinkSpec::Steps(vec![
+            (SimTime::ZERO, Rate::from_mbps(24.0)),
+            (
+                SimTime::ZERO + SimDuration::from_secs(20),
+                Rate::from_mbps(6.0),
+            ),
+        ]),
         1,
         AbcRouterConfig::default(),
+        0,
+        40,
     );
-    let end = SimTime::ZERO + SimDuration::from_secs(40);
-    l.sim.run_until(end);
-    finalize(&mut l, end);
-    let hub = l.hub.borrow();
     // look at queuing delay *after* the drop settles (25s onward)
+    let hub = b.hub.borrow();
     let late: Vec<f64> = hub.links["bottleneck"]
         .qdelay_series
         .iter()
         .filter(|(t, _)| t.as_secs_f64() > 25.0)
         .map(|(_, d)| d.as_millis_f64())
         .collect();
-    let s = netsim::stats::summarize(&late);
+    let s = abc_repro::netsim::stats::summarize(&late);
     assert!(
         s.p95 < 80.0,
         "queue should drain after capacity drop; late 95p = {:.1} ms",
@@ -213,38 +173,41 @@ fn abc_router_brakes_hard_when_capacity_halves() {
 #[test]
 fn runs_are_deterministic() {
     let run = || {
-        let mut l = abc_over(
-            Box::new(SerialLink::new(ConstantRate(Rate::from_mbps(12.0)))),
+        let b = abc_over(
+            LinkSpec::Constant(Rate::from_mbps(12.0)),
             2,
             AbcRouterConfig::default(),
+            0,
+            20,
         );
-        l.sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
-        let hub = l.hub.borrow();
+        let hub = b.hub.borrow();
         (
             hub.flows[&FlowId(1)].delivered_bytes,
             hub.flows[&FlowId(2)].delivered_bytes,
             hub.links["bottleneck"].qdelay_series.len(),
         )
     };
-    assert_eq!(run(), run(), "identical runs must produce identical results");
+    assert_eq!(
+        run(),
+        run(),
+        "identical runs must produce identical results"
+    );
 }
 
 #[test]
 fn dt_threshold_tolerates_batching_delay() {
     // With dt = 60 ms, standing queues below 60 ms must not reduce the
     // accel share; utilization should not suffer.
-    let mut l = abc_over(
-        Box::new(SerialLink::new(ConstantRate(Rate::from_mbps(12.0)))),
+    let b = abc_over(
+        LinkSpec::Constant(Rate::from_mbps(12.0)),
         1,
         AbcRouterConfig {
             dt: SimDuration::from_millis(60),
             ..Default::default()
         },
+        10,
+        40,
     );
-    let end = SimTime::ZERO + SimDuration::from_secs(40);
-    l.hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(10));
-    l.sim.run_until(end);
-    finalize(&mut l, end);
-    let util = l.hub.borrow().links["bottleneck"].utilization();
-    assert!(util > 0.90, "utilization {util:.3}");
+    let r = b.finish();
+    assert!(r.utilization > 0.90, "utilization {:.3}", r.utilization);
 }

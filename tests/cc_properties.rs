@@ -62,7 +62,11 @@ fn fuzz_cc(mut cc: Box<dyn CongestionControl>, script: &[(u8, u16, u16)]) {
         assert!(w >= 1.0, "{}: window {} below 1 packet", cc.name(), w);
         assert!(w < 1e9, "{}: window {} exploded", cc.name(), w);
         if let Pacing::Rate(r) = cc.pacing() {
-            assert!(r.bps().is_finite() && r.bps() >= 0.0, "{}: bad pacing", cc.name());
+            assert!(
+                r.bps().is_finite() && r.bps() >= 0.0,
+                "{}: bad pacing",
+                cc.name()
+            );
         }
     }
 }

@@ -1,0 +1,55 @@
+//! Every figure harness must run end to end through the scenario engine
+//! without panicking. Runs at `Scale::Tiny` (≤ 2 s of simulated time per
+//! scenario), so this is a wiring check, not a numbers check — the
+//! numeric assertions live in each figure's own unit tests.
+
+use abc_repro::experiments::figures::{self, Scale};
+
+#[test]
+fn figure_index_is_complete() {
+    let all = figures::all();
+    assert!(all.len() >= 20, "figure index shrank to {}", all.len());
+    for (id, desc, _) in &all {
+        assert!(!id.is_empty() && !desc.is_empty());
+    }
+}
+
+/// Split into a handful of tests so the suite parallelizes across the
+/// cargo test harness' threads; each runs its figures at `Tiny` scale
+/// (≤ 2 s of simulated time per scenario).
+fn run_figs(ids: &[&str]) {
+    let all = figures::all();
+    for id in ids {
+        let (_, _, f) = all
+            .iter()
+            .find(|(fid, ..)| fid == id)
+            .unwrap_or_else(|| panic!("figure {id:?} missing from index"));
+        let out = f(Scale::Tiny);
+        assert!(!out.trim().is_empty(), "figure {id} produced empty output");
+    }
+}
+
+#[test]
+fn smoke_motivation_and_ablations() {
+    run_figs(&["fig1", "fig2", "fig3", "pk_abc", "jain", "marking"]);
+}
+
+#[test]
+fn smoke_wifi_figures() {
+    run_figs(&["fig4", "fig5", "fig10", "fig14"]);
+}
+
+#[test]
+fn smoke_coexistence_figures() {
+    run_figs(&["fig6", "fig7", "fig11", "fig12", "fig13"]);
+}
+
+#[test]
+fn smoke_pareto_and_matrix_figures() {
+    run_figs(&["table1", "fig8", "fig9", "fig15", "fig18"]);
+}
+
+#[test]
+fn smoke_explicit_and_stability_figures() {
+    run_figs(&["fig16", "fig17", "stability"]);
+}

@@ -52,7 +52,8 @@ fn through_middlebox(scheme: Scheme, what: Impairment) -> f64 {
             .with_metrics("bottleneck", hub.clone()),
         ),
     );
-    hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(10));
+    hub.borrow_mut()
+        .set_epoch(SimTime::ZERO + SimDuration::from_secs(10));
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
     let h = hub.borrow();
     h.flows

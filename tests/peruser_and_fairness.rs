@@ -6,7 +6,7 @@ use abc_repro::experiments::Scheme;
 use abc_repro::netsim::flow::{Sender, Sink, TrafficSource};
 use abc_repro::netsim::metrics::new_hub;
 use abc_repro::netsim::packet::{FlowId, Route};
-use abc_repro::netsim::queue::{DropTail, Qdisc};
+use abc_repro::netsim::queue::DropTail;
 use abc_repro::netsim::sim::Simulator;
 use abc_repro::netsim::time::{SimDuration, SimTime};
 
@@ -32,7 +32,7 @@ fn per_user_queues_isolate_abc_from_a_bufferbloater() {
     let link_id = sim.reserve_node();
 
     let mut link = PerUserLink::new(uniform_trace(2000, 20)); // 24 Mbit/s
-    // user 1: ABC with its own ABC router queue
+                                                              // user 1: ABC with its own ABC router queue
     link.add_user(
         &[FlowId(1)],
         Box::new(AbcQdisc::new(AbcRouterConfig::default())),
@@ -62,7 +62,8 @@ fn per_user_queues_isolate_abc_from_a_bufferbloater() {
     }
     sim.install_node(link_id, Box::new(link.with_metrics("cell", hub.clone())));
 
-    hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(10));
+    hub.borrow_mut()
+        .set_epoch(SimTime::ZERO + SimDuration::from_secs(10));
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
 
     let h = hub.borrow();
@@ -139,7 +140,8 @@ fn abc_throughput_scales_inversely_with_rtt() {
             .with_metrics("bottleneck", hub.clone()),
         ),
     );
-    hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(60));
+    hub.borrow_mut()
+        .set_epoch(SimTime::ZERO + SimDuration::from_secs(60));
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(240));
     let h = hub.borrow();
     let w = SimDuration::from_secs(180);
@@ -188,7 +190,8 @@ fn per_user_link_opportunity_accounting() {
     );
     sim.install_node(link_id, Box::new(link.with_metrics("cell", hub.clone())));
     let end = SimTime::ZERO + SimDuration::from_secs(30);
-    hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(5));
+    hub.borrow_mut()
+        .set_epoch(SimTime::ZERO + SimDuration::from_secs(5));
     sim.run_until(end);
     {
         let l: &PerUserLink = sim
@@ -201,5 +204,8 @@ fn per_user_link_opportunity_accounting() {
     }
     let h = hub.borrow();
     let util = h.links["cell"].utilization();
-    assert!(util > 0.85, "single ABC user should fill the link: {util:.3}");
+    assert!(
+        util > 0.85,
+        "single ABC user should fill the link: {util:.3}"
+    );
 }

@@ -39,7 +39,7 @@ proptest! {
         sizes in proptest::collection::vec(40u32..3000, 1..200),
     ) {
         let opps: Vec<SimDuration> =
-            (0..1000).map(|i| SimDuration::from_millis(i)).collect();
+            (0..1000).map(SimDuration::from_millis).collect();
         let mut link = TraceLink::new(opps, SimDuration::from_secs(1));
         let mut now = SimTime::ZERO;
         let mut last_done = SimTime::ZERO;

@@ -57,7 +57,8 @@ fn abc_through_legacy_ecn_aqm_behaves_like_cubic() {
         ),
     );
     let end = SimTime::ZERO + SimDuration::from_secs(40);
-    hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(5));
+    hub.borrow_mut()
+        .set_epoch(SimTime::ZERO + SimDuration::from_secs(5));
     sim.run_until(end);
     {
         let lq: &LinkQueue = sim
@@ -73,9 +74,16 @@ fn abc_through_legacy_ecn_aqm_behaves_like_cubic() {
     }
     let h = hub.borrow();
     let util = h.links["aqm"].utilization();
-    assert!(util > 0.7, "ABC-under-AQM should stay productive: {util:.3}");
+    assert!(
+        util > 0.7,
+        "ABC-under-AQM should stay productive: {util:.3}"
+    );
     let q = h.links["aqm"].qdelay_summary_ms();
-    assert!(q.p95 < 100.0, "CE feedback must bound the queue: {:.0} ms", q.p95);
+    assert!(
+        q.p95 < 100.0,
+        "CE feedback must bound the queue: {:.0} ms",
+        q.p95
+    );
 }
 
 /// §3.1.2: with two ABC routers in series, the *fraction of accelerates*
@@ -152,8 +160,14 @@ fn abc_survives_outage_and_recovers() {
     // 0-10 s at 12 Mbit/s, 10-13 s dead, 13-30 s at 12 Mbit/s
     let steps = vec![
         (SimTime::ZERO, Rate::from_mbps(12.0)),
-        (SimTime::ZERO + SimDuration::from_secs(10), Rate::from_bps(100.0)),
-        (SimTime::ZERO + SimDuration::from_secs(13), Rate::from_mbps(12.0)),
+        (
+            SimTime::ZERO + SimDuration::from_secs(10),
+            Rate::from_bps(100.0),
+        ),
+        (
+            SimTime::ZERO + SimDuration::from_secs(13),
+            Rate::from_mbps(12.0),
+        ),
     ];
     let mut sc = CellScenario::new(Scheme::Abc, LinkSpec::Steps(steps));
     sc.duration = SimDuration::from_secs(30);
@@ -259,7 +273,8 @@ fn proxied_ce_dialect_works_end_to_end() {
         ),
     );
     let end = SimTime::ZERO + SimDuration::from_secs(40);
-    hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(5));
+    hub.borrow_mut()
+        .set_epoch(SimTime::ZERO + SimDuration::from_secs(5));
     sim.run_until(end);
     {
         let lq: &LinkQueue = sim
@@ -272,7 +287,11 @@ fn proxied_ce_dialect_works_end_to_end() {
     let util = h.links["bottleneck"].utilization();
     assert!(util > 0.9, "proxied dialect utilization {util:.3}");
     let q = h.links["bottleneck"].qdelay_summary_ms();
-    assert!(q.p95 < 60.0, "proxied dialect queuing delay {:.0} ms", q.p95);
+    assert!(
+        q.p95 < 60.0,
+        "proxied dialect queuing delay {:.0} ms",
+        q.p95
+    );
 }
 
 /// ACK batching (delayed/compressed ACKs) must not destabilize ABC: the
@@ -317,7 +336,8 @@ fn abc_robust_to_ack_compression() {
         ),
     );
     let end = SimTime::ZERO + SimDuration::from_secs(40);
-    hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(5));
+    hub.borrow_mut()
+        .set_epoch(SimTime::ZERO + SimDuration::from_secs(5));
     sim.run_until(end);
     {
         let lq: &LinkQueue = sim
@@ -352,7 +372,10 @@ fn abc_robust_to_ack_loss() {
         (wire_id, SimDuration::from_millis(25)),
         (sender_id, SimDuration::from_millis(25)),
     ]);
-    sim.install_node(wire_id, Box::new(LossyWire::new(0.10, Impairment::Drop, 99)));
+    sim.install_node(
+        wire_id,
+        Box::new(LossyWire::new(0.10, Impairment::Drop, 99)),
+    );
     sim.install_node(
         sink_id,
         Box::new(Sink::new(FlowId(1), back).with_metrics(hub.clone())),
@@ -377,7 +400,8 @@ fn abc_robust_to_ack_loss() {
         ),
     );
     let end = SimTime::ZERO + SimDuration::from_secs(60);
-    hub.borrow_mut().set_epoch(SimTime::ZERO + SimDuration::from_secs(10));
+    hub.borrow_mut()
+        .set_epoch(SimTime::ZERO + SimDuration::from_secs(10));
     sim.run_until(end);
     {
         let lq: &LinkQueue = sim
@@ -390,5 +414,9 @@ fn abc_robust_to_ack_loss() {
     let util = h.links["bottleneck"].utilization();
     assert!(util > 0.75, "utilization under 10% ACK loss: {util:.3}");
     let q = h.links["bottleneck"].qdelay_summary_ms();
-    assert!(q.p95 < 100.0, "queuing delay under ACK loss {:.0} ms", q.p95);
+    assert!(
+        q.p95 < 100.0,
+        "queuing delay under ACK loss {:.0} ms",
+        q.p95
+    );
 }

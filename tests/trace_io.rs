@@ -29,8 +29,8 @@ fn every_builtin_trace_round_trips_through_mahimahi_format() {
         }
         // the parsed trace must drive a link (mean rate within the ms
         // quantization tolerance)
-        let rel = (parsed.mean_rate().mbps() - trace.mean_rate().mbps()).abs()
-            / trace.mean_rate().mbps();
+        let rel =
+            (parsed.mean_rate().mbps() - trace.mean_rate().mbps()).abs() / trace.mean_rate().mbps();
         assert!(rel < 0.02, "{}: mean rate drifted {rel:.4}", trace.name);
     }
 }
