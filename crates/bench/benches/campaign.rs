@@ -1,0 +1,97 @@
+//! The campaign executor's perf trajectory: times the `tiny` preset end
+//! to end (expand → chunked parallel execution → serialize) and appends
+//! one entry to `BENCH_campaign.json` at the repo root, so sweep
+//! throughput accumulates history across commits.
+//!
+//! ```text
+//! cargo bench -p bench --bench campaign
+//! ```
+
+use campaign::json::{self, Value};
+use campaign::presets;
+use campaign::runner::{run_campaign, RunOptions};
+use campaign::store::ResultsStore;
+use experiments::figures::Scale;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+const ITERS: usize = 3;
+
+fn main() {
+    let campaign = presets::tiny(Scale::Tiny);
+    let points = campaign.expand();
+    let scenarios = points.len();
+    let sim_secs: f64 = points.iter().map(|p| p.spec.duration.as_secs_f64()).sum();
+    let opts = RunOptions::quiet();
+    let jobs = match opts.jobs {
+        Some(n) => n,
+        None => experiments::engine::ScenarioEngine::new().threads(),
+    };
+
+    // one warmup, then best-of-N (the trajectory tracks the kernel, not
+    // scheduler noise)
+    let mut store_bytes = 0usize;
+    run_campaign(&campaign, &opts);
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        let records = run_campaign(&campaign, &opts);
+        let store = ResultsStore::new(&campaign, records);
+        store_bytes = store.to_jsonl().len();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+
+    let entry = Value::Obj(vec![
+        ("schema".into(), Value::str("abc-campaign-bench/v1")),
+        ("preset".into(), Value::str("tiny")),
+        ("scenarios".into(), Value::num(scenarios as f64)),
+        ("sim_secs".into(), Value::num(sim_secs)),
+        ("jobs".into(), Value::num(jobs as f64)),
+        ("wall_secs_best".into(), Value::num(best)),
+        (
+            "scenarios_per_sec".into(),
+            Value::num(scenarios as f64 / best),
+        ),
+        ("sim_x_realtime".into(), Value::num(sim_secs / best)),
+        ("store_bytes".into(), Value::num(store_bytes as f64)),
+        (
+            "unix_time".into(),
+            Value::num(
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_secs() as f64)
+                    .unwrap_or(0.0),
+            ),
+        ),
+    ]);
+
+    // BENCH_campaign.json is a JSON array of entries, newest last
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    let mut trajectory = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|v| match v {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    trajectory.push(entry);
+    let mut out = String::from("[\n");
+    for (i, e) in trajectory.iter().enumerate() {
+        out.push_str(&e.render());
+        out.push_str(if i + 1 < trajectory.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("]\n");
+    std::fs::write(path, &out).expect("write BENCH_campaign.json");
+
+    println!(
+        "campaign/tiny: {scenarios} scenarios ({sim_secs:.0} sim-s) in {best:.3}s best-of-{ITERS} \
+         on {jobs} worker(s) = {:.1} scenarios/s, {:.1}x realtime; trajectory now {} entries",
+        scenarios as f64 / best,
+        sim_secs / best,
+        trajectory.len()
+    );
+}

@@ -1,0 +1,301 @@
+//! Aggregation over stored campaign results: across-seed mean/CI,
+//! percentile rollups, and Jain fairness summaries.
+
+use crate::runner::RunRecord;
+use crate::spec::Coords;
+use netsim::stats::percentile;
+use std::fmt::Write;
+
+/// Mean, spread, and a 95% confidence half-width (normal approximation,
+/// `1.96·σ/√n`) of one metric across a group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    pub n: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub ci95: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Summarize `xs`, ignoring `NaN` samples (Wi-Fi utilization).
+pub fn stat(xs: &[f64]) -> Stat {
+    let xs: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    let n = xs.len();
+    if n == 0 {
+        return Stat {
+            n: 0,
+            mean: f64::NAN,
+            std_dev: f64::NAN,
+            ci95: f64::NAN,
+            min: f64::NAN,
+            max: f64::NAN,
+        };
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let std_dev = var.sqrt();
+    Stat {
+        n,
+        mean,
+        std_dev,
+        ci95: 1.96 * std_dev / (n as f64).sqrt(),
+        min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+        max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// One group's rollup: all records sharing every coordinate except the
+/// aggregated axis.
+#[derive(Debug, Clone)]
+pub struct GroupAgg {
+    /// The shared coordinates (aggregated axis removed).
+    pub coords: Coords,
+    pub n: usize,
+    pub utilization: Stat,
+    pub delay_p95_ms: Stat,
+    pub qdelay_p95_ms: Stat,
+    pub total_tput_mbps: Stat,
+    pub jain: Stat,
+}
+
+/// Group records across `over` (usually `"seed"`), preserving first-seen
+/// group order, and summarize each group's headline metrics.
+pub fn aggregate(records: &[RunRecord], over: &str) -> Vec<GroupAgg> {
+    let mut groups: Vec<(Coords, Vec<&RunRecord>)> = Vec::new();
+    for r in records {
+        let key = r.coords.without(over);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(r),
+            None => groups.push((key, vec![r])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(coords, members)| {
+            let of = |f: &dyn Fn(&RunRecord) -> f64| -> Vec<f64> {
+                members.iter().map(|r| f(r)).collect()
+            };
+            GroupAgg {
+                coords,
+                n: members.len(),
+                utilization: stat(&of(&|r| r.report.utilization)),
+                delay_p95_ms: stat(&of(&|r| r.report.delay_ms.p95)),
+                qdelay_p95_ms: stat(&of(&|r| r.report.qdelay_ms.p95)),
+                total_tput_mbps: stat(&of(&|r| r.report.total_tput_mbps)),
+                jain: stat(&of(&|r| r.report.jain)),
+            }
+        })
+        .collect()
+}
+
+/// Group records by one axis's label and summarize `metric` over each
+/// group — the figure renderers' "mean utilization per scheme" shape.
+pub fn stat_by(
+    records: &[RunRecord],
+    axis: &str,
+    metric: impl Fn(&RunRecord) -> f64,
+) -> Vec<(String, Stat)> {
+    let mut out: Vec<(String, Vec<f64>)> = Vec::new();
+    for r in records {
+        let Some(label) = r.coords.get(axis) else {
+            continue;
+        };
+        match out.iter_mut().find(|(l, _)| l == label) {
+            Some((_, xs)) => xs.push(metric(r)),
+            None => out.push((label.to_string(), vec![metric(r)])),
+        }
+    }
+    out.into_iter().map(|(l, xs)| (l, stat(&xs))).collect()
+}
+
+/// The across-seed aggregate table (`abc-campaign export`).
+pub fn render_table(aggs: &[GroupAgg], over: &str) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<44} {:>3} {:>16} {:>18} {:>18} {:>14} {:>8}",
+        format!("group (aggregated over {over:?})"),
+        "n",
+        "util mean±ci95",
+        "p95 delay ms",
+        "p95 qdelay ms",
+        "tput Mbit/s",
+        "jain"
+    )
+    .unwrap();
+    for a in aggs {
+        let key = if a.coords.0.is_empty() {
+            "(all)".to_string()
+        } else {
+            a.coords.key()
+        };
+        writeln!(
+            out,
+            "{:<44} {:>3} {:>8.3}±{:>6.3} {:>10.1}±{:>6.1} {:>10.1}±{:>6.1} {:>8.2}±{:>4.2} {:>8.3}",
+            key,
+            a.n,
+            a.utilization.mean,
+            a.utilization.ci95,
+            a.delay_p95_ms.mean,
+            a.delay_p95_ms.ci95,
+            a.qdelay_p95_ms.mean,
+            a.qdelay_p95_ms.ci95,
+            a.total_tput_mbps.mean,
+            a.total_tput_mbps.ci95,
+            a.jain.mean,
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Campaign-wide percentile rollup of the headline metrics.
+pub fn render_rollup(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let metric = |name: &str, xs: &mut Vec<f64>, out: &mut String| {
+        xs.retain(|x| !x.is_nan());
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        if xs.is_empty() {
+            writeln!(out, "{name:<22} (no finite samples)").unwrap();
+            return;
+        }
+        writeln!(
+            out,
+            "{:<22} p5 {:>9.3}  p50 {:>9.3}  p95 {:>9.3}  mean {:>9.3}",
+            name,
+            percentile(xs, 5.0),
+            percentile(xs, 50.0),
+            percentile(xs, 95.0),
+            xs.iter().sum::<f64>() / xs.len() as f64,
+        )
+        .unwrap();
+    };
+    writeln!(out, "# rollup over {} records", records.len()).unwrap();
+    metric(
+        "utilization",
+        &mut records.iter().map(|r| r.report.utilization).collect(),
+        &mut out,
+    );
+    metric(
+        "delay p95 (ms)",
+        &mut records.iter().map(|r| r.report.delay_ms.p95).collect(),
+        &mut out,
+    );
+    metric(
+        "qdelay p95 (ms)",
+        &mut records.iter().map(|r| r.report.qdelay_ms.p95).collect(),
+        &mut out,
+    );
+    metric(
+        "total tput (Mbit/s)",
+        &mut records.iter().map(|r| r.report.total_tput_mbps).collect(),
+        &mut out,
+    );
+    metric(
+        "jain",
+        &mut records.iter().map(|r| r.report.jain).collect(),
+        &mut out,
+    );
+    out
+}
+
+/// Flat CSV of the scalar metrics (one row per record, coordinates as
+/// leading columns).
+pub fn render_csv(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let axes: Vec<String> = records
+        .first()
+        .map(|r| r.coords.0.iter().map(|(a, _)| a.clone()).collect())
+        .unwrap_or_default();
+    // the report's own scheme name is prefixed so it never collides with
+    // a campaign's "scheme" axis column
+    writeln!(
+        out,
+        "ordinal,{}report_scheme,utilization,total_tput_mbps,delay_p50_ms,delay_p95_ms,delay_mean_ms,qdelay_p95_ms,jain,drops",
+        axes.iter().map(|a| format!("{a},")).collect::<String>()
+    )
+    .unwrap();
+    for r in records {
+        let coords: String = axes
+            .iter()
+            .map(|a| format!("{},", r.coords.get(a).unwrap_or("")))
+            .collect();
+        writeln!(
+            out,
+            "{},{}{},{},{},{},{},{},{},{},{}",
+            r.ordinal,
+            coords,
+            r.report.scheme,
+            r.report.utilization,
+            r.report.total_tput_mbps,
+            r.report.delay_ms.p50,
+            r.report.delay_ms.p95,
+            r.report.delay_ms.mean,
+            r.report.qdelay_ms.p95,
+            r.report.jain,
+            r.report.drops,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_campaign;
+    use crate::spec::{Axis, Campaign};
+    use experiments::engine::ScenarioSpec;
+    use experiments::scenario::LinkSpec;
+    use experiments::Scheme;
+    use netsim::rate::Rate;
+
+    #[test]
+    fn stat_handles_edges() {
+        let s = stat(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan());
+        let s = stat(&[2.0, f64::NAN, 4.0]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn aggregates_across_seeds() {
+        let base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+            .duration_secs(1)
+            .warmup_secs(0);
+        let campaign = Campaign::new("agg", base)
+            .axis(Axis::schemes(&[Scheme::Abc, Scheme::Cubic]))
+            .axis(Axis::seeds(&[1, 2, 3]));
+        let records = run_campaign(&campaign, &Default::default());
+        let aggs = aggregate(&records, "seed");
+        assert_eq!(aggs.len(), 2, "one group per scheme");
+        assert_eq!(aggs[0].coords.key(), "scheme=ABC");
+        assert_eq!(aggs[0].n, 3);
+        assert!(aggs[0].utilization.mean > 0.0);
+        let table = render_table(&aggs, "seed");
+        assert!(table.contains("scheme=ABC"), "{table}");
+        let rollup = render_rollup(&records);
+        assert!(rollup.contains("utilization"), "{rollup}");
+        let csv = render_csv(&records);
+        assert_eq!(csv.lines().count(), records.len() + 1);
+        assert!(
+            csv.starts_with("ordinal,scheme,seed,report_scheme,"),
+            "{csv}"
+        );
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        let mut dedup = header.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            header.len(),
+            "duplicate CSV columns: {header:?}"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! `abc-campaign` — run, inspect, and gate declarative scenario sweeps.
+//!
+//! ```text
+//! abc-campaign list
+//! abc-campaign expand tiny
+//! abc-campaign run tiny --out tiny.jsonl
+//! abc-campaign run cellular-matrix --scale fast --jobs 8
+//! abc-campaign export tiny.jsonl
+//! abc-campaign export tiny.jsonl --csv
+//! abc-campaign diff baseline.jsonl candidate.jsonl
+//! ```
+//!
+//! `run` writes a schema-versioned JSONL store that is bit-identical
+//! across reruns and worker-pool sizes; `diff` exits non-zero when the
+//! candidate regresses against the baseline.
+
+use campaign::aggregate;
+use campaign::diff::{diff, DiffConfig};
+use campaign::presets;
+use campaign::runner::{run_campaign, RunOptions};
+use campaign::store::ResultsStore;
+use experiments::figures::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "abc-campaign — declarative sweep orchestration for the ABC reproduction
+
+USAGE:
+  abc-campaign list                              built-in campaign presets
+  abc-campaign expand <preset> [--scale S]       show the points without running
+  abc-campaign run <preset> [options]            execute and store results
+  abc-campaign export <store.jsonl> [--csv] [--over AXIS]
+                                                 aggregate a stored run
+  abc-campaign diff <baseline.jsonl> <candidate.jsonl> [options]
+                                                 regression gate (exit 1 on regression)
+
+RUN OPTIONS:
+  --scale full|fast|tiny   sweep scale (default full)
+  --jobs <n>               worker pool size (default: $ABC_JOBS, else all cores)
+  --chunk <n>              scenarios per dispatch wave (default 32)
+  --out <file>             store path (default campaign-<preset>.jsonl)
+  --quiet                  no progress on stderr
+
+DIFF OPTIONS:
+  --util-drop <x>          absolute utilization drop that fails (default 0.05)
+  --delay-rise <x>         relative p95-delay rise that fails (default 0.25)
+  --tput-drop <x>          relative throughput drop that fails (default 0.10)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale = match get("--scale").as_deref() {
+        None | Some("full") => Scale::Full,
+        Some("fast") => Scale::Fast,
+        Some("tiny") => Scale::Tiny,
+        Some(other) => {
+            eprintln!("unknown scale {other:?} (full|fast|tiny)");
+            std::process::exit(2);
+        }
+    };
+    let positional: Vec<&String> = {
+        // flag values must not be mistaken for positionals
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.starts_with("--") {
+                    skip_next = !matches!(a.as_str(), "--csv" | "--quiet");
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let Some(command) = positional.first() else {
+        usage()
+    };
+
+    match command.as_str() {
+        "list" => {
+            println!("{:<18} DESCRIPTION", "PRESET");
+            for (name, desc, build) in presets::all() {
+                let n = build(Scale::Tiny).expand().len();
+                println!("{name:<18} {desc}  [{n} points at --scale tiny]");
+            }
+        }
+        "expand" => {
+            let campaign = build_preset(positional.get(1), scale);
+            let points = campaign.expand();
+            println!(
+                "# campaign {:?}: {} point(s) ({} unfiltered)",
+                campaign.name,
+                points.len(),
+                campaign.size_unfiltered()
+            );
+            for p in &points {
+                println!("{:>6}  {}", p.ordinal, p.coords.key());
+            }
+        }
+        "run" => {
+            let campaign = build_preset(positional.get(1), scale);
+            let opts = RunOptions {
+                jobs: get("--jobs").map(|x| parse_flag("--jobs", &x)),
+                chunk: get("--chunk").map_or(32, |x| parse_flag("--chunk", &x)),
+                progress: !args.iter().any(|a| a == "--quiet"),
+            };
+            let records = run_campaign(&campaign, &opts);
+            let store = ResultsStore::new(&campaign, records);
+            let out = get("--out").unwrap_or_else(|| format!("campaign-{}.jsonl", campaign.name));
+            if let Err(e) = store.save(&out) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[abc-campaign] wrote {} record(s) to {out} (schema {})",
+                store.records.len(),
+                store.header.schema
+            );
+        }
+        "export" => {
+            let store = load(positional.get(1));
+            if args.iter().any(|a| a == "--csv") {
+                print!("{}", aggregate::render_csv(&store.records));
+            } else {
+                let over = get("--over").unwrap_or_else(|| "seed".into());
+                let aggs = aggregate::aggregate(&store.records, &over);
+                println!(
+                    "# campaign {:?} — {} record(s)\n",
+                    store.header.campaign, store.header.points
+                );
+                print!("{}", aggregate::render_table(&aggs, &over));
+                println!();
+                print!("{}", aggregate::render_rollup(&store.records));
+            }
+        }
+        "diff" => {
+            let baseline = load(positional.get(1));
+            let candidate = load(positional.get(2));
+            let cfg = DiffConfig {
+                util_drop: get("--util-drop")
+                    .and_then(|x| x.parse().ok())
+                    .unwrap_or(DiffConfig::default().util_drop),
+                delay_rise: get("--delay-rise")
+                    .and_then(|x| x.parse().ok())
+                    .unwrap_or(DiffConfig::default().delay_rise),
+                tput_drop: get("--tput-drop")
+                    .and_then(|x| x.parse().ok())
+                    .unwrap_or(DiffConfig::default().tput_drop),
+                ..DiffConfig::default()
+            };
+            let report = diff(&baseline, &candidate, &cfg);
+            print!("{}", report.render());
+            if report.has_regressions() {
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// A flag value that must be a positive integer — a typo must not
+/// silently fall back to a default.
+fn parse_flag(flag: &str, value: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("{flag} needs a positive integer, got {value:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn build_preset(name: Option<&&String>, scale: Scale) -> campaign::Campaign {
+    let Some(name) = name else { usage() };
+    match presets::by_name(name, scale) {
+        Some(c) => c,
+        None => {
+            eprintln!("unknown preset {name:?}; `abc-campaign list` shows the built-ins");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load(path: Option<&&String>) -> ResultsStore {
+    let Some(path) = path else { usage() };
+    match ResultsStore::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Baseline diffing and regression detection over two results stores.
+//!
+//! Records are matched by their coordinate key. Because every record is a
+//! bit-reproducible function of its spec, an unchanged tree diffs to
+//! exactly zero — any delta is a real behavior change, and the thresholds
+//! below only decide which deltas are big enough to gate on.
+
+use crate::runner::RunRecord;
+use crate::store::ResultsStore;
+use std::fmt::Write;
+
+/// When a delta counts as a regression.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Utilization drop (absolute) that fails, e.g. `0.05` = 5 points.
+    pub util_drop: f64,
+    /// p95 per-packet delay rise (relative) that fails, e.g. `0.25` = +25%.
+    pub delay_rise: f64,
+    /// Ignore delay rises smaller than this many ms (sub-ms noise floors).
+    pub delay_floor_ms: f64,
+    /// Total throughput drop (relative) that fails, e.g. `0.10` = −10%.
+    pub tput_drop: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            util_drop: 0.05,
+            delay_rise: 0.25,
+            delay_floor_ms: 5.0,
+            tput_drop: 0.10,
+        }
+    }
+}
+
+/// One metric's movement on one matched record.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    pub key: String,
+    pub metric: &'static str,
+    pub baseline: f64,
+    pub candidate: f64,
+}
+
+impl MetricDelta {
+    fn row(&self) -> String {
+        format!(
+            "  {:<44} {:<12} {:>10.3} -> {:>10.3}",
+            self.key, self.metric, self.baseline, self.candidate
+        )
+    }
+}
+
+/// The outcome of diffing candidate results against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    pub matched: usize,
+    pub regressions: Vec<MetricDelta>,
+    pub improvements: Vec<MetricDelta>,
+    /// Coordinate keys present only in the baseline store.
+    pub only_baseline: Vec<String>,
+    /// Coordinate keys present only in the candidate store.
+    pub only_candidate: Vec<String>,
+}
+
+impl DiffReport {
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "# diff: {} matched record(s), {} regression(s), {} improvement(s)",
+            self.matched,
+            self.regressions.len(),
+            self.improvements.len()
+        )
+        .unwrap();
+        if !self.regressions.is_empty() {
+            writeln!(out, "\nREGRESSIONS:").unwrap();
+            for d in &self.regressions {
+                writeln!(out, "{}", d.row()).unwrap();
+            }
+        }
+        if !self.improvements.is_empty() {
+            writeln!(out, "\nimprovements:").unwrap();
+            for d in &self.improvements {
+                writeln!(out, "{}", d.row()).unwrap();
+            }
+        }
+        for (tag, keys) in [
+            ("only in baseline", &self.only_baseline),
+            ("only in candidate", &self.only_candidate),
+        ] {
+            if !keys.is_empty() {
+                writeln!(out, "\n{tag}: {}", keys.join(", ")).unwrap();
+            }
+        }
+        if !self.has_regressions() {
+            writeln!(out, "\nOK: no regressions").unwrap();
+        }
+        out
+    }
+}
+
+/// Compare `candidate` against `baseline` record-by-record.
+pub fn diff(baseline: &ResultsStore, candidate: &ResultsStore, cfg: &DiffConfig) -> DiffReport {
+    let mut report = DiffReport::default();
+    let find = |records: &[RunRecord], key: &str| -> Option<usize> {
+        records.iter().position(|r| r.coords.key() == key)
+    };
+    for b in &baseline.records {
+        let key = b.coords.key();
+        let Some(ci) = find(&candidate.records, &key) else {
+            report.only_baseline.push(key);
+            continue;
+        };
+        let c = &candidate.records[ci];
+        report.matched += 1;
+
+        let classify = |worse: bool,
+                        better: bool,
+                        metric: &'static str,
+                        baseline: f64,
+                        candidate: f64,
+                        report: &mut DiffReport| {
+            let delta = MetricDelta {
+                key: key.clone(),
+                metric,
+                baseline,
+                candidate,
+            };
+            if worse {
+                report.regressions.push(delta);
+            } else if better {
+                report.improvements.push(delta);
+            }
+        };
+
+        let (bu, cu) = (b.report.utilization, c.report.utilization);
+        if bu.is_finite() && cu.is_finite() {
+            classify(
+                cu < bu - cfg.util_drop,
+                cu > bu + cfg.util_drop,
+                "utilization",
+                bu,
+                cu,
+                &mut report,
+            );
+        }
+
+        let (bd, cd) = (b.report.delay_ms.p95, c.report.delay_ms.p95);
+        if bd.is_finite() && cd.is_finite() {
+            classify(
+                cd > bd * (1.0 + cfg.delay_rise) && cd - bd > cfg.delay_floor_ms,
+                bd > cd * (1.0 + cfg.delay_rise) && bd - cd > cfg.delay_floor_ms,
+                "delay_p95_ms",
+                bd,
+                cd,
+                &mut report,
+            );
+        }
+
+        let (bt, ct) = (b.report.total_tput_mbps, c.report.total_tput_mbps);
+        if bt.is_finite() && ct.is_finite() && bt > 0.0 {
+            classify(
+                ct < bt * (1.0 - cfg.tput_drop),
+                ct > bt * (1.0 + cfg.tput_drop),
+                "tput_mbps",
+                bt,
+                ct,
+                &mut report,
+            );
+        }
+    }
+    for c in &candidate.records {
+        let key = c.coords.key();
+        if find(&baseline.records, &key).is_none() {
+            report.only_candidate.push(key);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_campaign;
+    use crate::spec::{Axis, Campaign};
+    use crate::store::ResultsStore;
+    use experiments::engine::ScenarioSpec;
+    use experiments::scenario::LinkSpec;
+    use experiments::Scheme;
+    use netsim::rate::Rate;
+
+    fn store() -> ResultsStore {
+        let base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+            .duration_secs(1)
+            .warmup_secs(0);
+        let campaign =
+            Campaign::new("difftest", base).axis(Axis::schemes(&[Scheme::Abc, Scheme::Cubic]));
+        let records = run_campaign(&campaign, &Default::default());
+        ResultsStore::new(&campaign, records)
+    }
+
+    #[test]
+    fn identical_stores_diff_clean() {
+        let a = store();
+        let report = diff(&a, &a.clone(), &DiffConfig::default());
+        assert_eq!(report.matched, 2);
+        assert!(!report.has_regressions());
+        assert!(report.improvements.is_empty());
+        assert!(report.render().contains("OK: no regressions"));
+    }
+
+    #[test]
+    fn injected_regression_is_flagged() {
+        let base = store();
+        let mut cand = base.clone();
+        cand.records[0].report.utilization -= 0.3;
+        cand.records[0].report.delay_ms.p95 *= 3.0;
+        let report = diff(&base, &cand, &DiffConfig::default());
+        assert!(report.has_regressions());
+        let metrics: Vec<&str> = report.regressions.iter().map(|d| d.metric).collect();
+        assert!(metrics.contains(&"utilization"), "{metrics:?}");
+        assert!(metrics.contains(&"delay_p95_ms"), "{metrics:?}");
+        assert!(report.regressions[0].key.contains("scheme=ABC"));
+        assert!(report.render().contains("REGRESSIONS"));
+    }
+
+    #[test]
+    fn missing_and_added_records_are_reported() {
+        let base = store();
+        let mut cand = base.clone();
+        let moved = cand.records.remove(1);
+        let report = diff(&base, &cand, &DiffConfig::default());
+        assert_eq!(report.matched, 1);
+        assert_eq!(report.only_baseline, vec![moved.coords.key()]);
+        let report = diff(&cand, &base, &DiffConfig::default());
+        assert_eq!(report.only_candidate, vec![moved.coords.key()]);
+    }
+}

@@ -1,0 +1,369 @@
+//! The matrix/pareto/RTT-grid figures, migrated onto campaigns: each
+//! figure's sweep is a [`Campaign`] preset and its body is a **pure
+//! renderer over run records** — the same records `abc-campaign run`
+//! writes to a store, so a stored sweep can be re-rendered without
+//! re-simulating.
+//!
+//! [`all`] is the complete figure index of the reproduction: the
+//! campaign-backed figures here plus the per-figure harnesses still in
+//! [`experiments::figures`].
+
+use crate::aggregate::stat_by;
+use crate::presets;
+use crate::runner::{find, labels_of, run_campaign, RunOptions, RunRecord};
+use experiments::figures::{FigureFn, Scale};
+use std::fmt::Write;
+
+fn run(campaign: &crate::spec::Campaign) -> Vec<RunRecord> {
+    run_campaign(campaign, &RunOptions::quiet())
+}
+
+/// Table 1 of §1: throughput and 95th-percentile delay normalized to ABC,
+/// averaged over the traces.
+pub fn table1(scale: Scale) -> String {
+    use experiments::Scheme;
+    let schemes = [
+        Scheme::Abc,
+        Scheme::Xcp,
+        Scheme::CubicCodel,
+        Scheme::Copa,
+        Scheme::Cubic,
+        Scheme::Pcc,
+        Scheme::Bbr,
+        Scheme::Sprout,
+        Scheme::Verus,
+    ];
+    let campaign = presets::matrix_campaign(
+        "table1",
+        &schemes,
+        &presets::traces(scale),
+        presets::sim_duration(scale),
+    );
+    render_table1(&run(&campaign))
+}
+
+/// Render Table 1 from matrix records (axes `scheme` × `trace`).
+pub fn render_table1(records: &[RunRecord]) -> String {
+    let util = stat_by(records, "scheme", |r| r.report.utilization);
+    let delay = stat_by(records, "scheme", |r| r.report.delay_ms.p95);
+    let (abc_util, abc_delay) = (
+        util.iter()
+            .find(|(s, _)| s == "ABC")
+            .expect("ABC row")
+            .1
+            .mean,
+        delay
+            .iter()
+            .find(|(s, _)| s == "ABC")
+            .expect("ABC row")
+            .1
+            .mean,
+    );
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Table 1 — normalized throughput and 95p delay (ABC = 1)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>11} {:>18}",
+        "Scheme", "Norm. Tput", "Norm. Delay (95%)"
+    )
+    .unwrap();
+    for ((s, u), (_, d)) in util.iter().zip(&delay) {
+        writeln!(
+            out,
+            "{:<14} {:>11.2} {:>18.2}",
+            s,
+            u.mean / abc_util,
+            d.mean / abc_delay
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Fig. 8: utilization vs 95th-percentile per-packet delay on (a) a
+/// downlink trace, (b) an uplink trace, (c) the two-hop uplink+downlink
+/// path. One row per scheme per panel; the Pareto frontier of the
+/// *non-ABC* schemes is flagged so ABC's position relative to it is
+/// explicit.
+pub fn fig8(scale: Scale) -> String {
+    render_fig8(&run(&presets::pareto(scale)))
+}
+
+/// Render Fig. 8 from pareto records (axes `path` × `scheme`).
+pub fn render_fig8(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for (label, title) in [
+        ("down", "a (downlink)"),
+        ("up", "b (uplink)"),
+        ("up+down", "c (uplink+downlink, two-hop)"),
+    ] {
+        let rows: Vec<(String, f64, f64)> = records
+            .iter()
+            .filter(|r| r.coords.get("path") == Some(label))
+            .map(|r| {
+                (
+                    r.report.scheme.clone(),
+                    r.report.utilization,
+                    r.report.delay_ms.p95,
+                )
+            })
+            .collect();
+        writeln!(out, "\n## Fig 8{title}").unwrap();
+        writeln!(
+            out,
+            "{:<14} {:>7} {:>16} {:>8}",
+            "Scheme", "Util", "95p delay (ms)", "Pareto"
+        )
+        .unwrap();
+        // Pareto frontier among non-ABC schemes: no other scheme has both
+        // higher util and lower delay
+        for (n, u, d) in &rows {
+            let is_abc = n.starts_with("ABC");
+            let dominated = rows
+                .iter()
+                .filter(|(m, ..)| !m.starts_with("ABC") && m != n)
+                .any(|(_, u2, d2)| *u2 >= *u && *d2 <= *d);
+            let tag = if is_abc {
+                if !dominated {
+                    "OUTSIDE"
+                } else {
+                    "inside"
+                }
+            } else if !dominated {
+                "frontier"
+            } else {
+                ""
+            };
+            writeln!(out, "{:<14} {:>7.3} {:>16.1} {:>8}", n, u, d, tag).unwrap();
+        }
+    }
+    out
+}
+
+/// Fig. 9: utilization and 95th-percentile delay for every scheme on every
+/// trace, plus the cross-trace average.
+pub fn fig9(scale: Scale) -> String {
+    render_matrix(&run(&presets::cellular_matrix(scale)), false)
+}
+
+/// Fig. 15 (Appendix C): same sweep, *mean* per-packet delay.
+pub fn fig15(scale: Scale) -> String {
+    render_matrix(&run(&presets::cellular_matrix(scale)), true)
+}
+
+/// Render the scheme × trace matrix (Figs. 9/15) from its records.
+pub fn render_matrix(records: &[RunRecord], mean_delay: bool) -> String {
+    let schemes = labels_of(records, "scheme");
+    let trs = labels_of(records, "trace");
+    let mut out = String::new();
+    let which = if mean_delay { "mean" } else { "95p" };
+    writeln!(
+        out,
+        "# Fig {} — utilization and {which} per-packet delay per trace",
+        if mean_delay { "15" } else { "9" }
+    )
+    .unwrap();
+    write!(out, "{:<14}", "Scheme").unwrap();
+    for t in &trs {
+        write!(out, " {:>18}", t).unwrap();
+    }
+    writeln!(out, " {:>18}", "AVERAGE").unwrap();
+    for s in &schemes {
+        write!(out, "{:<14}", s).unwrap();
+        let mut us = Vec::new();
+        let mut ds = Vec::new();
+        for t in &trs {
+            let c = find(records, &[("scheme", s), ("trace", t)])
+                .unwrap_or_else(|| panic!("matrix cell ({s}, {t}) missing"));
+            let d = if mean_delay {
+                c.report.delay_ms.mean
+            } else {
+                c.report.delay_ms.p95
+            };
+            us.push(c.report.utilization);
+            ds.push(d);
+            write!(out, " {:>8.2}/{:>6.0}ms", c.report.utilization, d).unwrap();
+        }
+        let mu = us.iter().sum::<f64>() / us.len() as f64;
+        let md = ds.iter().sum::<f64>() / ds.len() as f64;
+        writeln!(out, " {:>8.2}/{:>6.0}ms", mu, md).unwrap();
+    }
+    out
+}
+
+/// Fig. 16: utilization and 95p delay of ABC / XCP / XCPw / VCP / RCP
+/// across the cellular traces.
+pub fn fig16(scale: Scale) -> String {
+    render_fig16(&run(&presets::explicit_matrix(scale)))
+}
+
+/// Render Fig. 16 from explicit-matrix records.
+pub fn render_fig16(records: &[RunRecord]) -> String {
+    let util = stat_by(records, "scheme", |r| r.report.utilization);
+    let p95 = stat_by(records, "scheme", |r| r.report.delay_ms.p95);
+    let mean = stat_by(records, "scheme", |r| r.report.delay_ms.mean);
+    let n_traces = labels_of(records, "trace").len();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Fig 16 — ABC vs explicit control (avg over {n_traces} traces)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>7} {:>16} {:>16}",
+        "Scheme", "Util", "95p delay (ms)", "mean delay (ms)"
+    )
+    .unwrap();
+    for ((s, u), ((_, p), (_, m))) in util.iter().zip(p95.iter().zip(&mean)) {
+        writeln!(
+            out,
+            "{:<8} {:>7.3} {:>16.1} {:>16.1}",
+            s, u.mean, p.mean, m.mean
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Fig. 18 (Appendix E): the lineup at RTT ∈ {20, 50, 100, 200} ms on one
+/// trace; reports utilization and 95p *queuing* delay (the appendix's
+/// y-axis), so propagation differences don't mask the comparison.
+pub fn fig18(scale: Scale) -> String {
+    render_fig18(&run(&presets::rtt_grid(scale)))
+}
+
+/// Render Fig. 18 from rtt-grid records (axes `scheme` × `rtt_ms`).
+pub fn render_fig18(records: &[RunRecord]) -> String {
+    let schemes = labels_of(records, "scheme");
+    let rtts = labels_of(records, "rtt_ms");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Fig 18 — RTT sensitivity (utilization / 95p queuing delay ms)"
+    )
+    .unwrap();
+    write!(out, "{:<14}", "Scheme").unwrap();
+    for r in &rtts {
+        write!(out, " {:>16}", format!("RTT {r}ms")).unwrap();
+    }
+    writeln!(out).unwrap();
+    for s in &schemes {
+        write!(out, "{:<14}", s).unwrap();
+        for rtt in &rtts {
+            let c = find(records, &[("scheme", s), ("rtt_ms", rtt)])
+                .unwrap_or_else(|| panic!("rtt-grid cell ({s}, {rtt}) missing"));
+            write!(
+                out,
+                " {:>8.2}/{:>5.0}ms",
+                c.report.utilization, c.report.qdelay_ms.p95
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// The complete figure index: campaign-backed figures (here) merged with
+/// the per-figure harnesses still in [`experiments::figures`], in the
+/// paper's order.
+pub fn all() -> Vec<(&'static str, &'static str, FigureFn)> {
+    let mut v = experiments::figures::all();
+    v.extend([
+        (
+            "table1",
+            "§1 normalized tput/delay summary",
+            table1 as FigureFn,
+        ),
+        (
+            "fig8",
+            "utilization vs 95p delay Pareto (down/up/two-hop)",
+            fig8 as FigureFn,
+        ),
+        (
+            "fig9",
+            "utilization + 95p delay across 8 traces",
+            fig9 as FigureFn,
+        ),
+        (
+            "fig15",
+            "mean per-packet delay across traces",
+            fig15 as FigureFn,
+        ),
+        (
+            "fig16",
+            "ABC vs explicit schemes (XCP/XCPw/RCP/VCP)",
+            fig16 as FigureFn,
+        ),
+        ("fig18", "RTT sensitivity sweep", fig18 as FigureFn),
+    ]);
+    v.sort_by_key(|(id, ..)| rank(id));
+    v
+}
+
+/// Canonical figure order: table1 first, then `fig<N>` numerically, then
+/// the named extras in their listed order.
+fn rank(id: &str) -> u32 {
+    if id == "table1" {
+        return 0;
+    }
+    id.strip_prefix("fig")
+        .and_then(|n| n.parse::<u32>().ok())
+        .unwrap_or(1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_complete_and_ordered() {
+        let all = all();
+        assert!(all.len() >= 23, "figure index shrank to {}", all.len());
+        let ids: Vec<&str> = all.iter().map(|(id, ..)| *id).collect();
+        assert_eq!(ids[0], "table1");
+        let f8 = ids.iter().position(|&i| i == "fig8").unwrap();
+        let f9 = ids.iter().position(|&i| i == "fig9").unwrap();
+        assert!(f8 < f9);
+        assert!(ids.contains(&"stability") && ids.contains(&"marking"));
+        // no duplicates
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate figure ids: {ids:?}");
+    }
+
+    #[test]
+    fn table1_normalizes_to_abc() {
+        let t = table1(Scale::Fast);
+        // the ABC row must read 1.00 / 1.00
+        let abc_line = t.lines().find(|l| l.starts_with("ABC")).unwrap();
+        assert!(abc_line.contains("1.00"), "{abc_line}");
+    }
+
+    #[test]
+    fn fig8_flags_abc_outside_frontier() {
+        let f = fig8(Scale::Fast);
+        assert!(f.contains("Fig 8a"));
+        assert!(f.contains("Fig 8c"));
+        // ABC should be outside the non-ABC frontier on at least one panel
+        assert!(f.contains("OUTSIDE"), "{f}");
+    }
+
+    #[test]
+    fn rendering_is_a_pure_function_of_stored_records() {
+        // Re-rendering records loaded from a store must reproduce the
+        // figure byte-for-byte: figures are renderers, not simulations.
+        let campaign = presets::rtt_grid(Scale::Tiny);
+        let records = run(&campaign);
+        let direct = render_fig18(&records);
+        let store = crate::store::ResultsStore::new(&campaign, records);
+        let reloaded = crate::store::ResultsStore::from_jsonl(&store.to_jsonl()).unwrap();
+        assert_eq!(render_fig18(&reloaded.records), direct);
+    }
+}

@@ -1,0 +1,46 @@
+//! # campaign — declarative sweep orchestration over the scenario engine
+//!
+//! The paper's evidence is built from cross-products — schemes ×
+//! topologies × traces × RTTs × buffers × seeds. This crate turns those
+//! sweeps from hand-rolled loops into data:
+//!
+//! * [`spec`] — the [`Campaign`](spec::Campaign) type: a base
+//!   [`ScenarioSpec`](experiments::engine::ScenarioSpec) plus named
+//!   [`Axis`](spec::Axis) values, with deterministic row-major cartesian
+//!   expansion and constraint [`Filter`](spec::Filter)s.
+//! * [`runner`] — the executor: chunked dispatch onto
+//!   [`ScenarioEngine::run_batch`](experiments::engine::ScenarioEngine::run_batch)
+//!   with progress reporting; results are bit-identical across reruns and
+//!   worker-pool sizes.
+//! * [`store`] — the schema-versioned JSONL
+//!   [`ResultsStore`](store::ResultsStore): a self-describing header plus
+//!   one full [`Report`](experiments::report::Report) per record.
+//! * [`aggregate`] — across-seed mean/CI, percentile rollups, Jain
+//!   summaries, CSV export.
+//! * [`diff`] — baseline comparison and regression gating.
+//! * [`presets`] — built-in campaigns (`tiny`, `cellular-matrix`,
+//!   `pareto`, `rtt-grid`, …).
+//! * [`figures`] — the matrix/pareto/RTT figures as pure renderers over
+//!   run records, and the workspace's complete figure index.
+//!
+//! The `abc-campaign` binary drives all of it from the command line
+//! (`run` / `expand` / `diff` / `export` / `list`); `figgen` regenerates
+//! any figure of the paper.
+//!
+//! [`json`] is the zero-dependency JSON tree the store serializes
+//! through; it guarantees deterministic output and exact float round
+//! trips.
+
+pub mod aggregate;
+pub mod diff;
+pub mod figures;
+pub mod json;
+pub mod presets;
+pub mod runner;
+pub mod spec;
+pub mod store;
+
+pub use diff::{DiffConfig, DiffReport};
+pub use runner::{run_campaign, RunOptions, RunRecord};
+pub use spec::{Axis, AxisValue, Campaign, CampaignPoint, Coords, Filter};
+pub use store::{ResultsStore, StoreError, StoreHeader, SCHEMA};

@@ -1,0 +1,225 @@
+//! Built-in campaigns: the sweeps behind the paper's matrix/pareto/RTT
+//! figures, plus small presets for CI gating and seed-replication
+//! studies. Every preset is a pure function of its [`Scale`], so two
+//! invocations expand to identical point lists.
+
+use crate::spec::{Axis, Campaign};
+use cellular::CellTrace;
+use experiments::engine::{ScenarioSpec, Topology};
+use experiments::figures::Scale;
+use experiments::scenario::LinkSpec;
+use experiments::{Scheme, CELLULAR_LINEUP, EXPLICIT_LINEUP};
+use netsim::rate::Rate;
+use netsim::time::SimDuration;
+
+/// The cellular traces for a run: all eight, or a truncated subset.
+pub fn traces(scale: Scale) -> Vec<CellTrace> {
+    let mut all = cellular::all_builtin();
+    all.truncate(scale.pick(usize::MAX, 2, 1));
+    all
+}
+
+/// Simulated duration of each matrix cell.
+pub fn sim_duration(scale: Scale) -> SimDuration {
+    scale.secs(120, 20, 2)
+}
+
+/// The base spec the cellular sweeps share: single bottleneck (the trace
+/// axis overwrites the link), 100 ms RTT, 250-pkt buffer, 5 s warmup.
+fn cell_base(duration: SimDuration) -> ScenarioSpec {
+    ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::ZERO)).duration(duration)
+}
+
+/// A scheme × trace matrix — the shape behind Table 1 and Figs. 9/15/16.
+pub fn matrix_campaign(
+    name: impl Into<String>,
+    schemes: &[Scheme],
+    traces: &[CellTrace],
+    duration: SimDuration,
+) -> Campaign {
+    Campaign::new(name, cell_base(duration))
+        .axis(Axis::schemes(schemes))
+        .axis(Axis::traces(traces))
+}
+
+/// Fig. 9/15's sweep: the full cellular lineup over every trace.
+pub fn cellular_matrix(scale: Scale) -> Campaign {
+    matrix_campaign(
+        "cellular-matrix",
+        &CELLULAR_LINEUP,
+        &traces(scale),
+        sim_duration(scale),
+    )
+}
+
+/// Fig. 16's sweep: ABC against the explicit-feedback schemes.
+pub fn explicit_matrix(scale: Scale) -> Campaign {
+    matrix_campaign(
+        "explicit-matrix",
+        &EXPLICIT_LINEUP,
+        &traces(scale),
+        sim_duration(scale),
+    )
+}
+
+/// Fig. 8's sweep: the lineup over the downlink trace, the uplink trace,
+/// and the two-hop uplink+downlink path.
+pub fn pareto(scale: Scale) -> Campaign {
+    let down = cellular::builtin("Verizon1").expect("builtin trace");
+    let up = cellular::builtin("Verizon2").expect("builtin trace");
+    let paths = vec![
+        (
+            "down".to_string(),
+            Topology::SingleBottleneck(LinkSpec::Trace(down.clone())),
+        ),
+        (
+            "up".to_string(),
+            Topology::SingleBottleneck(LinkSpec::Trace(up.clone())),
+        ),
+        (
+            "up+down".to_string(),
+            Topology::TwoHop {
+                up: LinkSpec::Trace(up),
+                down: LinkSpec::Trace(down),
+            },
+        ),
+    ];
+    Campaign::new("pareto", cell_base(sim_duration(scale)))
+        .axis(Axis::paths("path", paths))
+        .axis(Axis::schemes(&CELLULAR_LINEUP))
+}
+
+/// Fig. 18's sweep: RTT sensitivity on one trace (full lineup at paper
+/// scale, a 3-scheme core below it).
+pub fn rtt_grid(scale: Scale) -> Campaign {
+    let trace = cellular::builtin("Verizon1").expect("builtin trace");
+    let schemes: &[Scheme] = if scale.reduced() {
+        &[Scheme::Abc, Scheme::CubicCodel, Scheme::Cubic]
+    } else {
+        &CELLULAR_LINEUP
+    };
+    Campaign::new("rtt-grid", cell_base(sim_duration(scale)))
+        .axis(Axis::schemes(schemes))
+        .axis(Axis::rtts_ms(&[20, 50, 100, 200]))
+        .axis(Axis::traces(std::slice::from_ref(&trace)))
+}
+
+/// Across-seed replication: ABC and Cubic on one trace, eight seeds —
+/// the aggregation layer's mean/CI demo.
+pub fn seed_spread(scale: Scale) -> Campaign {
+    let trace = cellular::builtin("Verizon1").expect("builtin trace");
+    let seeds: Vec<u64> = (1..=scale.pick(8, 4, 2)).collect();
+    Campaign::new("seed-spread", cell_base(scale.secs(60, 10, 2)))
+        .axis(Axis::schemes(&[Scheme::Abc, Scheme::Cubic]))
+        .axis(Axis::traces(std::slice::from_ref(&trace)))
+        .axis(Axis::seeds(&seeds))
+}
+
+/// The CI gate: 2 schemes × 2 synthetic links × 2 seeds at 2 s each —
+/// small enough to rerun twice per build, rich enough to exercise every
+/// store feature. Ignores [`Scale`].
+pub fn tiny(_scale: Scale) -> Campaign {
+    let links = vec![
+        (
+            "const12".to_string(),
+            crate::spec::AxisValue::Link(LinkSpec::Constant(Rate::from_mbps(12.0))),
+        ),
+        (
+            "square12-24".to_string(),
+            crate::spec::AxisValue::Link(LinkSpec::Square {
+                a: Rate::from_mbps(12.0),
+                b: Rate::from_mbps(24.0),
+                half_period: SimDuration::from_millis(500),
+            }),
+        ),
+    ];
+    let base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::ZERO))
+        .duration_secs(2)
+        .warmup_secs(1);
+    Campaign::new("tiny", base)
+        .axis(Axis::schemes(&[Scheme::Abc, Scheme::Cubic]))
+        .axis(Axis::new("link", links))
+        .axis(Axis::seeds(&[1, 2]))
+}
+
+/// A preset builder: a pure `Scale → Campaign` function.
+pub type PresetFn = fn(Scale) -> Campaign;
+
+/// Every built-in campaign: `(name, description, builder)`.
+pub fn all() -> Vec<(&'static str, &'static str, PresetFn)> {
+    vec![
+        (
+            "tiny",
+            "CI gate: 2 schemes × 2 links × 2 seeds, 2 s each",
+            tiny as PresetFn,
+        ),
+        (
+            "cellular-matrix",
+            "Fig 9/15: cellular lineup × traces",
+            cellular_matrix,
+        ),
+        (
+            "explicit-matrix",
+            "Fig 16: ABC vs XCP/XCPw/VCP/RCP × traces",
+            explicit_matrix,
+        ),
+        ("pareto", "Fig 8: lineup over down/up/two-hop paths", pareto),
+        ("rtt-grid", "Fig 18: RTT ∈ {20,50,100,200} ms", rtt_grid),
+        (
+            "seed-spread",
+            "across-seed mean/CI: 2 schemes × 8 seeds",
+            seed_spread,
+        ),
+    ]
+}
+
+/// Look a preset up by name and build it at `scale`.
+pub fn by_name(name: &str, scale: Scale) -> Option<Campaign> {
+    all()
+        .into_iter()
+        .find(|(n, ..)| *n == name)
+        .map(|(_, _, f)| f(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_expands_deterministically() {
+        for (name, _, build) in all() {
+            let a = build(Scale::Tiny);
+            let b = build(Scale::Tiny);
+            let (pa, pb) = (a.expand(), b.expand());
+            assert!(!pa.is_empty(), "{name} expands to nothing");
+            assert_eq!(pa.len(), pb.len(), "{name} expansion size changed");
+            for (x, y) in pa.iter().zip(&pb) {
+                assert_eq!(x.ordinal, y.ordinal, "{name} ordinal changed");
+                assert_eq!(x.coords, y.coords, "{name} coords changed");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_is_exactly_eight_points() {
+        let pts = tiny(Scale::Tiny).expand();
+        assert_eq!(pts.len(), 8);
+        assert_eq!(pts[0].coords.key(), "scheme=ABC,link=const12,seed=1");
+    }
+
+    #[test]
+    fn by_name_resolves_and_rejects() {
+        assert!(by_name("tiny", Scale::Tiny).is_some());
+        assert!(by_name("rtt-grid", Scale::Tiny).is_some());
+        assert!(by_name("nope", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn rtt_grid_reduces_lineup_below_full_scale() {
+        assert_eq!(rtt_grid(Scale::Tiny).expand().len(), 3 * 4);
+        assert_eq!(
+            rtt_grid(Scale::Full).size_unfiltered(),
+            CELLULAR_LINEUP.len() * 4
+        );
+    }
+}

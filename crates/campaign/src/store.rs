@@ -1,0 +1,469 @@
+//! The schema-versioned JSONL results store.
+//!
+//! Line 1 is a self-describing header (schema id, campaign name, axes
+//! with their labels, filter names, point count); every following line is
+//! one [`RunRecord`] — the full [`Report`] in the units the paper uses,
+//! plus the point's stable ordinal and coordinates.
+//!
+//! Serialization is **bit-identical across reruns and worker-pool
+//! sizes**: records are written in expansion order, objects keep field
+//! order, floats use shortest-round-trip formatting, and nothing
+//! wall-clock-dependent is ever written. `NaN` metrics (Wi-Fi topologies
+//! report no utilization) serialize as `null` and read back as `NaN`.
+
+use crate::json::{self, Value};
+use crate::runner::RunRecord;
+use crate::spec::{Campaign, Coords};
+use experiments::report::Report;
+use netsim::stats::Summary;
+use std::fmt;
+use std::path::Path;
+
+/// The store's schema identifier. Bump on any format change so old
+/// artifacts fail loudly instead of parsing wrong.
+pub const SCHEMA: &str = "abc-campaign/v1";
+
+/// The header line: what produced the records that follow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreHeader {
+    pub schema: String,
+    pub campaign: String,
+    /// `(axis name, value labels)` in axis order.
+    pub axes: Vec<(String, Vec<String>)>,
+    pub filters: Vec<String>,
+    /// Number of record lines (post-filter points).
+    pub points: usize,
+}
+
+/// A parsed (or freshly produced) results file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultsStore {
+    pub header: StoreHeader,
+    pub records: Vec<RunRecord>,
+}
+
+/// Store I/O and format errors.
+#[derive(Debug)]
+pub enum StoreError {
+    Io(std::io::Error),
+    Json { line: usize, error: json::JsonError },
+    Format { line: usize, message: String },
+    Schema { found: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Json { line, error } => write!(f, "line {line}: {error}"),
+            StoreError::Format { line, message } => write!(f, "line {line}: {message}"),
+            StoreError::Schema { found } => {
+                write!(
+                    f,
+                    "unsupported schema {found:?} (this build reads {SCHEMA:?})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl ResultsStore {
+    /// Bundle a campaign's executed records under its header.
+    pub fn new(campaign: &Campaign, records: Vec<RunRecord>) -> ResultsStore {
+        ResultsStore {
+            header: StoreHeader {
+                schema: SCHEMA.to_string(),
+                campaign: campaign.name.clone(),
+                axes: campaign
+                    .axes
+                    .iter()
+                    .map(|a| (a.name.clone(), a.labels()))
+                    .collect(),
+                filters: campaign.filters.iter().map(|f| f.name.clone()).collect(),
+                points: records.len(),
+            },
+            records,
+        }
+    }
+
+    /// Serialize to JSONL (header line + one line per record).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = header_to_value(&self.header).render();
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&record_to_value(r).render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL store, validating the schema id and record count.
+    pub fn from_jsonl(text: &str) -> Result<ResultsStore, StoreError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (i, first) = lines.next().ok_or(StoreError::Format {
+            line: 1,
+            message: "empty store (no header line)".into(),
+        })?;
+        let header = header_from_value(&parse_line(i, first)?, i + 1)?;
+        if header.schema != SCHEMA {
+            return Err(StoreError::Schema {
+                found: header.schema,
+            });
+        }
+        let mut records = Vec::with_capacity(header.points);
+        for (i, line) in lines {
+            records.push(record_from_value(&parse_line(i, line)?, i + 1)?);
+        }
+        if records.len() != header.points {
+            return Err(StoreError::Format {
+                line: 1,
+                message: format!(
+                    "header promises {} records, file has {}",
+                    header.points,
+                    records.len()
+                ),
+            });
+        }
+        Ok(ResultsStore { header, records })
+    }
+
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        std::fs::write(path, self.to_jsonl())?;
+        Ok(())
+    }
+
+    pub fn load(path: impl AsRef<Path>) -> Result<ResultsStore, StoreError> {
+        let text = std::fs::read_to_string(path)?;
+        ResultsStore::from_jsonl(&text)
+    }
+}
+
+fn parse_line(idx: usize, line: &str) -> Result<Value, StoreError> {
+    json::parse(line).map_err(|error| StoreError::Json {
+        line: idx + 1,
+        error,
+    })
+}
+
+fn header_to_value(h: &StoreHeader) -> Value {
+    Value::Obj(vec![
+        ("schema".into(), Value::str(&h.schema)),
+        ("campaign".into(), Value::str(&h.campaign)),
+        (
+            "axes".into(),
+            Value::Arr(
+                h.axes
+                    .iter()
+                    .map(|(name, labels)| {
+                        Value::Obj(vec![
+                            ("name".into(), Value::str(name)),
+                            (
+                                "labels".into(),
+                                Value::Arr(labels.iter().map(Value::str).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "filters".into(),
+            Value::Arr(h.filters.iter().map(Value::str).collect()),
+        ),
+        ("points".into(), Value::num(h.points as f64)),
+    ])
+}
+
+fn record_to_value(r: &RunRecord) -> Value {
+    Value::Obj(vec![
+        ("ordinal".into(), Value::num(r.ordinal as f64)),
+        (
+            "coords".into(),
+            Value::Obj(
+                r.coords
+                    .0
+                    .iter()
+                    .map(|(a, l)| (a.clone(), Value::str(l)))
+                    .collect(),
+            ),
+        ),
+        ("report".into(), report_to_value(&r.report)),
+    ])
+}
+
+fn report_to_value(r: &Report) -> Value {
+    Value::Obj(vec![
+        ("scheme".into(), Value::str(&r.scheme)),
+        ("utilization".into(), Value::num(r.utilization)),
+        ("delay_ms".into(), summary_to_value(&r.delay_ms)),
+        ("qdelay_ms".into(), summary_to_value(&r.qdelay_ms)),
+        (
+            "flow_tputs_mbps".into(),
+            Value::Arr(r.flow_tputs_mbps.iter().map(|&x| Value::num(x)).collect()),
+        ),
+        ("total_tput_mbps".into(), Value::num(r.total_tput_mbps)),
+        ("jain".into(), Value::num(r.jain)),
+        ("drops".into(), Value::num(r.drops as f64)),
+        ("tput_series".into(), series_to_value(&r.tput_series)),
+        ("qdelay_series".into(), series_to_value(&r.qdelay_series)),
+        (
+            "capacity_series".into(),
+            series_to_value(&r.capacity_series),
+        ),
+    ])
+}
+
+fn summary_to_value(s: &Summary) -> Value {
+    Value::Obj(vec![
+        ("count".into(), Value::num(s.count as f64)),
+        ("mean".into(), Value::num(s.mean)),
+        ("std_dev".into(), Value::num(s.std_dev)),
+        ("min".into(), Value::num(s.min)),
+        ("max".into(), Value::num(s.max)),
+        ("p50".into(), Value::num(s.p50)),
+        ("p95".into(), Value::num(s.p95)),
+        ("p99".into(), Value::num(s.p99)),
+    ])
+}
+
+fn series_to_value(series: &[(f64, f64)]) -> Value {
+    Value::Arr(
+        series
+            .iter()
+            .map(|&(t, v)| Value::Arr(vec![Value::num(t), Value::num(v)]))
+            .collect(),
+    )
+}
+
+// ---- reading ----------------------------------------------------------
+
+fn fmt_err(line: usize, message: impl Into<String>) -> StoreError {
+    StoreError::Format {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A numeric field; `null` reads back as the `NaN` it stood for.
+fn num_field(v: &Value, key: &str, line: usize) -> Result<f64, StoreError> {
+    match v.get(key) {
+        Some(Value::Num(x)) => Ok(*x),
+        Some(Value::Null) => Ok(f64::NAN),
+        _ => Err(fmt_err(line, format!("missing numeric field {key:?}"))),
+    }
+}
+
+fn str_field(v: &Value, key: &str, line: usize) -> Result<String, StoreError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| fmt_err(line, format!("missing string field {key:?}")))
+}
+
+fn header_from_value(v: &Value, line: usize) -> Result<StoreHeader, StoreError> {
+    let axes = v
+        .get("axes")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| fmt_err(line, "missing \"axes\""))?
+        .iter()
+        .map(|a| {
+            let name = str_field(a, "name", line)?;
+            let labels = a
+                .get("labels")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| fmt_err(line, "axis without \"labels\""))?
+                .iter()
+                .map(|l| {
+                    l.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| fmt_err(line, "non-string axis label"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((name, labels))
+        })
+        .collect::<Result<Vec<_>, StoreError>>()?;
+    let filters = v
+        .get("filters")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|f| {
+            f.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| fmt_err(line, "non-string filter name"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(StoreHeader {
+        schema: str_field(v, "schema", line)?,
+        campaign: str_field(v, "campaign", line)?,
+        axes,
+        filters,
+        points: num_field(v, "points", line)? as usize,
+    })
+}
+
+fn record_from_value(v: &Value, line: usize) -> Result<RunRecord, StoreError> {
+    let coords = Coords(
+        v.get("coords")
+            .and_then(Value::as_obj)
+            .ok_or_else(|| fmt_err(line, "missing \"coords\""))?
+            .iter()
+            .map(|(axis, label)| {
+                label
+                    .as_str()
+                    .map(|l| (axis.clone(), l.to_string()))
+                    .ok_or_else(|| fmt_err(line, "non-string coordinate label"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    );
+    let report = v
+        .get("report")
+        .ok_or_else(|| fmt_err(line, "missing \"report\""))?;
+    Ok(RunRecord {
+        ordinal: num_field(v, "ordinal", line)? as usize,
+        coords,
+        report: report_from_value(report, line)?,
+    })
+}
+
+fn report_from_value(v: &Value, line: usize) -> Result<Report, StoreError> {
+    let flow_tputs_mbps = v
+        .get("flow_tputs_mbps")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| fmt_err(line, "missing \"flow_tputs_mbps\""))?
+        .iter()
+        .map(|x| x.as_f64().unwrap_or(f64::NAN))
+        .collect();
+    Ok(Report {
+        scheme: str_field(v, "scheme", line)?,
+        utilization: num_field(v, "utilization", line)?,
+        delay_ms: summary_from_value(v.get("delay_ms"), line)?,
+        qdelay_ms: summary_from_value(v.get("qdelay_ms"), line)?,
+        flow_tputs_mbps,
+        total_tput_mbps: num_field(v, "total_tput_mbps", line)?,
+        jain: num_field(v, "jain", line)?,
+        drops: num_field(v, "drops", line)? as u64,
+        tput_series: series_from_value(v.get("tput_series"), line)?,
+        qdelay_series: series_from_value(v.get("qdelay_series"), line)?,
+        capacity_series: series_from_value(v.get("capacity_series"), line)?,
+    })
+}
+
+fn summary_from_value(v: Option<&Value>, line: usize) -> Result<Summary, StoreError> {
+    let v = v.ok_or_else(|| fmt_err(line, "missing summary object"))?;
+    Ok(Summary {
+        count: num_field(v, "count", line)? as usize,
+        mean: num_field(v, "mean", line)?,
+        std_dev: num_field(v, "std_dev", line)?,
+        min: num_field(v, "min", line)?,
+        max: num_field(v, "max", line)?,
+        p50: num_field(v, "p50", line)?,
+        p95: num_field(v, "p95", line)?,
+        p99: num_field(v, "p99", line)?,
+    })
+}
+
+fn series_from_value(v: Option<&Value>, line: usize) -> Result<Vec<(f64, f64)>, StoreError> {
+    v.and_then(Value::as_arr)
+        .ok_or_else(|| fmt_err(line, "missing series array"))?
+        .iter()
+        .map(|p| match p.as_arr() {
+            Some([t, v]) => Ok((
+                t.as_f64().unwrap_or(f64::NAN),
+                v.as_f64().unwrap_or(f64::NAN),
+            )),
+            _ => Err(fmt_err(line, "series point is not a [t, v] pair")),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axis, Campaign};
+    use experiments::engine::ScenarioSpec;
+    use experiments::scenario::LinkSpec;
+    use experiments::Scheme;
+    use netsim::rate::Rate;
+
+    fn sample_store() -> ResultsStore {
+        let base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+            .duration_secs(1)
+            .warmup_secs(0);
+        let campaign = Campaign::new("sample", base)
+            .axis(Axis::schemes(&[Scheme::Abc, Scheme::Cubic]))
+            .axis(Axis::seeds(&[1]));
+        let records = crate::runner::run_campaign(&campaign, &Default::default());
+        ResultsStore::new(&campaign, records)
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let store = sample_store();
+        let text = store.to_jsonl();
+        let back = ResultsStore::from_jsonl(&text).unwrap();
+        assert_eq!(back, store, "parse(write(store)) changed the store");
+        // serializing the parsed store reproduces the bytes
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn header_is_self_describing() {
+        let store = sample_store();
+        assert_eq!(store.header.schema, SCHEMA);
+        assert_eq!(store.header.campaign, "sample");
+        assert_eq!(
+            store.header.axes,
+            vec![
+                (
+                    "scheme".to_string(),
+                    vec!["ABC".to_string(), "Cubic".to_string()]
+                ),
+                ("seed".to_string(), vec!["1".to_string()]),
+            ]
+        );
+        assert_eq!(store.header.points, 2);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = sample_store()
+            .to_jsonl()
+            .replace(SCHEMA, "abc-campaign/v999");
+        assert!(matches!(
+            ResultsStore::from_jsonl(&text),
+            Err(StoreError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_store_is_rejected() {
+        let full = sample_store().to_jsonl();
+        let truncated: String = full.lines().take(2).map(|l| format!("{l}\n")).collect();
+        assert!(matches!(
+            ResultsStore::from_jsonl(&truncated),
+            Err(StoreError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_metrics_survive_as_nan() {
+        let mut store = sample_store();
+        store.records[0].report.utilization = f64::NAN;
+        store.records[0].report.jain = f64::NAN;
+        let back = ResultsStore::from_jsonl(&store.to_jsonl()).unwrap();
+        assert!(back.records[0].report.utilization.is_nan());
+        assert!(back.records[0].report.jain.is_nan());
+    }
+}

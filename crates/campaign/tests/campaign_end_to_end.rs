@@ -1,0 +1,68 @@
+//! End-to-end guarantees of the campaign subsystem, pinned exactly as the
+//! CI gate exercises them: the tiny preset's JSONL store is bit-identical
+//! across reruns and across worker-pool sizes, round-trips through the
+//! parser, and the diff gate flags injected regressions.
+
+use campaign::diff::{diff, DiffConfig};
+use campaign::presets;
+use campaign::runner::{run_campaign, RunOptions};
+use campaign::store::{ResultsStore, SCHEMA};
+use experiments::figures::Scale;
+
+fn tiny_jsonl(jobs: usize) -> String {
+    let campaign = presets::tiny(Scale::Tiny);
+    let opts = RunOptions::quiet().with_jobs(Some(jobs));
+    ResultsStore::new(&campaign, run_campaign(&campaign, &opts)).to_jsonl()
+}
+
+#[test]
+fn tiny_store_is_bit_identical_across_pools_and_reruns() {
+    let serial = tiny_jsonl(1);
+    for jobs in [2, 4, 8] {
+        assert_eq!(
+            tiny_jsonl(jobs),
+            serial,
+            "a {jobs}-thread pool changed the stored bytes"
+        );
+    }
+    assert_eq!(tiny_jsonl(1), serial, "a rerun changed the stored bytes");
+}
+
+#[test]
+fn tiny_store_round_trips_and_is_schema_versioned() {
+    let campaign = presets::tiny(Scale::Tiny);
+    let store = ResultsStore::new(&campaign, run_campaign(&campaign, &RunOptions::quiet()));
+    let text = store.to_jsonl();
+    assert!(
+        text.lines().next().unwrap().contains(SCHEMA),
+        "header line must carry the schema id"
+    );
+    assert_eq!(text.lines().count(), store.records.len() + 1);
+    let back = ResultsStore::from_jsonl(&text).unwrap();
+    assert_eq!(back, store);
+}
+
+#[test]
+fn diff_gate_flags_an_injected_regression() {
+    let campaign = presets::tiny(Scale::Tiny);
+    let base = ResultsStore::new(&campaign, run_campaign(&campaign, &RunOptions::quiet()));
+
+    // identical runs gate clean
+    let clean = diff(&base, &base.clone(), &DiffConfig::default());
+    assert!(!clean.has_regressions(), "{}", clean.render());
+    assert_eq!(clean.matched, base.records.len());
+
+    // an injected utilization collapse + delay blow-up must be flagged
+    let mut broken = base.clone();
+    let victim = &mut broken.records[3];
+    victim.report.utilization *= 0.5;
+    victim.report.delay_ms.p95 = victim.report.delay_ms.p95 * 2.0 + 50.0;
+    let report = diff(&base, &broken, &DiffConfig::default());
+    assert!(report.has_regressions(), "{}", report.render());
+    let victim_key = base.records[3].coords.key();
+    assert!(
+        report.regressions.iter().any(|d| d.key == victim_key),
+        "regression not attributed to {victim_key}: {}",
+        report.render()
+    );
+}

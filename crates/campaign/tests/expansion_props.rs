@@ -1,0 +1,147 @@
+//! Property tests for campaign cartesian expansion: the expanded point
+//! count equals the axis product minus the filtered points, expansion is
+//! deterministic, and every expanded point satisfies every filter.
+
+use campaign::spec::{Axis, AxisValue, Campaign, Coords, Filter};
+use experiments::engine::ScenarioSpec;
+use experiments::scenario::LinkSpec;
+use experiments::Scheme;
+use netsim::rate::Rate;
+use proptest::prelude::*;
+
+fn base() -> ScenarioSpec {
+    ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+}
+
+/// Build a campaign with the given axis sizes (axis `k` is named `a<k>`
+/// and its labels are `"0"`, `"1"`, …, backed by seed values), plus an
+/// optional filter rejecting one (axis, label) combination.
+fn campaign_of(sizes: &[usize], reject: Option<(usize, usize)>) -> Campaign {
+    let mut c = Campaign::new("prop", base());
+    for (k, &n) in sizes.iter().enumerate() {
+        let values: Vec<(String, AxisValue)> = (0..n)
+            .map(|i| (i.to_string(), AxisValue::Seed(i as u64)))
+            .collect();
+        c = c.axis(Axis::new(format!("a{k}"), values));
+    }
+    if let Some((axis, label)) = reject {
+        let axis_name = format!("a{}", axis % sizes.len());
+        let label = (label % sizes[axis % sizes.len()]).to_string();
+        c = c.filter(Filter::new(
+            format!("reject {axis_name}={label}"),
+            move |coords: &Coords| coords.get(&axis_name) != Some(label.as_str()),
+        ));
+    }
+    c
+}
+
+/// Reference implementation: enumerate the full product naively and count
+/// what the filters accept.
+fn brute_force_accepted(c: &Campaign) -> Vec<String> {
+    let mut keys = Vec::new();
+    let total: usize = c.axes.iter().map(|a| a.len()).product();
+    for ordinal in 0..total {
+        let mut rem = ordinal;
+        let mut labels: Vec<(String, String)> = Vec::new();
+        for axis in c.axes.iter().rev() {
+            labels.push((axis.name.clone(), axis.values[rem % axis.len()].0.clone()));
+            rem /= axis.len();
+        }
+        labels.reverse();
+        let coords = Coords(labels);
+        if c.filters.iter().all(|f| f.accepts(&coords)) {
+            keys.push(coords.key());
+        }
+    }
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unfiltered_count_is_the_axis_product(sizes in proptest::collection::vec(1usize..5, 1..4)) {
+        let c = campaign_of(&sizes, None);
+        let expected: usize = sizes.iter().product();
+        prop_assert_eq!(c.size_unfiltered(), expected);
+        prop_assert_eq!(c.expand().len(), expected);
+    }
+
+    #[test]
+    fn filtered_count_is_product_minus_rejected(
+        sizes in proptest::collection::vec(1usize..5, 1..4),
+        axis in 0usize..8,
+        label in 0usize..8,
+    ) {
+        let c = campaign_of(&sizes, Some((axis, label)));
+        let points = c.expand();
+        let reference = brute_force_accepted(&c);
+        prop_assert_eq!(
+            points.len(),
+            reference.len(),
+            "expansion disagrees with naive enumeration"
+        );
+        // the rejected slice is exactly one label of one axis: the product
+        // with that axis shrunk by one value
+        let k = axis % sizes.len();
+        let mut shrunk = sizes.clone();
+        shrunk[k] -= 1;
+        let expected: usize = shrunk.iter().product();
+        prop_assert_eq!(points.len(), expected);
+    }
+
+    #[test]
+    fn expansion_is_deterministic(
+        sizes in proptest::collection::vec(1usize..5, 1..4),
+        axis in 0usize..8,
+        label in 0usize..8,
+    ) {
+        let c = campaign_of(&sizes, Some((axis, label)));
+        let a = c.expand();
+        let b = c.expand();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.ordinal, y.ordinal);
+            prop_assert_eq!(&x.coords, &y.coords);
+            prop_assert_eq!(x.spec.seed, y.spec.seed);
+        }
+        // and it matches the reference enumeration order, key for key
+        let reference = brute_force_accepted(&c);
+        for (p, key) in a.iter().zip(&reference) {
+            prop_assert_eq!(&p.coords.key(), key);
+        }
+    }
+
+    #[test]
+    fn every_expanded_point_satisfies_every_filter(
+        sizes in proptest::collection::vec(1usize..5, 1..4),
+        axis in 0usize..8,
+        label in 0usize..8,
+    ) {
+        let c = campaign_of(&sizes, Some((axis, label)));
+        for p in c.expand() {
+            for f in &c.filters {
+                prop_assert!(
+                    f.accepts(&p.coords),
+                    "point {} violates filter {}",
+                    p.coords.key(),
+                    f.name
+                );
+            }
+            // ordinals stay within the unfiltered product and identify the
+            // point's coordinates
+            prop_assert!(p.ordinal < c.size_unfiltered());
+        }
+    }
+
+    #[test]
+    fn axis_values_are_applied_to_specs(sizes in proptest::collection::vec(1usize..5, 1..3)) {
+        // the last axis is the fastest-varying and writes `seed`, so each
+        // point's spec.seed must equal its last coordinate label
+        let c = campaign_of(&sizes, None);
+        for p in c.expand() {
+            let last = p.coords.0.last().unwrap().1.parse::<u64>().unwrap();
+            prop_assert_eq!(p.spec.seed, last);
+        }
+    }
+}

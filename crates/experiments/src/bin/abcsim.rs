@@ -64,6 +64,7 @@ OPTIONS:
   --warmup <x>       warm-up excluded from metrics (default 5)
   --app-mbps <x>     rate-limit the application (default: backlogged)
   --pk-ms <x>        PK-ABC oracle lookahead
+  --jobs <n>         engine worker-pool size (default: $ABC_JOBS, else all cores)
   --series           print capacity/goodput/qdelay sparklines"
     );
     std::process::exit(2)
@@ -156,7 +157,17 @@ fn main() {
         sc.oracle_lookahead = Some(SimDuration::from_millis(x));
     }
 
-    let r = ScenarioEngine::new().run(&sc.spec());
+    let engine = match get("--jobs") {
+        Some(x) => match x.parse::<usize>() {
+            Ok(n) if n >= 1 => ScenarioEngine::with_threads(n),
+            _ => {
+                eprintln!("--jobs needs a positive integer, got {x:?}");
+                std::process::exit(2);
+            }
+        },
+        None => ScenarioEngine::new(), // honors $ABC_JOBS
+    };
+    let r = engine.run(&sc.spec());
     if args.iter().any(|a| a == "--series") {
         println!("capacity: {}", sparkline(&r.capacity_series, 70));
         println!("goodput : {}", sparkline(&r.tput_series, 70));

@@ -458,10 +458,12 @@ impl Default for ScenarioEngine {
 }
 
 impl ScenarioEngine {
-    /// An engine sized to the machine (one worker per available core).
+    /// An engine sized to the `ABC_JOBS` environment variable if set (the
+    /// `--jobs` flag of `abcsim`/`figgen`/`abc-campaign` routes through
+    /// it), otherwise to the machine (one worker per available core).
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
+        let threads = jobs_from_env()
+            .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
             .unwrap_or(4);
         ScenarioEngine { threads }
     }
@@ -634,6 +636,14 @@ impl ScenarioEngine {
             })),
         }
     }
+}
+
+/// The `ABC_JOBS` worker-pool override, if set to a positive integer.
+pub fn jobs_from_env() -> Option<usize> {
+    std::env::var("ABC_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
 }
 
 /// Order-preserving parallel map over a scoped worker pool. Swap the body
@@ -920,6 +930,21 @@ mod tests {
         spec.flows = FlowSchedule::Explicit(vec![FlowSpec::new("bad").entry_hop(3)]);
         let res = std::panic::catch_unwind(|| ScenarioEngine::new().build(&spec));
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn abc_jobs_env_overrides_pool_size() {
+        // other tests only ever read this var, and pool size never affects
+        // results, so briefly setting it here is race-safe
+        std::env::set_var("ABC_JOBS", "3");
+        assert_eq!(jobs_from_env(), Some(3));
+        assert_eq!(ScenarioEngine::new().threads(), 3);
+        std::env::set_var("ABC_JOBS", "0");
+        assert_eq!(jobs_from_env(), None, "0 workers is not a pool");
+        std::env::set_var("ABC_JOBS", "lots");
+        assert_eq!(jobs_from_env(), None);
+        std::env::remove_var("ABC_JOBS");
+        assert_eq!(jobs_from_env(), None);
     }
 
     #[test]

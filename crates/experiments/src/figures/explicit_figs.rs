@@ -1,52 +1,14 @@
-//! Appendix D: ABC vs the explicit-control schemes — the per-trace sweep
-//! (Fig. 16) and the square-wave time series (Fig. 17).
+//! Appendix D: the square-wave time series (Fig. 17). Its sibling
+//! per-trace sweep (Fig. 16) is campaign-backed and lives in
+//! `campaign::figures`.
 
-use super::matrix::{averages, run_matrix, sim_duration, traces};
 use super::Scale;
 use crate::report::sparkline;
 use crate::scenario::{CellScenario, LinkSpec};
-use crate::scheme::{Scheme, EXPLICIT_LINEUP};
+use crate::scheme::Scheme;
 use netsim::rate::Rate;
 use netsim::time::SimDuration;
 use std::fmt::Write;
-
-/// Fig. 16: utilization and 95p delay of ABC / XCP / XCPw / VCP / RCP
-/// across the cellular traces.
-pub fn fig16(scale: Scale) -> String {
-    let trs = traces(scale);
-    let cells = run_matrix(
-        &EXPLICIT_LINEUP,
-        &trs,
-        SimDuration::from_millis(100),
-        sim_duration(scale),
-    );
-    let avg = averages(&cells, &EXPLICIT_LINEUP);
-    let mut out = String::new();
-    writeln!(
-        out,
-        "# Fig 16 — ABC vs explicit control (avg over {} traces)",
-        trs.len()
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "{:<8} {:>7} {:>16} {:>16}",
-        "Scheme", "Util", "95p delay (ms)", "mean delay (ms)"
-    )
-    .unwrap();
-    for (s, util, p95, mean, _) in avg {
-        writeln!(
-            out,
-            "{:<8} {:>7.3} {:>16.1} {:>16.1}",
-            s.name(),
-            util,
-            p95,
-            mean
-        )
-        .unwrap();
-    }
-    out
-}
 
 /// Fig. 17: 12 ↔ 24 Mbit/s square wave every 500 ms. ABC and XCPw track
 /// the rate; RCP (rate-based) lags and underutilizes after drops.

@@ -4,15 +4,20 @@
 //! [`Scale::Fast`] (reduced, for benches and local iteration), or
 //! [`Scale::Tiny`] (≤ 2 s of simulated time per scenario, for smoke
 //! tests and CI wiring checks).
+//!
+//! The matrix-shaped sweeps (Table 1, Figs. 8/9/15/16/18) live in the
+//! `campaign` crate as [`Campaign`]-backed pure renderers; its
+//! `campaign::figures::all()` merges them with [`all`] into the
+//! workspace's complete figure index (what the `figgen` binary serves).
+//!
+//! [`Campaign`]: https://docs.rs/campaign (crates/campaign)
 
 use netsim::time::SimDuration;
 
 pub mod ablations;
 pub mod coexistence;
 pub mod explicit_figs;
-pub mod matrix;
 pub mod motivation;
-pub mod pareto;
 pub mod stability_fig;
 pub mod wifi_figs;
 
@@ -51,18 +56,15 @@ impl Scale {
 /// A figure generator: renders its rows/series at the given scale.
 pub type FigureFn = fn(Scale) -> String;
 
-/// Index of every generator: (id, description, runner).
+/// Index of the generators implemented in this crate: (id, description,
+/// runner). The campaign-backed figures (table1, fig8/9/15/16/18) are
+/// indexed by `campaign::figures::all()`, which merges this list.
 pub fn all() -> Vec<(&'static str, &'static str, FigureFn)> {
     vec![
         (
-            "table1",
-            "§1 normalized tput/delay summary",
-            pareto::table1 as FigureFn,
-        ),
-        (
             "fig1",
             "motivation time series (Cubic/Verus/Cubic+CoDel/ABC)",
-            motivation::fig1,
+            motivation::fig1 as FigureFn,
         ),
         ("fig2", "dequeue- vs enqueue-rate feedback", ablations::fig2),
         (
@@ -91,16 +93,6 @@ pub fn all() -> Vec<(&'static str, &'static str, FigureFn)> {
             coexistence::fig7,
         ),
         (
-            "fig8",
-            "utilization vs 95p delay Pareto (down/up/two-hop)",
-            pareto::fig8,
-        ),
-        (
-            "fig9",
-            "utilization + 95p delay across 8 traces",
-            pareto::fig9,
-        ),
-        (
             "fig10",
             "Wi-Fi throughput/delay, 1 and 2 users",
             wifi_figs::fig10,
@@ -118,21 +110,10 @@ pub fn all() -> Vec<(&'static str, &'static str, FigureFn)> {
         ("fig13", "application-limited ABC flows", coexistence::fig13),
         ("fig14", "Wi-Fi Brownian-motion MCS", wifi_figs::fig14),
         (
-            "fig15",
-            "mean per-packet delay across traces",
-            pareto::fig15,
-        ),
-        (
-            "fig16",
-            "ABC vs explicit schemes (XCP/XCPw/RCP/VCP)",
-            explicit_figs::fig16,
-        ),
-        (
             "fig17",
             "square-wave link time series (ABC/RCP/XCPw)",
             explicit_figs::fig17,
         ),
-        ("fig18", "RTT sensitivity sweep", pareto::fig18),
         (
             "pk_abc",
             "§6.6 perfect-future-knowledge ABC",

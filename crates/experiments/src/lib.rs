@@ -4,9 +4,9 @@
 //! (serially or in parallel) by the [`ScenarioEngine`] — see its module
 //! docs for the spec → engine → report pipeline. [`scenario`], [`topos`],
 //! and [`wifi`] are thin presets that denote specs; [`figures`] holds the
-//! generators that regenerate every table and figure of the paper's
-//! evaluation (see DESIGN.md §3 for the index and EXPERIMENTS.md for
-//! paper-vs-measured numbers).
+//! per-figure generators of the paper's evaluation (the matrix-shaped
+//! sweeps — Table 1, Figs. 8/9/15/16/18 — are campaign-backed and live in
+//! the `campaign` crate, whose `figures::all()` is the complete index).
 
 pub mod engine;
 pub mod figures;

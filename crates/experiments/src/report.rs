@@ -88,8 +88,13 @@ impl Report {
 }
 
 /// Downsample a dense series to at most `n` points (mean per bucket).
+/// Series no longer than `n` (including empty ones) come back unchanged;
+/// `n == 0` yields an empty series, honoring the "at most `n`" contract.
 pub fn downsample(series: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
-    if series.len() <= n || n == 0 {
+    if n == 0 {
+        return Vec::new();
+    }
+    if series.len() <= n {
         return series.to_vec();
     }
     let bucket = series.len().div_ceil(n);
@@ -128,6 +133,46 @@ mod tests {
     fn downsample_preserves_short_series() {
         let s = vec![(0.0, 1.0), (1.0, 2.0)];
         assert_eq!(downsample(&s, 10), s);
+    }
+
+    #[test]
+    fn downsample_of_empty_series_is_empty() {
+        assert!(downsample(&[], 10).is_empty());
+        assert!(downsample(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn downsample_to_zero_points_is_empty() {
+        let s = vec![(0.0, 1.0), (1.0, 2.0)];
+        assert!(downsample(&s, 0).is_empty());
+    }
+
+    #[test]
+    fn downsample_shorter_than_target_is_identity() {
+        let s: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, i as f64)).collect();
+        assert_eq!(downsample(&s, 5), s, "len == n must be identity");
+        assert_eq!(downsample(&s, 6), s, "len < n must be identity");
+    }
+
+    #[test]
+    fn downsample_single_point_series() {
+        let s = vec![(3.0, 9.0)];
+        assert_eq!(downsample(&s, 1), s);
+        assert_eq!(downsample(&s, 600), s);
+    }
+
+    #[test]
+    fn downsample_never_exceeds_target() {
+        for len in [1usize, 7, 99, 600, 601, 1234] {
+            let s: Vec<(f64, f64)> = (0..len).map(|i| (i as f64, 0.0)).collect();
+            for n in [1usize, 2, 10, 600] {
+                assert!(
+                    downsample(&s, n).len() <= n,
+                    "len {len} downsampled to {} > {n}",
+                    downsample(&s, n).len()
+                );
+            }
+        }
     }
 
     #[test]

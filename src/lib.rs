@@ -12,7 +12,9 @@
 //! * [`wifi_mac`] — the 802.11n A-MPDU MAC model and ABC's link-rate
 //!   estimator;
 //! * [`cellular`] — Mahimahi trace parsing and synthetic carrier traces;
-//! * [`experiments`] — scenario builders and per-figure harnesses.
+//! * [`experiments`] — scenario builders and per-figure harnesses;
+//! * [`campaign`] — declarative sweep orchestration, the JSONL results
+//!   store, aggregation, and regression gating.
 //!
 //! Start with `examples/quickstart.rs`, then DESIGN.md for the system
 //! inventory and EXPERIMENTS.md for the paper-vs-measured results.
@@ -20,6 +22,7 @@
 pub use abc_core;
 pub use aqm;
 pub use baselines;
+pub use campaign;
 pub use cellular;
 pub use experiments;
 pub use explicit;
@@ -44,6 +47,8 @@ mod tests {
         let _ = aqm::CodelConfig::default();
         let _ = wifi_mac::MCS_RATE_MBPS;
         assert_eq!(cellular::builtin_specs().len(), 8);
-        assert!(experiments::figures::all().len() >= 20);
+        assert!(!experiments::figures::all().is_empty());
+        // the complete index: experiments' figures + the campaign-backed ones
+        assert!(campaign::figures::all().len() >= 20);
     }
 }

@@ -3,7 +3,8 @@
 //! scenario), so this is a wiring check, not a numbers check — the
 //! numeric assertions live in each figure's own unit tests.
 
-use abc_repro::experiments::figures::{self, Scale};
+use abc_repro::campaign::figures;
+use abc_repro::experiments::figures::Scale;
 
 #[test]
 fn figure_index_is_complete() {

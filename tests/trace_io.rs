@@ -3,7 +3,44 @@
 //! (so the substitution for the paper's captures is file-compatible).
 
 use abc_repro::cellular::{self, CellTrace};
+use proptest::prelude::*;
 use std::io::Cursor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// parse → write → parse is the identity on any well-formed Mahimahi
+    /// trace: delivery opportunities and the repeat period are preserved.
+    #[test]
+    fn arbitrary_trace_round_trips_losslessly(
+        first in 0u64..50,
+        gaps in proptest::collection::vec(0u64..40, 1..120),
+    ) {
+        // cumulative-sum the gaps into a sorted timestamp list; zero gaps
+        // produce the repeated timestamps the format allows (several
+        // delivery opportunities in one millisecond)
+        let mut t = first;
+        let mut body = format!("{t}\n");
+        for g in &gaps {
+            t += g;
+            body.push_str(&format!("{t}\n"));
+        }
+        let original = CellTrace::parse_mahimahi("prop", body.as_bytes()).unwrap();
+        prop_assert_eq!(original.opportunities.len(), gaps.len() + 1);
+
+        let mut written = Vec::new();
+        original.write_mahimahi(&mut written).unwrap();
+        let reparsed = CellTrace::parse_mahimahi("prop", Cursor::new(&written)).unwrap();
+
+        prop_assert_eq!(&reparsed.opportunities, &original.opportunities);
+        prop_assert_eq!(reparsed.period, original.period);
+        prop_assert_eq!(&reparsed.name, &original.name);
+        // a second write must reproduce the file byte-for-byte
+        let mut rewritten = Vec::new();
+        reparsed.write_mahimahi(&mut rewritten).unwrap();
+        prop_assert_eq!(rewritten, written);
+    }
+}
 
 #[test]
 fn every_builtin_trace_round_trips_through_mahimahi_format() {
