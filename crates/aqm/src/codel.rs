@@ -32,7 +32,7 @@ impl Default for CodelConfig {
 
 pub struct Codel {
     cfg: CodelConfig,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     bytes: u64,
     /// Time at which the sojourn first exceeded target continuously.
     first_above: Option<SimTime>,
@@ -82,7 +82,7 @@ impl Codel {
         }
     }
 
-    fn pop(&mut self) -> Option<Packet> {
+    fn pop(&mut self) -> Option<Box<Packet>> {
         let p = self.queue.pop_front()?;
         self.bytes -= p.size as u64;
         Some(p)
@@ -90,7 +90,7 @@ impl Codel {
 
     /// Drop or CE-mark one packet. Returns the packet if it was marked
     /// (and should still be transmitted), `None` if dropped.
-    fn drop_or_mark(&mut self, mut pkt: Packet) -> Option<Packet> {
+    fn drop_or_mark(&mut self, mut pkt: Box<Packet>) -> Option<Box<Packet>> {
         if self.cfg.ecn_marking && pkt.ecn.is_ect() {
             pkt.ecn = Ecn::Ce;
             self.stats.ce_marked += 1;
@@ -105,7 +105,7 @@ impl Codel {
 impl Qdisc for Codel {
     netsim::impl_qdisc_downcast!();
 
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, now: SimTime) -> bool {
         if self.queue.len() >= self.cfg.buffer_pkts {
             self.stats.dropped_pkts += 1;
             return false;
@@ -117,7 +117,7 @@ impl Qdisc for Codel {
         true
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         loop {
             let pkt = self.pop()?;
             let sojourn = now.since(pkt.enqueued_at);
@@ -205,8 +205,8 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
-    fn pkt(seq: u64) -> Packet {
-        Packet {
+    fn pkt(seq: u64) -> Box<Packet> {
+        Box::new(Packet {
             flow: FlowId(0),
             seq,
             size: 1500,
@@ -219,7 +219,7 @@ mod tests {
             route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
             hop: 0,
             enqueued_at: SimTime::ZERO,
-        }
+        })
     }
 
     #[test]

@@ -40,7 +40,7 @@ impl Default for PieConfig {
 
 pub struct Pie {
     cfg: PieConfig,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     bytes: u64,
     drop_prob: f64,
     qdelay_old: SimDuration,
@@ -122,7 +122,7 @@ impl Pie {
 impl Qdisc for Pie {
     netsim::impl_qdisc_downcast!();
 
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, now: SimTime) -> bool {
         self.maybe_update(now);
         if self.queue.len() >= self.cfg.buffer_pkts {
             self.stats.dropped_pkts += 1;
@@ -149,7 +149,7 @@ impl Qdisc for Pie {
         true
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         self.maybe_update(now);
         let pkt = self.queue.pop_front()?;
         self.bytes -= pkt.size as u64;
@@ -211,8 +211,8 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
-    fn pkt(seq: u64) -> Packet {
-        Packet {
+    fn pkt(seq: u64) -> Box<Packet> {
+        Box::new(Packet {
             flow: FlowId(0),
             seq,
             size: 1500,
@@ -225,7 +225,7 @@ mod tests {
             route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
             hop: 0,
             enqueued_at: SimTime::ZERO,
-        }
+        })
     }
 
     #[test]

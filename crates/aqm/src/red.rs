@@ -39,7 +39,7 @@ impl Default for RedConfig {
 
 pub struct Red {
     cfg: RedConfig,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     bytes: u64,
     avg: f64,
     /// Packets since the last drop (for the uniform-spacing correction).
@@ -93,7 +93,7 @@ impl Red {
 impl Qdisc for Red {
     netsim::impl_qdisc_downcast!();
 
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, now: SimTime) -> bool {
         if self.queue.len() >= self.cfg.buffer_pkts {
             self.stats.dropped_pkts += 1;
             return false;
@@ -114,7 +114,7 @@ impl Qdisc for Red {
         true
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         let _ = now;
         let pkt = self.queue.pop_front()?;
         self.bytes -= pkt.size as u64;
@@ -153,8 +153,8 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
-    fn pkt(seq: u64) -> Packet {
-        Packet {
+    fn pkt(seq: u64) -> Box<Packet> {
+        Box::new(Packet {
             flow: FlowId(0),
             seq,
             size: 1500,
@@ -167,7 +167,7 @@ mod tests {
             route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
             hop: 0,
             enqueued_at: SimTime::ZERO,
-        }
+        })
     }
 
     #[test]

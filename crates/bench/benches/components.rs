@@ -7,8 +7,8 @@ use netsim::queue::Qdisc;
 use netsim::rate::Rate;
 use netsim::time::{SimDuration, SimTime};
 
-fn pkt(seq: u64) -> Packet {
-    Packet {
+fn pkt(seq: u64) -> Box<Packet> {
+    Box::new(Packet {
         flow: FlowId(seq as u32 % 16),
         seq,
         size: 1500,
@@ -21,7 +21,7 @@ fn pkt(seq: u64) -> Packet {
         route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
         hop: 0,
         enqueued_at: SimTime::ZERO,
-    }
+    })
 }
 
 fn bench_components(c: &mut Criterion) {

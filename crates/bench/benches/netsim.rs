@@ -1,0 +1,193 @@
+//! The event-loop perf trajectory: microbenches of the timer-wheel queue
+//! plus tiny/cellular macro scenarios through the engine, appended to
+//! `BENCH_netsim.json` at the repo root so hot-path throughput accumulates
+//! history across commits.
+//!
+//! ```text
+//! cargo bench -p bench --bench netsim
+//! ```
+//!
+//! Entries record nanoseconds per queue operation and simulator events
+//! per second; the companion `--bench campaign` entry tracks end-to-end
+//! sweep throughput over the same kernel.
+
+use campaign::json::{self, Value};
+use experiments::engine::{ScenarioEngine, ScenarioSpec};
+use experiments::figures::Scale;
+use experiments::scenario::LinkSpec;
+use experiments::Scheme;
+use netsim::event::{EventKind, EventQueue};
+use netsim::packet::NodeId;
+use netsim::rate::Rate;
+use netsim::time::SimTime;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+const ITERS: usize = 5;
+
+fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut work = 0;
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        work = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, work)
+}
+
+/// Mixed-horizon push/pop churn: 100k events over sub-µs ties, in-wheel
+/// offsets, and overflow-range timers.
+fn queue_churn() -> u64 {
+    let mut q = EventQueue::new();
+    let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut popped = 0u64;
+    for i in 0..100_000u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let ns = match i % 4 {
+            0 => x % 1_000,
+            1 => x % 1_000_000,
+            2 => x % 60_000_000,
+            _ => x % 2_000_000_000,
+        };
+        q.push(SimTime::from_nanos(ns), NodeId(0), EventKind::Timer(i));
+        if i % 2 == 1 {
+            q.pop();
+            popped += 1;
+        }
+    }
+    while q.pop().is_some() {
+        popped += 1;
+    }
+    popped
+}
+
+/// Arm-then-cancel churn: the RTO reschedule pattern the wheel's lazy
+/// tombstones were built for.
+fn cancel_churn() -> u64 {
+    let mut q = EventQueue::new();
+    let mut cancelled = 0u64;
+    for i in 0..100_000u64 {
+        let seq = q.push(
+            SimTime::from_nanos(i * 1_000 + 200_000_000),
+            NodeId(0),
+            EventKind::Timer(i),
+        );
+        if i % 8 != 7 {
+            q.cancel(seq);
+            cancelled += 1;
+        }
+        if i % 16 == 15 {
+            q.pop();
+        }
+    }
+    cancelled
+}
+
+fn run_events(engine: &ScenarioEngine, spec: &ScenarioSpec) -> u64 {
+    let mut built = engine.build(spec);
+    built.run_to_end();
+    let events = built.sim.events_processed();
+    std::hint::black_box(built.finish());
+    events
+}
+
+fn main() {
+    let engine = ScenarioEngine::with_threads(1);
+
+    // --- microbenches -------------------------------------------------
+    let (churn_s, churn_ops) = best_of(|| {
+        std::hint::black_box(queue_churn());
+        200_000 // 100k pushes + 100k pops
+    });
+    let _ = churn_ops;
+    let (cancel_s, _) = best_of(|| {
+        std::hint::black_box(cancel_churn());
+        0
+    });
+
+    // --- macro scenarios ----------------------------------------------
+    let tiny_spec = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+        .duration_secs(2)
+        .warmup_secs(1);
+    run_events(&engine, &tiny_spec); // warm
+    let (tiny_s, tiny_events) = best_of(|| run_events(&engine, &tiny_spec));
+
+    let cell_trace = campaign::presets::traces(Scale::Tiny)
+        .into_iter()
+        .next()
+        .expect("builtin cellular trace");
+    let cell_spec = ScenarioSpec::single(Scheme::Abc, LinkSpec::Trace(cell_trace))
+        .duration_secs(2)
+        .warmup_secs(1);
+    run_events(&engine, &cell_spec); // warm
+    let (cell_s, cell_events) = best_of(|| run_events(&engine, &cell_spec));
+
+    let entry = Value::Obj(vec![
+        ("schema".into(), Value::str("abc-netsim-bench/v1")),
+        (
+            "queue_churn_ns_per_op".into(),
+            Value::num(churn_s * 1e9 / 200_000.0),
+        ),
+        (
+            "cancel_churn_ns_per_op".into(),
+            Value::num(cancel_s * 1e9 / 100_000.0),
+        ),
+        ("tiny_events".into(), Value::num(tiny_events as f64)),
+        (
+            "tiny_events_per_sec".into(),
+            Value::num(tiny_events as f64 / tiny_s),
+        ),
+        ("cellular_events".into(), Value::num(cell_events as f64)),
+        (
+            "cellular_events_per_sec".into(),
+            Value::num(cell_events as f64 / cell_s),
+        ),
+        (
+            "unix_time".into(),
+            Value::num(
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_secs() as f64)
+                    .unwrap_or(0.0),
+            ),
+        ),
+    ]);
+
+    // BENCH_netsim.json is a JSON array of entries, newest last
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netsim.json");
+    let mut trajectory = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|v| match v {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    trajectory.push(entry);
+    let mut out = String::from("[\n");
+    for (i, e) in trajectory.iter().enumerate() {
+        out.push_str(&e.render());
+        out.push_str(if i + 1 < trajectory.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("]\n");
+    std::fs::write(path, &out).expect("write BENCH_netsim.json");
+
+    println!(
+        "netsim: queue churn {:.0} ns/op, cancel churn {:.0} ns/op, \
+         tiny {:.2} Mevents/s ({} events), cellular {:.2} Mevents/s ({} events); \
+         trajectory now {} entries",
+        churn_s * 1e9 / 200_000.0,
+        cancel_s * 1e9 / 100_000.0,
+        tiny_events as f64 / tiny_s / 1e6,
+        tiny_events,
+        cell_events as f64 / cell_s / 1e6,
+        cell_events,
+        trajectory.len()
+    );
+}

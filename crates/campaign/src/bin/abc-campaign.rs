@@ -17,8 +17,8 @@
 use campaign::aggregate;
 use campaign::diff::{diff, DiffConfig};
 use campaign::presets;
-use campaign::runner::{run_campaign, RunOptions};
-use campaign::store::ResultsStore;
+use campaign::runner::RunOptions;
+use campaign::store::{self, ResultsStore};
 use experiments::figures::Scale;
 
 fn usage() -> ! {
@@ -39,6 +39,10 @@ RUN OPTIONS:
   --jobs <n>               worker pool size (default: $ABC_JOBS, else all cores)
   --chunk <n>              scenarios per dispatch wave (default 32)
   --out <file>             store path (default campaign-<preset>.jsonl)
+  --resume                 reuse records already in --out (matching header)
+                           and execute only the missing points; invoke with
+                           the SAME --scale as the interrupted run (the
+                           header records axes, not scale)
   --quiet                  no progress on stderr
 
 DIFF OPTIONS:
@@ -75,7 +79,7 @@ fn main() {
                     return false;
                 }
                 if a.starts_with("--") {
-                    skip_next = !matches!(a.as_str(), "--csv" | "--quiet");
+                    skip_next = !matches!(a.as_str(), "--csv" | "--quiet" | "--resume");
                     return false;
                 }
                 true
@@ -114,17 +118,81 @@ fn main() {
                 chunk: get("--chunk").map_or(32, |x| parse_flag("--chunk", &x)),
                 progress: !args.iter().any(|a| a == "--quiet"),
             };
-            let records = run_campaign(&campaign, &opts);
-            let store = ResultsStore::new(&campaign, records);
             let out = get("--out").unwrap_or_else(|| format!("campaign-{}.jsonl", campaign.name));
-            if let Err(e) = store.save(&out) {
-                eprintln!("cannot write {out}: {e}");
-                std::process::exit(1);
+            let resume = args.iter().any(|a| a == "--resume");
+
+            // Reusable records from an interrupted (or complete) store.
+            let prior: Vec<campaign::runner::RunRecord> =
+                if resume && std::path::Path::new(&out).exists() {
+                    let prior = match ResultsStore::load_allow_partial(&out) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("cannot load {out}: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                    // An interrupted store must describe the same sweep: same
+                    // campaign name, axes, and filters (record count may differ).
+                    let expect = store::header_for(&campaign, 0);
+                    if prior.header.campaign != expect.campaign
+                        || prior.header.axes != expect.axes
+                        || prior.header.filters != expect.filters
+                    {
+                        eprintln!(
+                            "cannot resume: {out} was produced by a different campaign \
+                             (header mismatch); rerun without --resume or pick another --out"
+                        );
+                        std::process::exit(1);
+                    }
+                    prior.records
+                } else {
+                    Vec::new()
+                };
+            let reused = prior.len();
+
+            // Stream the store to disk as records complete, so an
+            // interrupted run leaves a valid partial store behind. Fresh
+            // runs stream straight to `out` (there is nothing to lose);
+            // resumed runs stream to a temp sibling and rename on success,
+            // so a second interruption never loses the prior partial.
+            let target = if reused > 0 {
+                format!("{out}.resume-tmp")
+            } else {
+                out.clone()
+            };
+            let file = match std::fs::File::create(&target) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot write {target}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let mut w = std::io::BufWriter::new(file);
+            let written =
+                match campaign::runner::run_campaign_streaming(&campaign, &opts, prior, &mut w) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("cannot write {target}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+            drop(w);
+            if target != out {
+                if let Err(e) = std::fs::rename(&target, &out) {
+                    eprintln!("cannot move {target} into place: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if resume && opts.progress {
+                eprintln!(
+                    "[abc-campaign] resumed {out}: {} record(s) reused, {} executed",
+                    reused,
+                    written - reused
+                );
             }
             eprintln!(
-                "[abc-campaign] wrote {} record(s) to {out} (schema {})",
-                store.records.len(),
-                store.header.schema
+                "[abc-campaign] wrote {written} record(s) to {out} (schema {})",
+                store::SCHEMA
             );
         }
         "export" => {

@@ -70,16 +70,45 @@ pub struct RunRecord {
 /// Expand and execute a campaign; `records[i]` belongs to the `i`-th
 /// surviving point of [`Campaign::expand`].
 pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> Vec<RunRecord> {
+    run_campaign_skipping(campaign, opts, &std::collections::HashSet::new())
+}
+
+/// [`run_campaign`] minus the points whose stable ordinals appear in
+/// `skip` — the engine behind `abc-campaign run --resume`, which reuses an
+/// interrupted store's records and executes only the missing points.
+pub fn run_campaign_skipping(
+    campaign: &Campaign,
+    opts: &RunOptions,
+    skip: &std::collections::HashSet<usize>,
+) -> Vec<RunRecord> {
+    run_campaign_with(campaign, opts, skip, |_| {})
+}
+
+/// [`run_campaign_skipping`] with a per-chunk callback: `on_chunk` sees
+/// each dispatch wave's records as soon as they complete, in expansion
+/// order — the hook the CLI uses to stream a store to disk so an
+/// interrupted run leaves every finished chunk behind for `--resume`.
+pub fn run_campaign_with<F: FnMut(&[RunRecord])>(
+    campaign: &Campaign,
+    opts: &RunOptions,
+    skip: &std::collections::HashSet<usize>,
+    mut on_chunk: F,
+) -> Vec<RunRecord> {
     let points = campaign.expand();
+    let points: Vec<_> = points
+        .into_iter()
+        .filter(|p| !skip.contains(&p.ordinal))
+        .collect();
     let engine = opts.engine();
     let total = points.len();
     let start = Instant::now();
     if opts.progress {
         eprintln!(
-            "[abc-campaign] {}: {} scenarios ({} unfiltered) on {} worker(s)",
+            "[abc-campaign] {}: {} scenarios ({} unfiltered, {} resumed) on {} worker(s)",
             campaign.name,
             total,
             campaign.size_unfiltered(),
+            skip.len(),
             engine.threads().min(total.max(1)),
         );
     }
@@ -87,6 +116,7 @@ pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> Vec<RunRecord> {
     for chunk in points.chunks(opts.chunk.max(1)) {
         let specs: Vec<ScenarioSpec> = chunk.iter().map(|p| p.spec.clone()).collect();
         let reports = engine.run_batch(&specs);
+        let chunk_start = records.len();
         for (point, report) in chunk.iter().zip(reports) {
             records.push(RunRecord {
                 ordinal: point.ordinal,
@@ -94,6 +124,7 @@ pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> Vec<RunRecord> {
                 report,
             });
         }
+        on_chunk(&records[chunk_start..]);
         if opts.progress {
             eprintln!(
                 "[abc-campaign] {}: {}/{} scenarios ({:.0}%) in {:.1}s",
@@ -106,6 +137,81 @@ pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> Vec<RunRecord> {
         }
     }
     records
+}
+
+/// Merge an interrupted store's records with a freshly-run remainder:
+/// executes the points missing from `prior` and returns the full record
+/// set in expansion (ordinal) order — byte-identical to an uninterrupted
+/// run, because each record is a pure function of its spec. The in-memory
+/// sibling of [`run_campaign_streaming`].
+pub fn resume_campaign(
+    campaign: &Campaign,
+    opts: &RunOptions,
+    prior: Vec<RunRecord>,
+) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    run_campaign_merged(campaign, opts, prior, |r| records.push(r.clone()));
+    records
+}
+
+/// Execute the points missing from `prior` and stream the complete store
+/// — header (promising the full point count) first, then every record in
+/// ordinal order, each written as soon as its dispatch wave completes —
+/// to `w`. An interrupted write leaves a valid partial store behind for
+/// `--resume`; a completed one is byte-identical to
+/// [`crate::store::ResultsStore::to_jsonl`] of an uninterrupted run.
+/// Returns the record count written.
+pub fn run_campaign_streaming<W: std::io::Write>(
+    campaign: &Campaign,
+    opts: &RunOptions,
+    prior: Vec<RunRecord>,
+    w: &mut W,
+) -> std::io::Result<usize> {
+    use crate::store;
+    let header = store::header_for(campaign, campaign.expand().len());
+    writeln!(w, "{}", store::render_header(&header))?;
+    let mut written = 0usize;
+    let mut err: Option<std::io::Error> = None;
+    run_campaign_merged(campaign, opts, prior, |r| {
+        if err.is_none() {
+            // flush per record: a kill can tear at most the line in flight
+            match writeln!(w, "{}", store::render_record(r)).and_then(|()| w.flush()) {
+                Ok(()) => written += 1,
+                Err(e) => err = Some(e),
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    w.flush()?;
+    Ok(written)
+}
+
+/// The single prior/fresh merge both resume paths share: runs the points
+/// whose ordinals are missing from `prior` and emits every record —
+/// reused and fresh — in ordinal order, each as soon as it is available.
+fn run_campaign_merged<F: FnMut(&RunRecord)>(
+    campaign: &Campaign,
+    opts: &RunOptions,
+    mut prior: Vec<RunRecord>,
+    mut emit: F,
+) {
+    prior.sort_by_key(|r| r.ordinal);
+    let have: std::collections::HashSet<usize> = prior.iter().map(|r| r.ordinal).collect();
+    let mut prior_iter = prior.into_iter().peekable();
+    run_campaign_with(campaign, opts, &have, |chunk| {
+        for rec in chunk {
+            while prior_iter.peek().is_some_and(|p| p.ordinal < rec.ordinal) {
+                let p = prior_iter.next().expect("peeked record vanished");
+                emit(&p);
+            }
+            emit(rec);
+        }
+    });
+    for p in prior_iter {
+        emit(&p);
+    }
 }
 
 /// First-seen order of the labels a set of records carries on `axis` —

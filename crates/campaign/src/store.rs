@@ -79,27 +79,17 @@ impl ResultsStore {
     /// Bundle a campaign's executed records under its header.
     pub fn new(campaign: &Campaign, records: Vec<RunRecord>) -> ResultsStore {
         ResultsStore {
-            header: StoreHeader {
-                schema: SCHEMA.to_string(),
-                campaign: campaign.name.clone(),
-                axes: campaign
-                    .axes
-                    .iter()
-                    .map(|a| (a.name.clone(), a.labels()))
-                    .collect(),
-                filters: campaign.filters.iter().map(|f| f.name.clone()).collect(),
-                points: records.len(),
-            },
+            header: header_for(campaign, records.len()),
             records,
         }
     }
 
     /// Serialize to JSONL (header line + one line per record).
     pub fn to_jsonl(&self) -> String {
-        let mut out = header_to_value(&self.header).render();
+        let mut out = render_header(&self.header);
         out.push('\n');
         for r in &self.records {
-            out.push_str(&record_to_value(r).render());
+            out.push_str(&render_record(r));
             out.push('\n');
         }
         out
@@ -107,10 +97,47 @@ impl ResultsStore {
 
     /// Parse a JSONL store, validating the schema id and record count.
     pub fn from_jsonl(text: &str) -> Result<ResultsStore, StoreError> {
+        let store = Self::parse(text, false)?;
+        if store.records.len() != store.header.points {
+            return Err(StoreError::Format {
+                line: 1,
+                message: format!(
+                    "header promises {} records, file has {}",
+                    store.header.points,
+                    store.records.len()
+                ),
+            });
+        }
+        Ok(store)
+    }
+
+    /// Parse a possibly-interrupted store: the executor streams records to
+    /// disk chunk by chunk under a header that promises the *full* point
+    /// count, so a killed run leaves fewer records than promised — and, if
+    /// the kill landed mid-write, a torn final line, which is dropped.
+    /// Every complete record still validates; `--resume` re-runs the rest.
+    pub fn from_jsonl_allow_partial(text: &str) -> Result<ResultsStore, StoreError> {
+        let mut store = Self::parse(text, true)?;
+        if store.records.len() > store.header.points {
+            return Err(StoreError::Format {
+                line: 1,
+                message: format!(
+                    "header promises {} records, file has {}",
+                    store.header.points,
+                    store.records.len()
+                ),
+            });
+        }
+        store.records.sort_by_key(|r| r.ordinal);
+        Ok(store)
+    }
+
+    fn parse(text: &str, drop_torn_tail: bool) -> Result<ResultsStore, StoreError> {
         let mut lines = text
             .lines()
             .enumerate()
-            .filter(|(_, l)| !l.trim().is_empty());
+            .filter(|(_, l)| !l.trim().is_empty())
+            .peekable();
         let (i, first) = lines.next().ok_or(StoreError::Format {
             line: 1,
             message: "empty store (no header line)".into(),
@@ -122,18 +149,13 @@ impl ResultsStore {
             });
         }
         let mut records = Vec::with_capacity(header.points);
-        for (i, line) in lines {
-            records.push(record_from_value(&parse_line(i, line)?, i + 1)?);
-        }
-        if records.len() != header.points {
-            return Err(StoreError::Format {
-                line: 1,
-                message: format!(
-                    "header promises {} records, file has {}",
-                    header.points,
-                    records.len()
-                ),
-            });
+        while let Some((i, line)) = lines.next() {
+            let last = lines.peek().is_none();
+            match parse_line(i, line).and_then(|v| record_from_value(&v, i + 1)) {
+                Ok(r) => records.push(r),
+                Err(_) if drop_torn_tail && last => break,
+                Err(e) => return Err(e),
+            }
         }
         Ok(ResultsStore { header, records })
     }
@@ -147,6 +169,40 @@ impl ResultsStore {
         let text = std::fs::read_to_string(path)?;
         ResultsStore::from_jsonl(&text)
     }
+
+    /// [`ResultsStore::load`] for possibly-interrupted stores (see
+    /// [`ResultsStore::from_jsonl_allow_partial`]).
+    pub fn load_allow_partial(path: impl AsRef<Path>) -> Result<ResultsStore, StoreError> {
+        let text = std::fs::read_to_string(path)?;
+        ResultsStore::from_jsonl_allow_partial(&text)
+    }
+}
+
+/// The header a campaign's store carries. Streaming executors pass the
+/// full post-filter expansion count as `points` before any record exists.
+pub fn header_for(campaign: &Campaign, points: usize) -> StoreHeader {
+    StoreHeader {
+        schema: SCHEMA.to_string(),
+        campaign: campaign.name.clone(),
+        axes: campaign
+            .axes
+            .iter()
+            .map(|a| (a.name.clone(), a.labels()))
+            .collect(),
+        filters: campaign.filters.iter().map(|f| f.name.clone()).collect(),
+        points,
+    }
+}
+
+/// Render the header line exactly as [`ResultsStore::to_jsonl`] does —
+/// for executors that stream a store to disk incrementally.
+pub fn render_header(h: &StoreHeader) -> String {
+    header_to_value(h).render()
+}
+
+/// Render one record line exactly as [`ResultsStore::to_jsonl`] does.
+pub fn render_record(r: &RunRecord) -> String {
+    record_to_value(r).render()
 }
 
 fn parse_line(idx: usize, line: &str) -> Result<Value, StoreError> {

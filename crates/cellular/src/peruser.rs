@@ -163,7 +163,9 @@ impl PerUserLink {
                             );
                         }
                         if pkt.next_hop().is_some() {
-                            ctx.forward(pkt);
+                            ctx.forward_boxed(pkt);
+                        } else {
+                            ctx.recycle(pkt);
                         }
                     }
                     _ => break,

@@ -204,7 +204,7 @@ pub struct DualQueue {
     /// The ABC class: a full ABC router over its share of the link.
     abc_q: AbcQdisc,
     /// The legacy class: plain FIFO.
-    other_q: VecDeque<Packet>,
+    other_q: VecDeque<Box<Packet>>,
     other_bytes: u64,
     /// Scheduler virtual time: bytes served normalized by weight.
     v_abc: f64,
@@ -394,7 +394,7 @@ impl DualQueue {
 impl Qdisc for DualQueue {
     netsim::impl_qdisc_downcast!();
 
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, now: SimTime) -> bool {
         self.maybe_update_weights(now);
         if pkt.abc_capable {
             let ok = self.abc_q.enqueue(pkt, now);
@@ -417,7 +417,7 @@ impl Qdisc for DualQueue {
         }
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         self.maybe_update_weights(now);
         const IDLE_ALPHA: f64 = 0.02;
         self.other_idle += IDLE_ALPHA * ((self.other_q.is_empty() as u8 as f64) - self.other_idle);
@@ -488,8 +488,8 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
-    fn pkt(flow: u32, abc: bool, seq: u64) -> Packet {
-        Packet {
+    fn pkt(flow: u32, abc: bool, seq: u64) -> Box<Packet> {
+        Box::new(Packet {
             flow: FlowId(flow),
             seq,
             size: 1500,
@@ -502,7 +502,7 @@ mod tests {
             route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
             hop: 0,
             enqueued_at: SimTime::ZERO,
-        }
+        })
     }
 
     #[test]

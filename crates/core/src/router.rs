@@ -92,7 +92,7 @@ impl Default for AbcRouterConfig {
 /// The ABC queueing discipline: FIFO + accel/brake marking at dequeue.
 pub struct AbcQdisc {
     cfg: AbcRouterConfig,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     bytes: u64,
     /// Link capacity µ(t), fed by the link node (cellular: known from the
     /// trace; Wi-Fi: from the estimator in `wifi-mac`).
@@ -203,7 +203,7 @@ impl AbcQdisc {
 impl Qdisc for AbcQdisc {
     netsim::impl_qdisc_downcast!();
 
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, now: SimTime) -> bool {
         if self.queue.len() >= self.cfg.buffer_pkts {
             self.stats.dropped_pkts += 1;
             return false;
@@ -216,7 +216,7 @@ impl Qdisc for AbcQdisc {
         true
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         let mut pkt = self.queue.pop_front()?;
         self.bytes -= pkt.size as u64;
         self.dequeue_rate.record(now, pkt.size as u64);
@@ -266,8 +266,8 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
-    fn abc_packet(seq: u64) -> Packet {
-        Packet {
+    fn abc_packet(seq: u64) -> Box<Packet> {
+        Box::new(Packet {
             flow: FlowId(0),
             seq,
             size: 1500,
@@ -280,7 +280,7 @@ mod tests {
             route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
             hop: 0,
             enqueued_at: SimTime::ZERO,
-        }
+        })
     }
 
     fn qdisc() -> AbcQdisc {

@@ -783,12 +783,8 @@ impl BuiltScenario {
         self.finalize_opportunities();
         let hub = self.hub.borrow();
         let window = self.duration.saturating_sub(self.warmup);
-        static EMPTY: std::sync::OnceLock<LinkRecord> = std::sync::OnceLock::new();
-        let link_of = |tag: &str| -> &LinkRecord {
-            hub.links
-                .get(tag)
-                .unwrap_or_else(|| EMPTY.get_or_init(Default::default))
-        };
+        let empty = LinkRecord::default();
+        let link_of = |tag: &str| -> &LinkRecord { hub.links.get(tag).unwrap_or(&empty) };
         let primary = link_of(self.topology.primary_tag());
 
         let utilization = match &self.topology {

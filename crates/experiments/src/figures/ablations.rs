@@ -197,7 +197,7 @@ pub fn marking(scale: Scale) -> String {
                 hop: 0,
                 enqueued_at: t,
             };
-            q.enqueue(pkt, t);
+            q.enqueue(Box::new(pkt), t);
             let outp = q.dequeue(t).unwrap();
             if outp.ecn == Ecn::Accelerate {
                 if let Some(prev) = last_accel {
@@ -206,7 +206,7 @@ pub fn marking(scale: Scale) -> String {
                 last_accel = Some(seq);
             }
         }
-        let s = netsim::stats::summarize(&gaps);
+        let s = netsim::stats::summarize_in_place(&mut gaps);
         writeln!(
             out,
             "{:<14} accel fraction {:>5.3}  inter-accel gap mean {:>4.2} pkts, cv {:>4.2}",

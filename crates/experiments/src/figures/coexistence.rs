@@ -287,8 +287,8 @@ pub fn fig12(scale: Scale) -> String {
                 abc_all.extend(r.abc_tputs);
                 cub_all.extend(r.cubic_tputs);
             }
-            let a = netsim::stats::summarize(&abc_all);
-            let c = netsim::stats::summarize(&cub_all);
+            let a = netsim::stats::summarize_in_place(&mut abc_all);
+            let c = netsim::stats::summarize_in_place(&mut cub_all);
             writeln!(
                 out,
                 "{:>11.2}% {:>15.2}±{:<5.2} {:>15.2}±{:<5.2} {:>+7.1}%",

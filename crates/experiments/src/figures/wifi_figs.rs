@@ -45,8 +45,8 @@ pub fn fig4(scale: Scale) -> String {
             .or_default()
             .push(s.inter_ack.as_millis_f64());
     }
-    for (b, v) in &by_b {
-        let s = netsim::stats::summarize(v);
+    for (b, v) in &mut by_b {
+        let s = netsim::stats::summarize_in_place(v);
         writeln!(
             out,
             "{:>6} {:>8} {:>14.3} {:>14.3}",

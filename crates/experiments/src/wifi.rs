@@ -11,7 +11,7 @@ use crate::engine::{BuiltScenario, ScenarioEngine, ScenarioSpec, Topology};
 use crate::report::Report;
 use crate::scheme::Scheme;
 use netsim::flow::TrafficSource;
-use netsim::stats::summarize;
+use netsim::stats::summarize_in_place;
 use netsim::time::{SimDuration, SimTime};
 use wifi_mac::{AlternatingMcs, BrownianMcs, FixedMcs, McsProcess};
 
@@ -106,7 +106,7 @@ pub fn estimator_accuracy(mcs: u8, offered_mbps: f64, duration: SimDuration) -> 
         }
     }
     let truth = b.wifi_ap_mut("wifi").true_capacity_at(end).mbps();
-    let predicted = summarize(&estimates).mean;
+    let predicted = summarize_in_place(&mut estimates).mean;
     (offered_mbps, predicted, truth)
 }
 

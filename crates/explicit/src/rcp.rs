@@ -42,7 +42,7 @@ impl Default for RcpConfig {
 
 pub struct RcpQdisc {
     cfg: RcpConfig,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     bytes: u64,
     capacity: Rate,
     /// The advertised stub rate.
@@ -97,7 +97,7 @@ impl RcpQdisc {
 impl Qdisc for RcpQdisc {
     netsim::impl_qdisc_downcast!();
 
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, now: SimTime) -> bool {
         self.maybe_update(now);
         if self.queue.len() >= self.cfg.buffer_pkts {
             self.stats.dropped_pkts += 1;
@@ -111,7 +111,7 @@ impl Qdisc for RcpQdisc {
         true
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         self.maybe_update(now);
         let mut pkt = self.queue.pop_front()?;
         self.bytes -= pkt.size as u64;
@@ -219,8 +219,8 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
-    fn rcp_pkt(seq: u64) -> Packet {
-        Packet {
+    fn rcp_pkt(seq: u64) -> Box<Packet> {
+        Box::new(Packet {
             flow: FlowId(0),
             seq,
             size: 1500,
@@ -233,7 +233,7 @@ mod tests {
             route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
             hop: 0,
             enqueued_at: SimTime::ZERO,
-        }
+        })
     }
 
     #[test]

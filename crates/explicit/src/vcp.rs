@@ -37,7 +37,7 @@ impl Default for VcpConfig {
 
 pub struct VcpQdisc {
     cfg: VcpConfig,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     bytes: u64,
     capacity: Rate,
     arrived_bytes: f64,
@@ -101,7 +101,7 @@ impl VcpQdisc {
 impl Qdisc for VcpQdisc {
     netsim::impl_qdisc_downcast!();
 
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, now: SimTime) -> bool {
         self.maybe_update(now);
         if self.queue.len() >= self.cfg.buffer_pkts {
             self.stats.dropped_pkts += 1;
@@ -115,7 +115,7 @@ impl Qdisc for VcpQdisc {
         true
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         self.maybe_update(now);
         let mut pkt = self.queue.pop_front()?;
         self.bytes -= pkt.size as u64;
@@ -242,8 +242,8 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
-    fn vcp_pkt(seq: u64) -> Packet {
-        Packet {
+    fn vcp_pkt(seq: u64) -> Box<Packet> {
+        Box::new(Packet {
             flow: FlowId(0),
             seq,
             size: 1500,
@@ -256,7 +256,7 @@ mod tests {
             route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
             hop: 0,
             enqueued_at: SimTime::ZERO,
-        }
+        })
     }
 
     #[test]

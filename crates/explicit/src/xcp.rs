@@ -64,7 +64,7 @@ struct IntervalSums {
 
 pub struct XcpQdisc {
     cfg: XcpConfig,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     bytes: u64,
     capacity: Rate,
     /// Control interval = mean RTT of traffic (seeded at 100 ms).
@@ -167,7 +167,7 @@ impl XcpQdisc {
 impl Qdisc for XcpQdisc {
     netsim::impl_qdisc_downcast!();
 
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, now: SimTime) -> bool {
         if self.queue.len() >= self.cfg.buffer_pkts {
             self.stats.dropped_pkts += 1;
             return false;
@@ -179,7 +179,7 @@ impl Qdisc for XcpQdisc {
         true
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         let mut pkt = self.queue.pop_front()?;
         self.bytes -= pkt.size as u64;
         self.cur.min_queue_bytes = self.cur.min_queue_bytes.min(self.bytes as f64);
@@ -325,8 +325,8 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
-    fn xcp_pkt(seq: u64, cwnd_bytes: f64, rtt_s: f64) -> Packet {
-        Packet {
+    fn xcp_pkt(seq: u64, cwnd_bytes: f64, rtt_s: f64) -> Box<Packet> {
+        Box::new(Packet {
             flow: FlowId(0),
             seq,
             size: 1500,
@@ -343,7 +343,7 @@ mod tests {
             route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
             hop: 0,
             enqueued_at: SimTime::ZERO,
-        }
+        })
     }
 
     fn delta_of(p: &Packet) -> f64 {

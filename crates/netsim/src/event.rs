@@ -1,15 +1,65 @@
-//! The event queue: a time-ordered heap with deterministic tie-breaking.
+//! The event queue: a hierarchical timer-wheel / calendar queue with a
+//! far-future overflow heap, deterministic `(time, seq)` pop order, and
+//! O(1) lazy cancellation.
+//!
+//! Three tiers by distance from the cursor:
+//!
+//! * **near** — a small binary heap holding every event whose slot is at or
+//!   before the cursor slot. Pops come from here, so intra-slot ordering is
+//!   exact `(time, seq)` — bit-identical to a global comparison heap.
+//! * **wheel** — `WHEEL_SLOTS` unsorted buckets of `SLOT_NS`-wide slots
+//!   covering the next ~67 ms. Push and bucket-drain are O(1) amortized.
+//! * **overflow** — a heap for events beyond the wheel horizon (RTO timers,
+//!   long trace gaps); refilled into the wheel as the cursor advances.
+//!
+//! Cancellation is lazy: cancelled sequence numbers go into a tombstone set
+//! and are skipped (and forgotten) when their event surfaces. The queue
+//! never reports tombstones in `len()`, so a fully-cancelled queue is empty.
+//!
+//! [`EventQueue::new_reference`] builds the same queue over a plain
+//! `BinaryHeap` — the pre-wheel implementation — kept as the ordering
+//! oracle for the golden pop-order and property tests.
 
 use crate::packet::{NodeId, Packet};
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher for the `u64` tombstone set: the default SipHash
+/// costs more than the queue operation it guards. Determinism is
+/// unaffected — the set is only probed for membership, never iterated.
+#[derive(Default)]
+pub struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut h = x.wrapping_mul(0x9E3779B97F4A7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
 
 /// What a node is asked to do when its event fires.
 #[derive(Debug)]
 pub enum EventKind {
-    /// A packet arrives at the node (propagation already elapsed).
-    Deliver(Packet),
+    /// A packet arrives at the node (propagation already elapsed). Boxed so
+    /// queue operations move 8 bytes, not the whole packet; the box itself
+    /// is pooled by the simulator and reused across hops.
+    Deliver(Box<Packet>),
     /// A timer previously set by the node fires; the token is whatever the
     /// node passed to [`crate::node::Context::set_timer`].
     Timer(u64),
@@ -23,6 +73,13 @@ pub struct Event {
     /// Global insertion order: equal-time events fire in the order they
     /// were scheduled, which makes runs bit-reproducible.
     seq: u64,
+}
+
+impl Event {
+    /// The event's scheduling sequence number (its cancellation handle).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 impl PartialEq for Event {
@@ -49,22 +106,191 @@ impl Ord for Event {
     }
 }
 
-/// Time-ordered event queue.
-#[derive(Debug, Default)]
+/// Slot width: 2^16 ns ≈ 65.5 µs — near the densest inter-event gap the
+/// pacing clocks produce, so a slot rarely holds more than a handful of
+/// events and the near heap stays tiny.
+const SLOT_SHIFT: u32 = 16;
+/// Wheel span: 1024 slots ≈ 67 ms — longer than any propagation or
+/// serialization delay in the evaluated scenarios, so only RTO-scale
+/// timers ever touch the overflow heap.
+const WHEEL_SLOTS: u64 = 1024;
+
+#[inline]
+fn slot_of(t: SimTime) -> u64 {
+    t.as_nanos() >> SLOT_SHIFT
+}
+
+/// The timer-wheel backend.
+#[derive(Debug)]
+struct Wheel {
+    near: BinaryHeap<Event>,
+    slots: Vec<Vec<Event>>,
+    /// Events currently held in `slots`.
+    wheel_len: usize,
+    overflow: BinaryHeap<Event>,
+    /// All events with `slot <= cur_slot` live in `near`; slots in
+    /// `(cur_slot, cur_slot + WHEEL_SLOTS)` map to `slots[slot % WHEEL_SLOTS]`;
+    /// later ones wait in `overflow`.
+    cur_slot: u64,
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Wheel {
+            near: BinaryHeap::new(),
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            cur_slot: 0,
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        let s = slot_of(ev.time);
+        if s <= self.cur_slot {
+            self.near.push(ev);
+        } else if s < self.cur_slot + WHEEL_SLOTS {
+            self.slots[(s % WHEEL_SLOTS) as usize].push(ev);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(ev);
+        }
+    }
+
+    /// Advance the cursor until `near` holds the globally earliest event
+    /// (or everything is empty).
+    fn ensure_near(&mut self) {
+        while self.near.is_empty() {
+            if self.wheel_len == 0 {
+                // Jump straight to the next overflow event's slot.
+                let Some(head) = self.overflow.peek() else {
+                    return;
+                };
+                self.cur_slot = slot_of(head.time);
+            } else {
+                self.cur_slot += 1;
+            }
+            let bucket = (self.cur_slot % WHEEL_SLOTS) as usize;
+            if !self.slots[bucket].is_empty() {
+                self.wheel_len -= self.slots[bucket].len();
+                self.near.extend(self.slots[bucket].drain(..));
+            }
+            // The horizon moved: migrate overflow events that now fit.
+            while let Some(head) = self.overflow.peek() {
+                let s = slot_of(head.time);
+                if s >= self.cur_slot + WHEEL_SLOTS {
+                    break;
+                }
+                let ev = self.overflow.pop().expect("peeked overflow vanished");
+                if s <= self.cur_slot {
+                    self.near.push(ev);
+                } else {
+                    self.slots[(s % WHEEL_SLOTS) as usize].push(ev);
+                    self.wheel_len += 1;
+                }
+            }
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Event> {
+        self.ensure_near();
+        self.near.pop()
+    }
+
+    fn peek_min(&mut self) -> Option<&Event> {
+        self.ensure_near();
+        self.near.peek()
+    }
+}
+
+/// Queue implementation selector: the production wheel, or the original
+/// comparison heap kept as a reference for ordering tests.
+#[derive(Debug)]
+enum Backend {
+    Wheel(Wheel),
+    Naive(BinaryHeap<Event>),
+}
+
+impl Backend {
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        match self {
+            Backend::Wheel(w) => w.push(ev),
+            Backend::Naive(h) => h.push(ev),
+        }
+    }
+
+    #[inline]
+    fn pop_min(&mut self) -> Option<Event> {
+        match self {
+            Backend::Wheel(w) => w.pop_min(),
+            Backend::Naive(h) => h.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek_min(&mut self) -> Option<&Event> {
+        match self {
+            Backend::Wheel(w) => w.peek_min(),
+            Backend::Naive(h) => h.peek(),
+        }
+    }
+}
+
+/// Time-ordered event queue with cancellation.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    backend: Backend,
+    /// Tombstones: sequence numbers cancelled but not yet surfaced.
+    cancelled: SeqSet,
+    /// Live (non-cancelled) events currently queued.
+    live: usize,
     next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
     pub fn new() -> Self {
-        Self::default()
+        EventQueue {
+            backend: Backend::Wheel(Wheel::new()),
+            cancelled: SeqSet::default(),
+            live: 0,
+            next_seq: 0,
+        }
     }
 
-    pub fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind) {
+    /// The pre-wheel `BinaryHeap` implementation, kept as the ordering
+    /// oracle for golden pop-order and property tests.
+    pub fn new_reference() -> Self {
+        EventQueue {
+            backend: Backend::Naive(BinaryHeap::new()),
+            cancelled: SeqSet::default(),
+            live: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule an event; the returned sequence number doubles as the
+    /// handle for [`EventQueue::cancel`].
+    pub fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event {
+        self.push_with_seq(time, node, kind, seq);
+        seq
+    }
+
+    /// Schedule an event under an externally-assigned sequence number (the
+    /// simulator assigns them eagerly so nodes can hold cancellation
+    /// handles before the effect queue is flushed).
+    pub(crate) fn push_with_seq(&mut self, time: SimTime, node: NodeId, kind: EventKind, seq: u64) {
+        self.next_seq = self.next_seq.max(seq + 1);
+        self.live += 1;
+        self.backend.push(Event {
             time,
             node,
             kind,
@@ -72,20 +298,65 @@ impl EventQueue {
         });
     }
 
-    pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+    /// Cancel a pending event by its sequence number. The caller must only
+    /// cancel events that are still queued (the simulator's timer handles
+    /// enforce this); cancelling is O(1) and the slot is reclaimed lazily.
+    pub fn cancel(&mut self, seq: u64) {
+        debug_assert!(seq < self.next_seq, "cancel of never-issued seq {seq}");
+        if self.cancelled.insert(seq) {
+            debug_assert!(self.live > 0, "cancel on empty queue");
+            self.live = self.live.saturating_sub(1);
+        }
     }
 
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    pub fn pop(&mut self) -> Option<Event> {
+        loop {
+            let ev = self.backend.pop_min()?;
+            if self.cancelled.remove(&ev.seq) {
+                continue; // tombstone — skip and forget
+            }
+            self.live -= 1;
+            return Some(ev);
+        }
+    }
+
+    /// Pop the earliest event only if it fires at or before `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<Event> {
+        loop {
+            if self.backend.peek_min()?.time > deadline {
+                return None;
+            }
+            let ev = self.backend.pop_min().expect("peeked event vanished");
+            if self.cancelled.remove(&ev.seq) {
+                continue; // tombstone — skip and forget
+            }
+            self.live -= 1;
+            return Some(ev);
+        }
+    }
+
+    /// Earliest pending event time. Takes `&mut self`: the wheel advances
+    /// its cursor and discards tombstones to find the head.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let cancelled = {
+                let ev = self.backend.peek_min()?;
+                if !self.cancelled.contains(&ev.seq) {
+                    return Some(ev.time);
+                }
+                ev.seq
+            };
+            self.cancelled.remove(&cancelled);
+            self.backend.pop_min();
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 }
 
@@ -98,19 +369,22 @@ mod tests {
         SimTime::ZERO + SimDuration::from_millis(ms)
     }
 
+    fn drain_tokens(q: &mut EventQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer(x) => x,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
         q.push(t(30), NodeId(0), EventKind::Timer(3));
         q.push(t(10), NodeId(0), EventKind::Timer(1));
         q.push(t(20), NodeId(0), EventKind::Timer(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer(x) => x,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(drain_tokens(&mut q), vec![1, 2, 3]);
     }
 
     #[test]
@@ -135,5 +409,100 @@ mod tests {
         q.push(t(7), NodeId(1), EventKind::Timer(0));
         assert_eq!(q.peek_time(), Some(t(7)));
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn far_future_events_route_through_overflow() {
+        let mut q = EventQueue::new();
+        // seconds apart — far beyond the wheel horizon
+        q.push(t(5_000), NodeId(0), EventKind::Timer(2));
+        q.push(t(1), NodeId(0), EventKind::Timer(0));
+        q.push(t(900), NodeId(0), EventKind::Timer(1));
+        q.push(t(60_000), NodeId(0), EventKind::Timer(3));
+        assert_eq!(drain_tokens(&mut q), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cancel_removes_event_and_len() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(10), NodeId(0), EventKind::Timer(1));
+        let b = q.push(t(20), NodeId(0), EventKind::Timer(2));
+        q.push(t(30), NodeId(0), EventKind::Timer(3));
+        assert_eq!(q.len(), 3);
+        q.cancel(a);
+        q.cancel(b);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(30)));
+        assert_eq!(drain_tokens(&mut q), vec![3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_everything_empties_queue() {
+        let mut q = EventQueue::new();
+        let seqs: Vec<u64> = (0..10)
+            .map(|i| q.push(t(i * 7), NodeId(0), EventKind::Timer(i)))
+            .collect();
+        for s in seqs {
+            q.cancel(s);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_pop_push_preserves_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), NodeId(0), EventKind::Timer(0));
+        q.push(t(200), NodeId(0), EventKind::Timer(2));
+        assert_eq!(q.pop().unwrap().time, t(10));
+        // push between the cursor and the queued far event
+        q.push(t(50), NodeId(0), EventKind::Timer(1));
+        assert_eq!(q.pop().unwrap().time, t(50));
+        assert_eq!(q.pop().unwrap().time, t(200));
+    }
+
+    #[test]
+    fn wheel_matches_reference_on_dense_schedule() {
+        let mut wheel = EventQueue::new();
+        let mut naive = EventQueue::new_reference();
+        // deterministic LCG: a mix of near, mid, and far times with ties
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut times = Vec::new();
+        for i in 0..5_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let ns = match i % 5 {
+                0 => x % 1_000,          // sub-µs ties
+                1 => x % 1_000_000,      // same-slot
+                2 => x % 100_000_000,    // in-wheel
+                _ => x % 10_000_000_000, // overflow
+            };
+            times.push(ns);
+        }
+        for (i, &ns) in times.iter().enumerate() {
+            wheel.push(
+                SimTime::from_nanos(ns),
+                NodeId(0),
+                EventKind::Timer(i as u64),
+            );
+            naive.push(
+                SimTime::from_nanos(ns),
+                NodeId(0),
+                EventKind::Timer(i as u64),
+            );
+        }
+        loop {
+            let (a, b) = (wheel.pop(), naive.pop());
+            match (&a, &b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.time, x.seq), (y.time, y.seq));
+                }
+                (None, None) => break,
+                _ => panic!("queues drained at different lengths"),
+            }
+        }
     }
 }

@@ -58,7 +58,10 @@ impl Node for LossyWire {
         if self.rng.gen::<f64>() < self.p {
             self.impaired += 1;
             match self.what {
-                Impairment::Drop => return,
+                Impairment::Drop => {
+                    ctx.recycle(pkt);
+                    return;
+                }
                 Impairment::BleachEcn => pkt.ecn = Ecn::NotEct,
                 Impairment::StripFeedback => pkt.feedback = Feedback::None,
             }
@@ -66,7 +69,9 @@ impl Node for LossyWire {
             self.passed += 1;
         }
         if pkt.next_hop().is_some() {
-            ctx.forward(pkt);
+            ctx.forward_boxed(pkt);
+        } else {
+            ctx.recycle(pkt);
         }
     }
 }

@@ -4,11 +4,11 @@
 
 use crate::event::EventKind;
 use crate::metrics::Metrics;
-use crate::node::{Context, Node};
+use crate::node::{Context, Node, TimerId};
 use crate::packet::{AckData, Ecn, Feedback, FlowId, Packet, Route, MTU_BYTES};
 use crate::rate::Rate;
 use crate::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Everything a congestion controller may want to know about an ACK.
@@ -136,10 +136,75 @@ struct SentRecord {
     delivered_at_send: u64,
 }
 
+/// The in-flight window, ordered by sequence number. Sends append at the
+/// back (seqs are monotone), ACKs pop at the front, so the common case is
+/// O(1) ring-buffer traffic instead of B-tree rebalancing; retransmissions
+/// and loss holes fall back to binary search.
+#[derive(Debug, Default)]
+struct SentWindow {
+    items: VecDeque<(u64, SentRecord)>,
+}
+
+impl SentWindow {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn insert(&mut self, seq: u64, rec: SentRecord) {
+        match self.items.back() {
+            Some(&(last, _)) if last >= seq => {
+                // retransmission re-entering the window out of order
+                let idx = self.items.partition_point(|&(s, _)| s < seq);
+                debug_assert!(self.items.get(idx).map(|&(s, _)| s) != Some(seq));
+                self.items.insert(idx, (seq, rec));
+            }
+            _ => self.items.push_back((seq, rec)),
+        }
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<SentRecord> {
+        match self.items.front() {
+            Some(&(s, _)) if s == seq => self.items.pop_front().map(|(_, r)| r),
+            _ => {
+                let idx = self.items.binary_search_by_key(&seq, |&(s, _)| s).ok()?;
+                self.items.remove(idx).map(|(_, r)| r)
+            }
+        }
+    }
+
+    /// Sequence numbers strictly below `seq`, in order.
+    fn seqs_below(&self, seq: u64) -> impl Iterator<Item = u64> + '_ {
+        self.items
+            .iter()
+            .take_while(move |&&(s, _)| s < seq)
+            .map(|&(s, _)| s)
+    }
+
+    /// Mutable records with sequence strictly below `seq`, in order.
+    fn iter_mut_below(&mut self, seq: u64) -> impl Iterator<Item = (u64, &mut SentRecord)> {
+        self.items
+            .iter_mut()
+            .take_while(move |&&mut (s, _)| s < seq)
+            .map(|&mut (s, ref mut r)| (s, r))
+    }
+
+    /// All in-flight sequence numbers, in order.
+    fn all_seqs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.items.iter().map(|&(s, _)| s)
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
 const TOK_RTO: u64 = 1;
 const TOK_PACE: u64 = 2;
 const TOK_APP: u64 = 3;
-const GEN_SHIFT: u64 = 8;
 
 /// Duplicate-ACK threshold for loss inference (no reordering in the
 /// simulator, so 3 is conservative and faithful).
@@ -158,7 +223,7 @@ pub struct Sender {
     stop_at: Option<SimTime>,
 
     next_seq: u64,
-    outstanding: BTreeMap<u64, SentRecord>,
+    outstanding: SentWindow,
     retx_queue: VecDeque<u64>,
     /// Loss-episode guard: losses on seqs below this were already reacted to.
     recovery_until: u64,
@@ -168,9 +233,19 @@ pub struct Sender {
     min_rtt: SimDuration,
     rto: SimDuration,
     rto_backoff: u32,
-    rto_gen: u64,
+    /// The single pending RTO timer, if any. Re-arming per send would churn
+    /// the queue, so sends only move `rto_deadline`; a pending timer that
+    /// fires before the deadline re-arms itself for the remainder, and a
+    /// deadline that moves *earlier* than the pending fire time (the RTO
+    /// estimate shrank) cancels and re-arms immediately. Quiescing (all
+    /// data ACKed) cancels outright.
+    rto_timer: Option<TimerId>,
+    /// When the pending timer will fire (valid while `rto_timer` is Some).
+    rto_timer_at: SimTime,
+    rto_deadline: SimTime,
 
-    pace_gen: u64,
+    /// At most one pacing timer is outstanding; the flag (not a generation
+    /// tag) guarantees it, so pace ticks never go stale.
     pace_armed: bool,
     /// A TOK_APP wakeup is pending; prevents every ACK from spawning an
     /// additional timer chain (each chain re-arms itself forever).
@@ -184,6 +259,8 @@ pub struct Sender {
     delivered_bytes: u64,
     stats: SenderStats,
     started: bool,
+    /// Reused per-ACK scratch (implicitly-covered and inferred-lost seqs).
+    scratch_seqs: Vec<u64>,
 }
 
 impl Sender {
@@ -202,7 +279,7 @@ impl Sender {
             start_at: SimTime::ZERO,
             stop_at: None,
             next_seq: 0,
-            outstanding: BTreeMap::new(),
+            outstanding: SentWindow::default(),
             retx_queue: VecDeque::new(),
             recovery_until: 0,
             srtt: None,
@@ -210,8 +287,9 @@ impl Sender {
             min_rtt: SimDuration::MAX,
             rto: INITIAL_RTO,
             rto_backoff: 0,
-            rto_gen: 0,
-            pace_gen: 0,
+            rto_timer: None,
+            rto_timer_at: SimTime::ZERO,
+            rto_deadline: SimTime::ZERO,
             pace_armed: false,
             app_timer_armed: false,
             app_tokens: 0.0,
@@ -220,6 +298,7 @@ impl Sender {
             delivered_bytes: 0,
             stats: SenderStats::default(),
             started: false,
+            scratch_seqs: Vec::new(),
         }
     }
 
@@ -401,9 +480,8 @@ impl Sender {
                 .tx_time(self.pkt_size)
                 .max(SimDuration::from_micros(10))
                 .min(SimDuration::from_secs(1));
-            self.pace_gen += 1;
             self.pace_armed = true;
-            ctx.set_timer(gap, TOK_PACE | (self.pace_gen << GEN_SHIFT));
+            ctx.set_timer(gap, TOK_PACE);
         }
     }
 
@@ -427,10 +505,28 @@ impl Sender {
     }
 
     fn arm_rto(&mut self, ctx: &mut Context) {
-        self.rto_gen += 1;
         let backoff = 1u64 << self.rto_backoff.min(6);
         let timeout = self.rto * backoff;
-        ctx.set_timer(timeout, TOK_RTO | (self.rto_gen << GEN_SHIFT));
+        // Push the deadline; only arm a queue timer when none is pending.
+        // The pending timer catches up via deferral when it fires early.
+        self.rto_deadline = ctx.now() + timeout;
+        match self.rto_timer {
+            None => {
+                self.rto_timer = Some(ctx.set_timer(timeout, TOK_RTO));
+                self.rto_timer_at = self.rto_deadline;
+            }
+            // Deadline moved earlier than the pending fire time (the RTO
+            // estimate shrank, e.g. after the first RTT sample replaces
+            // INITIAL_RTO): deferral can only wait, so cancel and re-arm.
+            Some(id) if self.rto_deadline < self.rto_timer_at => {
+                ctx.cancel_timer(id);
+                self.rto_timer = Some(ctx.set_timer(timeout, TOK_RTO));
+                self.rto_timer_at = self.rto_deadline;
+            }
+            // Deadline at/after the pending fire time: the fired timer
+            // defers itself to the stored deadline.
+            Some(_) => {}
+        }
     }
 
     fn update_rtt(&mut self, sample: SimDuration) {
@@ -463,25 +559,26 @@ impl Sender {
         // — and their bytes are credited to this ACK (§3.1.1's byte
         // counting, which makes window updates robust to lost ACKs).
         let mut implicit_bytes: u32 = 0;
-        let covered: Vec<u64> = self
-            .outstanding
-            .range(..ack.cumulative_before)
-            .map(|(&s, _)| s)
-            .collect();
-        for s in covered {
+        let mut covered = std::mem::take(&mut self.scratch_seqs);
+        covered.clear();
+        covered.extend(self.outstanding.seqs_below(ack.cumulative_before));
+        for &s in &covered {
             if s == ack.seq {
                 continue; // handled explicitly below
             }
-            if let Some(r) = self.outstanding.remove(&s) {
+            if let Some(r) = self.outstanding.remove(s) {
                 implicit_bytes += r.size;
                 self.delivered_bytes += r.size as u64;
                 self.stats.acked_pkts += 1;
                 self.stats.acked_bytes += r.size as u64;
             }
         }
-        self.retx_queue.retain(|&s| s >= ack.cumulative_before);
+        self.scratch_seqs = covered;
+        if !self.retx_queue.is_empty() {
+            self.retx_queue.retain(|&s| s >= ack.cumulative_before);
+        }
 
-        let Some(rec) = self.outstanding.remove(&ack.seq) else {
+        let Some(rec) = self.outstanding.remove(ack.seq) else {
             // duplicate / already-retransmitted ACK; the cumulative credit
             // above still applied. Resume sending if window opened.
             if implicit_bytes > 0 {
@@ -519,8 +616,9 @@ impl Sender {
         // full queue, and ACKs of packets sent before it must not count
         // against it (else it is spuriously retransmitted every 3 ACKs).
         let acked_tx_time = rec.sent_at;
-        let mut lost = Vec::new();
-        for (&seq, r) in self.outstanding.range_mut(..ack.seq) {
+        let mut lost = std::mem::take(&mut self.scratch_seqs);
+        lost.clear();
+        for (seq, r) in self.outstanding.iter_mut_below(ack.seq) {
             if r.sent_at < acked_tx_time {
                 r.passed += 1;
                 if r.passed >= DUPACK_THRESHOLD {
@@ -529,16 +627,17 @@ impl Sender {
             }
         }
         let mut new_episode = false;
-        for seq in &lost {
+        for &seq in &lost {
             self.outstanding.remove(seq);
-            if !self.retx_queue.contains(seq) {
-                self.retx_queue.push_back(*seq);
+            if !self.retx_queue.contains(&seq) {
+                self.retx_queue.push_back(seq);
             }
             self.stats.losses_detected += 1;
-            if *seq >= self.recovery_until {
+            if seq >= self.recovery_until {
                 new_episode = true;
             }
         }
+        self.scratch_seqs = lost;
         if new_episode {
             self.recovery_until = self.next_seq;
             self.cc.on_loss(now);
@@ -562,8 +661,10 @@ impl Sender {
         };
         self.cc.on_ack(&ev);
         if self.outstanding.is_empty() {
-            // quiesce the RTO timer
-            self.rto_gen += 1;
+            // quiesce: unlink the RTO timer from the queue entirely
+            if let Some(id) = self.rto_timer.take() {
+                ctx.cancel_timer(id);
+            }
         } else {
             self.arm_rto(ctx);
         }
@@ -579,7 +680,7 @@ impl Sender {
         self.rto_backoff += 1;
         self.cc.on_rto(now);
         // conservative go-back-N: everything outstanding is presumed lost
-        let seqs: Vec<u64> = self.outstanding.keys().copied().collect();
+        let seqs: Vec<u64> = self.outstanding.all_seqs().collect();
         self.outstanding.clear();
         for s in seqs {
             if !self.retx_queue.contains(&s) {
@@ -609,22 +710,34 @@ impl Node for Sender {
             EventKind::Deliver(pkt) => {
                 if let Some(ack) = pkt.ack {
                     debug_assert_eq!(pkt.flow, self.flow, "ACK routed to wrong sender");
+                    ctx.recycle(pkt);
                     self.on_ack(ctx, ack);
+                } else {
+                    ctx.recycle(pkt);
                 }
             }
-            EventKind::Timer(tok) => {
-                let kind = tok & 0xff;
-                let gen = tok >> GEN_SHIFT;
-                match kind {
-                    TOK_RTO if gen == self.rto_gen => self.on_rto_fire(ctx),
-                    TOK_PACE if gen == self.pace_gen => self.on_pace_tick(ctx),
-                    TOK_APP => {
-                        self.app_timer_armed = false;
-                        self.try_send(ctx);
+            EventKind::Timer(tok) => match tok {
+                TOK_RTO => {
+                    self.rto_timer = None;
+                    if self.outstanding.is_empty() {
+                        // already quiesced between arm and fire
+                    } else if ctx.now() < self.rto_deadline {
+                        // sends pushed the deadline since this was armed:
+                        // defer instead of firing
+                        let remaining = self.rto_deadline.since(ctx.now());
+                        self.rto_timer = Some(ctx.set_timer(remaining, TOK_RTO));
+                        self.rto_timer_at = self.rto_deadline;
+                    } else {
+                        self.on_rto_fire(ctx);
                     }
-                    _ => {} // stale generation
                 }
-            }
+                TOK_PACE => self.on_pace_tick(ctx),
+                TOK_APP => {
+                    self.app_timer_armed = false;
+                    self.try_send(ctx);
+                }
+                _ => {}
+            },
         }
     }
 }
@@ -646,8 +759,12 @@ pub struct Sink {
     pub received_bytes: u64,
     batch: usize,
     max_delay: SimDuration,
-    pending: Vec<Packet>,
-    flush_gen: u64,
+    // Held ACKs keep their pooled boxes so a flush forwards them as-is.
+    #[allow(clippy::vec_box)]
+    pending: Vec<Box<Packet>>,
+    /// Pending partial-batch flush timer; cancelled when a full batch
+    /// flushes first.
+    flush_timer: Option<TimerId>,
     /// Lowest data sequence not yet received (cumulative-ACK point).
     next_expected: u64,
     /// Received sequences at/above `next_expected` (out-of-order set).
@@ -667,7 +784,7 @@ impl Sink {
             batch: 1,
             max_delay: SimDuration::ZERO,
             pending: Vec::new(),
-            flush_gen: 0,
+            flush_timer: None,
             next_expected: 0,
             ooo: std::collections::BTreeSet::new(),
         }
@@ -687,9 +804,11 @@ impl Sink {
     }
 
     fn flush(&mut self, ctx: &mut Context) {
-        self.flush_gen += 1;
+        if let Some(id) = self.flush_timer.take() {
+            ctx.cancel_timer(id);
+        }
         for ack in self.pending.drain(..) {
-            ctx.forward(ack);
+            ctx.forward_boxed(ack);
         }
     }
 }
@@ -698,16 +817,18 @@ impl Node for Sink {
     crate::impl_node_downcast!();
 
     fn handle(&mut self, ctx: &mut Context, event: EventKind) {
-        let pkt = match event {
+        let mut pkt = match event {
             EventKind::Deliver(p) => p,
             EventKind::Timer(tok) => {
-                if tok >> GEN_SHIFT == self.flush_gen && (tok & 0xff) == TOK_FLUSH {
+                if tok == TOK_FLUSH {
+                    self.flush_timer = None;
                     self.flush(ctx);
                 }
                 return;
             }
         };
         if pkt.is_ack() {
+            ctx.recycle(pkt);
             return; // not expected at a sink
         }
         debug_assert_eq!(pkt.flow, self.flow, "data packet routed to wrong sink");
@@ -715,8 +836,10 @@ impl Node for Sink {
         let delay = now.since(pkt.sent_at);
         self.received_pkts += 1;
         self.received_bytes += pkt.size as u64;
-        // advance the cumulative point
-        if pkt.seq >= self.next_expected {
+        // advance the cumulative point (fast path: in-order arrival)
+        if pkt.seq == self.next_expected && self.ooo.is_empty() {
+            self.next_expected += 1;
+        } else if pkt.seq >= self.next_expected {
             self.ooo.insert(pkt.seq);
             while self.ooo.remove(&self.next_expected) {
                 self.next_expected += 1;
@@ -725,7 +848,9 @@ impl Node for Sink {
         if let Some(m) = &self.metrics {
             m.borrow_mut().on_delivery(pkt.flow, now, delay, pkt.size);
         }
-        let ack = Packet {
+        // Reuse the data packet's box for the ACK: the sink is where data
+        // allocations die and ACK allocations are born.
+        *pkt = Packet {
             flow: pkt.flow,
             seq: pkt.seq,
             size: crate::packet::ACK_BYTES,
@@ -748,15 +873,16 @@ impl Node for Sink {
             hop: 0,
             enqueued_at: now,
         };
+        let ack = pkt;
         if self.batch <= 1 {
-            ctx.forward(ack);
+            ctx.forward_boxed(ack);
             return;
         }
         self.pending.push(ack);
         if self.pending.len() >= self.batch {
             self.flush(ctx);
         } else if self.pending.len() == 1 && !self.max_delay.is_zero() {
-            ctx.set_timer(self.max_delay, TOK_FLUSH | (self.flush_gen << GEN_SHIFT));
+            self.flush_timer = Some(ctx.set_timer(self.max_delay, TOK_FLUSH));
         }
     }
 }

@@ -146,7 +146,9 @@ impl Node for LinkQueue {
                             m.on_link_dequeue(self.tag, now, now.since(pkt.enqueued_at), pkt.size);
                         }
                         if pkt.next_hop().is_some() {
-                            ctx.forward(pkt);
+                            ctx.forward_boxed(pkt);
+                        } else {
+                            ctx.recycle(pkt);
                         }
                     }
                     None => {

@@ -7,11 +7,16 @@
 //! for the figure plots.
 
 use crate::packet::FlowId;
-use crate::stats::{jain_index, summarize, Summary};
+use crate::stats::{jain_index, summarize_in_place, Summary};
 use crate::time::{SimDuration, SimTime};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Initial capacity hint for per-packet sample vectors: a few thousand
+/// deliveries is the floor for any measured scenario, so early growth
+/// reallocations are skipped.
+const SAMPLES_HINT: usize = 4096;
 
 /// Cheap shared handle to the hub.
 pub type Metrics = Rc<RefCell<MetricsHub>>;
@@ -63,6 +68,9 @@ pub struct LinkRecord {
     pub opportunity_bits: f64,
     /// (time, queuing delay) samples taken at each dequeue.
     pub qdelay_series: Vec<(SimTime, SimDuration)>,
+    /// Sort-once cache for [`LinkRecord::qdelay_summary_ms`], keyed by the
+    /// series length at computation time.
+    qdelay_cache: Cell<Option<(usize, Summary)>>,
 }
 
 impl LinkRecord {
@@ -73,13 +81,24 @@ impl LinkRecord {
         (self.delivered_bytes as f64 * 8.0 / self.opportunity_bits).min(1.0)
     }
 
+    /// Queuing-delay summary (ms). Computed once per series state: repeat
+    /// calls between dequeues return the cached summary instead of
+    /// re-collecting and re-sorting the samples.
     pub fn qdelay_summary_ms(&self) -> Summary {
-        let v: Vec<f64> = self
+        let n = self.qdelay_series.len();
+        if let Some((k, s)) = self.qdelay_cache.get() {
+            if k == n {
+                return s;
+            }
+        }
+        let mut v: Vec<f64> = self
             .qdelay_series
             .iter()
             .map(|(_, d)| d.as_millis_f64())
             .collect();
-        summarize(&v)
+        let s = summarize_in_place(&mut v);
+        self.qdelay_cache.set(Some((n, s)));
+        s
     }
 }
 
@@ -98,6 +117,9 @@ pub struct MetricsHub {
     bins: Vec<ThroughputBin>,
     /// Measurement starts here; earlier samples are warm-up and ignored.
     epoch: SimTime,
+    /// Sort-once cache for [`MetricsHub::delay_summary_ms`], keyed by the
+    /// total delivered-sample count.
+    delay_cache: Cell<Option<(usize, Summary)>>,
 }
 
 impl Default for MetricsHub {
@@ -108,6 +130,7 @@ impl Default for MetricsHub {
             bin_width: SimDuration::from_millis(100),
             bins: Vec::new(),
             epoch: SimTime::ZERO,
+            delay_cache: Cell::new(None),
         }
     }
 }
@@ -137,6 +160,9 @@ impl MetricsHub {
         rec.delivered_pkts += 1;
         rec.first_delivery.get_or_insert(now);
         rec.last_delivery = Some(now);
+        if rec.delays_s.capacity() == 0 {
+            rec.delays_s.reserve(SAMPLES_HINT);
+        }
         rec.delays_s.push(delay.as_secs_f64());
 
         // throughput time series
@@ -165,6 +191,9 @@ impl MetricsHub {
         let rec = self.links.entry(link).or_default();
         rec.delivered_bytes += bytes as u64;
         rec.delivered_pkts += 1;
+        if rec.qdelay_series.capacity() == 0 {
+            rec.qdelay_series.reserve(SAMPLES_HINT);
+        }
         rec.qdelay_series.push((now, qdelay));
     }
 
@@ -182,13 +211,23 @@ impl MetricsHub {
     }
 
     /// One-way delay summary (ms) across all packets of all flows.
+    /// Sorted once per recorded state and cached for repeat calls.
     pub fn delay_summary_ms(&self) -> Summary {
-        let v: Vec<f64> = self
-            .flows
-            .values()
-            .flat_map(|f| f.delays_s.iter().map(|d| d * 1e3))
-            .collect();
-        summarize(&v)
+        let n: usize = self.flows.values().map(|f| f.delays_s.len()).sum();
+        if let Some((k, s)) = self.delay_cache.get() {
+            if k == n {
+                return s;
+            }
+        }
+        let mut v: Vec<f64> = Vec::with_capacity(n);
+        v.extend(
+            self.flows
+                .values()
+                .flat_map(|f| f.delays_s.iter().map(|d| d * 1e3)),
+        );
+        let s = summarize_in_place(&mut v);
+        self.delay_cache.set(Some((n, s)));
+        s
     }
 
     /// Jain fairness index of per-flow throughput over `window`.

@@ -4,22 +4,65 @@ use crate::event::EventKind;
 use crate::packet::{NodeId, Packet};
 use crate::time::{SimDuration, SimTime};
 
-/// Deferred effects a node produces while handling an event. The simulator
+/// Recycled `Deliver` boxes kept per simulator; bounds pool memory while
+/// letting steady-state traffic run allocation-free. Shared by the
+/// simulator's dead-letter path and [`Context::recycle`].
+pub(crate) const PACKET_POOL_CAP: usize = 1024;
+
+/// Handle to a pending timer, returned by [`Context::set_timer`] /
+/// [`Context::set_timer_at`] and consumed by [`Context::cancel_timer`].
+/// Cancel only timers that have not fired yet: a handle is dead as soon as
+/// its `Timer` event is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId(u64);
+
+/// A deferred effect a node produces while handling an event. The simulator
 /// drains these into the event queue after the handler returns, so nodes
-/// never borrow the queue (or each other) directly.
+/// never borrow the queue (or each other) directly. Ordering within one
+/// handler invocation is preserved, so scheduling and then cancelling the
+/// same timer in one handler is well-defined.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    Schedule {
+        time: SimTime,
+        node: NodeId,
+        kind: EventKind,
+        seq: u64,
+    },
+    Cancel(u64),
+}
+
+/// The capability handed to a node while it handles an event.
 pub struct Context<'a> {
     now: SimTime,
     self_id: NodeId,
-    out: &'a mut Vec<(SimTime, NodeId, EventKind)>,
+    out: &'a mut Vec<Effect>,
+    /// The simulator's event sequence counter; assigned eagerly so the
+    /// effects carry their final queue order (and cancellation handles).
+    next_seq: &'a mut u64,
+    /// Recycled `Deliver` boxes — steady-state traffic reuses them instead
+    /// of allocating per packet. The boxes are the pooled resource, not an
+    /// indirection.
+    #[allow(clippy::vec_box)]
+    pool: &'a mut Vec<Box<Packet>>,
 }
 
 impl<'a> Context<'a> {
+    #[allow(clippy::vec_box)]
     pub(crate) fn new(
         now: SimTime,
         self_id: NodeId,
-        out: &'a mut Vec<(SimTime, NodeId, EventKind)>,
+        out: &'a mut Vec<Effect>,
+        next_seq: &'a mut u64,
+        pool: &'a mut Vec<Box<Packet>>,
     ) -> Self {
-        Context { now, self_id, out }
+        Context {
+            now,
+            self_id,
+            out,
+            next_seq,
+            pool,
+        }
     }
 
     /// Current simulation time.
@@ -32,16 +75,52 @@ impl<'a> Context<'a> {
         self.self_id
     }
 
+    #[inline]
+    fn take_seq(&mut self) -> u64 {
+        let seq = *self.next_seq;
+        *self.next_seq += 1;
+        seq
+    }
+
+    #[inline]
+    fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
+        match self.pool.pop() {
+            Some(mut b) => {
+                *b = pkt;
+                b
+            }
+            None => Box::new(pkt),
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, time: SimTime, node: NodeId, kind: EventKind) -> u64 {
+        let seq = self.take_seq();
+        self.out.push(Effect::Schedule {
+            time,
+            node,
+            kind,
+            seq,
+        });
+        seq
+    }
+
     /// Forward `pkt` along its route: deliver it to the next hop after that
     /// segment's propagation delay. Packets whose route is exhausted are
     /// dropped with a debug assertion — a terminal node (sender absorbing
     /// its own ACK) should simply not forward.
-    pub fn forward(&mut self, mut pkt: Packet) {
+    pub fn forward(&mut self, pkt: Packet) {
+        let boxed = self.boxed(pkt);
+        self.forward_boxed(boxed);
+    }
+
+    /// Forward an already-boxed packet, reusing its allocation across hops.
+    pub fn forward_boxed(&mut self, mut pkt: Box<Packet>) {
         match pkt.next_hop() {
             Some((next, delay)) => {
                 pkt.hop += 1;
-                self.out
-                    .push((self.now + delay, next, EventKind::Deliver(pkt)));
+                let time = self.now + delay;
+                self.schedule(time, next, EventKind::Deliver(pkt));
             }
             None => {
                 debug_assert!(false, "forward() on exhausted route");
@@ -52,21 +131,41 @@ impl<'a> Context<'a> {
     /// Deliver `pkt` to an explicit node after `delay`, ignoring the route.
     /// Used by link nodes delivering to themselves, e.g. loopback tests.
     pub fn deliver(&mut self, to: NodeId, delay: SimDuration, pkt: Packet) {
-        self.out
-            .push((self.now + delay, to, EventKind::Deliver(pkt)));
+        let boxed = self.boxed(pkt);
+        let time = self.now + delay;
+        self.schedule(time, to, EventKind::Deliver(boxed));
     }
 
-    /// Fire `Timer(token)` on this node after `delay`.
-    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.out
-            .push((self.now + delay, self.self_id, EventKind::Timer(token)));
+    /// Return a spent `Deliver` box to the packet pool. Terminal nodes
+    /// (senders absorbing ACKs, sinks consuming data) call this so the
+    /// allocation is reused by the next [`Context::forward`].
+    pub fn recycle(&mut self, pkt: Box<Packet>) {
+        // Capped so a burst of drops can't pin unbounded memory.
+        if self.pool.len() < PACKET_POOL_CAP {
+            self.pool.push(pkt);
+        }
+    }
+
+    /// Fire `Timer(token)` on this node after `delay`. The returned handle
+    /// cancels the timer while it is still pending.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let time = self.now + delay;
+        TimerId(self.schedule(time, self.self_id, EventKind::Timer(token)))
     }
 
     /// Fire `Timer(token)` on this node at absolute time `at` (clamped to
     /// be no earlier than now).
-    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerId {
         let at = at.max(self.now);
-        self.out.push((at, self.self_id, EventKind::Timer(token)));
+        TimerId(self.schedule(at, self.self_id, EventKind::Timer(token)))
+    }
+
+    /// Cancel a pending timer. The event is unlinked from the queue (lazily,
+    /// O(1)) and will never fire. Cancelling a timer that already fired is a
+    /// contract violation — callers clear their stored [`TimerId`] when the
+    /// timer's event arrives.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.out.push(Effect::Cancel(id.0));
     }
 }
 

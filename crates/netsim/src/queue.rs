@@ -31,12 +31,13 @@ pub trait Qdisc: std::any::Any {
     /// Offer a packet to the queue at `now`. Returns `true` if the packet
     /// was accepted, `false` if it was dropped (tail drop / AQM drop).
     /// Implementations must stamp `pkt.enqueued_at = now` on accept.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> bool;
+    /// Packets stay boxed end to end, so queue churn moves pointers.
+    fn enqueue(&mut self, pkt: Box<Packet>, now: SimTime) -> bool;
 
     /// Remove the next packet to transmit. AQMs may drop packets here
     /// (head drop) before returning one; marking (CE, accel→brake,
     /// explicit-feedback stamping) also happens here, at departure time.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>>;
 
     /// Wire size of the packet `dequeue` would return, without effects.
     fn peek_size(&self) -> Option<u32>;
@@ -65,7 +66,7 @@ pub trait Qdisc: std::any::Any {
 /// The paper's cellular experiments use a 250-packet droptail buffer for
 /// every end-to-end scheme.
 pub struct DropTail {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     limit_pkts: usize,
     bytes: u64,
     stats: QdiscStats,
@@ -86,7 +87,7 @@ impl DropTail {
 impl Qdisc for DropTail {
     crate::impl_qdisc_downcast!();
 
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> bool {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, now: SimTime) -> bool {
         if self.queue.len() >= self.limit_pkts {
             self.stats.dropped_pkts += 1;
             return false;
@@ -98,7 +99,7 @@ impl Qdisc for DropTail {
         true
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<Box<Packet>> {
         let pkt = self.queue.pop_front()?;
         self.bytes -= pkt.size as u64;
         self.stats.dequeued_pkts += 1;
@@ -128,9 +129,9 @@ impl Qdisc for DropTail {
 }
 
 #[cfg(test)]
-pub(crate) fn test_packet(seq: u64, size: u32) -> Packet {
+pub(crate) fn test_packet(seq: u64, size: u32) -> Box<Packet> {
     use crate::packet::{Ecn, Feedback, FlowId, NodeId, Route};
-    Packet {
+    Box::new(Packet {
         flow: FlowId(0),
         seq,
         size,
@@ -143,7 +144,7 @@ pub(crate) fn test_packet(seq: u64, size: u32) -> Packet {
         route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
         hop: 0,
         enqueued_at: SimTime::ZERO,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! The simulator: node registry, virtual clock, and the run loop.
 
 use crate::event::{EventKind, EventQueue};
-use crate::node::{Context, Node};
-use crate::packet::NodeId;
+use crate::node::{Context, Effect, PACKET_POOL_CAP};
+use crate::packet::{NodeId, Packet};
 use crate::time::SimTime;
 
 /// A deterministic discrete-event simulator.
@@ -41,9 +41,20 @@ pub struct Simulator {
     queue: EventQueue,
     nodes: Vec<Option<Box<dyn Node>>>,
     started: bool,
-    scratch: Vec<(SimTime, NodeId, EventKind)>,
+    scratch: Vec<Effect>,
+    next_seq: u64,
+    // Boxes are the pooled resource itself (reused Deliver allocations),
+    // not an indirection — hence the suppressed lint.
+    #[allow(clippy::vec_box)]
+    pool: Vec<Box<Packet>>,
     events_processed: u64,
+    /// FNV-1a over the `(time, node, kind)` sequence of processed events —
+    /// a cheap always-on order witness for determinism tests.
+    fingerprint: u64,
+    trace: Option<Vec<(SimTime, NodeId, u64)>>,
 }
+
+use crate::node::Node;
 
 impl Default for Simulator {
     fn default() -> Self {
@@ -51,15 +62,40 @@ impl Default for Simulator {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// One-multiply word mix (xorshift-multiply): fast enough to run on every
+/// event, strong enough that any reordering flips the final fingerprint.
+#[inline]
+fn fnv_mix(h: u64, x: u64) -> u64 {
+    let mut v = h ^ x;
+    v = v.wrapping_mul(0x9E3779B97F4A7C15);
+    v ^ (v >> 29)
+}
+
 impl Simulator {
     pub fn new() -> Self {
+        Self::with_queue(EventQueue::new())
+    }
+
+    /// A simulator driven by the pre-wheel reference heap — for golden
+    /// pop-order tests that pin the wheel against the original ordering.
+    pub fn new_with_reference_queue() -> Self {
+        Self::with_queue(EventQueue::new_reference())
+    }
+
+    fn with_queue(queue: EventQueue) -> Self {
         Simulator {
             clock: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue,
             nodes: Vec::new(),
             started: false,
             scratch: Vec::new(),
+            next_seq: 0,
+            pool: Vec::new(),
             events_processed: 0,
+            fingerprint: FNV_OFFSET,
+            trace: None,
         }
     }
 
@@ -96,6 +132,23 @@ impl Simulator {
         self.events_processed
     }
 
+    /// Order witness: FNV-1a over every processed `(time, node, kind)`.
+    /// Two runs that processed the same events in the same order agree.
+    pub fn events_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Start recording `(time, node, seq)` for every processed event.
+    pub fn enable_event_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded event trace (empty unless
+    /// [`Simulator::enable_event_trace`] was called before running).
+    pub fn take_event_trace(&mut self) -> Vec<(SimTime, NodeId, u64)> {
+        self.trace.take().unwrap_or_default()
+    }
+
     fn start_all(&mut self) {
         if self.started {
             return;
@@ -105,7 +158,13 @@ impl Simulator {
             let id = NodeId(i as u32);
             if let Some(mut node) = self.nodes[i].take() {
                 {
-                    let mut ctx = Context::new(self.clock, id, &mut self.scratch);
+                    let mut ctx = Context::new(
+                        self.clock,
+                        id,
+                        &mut self.scratch,
+                        &mut self.next_seq,
+                        &mut self.pool,
+                    );
                     node.start(&mut ctx);
                 }
                 self.nodes[i] = Some(node);
@@ -115,8 +174,16 @@ impl Simulator {
     }
 
     fn flush_scratch(&mut self) {
-        for (time, node, kind) in self.scratch.drain(..) {
-            self.queue.push(time, node, kind);
+        for effect in self.scratch.drain(..) {
+            match effect {
+                Effect::Schedule {
+                    time,
+                    node,
+                    kind,
+                    seq,
+                } => self.queue.push_with_seq(time, node, kind, seq),
+                Effect::Cancel(seq) => self.queue.cancel(seq),
+            }
         }
     }
 
@@ -124,24 +191,40 @@ impl Simulator {
     /// are processed) or the event queue drains, whichever is first.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_all();
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event vanished");
+        while let Some(ev) = self.queue.pop_before(deadline) {
             debug_assert!(ev.time >= self.clock, "event queue time went backwards");
             self.clock = ev.time;
             self.events_processed += 1;
+            let mut h = fnv_mix(self.fingerprint, ev.time.as_nanos());
+            h = fnv_mix(h, ev.node.0 as u64);
+            h = match &ev.kind {
+                EventKind::Timer(tok) => fnv_mix(fnv_mix(h, 1), *tok),
+                EventKind::Deliver(p) => fnv_mix(fnv_mix(fnv_mix(h, 2), p.flow.0 as u64), p.seq),
+            };
+            self.fingerprint = h;
+            if let Some(t) = &mut self.trace {
+                t.push((ev.time, ev.node, ev.seq()));
+            }
             let idx = ev.node.0 as usize;
             // Take the node out so the handler can't alias the registry.
             // A missing node (reserved but never installed) drops the event.
             if let Some(mut node) = self.nodes.get_mut(idx).and_then(Option::take) {
                 {
-                    let mut ctx = Context::new(self.clock, ev.node, &mut self.scratch);
+                    let mut ctx = Context::new(
+                        self.clock,
+                        ev.node,
+                        &mut self.scratch,
+                        &mut self.next_seq,
+                        &mut self.pool,
+                    );
                     node.handle(&mut ctx, ev.kind);
                 }
                 self.nodes[idx] = Some(node);
                 self.flush_scratch();
+            } else if let EventKind::Deliver(b) = ev.kind {
+                if self.pool.len() < PACKET_POOL_CAP {
+                    self.pool.push(b);
+                }
             }
         }
         // Advance the clock to the deadline even if we idled out early.
@@ -221,7 +304,7 @@ mod tests {
                     let mut reply = pkt;
                     reply.route = Route::new(vec![(from, SimDuration::from_millis(5))]);
                     reply.hop = 0;
-                    ctx.forward(reply);
+                    ctx.forward_boxed(reply);
                 }
             }
         }
@@ -289,5 +372,64 @@ mod tests {
         let mut sim = Simulator::new();
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
         assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        struct T {
+            fired: u32,
+        }
+        impl Node for T {
+            crate::impl_node_downcast!();
+            fn start(&mut self, ctx: &mut Context) {
+                let id = ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.cancel_timer(id);
+            }
+            fn handle(&mut self, _ctx: &mut Context, ev: EventKind) {
+                if let EventKind::Timer(tok) = ev {
+                    assert_eq!(tok, 2, "cancelled timer fired");
+                    self.fired += 1;
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add_node(Box::new(T { fired: 0 }));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let t: &T = sim
+            .node(id)
+            .and_then(|n| n.as_any().downcast_ref())
+            .unwrap();
+        assert_eq!(t.fired, 1);
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_runs() {
+        let run = || {
+            let mut sim = Simulator::new();
+            let a = sim.reserve_node();
+            let b = sim.reserve_node();
+            sim.install_node(
+                a,
+                Box::new(PingPong {
+                    peer: Some(b),
+                    received: 0,
+                    limit: 5,
+                }),
+            );
+            sim.install_node(
+                b,
+                Box::new(PingPong {
+                    peer: Some(a),
+                    received: 0,
+                    limit: 5,
+                }),
+            );
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            sim.events_fingerprint()
+        };
+        assert_eq!(run(), run());
+        assert_ne!(run(), FNV_OFFSET, "fingerprint never updated");
     }
 }

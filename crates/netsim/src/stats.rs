@@ -127,24 +127,34 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 /// Compute a [`Summary`] of `samples` (need not be pre-sorted).
+///
+/// Clones the slice to sort it; hot paths that own their samples should
+/// use [`summarize_in_place`] and skip the copy.
 pub fn summarize(samples: &[f64]) -> Summary {
+    let mut sorted = samples.to_vec();
+    summarize_in_place(&mut sorted)
+}
+
+/// Compute a [`Summary`] by sorting `samples` in place — the zero-copy
+/// sibling of [`summarize`] for callers that own the buffer. Sorting is
+/// deterministic: `f64` ordering with a panic on NaN, like `summarize`.
+pub fn summarize_in_place(samples: &mut [f64]) -> Summary {
     if samples.is_empty() {
         return Summary::default();
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-    let n = sorted.len();
-    let mean = sorted.iter().sum::<f64>() / n as f64;
-    let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
     Summary {
         count: n,
         mean,
         std_dev: var.sqrt(),
-        min: sorted[0],
-        max: sorted[n - 1],
-        p50: percentile(&sorted, 50.0),
-        p95: percentile(&sorted, 95.0),
-        p99: percentile(&sorted, 99.0),
+        min: samples[0],
+        max: samples[n - 1],
+        p50: percentile(samples, 50.0),
+        p95: percentile(samples, 95.0),
+        p99: percentile(samples, 99.0),
     }
 }
 

@@ -89,7 +89,9 @@ pub struct WifiAp {
     mcs: Box<dyn McsProcess>,
     estimator: WifiRateEstimator,
     rng: StdRng,
-    in_flight: Vec<Packet>,
+    // Pooled Deliver boxes ride through the batch unchanged.
+    #[allow(clippy::vec_box)]
+    in_flight: Vec<Box<Packet>>,
     busy: bool,
     batch_started: SimTime,
     phy_rate: Rate,
@@ -201,7 +203,9 @@ impl WifiAp {
                     .on_link_dequeue(self.tag, now, now.since(pkt.enqueued_at), pkt.size);
             }
             if pkt.next_hop().is_some() {
-                ctx.forward(pkt);
+                ctx.forward_boxed(pkt);
+            } else {
+                ctx.recycle(pkt);
             }
         }
         self.start_batch(ctx);

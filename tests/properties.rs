@@ -13,8 +13,8 @@ use abc_repro::netsim::stats::{percentile, WindowedRate};
 use abc_repro::netsim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
-fn pkt(seq: u64, ecn: Ecn) -> Packet {
-    Packet {
+fn pkt(seq: u64, ecn: Ecn) -> Box<Packet> {
+    Box::new(Packet {
         flow: FlowId(0),
         seq,
         size: 1500,
@@ -27,7 +27,7 @@ fn pkt(seq: u64, ecn: Ecn) -> Packet {
         route: Route::new(vec![(NodeId(0), SimDuration::ZERO)]),
         hop: 0,
         enqueued_at: SimTime::ZERO,
-    }
+    })
 }
 
 proptest! {
