@@ -1,0 +1,113 @@
+//! The workload subsystem's perf trajectory: times the three workload
+//! presets (`web-load-grid`, `video-over-cellular`, `rtc-coexist`) at
+//! Tiny scale end to end — expand → execute → serialize — and appends
+//! one entry to `BENCH_workload.json` at the repo root, so
+//! application-layer scenario throughput accumulates history across
+//! commits.
+//!
+//! ```text
+//! cargo bench -p bench --bench workload
+//! ```
+
+use campaign::json::{self, Value};
+use campaign::presets;
+use campaign::runner::{run_campaign, RunOptions};
+use campaign::store::ResultsStore;
+use experiments::figures::Scale;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+const ITERS: usize = 3;
+const PRESETS: [&str; 3] = ["web-load-grid", "video-over-cellular", "rtc-coexist"];
+
+fn main() {
+    let campaigns: Vec<_> = PRESETS
+        .iter()
+        .map(|name| presets::by_name(name, Scale::Tiny).expect("workload preset"))
+        .collect();
+    let scenarios: usize = campaigns.iter().map(|c| c.expand().len()).sum();
+    let sim_secs: f64 = campaigns
+        .iter()
+        .flat_map(|c| c.expand())
+        .map(|p| p.spec.duration.as_secs_f64())
+        .sum();
+    let opts = RunOptions::quiet();
+    let jobs = match opts.jobs {
+        Some(n) => n,
+        None => experiments::engine::ScenarioEngine::new().threads(),
+    };
+
+    // one warmup pass, then best-of-N wall time over all three presets
+    let mut store_bytes = 0usize;
+    for c in &campaigns {
+        run_campaign(c, &opts);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        let mut bytes = 0usize;
+        for c in &campaigns {
+            let records = run_campaign(c, &opts);
+            bytes += ResultsStore::new(c, records).to_jsonl().len();
+        }
+        store_bytes = bytes;
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+
+    let entry = Value::Obj(vec![
+        ("schema".into(), Value::str("abc-workload-bench/v1")),
+        (
+            "presets".into(),
+            Value::Arr(PRESETS.iter().map(|&p| Value::str(p)).collect()),
+        ),
+        ("scenarios".into(), Value::num(scenarios as f64)),
+        ("sim_secs".into(), Value::num(sim_secs)),
+        ("jobs".into(), Value::num(jobs as f64)),
+        ("wall_secs_best".into(), Value::num(best)),
+        (
+            "scenarios_per_sec".into(),
+            Value::num(scenarios as f64 / best),
+        ),
+        ("sim_x_realtime".into(), Value::num(sim_secs / best)),
+        ("store_bytes".into(), Value::num(store_bytes as f64)),
+        (
+            "unix_time".into(),
+            Value::num(
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_secs() as f64)
+                    .unwrap_or(0.0),
+            ),
+        ),
+    ]);
+
+    // BENCH_workload.json is a JSON array of entries, newest last
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_workload.json");
+    let mut trajectory = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|v| match v {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    trajectory.push(entry);
+    let mut out = String::from("[\n");
+    for (i, e) in trajectory.iter().enumerate() {
+        out.push_str(&e.render());
+        out.push_str(if i + 1 < trajectory.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("]\n");
+    std::fs::write(path, &out).expect("write BENCH_workload.json");
+
+    println!(
+        "workload/tiny: {scenarios} scenarios ({sim_secs:.0} sim-s) in {best:.3}s best-of-{ITERS} \
+         on {jobs} worker(s) = {:.1} scenarios/s, {:.1}x realtime; trajectory now {} entries",
+        scenarios as f64 / best,
+        sim_secs / best,
+        trajectory.len()
+    );
+}

@@ -31,6 +31,7 @@ USAGE:
   abc-campaign run <preset> [options]            execute and store results
   abc-campaign export <store.jsonl> [--csv] [--over AXIS]
                                                  aggregate a stored run
+  abc-campaign merge <shard.jsonl>... [--out F]  stitch shard stores into one
   abc-campaign diff <baseline.jsonl> <candidate.jsonl> [options]
                                                  regression gate (exit 1 on regression)
 
@@ -39,10 +40,14 @@ RUN OPTIONS:
   --jobs <n>               worker pool size (default: $ABC_JOBS, else all cores)
   --chunk <n>              scenarios per dispatch wave (default 32)
   --out <file>             store path (default campaign-<preset>.jsonl)
+  --shard <k>/<n>          run only the ordinal-stable k-th of n slices
+                           (k in 1..=n); `merge` stitches the shard stores
+                           back into the unsharded run, byte for byte
   --resume                 reuse records already in --out (matching header)
                            and execute only the missing points; invoke with
-                           the SAME --scale as the interrupted run (the
-                           header records axes, not scale)
+                           the SAME --scale (and --shard) as the
+                           interrupted run (the header records axes, not
+                           scale)
   --quiet                  no progress on stderr
 
 DIFF OPTIONS:
@@ -118,7 +123,11 @@ fn main() {
                 chunk: get("--chunk").map_or(32, |x| parse_flag("--chunk", &x)),
                 progress: !args.iter().any(|a| a == "--quiet"),
             };
-            let out = get("--out").unwrap_or_else(|| format!("campaign-{}.jsonl", campaign.name));
+            let shard = get("--shard").map(|s| parse_shard(&s));
+            let out = get("--out").unwrap_or_else(|| match shard {
+                Some((k, n)) => format!("campaign-{}.shard-{k}-of-{n}.jsonl", campaign.name),
+                None => format!("campaign-{}.jsonl", campaign.name),
+            });
             let resume = args.iter().any(|a| a == "--resume");
 
             // Reusable records from an interrupted (or complete) store.
@@ -168,14 +177,15 @@ fn main() {
                 }
             };
             let mut w = std::io::BufWriter::new(file);
-            let written =
-                match campaign::runner::run_campaign_streaming(&campaign, &opts, prior, &mut w) {
-                    Ok(n) => n,
-                    Err(e) => {
-                        eprintln!("cannot write {target}: {e}");
-                        std::process::exit(1);
-                    }
-                };
+            let written = match campaign::runner::run_campaign_streaming_sharded(
+                &campaign, &opts, prior, shard, &mut w,
+            ) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("cannot write {target}: {e}");
+                    std::process::exit(1);
+                }
+            };
             drop(w);
             if target != out {
                 if let Err(e) = std::fs::rename(&target, &out) {
@@ -211,6 +221,31 @@ fn main() {
                 print!("{}", aggregate::render_rollup(&store.records));
             }
         }
+        "merge" => {
+            if positional.len() < 2 {
+                eprintln!("merge needs at least one shard store");
+                std::process::exit(2);
+            }
+            let stores: Vec<ResultsStore> = positional[1..].iter().map(|p| load(Some(p))).collect();
+            let merged = match store::merge_stores(&stores) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("cannot merge: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let out = get("--out").unwrap_or_else(|| "campaign-merged.jsonl".into());
+            if let Err(e) = merged.save(&out) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[abc-campaign] merged {} store(s) → {out}: {} record(s) (schema {})",
+                stores.len(),
+                merged.records.len(),
+                store::SCHEMA
+            );
+        }
         "diff" => {
             let baseline = load(positional.get(1));
             let candidate = load(positional.get(2));
@@ -233,6 +268,22 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `--shard k/n` with `1 ≤ k ≤ n`.
+fn parse_shard(value: &str) -> (usize, usize) {
+    let parsed = value.split_once('/').and_then(|(k, n)| {
+        let k = k.trim().parse::<usize>().ok()?;
+        let n = n.trim().parse::<usize>().ok()?;
+        (n >= 1 && (1..=n).contains(&k)).then_some((k, n))
+    });
+    match parsed {
+        Some(s) => s,
+        None => {
+            eprintln!("--shard needs k/n with 1 <= k <= n, got {value:?}");
+            std::process::exit(2);
+        }
     }
 }
 

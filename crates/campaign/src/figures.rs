@@ -269,6 +269,149 @@ pub fn render_fig18(records: &[RunRecord]) -> String {
     out
 }
 
+/// Web workload figure: FCT percentiles per scheme × offered load.
+pub fn web_fct(scale: Scale) -> String {
+    render_web_fct(&run(&presets::web_load_grid(scale)))
+}
+
+/// Render the web-FCT table from `web-load-grid` records (axes `scheme`
+/// × `load`).
+pub fn render_web_fct(records: &[RunRecord]) -> String {
+    let schemes = labels_of(records, "scheme");
+    let loads = labels_of(records, "load");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Web FCT — completion time p50/p95/p99 (ms) per scheme × offered load"
+    )
+    .unwrap();
+    write!(out, "{:<14}", "Scheme").unwrap();
+    for l in &loads {
+        write!(out, " {:>26}", format!("load {l}")).unwrap();
+    }
+    writeln!(out).unwrap();
+    for s in &schemes {
+        write!(out, "{:<14}", s).unwrap();
+        for l in &loads {
+            let c = find(records, &[("scheme", s), ("load", l)])
+                .unwrap_or_else(|| panic!("web-load-grid cell ({s}, {l}) missing"));
+            let web = c
+                .report
+                .app
+                .as_ref()
+                .and_then(|a| a.web.as_ref())
+                .unwrap_or_else(|| panic!("cell ({s}, {l}) has no web metrics"));
+            write!(
+                out,
+                " {:>7.0}/{:>7.0}/{:>7.0}ms",
+                web.fct_ms.p50, web.fct_ms.p95, web.fct_ms.p99
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    writeln!(out, "\ncompleted / issued requests:").unwrap();
+    for s in &schemes {
+        write!(out, "{:<14}", s).unwrap();
+        for l in &loads {
+            let c = find(records, &[("scheme", s), ("load", l)]).expect("cell");
+            let web = c.report.app.as_ref().and_then(|a| a.web.as_ref()).unwrap();
+            write!(out, " {:>12}", format!("{}/{}", web.completed, web.flows)).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// ABR video figure: rebuffer ratio, mean bitrate, and QoE per scheme ×
+/// trace.
+pub fn video_qoe(scale: Scale) -> String {
+    render_video_qoe(&run(&presets::video_over_cellular(scale)))
+}
+
+/// Render the video-QoE matrix from `video-over-cellular` records (axes
+/// `scheme` × `trace`).
+pub fn render_video_qoe(records: &[RunRecord]) -> String {
+    let schemes = labels_of(records, "scheme");
+    let trs = labels_of(records, "trace");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# ABR video — rebuffer% / mean kbit/s / QoE per scheme × trace"
+    )
+    .unwrap();
+    write!(out, "{:<14}", "Scheme").unwrap();
+    for t in &trs {
+        write!(out, " {:>22}", t).unwrap();
+    }
+    writeln!(out).unwrap();
+    for s in &schemes {
+        write!(out, "{:<14}", s).unwrap();
+        for t in &trs {
+            let c = find(records, &[("scheme", s), ("trace", t)])
+                .unwrap_or_else(|| panic!("video cell ({s}, {t}) missing"));
+            let v = c
+                .report
+                .app
+                .as_ref()
+                .and_then(|a| a.video.as_ref())
+                .unwrap_or_else(|| panic!("cell ({s}, {t}) has no video metrics"));
+            write!(
+                out,
+                " {:>6.1}%/{:>5.0}k/{:>6.2}",
+                v.rebuffer_ratio * 100.0,
+                v.mean_bitrate_kbps,
+                v.qoe
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// RTC coexistence figure: deadline misses and bulk throughput per
+/// scheme.
+pub fn rtc_coexist_fig(scale: Scale) -> String {
+    render_rtc_coexist(&run(&presets::rtc_coexist(scale)))
+}
+
+/// Render the RTC-coexistence table from `rtc-coexist` records (axis
+/// `scheme`).
+pub fn render_rtc_coexist(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# RTC coexistence — a 300 kbit/s stream beside one bulk flow"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>10} {:>14} {:>14} {:>16}",
+        "Scheme", "miss rate", "OWD p95 (ms)", "OWD p99 (ms)", "total tput Mbit/s"
+    )
+    .unwrap();
+    for r in records {
+        let rtc = r
+            .report
+            .app
+            .as_ref()
+            .and_then(|a| a.rtc.as_ref())
+            .unwrap_or_else(|| panic!("record {} has no rtc metrics", r.coords));
+        writeln!(
+            out,
+            "{:<14} {:>9.1}% {:>14.1} {:>14.1} {:>16.2}",
+            r.report.scheme,
+            rtc.miss_rate * 100.0,
+            rtc.owd_ms.p95,
+            rtc.owd_ms.p99,
+            r.report.total_tput_mbps
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// The complete figure index: campaign-backed figures (here) merged with
 /// the per-figure harnesses still in [`experiments::figures`], in the
 /// paper's order.
@@ -301,6 +444,21 @@ pub fn all() -> Vec<(&'static str, &'static str, FigureFn)> {
             fig16 as FigureFn,
         ),
         ("fig18", "RTT sensitivity sweep", fig18 as FigureFn),
+        (
+            "web-fct",
+            "web flow-completion times vs offered load",
+            web_fct as FigureFn,
+        ),
+        (
+            "video-qoe",
+            "ABR video rebuffer/bitrate/QoE across traces",
+            video_qoe as FigureFn,
+        ),
+        (
+            "rtc-coexist",
+            "RTC deadline misses beside a bulk flow",
+            rtc_coexist_fig as FigureFn,
+        ),
     ]);
     v.sort_by_key(|(id, ..)| rank(id));
     v

@@ -3,14 +3,15 @@
 //! studies. Every preset is a pure function of its [`Scale`], so two
 //! invocations expand to identical point lists.
 
-use crate::spec::{Axis, Campaign};
+use crate::spec::{Axis, AxisValue, Campaign};
 use cellular::CellTrace;
-use experiments::engine::{ScenarioSpec, Topology};
+use experiments::engine::{FlowSchedule, ScenarioSpec, Topology, WorkloadEntry};
 use experiments::figures::Scale;
 use experiments::scenario::LinkSpec;
 use experiments::{Scheme, CELLULAR_LINEUP, EXPLICIT_LINEUP};
 use netsim::rate::Rate;
 use netsim::time::SimDuration;
+use workload::{AbrWorkload, RtcWorkload, WebWorkload, WorkloadSpec};
 
 /// The cellular traces for a run: all eight, or a truncated subset.
 pub fn traces(scale: Scale) -> Vec<CellTrace> {
@@ -142,6 +143,64 @@ pub fn tiny(_scale: Scale) -> Campaign {
         .axis(Axis::seeds(&[1, 2]))
 }
 
+/// The scheme lineup for workload presets: ABC against the schemes an
+/// application-limited flow most plausibly meets on a cellular path.
+const WORKLOAD_LINEUP: [Scheme; 4] = [Scheme::Abc, Scheme::CubicCodel, Scheme::Cubic, Scheme::Bbr];
+
+/// Web FCT sweep: scheme × offered load on a constant 12 Mbit/s
+/// bottleneck. The `load` axis sets a Poisson request fleet (built-in
+/// empirical object sizes) at that fraction of the link.
+pub fn web_load_grid(scale: Scale) -> Campaign {
+    let link = Rate::from_mbps(12.0);
+    let loads = vec![
+        ("0.2".to_string(), 0.2f64),
+        ("0.5".to_string(), 0.5),
+        ("0.8".to_string(), 0.8),
+    ];
+    let values = loads
+        .into_iter()
+        .map(|(label, load)| {
+            let entry =
+                WorkloadEntry::new(WorkloadSpec::Web(WebWorkload::poisson_load(load, link)));
+            (label, AxisValue::Workloads(vec![entry]))
+        })
+        .collect();
+    let mut base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(link))
+        .duration(scale.secs(60, 10, 2))
+        .warmup(SimDuration::ZERO);
+    // the web fleet *is* the traffic; no bulk backlog underneath
+    base.flows = FlowSchedule::Explicit(Vec::new());
+    Campaign::new("web-load-grid", base)
+        .axis(Axis::schemes(&WORKLOAD_LINEUP))
+        .axis(Axis::new("load", values))
+}
+
+/// ABR video QoE sweep: scheme × cellular trace, one HD video session
+/// per cell (ladder 350 k–4 M, 2 s chunks).
+pub fn video_over_cellular(scale: Scale) -> Campaign {
+    let duration = sim_duration(scale);
+    let video = WorkloadEntry::new(WorkloadSpec::AbrVideo(AbrWorkload::hd(duration)));
+    let mut base = cell_base(duration).warmup(SimDuration::ZERO);
+    base.flows = FlowSchedule::Explicit(Vec::new());
+    base.workloads = vec![video];
+    Campaign::new("video-over-cellular", base)
+        .axis(Axis::schemes(&WORKLOAD_LINEUP))
+        .axis(Axis::traces(&traces(scale)))
+}
+
+/// RTC coexistence: a 300 kbit/s interactive stream sharing the
+/// bottleneck with one bulk flow of the same scheme, per scheme — the
+/// deadline-miss analogue of the paper's coexistence story.
+pub fn rtc_coexist(scale: Scale) -> Campaign {
+    let rtc = WorkloadEntry::new(WorkloadSpec::Rtc(RtcWorkload::video_call(300)));
+    let mut base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+        .duration(scale.secs(60, 10, 2))
+        .warmup(SimDuration::ZERO);
+    base.flows = FlowSchedule::backlogged(1);
+    base.workloads = vec![rtc];
+    Campaign::new("rtc-coexist", base).axis(Axis::schemes(&WORKLOAD_LINEUP))
+}
+
 /// A preset builder: a pure `Scale → Campaign` function.
 pub type PresetFn = fn(Scale) -> Campaign;
 
@@ -169,6 +228,21 @@ pub fn all() -> Vec<(&'static str, &'static str, PresetFn)> {
             "seed-spread",
             "across-seed mean/CI: 2 schemes × 8 seeds",
             seed_spread,
+        ),
+        (
+            "web-load-grid",
+            "web FCT: schemes × offered load (Poisson short flows)",
+            web_load_grid,
+        ),
+        (
+            "video-over-cellular",
+            "ABR video QoE: schemes × cellular traces",
+            video_over_cellular,
+        ),
+        (
+            "rtc-coexist",
+            "RTC deadline misses beside a bulk flow, per scheme",
+            rtc_coexist,
         ),
     ]
 }

@@ -92,9 +92,21 @@ pub fn run_campaign_with<F: FnMut(&[RunRecord])>(
     campaign: &Campaign,
     opts: &RunOptions,
     skip: &std::collections::HashSet<usize>,
+    on_chunk: F,
+) -> Vec<RunRecord> {
+    run_points_with(campaign, campaign.expand(), opts, skip, on_chunk)
+}
+
+/// The execution core under every run path: takes an already-expanded
+/// point list so callers that need the expansion for other purposes
+/// (header point counts, shard slicing) expand exactly once.
+fn run_points_with<F: FnMut(&[RunRecord])>(
+    campaign: &Campaign,
+    points: Vec<crate::spec::CampaignPoint>,
+    opts: &RunOptions,
+    skip: &std::collections::HashSet<usize>,
     mut on_chunk: F,
 ) -> Vec<RunRecord> {
-    let points = campaign.expand();
     let points: Vec<_> = points
         .into_iter()
         .filter(|p| !skip.contains(&p.ordinal))
@@ -139,6 +151,15 @@ pub fn run_campaign_with<F: FnMut(&[RunRecord])>(
     records
 }
 
+/// Does `ordinal` belong to shard `k` of `n` (`k` is 1-based)? The
+/// assignment is round-robin over the *unfiltered* cartesian ordinals,
+/// which are stable shard ids: adding filters never moves a point to a
+/// different shard, and the `n` shards partition any campaign exactly.
+pub fn in_shard(ordinal: usize, (k, n): (usize, usize)) -> bool {
+    debug_assert!(n >= 1 && (1..=n).contains(&k), "shard {k}/{n} out of range");
+    ordinal % n == k - 1
+}
+
 /// Merge an interrupted store's records with a freshly-run remainder:
 /// executes the points missing from `prior` and returns the full record
 /// set in expansion (ordinal) order — byte-identical to an uninterrupted
@@ -150,7 +171,9 @@ pub fn resume_campaign(
     prior: Vec<RunRecord>,
 ) -> Vec<RunRecord> {
     let mut records = Vec::new();
-    run_campaign_merged(campaign, opts, prior, |r| records.push(r.clone()));
+    run_campaign_merged(campaign, campaign.expand(), opts, prior, None, |r| {
+        records.push(r.clone())
+    });
     records
 }
 
@@ -167,12 +190,36 @@ pub fn run_campaign_streaming<W: std::io::Write>(
     prior: Vec<RunRecord>,
     w: &mut W,
 ) -> std::io::Result<usize> {
+    run_campaign_streaming_sharded(campaign, opts, prior, None, w)
+}
+
+/// [`run_campaign_streaming`] restricted to the ordinal-stable `k/n`
+/// slice of the campaign (see [`in_shard`]): the header promises the
+/// shard's point count and only in-shard points execute, so `n` machines
+/// each running one shard produce stores that
+/// [`merge_stores`](crate::store::merge_stores) stitches back into a
+/// byte-identical equivalent of one unsharded run.
+pub fn run_campaign_streaming_sharded<W: std::io::Write>(
+    campaign: &Campaign,
+    opts: &RunOptions,
+    prior: Vec<RunRecord>,
+    shard: Option<(usize, usize)>,
+    w: &mut W,
+) -> std::io::Result<usize> {
     use crate::store;
-    let header = store::header_for(campaign, campaign.expand().len());
+    // One expansion serves the header count, the shard slice, and the
+    // execution itself (points carry cloned specs — traces included — so
+    // re-expanding per use would triple that cost).
+    let points = campaign.expand();
+    let in_shard_count = match shard {
+        Some(s) => points.iter().filter(|p| in_shard(p.ordinal, s)).count(),
+        None => points.len(),
+    };
+    let header = store::header_for(campaign, in_shard_count);
     writeln!(w, "{}", store::render_header(&header))?;
     let mut written = 0usize;
     let mut err: Option<std::io::Error> = None;
-    run_campaign_merged(campaign, opts, prior, |r| {
+    run_campaign_merged(campaign, points, opts, prior, shard, |r| {
         if err.is_none() {
             // flush per record: a kill can tear at most the line in flight
             match writeln!(w, "{}", store::render_record(r)).and_then(|()| w.flush()) {
@@ -188,19 +235,30 @@ pub fn run_campaign_streaming<W: std::io::Write>(
     Ok(written)
 }
 
-/// The single prior/fresh merge both resume paths share: runs the points
-/// whose ordinals are missing from `prior` and emits every record —
-/// reused and fresh — in ordinal order, each as soon as it is available.
+/// The single prior/fresh merge the resume and shard paths share: runs
+/// the in-shard points whose ordinals are missing from `prior` and emits
+/// every record — reused and fresh — in ordinal order, each as soon as
+/// it is available.
 fn run_campaign_merged<F: FnMut(&RunRecord)>(
     campaign: &Campaign,
+    points: Vec<crate::spec::CampaignPoint>,
     opts: &RunOptions,
     mut prior: Vec<RunRecord>,
+    shard: Option<(usize, usize)>,
     mut emit: F,
 ) {
     prior.sort_by_key(|r| r.ordinal);
-    let have: std::collections::HashSet<usize> = prior.iter().map(|r| r.ordinal).collect();
+    let mut skip: std::collections::HashSet<usize> = prior.iter().map(|r| r.ordinal).collect();
+    if let Some(s) = shard {
+        skip.extend(
+            points
+                .iter()
+                .map(|p| p.ordinal)
+                .filter(|&o| !in_shard(o, s)),
+        );
+    }
     let mut prior_iter = prior.into_iter().peekable();
-    run_campaign_with(campaign, opts, &have, |chunk| {
+    run_points_with(campaign, points, opts, &skip, |chunk| {
         for rec in chunk {
             while prior_iter.peek().is_some_and(|p| p.ordinal < rec.ordinal) {
                 let p = prior_iter.next().expect("peeked record vanished");

@@ -12,7 +12,7 @@
 //! stable shard ids as filters evolve.
 
 use cellular::CellTrace;
-use experiments::engine::{FlowSchedule, QdiscSpec, ScenarioSpec, Topology};
+use experiments::engine::{FlowSchedule, QdiscSpec, ScenarioSpec, Topology, WorkloadEntry};
 use experiments::scenario::LinkSpec;
 use experiments::Scheme;
 use netsim::time::SimDuration;
@@ -33,6 +33,8 @@ pub enum AxisValue {
     DurationSecs(u64),
     WarmupSecs(u64),
     Seed(u64),
+    /// Replace the spec's application-layer workload mix (web/RTC/ABR).
+    Workloads(Vec<WorkloadEntry>),
 }
 
 impl AxisValue {
@@ -49,6 +51,7 @@ impl AxisValue {
             AxisValue::DurationSecs(s) => spec.duration = SimDuration::from_secs(*s),
             AxisValue::WarmupSecs(s) => spec.warmup = SimDuration::from_secs(*s),
             AxisValue::Seed(s) => spec.seed = *s,
+            AxisValue::Workloads(w) => spec.workloads = w.clone(),
         }
     }
 }

@@ -14,7 +14,7 @@
 use crate::json::{self, Value};
 use crate::runner::RunRecord;
 use crate::spec::{Campaign, Coords};
-use experiments::report::Report;
+use experiments::report::{AppReport, Report};
 use netsim::stats::Summary;
 use std::fmt;
 use std::path::Path;
@@ -178,6 +178,55 @@ impl ResultsStore {
     }
 }
 
+/// Stitch shard stores (see
+/// [`run_campaign_streaming_sharded`](crate::runner::run_campaign_streaming_sharded))
+/// back into one. Headers must describe the same sweep — same schema,
+/// campaign name, axes, and filters; only `points` may differ — and no
+/// ordinal may appear twice. Records come back sorted by ordinal, so
+/// merging a complete shard set reproduces an unsharded run's store
+/// byte for byte.
+pub fn merge_stores(stores: &[ResultsStore]) -> Result<ResultsStore, StoreError> {
+    let first = stores
+        .first()
+        .ok_or_else(|| fmt_err(1, "nothing to merge"))?;
+    let mut records: Vec<RunRecord> = Vec::new();
+    for (i, s) in stores.iter().enumerate() {
+        let h = &s.header;
+        if h.schema != first.header.schema
+            || h.campaign != first.header.campaign
+            || h.axes != first.header.axes
+            || h.filters != first.header.filters
+        {
+            return Err(fmt_err(
+                1,
+                format!(
+                    "store {} describes a different sweep ({:?} vs {:?})",
+                    i + 1,
+                    h.campaign,
+                    first.header.campaign
+                ),
+            ));
+        }
+        records.extend(s.records.iter().cloned());
+    }
+    records.sort_by_key(|r| r.ordinal);
+    for w in records.windows(2) {
+        if w[0].ordinal == w[1].ordinal {
+            return Err(fmt_err(
+                1,
+                format!("ordinal {} appears in more than one store", w[0].ordinal),
+            ));
+        }
+    }
+    Ok(ResultsStore {
+        header: StoreHeader {
+            points: records.len(),
+            ..first.header.clone()
+        },
+        records,
+    })
+}
+
 /// The header a campaign's store carries. Streaming executors pass the
 /// full post-filter expansion count as `points` before any record exists.
 pub fn header_for(campaign: &Campaign, points: usize) -> StoreHeader {
@@ -259,7 +308,7 @@ fn record_to_value(r: &RunRecord) -> Value {
 }
 
 fn report_to_value(r: &Report) -> Value {
-    Value::Obj(vec![
+    let mut fields = vec![
         ("scheme".into(), Value::str(&r.scheme)),
         ("utilization".into(), Value::num(r.utilization)),
         ("delay_ms".into(), summary_to_value(&r.delay_ms)),
@@ -277,7 +326,58 @@ fn report_to_value(r: &Report) -> Value {
             "capacity_series".into(),
             series_to_value(&r.capacity_series),
         ),
-    ])
+    ];
+    // Emitted only when present, so bulk-only stores (including the
+    // pinned tiny baseline) keep their exact pre-workload bytes.
+    if let Some(app) = &r.app {
+        fields.push(("app".into(), app_to_value(app)));
+    }
+    Value::Obj(fields)
+}
+
+fn app_to_value(a: &AppReport) -> Value {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    if let Some(w) = &a.web {
+        fields.push((
+            "web".into(),
+            Value::Obj(vec![
+                ("flows".into(), Value::num(w.flows as f64)),
+                ("completed".into(), Value::num(w.completed as f64)),
+                ("fct_ms".into(), summary_to_value(&w.fct_ms)),
+            ]),
+        ));
+    }
+    if let Some(r) = &a.rtc {
+        fields.push((
+            "rtc".into(),
+            Value::Obj(vec![
+                ("pkts".into(), Value::num(r.pkts as f64)),
+                ("misses".into(), Value::num(r.misses as f64)),
+                ("miss_rate".into(), Value::num(r.miss_rate)),
+                ("owd_ms".into(), summary_to_value(&r.owd_ms)),
+            ]),
+        ));
+    }
+    if let Some(v) = &a.video {
+        fields.push((
+            "video".into(),
+            Value::Obj(vec![
+                (
+                    "chunks_downloaded".into(),
+                    Value::num(v.chunks_downloaded as f64),
+                ),
+                ("chunks_total".into(), Value::num(v.chunks_total as f64)),
+                ("mean_bitrate_kbps".into(), Value::num(v.mean_bitrate_kbps)),
+                ("play_s".into(), Value::num(v.play_s)),
+                ("rebuffer_s".into(), Value::num(v.rebuffer_s)),
+                ("rebuffer_ratio".into(), Value::num(v.rebuffer_ratio)),
+                ("startup_delay_ms".into(), Value::num(v.startup_delay_ms)),
+                ("switches".into(), Value::num(v.switches as f64)),
+                ("qoe".into(), Value::num(v.qoe)),
+            ]),
+        ));
+    }
+    Value::Obj(fields)
 }
 
 fn summary_to_value(s: &Summary) -> Value {
@@ -413,7 +513,46 @@ fn report_from_value(v: &Value, line: usize) -> Result<Report, StoreError> {
         tput_series: series_from_value(v.get("tput_series"), line)?,
         qdelay_series: series_from_value(v.get("qdelay_series"), line)?,
         capacity_series: series_from_value(v.get("capacity_series"), line)?,
+        app: match v.get("app") {
+            Some(a) => Some(app_from_value(a, line)?),
+            None => None,
+        },
     })
+}
+
+fn app_from_value(v: &Value, line: usize) -> Result<AppReport, StoreError> {
+    let web = match v.get("web") {
+        Some(w) => Some(workload::WebMetrics {
+            flows: num_field(w, "flows", line)? as u64,
+            completed: num_field(w, "completed", line)? as u64,
+            fct_ms: summary_from_value(w.get("fct_ms"), line)?,
+        }),
+        None => None,
+    };
+    let rtc = match v.get("rtc") {
+        Some(r) => Some(workload::RtcMetrics {
+            pkts: num_field(r, "pkts", line)? as u64,
+            misses: num_field(r, "misses", line)? as u64,
+            miss_rate: num_field(r, "miss_rate", line)?,
+            owd_ms: summary_from_value(r.get("owd_ms"), line)?,
+        }),
+        None => None,
+    };
+    let video = match v.get("video") {
+        Some(x) => Some(workload::VideoMetrics {
+            chunks_downloaded: num_field(x, "chunks_downloaded", line)? as u64,
+            chunks_total: num_field(x, "chunks_total", line)? as u64,
+            mean_bitrate_kbps: num_field(x, "mean_bitrate_kbps", line)?,
+            play_s: num_field(x, "play_s", line)?,
+            rebuffer_s: num_field(x, "rebuffer_s", line)?,
+            rebuffer_ratio: num_field(x, "rebuffer_ratio", line)?,
+            startup_delay_ms: num_field(x, "startup_delay_ms", line)?,
+            switches: num_field(x, "switches", line)? as u64,
+            qoe: num_field(x, "qoe", line)?,
+        }),
+        None => None,
+    };
+    Ok(AppReport { web, rtc, video })
 }
 
 fn summary_from_value(v: Option<&Value>, line: usize) -> Result<Summary, StoreError> {

@@ -1,0 +1,102 @@
+//! The workload presets (web/RTC/ABR video) through the full campaign
+//! pipeline: app-level metrics present, stores round-tripping exactly,
+//! results bit-identical across 1/2/4/8-thread pools, and the new
+//! figures rendering purely from stored records.
+
+use campaign::figures::{render_rtc_coexist, render_video_qoe, render_web_fct};
+use campaign::presets;
+use campaign::runner::{run_campaign, RunOptions};
+use campaign::store::ResultsStore;
+use experiments::figures::Scale;
+
+fn run_with_jobs(preset: &str, jobs: usize) -> ResultsStore {
+    let campaign = presets::by_name(preset, Scale::Tiny).expect("preset exists");
+    let records = run_campaign(&campaign, &RunOptions::quiet().with_jobs(Some(jobs)));
+    ResultsStore::new(&campaign, records)
+}
+
+#[test]
+fn workload_presets_round_trip_and_carry_app_metrics() {
+    for preset in ["web-load-grid", "video-over-cellular", "rtc-coexist"] {
+        let store = run_with_jobs(preset, 4);
+        assert!(!store.records.is_empty(), "{preset} produced no records");
+        for r in &store.records {
+            let app = r
+                .report
+                .app
+                .as_ref()
+                .unwrap_or_else(|| panic!("{preset} record {} has no app metrics", r.coords));
+            match preset {
+                "web-load-grid" => {
+                    let web = app.web.as_ref().expect("web metrics");
+                    assert!(web.flows > 0, "{preset}: no web flows generated");
+                }
+                "video-over-cellular" => {
+                    let v = app.video.as_ref().expect("video metrics");
+                    assert!(v.chunks_total >= 1);
+                }
+                "rtc-coexist" => {
+                    let rtc = app.rtc.as_ref().expect("rtc metrics");
+                    assert!(rtc.pkts > 0, "{preset}: RTC stream delivered nothing");
+                }
+                _ => unreachable!(),
+            }
+        }
+        // byte-exact round trip through the JSONL store
+        let text = store.to_jsonl();
+        let back = ResultsStore::from_jsonl(&text).unwrap_or_else(|e| panic!("{preset}: {e}"));
+        assert_eq!(back, store, "{preset}: parse(write(store)) changed it");
+        assert_eq!(back.to_jsonl(), text, "{preset}: re-serialization drifted");
+    }
+}
+
+#[test]
+fn workload_results_are_pool_size_invariant() {
+    for preset in ["web-load-grid", "video-over-cellular", "rtc-coexist"] {
+        let reference = run_with_jobs(preset, 1).to_jsonl();
+        for jobs in [2usize, 4, 8] {
+            assert_eq!(
+                run_with_jobs(preset, jobs).to_jsonl(),
+                reference,
+                "{preset} differs between 1 and {jobs} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_figures_render_purely_from_stored_records() {
+    for (preset, render) in [
+        (
+            "web-load-grid",
+            render_web_fct as fn(&[campaign::RunRecord]) -> String,
+        ),
+        ("video-over-cellular", render_video_qoe),
+        ("rtc-coexist", render_rtc_coexist),
+    ] {
+        let campaign = presets::by_name(preset, Scale::Tiny).unwrap();
+        let records = run_campaign(&campaign, &RunOptions::quiet());
+        let direct = render(&records);
+        assert!(!direct.is_empty());
+        let store = ResultsStore::new(&campaign, records);
+        let reloaded = ResultsStore::from_jsonl(&store.to_jsonl()).unwrap();
+        assert_eq!(
+            render(&reloaded.records),
+            direct,
+            "{preset} figure is not a pure function of stored records"
+        );
+    }
+}
+
+#[test]
+fn bulk_only_records_serialize_without_an_app_field() {
+    let store = {
+        let campaign = presets::tiny(Scale::Tiny);
+        let records = run_campaign(&campaign, &RunOptions::quiet());
+        ResultsStore::new(&campaign, records)
+    };
+    assert!(
+        !store.to_jsonl().contains("\"app\""),
+        "bulk-only store grew an app field — the pinned baseline would break"
+    );
+}

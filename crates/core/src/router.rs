@@ -97,6 +97,13 @@ pub struct AbcQdisc {
     /// Link capacity µ(t), fed by the link node (cellular: known from the
     /// trace; Wi-Fi: from the estimator in `wifi-mac`).
     mu: Rate,
+    /// `η·µ` cached per capacity update — Eq. 1's first term is invariant
+    /// between µ(t) changes, so the per-dequeue path never re-multiplies.
+    eta_mu: Rate,
+    /// `δ` in f64 nanoseconds, hoisted so the per-dequeue drain term costs
+    /// one division with the same operands (and therefore the same bits)
+    /// as the original `overage / delta` duration ratio.
+    delta_ns: f64,
     dequeue_rate: WindowedRate,
     enqueue_rate: WindowedRate,
     token: f64,
@@ -117,6 +124,8 @@ impl AbcQdisc {
             queue: VecDeque::new(),
             bytes: 0,
             mu: Rate::ZERO,
+            eta_mu: Rate::ZERO,
+            delta_ns: cfg.delta.as_nanos() as f64,
             dequeue_rate: WindowedRate::new(cfg.rate_window),
             enqueue_rate: WindowedRate::new(cfg.rate_window),
             token: 0.0,
@@ -144,10 +153,21 @@ impl AbcQdisc {
     }
 
     /// Eq. 1: `tr(t) = η·µ(t) − µ(t)/δ · (x(t) − dt)⁺`.
+    ///
+    /// Bit-identical fast path of the original per-packet math: `η·µ` is
+    /// the cached [`AbcQdisc::eta_mu`], and below-threshold queuing delay
+    /// (the steady-state common case) skips the drain term entirely —
+    /// `µ·(0/δ) = 0` and rate subtraction of zero is the identity, so the
+    /// shortcut returns the very same bits the full expression would.
     fn target_rate(&self, x: SimDuration) -> Rate {
         let overage = x.saturating_sub(self.cfg.dt);
-        let drain = self.mu * (overage / self.cfg.delta);
-        self.mu * self.cfg.eta - drain // Rate subtraction saturates at 0
+        if overage.is_zero() {
+            return self.eta_mu;
+        }
+        // `overage / delta` (duration ratio) is nanos-as-f64 division;
+        // only the constant denominator conversion is hoisted.
+        let drain = self.mu * (overage.as_nanos() as f64 / self.delta_ns);
+        self.eta_mu - drain // Rate subtraction saturates at 0
     }
 
     /// Eq. 2: `f(t) = min(tr/(2·cr), 1)`.
@@ -246,6 +266,7 @@ impl Qdisc for AbcQdisc {
 
     fn on_capacity(&mut self, rate: Rate, _now: SimTime) {
         self.mu = rate;
+        self.eta_mu = rate * self.cfg.eta;
     }
 
     fn head_sojourn(&self, now: SimTime) -> Option<SimDuration> {
@@ -303,6 +324,33 @@ mod tests {
         let x = SimDuration::from_millis(20) + SimDuration::from_micros(66_500);
         let tr = q.target_rate(x);
         assert!((tr.mbps() - (9.8 - 5.0)).abs() < 0.01, "tr={tr}");
+    }
+
+    #[test]
+    fn target_rate_fast_path_matches_reference_bitwise() {
+        let mut q = qdisc();
+        for mbps in [0.0, 3.7, 12.0, 96.5] {
+            q.on_capacity(Rate::from_mbps(mbps), at(0));
+            for ns in [
+                0u64,
+                5_000_000,
+                19_999_999,
+                20_000_000,
+                20_000_001,
+                86_500_000,
+                2_000_000_000,
+            ] {
+                let x = SimDuration::from_nanos(ns);
+                // the pre-hoist formula, term by term
+                let reference =
+                    q.mu * q.cfg.eta - q.mu * (x.saturating_sub(q.cfg.dt) / q.cfg.delta);
+                assert_eq!(
+                    q.target_rate(x).bps().to_bits(),
+                    reference.bps().to_bits(),
+                    "fast path diverged at µ={mbps} Mbit/s, x={ns}ns"
+                );
+            }
+        }
     }
 
     #[test]

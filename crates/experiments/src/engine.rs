@@ -72,6 +72,7 @@
 //! only on its spec (including `seed`), never on which thread ran it or
 //! on its neighbors — `tests/engine_determinism.rs` pins this down.
 
+use crate::report::AppReport;
 use crate::report::{downsample, Report};
 use crate::scenario::LinkSpec;
 use crate::scheme::Scheme;
@@ -80,17 +81,19 @@ use abc_core::coexist::{DualQueue, DualQueueConfig, WeightPolicy};
 use abc_core::router::{AbcQdisc, AbcRouterConfig};
 use netsim::flow::{Sender, Sink, TrafficSource};
 use netsim::linkqueue::LinkQueue;
-use netsim::metrics::{new_hub, LinkRecord, Metrics};
-use netsim::packet::{FlowId, NodeId, Route};
+use netsim::metrics::{new_hub, AppFlowMeta, LinkRecord, Metrics};
+use netsim::packet::{FlowId, NodeId, Route, MTU_BYTES};
 use netsim::queue::{DropTail, Qdisc};
 use netsim::rate::Rate;
 use netsim::sim::Simulator;
 use netsim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wifi_mac::{WifiAp, WifiApConfig};
+use workload::{AbrClient, RtcSource, WorkloadSpec};
 
 /// The links a scenario's packets traverse. Each variant fixes the hop
 /// chain and its metrics tags; flows enter at any hop (see
@@ -211,6 +214,54 @@ impl FlowSpec {
     }
 }
 
+/// One application-layer workload riding a scenario: the model itself
+/// (from the `workload` crate) plus where it attaches — which scheme its
+/// transport runs, when it starts, and which hop it enters. A scenario
+/// mixes any number of these with its bulk [`FlowSchedule`].
+#[derive(Debug, Clone)]
+pub struct WorkloadEntry {
+    /// Shown in per-flow outputs; web requests get ` <n>` suffixes.
+    pub label: String,
+    pub workload: WorkloadSpec,
+    /// `None` inherits the spec's scheme.
+    pub scheme: Option<Scheme>,
+    pub start: SimTime,
+    /// Index into [`Topology::hop_tags`], like [`FlowSpec::entry_hop`].
+    pub entry_hop: usize,
+}
+
+impl WorkloadEntry {
+    pub fn new(workload: WorkloadSpec) -> Self {
+        WorkloadEntry {
+            label: workload.kind().to_string(),
+            workload,
+            scheme: None,
+            start: SimTime::ZERO,
+            entry_hop: 0,
+        }
+    }
+
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    pub fn scheme(mut self, s: Scheme) -> Self {
+        self.scheme = Some(s);
+        self
+    }
+
+    pub fn start_at(mut self, t: SimTime) -> Self {
+        self.start = t;
+        self
+    }
+
+    pub fn entry_hop(mut self, hop: usize) -> Self {
+        self.entry_hop = hop;
+        self
+    }
+}
+
 /// Poisson arrivals of short finite flows at a target offered load
 /// (Fig. 12's churn). Expanded into concrete [`FlowSpec`]s at build time
 /// from the spec's `seed`.
@@ -259,6 +310,11 @@ pub struct ScenarioSpec {
     pub flows: FlowSchedule,
     /// Poisson short-flow churn on top of `flows`.
     pub short_flows: Option<PoissonShortFlows>,
+    /// Application-layer workloads (web/RTC/ABR video) mixed into the
+    /// scenario; their app-level metrics surface as [`Report::app`].
+    ///
+    /// [`Report::app`]: crate::report::Report::app
+    pub workloads: Vec<WorkloadEntry>,
     /// AQM override for the scheme-controlled hops.
     pub qdisc: QdiscSpec,
     /// Path round-trip propagation delay, split evenly across hops.
@@ -283,6 +339,7 @@ impl ScenarioSpec {
             topology: Topology::SingleBottleneck(link),
             flows: FlowSchedule::backlogged(1),
             short_flows: None,
+            workloads: Vec::new(),
             qdisc: QdiscSpec::SchemeDefault,
             rtt: SimDuration::from_millis(100),
             buffer_pkts: 250,
@@ -379,6 +436,12 @@ impl ScenarioSpec {
 
     pub fn qdisc(mut self, q: QdiscSpec) -> Self {
         self.qdisc = q;
+        self
+    }
+
+    /// Add an application-layer workload to the scenario.
+    pub fn workload(mut self, entry: WorkloadEntry) -> Self {
+        self.workloads.push(entry);
         self
     }
 
@@ -497,37 +560,144 @@ impl ScenarioEngine {
         let leg = spec.rtt / (2 * legs);
         let back_d = spec.rtt / 2;
 
+        // One sender/sink pair per flow; routes reuse pooled hop buffers.
+        // `wire` reserves sender-then-sink (node-id order is part of the
+        // deterministic contract) and hands the forward route to a
+        // caller-supplied sender builder.
+        let wire = |sim: &mut Simulator,
+                    flow: FlowId,
+                    label: &str,
+                    entry_hop: usize,
+                    build: &mut dyn FnMut(Rc<Route>) -> Sender|
+         -> NodeId {
+            let sender_id = sim.reserve_node();
+            let sink_id = sim.reserve_node();
+            assert!(
+                entry_hop < hop_ids.len(),
+                "flow {:?} enters hop {} of a {}-hop topology",
+                label,
+                entry_hop,
+                hop_ids.len()
+            );
+            let fwd = Route::from_hops(
+                hop_ids[entry_hop..]
+                    .iter()
+                    .map(|&id| (id, leg))
+                    .chain([(sink_id, leg)]),
+            );
+            let back = Route::from_hops([(sender_id, back_d)]);
+            sim.install_node(
+                sink_id,
+                Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
+            );
+            sim.install_node(sender_id, Box::new(build(fwd)));
+            sender_id
+        };
+
         let flows = spec.expand_flows();
         let mut sender_ids = Vec::with_capacity(flows.len());
         let mut flow_ids = Vec::with_capacity(flows.len());
         for (i, f) in flows.iter().enumerate() {
             let flow = FlowId(i as u32 + 1);
-            let sender_id = sim.reserve_node();
-            let sink_id = sim.reserve_node();
-            assert!(
-                f.entry_hop < hop_ids.len(),
-                "flow {:?} enters hop {} of a {}-hop topology",
-                f.label,
-                f.entry_hop,
-                hop_ids.len()
-            );
-            let mut legs_fwd: Vec<(NodeId, SimDuration)> =
-                hop_ids[f.entry_hop..].iter().map(|&id| (id, leg)).collect();
-            legs_fwd.push((sink_id, leg));
-            let fwd = Route::new(legs_fwd);
-            let back = Route::new(vec![(sender_id, back_d)]);
-            sim.install_node(
-                sink_id,
-                Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
-            );
             let scheme = f.scheme.unwrap_or(spec.scheme);
-            let mut sender = Sender::new(flow, scheme.make_cc(), fwd, f.app).with_start_at(f.start);
-            if let Some(stop) = f.stop {
-                sender = sender.with_stop_at(stop);
-            }
-            sim.install_node(sender_id, Box::new(sender));
+            let sender_id = wire(&mut sim, flow, &f.label, f.entry_hop, &mut |fwd| {
+                let mut sender =
+                    Sender::new(flow, scheme.make_cc(), fwd, f.app).with_start_at(f.start);
+                if let Some(stop) = f.stop {
+                    sender = sender.with_stop_at(stop);
+                }
+                sender
+            });
             sender_ids.push(sender_id);
             flow_ids.push((f.label.clone(), flow));
+        }
+
+        // Lower each workload entry onto the same transport substrate.
+        let mut app_accounts: Vec<AppAccount> = Vec::new();
+        let mut next_flow = flows.len() as u32 + 1;
+        for (k, entry) in spec.workloads.iter().enumerate() {
+            let scheme = entry.scheme.unwrap_or(spec.scheme);
+            // Independent, reproducible stream per workload entry.
+            let wseed = spec.seed ^ (k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            match &entry.workload {
+                WorkloadSpec::Web(w) => {
+                    for (j, req) in w.expand(wseed, spec.duration).iter().enumerate() {
+                        let flow = FlowId(next_flow);
+                        next_flow += 1;
+                        let start = entry.start + req.start.since(SimTime::ZERO);
+                        let label = format!("{} {}", entry.label, j + 1);
+                        let bytes = req.bytes;
+                        let sender_id = wire(&mut sim, flow, &label, entry.entry_hop, &mut |fwd| {
+                            Sender::new(
+                                flow,
+                                scheme.make_cc(),
+                                fwd,
+                                TrafficSource::Finite { bytes },
+                            )
+                            .with_start_at(start)
+                        });
+                        // The transport ships whole MTU packets, so the
+                        // sink observes the request rounded up to packets.
+                        let expected = bytes.div_ceil(MTU_BYTES as u64) * MTU_BYTES as u64;
+                        hub.borrow_mut().register_app_flow(
+                            flow,
+                            AppFlowMeta {
+                                start,
+                                expected_bytes: Some(expected),
+                                deadline: None,
+                            },
+                        );
+                        sender_ids.push(sender_id);
+                        flow_ids.push((label, flow));
+                        app_accounts.push(AppAccount::Web {
+                            flow,
+                            start,
+                            expected,
+                        });
+                    }
+                }
+                WorkloadSpec::Rtc(r) => {
+                    let flow = FlowId(next_flow);
+                    next_flow += 1;
+                    let spec_r = *r;
+                    let start = entry.start;
+                    let sender_id =
+                        wire(&mut sim, flow, &entry.label, entry.entry_hop, &mut |fwd| {
+                            Sender::new(flow, scheme.make_cc(), fwd, TrafficSource::Backlogged)
+                                .with_start_at(start)
+                                .with_pkt_size(spec_r.frame_bytes)
+                                .with_app_driver(Box::new(RtcSource::new(spec_r, start)))
+                        });
+                    hub.borrow_mut().register_app_flow(
+                        flow,
+                        AppFlowMeta {
+                            start,
+                            expected_bytes: None,
+                            deadline: Some(spec_r.deadline),
+                        },
+                    );
+                    sender_ids.push(sender_id);
+                    flow_ids.push((entry.label.clone(), flow));
+                    app_accounts.push(AppAccount::Rtc { flow });
+                }
+                WorkloadSpec::AbrVideo(a) => {
+                    let flow = FlowId(next_flow);
+                    next_flow += 1;
+                    let spec_a = a.clone();
+                    let start = entry.start;
+                    let sender_id =
+                        wire(&mut sim, flow, &entry.label, entry.entry_hop, &mut |fwd| {
+                            Sender::new(flow, scheme.make_cc(), fwd, TrafficSource::Backlogged)
+                                .with_start_at(start)
+                                .with_app_driver(Box::new(AbrClient::new(spec_a.clone(), start)))
+                        });
+                    app_accounts.push(AppAccount::Video {
+                        sender_idx: sender_ids.len(),
+                    });
+                    sender_ids.push(sender_id);
+                    flow_ids.push((entry.label.clone(), flow));
+                }
+            }
         }
 
         // Install the hop chain.
@@ -589,6 +759,7 @@ impl ScenarioEngine {
             hops: tags.iter().copied().zip(hop_ids).collect(),
             sender_ids,
             flows: flow_ids,
+            app_accounts,
             scheme_name: spec.scheme.name(),
             topology: spec.topology.clone(),
             duration: spec.duration,
@@ -682,6 +853,22 @@ where
         .collect()
 }
 
+/// How one workload-owned flow folds into [`AppReport`] at finish time.
+enum AppAccount {
+    Web {
+        flow: FlowId,
+        start: SimTime,
+        expected: u64,
+    },
+    Rtc {
+        flow: FlowId,
+    },
+    Video {
+        /// Index into `sender_ids`: metrics live in the sender's driver.
+        sender_idx: usize,
+    },
+}
+
 /// A constructed scenario: the simulator plus everything needed to sample
 /// it mid-run and fold it into a [`Report`] afterwards.
 pub struct BuiltScenario {
@@ -692,6 +879,7 @@ pub struct BuiltScenario {
     pub sender_ids: Vec<NodeId>,
     /// `(label, flow id)` of every expanded flow, in spec order.
     pub flows: Vec<(String, FlowId)>,
+    app_accounts: Vec<AppAccount>,
     scheme_name: String,
     topology: Topology,
     duration: SimDuration,
@@ -778,8 +966,76 @@ impl BuiltScenario {
         }
     }
 
+    /// Fold every workload account into the report's [`AppReport`]
+    /// (`None` when the scenario ran no workloads). Needs `&mut self`:
+    /// video sessions finalize their playback clocks at the end time.
+    fn fold_app_metrics(&mut self) -> Option<AppReport> {
+        if self.app_accounts.is_empty() {
+            return None;
+        }
+        let end = self.end_time();
+        let mut web_outcomes: Vec<workload::WebFlowOutcome> = Vec::new();
+        let mut rtc_pkts = 0u64;
+        let mut rtc_misses = 0u64;
+        let mut rtc_delays_ms: Vec<f64> = Vec::new();
+        let mut videos: Vec<workload::VideoMetrics> = Vec::new();
+        let mut saw_rtc = false;
+        for account in std::mem::take(&mut self.app_accounts) {
+            match account {
+                AppAccount::Web {
+                    flow,
+                    start,
+                    expected,
+                } => {
+                    let completed_at = self
+                        .hub
+                        .borrow()
+                        .flows
+                        .get(&flow)
+                        .and_then(|r| r.completed_at);
+                    web_outcomes.push(workload::WebFlowOutcome {
+                        start,
+                        expected_bytes: expected,
+                        completed_at,
+                    });
+                }
+                AppAccount::Rtc { flow } => {
+                    saw_rtc = true;
+                    if let Some(rec) = self.hub.borrow().flows.get(&flow) {
+                        // unique frames only: duplicates from spurious
+                        // retransmissions must not dilute the miss rate
+                        rtc_pkts += rec.unique_pkts;
+                        rtc_misses += rec.deadline_misses;
+                        rtc_delays_ms.extend(rec.delays_s.iter().map(|d| d * 1e3));
+                    }
+                }
+                AppAccount::Video { sender_idx } => {
+                    let id = self.sender_ids[sender_idx];
+                    let sender: &mut Sender = self
+                        .sim
+                        .node_mut(id)
+                        .and_then(|n| n.as_any_mut().downcast_mut())
+                        .expect("video sender node");
+                    let client: &mut AbrClient = sender
+                        .app_driver_mut()
+                        .and_then(|d| d.as_any_mut().downcast_mut())
+                        .expect("video sender has an AbrClient driver");
+                    client.finalize(end);
+                    videos.push(client.metrics());
+                }
+            }
+        }
+        Some(AppReport {
+            web: (!web_outcomes.is_empty()).then(|| workload::metrics::web_metrics(&web_outcomes)),
+            rtc: saw_rtc
+                .then(|| workload::metrics::rtc_metrics(rtc_pkts, rtc_misses, &mut rtc_delays_ms)),
+            video: (!videos.is_empty()).then(|| workload::metrics::merge_video(&videos)),
+        })
+    }
+
     /// Fold the run into the paper's [`Report`].
-    pub fn finish(self) -> Report {
+    pub fn finish(mut self) -> Report {
+        let app = self.fold_app_metrics();
         self.finalize_opportunities();
         let hub = self.hub.borrow();
         let window = self.duration.saturating_sub(self.warmup);
@@ -837,6 +1093,7 @@ impl BuiltScenario {
             tput_series: hub.total_throughput_series_mbps(),
             qdelay_series: downsample(&qdelay_series, 600),
             capacity_series,
+            app,
         }
     }
 }

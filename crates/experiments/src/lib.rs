@@ -18,9 +18,9 @@ pub mod wifi;
 
 pub use engine::{
     BuiltScenario, FlowSchedule, FlowSpec, PoissonShortFlows, QdiscSpec, ScenarioEngine,
-    ScenarioSpec, Topology,
+    ScenarioSpec, Topology, WorkloadEntry,
 };
-pub use report::{downsample, sparkline, Report};
+pub use report::{downsample, sparkline, AppReport, Report};
 pub use scenario::{CellScenario, LinkSpec};
 pub use scheme::{Scheme, CELLULAR_LINEUP, EXPLICIT_LINEUP, WIFI_LINEUP};
 pub use topos::{CoexistResult, CoexistScenario, CrossTraffic, MixedPathScenario, TwoHopScenario};

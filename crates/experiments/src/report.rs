@@ -1,6 +1,21 @@
 //! Experiment results in the units the paper reports.
 
 use netsim::stats::Summary;
+use workload::{RtcMetrics, VideoMetrics, WebMetrics};
+
+/// Application-level outcomes of a scenario that ran workloads on top of
+/// (or instead of) bulk flows. Absent (`Report::app == None`) for
+/// bulk-only scenarios, which keeps their serialized records — and the
+/// pinned tiny campaign baseline — byte-identical.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// Web request/response FCTs, aggregated over every web workload.
+    pub web: Option<WebMetrics>,
+    /// RTC deadline accounting, aggregated over every RTC stream.
+    pub rtc: Option<RtcMetrics>,
+    /// ABR video outcomes, chunk-weighted over every session.
+    pub video: Option<VideoMetrics>,
+}
 
 /// Outcome of one scenario run.
 ///
@@ -30,13 +45,64 @@ pub struct Report {
     pub qdelay_series: Vec<(f64, f64)>,
     /// (t seconds, Mbit/s) link capacity series (for plots).
     pub capacity_series: Vec<(f64, f64)>,
+    /// Application-level metrics; `None` for bulk-only scenarios.
+    pub app: Option<AppReport>,
+}
+
+/// Bitwise float equality: identical runs must compare equal even where
+/// a metric is `NaN` (Wi-Fi utilization, silent RTC streams, …).
+fn feq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn sumeq(a: &Summary, b: &Summary) -> bool {
+    a.count == b.count
+        && feq(a.mean, b.mean)
+        && feq(a.std_dev, b.std_dev)
+        && feq(a.min, b.min)
+        && feq(a.max, b.max)
+        && feq(a.p50, b.p50)
+        && feq(a.p95, b.p95)
+        && feq(a.p99, b.p99)
+}
+
+impl PartialEq for AppReport {
+    fn eq(&self, other: &Self) -> bool {
+        fn webeq(a: &WebMetrics, b: &WebMetrics) -> bool {
+            a.flows == b.flows && a.completed == b.completed && sumeq(&a.fct_ms, &b.fct_ms)
+        }
+        fn rtceq(a: &RtcMetrics, b: &RtcMetrics) -> bool {
+            a.pkts == b.pkts
+                && a.misses == b.misses
+                && feq(a.miss_rate, b.miss_rate)
+                && sumeq(&a.owd_ms, &b.owd_ms)
+        }
+        fn videq(a: &VideoMetrics, b: &VideoMetrics) -> bool {
+            a.chunks_downloaded == b.chunks_downloaded
+                && a.chunks_total == b.chunks_total
+                && feq(a.mean_bitrate_kbps, b.mean_bitrate_kbps)
+                && feq(a.play_s, b.play_s)
+                && feq(a.rebuffer_s, b.rebuffer_s)
+                && feq(a.rebuffer_ratio, b.rebuffer_ratio)
+                && feq(a.startup_delay_ms, b.startup_delay_ms)
+                && a.switches == b.switches
+                && feq(a.qoe, b.qoe)
+        }
+        fn opteq<T>(a: &Option<T>, b: &Option<T>, eq: impl Fn(&T, &T) -> bool) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => eq(x, y),
+                _ => false,
+            }
+        }
+        opteq(&self.web, &other.web, webeq)
+            && opteq(&self.rtc, &other.rtc, rtceq)
+            && opteq(&self.video, &other.video, videq)
+    }
 }
 
 impl PartialEq for Report {
     fn eq(&self, other: &Self) -> bool {
-        fn feq(a: f64, b: f64) -> bool {
-            a.to_bits() == b.to_bits()
-        }
         fn veq(a: &[f64], b: &[f64]) -> bool {
             a.len() == b.len() && a.iter().zip(b).all(|(x, y)| feq(*x, *y))
         }
@@ -45,16 +111,6 @@ impl PartialEq for Report {
                 && a.iter()
                     .zip(b)
                     .all(|((t1, v1), (t2, v2))| feq(*t1, *t2) && feq(*v1, *v2))
-        }
-        fn sumeq(a: &Summary, b: &Summary) -> bool {
-            a.count == b.count
-                && feq(a.mean, b.mean)
-                && feq(a.std_dev, b.std_dev)
-                && feq(a.min, b.min)
-                && feq(a.max, b.max)
-                && feq(a.p50, b.p50)
-                && feq(a.p95, b.p95)
-                && feq(a.p99, b.p99)
         }
         self.scheme == other.scheme
             && feq(self.utilization, other.utilization)
@@ -67,6 +123,7 @@ impl PartialEq for Report {
             && seq(&self.tput_series, &other.tput_series)
             && seq(&self.qdelay_series, &other.qdelay_series)
             && seq(&self.capacity_series, &other.capacity_series)
+            && self.app == other.app
     }
 }
 

@@ -95,6 +95,39 @@ pub trait CongestionControl {
     }
 }
 
+/// An application model driving a sender from *above* the transport — the
+/// hook the `workload` crate's generators (ABR video clients, RTC sources)
+/// plug into.
+///
+/// The sender polls [`available_bytes`](AppDriver::available_bytes) to
+/// decide whether the app has data, consults
+/// [`next_wakeup`](AppDriver::next_wakeup) to arm its app timer when the
+/// source is exhausted, and reports cumulative delivered (ACKed) bytes via
+/// [`on_progress`](AppDriver::on_progress) so request/response apps can
+/// advance their own state machines (a video client picking the next
+/// chunk's bitrate, say). All methods are pure functions of simulation
+/// time and driver state, so driven flows stay bit-deterministic.
+pub trait AppDriver: std::any::Any {
+    /// Total bytes the application has made available to the transport up
+    /// to `now`. Must be monotone non-decreasing in `now`.
+    fn available_bytes(&mut self, now: SimTime) -> u64;
+
+    /// The next instant at which more data may become available while the
+    /// source is exhausted, or `None` if nothing will appear until
+    /// [`on_progress`](AppDriver::on_progress) moves the state machine.
+    fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime>;
+
+    /// The transport has cumulatively delivered (received ACKs for)
+    /// `delivered_bytes` of application data. Called at least once per
+    /// processed ACK; implementations must tolerate repeated calls with an
+    /// unchanged value.
+    fn on_progress(&mut self, now: SimTime, delivered_bytes: u64);
+
+    /// Downcast support for post-run metric extraction.
+    fn as_any(&self) -> &dyn std::any::Any;
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
 /// Application traffic pattern feeding the sender.
 #[derive(Debug, Clone, Copy)]
 pub enum TrafficSource {
@@ -255,6 +288,9 @@ pub struct Sender {
     app_tokens: f64,
     app_last: SimTime,
     app_bytes_offered: u64,
+    /// Application model layered above `app`; when present it gates data
+    /// availability instead of the [`TrafficSource`].
+    driver: Option<Box<dyn AppDriver>>,
 
     delivered_bytes: u64,
     stats: SenderStats,
@@ -295,6 +331,7 @@ impl Sender {
             app_tokens: 0.0,
             app_last: SimTime::ZERO,
             app_bytes_offered: 0,
+            driver: None,
             delivered_bytes: 0,
             stats: SenderStats::default(),
             started: false,
@@ -318,6 +355,23 @@ impl Sender {
         assert!(size > 0);
         self.pkt_size = size;
         self
+    }
+
+    /// Drive this sender from an [`AppDriver`] instead of the plain
+    /// [`TrafficSource`] (which is then ignored).
+    pub fn with_app_driver(mut self, driver: Box<dyn AppDriver>) -> Self {
+        self.driver = Some(driver);
+        self
+    }
+
+    /// The attached application driver, for post-run metric extraction.
+    pub fn app_driver(&self) -> Option<&dyn AppDriver> {
+        self.driver.as_deref()
+    }
+
+    /// Mutable driver access (end-of-run finalization hooks).
+    pub fn app_driver_mut(&mut self) -> Option<&mut (dyn AppDriver + 'static)> {
+        self.driver.as_deref_mut()
     }
 
     pub fn stats(&self) -> SenderStats {
@@ -348,6 +402,9 @@ impl Sender {
         if self.stop_at.is_some_and(|t| now >= t) {
             return false;
         }
+        if let Some(d) = &mut self.driver {
+            return d.available_bytes(now) > self.app_bytes_offered;
+        }
         match self.app {
             TrafficSource::Backlogged => true,
             TrafficSource::Finite { bytes } => self.app_bytes_offered < bytes,
@@ -367,7 +424,10 @@ impl Sender {
     }
 
     /// When will the app next have data, if it currently doesn't?
-    fn app_next_ready(&self, now: SimTime) -> Option<SimTime> {
+    fn app_next_ready(&mut self, now: SimTime) -> Option<SimTime> {
+        if let Some(d) = &mut self.driver {
+            return d.next_wakeup(now);
+        }
         match self.app {
             TrafficSource::Backlogged | TrafficSource::Finite { .. } => None,
             TrafficSource::RateLimited { rate, .. } => {
@@ -392,6 +452,10 @@ impl Sender {
     }
 
     fn consume_app(&mut self, bytes: u32) {
+        if self.driver.is_some() {
+            self.app_bytes_offered += bytes as u64;
+            return;
+        }
         match &mut self.app {
             TrafficSource::RateLimited { .. } => self.app_tokens -= bytes as f64,
             TrafficSource::Finite { .. } => self.app_bytes_offered += bytes as u64,
@@ -582,6 +646,9 @@ impl Sender {
             // duplicate / already-retransmitted ACK; the cumulative credit
             // above still applied. Resume sending if window opened.
             if implicit_bytes > 0 {
+                if let Some(d) = &mut self.driver {
+                    d.on_progress(now, self.delivered_bytes);
+                }
                 self.try_send(ctx);
             }
             return;
@@ -660,6 +727,9 @@ impl Sender {
             one_way_delay: ack.one_way_delay,
         };
         self.cc.on_ack(&ev);
+        if let Some(d) = &mut self.driver {
+            d.on_progress(now, self.delivered_bytes);
+        }
         if self.outstanding.is_empty() {
             // quiesce: unlink the RTO timer from the queue entirely
             if let Some(id) = self.rto_timer.take() {
@@ -836,17 +906,25 @@ impl Node for Sink {
         let delay = now.since(pkt.sent_at);
         self.received_pkts += 1;
         self.received_bytes += pkt.size as u64;
-        // advance the cumulative point (fast path: in-order arrival)
-        if pkt.seq == self.next_expected && self.ooo.is_empty() {
+        // Advance the cumulative point (fast path: in-order arrival).
+        // `unique` is true on the first delivery of a sequence only —
+        // duplicates (spurious retransmissions) are below the cumulative
+        // point or already in the out-of-order set.
+        let unique = if pkt.seq == self.next_expected && self.ooo.is_empty() {
             self.next_expected += 1;
+            true
         } else if pkt.seq >= self.next_expected {
-            self.ooo.insert(pkt.seq);
+            let fresh = self.ooo.insert(pkt.seq);
             while self.ooo.remove(&self.next_expected) {
                 self.next_expected += 1;
             }
-        }
+            fresh
+        } else {
+            false
+        };
         if let Some(m) = &self.metrics {
-            m.borrow_mut().on_delivery(pkt.flow, now, delay, pkt.size);
+            m.borrow_mut()
+                .on_delivery(pkt.flow, now, delay, pkt.size, unique, pkt.retransmit);
         }
         // Reuse the data packet's box for the ACK: the sink is where data
         // allocations die and ACK allocations are born.

@@ -25,15 +25,44 @@ pub fn new_hub() -> Metrics {
     Rc::new(RefCell::new(MetricsHub::default()))
 }
 
+/// Application-level expectations for a flow, registered by the harness
+/// before the run (see [`MetricsHub::register_app_flow`]). Everything is
+/// optional so a flow can be tracked for completion, deadlines, or both.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppFlowMeta {
+    /// When the application started the flow (FCT measures from here).
+    pub start: SimTime,
+    /// The flow is complete once this many bytes have been delivered.
+    pub expected_bytes: Option<u64>,
+    /// Per-packet one-way-delay budget; first deliveries above it — or
+    /// recovered via retransmission at all — count as deadline misses
+    /// (RTC/interactive workloads: late data is as bad as lost data).
+    pub deadline: Option<SimDuration>,
+}
+
 /// Per-flow delivery accounting (recorded by sinks).
 #[derive(Debug, Clone, Default)]
 pub struct FlowRecord {
     pub delivered_bytes: u64,
     pub delivered_pkts: u64,
+    /// Bytes/packets counted once per sequence number: duplicates from
+    /// spurious retransmissions are excluded. App-level completion and
+    /// deadline accounting key off these, never the wire counts.
+    pub unique_bytes: u64,
+    pub unique_pkts: u64,
     pub first_delivery: Option<SimTime>,
     pub last_delivery: Option<SimTime>,
     /// One-way packet delays (s), as observed by the receiver.
     pub delays_s: Vec<f64>,
+    /// When cumulative *unique* delivery first reached the registered
+    /// [`AppFlowMeta::expected_bytes`] (flow-completion instant).
+    pub completed_at: Option<SimTime>,
+    /// Unique deliveries that busted the registered
+    /// [`AppFlowMeta::deadline`]: wire OWD above the budget, or data
+    /// that had to be retransmitted (its first copy was lost, so the
+    /// replacement is at least a loss-recovery delay late — the wire
+    /// OWD of the retransmission alone would hide that).
+    pub deadline_misses: u64,
 }
 
 impl FlowRecord {
@@ -113,6 +142,9 @@ pub struct ThroughputBin {
 pub struct MetricsHub {
     pub flows: BTreeMap<FlowId, FlowRecord>,
     pub links: BTreeMap<&'static str, LinkRecord>,
+    /// Application expectations keyed by flow (empty for bulk-only runs,
+    /// so the per-delivery check costs one branch).
+    pub app_flows: BTreeMap<FlowId, AppFlowMeta>,
     bin_width: SimDuration,
     bins: Vec<ThroughputBin>,
     /// Measurement starts here; earlier samples are warm-up and ignored.
@@ -127,6 +159,7 @@ impl Default for MetricsHub {
         MetricsHub {
             flows: BTreeMap::new(),
             links: BTreeMap::new(),
+            app_flows: BTreeMap::new(),
             bin_width: SimDuration::from_millis(100),
             bins: Vec::new(),
             epoch: SimTime::ZERO,
@@ -150,20 +183,60 @@ impl MetricsHub {
         self.bin_width = w;
     }
 
-    /// Called by sinks for every delivered data packet.
-    pub fn on_delivery(&mut self, flow: FlowId, now: SimTime, delay: SimDuration, bytes: u32) {
+    /// Register application expectations for `flow` (FCT completion
+    /// target and/or a per-packet delay deadline). Call before the run;
+    /// bytes delivered during warmup do not count toward completion.
+    pub fn register_app_flow(&mut self, flow: FlowId, meta: AppFlowMeta) {
+        self.app_flows.insert(flow, meta);
+    }
+
+    /// Called by sinks for every delivered data packet. `unique` is false
+    /// for duplicate deliveries of an already-received sequence (spurious
+    /// retransmissions); `retransmit` marks a retransmitted copy. Wire
+    /// counters take every delivery; app-level completion and deadline
+    /// accounting only move on unique ones, so duplicates can neither
+    /// complete a request early nor dilute a miss rate.
+    pub fn on_delivery(
+        &mut self,
+        flow: FlowId,
+        now: SimTime,
+        delay: SimDuration,
+        bytes: u32,
+        unique: bool,
+        retransmit: bool,
+    ) {
         if now < self.epoch {
             return;
         }
         let rec = self.flows.entry(flow).or_default();
         rec.delivered_bytes += bytes as u64;
         rec.delivered_pkts += 1;
+        if unique {
+            rec.unique_bytes += bytes as u64;
+            rec.unique_pkts += 1;
+        }
         rec.first_delivery.get_or_insert(now);
         rec.last_delivery = Some(now);
         if rec.delays_s.capacity() == 0 {
             rec.delays_s.reserve(SAMPLES_HINT);
         }
         rec.delays_s.push(delay.as_secs_f64());
+        if unique && !self.app_flows.is_empty() {
+            if let Some(meta) = self.app_flows.get(&flow) {
+                // A retransmitted frame busts the deadline regardless of
+                // its own wire OWD: the original was lost, and the
+                // replacement arrives at least a loss-recovery delay
+                // after the application produced it.
+                if meta.deadline.is_some_and(|d| retransmit || delay > d) {
+                    rec.deadline_misses += 1;
+                }
+                if rec.completed_at.is_none()
+                    && meta.expected_bytes.is_some_and(|b| rec.unique_bytes >= b)
+                {
+                    rec.completed_at = Some(now);
+                }
+            }
+        }
 
         // throughput time series
         let bin_idx = (now.since(self.epoch).as_nanos() / self.bin_width.as_nanos()) as usize;
@@ -284,7 +357,14 @@ mod tests {
         {
             let mut h = hub.borrow_mut();
             for i in 0..10 {
-                h.on_delivery(FlowId(1), at(100 * i), SimDuration::from_millis(20), 1500);
+                h.on_delivery(
+                    FlowId(1),
+                    at(100 * i),
+                    SimDuration::from_millis(20),
+                    1500,
+                    true,
+                    false,
+                );
             }
         }
         let h = hub.borrow();
@@ -301,8 +381,22 @@ mod tests {
         {
             let mut h = hub.borrow_mut();
             h.set_epoch(at(1000));
-            h.on_delivery(FlowId(1), at(500), SimDuration::from_millis(5), 1500);
-            h.on_delivery(FlowId(1), at(1500), SimDuration::from_millis(5), 1500);
+            h.on_delivery(
+                FlowId(1),
+                at(500),
+                SimDuration::from_millis(5),
+                1500,
+                true,
+                false,
+            );
+            h.on_delivery(
+                FlowId(1),
+                at(1500),
+                SimDuration::from_millis(5),
+                1500,
+                true,
+                false,
+            );
         }
         assert_eq!(hub.borrow().flows[&FlowId(1)].delivered_pkts, 1);
     }
@@ -324,9 +418,9 @@ mod tests {
         let hub = new_hub();
         {
             let mut h = hub.borrow_mut();
-            h.on_delivery(FlowId(1), at(50), SimDuration::ZERO, 1500);
-            h.on_delivery(FlowId(1), at(250), SimDuration::ZERO, 1500);
-            h.on_delivery(FlowId(1), at(260), SimDuration::ZERO, 1500);
+            h.on_delivery(FlowId(1), at(50), SimDuration::ZERO, 1500, true, false);
+            h.on_delivery(FlowId(1), at(250), SimDuration::ZERO, 1500, true, false);
+            h.on_delivery(FlowId(1), at(260), SimDuration::ZERO, 1500, true, false);
         }
         let series = hub.borrow().throughput_series_mbps(FlowId(1));
         assert_eq!(series.len(), 3);
@@ -337,12 +431,70 @@ mod tests {
     }
 
     #[test]
+    fn duplicates_cannot_complete_and_retransmits_always_miss() {
+        let hub = new_hub();
+        {
+            let mut h = hub.borrow_mut();
+            h.register_app_flow(
+                FlowId(1),
+                AppFlowMeta {
+                    start: at(0),
+                    expected_bytes: Some(3000),
+                    deadline: Some(SimDuration::from_millis(100)),
+                },
+            );
+            // unique on-time delivery: no miss, not yet complete
+            h.on_delivery(
+                FlowId(1),
+                at(10),
+                SimDuration::from_millis(20),
+                1500,
+                true,
+                false,
+            );
+            // duplicate deliveries never advance completion or misses,
+            // however late they are
+            h.on_delivery(
+                FlowId(1),
+                at(20),
+                SimDuration::from_millis(500),
+                1500,
+                false,
+                true,
+            );
+            assert!(h.flows[&FlowId(1)].completed_at.is_none());
+            assert_eq!(h.flows[&FlowId(1)].deadline_misses, 0);
+        }
+        {
+            let mut h = hub.borrow_mut();
+            // a recovered (retransmitted) frame is a miss even with a
+            // fast wire OWD, and its unique bytes complete the flow
+            h.on_delivery(
+                FlowId(1),
+                at(300),
+                SimDuration::from_millis(20),
+                1500,
+                true,
+                true,
+            );
+        }
+        let h = hub.borrow();
+        let rec = &h.flows[&FlowId(1)];
+        assert_eq!(rec.completed_at, Some(at(300)));
+        assert_eq!(rec.deadline_misses, 1);
+        assert_eq!(rec.unique_pkts, 2);
+        assert_eq!(rec.delivered_pkts, 3);
+        assert_eq!(rec.unique_bytes, 3000);
+        assert_eq!(rec.delivered_bytes, 4500);
+    }
+
+    #[test]
     fn jain_over_flows() {
         let hub = new_hub();
         {
             let mut h = hub.borrow_mut();
-            h.on_delivery(FlowId(1), at(10), SimDuration::ZERO, 1000);
-            h.on_delivery(FlowId(2), at(10), SimDuration::ZERO, 1000);
+            h.on_delivery(FlowId(1), at(10), SimDuration::ZERO, 1000, true, false);
+            h.on_delivery(FlowId(2), at(10), SimDuration::ZERO, 1000, true, false);
         }
         let j = hub.borrow().jain(SimDuration::from_secs(1));
         assert!((j - 1.0).abs() < 1e-12);

@@ -124,14 +124,62 @@ pub struct AckData {
 /// A route is the ordered list of nodes a packet visits, with the
 /// propagation delay charged on the segment *into* each node. Routes are
 /// immutable and shared (`Rc`), so forwarding costs one pointer copy.
+///
+/// Hop buffers are pooled the same way `Deliver` packet boxes are: when
+/// the last handle to a route drops, its `Vec` goes to a thread-local
+/// free list and the next [`Route::from_hops`] reuses it. Short-flow
+/// heavy workloads (a web fleet builds two routes per flow) thus run
+/// route-allocation-free in steady state. Pure capacity reuse — contents
+/// are always rewritten — so results are unaffected.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Route {
     pub hops: Vec<(NodeId, crate::time::SimDuration)>,
 }
 
+thread_local! {
+    #[allow(clippy::type_complexity)]
+    static HOPS_POOL: std::cell::RefCell<Vec<Vec<(NodeId, crate::time::SimDuration)>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Retained hop buffers per thread; bounds pool memory like
+/// `PACKET_POOL_CAP` does for packet boxes.
+const HOPS_POOL_CAP: usize = 256;
+
+impl Drop for Route {
+    fn drop(&mut self) {
+        let hops = std::mem::take(&mut self.hops);
+        if hops.capacity() == 0 {
+            return;
+        }
+        // try_with: never panic if the TLS slot is already torn down.
+        let _ = HOPS_POOL.try_with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < HOPS_POOL_CAP {
+                pool.push(hops);
+            }
+        });
+    }
+}
+
 impl Route {
     pub fn new(hops: Vec<(NodeId, crate::time::SimDuration)>) -> Rc<Route> {
         Rc::new(Route { hops })
+    }
+
+    /// [`Route::new`] over a pooled hop buffer: reuses the `Vec` of a
+    /// previously dropped route instead of allocating.
+    pub fn from_hops(
+        hops: impl IntoIterator<Item = (NodeId, crate::time::SimDuration)>,
+    ) -> Rc<Route> {
+        let mut buf = HOPS_POOL
+            .try_with(|p| p.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
+        buf.clear();
+        buf.extend(hops);
+        Rc::new(Route { hops: buf })
     }
 
     pub fn len(&self) -> usize {
@@ -216,6 +264,21 @@ mod tests {
         assert_eq!(Ecn::Brake.bits(), 0b10);
         assert_eq!(Ecn::Ce.bits(), 0b11);
         assert_eq!(Ecn::NotEct.bits(), 0b00);
+    }
+
+    #[test]
+    fn pooled_route_builder_matches_new() {
+        let hops = vec![
+            (NodeId(1), SimDuration::from_millis(25)),
+            (NodeId(2), SimDuration::from_millis(25)),
+        ];
+        let a = Route::new(hops.clone());
+        let b = Route::from_hops(hops.iter().copied());
+        assert_eq!(*a, *b);
+        drop(a);
+        drop(b); // both buffers land in the pool
+        let c = Route::from_hops([(NodeId(7), SimDuration::ZERO)]);
+        assert_eq!(c.hops, vec![(NodeId(7), SimDuration::ZERO)]);
     }
 
     #[test]

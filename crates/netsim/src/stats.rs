@@ -10,6 +10,9 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct WindowedRate {
     window: SimDuration,
+    /// `window.as_secs_f64()`, hoisted out of the per-packet [`rate`]
+    /// call (bit-identical: same conversion, computed once).
+    window_secs: f64,
     samples: VecDeque<(SimTime, u64)>, // (when, bytes)
     total_bytes: u64,
 }
@@ -19,6 +22,7 @@ impl WindowedRate {
         assert!(!window.is_zero(), "rate window must be positive");
         WindowedRate {
             window,
+            window_secs: window.as_secs_f64(),
             samples: VecDeque::new(),
             total_bytes: 0,
         }
@@ -50,7 +54,10 @@ impl WindowedRate {
     /// Average rate over the trailing window ending at `now`.
     pub fn rate(&mut self, now: SimTime) -> Rate {
         self.expire(now);
-        Rate::from_bytes_per(self.total_bytes, self.window)
+        // Same math as `Rate::from_bytes_per(total_bytes, window)` with
+        // the window's seconds conversion precomputed (window > 0 by the
+        // constructor assert, so no zero-duration branch is needed).
+        Rate::from_bps(self.total_bytes as f64 * 8.0 / self.window_secs)
     }
 
     /// Bytes currently inside the window.

@@ -1,0 +1,480 @@
+//! The **ABR video** workload: a DASH-style client with a bitrate
+//! ladder, a playback-buffer model, and chunk-by-chunk rate selection.
+//!
+//! The client requests one chunk at a time over the reliable transport
+//! (the request itself is modeled as free; the response bytes are what
+//! congestion control fights for). Rate selection is a standard hybrid:
+//! pick the highest ladder rung under `safety ×` the EWMA of per-chunk
+//! download throughput, but drop to the lowest rung when the playback
+//! buffer is nearly empty. Playback starts after `startup_chunks` of
+//! media are buffered, drains in real time, and stalls (rebuffers) when
+//! the buffer empties before the stream has fully played. Everything is
+//! a pure function of chunk-completion times, so runs stay
+//! bit-deterministic.
+
+use crate::metrics::VideoMetrics;
+use netsim::flow::AppDriver;
+use netsim::packet::MTU_BYTES;
+use netsim::stats::Ewma;
+use netsim::time::{SimDuration, SimTime};
+
+/// Spec of an adaptive-bitrate video session.
+#[derive(Debug, Clone)]
+pub struct AbrWorkload {
+    /// Bitrate ladder in kbit/s, ascending.
+    pub ladder_kbps: Vec<u32>,
+    /// Media duration per chunk (DASH segments are typically 2–4 s).
+    pub chunk: SimDuration,
+    /// Chunks buffered before playback starts.
+    pub startup_chunks: u32,
+    /// Playback-buffer cap; the client idles once this much media is
+    /// queued (rate-limiting steady state, like real players).
+    pub max_buffer: SimDuration,
+    /// Total stream length (rounded up to whole chunks).
+    pub stream: SimDuration,
+    /// Throughput safety factor for rate selection (e.g. 0.8).
+    pub safety: f64,
+}
+
+impl AbrWorkload {
+    /// A typical HD ladder: 350 kbit/s … 4 Mbit/s, 2 s chunks, 12 s
+    /// buffer cap, playback after one chunk.
+    pub fn hd(stream: SimDuration) -> AbrWorkload {
+        AbrWorkload {
+            ladder_kbps: vec![350, 600, 1_000, 2_500, 4_000],
+            chunk: SimDuration::from_secs(2),
+            startup_chunks: 1,
+            max_buffer: SimDuration::from_secs(12),
+            stream,
+            safety: 0.8,
+        }
+    }
+
+    fn total_chunks(&self) -> u64 {
+        let c = self.chunk.as_nanos();
+        self.stream.as_nanos().div_ceil(c).max(1)
+    }
+
+    /// Wire bytes of one chunk at ladder rung `level`, rounded up to
+    /// whole MTU packets so chunk boundaries land exactly on transport
+    /// delivery boundaries.
+    pub fn chunk_bytes(&self, level: usize) -> u64 {
+        let kbps = self.ladder_kbps[level] as u64;
+        let raw = kbps * 1000 * self.chunk.as_nanos() / 8 / 1_000_000_000;
+        raw.div_ceil(MTU_BYTES as u64).max(1) * MTU_BYTES as u64
+    }
+}
+
+/// One in-flight chunk request.
+#[derive(Debug, Clone, Copy)]
+struct CurChunk {
+    /// Cumulative delivered-byte count at which this chunk completes.
+    boundary: u64,
+    bytes: u64,
+    level: usize,
+    requested_at: SimTime,
+}
+
+/// The [`AppDriver`] realizing an [`AbrWorkload`].
+#[derive(Debug)]
+pub struct AbrClient {
+    spec: AbrWorkload,
+    flow_start: SimTime,
+
+    // download side
+    requested_bytes: u64,
+    chunks_requested: u64,
+    cur: Option<CurChunk>,
+    blocked_until: Option<SimTime>,
+    tput_est: Ewma,
+    levels: Vec<usize>,
+
+    // playback side (all media time in ns)
+    last_advance: SimTime,
+    started_at: Option<SimTime>,
+    buffer_ns: u64,
+    play_ns: u64,
+    rebuffer_ns: u64,
+}
+
+impl AbrClient {
+    pub fn new(spec: AbrWorkload, start: SimTime) -> AbrClient {
+        assert!(!spec.ladder_kbps.is_empty(), "empty bitrate ladder");
+        assert!(
+            spec.ladder_kbps.windows(2).all(|w| w[0] <= w[1]),
+            "ladder must ascend"
+        );
+        assert!(!spec.chunk.is_zero());
+        AbrClient {
+            spec,
+            flow_start: start,
+            requested_bytes: 0,
+            chunks_requested: 0,
+            cur: None,
+            blocked_until: None,
+            tput_est: Ewma::new(0.3),
+            levels: Vec::new(),
+            last_advance: start,
+            started_at: None,
+            buffer_ns: 0,
+            play_ns: 0,
+            rebuffer_ns: 0,
+        }
+    }
+
+    pub fn spec(&self) -> &AbrWorkload {
+        &self.spec
+    }
+
+    fn stream_ns(&self) -> u64 {
+        self.spec.total_chunks() * self.spec.chunk.as_nanos()
+    }
+
+    /// Advance the playback clock to `now`: drain the buffer in real
+    /// time, accumulate played media, and charge stalls. Trailing time
+    /// after the stream has fully played is idle, not a stall.
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_advance).as_nanos();
+        if dt == 0 {
+            return;
+        }
+        self.last_advance = now;
+        if self.started_at.is_none() {
+            return; // startup wait accrues as startup delay, not rebuffer
+        }
+        let drain = dt.min(self.buffer_ns);
+        self.buffer_ns -= drain;
+        self.play_ns += drain;
+        let leftover = dt - drain;
+        if leftover > 0 && self.play_ns < self.stream_ns() {
+            self.rebuffer_ns += leftover;
+        }
+    }
+
+    /// Hybrid rate selection: throughput rule with a buffer floor.
+    fn pick_level(&self) -> usize {
+        let Some(bps) = self.tput_est.get() else {
+            return 0; // no estimate yet: start conservative
+        };
+        if self.buffer_ns < self.spec.chunk.as_nanos() {
+            return 0; // nearly empty buffer: survival mode
+        }
+        let budget = bps * self.spec.safety;
+        let mut lvl = 0;
+        for (i, &kbps) in self.spec.ladder_kbps.iter().enumerate() {
+            if kbps as f64 * 1000.0 <= budget {
+                lvl = i;
+            }
+        }
+        lvl
+    }
+
+    /// Issue the next chunk request if allowed (one outstanding chunk,
+    /// stream not exhausted, buffer under its cap, wait gate elapsed).
+    fn maybe_request(&mut self, now: SimTime) {
+        if self.cur.is_some() || self.chunks_requested >= self.spec.total_chunks() {
+            return;
+        }
+        if let Some(t) = self.blocked_until {
+            if now < t {
+                return;
+            }
+            self.blocked_until = None;
+        }
+        let chunk_ns = self.spec.chunk.as_nanos();
+        if self.started_at.is_some() && self.buffer_ns + chunk_ns > self.spec.max_buffer.as_nanos()
+        {
+            // no room for another chunk: wake when playback has drained one
+            let wait = self.buffer_ns + chunk_ns - self.spec.max_buffer.as_nanos();
+            self.blocked_until = Some(now + SimDuration::from_nanos(wait));
+            return;
+        }
+        let level = self.pick_level();
+        let bytes = self.spec.chunk_bytes(level);
+        self.requested_bytes += bytes;
+        self.chunks_requested += 1;
+        self.cur = Some(CurChunk {
+            boundary: self.requested_bytes,
+            bytes,
+            level,
+            requested_at: now,
+        });
+    }
+
+    /// Account playback up to the end of the run. Call once before
+    /// reading [`AbrClient::metrics`].
+    pub fn finalize(&mut self, end: SimTime) {
+        self.advance(end);
+    }
+
+    /// The session's app-level report card.
+    pub fn metrics(&self) -> VideoMetrics {
+        let chunks = self.levels.len() as u64;
+        let top = *self.spec.ladder_kbps.last().expect("non-empty ladder") as f64;
+        let mean_bitrate_kbps = if chunks > 0 {
+            self.levels
+                .iter()
+                .map(|&l| self.spec.ladder_kbps[l] as f64)
+                .sum::<f64>()
+                / chunks as f64
+        } else {
+            f64::NAN
+        };
+        let switches = self.levels.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+        let switch_kbps: f64 = self
+            .levels
+            .windows(2)
+            .map(|w| {
+                (self.spec.ladder_kbps[w[0]] as f64 - self.spec.ladder_kbps[w[1]] as f64).abs()
+            })
+            .sum();
+        let play_s = self.play_ns as f64 / 1e9;
+        let rebuffer_s = self.rebuffer_ns as f64 / 1e9;
+        let wall = play_s + rebuffer_s;
+        let rebuffer_ratio = if wall > 0.0 {
+            rebuffer_s / wall
+        } else {
+            f64::NAN
+        };
+        let startup_delay_ms = self
+            .started_at
+            .map(|t| t.since(self.flow_start).as_millis_f64())
+            .unwrap_or(f64::NAN);
+        // Linear QoE in [~-4, 1]: normalized bitrate, minus the standard
+        // 4.3× rebuffer penalty, minus normalized switching churn.
+        let qoe = if chunks > 0 && wall > 0.0 {
+            mean_bitrate_kbps / top - 4.3 * rebuffer_ratio - switch_kbps / chunks as f64 / top
+        } else {
+            f64::NAN
+        };
+        VideoMetrics {
+            chunks_downloaded: chunks,
+            chunks_total: self.spec.total_chunks(),
+            mean_bitrate_kbps,
+            play_s,
+            rebuffer_s,
+            rebuffer_ratio,
+            startup_delay_ms,
+            switches,
+            qoe,
+        }
+    }
+}
+
+impl AppDriver for AbrClient {
+    fn available_bytes(&mut self, now: SimTime) -> u64 {
+        self.advance(now);
+        self.maybe_request(now);
+        self.requested_bytes
+    }
+
+    fn next_wakeup(&mut self, now: SimTime) -> Option<SimTime> {
+        self.advance(now);
+        self.maybe_request(now);
+        if self.cur.is_none() {
+            self.blocked_until
+        } else {
+            None
+        }
+    }
+
+    fn on_progress(&mut self, now: SimTime, delivered_bytes: u64) {
+        self.advance(now);
+        while let Some(cur) = self.cur {
+            if delivered_bytes < cur.boundary {
+                break;
+            }
+            // chunk complete at `now`
+            let dl = now.since(cur.requested_at);
+            if !dl.is_zero() {
+                self.tput_est
+                    .update(cur.bytes as f64 * 8.0 / dl.as_secs_f64());
+            }
+            self.levels.push(cur.level);
+            self.buffer_ns += self.spec.chunk.as_nanos();
+            if self.started_at.is_none()
+                && self.buffer_ns
+                    >= self.spec.chunk.as_nanos() * self.spec.startup_chunks.max(1) as u64
+            {
+                self.started_at = Some(now);
+            }
+            self.cur = None;
+            self.maybe_request(now);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn tiny_spec(chunks: u64) -> AbrWorkload {
+        AbrWorkload {
+            ladder_kbps: vec![300, 1_000, 3_000],
+            chunk: secs(1),
+            startup_chunks: 1,
+            max_buffer: secs(4),
+            stream: secs(chunks),
+            safety: 0.8,
+        }
+    }
+
+    /// Drive a client by hand: deliver each requested chunk `dl_ms`
+    /// after its request.
+    fn drive(spec: AbrWorkload, dl_ms: u64, end_ms: u64) -> (AbrClient, Vec<u64>) {
+        let mut c = AbrClient::new(spec, SimTime::ZERO);
+        let mut t = 0u64;
+        let mut boundaries = Vec::new();
+        loop {
+            let avail = c.available_bytes(at(t));
+            if avail > boundaries.last().copied().unwrap_or(0) {
+                boundaries.push(avail);
+                t += dl_ms;
+                if t > end_ms {
+                    break;
+                }
+                c.on_progress(at(t), avail);
+            } else if let Some(w) = c.next_wakeup(at(t)) {
+                let w_ms = w.since(SimTime::ZERO).as_nanos() / 1_000_000;
+                if w_ms >= end_ms || w_ms <= t {
+                    break;
+                }
+                t = w_ms;
+            } else {
+                break;
+            }
+        }
+        c.finalize(at(end_ms));
+        (c, boundaries)
+    }
+
+    #[test]
+    fn fast_network_reaches_top_rung_without_stalls() {
+        // every chunk downloads in 100 ms — buffer never empties
+        let (c, _) = drive(tiny_spec(10), 100, 60_000);
+        let m = c.metrics();
+        assert_eq!(m.chunks_downloaded, 10);
+        assert_eq!(m.rebuffer_s, 0.0);
+        assert!(
+            m.mean_bitrate_kbps > 1_000.0,
+            "mean {}",
+            m.mean_bitrate_kbps
+        );
+        assert!((m.play_s - 10.0).abs() < 1e-9, "played {}", m.play_s);
+        assert!(m.qoe > 0.3, "qoe {}", m.qoe);
+    }
+
+    #[test]
+    fn slow_network_stalls_and_stays_low_rung() {
+        // every chunk takes 2 s of wall clock for 1 s of media
+        let (c, _) = drive(tiny_spec(5), 2_000, 60_000);
+        let m = c.metrics();
+        assert_eq!(m.chunks_downloaded, 5);
+        assert!(m.rebuffer_s > 1.0, "rebuffer {}", m.rebuffer_s);
+        assert!(m.rebuffer_ratio > 0.2);
+        assert!(m.mean_bitrate_kbps < 1_000.0);
+        assert!(m.qoe < 0.0, "stalling must tank QoE, got {}", m.qoe);
+    }
+
+    #[test]
+    fn no_stall_charged_after_stream_end() {
+        // 2 chunks; the run continues long after playback finished
+        let (c, _) = drive(tiny_spec(2), 100, 30_000);
+        let m = c.metrics();
+        assert_eq!(m.chunks_downloaded, 2);
+        assert_eq!(m.rebuffer_s, 0.0, "trailing idle counted as stall");
+        assert!((m.play_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_at_stream_end_is_charged_until_last_chunk_arrives() {
+        let spec = tiny_spec(2);
+        let mut c = AbrClient::new(spec, SimTime::ZERO);
+        // chunk 0 requested at t=0, done at 100 ms → playback starts
+        let b0 = c.available_bytes(at(0));
+        c.on_progress(at(100), b0);
+        // chunk 1 done only at 3 s: playback ran dry at 1.1 s
+        let b1 = c.available_bytes(at(100));
+        assert!(b1 > b0, "second chunk not requested");
+        c.on_progress(at(3_000), b1);
+        c.finalize(at(10_000));
+        let m = c.metrics();
+        assert_eq!(m.chunks_downloaded, 2);
+        // stalled from 1.1 s to 3.0 s = 1.9 s; played 2 s total
+        assert!(
+            (m.rebuffer_s - 1.9).abs() < 1e-9,
+            "rebuffer {}",
+            m.rebuffer_s
+        );
+        assert!((m.play_s - 2.0).abs() < 1e-9, "play {}", m.play_s);
+    }
+
+    #[test]
+    fn buffer_cap_paces_requests() {
+        // instant downloads: the client must not fetch the whole stream
+        // at once — the 4 s cap limits how far ahead it runs
+        let mut c = AbrClient::new(tiny_spec(30), SimTime::ZERO);
+        let mut t = 0u64;
+        let mut last = 0u64;
+        let mut max_ahead = 0u64;
+        for _ in 0..200 {
+            let avail = c.available_bytes(at(t));
+            if avail > last {
+                c.on_progress(at(t + 1), avail);
+                last = avail;
+                t += 1;
+            } else if let Some(w) = c.next_wakeup(at(t)) {
+                let w_ms = w.since(SimTime::ZERO).as_nanos() / 1_000_000;
+                if w_ms <= t {
+                    break;
+                }
+                t = w_ms;
+            } else {
+                break;
+            }
+            max_ahead = max_ahead.max(c.buffer_ns / 1_000_000_000);
+        }
+        let m = c.metrics();
+        assert_eq!(m.chunks_downloaded, 30, "stream did not finish");
+        assert!(max_ahead <= 4, "buffered {max_ahead}s > 4s cap");
+    }
+
+    #[test]
+    fn zero_progress_yields_nan_metrics_not_panics() {
+        let mut c = AbrClient::new(tiny_spec(3), SimTime::ZERO);
+        c.finalize(at(5_000));
+        let m = c.metrics();
+        assert_eq!(m.chunks_downloaded, 0);
+        assert!(m.mean_bitrate_kbps.is_nan());
+        assert!(m.rebuffer_ratio.is_nan());
+        assert!(m.startup_delay_ms.is_nan());
+        assert!(m.qoe.is_nan());
+    }
+
+    #[test]
+    fn chunk_bytes_are_packet_aligned() {
+        let s = tiny_spec(1);
+        for lvl in 0..s.ladder_kbps.len() {
+            assert_eq!(s.chunk_bytes(lvl) % MTU_BYTES as u64, 0);
+            assert!(s.chunk_bytes(lvl) >= MTU_BYTES as u64);
+        }
+        // 300 kbit/s × 1 s = 37 500 B = exactly 25 packets
+        assert_eq!(s.chunk_bytes(0), 25 * 1500);
+    }
+}

@@ -1,0 +1,62 @@
+//! # workload — application-layer traffic models over the netsim transport
+//!
+//! The paper's whole argument is about *application experience* on
+//! time-varying links, yet a bulk long-flow only measures throughput and
+//! queue delay. This crate supplies the traffic an application would
+//! actually offer, and the metrics it would actually feel:
+//!
+//! * [`web`] — a request/response workload: seeded Poisson (or bursty
+//!   on/off) arrivals of short flows with an empirical, short-flow-heavy
+//!   object-size distribution. Measured by per-flow completion time
+//!   (FCT percentiles).
+//! * [`rtc`] — a constant-cadence interactive stream (voice/video call):
+//!   one frame every `interval`, judged by per-packet one-way-delay
+//!   deadline misses.
+//! * [`abr`] — an adaptive-bitrate video client: a bitrate ladder, a
+//!   playback-buffer model, and chunk-by-chunk rate selection. Measured
+//!   by rebuffer ratio, mean bitrate, startup delay, and a linear QoE
+//!   score.
+//!
+//! Everything is a pure function of a [`WorkloadSpec`], a seed, and
+//! simulation time, so workload scenarios stay bit-deterministic across
+//! reruns and worker pools. The RTC and ABR models implement netsim's
+//! [`AppDriver`](netsim::flow::AppDriver) hook and ride the existing
+//! [`Sender`](netsim::flow::Sender)/[`Sink`](netsim::flow::Sink)
+//! transport; the web model expands to finite flows whose completion the
+//! metrics hub tracks via
+//! [`register_app_flow`](netsim::metrics::MetricsHub::register_app_flow).
+//!
+//! The `experiments` engine lowers a [`WorkloadSpec`] into concrete
+//! senders/sinks/drivers (`ScenarioSpec::workloads`), and the `campaign`
+//! crate sweeps them (`web-load-grid`, `video-over-cellular`,
+//! `rtc-coexist`) and renders the figures.
+
+pub mod abr;
+pub mod metrics;
+pub mod rtc;
+pub mod web;
+
+pub use abr::{AbrClient, AbrWorkload};
+pub use metrics::{RtcMetrics, VideoMetrics, WebFlowOutcome, WebMetrics};
+pub use rtc::{RtcSource, RtcWorkload};
+pub use web::{ArrivalProcess, SizeDist, WebFlow, WebWorkload};
+
+/// One application-layer traffic model, as plain data. The engine turns
+/// each variant into flows/drivers on the simulator.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    Web(WebWorkload),
+    Rtc(RtcWorkload),
+    AbrVideo(AbrWorkload),
+}
+
+impl WorkloadSpec {
+    /// Short kind tag, used in flow labels and store coordinates.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Web(_) => "web",
+            WorkloadSpec::Rtc(_) => "rtc",
+            WorkloadSpec::AbrVideo(_) => "video",
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The request/response **web** workload: seeded arrivals of short finite
+//! flows with an empirical, short-flow-heavy object-size distribution.
+//!
+//! The model is the simulator-native analogue of the traffic generators
+//! real testbeds (including the ABC artifact's Mahimahi setup) put behind
+//! their emulated links: most objects are a handful of packets, a few are
+//! megabytes, and arrivals are either memoryless (Poisson) or bursty
+//! (Poisson gated by an on/off phase). Expansion is a pure function of
+//! `(spec, seed, duration)`, so two expansions — on any thread — are
+//! identical.
+
+use netsim::rate::Rate;
+use netsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// When new web requests arrive.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `per_sec` requests per second.
+    Poisson { per_sec: f64 },
+    /// Poisson at `per_sec` during `[0, on)` of each `on + off` cycle,
+    /// silent otherwise — flash-crowd style burstiness.
+    OnOff {
+        per_sec: f64,
+        on: SimDuration,
+        off: SimDuration,
+    },
+}
+
+/// Object sizes offered per request.
+#[derive(Debug, Clone)]
+pub enum SizeDist {
+    /// Every request transfers exactly this many bytes.
+    Fixed(u64),
+    /// An empirical CDF of `(bytes, cumulative probability)` points,
+    /// log-interpolated between points. The last point must have
+    /// cumulative probability 1.0.
+    Empirical(Vec<(u64, f64)>),
+}
+
+impl SizeDist {
+    /// The built-in web-object size distribution: short-flow heavy
+    /// (median ≈ 5 KB, a one-packet floor) with a multi-megabyte tail —
+    /// the shape HTTP object measurements consistently report.
+    pub fn web_objects() -> SizeDist {
+        SizeDist::Empirical(vec![
+            (400, 0.15),
+            (1_500, 0.35),
+            (6_000, 0.55),
+            (15_000, 0.70),
+            (50_000, 0.85),
+            (200_000, 0.95),
+            (1_000_000, 0.99),
+            (5_000_000, 1.0),
+        ])
+    }
+
+    /// Sample one object size. Draws exactly one uniform variate, so the
+    /// caller's RNG stream advances identically for every distribution.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        match self {
+            SizeDist::Fixed(b) => *b,
+            SizeDist::Empirical(points) => {
+                debug_assert!(!points.is_empty());
+                let mut lo_bytes = 0.0f64;
+                let mut lo_p = 0.0f64;
+                for &(bytes, p) in points {
+                    if u <= p {
+                        let frac = if p > lo_p {
+                            (u - lo_p) / (p - lo_p)
+                        } else {
+                            1.0
+                        };
+                        // log-interpolate (sizes span 4 decades)
+                        let lo_ln = if lo_bytes > 0.0 { lo_bytes.ln() } else { 0.0 };
+                        let hi_ln = (bytes as f64).ln();
+                        let base = if lo_bytes > 0.0 { lo_ln } else { hi_ln };
+                        let ln = base + (hi_ln - base) * frac;
+                        return ln.exp().round().max(1.0) as u64;
+                    }
+                    lo_bytes = bytes as f64;
+                    lo_p = p;
+                }
+                points.last().expect("non-empty CDF").0
+            }
+        }
+    }
+
+    /// Approximate mean object size (piecewise midpoint of the CDF
+    /// segments) — the reference for offered-load arithmetic.
+    pub fn mean_bytes(&self) -> f64 {
+        match self {
+            SizeDist::Fixed(b) => *b as f64,
+            SizeDist::Empirical(points) => {
+                let mut mean = 0.0;
+                let mut lo_bytes = points.first().map(|&(b, _)| b as f64).unwrap_or(0.0);
+                let mut lo_p = 0.0;
+                for &(bytes, p) in points {
+                    mean += (p - lo_p) * 0.5 * (lo_bytes + bytes as f64);
+                    lo_bytes = bytes as f64;
+                    lo_p = p;
+                }
+                mean
+            }
+        }
+    }
+}
+
+/// The web workload spec: arrivals × sizes.
+#[derive(Debug, Clone)]
+pub struct WebWorkload {
+    pub arrivals: ArrivalProcess,
+    pub sizes: SizeDist,
+}
+
+/// One expanded request: when it starts and how many bytes it transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WebFlow {
+    pub start: SimTime,
+    pub bytes: u64,
+}
+
+impl WebWorkload {
+    /// A Poisson workload offering `load` (fraction of `link`) with the
+    /// built-in object-size distribution.
+    pub fn poisson_load(load: f64, link: Rate) -> WebWorkload {
+        let sizes = SizeDist::web_objects();
+        let per_sec = load * link.bps() / 8.0 / sizes.mean_bytes();
+        WebWorkload {
+            arrivals: ArrivalProcess::Poisson { per_sec },
+            sizes,
+        }
+    }
+
+    /// Expand into concrete requests over `[0, duration)`. Deterministic:
+    /// a pure function of `(self, seed, duration)`.
+    pub fn expand(&self, seed: u64, duration: SimDuration) -> Vec<WebFlow> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        let horizon = duration.as_secs_f64();
+        let (per_sec, gate) = match self.arrivals {
+            ArrivalProcess::Poisson { per_sec } => (per_sec, None),
+            ArrivalProcess::OnOff { per_sec, on, off } => (per_sec, Some((on, off))),
+        };
+        if per_sec <= 0.0 {
+            return out;
+        }
+        let mut t = 0.0f64;
+        loop {
+            let gap = -rng.gen_range(1e-9f64..1.0).ln() / per_sec;
+            t += gap;
+            if t >= horizon {
+                break;
+            }
+            if let Some((on, off)) = gate {
+                let period = (on + off).as_nanos();
+                let phase = SimTime::from_secs_f64(t).as_nanos() % period;
+                if phase >= on.as_nanos() {
+                    // off-phase arrival is dropped; the size draw still
+                    // happens so the stream position is phase-independent
+                    let _ = self.sizes.sample(&mut rng);
+                    continue;
+                }
+            }
+            let bytes = self.sizes.sample(&mut rng);
+            out.push(WebFlow {
+                start: SimTime::from_secs_f64(t),
+                bytes,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn web(per_sec: f64) -> WebWorkload {
+        WebWorkload {
+            arrivals: ArrivalProcess::Poisson { per_sec },
+            sizes: SizeDist::web_objects(),
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let w = web(50.0);
+        let a = w.expand(7, SimDuration::from_secs(10));
+        let b = w.expand(7, SimDuration::from_secs(10));
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        let c = w.expand(8, SimDuration::from_secs(10));
+        assert_ne!(a, c, "different seeds must reshuffle arrivals");
+    }
+
+    #[test]
+    fn arrival_rate_is_roughly_honored() {
+        let n = web(100.0).expand(3, SimDuration::from_secs(50)).len() as f64;
+        assert!((n - 5000.0).abs() < 400.0, "got {n} arrivals");
+    }
+
+    #[test]
+    fn onoff_gates_arrivals_to_the_on_phase() {
+        let w = WebWorkload {
+            arrivals: ArrivalProcess::OnOff {
+                per_sec: 100.0,
+                on: SimDuration::from_secs(1),
+                off: SimDuration::from_secs(1),
+            },
+            sizes: SizeDist::Fixed(1000),
+        };
+        let flows = w.expand(5, SimDuration::from_secs(20));
+        assert!(!flows.is_empty());
+        for f in &flows {
+            let phase = f.start.as_nanos() % SimDuration::from_secs(2).as_nanos();
+            assert!(
+                phase < SimDuration::from_secs(1).as_nanos(),
+                "arrival in off phase at {:?}",
+                f.start
+            );
+        }
+        // roughly half the always-on count
+        assert!(
+            (flows.len() as f64 - 1000.0).abs() < 300.0,
+            "{}",
+            flows.len()
+        );
+    }
+
+    #[test]
+    fn sizes_stay_inside_the_cdf_support() {
+        let dist = SizeDist::web_objects();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5000 {
+            let b = dist.sample(&mut rng);
+            assert!((1..=5_000_000).contains(&b), "sampled {b}");
+        }
+    }
+
+    #[test]
+    fn empirical_median_is_short_flow_heavy() {
+        let dist = SizeDist::web_objects();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<u64> = (0..10_000).map(|_| dist.sample(&mut rng)).collect();
+        v.sort_unstable();
+        let median = v[v.len() / 2];
+        assert!(median < 10_000, "median {median} not short-flow heavy");
+        // heavy tail exists
+        assert!(*v.last().unwrap() > 1_000_000);
+    }
+
+    #[test]
+    fn zero_rate_expands_to_nothing() {
+        assert!(web(0.0).expand(1, SimDuration::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn poisson_load_matches_mean_size_arithmetic() {
+        let w = WebWorkload::poisson_load(0.5, Rate::from_mbps(12.0));
+        let ArrivalProcess::Poisson { per_sec } = w.arrivals else {
+            panic!("expected poisson")
+        };
+        let expect = 0.5 * 12e6 / 8.0 / SizeDist::web_objects().mean_bytes();
+        assert!((per_sec - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: every workload generator is a bit-deterministic pure
+//! function of its seed/inputs — the foundation of the campaign store's
+//! "bit-identical across reruns and pool sizes" guarantee.
+
+use netsim::flow::AppDriver;
+use netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use workload::{
+    AbrClient, AbrWorkload, ArrivalProcess, RtcSource, RtcWorkload, SizeDist, WebWorkload,
+};
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn web_expansion_is_bit_deterministic(
+        seed in 0u64..1_000_000,
+        per_sec in 1.0f64..200.0,
+        secs in 1u64..20,
+    ) {
+        let w = WebWorkload {
+            arrivals: ArrivalProcess::Poisson { per_sec },
+            sizes: SizeDist::web_objects(),
+        };
+        let a = w.expand(seed, SimDuration::from_secs(secs));
+        let b = w.expand(seed, SimDuration::from_secs(secs));
+        prop_assert_eq!(&a, &b, "same seed diverged");
+        for f in &a {
+            prop_assert!(f.start < SimTime::ZERO + SimDuration::from_secs(secs));
+            prop_assert!(f.bytes >= 1);
+        }
+        // starts are non-decreasing (arrival process, not a shuffle)
+        for w2 in a.windows(2) {
+            prop_assert!(w2[0].start <= w2[1].start);
+        }
+    }
+
+    #[test]
+    fn rtc_availability_is_deterministic_and_monotone(
+        frame in 1u32..1500,
+        interval_ms in 1u64..100,
+        probe_ms in proptest::collection::vec(0u64..10_000, 1..20),
+    ) {
+        let spec = RtcWorkload {
+            frame_bytes: frame,
+            interval: SimDuration::from_millis(interval_ms),
+            deadline: SimDuration::from_millis(100),
+        };
+        let mut probes = probe_ms.clone();
+        probes.sort_unstable();
+        let mut s1 = RtcSource::new(spec, SimTime::ZERO);
+        let mut s2 = RtcSource::new(spec, SimTime::ZERO);
+        let mut prev = 0u64;
+        for &ms in &probes {
+            let a = s1.available_bytes(at_ms(ms));
+            prop_assert_eq!(a, s2.available_bytes(at_ms(ms)));
+            prop_assert!(a >= prev, "availability went backwards");
+            prop_assert_eq!(a % frame as u64, 0);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn abr_session_is_bit_deterministic(
+        dl_ms in 20u64..3_000,
+        chunks in 1u64..12,
+    ) {
+        // replay the same download schedule into two clients
+        let run = || {
+            let spec = AbrWorkload {
+                ladder_kbps: vec![300, 1_000, 3_000],
+                chunk: SimDuration::from_secs(1),
+                startup_chunks: 1,
+                max_buffer: SimDuration::from_secs(6),
+                stream: SimDuration::from_secs(chunks),
+                safety: 0.8,
+            };
+            let mut c = AbrClient::new(spec, SimTime::ZERO);
+            let mut t = 0u64;
+            let mut last = 0u64;
+            for _ in 0..200 {
+                let avail = c.available_bytes(at_ms(t));
+                if avail > last {
+                    last = avail;
+                    t += dl_ms;
+                    c.on_progress(at_ms(t), avail);
+                } else if let Some(w) = c.next_wakeup(at_ms(t)) {
+                    let w_ms = w.since(SimTime::ZERO).as_nanos() / 1_000_000;
+                    if w_ms <= t { break; }
+                    t = w_ms;
+                } else {
+                    break;
+                }
+            }
+            c.finalize(at_ms(t + 10_000));
+            c.metrics()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.chunks_downloaded, b.chunks_downloaded);
+        prop_assert_eq!(a.mean_bitrate_kbps.to_bits(), b.mean_bitrate_kbps.to_bits());
+        prop_assert_eq!(a.rebuffer_ratio.to_bits(), b.rebuffer_ratio.to_bits());
+        prop_assert_eq!(a.qoe.to_bits(), b.qoe.to_bits());
+        prop_assert_eq!(a.switches, b.switches);
+        // sanity: stream bounded by its chunk count
+        prop_assert!(a.chunks_downloaded <= a.chunks_total);
+        prop_assert!(a.play_s <= chunks as f64 + 1e-9);
+    }
+}
