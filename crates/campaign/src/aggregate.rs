@@ -10,11 +10,17 @@ use std::fmt::Write;
 /// `1.96·σ/√n`) of one metric across a group.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stat {
+    /// Samples summarized (NaNs excluded).
     pub n: usize,
+    /// Sample mean.
     pub mean: f64,
+    /// Population standard deviation.
     pub std_dev: f64,
+    /// Normal-approximation 95% confidence half-width.
     pub ci95: f64,
+    /// Smallest sample.
     pub min: f64,
+    /// Largest sample.
     pub max: f64,
 }
 
@@ -51,11 +57,17 @@ pub fn stat(xs: &[f64]) -> Stat {
 pub struct GroupAgg {
     /// The shared coordinates (aggregated axis removed).
     pub coords: Coords,
+    /// Records in the group.
     pub n: usize,
+    /// Bottleneck utilization across the group.
     pub utilization: Stat,
+    /// p95 per-packet delay (ms) across the group.
     pub delay_p95_ms: Stat,
+    /// p95 queuing delay (ms) across the group.
     pub qdelay_p95_ms: Stat,
+    /// Total throughput (Mbit/s) across the group.
     pub total_tput_mbps: Stat,
+    /// Jain fairness across the group.
     pub jain: Stat,
 }
 

@@ -3,8 +3,9 @@
 //! ```text
 //! abc-campaign list
 //! abc-campaign expand tiny
+//! abc-campaign expand --file examples/campaigns/tiny.toml
 //! abc-campaign run tiny --out tiny.jsonl
-//! abc-campaign run cellular-matrix --scale fast --jobs 8
+//! abc-campaign run --file my-sweep.toml --scale fast --jobs 8
 //! abc-campaign export tiny.jsonl
 //! abc-campaign export tiny.jsonl --csv
 //! abc-campaign diff baseline.jsonl candidate.jsonl
@@ -12,7 +13,11 @@
 //!
 //! `run` writes a schema-versioned JSONL store that is bit-identical
 //! across reruns and worker-pool sizes; `diff` exits non-zero when the
-//! candidate regresses against the baseline.
+//! candidate regresses against the baseline. Campaigns come from the
+//! built-in presets or from a TOML file (`--file`, format reference in
+//! `docs/campaign-file.md`); every malformed-input path exits 2 through
+//! one `fail` helper, so flag typos and campaign-file errors report
+//! uniformly.
 
 use campaign::aggregate;
 use campaign::diff::{diff, DiffConfig};
@@ -20,20 +25,36 @@ use campaign::presets;
 use campaign::runner::RunOptions;
 use campaign::store::{self, ResultsStore};
 use experiments::figures::Scale;
+use std::fmt::Display;
+
+/// Malformed input — a flag, a preset name, a campaign file, a store —
+/// always reports and exits through here, with one format and one exit
+/// code (2). Exit 1 is reserved for the diff gate's "regression found".
+fn fail(msg: impl Display) -> ! {
+    eprintln!("abc-campaign: {msg}");
+    std::process::exit(2)
+}
 
 fn usage() -> ! {
     eprintln!(
         "abc-campaign — declarative sweep orchestration for the ABC reproduction
 
 USAGE:
-  abc-campaign list                              built-in campaign presets
-  abc-campaign expand <preset> [--scale S]       show the points without running
-  abc-campaign run <preset> [options]            execute and store results
+  abc-campaign list [--file F]                   built-in presets (or a file's campaign)
+  abc-campaign expand <preset|--file F> [--scale S]
+                                                 show the points without running
+  abc-campaign run <preset|--file F> [options]   execute and store results
   abc-campaign export <store.jsonl> [--csv] [--over AXIS]
                                                  aggregate a stored run
   abc-campaign merge <shard.jsonl>... [--out F]  stitch shard stores into one
   abc-campaign diff <baseline.jsonl> <candidate.jsonl> [options]
                                                  regression gate (exit 1 on regression)
+
+CAMPAIGN SOURCE:
+  <preset>                 a built-in (see `abc-campaign list`)
+  --file <campaign.toml>   a user-defined campaign file
+                           (format reference: docs/campaign-file.md;
+                           examples: examples/campaigns/)
 
 RUN OPTIONS:
   --scale full|fast|tiny   sweep scale (default full)
@@ -69,10 +90,7 @@ fn main() {
         None | Some("full") => Scale::Full,
         Some("fast") => Scale::Fast,
         Some("tiny") => Scale::Tiny,
-        Some(other) => {
-            eprintln!("unknown scale {other:?} (full|fast|tiny)");
-            std::process::exit(2);
-        }
+        Some(other) => fail(format!("unknown scale {other:?} (full|fast|tiny)")),
     };
     let positional: Vec<&String> = {
         // flag values must not be mistaken for positionals
@@ -95,16 +113,35 @@ fn main() {
         usage()
     };
 
+    let file = get("--file");
+
     match command.as_str() {
         "list" => {
-            println!("{:<18} DESCRIPTION", "PRESET");
-            for (name, desc, build) in presets::all() {
-                let n = build(Scale::Tiny).expand().len();
-                println!("{name:<18} {desc}  [{n} points at --scale tiny]");
+            if let Some(path) = &file {
+                let campaign = load_file(path, scale);
+                let points = campaign.expand();
+                println!(
+                    "{}  [{} point(s) at this scale, {} unfiltered]",
+                    campaign.name,
+                    points.len(),
+                    campaign.size_unfiltered()
+                );
+                for axis in &campaign.axes {
+                    println!("  axis {:<12} {}", axis.name, axis.labels().join(", "));
+                }
+                for f in &campaign.filters {
+                    println!("  filter {}", f.name);
+                }
+            } else {
+                println!("{:<18} DESCRIPTION", "PRESET");
+                for (name, desc, build) in presets::all() {
+                    let n = build(Scale::Tiny).expand().len();
+                    println!("{name:<18} {desc}  [{n} points at --scale tiny]");
+                }
             }
         }
         "expand" => {
-            let campaign = build_preset(positional.get(1), scale);
+            let campaign = build_campaign(positional.get(1), &file, scale);
             let points = campaign.expand();
             println!(
                 "# campaign {:?}: {} point(s) ({} unfiltered)",
@@ -117,7 +154,7 @@ fn main() {
             }
         }
         "run" => {
-            let campaign = build_preset(positional.get(1), scale);
+            let campaign = build_campaign(positional.get(1), &file, scale);
             let opts = RunOptions {
                 jobs: get("--jobs").map(|x| parse_flag("--jobs", &x)),
                 chunk: get("--chunk").map_or(32, |x| parse_flag("--chunk", &x)),
@@ -135,10 +172,7 @@ fn main() {
                 if resume && std::path::Path::new(&out).exists() {
                     let prior = match ResultsStore::load_allow_partial(&out) {
                         Ok(s) => s,
-                        Err(e) => {
-                            eprintln!("cannot load {out}: {e}");
-                            std::process::exit(1);
-                        }
+                        Err(e) => fail(format!("cannot load {out}: {e}")),
                     };
                     // An interrupted store must describe the same sweep: same
                     // campaign name, axes, and filters (record count may differ).
@@ -147,11 +181,10 @@ fn main() {
                         || prior.header.axes != expect.axes
                         || prior.header.filters != expect.filters
                     {
-                        eprintln!(
+                        fail(format!(
                             "cannot resume: {out} was produced by a different campaign \
                              (header mismatch); rerun without --resume or pick another --out"
-                        );
-                        std::process::exit(1);
+                        ));
                     }
                     prior.records
                 } else {
@@ -169,28 +202,21 @@ fn main() {
             } else {
                 out.clone()
             };
-            let file = match std::fs::File::create(&target) {
+            let sink = match std::fs::File::create(&target) {
                 Ok(f) => f,
-                Err(e) => {
-                    eprintln!("cannot write {target}: {e}");
-                    std::process::exit(1);
-                }
+                Err(e) => fail(format!("cannot write {target}: {e}")),
             };
-            let mut w = std::io::BufWriter::new(file);
+            let mut w = std::io::BufWriter::new(sink);
             let written = match campaign::runner::run_campaign_streaming_sharded(
                 &campaign, &opts, prior, shard, &mut w,
             ) {
                 Ok(n) => n,
-                Err(e) => {
-                    eprintln!("cannot write {target}: {e}");
-                    std::process::exit(1);
-                }
+                Err(e) => fail(format!("cannot write {target}: {e}")),
             };
             drop(w);
             if target != out {
                 if let Err(e) = std::fs::rename(&target, &out) {
-                    eprintln!("cannot move {target} into place: {e}");
-                    std::process::exit(1);
+                    fail(format!("cannot move {target} into place: {e}"));
                 }
             }
             if resume && opts.progress {
@@ -223,21 +249,16 @@ fn main() {
         }
         "merge" => {
             if positional.len() < 2 {
-                eprintln!("merge needs at least one shard store");
-                std::process::exit(2);
+                fail("merge needs at least one shard store");
             }
             let stores: Vec<ResultsStore> = positional[1..].iter().map(|p| load(Some(p))).collect();
             let merged = match store::merge_stores(&stores) {
                 Ok(m) => m,
-                Err(e) => {
-                    eprintln!("cannot merge: {e}");
-                    std::process::exit(1);
-                }
+                Err(e) => fail(format!("cannot merge: {e}")),
             };
             let out = get("--out").unwrap_or_else(|| "campaign-merged.jsonl".into());
             if let Err(e) = merged.save(&out) {
-                eprintln!("cannot write {out}: {e}");
-                std::process::exit(1);
+                fail(format!("cannot write {out}: {e}"));
             }
             eprintln!(
                 "[abc-campaign] merged {} store(s) → {out}: {} record(s) (schema {})",
@@ -280,10 +301,7 @@ fn parse_shard(value: &str) -> (usize, usize) {
     });
     match parsed {
         Some(s) => s,
-        None => {
-            eprintln!("--shard needs k/n with 1 <= k <= n, got {value:?}");
-            std::process::exit(2);
-        }
+        None => fail(format!("--shard needs k/n with 1 <= k <= n, got {value:?}")),
     }
 }
 
@@ -292,21 +310,38 @@ fn parse_shard(value: &str) -> (usize, usize) {
 fn parse_flag(flag: &str, value: &str) -> usize {
     match value.parse::<usize>() {
         Ok(n) if n >= 1 => n,
-        _ => {
-            eprintln!("{flag} needs a positive integer, got {value:?}");
-            std::process::exit(2);
-        }
+        _ => fail(format!("{flag} needs a positive integer, got {value:?}")),
     }
 }
 
-fn build_preset(name: Option<&&String>, scale: Scale) -> campaign::Campaign {
-    let Some(name) = name else { usage() };
-    match presets::by_name(name, scale) {
-        Some(c) => c,
-        None => {
-            eprintln!("unknown preset {name:?}; `abc-campaign list` shows the built-ins");
-            std::process::exit(2);
-        }
+/// The campaign a command acts on: a `--file` campaign file, or a named
+/// built-in preset. Giving both (or neither) is an error.
+fn build_campaign(
+    name: Option<&&String>,
+    file: &Option<String>,
+    scale: Scale,
+) -> campaign::Campaign {
+    match (name, file) {
+        (Some(name), Some(_)) => fail(format!(
+            "both a preset ({name:?}) and --file given; pick one"
+        )),
+        (None, Some(path)) => load_file(path, scale),
+        (Some(name), None) => match presets::by_name(name, scale) {
+            Some(c) => c,
+            None => fail(format!(
+                "unknown preset {name:?}; `abc-campaign list` shows the built-ins, \
+                 --file <campaign.toml> loads your own"
+            )),
+        },
+        (None, None) => usage(),
+    }
+}
+
+/// Load a campaign file, reporting parse errors with their line/column.
+fn load_file(path: &str, scale: Scale) -> campaign::Campaign {
+    match campaign::file::load(path, scale) {
+        Ok(c) => c,
+        Err(e) => fail(format!("{path}: {e}")),
     }
 }
 
@@ -314,9 +349,6 @@ fn load(path: Option<&&String>) -> ResultsStore {
     let Some(path) = path else { usage() };
     match ResultsStore::load(path) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot load {path}: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail(format!("cannot load {path}: {e}")),
     }
 }

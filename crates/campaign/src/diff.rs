@@ -36,9 +36,13 @@ impl Default for DiffConfig {
 /// One metric's movement on one matched record.
 #[derive(Debug, Clone)]
 pub struct MetricDelta {
+    /// The record's coordinate key (`axis=label,…`).
     pub key: String,
+    /// Which headline metric moved.
     pub metric: &'static str,
+    /// The baseline value.
     pub baseline: f64,
+    /// The candidate value.
     pub candidate: f64,
 }
 
@@ -54,8 +58,11 @@ impl MetricDelta {
 /// The outcome of diffing candidate results against a baseline.
 #[derive(Debug, Clone, Default)]
 pub struct DiffReport {
+    /// Records present (by coordinate key) in both stores.
     pub matched: usize,
+    /// Metric movements beyond the configured thresholds, for the worse.
     pub regressions: Vec<MetricDelta>,
+    /// Metric movements beyond the thresholds, for the better.
     pub improvements: Vec<MetricDelta>,
     /// Coordinate keys present only in the baseline store.
     pub only_baseline: Vec<String>,
@@ -64,10 +71,12 @@ pub struct DiffReport {
 }
 
 impl DiffReport {
+    /// Did any metric regress? (`abc-campaign diff` exits 1 on this.)
     pub fn has_regressions(&self) -> bool {
         !self.regressions.is_empty()
     }
 
+    /// Human-readable summary, one line per movement.
     pub fn render(&self) -> String {
         let mut out = String::new();
         writeln!(

@@ -1,5 +1,5 @@
 //! The matrix/pareto/RTT-grid figures, migrated onto campaigns: each
-//! figure's sweep is a [`Campaign`] preset and its body is a **pure
+//! figure's sweep is a [`Campaign`](crate::Campaign) preset and its body is a **pure
 //! renderer over run records** — the same records `abc-campaign run`
 //! writes to a store, so a stored sweep can be re-rendered without
 //! re-simulating.

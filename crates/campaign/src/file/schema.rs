@@ -1,0 +1,1159 @@
+//! The campaign-file schema: compiling a parsed TOML document into a
+//! [`Campaign`].
+//!
+//! The format is documented end to end in `docs/campaign-file.md` (every
+//! snippet there is parsed by a test). In outline:
+//!
+//! ```toml
+//! [campaign]
+//! name = "my-sweep"
+//!
+//! [base]                      # ScenarioSpec literals; defaults match
+//! scheme = "ABC"              # ScenarioSpec::single(ABC, 0 Mbit/s)
+//! link = { constant_mbps = 12.0 }
+//! duration_s = 60
+//!
+//! [[axis]]                    # axes expand row-major, last fastest
+//! name = "scheme"
+//! schemes = ["ABC", "Cubic"]
+//!
+//! [[axis]]
+//! name = "seed"
+//! seeds = [1, 2]
+//!
+//! [[filter]]                  # drop points before execution
+//! name = "abc-seed-1-only"
+//! when = { scheme = "ABC" }
+//! require = { seed = 1 }
+//!
+//! [scale.tiny]                # overrides applied at --scale tiny
+//! duration_s = 2
+//! ```
+//!
+//! Every error carries the line/column of the offending key or value.
+//! Unknown keys are rejected (a typo must not silently produce a
+//! different sweep), and empty axes / duplicate axis names are caught
+//! here with positions instead of panicking later in [`Campaign`].
+
+use super::toml::{self, Pos, Spanned, Table, TomlError, Value};
+use crate::spec::{Axis, AxisValue, Campaign, Coords, Filter};
+use experiments::engine::{FlowSchedule, ScenarioSpec, Topology, WorkloadEntry};
+use experiments::figures::Scale;
+use experiments::scenario::LinkSpec;
+use experiments::Scheme;
+use netsim::packet::MTU_BYTES;
+use netsim::rate::Rate;
+use netsim::time::{SimDuration, SimTime};
+use workload::{AbrWorkload, ArrivalProcess, RtcWorkload, SizeDist, WebWorkload, WorkloadSpec};
+
+/// Compile campaign-file text into a [`Campaign`] at the given
+/// [`Scale`] (which selects the matching `[scale.*]` override table).
+pub fn from_str(text: &str, scale: Scale) -> Result<Campaign, TomlError> {
+    let root = toml::parse(text)?;
+    compile(&root, scale)
+}
+
+fn err(pos: Pos, message: impl Into<String>) -> TomlError {
+    TomlError::new(pos, message)
+}
+
+/// Reject entries whose key is not in `allowed`.
+fn check_keys(t: &Table, context: &str, allowed: &[&str]) -> Result<(), TomlError> {
+    for (k, v) in &t.entries {
+        if !allowed.contains(&k.as_str()) {
+            return Err(err(
+                v.pos,
+                format!(
+                    "unknown key `{k}` in {context} (expected one of: {})",
+                    allowed.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn expect_table<'a>(s: &'a Spanned, what: &str) -> Result<&'a Table, TomlError> {
+    s.value.as_table().ok_or_else(|| {
+        err(
+            s.pos,
+            format!("{what} must be a table, found {}", s.value.kind()),
+        )
+    })
+}
+
+fn expect_str<'a>(s: &'a Spanned, what: &str) -> Result<&'a str, TomlError> {
+    s.value.as_str().ok_or_else(|| {
+        err(
+            s.pos,
+            format!("{what} must be a string, found {}", s.value.kind()),
+        )
+    })
+}
+
+fn expect_array<'a>(s: &'a Spanned, what: &str) -> Result<&'a [Spanned], TomlError> {
+    s.value.as_array().ok_or_else(|| {
+        err(
+            s.pos,
+            format!("{what} must be an array, found {}", s.value.kind()),
+        )
+    })
+}
+
+fn expect_f64(s: &Spanned, what: &str) -> Result<f64, TomlError> {
+    s.value.as_f64().ok_or_else(|| {
+        err(
+            s.pos,
+            format!("{what} must be a number, found {}", s.value.kind()),
+        )
+    })
+}
+
+/// A non-negative integer (durations, seeds, counts).
+fn expect_u64(s: &Spanned, what: &str) -> Result<u64, TomlError> {
+    match s.value.as_int() {
+        Some(i) if i >= 0 => Ok(i as u64),
+        Some(i) => Err(err(
+            s.pos,
+            format!("{what} must be non-negative, found {i}"),
+        )),
+        None => Err(err(
+            s.pos,
+            format!("{what} must be an integer, found {}", s.value.kind()),
+        )),
+    }
+}
+
+/// A [`expect_u64`] that must also fit `u32` (counts, rates, sizes the
+/// workload structs carry as `u32`).
+fn expect_u32(s: &Spanned, what: &str) -> Result<u32, TomlError> {
+    let v = expect_u64(s, what)?;
+    u32::try_from(v).map_err(|_| err(s.pos, format!("{what} is too large ({v})")))
+}
+
+/// A [`expect_u64`] that must be at least 1 (intervals, chunk lengths —
+/// zero would trip the workload constructors' asserts downstream).
+fn expect_positive(s: &Spanned, what: &str) -> Result<u64, TomlError> {
+    match expect_u64(s, what)? {
+        0 => Err(err(s.pos, format!("{what} must be at least 1"))),
+        v => Ok(v),
+    }
+}
+
+/// A rate in Mbit/s: finite and non-negative (a negative or NaN rate
+/// would flow into the simulator as nonsense).
+fn expect_rate_mbps(s: &Spanned, what: &str) -> Result<Rate, TomlError> {
+    let mbps = expect_f64(s, what)?;
+    if !mbps.is_finite() || mbps < 0.0 {
+        return Err(err(
+            s.pos,
+            format!("{what} must be a non-negative rate in Mbit/s, found {mbps}"),
+        ));
+    }
+    Ok(Rate::from_mbps(mbps))
+}
+
+fn compile(root: &Table, scale: Scale) -> Result<Campaign, TomlError> {
+    check_keys(
+        root,
+        "the top level",
+        &["campaign", "base", "axis", "filter", "scale"],
+    )?;
+
+    // [campaign] name = "…"
+    let meta = root
+        .get("campaign")
+        .ok_or_else(|| err(root.pos, "missing [campaign] table"))?;
+    let meta_t = expect_table(meta, "[campaign]")?;
+    check_keys(meta_t, "[campaign]", &["name"])?;
+    let name = expect_str(
+        meta_t
+            .get("name")
+            .ok_or_else(|| err(meta.pos, "[campaign] needs a `name`"))?,
+        "campaign name",
+    )?
+    .to_string();
+
+    // [base] + the [scale.<scale>] override, applied in file order.
+    let mut base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::ZERO));
+    if let Some(b) = root.get("base") {
+        apply_settings(&mut base, expect_table(b, "[base]")?, "[base]")?;
+    }
+    if let Some(s) = root.get("scale") {
+        let s_t = expect_table(s, "[scale]")?;
+        check_keys(s_t, "[scale]", &["full", "fast", "tiny"])?;
+        let key = match scale {
+            Scale::Full => "full",
+            Scale::Fast => "fast",
+            Scale::Tiny => "tiny",
+        };
+        if let Some(over) = s_t.get(key) {
+            let ctx = format!("[scale.{key}]");
+            apply_settings(&mut base, expect_table(over, &ctx)?, &ctx)?;
+        }
+    }
+
+    let mut campaign = Campaign::new(name, base);
+
+    // [[axis]] …
+    if let Some(axes) = root.get("axis") {
+        for a in expect_array(axes, "[[axis]]")? {
+            let axis = compile_axis(expect_table(a, "[[axis]]")?, a.pos)?;
+            if campaign.axes.iter().any(|x| x.name == axis.name) {
+                return Err(err(a.pos, format!("duplicate axis `{}`", axis.name)));
+            }
+            campaign.axes.push(axis);
+        }
+    }
+
+    // [[filter]] …
+    if let Some(filters) = root.get("filter") {
+        let axis_names: Vec<String> = campaign.axes.iter().map(|a| a.name.clone()).collect();
+        for f in expect_array(filters, "[[filter]]")? {
+            campaign.filters.push(compile_filter(
+                expect_table(f, "[[filter]]")?,
+                f.pos,
+                &axis_names,
+            )?);
+        }
+    }
+
+    Ok(campaign)
+}
+
+/// The scenario-parameter keys `[base]`, `[scale.*]`, and axis values
+/// share. Each maps to one [`AxisValue`] write.
+const SETTING_KEYS: &[&str] = &[
+    "scheme",
+    "link",
+    "topology",
+    "qdisc",
+    "rtt_ms",
+    "buffer_pkts",
+    "duration_s",
+    "warmup_s",
+    "seed",
+    "flows",
+    "workloads",
+];
+
+fn apply_settings(spec: &mut ScenarioSpec, t: &Table, context: &str) -> Result<(), TomlError> {
+    check_keys(t, context, SETTING_KEYS)?;
+    for (key, v) in &t.entries {
+        setting(key, v)?.apply(spec);
+    }
+    Ok(())
+}
+
+/// One scenario-parameter write, as the [`AxisValue`] it denotes.
+fn setting(key: &str, v: &Spanned) -> Result<AxisValue, TomlError> {
+    Ok(match key {
+        "scheme" => AxisValue::Scheme(scheme(v)?),
+        "link" => AxisValue::Link(link_spec(v)?),
+        "topology" => AxisValue::Topology(topology(v)?),
+        "qdisc" => AxisValue::Qdisc(qdisc(v)?),
+        "rtt_ms" => AxisValue::RttMs(expect_u64(v, "`rtt_ms`")?),
+        "buffer_pkts" => AxisValue::BufferPkts(expect_u64(v, "`buffer_pkts`")? as usize),
+        "duration_s" => AxisValue::DurationSecs(expect_u64(v, "`duration_s`")?),
+        "warmup_s" => AxisValue::WarmupSecs(expect_u64(v, "`warmup_s`")?),
+        "seed" => AxisValue::Seed(expect_u64(v, "`seed`")?),
+        "flows" => {
+            let n = expect_u64(v, "`flows`")?;
+            AxisValue::Flows(if n == 0 {
+                FlowSchedule::Explicit(Vec::new())
+            } else {
+                let n = u32::try_from(n)
+                    .map_err(|_| err(v.pos, format!("`flows` is too large ({n})")))?;
+                FlowSchedule::backlogged(n)
+            })
+        }
+        "workloads" => {
+            let entries = expect_array(v, "`workloads`")?
+                .iter()
+                .map(workload_entry)
+                .collect::<Result<Vec<_>, _>>()?;
+            AxisValue::Workloads(entries)
+        }
+        other => return Err(err(v.pos, format!("unknown setting `{other}`"))),
+    })
+}
+
+/// A scheme by its display name (`ABC`, `Cubic+Codel`, `ABC_50`, …),
+/// case-insensitively.
+fn scheme(v: &Spanned) -> Result<Scheme, TomlError> {
+    let s = expect_str(v, "`scheme`")?;
+    parse_scheme(s).ok_or_else(|| {
+        err(
+            v.pos,
+            format!("unknown scheme {s:?} (try ABC, Cubic, Cubic+Codel, BBR, …)"),
+        )
+    })
+}
+
+/// Parse a scheme name as [`Scheme::name`] renders it (or any alias
+/// [`Scheme::from_name`] knows). Kept as a re-exportable alias so the
+/// file layer and `abcsim` cannot drift apart.
+pub fn parse_scheme(s: &str) -> Option<Scheme> {
+    Scheme::from_name(s)
+}
+
+/// A link literal:
+/// `{ constant_mbps = 12.0 }`, `{ trace = "Verizon1" }`,
+/// `{ square = { a_mbps = 12.0, b_mbps = 24.0, half_period_ms = 500 } }`,
+/// or `{ steps = [[0.0, 6.0], [1.5, 18.0]] }` (seconds, Mbit/s).
+fn link_spec(v: &Spanned) -> Result<LinkSpec, TomlError> {
+    let t = expect_table(v, "a link literal")?;
+    check_keys(
+        t,
+        "a link literal",
+        &["constant_mbps", "trace", "square", "steps"],
+    )?;
+    if t.entries.len() != 1 {
+        return Err(err(
+            v.pos,
+            "a link literal needs exactly one of: constant_mbps, trace, square, steps",
+        ));
+    }
+    let (key, val) = &t.entries[0];
+    Ok(match key.as_str() {
+        "constant_mbps" => LinkSpec::Constant(expect_rate_mbps(val, "`constant_mbps`")?),
+        "trace" => {
+            let name = expect_str(val, "`trace`")?;
+            let trace = cellular::builtin(name).ok_or_else(|| {
+                err(
+                    val.pos,
+                    format!("unknown built-in trace {name:?} (try Verizon1)"),
+                )
+            })?;
+            LinkSpec::Trace(trace)
+        }
+        "square" => {
+            let sq = expect_table(val, "`square`")?;
+            check_keys(sq, "`square`", &["a_mbps", "b_mbps", "half_period_ms"])?;
+            let field = |k: &str| -> Result<&Spanned, TomlError> {
+                sq.get(k)
+                    .ok_or_else(|| err(val.pos, format!("`square` needs `{k}`")))
+            };
+            LinkSpec::Square {
+                a: expect_rate_mbps(field("a_mbps")?, "`a_mbps`")?,
+                b: expect_rate_mbps(field("b_mbps")?, "`b_mbps`")?,
+                half_period: SimDuration::from_millis(expect_positive(
+                    field("half_period_ms")?,
+                    "`half_period_ms`",
+                )?),
+            }
+        }
+        "steps" => {
+            let steps = expect_array(val, "`steps`")?
+                .iter()
+                .map(|p| {
+                    let pair = expect_array(p, "a step")?;
+                    if pair.len() != 2 {
+                        return Err(err(p.pos, "a step is a [seconds, mbps] pair"));
+                    }
+                    let t_s = expect_f64(&pair[0], "step time")?;
+                    let rate = expect_rate_mbps(&pair[1], "step rate")?;
+                    if !t_s.is_finite() || t_s < 0.0 {
+                        return Err(err(pair[0].pos, "step time must be non-negative"));
+                    }
+                    Ok((SimTime::from_secs_f64(t_s), rate))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if steps.is_empty() {
+                return Err(err(val.pos, "`steps` must not be empty"));
+            }
+            if steps.windows(2).any(|w| w[0].0 > w[1].0) {
+                return Err(err(val.pos, "`steps` times must be non-decreasing"));
+            }
+            LinkSpec::Steps(steps)
+        }
+        _ => unreachable!("key list checked above"),
+    })
+}
+
+/// A topology literal: `{ single = <link> }`,
+/// `{ two_hop = { up = <link>, down = <link> } }`, or
+/// `{ mixed_path = { wireless = <link>, wired_mbps = 12.0 } }`.
+fn topology(v: &Spanned) -> Result<Topology, TomlError> {
+    let t = expect_table(v, "a topology literal")?;
+    check_keys(
+        t,
+        "a topology literal",
+        &["single", "two_hop", "mixed_path"],
+    )?;
+    if t.entries.len() != 1 {
+        return Err(err(
+            v.pos,
+            "a topology literal needs exactly one of: single, two_hop, mixed_path \
+             (wifi topologies are not expressible in campaign files yet)",
+        ));
+    }
+    let (key, val) = &t.entries[0];
+    Ok(match key.as_str() {
+        "single" => Topology::SingleBottleneck(link_spec(val)?),
+        "two_hop" => {
+            let h = expect_table(val, "`two_hop`")?;
+            check_keys(h, "`two_hop`", &["up", "down"])?;
+            let field = |k: &str| -> Result<&Spanned, TomlError> {
+                h.get(k)
+                    .ok_or_else(|| err(val.pos, format!("`two_hop` needs `{k}`")))
+            };
+            Topology::TwoHop {
+                up: link_spec(field("up")?)?,
+                down: link_spec(field("down")?)?,
+            }
+        }
+        "mixed_path" => {
+            let h = expect_table(val, "`mixed_path`")?;
+            check_keys(h, "`mixed_path`", &["wireless", "wired_mbps"])?;
+            let field = |k: &str| -> Result<&Spanned, TomlError> {
+                h.get(k)
+                    .ok_or_else(|| err(val.pos, format!("`mixed_path` needs `{k}`")))
+            };
+            Topology::MixedPath {
+                wireless: link_spec(field("wireless")?)?,
+                wired: expect_rate_mbps(field("wired_mbps")?, "`wired_mbps`")?,
+            }
+        }
+        _ => unreachable!("key list checked above"),
+    })
+}
+
+/// A qdisc literal: `"scheme-default"` or `"droptail"`. (The closure-y
+/// overrides — explicit ABC configs, dual-queue policies — stay
+/// Rust-side.)
+fn qdisc(v: &Spanned) -> Result<experiments::engine::QdiscSpec, TomlError> {
+    let s = expect_str(v, "`qdisc`")?;
+    match s {
+        "scheme-default" => Ok(experiments::engine::QdiscSpec::SchemeDefault),
+        "droptail" => Ok(experiments::engine::QdiscSpec::DropTail),
+        other => Err(err(
+            v.pos,
+            format!("unknown qdisc {other:?} (expected \"scheme-default\" or \"droptail\")"),
+        )),
+    }
+}
+
+/// A workload entry:
+/// `{ web = { load = 0.5, link_mbps = 12.0 } }`,
+/// `{ rtc = { kbps = 300 } }`, `{ video = { hd_stream_s = 60 } }`, …
+/// with optional `scheme`, `start_s`, `entry_hop`, and `label` keys.
+fn workload_entry(v: &Spanned) -> Result<WorkloadEntry, TomlError> {
+    let t = expect_table(v, "a workload entry")?;
+    check_keys(
+        t,
+        "a workload entry",
+        &[
+            "web",
+            "rtc",
+            "video",
+            "scheme",
+            "start_s",
+            "entry_hop",
+            "label",
+        ],
+    )?;
+    let kinds: Vec<&(String, Spanned)> = t
+        .entries
+        .iter()
+        .filter(|(k, _)| matches!(k.as_str(), "web" | "rtc" | "video"))
+        .collect();
+    let [(kind, val)] = kinds.as_slice() else {
+        return Err(err(
+            v.pos,
+            "a workload entry needs exactly one of: web, rtc, video",
+        ));
+    };
+    let spec = match kind.as_str() {
+        "web" => WorkloadSpec::Web(web_workload(val)?),
+        "rtc" => WorkloadSpec::Rtc(rtc_workload(val)?),
+        "video" => WorkloadSpec::AbrVideo(abr_workload(val)?),
+        _ => unreachable!("filtered above"),
+    };
+    let mut entry = WorkloadEntry::new(spec);
+    if let Some(s) = t.get("scheme") {
+        entry = entry.scheme(scheme(s)?);
+    }
+    if let Some(s) = t.get("start_s") {
+        entry = entry.start_at(SimTime::ZERO + SimDuration::from_secs(expect_u64(s, "`start_s`")?));
+    }
+    if let Some(h) = t.get("entry_hop") {
+        entry = entry.entry_hop(expect_u64(h, "`entry_hop`")? as usize);
+    }
+    if let Some(l) = t.get("label") {
+        entry = entry.label(expect_str(l, "`label`")?);
+    }
+    Ok(entry)
+}
+
+/// `{ load = 0.5, link_mbps = 12.0 }` (offered-load fraction with the
+/// built-in object sizes) or `{ per_sec = 10.0 [, object_bytes = 50000]
+/// [, on_s = 2, off_s = 8] }` (explicit arrivals; fixed sizes when
+/// `object_bytes` is given, the built-in web CDF otherwise).
+fn web_workload(v: &Spanned) -> Result<WebWorkload, TomlError> {
+    let t = expect_table(v, "`web`")?;
+    check_keys(
+        t,
+        "`web`",
+        &[
+            "load",
+            "link_mbps",
+            "per_sec",
+            "object_bytes",
+            "on_s",
+            "off_s",
+        ],
+    )?;
+    match (t.get("load"), t.get("per_sec")) {
+        (Some(load), None) => {
+            let link = t
+                .get("link_mbps")
+                .ok_or_else(|| err(v.pos, "`web.load` needs `link_mbps` as its reference rate"))?;
+            for bad in ["object_bytes", "on_s", "off_s"] {
+                if let Some(x) = t.get(bad) {
+                    return Err(err(x.pos, format!("`{bad}` only applies with `per_sec`")));
+                }
+            }
+            let load_frac = expect_f64(load, "`load`")?;
+            if !load_frac.is_finite() || load_frac < 0.0 {
+                return Err(err(
+                    load.pos,
+                    format!("`load` must be a non-negative fraction, found {load_frac}"),
+                ));
+            }
+            Ok(WebWorkload::poisson_load(
+                load_frac,
+                expect_rate_mbps(link, "`link_mbps`")?,
+            ))
+        }
+        (None, Some(per_sec_field)) => {
+            let per_sec = expect_f64(per_sec_field, "`per_sec`")?;
+            // NaN would never terminate the arrival loop; negative is a
+            // silent no-traffic workload — both are mistakes.
+            if !per_sec.is_finite() || per_sec < 0.0 {
+                return Err(err(
+                    per_sec_field.pos,
+                    format!("`per_sec` must be a non-negative rate, found {per_sec}"),
+                ));
+            }
+            let arrivals = match (t.get("on_s"), t.get("off_s")) {
+                (Some(on), Some(off)) => ArrivalProcess::OnOff {
+                    per_sec,
+                    // a zero on-phase would make every cycle silent (and a
+                    // zero on+off period divides by zero downstream)
+                    on: SimDuration::from_secs(expect_positive(on, "`on_s`")?),
+                    off: SimDuration::from_secs(expect_u64(off, "`off_s`")?),
+                },
+                (None, None) => ArrivalProcess::Poisson { per_sec },
+                _ => return Err(err(v.pos, "`on_s` and `off_s` come together")),
+            };
+            let sizes = match t.get("object_bytes") {
+                Some(b) => SizeDist::Fixed(expect_u64(b, "`object_bytes`")?),
+                None => SizeDist::web_objects(),
+            };
+            Ok(WebWorkload { arrivals, sizes })
+        }
+        _ => Err(err(v.pos, "`web` needs exactly one of `load` or `per_sec`")),
+    }
+}
+
+/// `{ kbps = 300 }` (a 30 fps call with a 100 ms budget) or
+/// `{ frame_bytes = 1200, interval_ms = 33, deadline_ms = 100 }`.
+fn rtc_workload(v: &Spanned) -> Result<RtcWorkload, TomlError> {
+    let t = expect_table(v, "`rtc`")?;
+    check_keys(
+        t,
+        "`rtc`",
+        &["kbps", "frame_bytes", "interval_ms", "deadline_ms"],
+    )?;
+    if let Some(kbps) = t.get("kbps") {
+        for bad in ["frame_bytes", "interval_ms", "deadline_ms"] {
+            if let Some(x) = t.get(bad) {
+                return Err(err(x.pos, format!("`{bad}` conflicts with `kbps`")));
+            }
+        }
+        return Ok(RtcWorkload::video_call(expect_u32(kbps, "`kbps`")?));
+    }
+    let field = |k: &str| -> Result<&Spanned, TomlError> {
+        t.get(k)
+            .ok_or_else(|| err(v.pos, format!("`rtc` needs `{k}` (or just `kbps`)")))
+    };
+    let frame_field = field("frame_bytes")?;
+    let frame_bytes = expect_u32(frame_field, "`frame_bytes`")?;
+    if !(1..=MTU_BYTES).contains(&frame_bytes) {
+        return Err(err(
+            frame_field.pos,
+            format!("`frame_bytes` must be in 1..={MTU_BYTES} (one frame per packet), found {frame_bytes}"),
+        ));
+    }
+    Ok(RtcWorkload {
+        frame_bytes,
+        interval: SimDuration::from_millis(expect_positive(
+            field("interval_ms")?,
+            "`interval_ms`",
+        )?),
+        deadline: SimDuration::from_millis(expect_u64(field("deadline_ms")?, "`deadline_ms`")?),
+    })
+}
+
+/// `{ hd_stream_s = 60 }` (the built-in HD ladder) or an explicit
+/// `{ ladder_kbps = […], chunk_s = 2, startup_chunks = 1,
+/// max_buffer_s = 12, stream_s = 60, safety = 0.8 }`.
+fn abr_workload(v: &Spanned) -> Result<AbrWorkload, TomlError> {
+    let t = expect_table(v, "`video`")?;
+    check_keys(
+        t,
+        "`video`",
+        &[
+            "hd_stream_s",
+            "ladder_kbps",
+            "chunk_s",
+            "startup_chunks",
+            "max_buffer_s",
+            "stream_s",
+            "safety",
+        ],
+    )?;
+    if let Some(hd) = t.get("hd_stream_s") {
+        if t.entries.len() != 1 {
+            return Err(err(
+                v.pos,
+                "`hd_stream_s` stands alone (it fixes the whole ladder)",
+            ));
+        }
+        return Ok(AbrWorkload::hd(SimDuration::from_secs(expect_u64(
+            hd,
+            "`hd_stream_s`",
+        )?)));
+    }
+    let field = |k: &str| -> Result<&Spanned, TomlError> {
+        t.get(k).ok_or_else(|| {
+            err(
+                v.pos,
+                format!("`video` needs `{k}` (or just `hd_stream_s`)"),
+            )
+        })
+    };
+    let ladder_field = field("ladder_kbps")?;
+    let ladder = expect_array(ladder_field, "`ladder_kbps`")?
+        .iter()
+        .map(|x| expect_u32(x, "a ladder rung"))
+        .collect::<Result<Vec<_>, _>>()?;
+    if ladder.is_empty() {
+        return Err(err(ladder_field.pos, "`ladder_kbps` must not be empty"));
+    }
+    if ladder.windows(2).any(|w| w[0] > w[1]) {
+        return Err(err(ladder_field.pos, "`ladder_kbps` must ascend"));
+    }
+    Ok(AbrWorkload {
+        ladder_kbps: ladder,
+        chunk: SimDuration::from_secs(expect_positive(field("chunk_s")?, "`chunk_s`")?),
+        startup_chunks: expect_u32(field("startup_chunks")?, "`startup_chunks`")?,
+        max_buffer: SimDuration::from_secs(expect_u64(field("max_buffer_s")?, "`max_buffer_s`")?),
+        stream: SimDuration::from_secs(expect_u64(field("stream_s")?, "`stream_s`")?),
+        safety: expect_f64(field("safety")?, "`safety`")?,
+    })
+}
+
+/// One `[[axis]]` table: a `name` plus exactly one value list — a typed
+/// shorthand (`schemes`, `traces`, `rtt_ms`, `buffer_pkts`, `seeds`,
+/// `durations_s`) or an explicit `[[axis.values]]` list.
+fn compile_axis(t: &Table, pos: Pos) -> Result<Axis, TomlError> {
+    check_keys(
+        t,
+        "[[axis]]",
+        &[
+            "name",
+            "schemes",
+            "traces",
+            "rtt_ms",
+            "buffer_pkts",
+            "seeds",
+            "durations_s",
+            "values",
+        ],
+    )?;
+    let name = expect_str(
+        t.get("name")
+            .ok_or_else(|| err(pos, "[[axis]] needs a `name`"))?,
+        "axis name",
+    )?
+    .to_string();
+    let lists: Vec<&(String, Spanned)> = t.entries.iter().filter(|(k, _)| k != "name").collect();
+    let [(kind, val)] = lists.as_slice() else {
+        return Err(err(
+            pos,
+            format!(
+                "axis `{name}` needs exactly one value list \
+                 (schemes, traces, rtt_ms, buffer_pkts, seeds, durations_s, or values)"
+            ),
+        ));
+    };
+    let values: Vec<(String, AxisValue)> = match kind.as_str() {
+        "schemes" => expect_array(val, "`schemes`")?
+            .iter()
+            .map(|s| scheme(s).map(|sch| (sch.name(), AxisValue::Scheme(sch))))
+            .collect::<Result<_, _>>()?,
+        "traces" => expect_array(val, "`traces`")?
+            .iter()
+            .map(|s| {
+                let n = expect_str(s, "a trace name")?;
+                let trace = cellular::builtin(n).ok_or_else(|| {
+                    err(
+                        s.pos,
+                        format!("unknown built-in trace {n:?} (try Verizon1)"),
+                    )
+                })?;
+                Ok((trace.name.clone(), AxisValue::Link(LinkSpec::Trace(trace))))
+            })
+            .collect::<Result<_, _>>()?,
+        "rtt_ms" => int_axis(val, "`rtt_ms`", AxisValue::RttMs)?,
+        "buffer_pkts" => int_axis(val, "`buffer_pkts`", |p| AxisValue::BufferPkts(p as usize))?,
+        "seeds" => int_axis(val, "`seeds`", AxisValue::Seed)?,
+        "durations_s" => int_axis(val, "`durations_s`", AxisValue::DurationSecs)?,
+        "values" => expect_array(val, "`values`")?
+            .iter()
+            .map(|entry| {
+                let et = expect_table(entry, "[[axis.values]]")?;
+                let label = expect_str(
+                    et.get("label")
+                        .ok_or_else(|| err(entry.pos, "[[axis.values]] needs a `label`"))?,
+                    "value label",
+                )?
+                .to_string();
+                let settings: Vec<&(String, Spanned)> =
+                    et.entries.iter().filter(|(k, _)| k != "label").collect();
+                let [(key, v)] = settings.as_slice() else {
+                    return Err(err(
+                        entry.pos,
+                        format!(
+                            "value {label:?} needs exactly one setting \
+                             (one of: {})",
+                            SETTING_KEYS.join(", ")
+                        ),
+                    ));
+                };
+                if !SETTING_KEYS.contains(&key.as_str()) {
+                    return Err(err(
+                        v.pos,
+                        format!(
+                            "unknown setting `{key}` (expected one of: {})",
+                            SETTING_KEYS.join(", ")
+                        ),
+                    ));
+                }
+                Ok((label, setting(key, v)?))
+            })
+            .collect::<Result<_, _>>()?,
+        _ => unreachable!("key list checked above"),
+    };
+    if values.is_empty() {
+        return Err(err(val.pos, format!("axis `{name}` has no values")));
+    }
+    // Duplicate labels would expand to points with identical coordinate
+    // keys, which diff/aggregate silently conflate — reject them here.
+    for (i, (label, _)) in values.iter().enumerate() {
+        if values[..i].iter().any(|(l, _)| l == label) {
+            return Err(err(
+                val.pos,
+                format!("axis `{name}` has duplicate value label {label:?}"),
+            ));
+        }
+    }
+    Ok(Axis::new(name, values))
+}
+
+/// An integer-valued shorthand axis: labels are the numbers themselves.
+fn int_axis(
+    val: &Spanned,
+    what: &str,
+    make: impl Fn(u64) -> AxisValue,
+) -> Result<Vec<(String, AxisValue)>, TomlError> {
+    expect_array(val, what)?
+        .iter()
+        .map(|x| expect_u64(x, what).map(|n| (n.to_string(), make(n))))
+        .collect()
+}
+
+/// One `[[filter]]` table. Two forms:
+///
+/// * `deny = { axis = label, … }` — reject points matching **all**
+///   conditions;
+/// * `when = { … }` + `require = { … }` — points matching `when` must
+///   also match `require` (`require` alone applies unconditionally).
+///
+/// A condition value is a label (string or integer) or an array of
+/// labels (any-of).
+fn compile_filter(t: &Table, pos: Pos, axes: &[String]) -> Result<Filter, TomlError> {
+    check_keys(t, "[[filter]]", &["name", "deny", "when", "require"])?;
+    let name = expect_str(
+        t.get("name")
+            .ok_or_else(|| err(pos, "[[filter]] needs a `name`"))?,
+        "filter name",
+    )?
+    .to_string();
+    let deny = t.get("deny").map(|d| conditions(d, axes)).transpose()?;
+    let when = t.get("when").map(|d| conditions(d, axes)).transpose()?;
+    let require = t.get("require").map(|d| conditions(d, axes)).transpose()?;
+    match (deny, when, require) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) => Err(err(
+            pos,
+            "a filter is either `deny` or `when`/`require`, not both",
+        )),
+        (Some(deny), None, None) => Ok(Filter::new(name, move |co: &Coords| !matches(&deny, co))),
+        (None, when, Some(require)) => {
+            let when = when.unwrap_or_default();
+            Ok(Filter::new(name, move |co: &Coords| {
+                !matches(&when, co) || matches(&require, co)
+            }))
+        }
+        (None, Some(_), None) => Err(err(pos, "`when` needs a `require` to enforce")),
+        (None, None, None) => Err(err(pos, "a filter needs `deny` or `when`/`require`")),
+    }
+}
+
+/// `(axis, any-of labels)` pairs compiled from a condition table.
+type Conditions = Vec<(String, Vec<String>)>;
+
+fn conditions(v: &Spanned, axes: &[String]) -> Result<Conditions, TomlError> {
+    let t = expect_table(v, "a filter condition")?;
+    t.entries
+        .iter()
+        .map(|(axis, val)| {
+            if !axes.iter().any(|a| a == axis) {
+                return Err(err(
+                    val.pos,
+                    format!(
+                        "filter references unknown axis `{axis}` (declared: {})",
+                        axes.join(", ")
+                    ),
+                ));
+            }
+            let labels = match &val.value {
+                Value::Array(items) => items
+                    .iter()
+                    .map(|i| label(i, axis))
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => vec![label(val, axis)?],
+            };
+            Ok((axis.clone(), labels))
+        })
+        .collect()
+}
+
+/// A coordinate label: a string, or an integer rendered the way integer
+/// axes label themselves.
+fn label(v: &Spanned, axis: &str) -> Result<String, TomlError> {
+    match &v.value {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Int(i) => Ok(i.to_string()),
+        other => Err(err(
+            v.pos,
+            format!(
+                "condition on `{axis}` must be a string or integer label, found {}",
+                other.kind()
+            ),
+        )),
+    }
+}
+
+/// Does a point match all conditions? Points that lack a referenced axis
+/// never match.
+fn matches(conds: &Conditions, co: &Coords) -> bool {
+    conds
+        .iter()
+        .all(|(axis, labels)| co.get(axis).is_some_and(|l| labels.iter().any(|x| x == l)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_tiny(text: &str) -> Result<Campaign, TomlError> {
+        from_str(text, Scale::Tiny)
+    }
+
+    const MINIMAL: &str = "[campaign]\nname = \"t\"\n";
+
+    #[test]
+    fn minimal_file_is_one_point_of_defaults() {
+        let c = compile_tiny(MINIMAL).unwrap();
+        assert_eq!(c.name, "t");
+        let pts = c.expand();
+        assert_eq!(pts.len(), 1);
+        // defaults are exactly ScenarioSpec::single(ABC, 0 Mbit/s)
+        let d = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::ZERO));
+        assert_eq!(pts[0].spec.seed, d.seed);
+        assert_eq!(pts[0].spec.rtt, d.rtt);
+        assert_eq!(pts[0].spec.buffer_pkts, d.buffer_pkts);
+    }
+
+    #[test]
+    fn base_and_axes_compile() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"s\"\n[base]\nscheme = \"Cubic\"\nlink = { constant_mbps = 12.0 }\nduration_s = 2\nwarmup_s = 1\n[[axis]]\nname = \"scheme\"\nschemes = [\"ABC\", \"Cubic+Codel\"]\n[[axis]]\nname = \"seed\"\nseeds = [1, 2, 3]\n",
+        )
+        .unwrap();
+        assert_eq!(c.axes.len(), 2);
+        let pts = c.expand();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0].coords.key(), "scheme=ABC,seed=1");
+        assert_eq!(pts[5].spec.scheme, Scheme::CubicCodel);
+        assert_eq!(pts[0].spec.duration, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn scale_overrides_apply_to_the_selected_scale_only() {
+        let text = "[campaign]\nname = \"s\"\n[base]\nduration_s = 120\n[scale.tiny]\nduration_s = 2\n[scale.fast]\nduration_s = 20\n";
+        let tiny = from_str(text, Scale::Tiny).unwrap();
+        let fast = from_str(text, Scale::Fast).unwrap();
+        let full = from_str(text, Scale::Full).unwrap();
+        assert_eq!(tiny.base.duration, SimDuration::from_secs(2));
+        assert_eq!(fast.base.duration, SimDuration::from_secs(20));
+        assert_eq!(full.base.duration, SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn filters_deny_and_require() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"f\"\n[[axis]]\nname = \"scheme\"\nschemes = [\"ABC\", \"Cubic\"]\n[[axis]]\nname = \"rtt_ms\"\nrtt_ms = [20, 100]\n[[filter]]\nname = \"no-cubic-100\"\ndeny = { scheme = \"Cubic\", rtt_ms = 100 }\n",
+        )
+        .unwrap();
+        let keys: Vec<String> = c.expand().iter().map(|p| p.coords.key()).collect();
+        assert_eq!(keys.len(), 3);
+        assert!(!keys.contains(&"scheme=Cubic,rtt_ms=100".to_string()));
+
+        let c = compile_tiny(
+            "[campaign]\nname = \"f\"\n[[axis]]\nname = \"scheme\"\nschemes = [\"ABC\", \"Cubic\"]\n[[axis]]\nname = \"rtt_ms\"\nrtt_ms = [20, 100]\n[[filter]]\nname = \"abc-short-only\"\nwhen = { scheme = \"ABC\" }\nrequire = { rtt_ms = [20] }\n",
+        )
+        .unwrap();
+        let keys: Vec<String> = c.expand().iter().map(|p| p.coords.key()).collect();
+        assert_eq!(keys.len(), 3);
+        assert!(!keys.contains(&"scheme=ABC,rtt_ms=100".to_string()));
+    }
+
+    #[test]
+    fn workload_axis_compiles() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"w\"\n[base]\nflows = 0\n[[axis]]\nname = \"load\"\n[[axis.values]]\nlabel = \"0.2\"\nworkloads = [{ web = { load = 0.2, link_mbps = 12.0 } }]\n",
+        )
+        .unwrap();
+        let pts = c.expand();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].spec.workloads.len(), 1);
+        assert!(matches!(
+            pts[0].spec.flows,
+            FlowSchedule::Explicit(ref v) if v.is_empty()
+        ));
+    }
+
+    // ---- negative cases: every diagnostic names a line and column ----
+
+    fn error_at(text: &str) -> (usize, usize, String) {
+        let e = compile_tiny(text).unwrap_err();
+        (e.pos.line, e.pos.col, e.message)
+    }
+
+    #[test]
+    fn unknown_top_level_key_is_rejected() {
+        let (line, _, msg) = error_at("[campaign]\nname = \"x\"\n[bogus]\na = 1\n");
+        assert_eq!(line, 3);
+        assert!(msg.contains("unknown key `bogus`"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_base_key_is_rejected() {
+        let (line, col, msg) = error_at("[campaign]\nname = \"x\"\n[base]\nduration_sec = 5\n");
+        assert_eq!((line, col), (4, 16));
+        assert!(msg.contains("unknown key `duration_sec`"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_scheme_is_rejected_with_position() {
+        let (line, col, msg) =
+            error_at("[campaign]\nname = \"x\"\n[base]\nscheme = \"Reno2000\"\n");
+        assert_eq!((line, col), (4, 10));
+        assert!(msg.contains("unknown scheme"), "{msg}");
+    }
+
+    #[test]
+    fn missing_campaign_name_is_rejected() {
+        let e = compile_tiny("[campaign]\n").unwrap_err();
+        assert!(e.message.contains("needs a `name`"), "{e}");
+    }
+
+    #[test]
+    fn axis_without_values_is_rejected() {
+        let (line, _, msg) = error_at("[campaign]\nname = \"x\"\n[[axis]]\nname = \"seed\"\n");
+        assert_eq!(line, 3);
+        assert!(msg.contains("exactly one value list"), "{msg}");
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        let (_, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[[axis]]\nname = \"seed\"\nseeds = []\n");
+        assert!(msg.contains("has no values"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_axis_is_rejected() {
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[[axis]]\nname = \"seed\"\nseeds = [1]\n[[axis]]\nname = \"seed\"\nseeds = [2]\n",
+        );
+        assert!(msg.contains("duplicate axis"), "{msg}");
+    }
+
+    #[test]
+    fn filter_on_unknown_axis_is_rejected() {
+        let (line, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[[axis]]\nname = \"seed\"\nseeds = [1]\n[[filter]]\nname = \"f\"\ndeny = { scheme = \"ABC\" }\n",
+        );
+        assert_eq!(line, 8);
+        assert!(msg.contains("unknown axis `scheme`"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_trace_is_rejected() {
+        let (line, col, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[[axis]]\nname = \"trace\"\ntraces = [\"Nokia9\"]\n",
+        );
+        assert_eq!((line, col), (5, 11));
+        assert!(msg.contains("unknown built-in trace"), "{msg}");
+    }
+
+    #[test]
+    fn link_literal_needs_exactly_one_kind() {
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nlink = { constant_mbps = 12.0, trace = \"Verizon1\" }\n",
+        );
+        assert!(msg.contains("exactly one of"), "{msg}");
+    }
+
+    #[test]
+    fn negative_seed_is_rejected() {
+        let (line, _, msg) = error_at("[campaign]\nname = \"x\"\n[base]\nseed = -1\n");
+        assert_eq!(line, 4);
+        assert!(msg.contains("non-negative"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_type_is_named() {
+        let (_, _, msg) = error_at("[campaign]\nname = \"x\"\n[base]\nrtt_ms = \"fast\"\n");
+        assert!(msg.contains("must be an integer, found string"), "{msg}");
+    }
+
+    #[test]
+    fn zero_rtc_interval_is_rejected_not_panicked() {
+        let (line, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nworkloads = [{ rtc = { frame_bytes = 1200, interval_ms = 0, deadline_ms = 100 } }]\n",
+        );
+        assert_eq!(line, 4);
+        assert!(msg.contains("`interval_ms` must be at least 1"), "{msg}");
+    }
+
+    #[test]
+    fn oversized_frame_bytes_is_rejected_not_wrapped() {
+        // 2^32 + 1200 would silently truncate to 1200 via `as u32`.
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nworkloads = [{ rtc = { frame_bytes = 4294968496, interval_ms = 33, deadline_ms = 100 } }]\n",
+        );
+        assert!(msg.contains("too large"), "{msg}");
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nworkloads = [{ rtc = { frame_bytes = 9000, interval_ms = 33, deadline_ms = 100 } }]\n",
+        );
+        assert!(msg.contains("one frame per packet"), "{msg}");
+    }
+
+    #[test]
+    fn descending_ladder_and_zero_chunk_are_rejected() {
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nworkloads = [{ video = { ladder_kbps = [1000, 350], chunk_s = 2, startup_chunks = 1, max_buffer_s = 12, stream_s = 60, safety = 0.8 } }]\n",
+        );
+        assert!(msg.contains("must ascend"), "{msg}");
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nworkloads = [{ video = { ladder_kbps = [350, 1000], chunk_s = 0, startup_chunks = 1, max_buffer_s = 12, stream_s = 60, safety = 0.8 } }]\n",
+        );
+        assert!(msg.contains("`chunk_s` must be at least 1"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_axis_labels_are_rejected() {
+        let (_, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[[axis]]\nname = \"seed\"\nseeds = [1, 1]\n");
+        assert!(msg.contains("duplicate value label"), "{msg}");
+        // scheme names parse case-insensitively into the same label
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[[axis]]\nname = \"s\"\nschemes = [\"ABC\", \"abc\"]\n",
+        );
+        assert!(msg.contains("duplicate value label"), "{msg}");
+    }
+
+    #[test]
+    fn multibyte_scheme_names_error_instead_of_panicking() {
+        let (line, _, msg) = error_at("[campaign]\nname = \"x\"\n[base]\nscheme = \"ABC\u{e9}\"\n");
+        assert_eq!(line, 4);
+        assert!(msg.contains("unknown scheme"), "{msg}");
+    }
+
+    #[test]
+    fn empty_and_unsorted_steps_are_rejected() {
+        let (_, _, msg) = error_at("[campaign]\nname = \"x\"\n[base]\nlink = { steps = [] }\n");
+        assert!(msg.contains("`steps` must not be empty"), "{msg}");
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nlink = { steps = [[5.0, 6.0], [1.0, 18.0]] }\n",
+        );
+        assert!(msg.contains("non-decreasing"), "{msg}");
+    }
+
+    #[test]
+    fn zero_square_period_and_negative_rates_are_rejected() {
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nlink = { square = { a_mbps = 12.0, b_mbps = 24.0, half_period_ms = 0 } }\n",
+        );
+        assert!(msg.contains("`half_period_ms` must be at least 1"), "{msg}");
+        let (_, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[base]\nlink = { constant_mbps = -5.0 }\n");
+        assert!(msg.contains("non-negative rate"), "{msg}");
+    }
+
+    #[test]
+    fn degenerate_web_arrivals_are_rejected() {
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nworkloads = [{ web = { per_sec = 10.0, on_s = 0, off_s = 0 } }]\n",
+        );
+        assert!(msg.contains("`on_s` must be at least 1"), "{msg}");
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\nworkloads = [{ web = { per_sec = -1.0 } }]\n",
+        );
+        assert!(
+            msg.contains("`per_sec` must be a non-negative rate"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn scheme_names_round_trip() {
+        for s in [
+            Scheme::Abc,
+            Scheme::AbcDt(50),
+            Scheme::CubicCodel,
+            Scheme::Xcpw,
+            Scheme::Vcp,
+        ] {
+            assert_eq!(parse_scheme(&s.name()), Some(s), "{}", s.name());
+        }
+        assert_eq!(parse_scheme("abc"), Some(Scheme::Abc));
+        // abcsim's historical aliases resolve through the same parser
+        assert_eq!(parse_scheme("codel"), Some(Scheme::CubicCodel));
+        assert_eq!(parse_scheme("abc-dt50"), Some(Scheme::AbcDt(50)));
+        assert_eq!(parse_scheme("cubic-codel"), Some(Scheme::CubicCodel));
+        assert_eq!(
+            parse_scheme("Abc_50"),
+            Some(Scheme::AbcDt(50)),
+            "prefix is case-insensitive"
+        );
+        assert_eq!(parse_scheme("nope"), None);
+        assert_eq!(parse_scheme("ABC_"), None);
+    }
+}

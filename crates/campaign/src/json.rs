@@ -18,11 +18,17 @@ use std::fmt;
 /// A JSON value. Object keys keep insertion order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// `null` (also what non-finite numbers serialize as).
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A finite number.
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Value>),
+    /// An object, keys in insertion order.
     Obj(Vec<(String, Value)>),
 }
 
@@ -36,6 +42,7 @@ impl Value {
         }
     }
 
+    /// A string value.
     pub fn str(s: impl Into<String>) -> Value {
         Value::Str(s.into())
     }
@@ -48,6 +55,7 @@ impl Value {
         }
     }
 
+    /// The number, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(x) => Some(*x),
@@ -55,6 +63,7 @@ impl Value {
         }
     }
 
+    /// The string contents, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -62,6 +71,7 @@ impl Value {
         }
     }
 
+    /// The elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(v) => Some(v),
@@ -69,6 +79,7 @@ impl Value {
         }
     }
 
+    /// The members, if this is an object.
     pub fn as_obj(&self) -> Option<&[(String, Value)]> {
         match self {
             Value::Obj(m) => Some(m),
@@ -150,7 +161,9 @@ fn write_str(s: &str, out: &mut String) {
 /// A parse failure: byte offset plus a short description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JsonError {
+    /// Byte offset of the failure in the input.
     pub offset: usize,
+    /// What went wrong.
     pub message: String,
 }
 

@@ -1,19 +1,21 @@
+#![warn(missing_docs)]
+
 //! # campaign — declarative sweep orchestration over the scenario engine
 //!
 //! The paper's evidence is built from cross-products — schemes ×
 //! topologies × traces × RTTs × buffers × seeds. This crate turns those
 //! sweeps from hand-rolled loops into data:
 //!
-//! * [`spec`] — the [`Campaign`](spec::Campaign) type: a base
+//! * [`spec`] — the [`Campaign`] type: a base
 //!   [`ScenarioSpec`](experiments::engine::ScenarioSpec) plus named
-//!   [`Axis`](spec::Axis) values, with deterministic row-major cartesian
-//!   expansion and constraint [`Filter`](spec::Filter)s.
+//!   [`Axis`] values, with deterministic row-major cartesian
+//!   expansion and constraint [`Filter`]s.
 //! * [`runner`] — the executor: chunked dispatch onto
 //!   [`ScenarioEngine::run_batch`](experiments::engine::ScenarioEngine::run_batch)
 //!   with progress reporting; results are bit-identical across reruns and
 //!   worker-pool sizes.
 //! * [`store`] — the schema-versioned JSONL
-//!   [`ResultsStore`](store::ResultsStore): a self-describing header plus
+//!   [`ResultsStore`]: a self-describing header plus
 //!   one full [`Report`](experiments::report::Report) per record.
 //! * [`aggregate`] — across-seed mean/CI, percentile rollups, Jain
 //!   summaries, CSV export.
@@ -34,6 +36,7 @@
 pub mod aggregate;
 pub mod diff;
 pub mod figures;
+pub mod file;
 pub mod json;
 pub mod presets;
 pub mod runner;

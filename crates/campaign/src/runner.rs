@@ -16,6 +16,7 @@ use std::time::Instant;
 /// variable and otherwise uses every core.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
+    /// Worker-pool size; `None` defers to [`ScenarioEngine::new`].
     pub jobs: Option<usize>,
     /// Scenarios per dispatch wave. Progress is reported after each wave,
     /// so smaller chunks mean finer progress at slightly more pool churn.
@@ -40,11 +41,13 @@ impl RunOptions {
         RunOptions::default()
     }
 
+    /// Set the worker-pool size (`None` = `ABC_JOBS`/all cores).
     pub fn with_jobs(mut self, jobs: Option<usize>) -> Self {
         self.jobs = jobs;
         self
     }
 
+    /// Toggle stderr progress reporting.
     pub fn with_progress(mut self, progress: bool) -> Self {
         self.progress = progress;
         self
@@ -62,8 +65,11 @@ impl RunOptions {
 /// engine's [`Report`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
+    /// The point's position in the unfiltered cartesian product.
     pub ordinal: usize,
+    /// `(axis, label)` coordinates in axis order.
     pub coords: Coords,
+    /// The engine's full report for this point.
     pub report: Report,
 }
 

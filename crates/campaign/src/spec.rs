@@ -22,16 +22,25 @@ use std::sync::Arc;
 /// One setting of one axis: the scenario-parameter write it performs.
 #[derive(Debug, Clone)]
 pub enum AxisValue {
+    /// Set the congestion-control scheme.
     Scheme(Scheme),
     /// Single-bottleneck topology over this link.
     Link(LinkSpec),
+    /// Replace the whole topology (multi-hop paths).
     Topology(Topology),
+    /// Replace the flow schedule.
     Flows(FlowSchedule),
+    /// Override the bottleneck qdisc.
     Qdisc(QdiscSpec),
+    /// Set the path round-trip propagation delay (milliseconds).
     RttMs(u64),
+    /// Set the bottleneck buffer (packets).
     BufferPkts(usize),
+    /// Set the simulated duration (seconds).
     DurationSecs(u64),
+    /// Set the measurement warmup (seconds).
     WarmupSecs(u64),
+    /// Set the seed for every stochastic choice.
     Seed(u64),
     /// Replace the spec's application-layer workload mix (web/RTC/ABR).
     Workloads(Vec<WorkloadEntry>),
@@ -59,6 +68,7 @@ impl AxisValue {
 /// A named sweep dimension: an ordered list of labeled settings.
 #[derive(Debug, Clone)]
 pub struct Axis {
+    /// The axis name, as store coordinates report it.
     pub name: String,
     /// `(label, setting)` — the label is what coordinates, stores, and
     /// reports show.
@@ -66,6 +76,9 @@ pub struct Axis {
 }
 
 impl Axis {
+    /// An axis from explicit `(label, setting)` values (panics if
+    /// `values` is empty — campaign files validate this earlier, with
+    /// positions).
     pub fn new(name: impl Into<String>, values: Vec<(String, AxisValue)>) -> Axis {
         let axis = Axis {
             name: name.into(),
@@ -145,14 +158,17 @@ impl Axis {
         )
     }
 
+    /// Number of values on this axis.
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// Whether the axis has no values (never true after construction).
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
+    /// The value labels, in declaration order.
     pub fn labels(&self) -> Vec<String> {
         self.values.iter().map(|(l, _)| l.clone()).collect()
     }
@@ -197,11 +213,13 @@ impl fmt::Display for Coords {
 /// skipped before execution.
 #[derive(Clone)]
 pub struct Filter {
+    /// The filter name, recorded in store headers.
     pub name: String,
     pred: Arc<dyn Fn(&Coords) -> bool + Send + Sync>,
 }
 
 impl Filter {
+    /// A named constraint from a coordinate predicate.
     pub fn new(
         name: impl Into<String>,
         pred: impl Fn(&Coords) -> bool + Send + Sync + 'static,
@@ -212,6 +230,7 @@ impl Filter {
         }
     }
 
+    /// Does this filter keep a point at `coords`?
     pub fn accepts(&self, coords: &Coords) -> bool {
         (self.pred)(coords)
     }
@@ -229,21 +248,45 @@ pub struct CampaignPoint {
     /// Position in the *unfiltered* cartesian product — a stable shard id
     /// that doesn't shift when filters change.
     pub ordinal: usize,
+    /// `(axis, label)` coordinates in axis order.
     pub coords: Coords,
+    /// The concrete scenario this point runs.
     pub spec: ScenarioSpec,
 }
 
 /// A declarative sweep: base spec × named axes, minus filtered points.
 /// See the [module docs](self).
+///
+/// ```
+/// use campaign::{Axis, Campaign};
+/// use experiments::engine::ScenarioSpec;
+/// use experiments::scenario::LinkSpec;
+/// use experiments::Scheme;
+/// use netsim::rate::Rate;
+///
+/// let base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)));
+/// let sweep = Campaign::new("demo", base)
+///     .axis(Axis::schemes(&[Scheme::Abc, Scheme::Cubic]))
+///     .axis(Axis::seeds(&[1, 2, 3]));
+/// let points = sweep.expand();
+/// assert_eq!(points.len(), 6); // row-major, last axis (seed) fastest
+/// assert_eq!(points[1].coords.key(), "scheme=ABC,seed=2");
+/// assert_eq!(points[4].spec.scheme, Scheme::Cubic);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Campaign {
+    /// The campaign name, recorded in store headers.
     pub name: String,
+    /// The scenario every point starts from.
     pub base: ScenarioSpec,
+    /// The sweep dimensions, in expansion (row-major) order.
     pub axes: Vec<Axis>,
+    /// Constraints dropping points before execution.
     pub filters: Vec<Filter>,
 }
 
 impl Campaign {
+    /// A campaign of just `base`, with no axes or filters yet.
     pub fn new(name: impl Into<String>, base: ScenarioSpec) -> Campaign {
         Campaign {
             name: name.into(),

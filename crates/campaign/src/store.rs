@@ -26,29 +26,74 @@ pub const SCHEMA: &str = "abc-campaign/v1";
 /// The header line: what produced the records that follow.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreHeader {
+    /// The schema id ([`SCHEMA`]) the file was written under.
     pub schema: String,
+    /// The campaign name.
     pub campaign: String,
     /// `(axis name, value labels)` in axis order.
     pub axes: Vec<(String, Vec<String>)>,
+    /// Names of the campaign's constraint filters.
     pub filters: Vec<String>,
     /// Number of record lines (post-filter points).
     pub points: usize,
 }
 
 /// A parsed (or freshly produced) results file.
+///
+/// ```
+/// use campaign::runner::run_campaign;
+/// use campaign::store::ResultsStore;
+/// use campaign::{Axis, Campaign};
+/// use experiments::engine::ScenarioSpec;
+/// use experiments::scenario::LinkSpec;
+/// use experiments::Scheme;
+/// use netsim::rate::Rate;
+///
+/// let base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+///     .duration_secs(1)
+///     .warmup_secs(0);
+/// let sweep = Campaign::new("doc", base).axis(Axis::seeds(&[1, 2]));
+/// let store = ResultsStore::new(&sweep, run_campaign(&sweep, &Default::default()));
+///
+/// // Serialization round-trips exactly, byte for byte:
+/// let text = store.to_jsonl();
+/// let back = ResultsStore::from_jsonl(&text).unwrap();
+/// assert_eq!(back, store);
+/// assert_eq!(back.to_jsonl(), text);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultsStore {
+    /// The self-describing header line.
     pub header: StoreHeader,
+    /// One executed record per surviving campaign point, in ordinal
+    /// order.
     pub records: Vec<RunRecord>,
 }
 
 /// Store I/O and format errors.
 #[derive(Debug)]
 pub enum StoreError {
+    /// The file could not be read or written.
     Io(std::io::Error),
-    Json { line: usize, error: json::JsonError },
-    Format { line: usize, message: String },
-    Schema { found: String },
+    /// A line is not valid JSON.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying JSON error.
+        error: json::JsonError,
+    },
+    /// A line parses but does not describe a header/record correctly.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What is malformed.
+        message: String,
+    },
+    /// The file was written under a different schema id.
+    Schema {
+        /// The schema id the file claims.
+        found: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -160,11 +205,13 @@ impl ResultsStore {
         Ok(ResultsStore { header, records })
     }
 
+    /// Write the store to `path` (exactly [`ResultsStore::to_jsonl`]).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
         std::fs::write(path, self.to_jsonl())?;
         Ok(())
     }
 
+    /// Read and validate a complete store from `path`.
     pub fn load(path: impl AsRef<Path>) -> Result<ResultsStore, StoreError> {
         let text = std::fs::read_to_string(path)?;
         ResultsStore::from_jsonl(&text)

@@ -1,0 +1,73 @@
+//! `docs/campaign-file.md` cannot drift from the implementation: every
+//! ```toml fenced block in it must parse, and blocks that declare a
+//! `[campaign]` must also compile into a `Campaign`.
+
+use campaign::file::{self, toml};
+use experiments::figures::Scale;
+use std::path::Path;
+
+/// The ```toml fenced blocks of a markdown document, with the line
+/// each starts at (for error reporting).
+fn toml_blocks(markdown: &str) -> Vec<(usize, String)> {
+    let mut blocks = Vec::new();
+    let mut current: Option<(usize, String)> = None;
+    for (i, line) in markdown.lines().enumerate() {
+        let fence = line.trim_start();
+        match &mut current {
+            None => {
+                if fence == "```toml" {
+                    current = Some((i + 2, String::new()));
+                }
+            }
+            Some((_, body)) => {
+                if fence == "```" {
+                    blocks.push(current.take().expect("block open"));
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unclosed ```toml fence");
+    blocks
+}
+
+#[test]
+fn every_toml_snippet_in_the_format_reference_parses() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("docs/campaign-file.md");
+    let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let blocks = toml_blocks(&doc);
+    assert!(
+        blocks.len() >= 10,
+        "expected a reference full of examples, found {} toml blocks",
+        blocks.len()
+    );
+    let mut full_campaigns = 0;
+    for (line, body) in &blocks {
+        // Every snippet must be valid TOML…
+        toml::parse(body)
+            .unwrap_or_else(|e| panic!("snippet at line {line} does not parse: {e}\n{body}"));
+        // …and complete campaigns must compile end to end.
+        if body.contains("[campaign]") {
+            full_campaigns += 1;
+            for scale in [Scale::Full, Scale::Fast, Scale::Tiny] {
+                let c = file::from_str(body, scale).unwrap_or_else(|e| {
+                    panic!("campaign snippet at line {line} does not compile: {e}\n{body}")
+                });
+                assert!(
+                    !c.expand().is_empty(),
+                    "campaign snippet at line {line} expands to nothing"
+                );
+            }
+        }
+    }
+    assert!(
+        full_campaigns >= 1,
+        "the reference should contain at least one complete campaign"
+    );
+}

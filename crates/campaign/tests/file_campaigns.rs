@@ -1,0 +1,157 @@
+//! The committed example campaign files are equivalent to the built-in
+//! presets they re-express — pinned by expansion comparison for all of
+//! them and, for `tiny`, by a byte-identical store against the same
+//! committed baseline the preset path is gated on.
+
+use campaign::runner::{run_campaign, RunOptions};
+use campaign::store::ResultsStore;
+use campaign::{file, presets, Campaign};
+use experiments::figures::Scale;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/campaign → workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn example(name: &str, scale: Scale) -> Campaign {
+    let path = repo_root().join("examples/campaigns").join(name);
+    file::load(&path, scale).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Same axes (names, labels, order) and same surviving points.
+fn assert_same_expansion(a: &Campaign, b: &Campaign) {
+    assert_eq!(a.name, b.name);
+    let (pa, pb) = (a.expand(), b.expand());
+    assert_eq!(pa.len(), pb.len(), "{}: point count differs", a.name);
+    for (x, y) in pa.iter().zip(&pb) {
+        assert_eq!(x.ordinal, y.ordinal, "{}: ordinal drifted", a.name);
+        assert_eq!(x.coords, y.coords, "{}: coords drifted", a.name);
+    }
+}
+
+#[test]
+fn tiny_file_store_is_byte_identical_to_the_committed_baseline() {
+    let campaign = example("tiny.toml", Scale::Tiny);
+    let records = run_campaign(&campaign, &RunOptions::quiet());
+    let store = ResultsStore::new(&campaign, records);
+    let baseline_path = repo_root().join("ci/campaign-tiny-baseline.jsonl");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", baseline_path.display()));
+    assert_eq!(
+        store.to_jsonl(),
+        baseline,
+        "the TOML-expressed tiny campaign no longer reproduces the baseline store"
+    );
+}
+
+#[test]
+fn tiny_file_matches_the_preset_at_every_scale() {
+    // The preset ignores scale; the file has no [scale.*] tables.
+    for scale in [Scale::Full, Scale::Fast, Scale::Tiny] {
+        assert_same_expansion(
+            &example("tiny.toml", scale),
+            &presets::by_name("tiny", scale).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn rtt_grid_file_matches_the_preset_below_full_scale() {
+    // At Full the preset swaps in the 12-scheme lineup, which a fixed
+    // file list intentionally doesn't follow (see the file's comments).
+    for scale in [Scale::Fast, Scale::Tiny] {
+        assert_same_expansion(
+            &example("rtt-grid.toml", scale),
+            &presets::by_name("rtt-grid", scale).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn web_load_grid_file_matches_the_preset() {
+    for scale in [Scale::Full, Scale::Fast, Scale::Tiny] {
+        assert_same_expansion(
+            &example("web-load-grid.toml", scale),
+            &presets::by_name("web-load-grid", scale).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn web_load_grid_file_point_reproduces_the_preset_report() {
+    // Coords equality says the sweeps line up; this pins that a
+    // file-built spec also *executes* identically — workload literal
+    // included — by comparing one cell's full report bitwise.
+    let from_file = example("web-load-grid.toml", Scale::Tiny);
+    let preset = presets::by_name("web-load-grid", Scale::Tiny).unwrap();
+    let (pf, pp) = (from_file.expand(), preset.expand());
+    let engine = experiments::engine::ScenarioEngine::with_threads(1);
+    assert_eq!(
+        engine.run(&pf[0].spec),
+        engine.run(&pp[0].spec),
+        "file-built web workload spec diverged from the preset"
+    );
+}
+
+#[test]
+fn every_committed_example_loads_at_every_scale() {
+    let dir = repo_root().join("examples/campaigns");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/campaigns exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "toml") {
+            seen += 1;
+            for scale in [Scale::Full, Scale::Fast, Scale::Tiny] {
+                let c =
+                    file::load(&path, scale).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                assert!(
+                    !c.expand().is_empty(),
+                    "{} expands to nothing",
+                    path.display()
+                );
+            }
+        }
+    }
+    assert!(
+        seen >= 3,
+        "expected ≥3 committed example campaigns, found {seen}"
+    );
+}
+
+#[test]
+fn malformed_files_fail_with_line_and_column() {
+    // End-to-end diagnostics through the public loader (the parser and
+    // schema layers carry many more negative cases in their unit tests).
+    let cases: &[(&str, &str, usize)] = &[
+        ("a = [1, 2\n", "unclosed array", 1),
+        (
+            "[campaign]\nname = \"x\"\n[base]\nrtt = 20\n",
+            "unknown key `rtt`",
+            4,
+        ),
+        (
+            "[campaign]\nname = \"x\"\n[[axis]]\nname = \"s\"\nschemes = [\"Tahoe\"]\n",
+            "unknown scheme",
+            5,
+        ),
+        (
+            "[campaign]\nname = \"x\"\n[base]\nworkloads = [{ web = { load = 0.5 } }]\n",
+            "needs `link_mbps`",
+            4,
+        ),
+    ];
+    for (text, needle, line) in cases {
+        let err = file::from_str(text, Scale::Tiny).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        assert!(
+            msg.contains(&format!("line {line}")),
+            "{msg:?} not anchored to line {line}"
+        );
+    }
+}

@@ -14,32 +14,7 @@ use netsim::rate::Rate;
 use netsim::time::SimDuration;
 
 fn parse_scheme(s: &str) -> Option<Scheme> {
-    let norm = s.to_ascii_lowercase().replace(['-', '_'], "+");
-    Some(match norm.as_str() {
-        "abc" => Scheme::Abc,
-        "abc+noai" => Scheme::AbcNoAi,
-        "abc+enq" | "abc+enqueue" => Scheme::AbcEnqueue,
-        "cubic" => Scheme::Cubic,
-        "cubic+codel" | "codel" => Scheme::CubicCodel,
-        "cubic+pie" | "pie" => Scheme::CubicPie,
-        "newreno" | "reno" => Scheme::NewReno,
-        "vegas" => Scheme::Vegas,
-        "bbr" => Scheme::Bbr,
-        "copa" => Scheme::Copa,
-        "pcc" | "pcc+vivace" | "vivace" => Scheme::Pcc,
-        "sprout" => Scheme::Sprout,
-        "verus" => Scheme::Verus,
-        "xcp" => Scheme::Xcp,
-        "xcpw" | "xcp+w" => Scheme::Xcpw,
-        "rcp" => Scheme::Rcp,
-        "vcp" => Scheme::Vcp,
-        _ => {
-            if let Some(ms) = norm.strip_prefix("abc+dt") {
-                return ms.parse().ok().map(Scheme::AbcDt);
-            }
-            return None;
-        }
-    })
+    Scheme::from_name(s)
 }
 
 fn usage() -> ! {

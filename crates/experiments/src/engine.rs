@@ -105,13 +105,28 @@ pub enum Topology {
     SingleBottleneck(LinkSpec),
     /// Two bottlenecks in series (tags `"uplink"`, `"downlink"`), both
     /// running the scheme's qdisc — Fig. 8c's cellular up+down path.
-    TwoHop { up: LinkSpec, down: LinkSpec },
+    TwoHop {
+        /// The uplink bottleneck.
+        up: LinkSpec,
+        /// The downlink bottleneck.
+        down: LinkSpec,
+    },
     /// An ABC-style wireless hop (tag `"wireless"`, scheme qdisc) followed
     /// by a fixed-rate wired droptail hop (tag `"wired"`) — Figs. 6/11.
-    MixedPath { wireless: LinkSpec, wired: Rate },
+    MixedPath {
+        /// The ABC-controlled wireless hop.
+        wireless: LinkSpec,
+        /// The wired droptail hop's fixed rate.
+        wired: Rate,
+    },
     /// The 802.11n A-MPDU access point (tag `"wifi"`) with a time-varying
     /// MCS index — Figs. 4/5/10/14.
-    Wifi { mcs: McsSpec, ap_buffer_pkts: usize },
+    Wifi {
+        /// How the MCS index varies over time.
+        mcs: McsSpec,
+        /// The AP's (bufferbloat-sized) queue.
+        ap_buffer_pkts: usize,
+    },
 }
 
 impl Topology {
@@ -150,6 +165,7 @@ impl Topology {
 /// `SchemeDefault` keeps [`Scheme::make_qdisc`]'s choice.
 #[derive(Debug, Clone)]
 pub enum QdiscSpec {
+    /// Keep [`Scheme::make_qdisc`]'s choice.
     SchemeDefault,
     /// Plain droptail regardless of scheme.
     DropTail,
@@ -168,8 +184,11 @@ pub struct FlowSpec {
     pub label: String,
     /// `None` inherits the spec's scheme.
     pub scheme: Option<Scheme>,
+    /// When the flow starts sending.
     pub start: SimTime,
+    /// When the flow stops, if it does.
     pub stop: Option<SimTime>,
+    /// The application pattern driving the flow.
     pub app: TrafficSource,
     /// Index into [`Topology::hop_tags`]: 0 traverses the whole path;
     /// `k > 0` joins at hop `k` (cross traffic on the wired hop).
@@ -177,6 +196,7 @@ pub struct FlowSpec {
 }
 
 impl FlowSpec {
+    /// A backlogged whole-path flow of the spec's scheme, starting at 0.
     pub fn new(label: impl Into<String>) -> Self {
         FlowSpec {
             label: label.into(),
@@ -188,26 +208,31 @@ impl FlowSpec {
         }
     }
 
+    /// Run this scheme instead of the spec's.
     pub fn scheme(mut self, s: Scheme) -> Self {
         self.scheme = Some(s);
         self
     }
 
+    /// Start sending at `t`.
     pub fn start_at(mut self, t: SimTime) -> Self {
         self.start = t;
         self
     }
 
+    /// Stop sending at `t`.
     pub fn stop_at(mut self, t: SimTime) -> Self {
         self.stop = Some(t);
         self
     }
 
+    /// Drive the flow with this application pattern.
     pub fn app(mut self, app: TrafficSource) -> Self {
         self.app = app;
         self
     }
 
+    /// Join the path at hop `hop` (see [`FlowSpec::entry_hop`]).
     pub fn entry_hop(mut self, hop: usize) -> Self {
         self.entry_hop = hop;
         self
@@ -222,15 +247,19 @@ impl FlowSpec {
 pub struct WorkloadEntry {
     /// Shown in per-flow outputs; web requests get ` <n>` suffixes.
     pub label: String,
+    /// The application model itself.
     pub workload: WorkloadSpec,
     /// `None` inherits the spec's scheme.
     pub scheme: Option<Scheme>,
+    /// When the workload starts.
     pub start: SimTime,
     /// Index into [`Topology::hop_tags`], like [`FlowSpec::entry_hop`].
     pub entry_hop: usize,
 }
 
 impl WorkloadEntry {
+    /// A whole-path entry of the spec's scheme starting at 0, labeled
+    /// with the workload kind.
     pub fn new(workload: WorkloadSpec) -> Self {
         WorkloadEntry {
             label: workload.kind().to_string(),
@@ -241,21 +270,26 @@ impl WorkloadEntry {
         }
     }
 
+    /// Label the workload's flows.
     pub fn label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
         self
     }
 
+    /// Run the workload's transport on this scheme instead of the
+    /// spec's.
     pub fn scheme(mut self, s: Scheme) -> Self {
         self.scheme = Some(s);
         self
     }
 
+    /// Start the workload at `t`.
     pub fn start_at(mut self, t: SimTime) -> Self {
         self.start = t;
         self
     }
 
+    /// Join the path at hop `hop` (see [`FlowSpec::entry_hop`]).
     pub fn entry_hop(mut self, hop: usize) -> Self {
         self.entry_hop = hop;
         self
@@ -269,7 +303,9 @@ impl WorkloadEntry {
 pub struct PoissonShortFlows {
     /// Offered load as a fraction of the bottleneck's nominal rate.
     pub load: f64,
+    /// Size of each short flow.
     pub bytes: u64,
+    /// The scheme short flows run.
     pub scheme: Scheme,
 }
 
@@ -280,9 +316,13 @@ pub enum FlowSchedule {
     /// `i × stagger`; with `stagger_departures`, flow `i` also stops at
     /// `duration − (n−1−i) × stagger` (Fig. 3's joins and leaves).
     Uniform {
+        /// Number of flows.
         n: u32,
+        /// The application pattern every flow runs.
         app: TrafficSource,
+        /// Gap between consecutive flow starts.
         stagger: SimDuration,
+        /// Also stop flows one by one (see the variant docs).
         stagger_departures: bool,
     },
     /// Arbitrary per-flow specs (coexistence mixes, cross traffic,
@@ -291,6 +331,7 @@ pub enum FlowSchedule {
 }
 
 impl FlowSchedule {
+    /// `n` backlogged flows, all starting at 0.
     pub fn backlogged(n: u32) -> Self {
         FlowSchedule::Uniform {
             n,
@@ -305,8 +346,11 @@ impl FlowSchedule {
 /// [module docs](self) for the full pipeline.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
+    /// The congestion-control scheme (endpoint + bottleneck qdisc).
     pub scheme: Scheme,
+    /// Which links/hops the path comprises.
     pub topology: Topology,
+    /// Who sends, and when.
     pub flows: FlowSchedule,
     /// Poisson short-flow churn on top of `flows`.
     pub short_flows: Option<PoissonShortFlows>,
@@ -319,7 +363,9 @@ pub struct ScenarioSpec {
     pub qdisc: QdiscSpec,
     /// Path round-trip propagation delay, split evenly across hops.
     pub rtt: SimDuration,
+    /// Bottleneck buffer (packets).
     pub buffer_pkts: usize,
+    /// Simulated duration.
     pub duration: SimDuration,
     /// Measurements before this offset are discarded.
     pub warmup: SimDuration,
@@ -384,11 +430,13 @@ impl ScenarioSpec {
         }
     }
 
+    /// Replace the schedule with `n` backlogged flows.
     pub fn flows(mut self, n: u32) -> Self {
         self.flows = FlowSchedule::backlogged(n);
         self
     }
 
+    /// Set every scheduled flow's application pattern.
     pub fn app(mut self, app: TrafficSource) -> Self {
         match &mut self.flows {
             FlowSchedule::Uniform { app: a, .. } => *a = app,
@@ -401,39 +449,47 @@ impl ScenarioSpec {
         self
     }
 
+    /// Set the path round-trip propagation delay.
     pub fn rtt(mut self, rtt: SimDuration) -> Self {
         self.rtt = rtt;
         self
     }
 
+    /// Set the bottleneck buffer.
     pub fn buffer_pkts(mut self, pkts: usize) -> Self {
         self.buffer_pkts = pkts;
         self
     }
 
+    /// Set the simulated duration.
     pub fn duration(mut self, d: SimDuration) -> Self {
         self.duration = d;
         self
     }
 
+    /// Set the simulated duration in whole seconds.
     pub fn duration_secs(self, s: u64) -> Self {
         self.duration(SimDuration::from_secs(s))
     }
 
+    /// Set the measurement warmup.
     pub fn warmup(mut self, d: SimDuration) -> Self {
         self.warmup = d;
         self
     }
 
+    /// Set the measurement warmup in whole seconds.
     pub fn warmup_secs(self, s: u64) -> Self {
         self.warmup(SimDuration::from_secs(s))
     }
 
+    /// Fix the seed behind every stochastic choice.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
+    /// Override the bottleneck qdisc.
     pub fn qdisc(mut self, q: QdiscSpec) -> Self {
         self.qdisc = q;
         self
@@ -538,6 +594,7 @@ impl ScenarioEngine {
         }
     }
 
+    /// The worker-pool size batches run on.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -872,10 +929,13 @@ enum AppAccount {
 /// A constructed scenario: the simulator plus everything needed to sample
 /// it mid-run and fold it into a [`Report`] afterwards.
 pub struct BuiltScenario {
+    /// The wired-up simulator.
     pub sim: Simulator,
+    /// The metrics hub every node reports into.
     pub hub: Metrics,
     /// `(metrics tag, node id)` of each hop, in path order.
     pub hops: Vec<(&'static str, NodeId)>,
+    /// Node ids of the senders, in flow order.
     pub sender_ids: Vec<NodeId>,
     /// `(label, flow id)` of every expanded flow, in spec order.
     pub flows: Vec<(String, FlowId)>,
@@ -887,6 +947,7 @@ pub struct BuiltScenario {
 }
 
 impl BuiltScenario {
+    /// Run the simulation to the scenario's end time.
     pub fn run_to_end(&mut self) {
         self.sim.run_until(self.end_time());
     }
@@ -896,6 +957,7 @@ impl BuiltScenario {
         self.sim.run_for(d);
     }
 
+    /// When the scenario ends.
     pub fn end_time(&self) -> SimTime {
         SimTime::ZERO + self.duration
     }

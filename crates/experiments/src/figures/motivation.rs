@@ -7,6 +7,7 @@ use crate::scenario::{CellScenario, LinkSpec};
 use crate::scheme::Scheme;
 use std::fmt::Write;
 
+/// Fig. 1: the motivating bufferbloat-vs-underutilization contrast.
 pub fn fig1(scale: Scale) -> String {
     let trace = cellular::builtin("Verizon1").unwrap();
     let dur = scale.secs(30, 15, 2);

@@ -11,6 +11,7 @@ use netsim::rate::Rate;
 use netsim::time::SimDuration;
 use std::fmt::Write;
 
+/// Appendix C: utilization/delay across the ABC δ stability sweep.
 pub fn stability(scale: Scale) -> String {
     let mut out = String::new();
     writeln!(out, "# Theorem 3.1 — stability requires δ > ⅔·τ").unwrap();

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # experiments — the scenario engine and per-figure/table harnesses
 //!
 //! [`engine`] is the chassis: a declarative [`ScenarioSpec`] executed

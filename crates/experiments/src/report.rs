@@ -26,6 +26,7 @@ pub struct AppReport {
 /// identical runs.
 #[derive(Debug, Clone)]
 pub struct Report {
+    /// Display name of the scheme that ran.
     pub scheme: String,
     /// Delivered bits ÷ link delivery opportunities (cellular emulation's
     /// utilization definition).
@@ -35,9 +36,13 @@ pub struct Report {
     pub delay_ms: Summary,
     /// Queuing delay at the bottleneck (ms) — Appendix E's y-axis.
     pub qdelay_ms: Summary,
+    /// Per-flow mean goodput (Mbit/s) over the measurement window.
     pub flow_tputs_mbps: Vec<f64>,
+    /// Sum of the per-flow goodputs.
     pub total_tput_mbps: f64,
+    /// Jain fairness index across flows.
     pub jain: f64,
+    /// Packets dropped across all hops.
     pub drops: u64,
     /// (t seconds, Mbit/s) aggregate goodput series.
     pub tput_series: Vec<(f64, f64)>,

@@ -19,16 +19,23 @@ use netsim::time::{SimDuration, SimTime};
 pub enum LinkSpec {
     /// Mahimahi-style trace (cellular emulation).
     Trace(CellTrace),
+    /// A fixed-rate link.
     Constant(Rate),
+    /// A square wave: `a` and `b` alternating every `half_period`.
     Square {
+        /// The first phase's rate.
         a: Rate,
+        /// The second phase's rate.
         b: Rate,
+        /// Length of each phase.
         half_period: SimDuration,
     },
+    /// Piecewise-constant `(from time, rate)` breakpoints.
     Steps(Vec<(SimTime, Rate)>),
 }
 
 impl LinkSpec {
+    /// Build the transmitter this spec denotes.
     pub fn build(&self) -> Box<dyn Transmitter> {
         match self {
             LinkSpec::Trace(t) => Box::new(t.to_link()),
@@ -82,12 +89,17 @@ impl LinkSpec {
 /// A single-bottleneck scenario.
 #[derive(Clone)]
 pub struct CellScenario {
+    /// The scheme every flow runs.
     pub scheme: Scheme,
+    /// The bottleneck link.
     pub link: LinkSpec,
     /// Path round-trip propagation delay.
     pub rtt: SimDuration,
+    /// Bottleneck buffer (packets).
     pub buffer_pkts: usize,
+    /// Number of flows.
     pub n_flows: u32,
+    /// Simulated duration.
     pub duration: SimDuration,
     /// Measurements before this offset are discarded.
     pub warmup: SimDuration,
@@ -103,6 +115,8 @@ pub struct CellScenario {
 }
 
 impl CellScenario {
+    /// The single-bottleneck defaults: 100 ms RTT, 250-pkt buffer, one
+    /// backlogged flow, 60 s + 5 s warmup.
     pub fn new(scheme: Scheme, link: LinkSpec) -> Self {
         CellScenario {
             scheme,

@@ -15,6 +15,7 @@ use netsim::time::SimDuration;
 /// threshold in ms (the Fig. 10 ABC_20/60/100 variants).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Scheme {
+    /// ABC, as published.
     Abc,
     /// ABC with a non-default delay threshold dt (ms).
     AbcDt(u64),
@@ -22,19 +23,33 @@ pub enum Scheme {
     AbcNoAi,
     /// ABC computing f(t) from the enqueue rate (Fig. 2 ablation).
     AbcEnqueue,
+    /// TCP Cubic over droptail.
     Cubic,
+    /// Cubic with a CoDel bottleneck.
     CubicCodel,
+    /// Cubic with a PIE bottleneck.
     CubicPie,
+    /// TCP NewReno.
     NewReno,
+    /// TCP Vegas.
     Vegas,
+    /// BBR v1.
     Bbr,
+    /// Copa (NSDI '18).
     Copa,
+    /// PCC Vivace-latency.
     Pcc,
+    /// Sprout's packet-train forecaster.
     Sprout,
+    /// Verus' delay-profile learner.
     Verus,
+    /// XCP (multi-bit explicit window feedback).
     Xcp,
+    /// XCPw, the paper's wireless-tuned XCP variant.
     Xcpw,
+    /// RCP (router-advertised rate).
     Rcp,
+    /// VCP (2-bit load factor).
     Vcp,
 }
 
@@ -77,6 +92,8 @@ pub const WIFI_LINEUP: [Scheme; 9] = [
 ];
 
 impl Scheme {
+    /// The display name (as figures, stores, and campaign files write
+    /// it): `ABC`, `Cubic+Codel`, `ABC_50`, …
     pub fn name(&self) -> String {
         match self {
             Scheme::Abc => "ABC".into(),
@@ -100,6 +117,44 @@ impl Scheme {
         }
     }
 
+    /// Parse a scheme from its display name or a common alias,
+    /// case-insensitively (`-`, `_`, and `+` are interchangeable):
+    /// `ABC`, `cubic-codel`, `Cubic+PIE`, `reno`, `ABC_50` / `abc-dt50`
+    /// (non-default delay threshold), … The inverse of [`Scheme::name`];
+    /// `abcsim --scheme` and campaign files both resolve through here,
+    /// so a new variant becomes nameable everywhere at once.
+    pub fn from_name(s: &str) -> Option<Scheme> {
+        let norm = s.to_ascii_lowercase().replace(['-', '_'], "+");
+        Some(match norm.as_str() {
+            "abc" => Scheme::Abc,
+            "abc+noai" => Scheme::AbcNoAi,
+            "abc+enq" | "abc+enqueue" => Scheme::AbcEnqueue,
+            "cubic" => Scheme::Cubic,
+            "cubic+codel" | "codel" => Scheme::CubicCodel,
+            "cubic+pie" | "pie" => Scheme::CubicPie,
+            "newreno" | "reno" => Scheme::NewReno,
+            "vegas" => Scheme::Vegas,
+            "bbr" => Scheme::Bbr,
+            "copa" => Scheme::Copa,
+            "pcc" | "pcc+vivace" | "vivace" => Scheme::Pcc,
+            "sprout" => Scheme::Sprout,
+            "verus" => Scheme::Verus,
+            "xcp" => Scheme::Xcp,
+            "xcpw" | "xcp+w" => Scheme::Xcpw,
+            "rcp" => Scheme::Rcp,
+            "vcp" => Scheme::Vcp,
+            _ => {
+                // "abc-dt50" (abcsim's historical form) or "ABC_50" (the
+                // display name) — both normalize onto an "abc+…" prefix.
+                let ms = norm
+                    .strip_prefix("abc+dt")
+                    .or_else(|| norm.strip_prefix("abc+"))?;
+                return ms.parse().ok().map(Scheme::AbcDt);
+            }
+        })
+    }
+
+    /// Is this an ABC variant (router-feedback-driven sender)?
     pub fn is_abc(&self) -> bool {
         matches!(
             self,

@@ -24,16 +24,25 @@ use netsim::time::{SimDuration, SimTime};
 /// cellular uplink then downlink); both run the scheme's qdisc. ACKs
 /// return over plain propagation.
 pub struct TwoHopScenario {
+    /// The scheme the flow (and both hops' qdiscs) run.
     pub scheme: Scheme,
+    /// The uplink bottleneck.
     pub up: LinkSpec,
+    /// The downlink bottleneck.
     pub down: LinkSpec,
+    /// Path round-trip propagation delay.
     pub rtt: SimDuration,
+    /// Buffer at each hop.
     pub buffer_pkts: usize,
+    /// Simulated duration.
     pub duration: SimDuration,
+    /// Measurements before this offset are discarded.
     pub warmup: SimDuration,
 }
 
 impl TwoHopScenario {
+    /// The Fig. 8c defaults: 100 ms RTT, 250-pkt buffers, 60 s + 5 s
+    /// warmup.
     pub fn new(scheme: Scheme, up: LinkSpec, down: LinkSpec) -> Self {
         TwoHopScenario {
             scheme,
@@ -46,6 +55,7 @@ impl TwoHopScenario {
         }
     }
 
+    /// The [`ScenarioSpec`] this preset denotes.
     pub fn spec(&self) -> ScenarioSpec {
         ScenarioSpec::two_hop(self.scheme, self.up.clone(), self.down.clone())
             .rtt(self.rtt)
@@ -54,6 +64,7 @@ impl TwoHopScenario {
             .warmup(self.warmup)
     }
 
+    /// Build, run to completion, and report.
     pub fn run(&self) -> Report {
         ScenarioEngine::new().run(&self.spec())
     }
@@ -62,10 +73,13 @@ impl TwoHopScenario {
 /// Cross-traffic pattern on the wired hop of [`MixedPathScenario`].
 #[derive(Debug, Clone, Copy)]
 pub enum CrossTraffic {
+    /// No cross traffic.
     None,
     /// A Cubic flow that is backlogged during `on`, silent during `off`.
     OnOffCubic {
+        /// Backlogged-phase length.
         on: SimDuration,
+        /// Silent-phase length.
         off: SimDuration,
     },
 }
@@ -74,11 +88,17 @@ pub enum CrossTraffic {
 /// fixed-rate wired droptail link, optionally shared with Cubic cross
 /// traffic. The bottleneck flips between hops as the wireless rate steps.
 pub struct MixedPathScenario {
+    /// The ABC-controlled wireless hop.
     pub wireless: LinkSpec,
+    /// The fixed-rate wired droptail hop.
     pub wired_rate: Rate,
+    /// Path round-trip propagation delay.
     pub rtt: SimDuration,
+    /// Buffer at each hop.
     pub buffer_pkts: usize,
+    /// Cross traffic on the wired hop.
     pub cross: CrossTraffic,
+    /// Simulated duration.
     pub duration: SimDuration,
 }
 
@@ -89,8 +109,12 @@ pub struct WindowTrace {
     pub samples: Vec<(f64, f64, f64, f64)>,
 }
 
+/// What [`MixedPathScenario::run`] returns: the report plus the traces
+/// Figs. 6/11 plot.
 pub struct MixedPathResult {
+    /// The headline report (tracking the ABC flow).
     pub report: Report,
+    /// The ABC sender's dual windows over time.
     pub windows: WindowTrace,
     /// (t s, queuing delay ms) at the *wireless* hop.
     pub wireless_qdelay: Vec<(f64, f64)>,
@@ -101,6 +125,7 @@ pub struct MixedPathResult {
 }
 
 impl MixedPathScenario {
+    /// The [`ScenarioSpec`] this preset denotes.
     pub fn spec(&self) -> ScenarioSpec {
         let mut flows = vec![FlowSpec::new("abc")];
         if let CrossTraffic::OnOffCubic { on, off } = self.cross {
@@ -119,6 +144,7 @@ impl MixedPathScenario {
         spec
     }
 
+    /// Build and run, sampling the ABC sender's windows every 200 ms.
     pub fn run(&self) -> MixedPathResult {
         let mut b = ScenarioEngine::new().build(&self.spec());
 
@@ -180,17 +206,25 @@ impl MixedPathScenario {
 /// router, plus optional Poisson short (Cubic) flows at a target offered
 /// load.
 pub struct CoexistScenario {
+    /// The shared bottleneck's rate.
     pub link_rate: Rate,
+    /// Long-lived ABC flows.
     pub n_abc: u32,
+    /// Long-lived Cubic flows.
     pub n_cubic: u32,
+    /// The dual-queue scheduling policy.
     pub policy: WeightPolicy,
     /// Offered load of 10-KB short flows as a fraction of link rate.
     pub short_flow_load: f64,
+    /// Path round-trip propagation delay.
     pub rtt: SimDuration,
+    /// Simulated duration.
     pub duration: SimDuration,
+    /// Measurements before this offset are discarded.
     pub warmup: SimDuration,
     /// Stagger between long-flow arrivals (Fig. 7 uses ~25 s).
     pub stagger: SimDuration,
+    /// Fixes the short-flow arrival process.
     pub seed: u64,
 }
 
@@ -211,6 +245,7 @@ impl Default for CoexistScenario {
     }
 }
 
+/// What [`CoexistScenario::run`] returns.
 pub struct CoexistResult {
     /// Per-flow average goodput (Mbit/s) of the long ABC flows.
     pub abc_tputs: Vec<f64>,
@@ -218,12 +253,14 @@ pub struct CoexistResult {
     pub cubic_tputs: Vec<f64>,
     /// Goodput series per long flow (Fig. 7 top panel).
     pub series: Vec<(String, Vec<(f64, f64)>)>,
-    /// (t s, ms) queuing delay of the ABC class / the other class.
+    /// p95 queuing delay (ms) of the ABC class.
     pub abc_qdelay_p95_ms: f64,
+    /// Short flows that completed within the run.
     pub short_flows_completed: u64,
 }
 
 impl CoexistScenario {
+    /// The [`ScenarioSpec`] this preset denotes.
     pub fn spec(&self) -> ScenarioSpec {
         let mut flows = Vec::new();
         for i in 0..self.n_abc {
@@ -257,6 +294,7 @@ impl CoexistScenario {
         spec
     }
 
+    /// Build, run to completion, and report.
     pub fn run(&self) -> CoexistResult {
         self.run_sampled(|_, _, _, _| {})
     }

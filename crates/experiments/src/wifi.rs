@@ -18,6 +18,7 @@ use wifi_mac::{AlternatingMcs, BrownianMcs, FixedMcs, McsProcess};
 /// MCS-variation pattern of the experiment.
 #[derive(Debug, Clone, Copy)]
 pub enum McsSpec {
+    /// A constant MCS index.
     Fixed(u8),
     /// §6.3: alternate between two indices every period.
     Alternating(u8, u8, SimDuration),
@@ -26,6 +27,7 @@ pub enum McsSpec {
 }
 
 impl McsSpec {
+    /// Build the MCS process this spec denotes.
     pub fn build(&self) -> Box<dyn McsProcess> {
         match *self {
             McsSpec::Fixed(i) => Box::new(FixedMcs(i)),
@@ -35,17 +37,28 @@ impl McsSpec {
     }
 }
 
+/// Flows of one scheme through the 802.11n A-MPDU access point
+/// (Figs. 4/5/10/14).
 pub struct WifiScenario {
+    /// The scheme every user runs.
     pub scheme: Scheme,
+    /// Number of stations (one backlogged flow each by default).
     pub users: u32,
+    /// How the MCS index varies over time.
     pub mcs: McsSpec,
+    /// Path round-trip propagation delay.
     pub rtt: SimDuration,
+    /// Simulated duration.
     pub duration: SimDuration,
+    /// Measurements before this offset are discarded.
     pub warmup: SimDuration,
+    /// Per-flow application pattern.
     pub app: TrafficSource,
 }
 
 impl WifiScenario {
+    /// The Wi-Fi defaults: 100 ms RTT, 45 s + 5 s warmup, backlogged
+    /// users.
     pub fn new(scheme: Scheme, users: u32, mcs: McsSpec) -> Self {
         WifiScenario {
             scheme,
@@ -58,6 +71,7 @@ impl WifiScenario {
         }
     }
 
+    /// The [`ScenarioSpec`] this preset denotes.
     pub fn spec(&self) -> ScenarioSpec {
         ScenarioSpec::wifi(self.scheme, self.users, self.mcs)
             .app(self.app)
@@ -66,6 +80,7 @@ impl WifiScenario {
             .warmup(self.warmup)
     }
 
+    /// Build, run to completion, and report.
     pub fn run(&self) -> Report {
         ScenarioEngine::new().run(&self.spec())
     }

@@ -4,7 +4,7 @@
 //! (§4.1, §6.1; see DESIGN.md for the substitution argument):
 //!
 //! * [`mcs`] — the 802.11n MCS↔bitrate table and the index-variation
-//!   schedules used in the evaluation (alternating 1↔7, Brownian [3,7]);
+//!   schedules used in the evaluation (alternating 1↔7, Brownian \[3,7\]);
 //! * [`estimator`] — Eqs. 5–8: extrapolating full-batch inter-ACK time
 //!   from partial batches, sliding-window smoothing, 2×-rate cap;
 //! * [`ap`] — the access-point node: A-MPDU batching, block-ACK timing,

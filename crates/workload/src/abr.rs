@@ -98,6 +98,7 @@ pub struct AbrClient {
 }
 
 impl AbrClient {
+    /// A client playing `spec`'s stream, requesting from `start` on.
     pub fn new(spec: AbrWorkload, start: SimTime) -> AbrClient {
         assert!(!spec.ladder_kbps.is_empty(), "empty bitrate ladder");
         assert!(
@@ -122,6 +123,7 @@ impl AbrClient {
         }
     }
 
+    /// The workload this client realizes.
     pub fn spec(&self) -> &AbrWorkload {
         &self.spec
     }

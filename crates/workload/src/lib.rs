@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # workload — application-layer traffic models over the netsim transport
 //!
 //! The paper's whole argument is about *application experience* on
@@ -45,8 +47,11 @@ pub use web::{ArrivalProcess, SizeDist, WebFlow, WebWorkload};
 /// each variant into flows/drivers on the simulator.
 #[derive(Debug, Clone)]
 pub enum WorkloadSpec {
+    /// A request/response fleet of short flows.
     Web(WebWorkload),
+    /// A constant-cadence interactive stream.
     Rtc(RtcWorkload),
+    /// An adaptive-bitrate video client.
     AbrVideo(AbrWorkload),
 }
 

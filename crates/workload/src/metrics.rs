@@ -37,7 +37,9 @@ pub struct RtcMetrics {
 /// ABR video session outcomes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VideoMetrics {
+    /// Chunks fully downloaded by stream end.
     pub chunks_downloaded: u64,
+    /// Chunks the stream comprises.
     pub chunks_total: u64,
     /// Mean selected ladder rate over downloaded chunks (`NaN` if none).
     pub mean_bitrate_kbps: f64,
@@ -60,6 +62,7 @@ pub struct VideoMetrics {
 /// the metrics hub.
 #[derive(Debug, Clone, Copy)]
 pub struct WebFlowOutcome {
+    /// When the request started.
     pub start: SimTime,
     /// Wire bytes the request was registered to deliver.
     pub expected_bytes: u64,

@@ -18,12 +18,18 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone, Copy)]
 pub enum ArrivalProcess {
     /// Memoryless arrivals at `per_sec` requests per second.
-    Poisson { per_sec: f64 },
+    Poisson {
+        /// Mean arrival rate (requests per second).
+        per_sec: f64,
+    },
     /// Poisson at `per_sec` during `[0, on)` of each `on + off` cycle,
     /// silent otherwise — flash-crowd style burstiness.
     OnOff {
+        /// Arrival rate during the on-phase (requests per second).
         per_sec: f64,
+        /// On-phase length.
         on: SimDuration,
+        /// Off-phase length.
         off: SimDuration,
     },
 }
@@ -111,14 +117,18 @@ impl SizeDist {
 /// The web workload spec: arrivals × sizes.
 #[derive(Debug, Clone)]
 pub struct WebWorkload {
+    /// When requests arrive.
     pub arrivals: ArrivalProcess,
+    /// How many bytes each request transfers.
     pub sizes: SizeDist,
 }
 
 /// One expanded request: when it starts and how many bytes it transfers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WebFlow {
+    /// When the request starts.
     pub start: SimTime,
+    /// Object size in bytes.
     pub bytes: u64,
 }
 
