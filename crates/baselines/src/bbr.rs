@@ -57,6 +57,7 @@ impl MaxFilter {
     }
 }
 
+/// BBR (bottleneck bandwidth and RTT) congestion controller.
 pub struct Bbr {
     state: State,
     bw_filter: MaxFilter,
@@ -83,6 +84,7 @@ pub struct Bbr {
 }
 
 impl Bbr {
+    /// A BBR flow in startup with an empty bandwidth filter.
     pub fn new() -> Self {
         Bbr {
             state: State::Startup,

@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 /// Copa's delta: packets of queueing each flow aims to keep (1/δ = 2 pkts).
 const DELTA: f64 = 0.5;
 
+/// Copa: delay-based target-rate congestion controller.
 pub struct Copa {
     cwnd: f64,
     velocity: f64,
@@ -26,6 +27,7 @@ pub struct Copa {
 }
 
 impl Copa {
+    /// A Copa flow at the initial window.
     pub fn new() -> Self {
         Copa {
             cwnd: 2.0,

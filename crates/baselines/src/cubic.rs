@@ -33,6 +33,7 @@ impl Default for CubicWindow {
 }
 
 impl CubicWindow {
+    /// A window starting at `init_cwnd` packets in slow start.
     pub fn new(init_cwnd: f64) -> Self {
         CubicWindow {
             cwnd: init_cwnd,
@@ -45,6 +46,7 @@ impl CubicWindow {
         }
     }
 
+    /// Current congestion window (packets).
     pub fn cwnd(&self) -> f64 {
         self.cwnd
     }
@@ -54,6 +56,7 @@ impl CubicWindow {
         self.cwnd = self.cwnd.min(max).max(1.0);
     }
 
+    /// True while below ssthresh.
     pub fn in_slow_start(&self) -> bool {
         self.cwnd < self.ssthresh
     }
@@ -125,6 +128,7 @@ pub struct Cubic {
 }
 
 impl Cubic {
+    /// A loss-only CUBIC flow at the default initial window.
     pub fn new() -> Self {
         Cubic {
             win: CubicWindow::default(),
@@ -139,6 +143,7 @@ impl Cubic {
         self
     }
 
+    /// The underlying cubic window state.
     pub fn window(&self) -> &CubicWindow {
         &self.win
     }

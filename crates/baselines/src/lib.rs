@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # baselines — end-to-end congestion-control schemes
 //!
 //! Every end-to-end scheme the ABC paper evaluates against:

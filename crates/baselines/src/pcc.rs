@@ -54,6 +54,7 @@ impl MiStats {
     }
 }
 
+/// PCC Vivace: online-learning rate controller.
 pub struct PccVivace {
     rate: Rate,
     phase: Phase,
@@ -69,6 +70,7 @@ pub struct PccVivace {
 }
 
 impl PccVivace {
+    /// A PCC flow at the initial probing rate.
     pub fn new() -> Self {
         PccVivace {
             rate: Rate::from_mbps(1.0),

@@ -5,6 +5,7 @@ use netsim::flow::{AckEvent, CongestionControl};
 use netsim::packet::Ecn;
 use netsim::time::{SimDuration, SimTime};
 
+/// TCP NewReno: AIMD with slow start and fast recovery.
 pub struct NewReno {
     cwnd: f64,
     ssthresh: f64,
@@ -14,6 +15,7 @@ pub struct NewReno {
 }
 
 impl NewReno {
+    /// A loss-only NewReno flow at the default initial window.
     pub fn new() -> Self {
         NewReno {
             cwnd: 10.0,
@@ -24,6 +26,7 @@ impl NewReno {
         }
     }
 
+    /// Also react to CE marks (classic ECN).
     pub fn with_ecn(mut self) -> Self {
         self.ecn_enabled = true;
         self

@@ -28,6 +28,7 @@ const Z95: f64 = 1.3;
 /// the forecast horizon, as in Sprout's Brownian volatility).
 const DRIFT: f64 = 0.05;
 
+/// Sprout: stochastic-forecast controller for cellular links.
 pub struct Sprout {
     /// Rate belief (bytes/s) and its variance, updated per tick.
     mean_rate: f64,
@@ -54,6 +55,7 @@ pub struct Sprout {
 }
 
 impl Sprout {
+    /// A Sprout flow with an empty delivery forecast.
     pub fn new() -> Self {
         Sprout {
             mean_rate: 0.0,

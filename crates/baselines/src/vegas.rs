@@ -11,6 +11,7 @@ const BETA: f64 = 4.0;
 /// Slow-start exit threshold.
 const GAMMA: f64 = 1.0;
 
+/// TCP Vegas: delay-based additive-increase controller.
 pub struct Vegas {
     cwnd: f64,
     base_rtt: SimDuration,
@@ -22,6 +23,7 @@ pub struct Vegas {
 }
 
 impl Vegas {
+    /// A Vegas flow at the initial window.
     pub fn new() -> Self {
         Vegas {
             cwnd: 2.0,

@@ -27,6 +27,7 @@ const LOSS_BACKOFF: f64 = 0.5;
 /// Window bucketing for the delay profile.
 const BUCKET: f64 = 2.0;
 
+/// Verus: delay-profile controller for cellular links.
 pub struct Verus {
     cwnd: f64,
     /// Empirical delay profile: window bucket → EWMA delay (s).
@@ -41,6 +42,7 @@ pub struct Verus {
 }
 
 impl Verus {
+    /// A Verus flow with an empty delay profile.
     pub fn new() -> Self {
         Verus {
             cwnd: 2.0,

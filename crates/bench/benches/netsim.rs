@@ -12,7 +12,7 @@
 //! sweep throughput over the same kernel.
 
 use campaign::json::{self, Value};
-use experiments::engine::{ScenarioEngine, ScenarioSpec};
+use experiments::engine::{FlowSchedule, ScenarioEngine, ScenarioSpec};
 use experiments::figures::Scale;
 use experiments::scenario::LinkSpec;
 use experiments::Scheme;
@@ -124,8 +124,36 @@ fn main() {
     run_events(&engine, &cell_spec); // warm
     let (cell_s, cell_events) = best_of(|| run_events(&engine, &cell_spec));
 
+    // --- dense regime: the arena / batched-ACK scaling gate -----------
+    // 100 vs 1000 backlogged flows on one 96 Mbit/s bottleneck. The
+    // per-event cost at 1k flows must stay within 2× of 100 flows —
+    // i.e. flow-count scaling stays O(1) per event, not O(flows).
+    let dense_spec = |n: u32| {
+        let mut spec = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(96.0)))
+            .duration_secs(2)
+            .warmup_secs(0);
+        spec.flows = FlowSchedule::backlogged(n);
+        spec
+    };
+    let d100_spec = dense_spec(100);
+    run_events(&engine, &d100_spec); // warm
+    let (d100_s, d100_events) = best_of(|| run_events(&engine, &d100_spec));
+    let d1k_spec = dense_spec(1_000);
+    run_events(&engine, &d1k_spec); // warm
+    let (d1k_s, d1k_events) = best_of(|| run_events(&engine, &d1k_spec));
+
+    let cost_100 = d100_s / d100_events as f64;
+    let cost_1k = d1k_s / d1k_events as f64;
+    assert!(
+        cost_1k <= 2.0 * cost_100,
+        "dense scaling regressed: {:.0} ns/event at 1k flows vs {:.0} ns/event at 100 \
+         (must stay within 2×)",
+        cost_1k * 1e9,
+        cost_100 * 1e9,
+    );
+
     let entry = Value::Obj(vec![
-        ("schema".into(), Value::str("abc-netsim-bench/v1")),
+        ("schema".into(), Value::str("abc-netsim-bench/v2")),
         (
             "queue_churn_ns_per_op".into(),
             Value::num(churn_s * 1e9 / 200_000.0),
@@ -143,6 +171,22 @@ fn main() {
         (
             "cellular_events_per_sec".into(),
             Value::num(cell_events as f64 / cell_s),
+        ),
+        (
+            "dense_100_flows_events".into(),
+            Value::num(d100_events as f64),
+        ),
+        (
+            "dense_100_flows_events_per_sec".into(),
+            Value::num(d100_events as f64 / d100_s),
+        ),
+        (
+            "dense_1k_flows_events".into(),
+            Value::num(d1k_events as f64),
+        ),
+        (
+            "dense_1k_flows_events_per_sec".into(),
+            Value::num(d1k_events as f64 / d1k_s),
         ),
         (
             "unix_time".into(),
@@ -180,7 +224,8 @@ fn main() {
 
     println!(
         "netsim: queue churn {:.0} ns/op, cancel churn {:.0} ns/op, \
-         tiny {:.2} Mevents/s ({} events), cellular {:.2} Mevents/s ({} events); \
+         tiny {:.2} Mevents/s ({} events), cellular {:.2} Mevents/s ({} events), \
+         dense 100 {:.2} Mevents/s, dense 1k {:.2} Mevents/s ({:.0} vs {:.0} ns/event); \
          trajectory now {} entries",
         churn_s * 1e9 / 200_000.0,
         cancel_s * 1e9 / 100_000.0,
@@ -188,6 +233,10 @@ fn main() {
         tiny_events,
         cell_events as f64 / cell_s / 1e6,
         cell_events,
+        d100_events as f64 / d100_s / 1e6,
+        d1k_events as f64 / d1k_s / 1e6,
+        cost_100 * 1e9,
+        cost_1k * 1e9,
         trajectory.len()
     );
 }

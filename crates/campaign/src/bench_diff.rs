@@ -1,0 +1,265 @@
+//! Regression gating over the committed `BENCH_*.json` trajectories.
+//!
+//! A trajectory is a JSON array of entries, newest last; each entry maps
+//! metric keys to numbers. `bench-diff` compares the newest entry (the
+//! candidate, typically appended by a fresh `cargo bench` run) against
+//! the one before it (the committed baseline), key by key:
+//!
+//! * `*_per_sec` keys are throughputs — higher is better; the candidate
+//!   regresses when it falls below `(1 − threshold) × baseline`;
+//! * `*_ns_per_op` keys are unit costs — lower is better; the candidate
+//!   regresses when it rises above `(1 + threshold) × baseline`.
+//!
+//! Only keys present in **both** entries are compared, so schema
+//! migrations (an entry gaining a new regime) gate on the shared keys
+//! instead of erroring. Everything else (`schema`, `unix_time`, raw
+//! event counts) is context, not a gated metric.
+
+use crate::json::Value;
+
+/// How one shared metric moved between baseline and candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// The metric key (`tiny_events_per_sec`, `queue_churn_ns_per_op`, …).
+    pub key: String,
+    /// The second-to-last entry's value.
+    pub baseline: f64,
+    /// The newest entry's value.
+    pub candidate: f64,
+    /// Signed relative change, positive when the metric *improved*
+    /// (throughput up, or unit cost down).
+    pub improvement: f64,
+    /// Whether the change exceeds the gate threshold in the bad direction.
+    pub regressed: bool,
+}
+
+/// The comparison of a trajectory's two newest entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiffReport {
+    /// Per-metric deltas, in the candidate entry's key order.
+    pub deltas: Vec<BenchDelta>,
+    /// The gate threshold the deltas were judged against.
+    pub threshold: f64,
+}
+
+impl BenchDiffReport {
+    /// True when any shared metric regressed past the threshold.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Human-readable table, one row per gated metric.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "# bench-diff — newest entry vs previous (gate: {:.0}%)",
+            self.threshold * 100.0
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<34} {:>14} {:>14} {:>9}  verdict",
+            "metric", "baseline", "candidate", "change"
+        )
+        .unwrap();
+        for d in &self.deltas {
+            writeln!(
+                out,
+                "{:<34} {:>14.1} {:>14.1} {:>+8.1}%  {}",
+                d.key,
+                d.baseline,
+                d.candidate,
+                d.improvement * 100.0,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Errors a malformed trajectory produces (exit-2 material, distinct
+/// from the exit-1 "regression found" gate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchDiffError(pub String);
+
+impl std::fmt::Display for BenchDiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn gated_metrics(entry: &Value) -> Result<Vec<(String, f64)>, BenchDiffError> {
+    let obj = entry
+        .as_obj()
+        .ok_or_else(|| BenchDiffError("trajectory entry is not an object".into()))?;
+    let mut out = Vec::new();
+    for (k, v) in obj {
+        if !k.ends_with("_per_sec") && !k.ends_with("_ns_per_op") {
+            continue;
+        }
+        let x = v
+            .as_f64()
+            .ok_or_else(|| BenchDiffError(format!("metric `{k}` is not a number")))?;
+        if !x.is_finite() || x <= 0.0 {
+            return Err(BenchDiffError(format!("metric `{k}` is not positive: {x}")));
+        }
+        out.push((k.clone(), x));
+    }
+    Ok(out)
+}
+
+/// Compare the two newest entries of a parsed trajectory. Returns
+/// `Ok(None)` when the trajectory holds fewer than two entries (nothing
+/// to gate — a fresh file must not fail its first CI run).
+pub fn bench_diff(
+    trajectory: &Value,
+    threshold: f64,
+) -> Result<Option<BenchDiffReport>, BenchDiffError> {
+    if !threshold.is_finite() || !(0.0..1.0).contains(&threshold) {
+        return Err(BenchDiffError(format!(
+            "threshold must be in [0, 1), got {threshold}"
+        )));
+    }
+    let entries = trajectory
+        .as_arr()
+        .ok_or_else(|| BenchDiffError("trajectory is not a JSON array".into()))?;
+    let [.., baseline, candidate] = entries else {
+        return Ok(None);
+    };
+    let base = gated_metrics(baseline)?;
+    let deltas = gated_metrics(candidate)?
+        .into_iter()
+        .filter_map(|(key, cand)| {
+            let (_, b) = base.iter().find(|(k, _)| *k == key)?;
+            let higher_is_better = key.ends_with("_per_sec");
+            let (improvement, regressed) = if higher_is_better {
+                (cand / b - 1.0, cand < (1.0 - threshold) * b)
+            } else {
+                (b / cand - 1.0, cand > (1.0 + threshold) * b)
+            };
+            Some(BenchDelta {
+                key,
+                baseline: *b,
+                candidate: cand,
+                improvement,
+                regressed,
+            })
+        })
+        .collect();
+    Ok(Some(BenchDiffReport { deltas, threshold }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn traj(entries: &[&[(&str, f64)]]) -> Value {
+        Value::Arr(
+            entries
+                .iter()
+                .map(|e| {
+                    Value::Obj(
+                        e.iter()
+                            .map(|(k, v)| (k.to_string(), Value::num(*v)))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unchanged_metrics_pass() {
+        let t = traj(&[
+            &[
+                ("tiny_events_per_sec", 1e6),
+                ("queue_churn_ns_per_op", 60.0),
+            ],
+            &[
+                ("tiny_events_per_sec", 1e6),
+                ("queue_churn_ns_per_op", 60.0),
+            ],
+        ]);
+        let r = bench_diff(&t, 0.2).unwrap().unwrap();
+        assert_eq!(r.deltas.len(), 2);
+        assert!(!r.has_regressions());
+    }
+
+    #[test]
+    fn throughput_drop_past_threshold_regresses() {
+        let t = traj(&[
+            &[("tiny_events_per_sec", 1e6)],
+            &[("tiny_events_per_sec", 0.7e6)],
+        ]);
+        let r = bench_diff(&t, 0.2).unwrap().unwrap();
+        assert!(r.has_regressions());
+        assert!(r.deltas[0].improvement < 0.0);
+        // a 21% unit-cost rise also regresses at the default gate
+        let t = traj(&[
+            &[("queue_churn_ns_per_op", 100.0)],
+            &[("queue_churn_ns_per_op", 121.0)],
+        ]);
+        assert!(bench_diff(&t, 0.2).unwrap().unwrap().has_regressions());
+    }
+
+    #[test]
+    fn within_threshold_changes_pass() {
+        let t = traj(&[
+            &[
+                ("tiny_events_per_sec", 1e6),
+                ("queue_churn_ns_per_op", 100.0),
+            ],
+            &[
+                ("tiny_events_per_sec", 0.85e6),
+                ("queue_churn_ns_per_op", 115.0),
+            ],
+        ]);
+        assert!(!bench_diff(&t, 0.2).unwrap().unwrap().has_regressions());
+    }
+
+    #[test]
+    fn schema_migration_gates_on_shared_keys_only() {
+        // v1 → v2: the new dense keys have no baseline and are skipped
+        let t = traj(&[
+            &[("tiny_events_per_sec", 1e6)],
+            &[
+                ("tiny_events_per_sec", 1.1e6),
+                ("dense_1k_flows_events_per_sec", 5e6),
+            ],
+        ]);
+        let r = bench_diff(&t, 0.2).unwrap().unwrap();
+        assert_eq!(r.deltas.len(), 1);
+        assert_eq!(r.deltas[0].key, "tiny_events_per_sec");
+    }
+
+    #[test]
+    fn short_trajectories_have_nothing_to_gate() {
+        assert!(bench_diff(&traj(&[&[("x_per_sec", 1.0)]]), 0.2)
+            .unwrap()
+            .is_none());
+        assert!(bench_diff(&traj(&[]), 0.2).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_trajectories_error() {
+        assert!(bench_diff(&Value::num(3.0), 0.2).is_err());
+        let t = json::parse(r#"[{"a_per_sec": "fast"}, {"a_per_sec": 2.0}]"#).unwrap();
+        assert!(bench_diff(&t, 0.2).is_err());
+        let ok = traj(&[&[("a_per_sec", 1.0)], &[("a_per_sec", 1.0)]]);
+        assert!(bench_diff(&ok, 1.5).is_err());
+        assert!(bench_diff(&ok, -0.1).is_err());
+    }
+
+    #[test]
+    fn committed_trajectory_parses_and_gates() {
+        // the real BENCH_netsim.json at the repo root must stay diffable
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netsim.json");
+        let text = std::fs::read_to_string(path).expect("BENCH_netsim.json");
+        let traj = json::parse(&text).expect("valid JSON");
+        bench_diff(&traj, 0.2).expect("diffable trajectory");
+    }
+}

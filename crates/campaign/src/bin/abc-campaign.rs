@@ -9,6 +9,7 @@
 //! abc-campaign export tiny.jsonl
 //! abc-campaign export tiny.jsonl --csv
 //! abc-campaign diff baseline.jsonl candidate.jsonl
+//! abc-campaign bench-diff BENCH_netsim.json
 //! ```
 //!
 //! `run` writes a schema-versioned JSONL store that is bit-identical
@@ -49,6 +50,11 @@ USAGE:
   abc-campaign merge <shard.jsonl>... [--out F]  stitch shard stores into one
   abc-campaign diff <baseline.jsonl> <candidate.jsonl> [options]
                                                  regression gate (exit 1 on regression)
+  abc-campaign bench-diff <BENCH_*.json> [--threshold X]
+                                                 gate a bench trajectory's newest entry
+                                                 against the previous one (exit 1 when a
+                                                 *_per_sec / *_ns_per_op metric moves more
+                                                 than X in the bad direction; default 0.2)
 
 CAMPAIGN SOURCE:
   <preset>                 a built-in (see `abc-campaign list`)
@@ -286,6 +292,35 @@ fn main() {
             print!("{}", report.render());
             if report.has_regressions() {
                 std::process::exit(1);
+            }
+        }
+        "bench-diff" => {
+            let Some(path) = positional.get(1) else {
+                usage()
+            };
+            let threshold = get("--threshold").map_or(0.2, |x| match x.parse::<f64>() {
+                Ok(t) => t,
+                Err(_) => fail(format!("--threshold needs a number, got {x:?}")),
+            });
+            let text = match std::fs::read_to_string(path.as_str()) {
+                Ok(t) => t,
+                Err(e) => fail(format!("cannot read {path}: {e}")),
+            };
+            let trajectory = match campaign::json::parse(&text) {
+                Ok(v) => v,
+                Err(e) => fail(format!("{path}: {e}")),
+            };
+            match campaign::bench_diff::bench_diff(&trajectory, threshold) {
+                Ok(Some(report)) => {
+                    print!("{}", report.render());
+                    if report.has_regressions() {
+                        std::process::exit(1);
+                    }
+                }
+                Ok(None) => {
+                    println!("bench-diff: {path} has fewer than two entries; nothing to gate");
+                }
+                Err(e) => fail(format!("{path}: {e}")),
             }
         }
         _ => usage(),

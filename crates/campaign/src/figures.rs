@@ -412,6 +412,48 @@ pub fn render_rtc_coexist(records: &[RunRecord]) -> String {
     out
 }
 
+/// Many-users figure: fairness and web tail FCT as the client count
+/// scales 10 → 10k on one bottleneck.
+pub fn many_users_fig(scale: Scale) -> String {
+    render_many_users(&run(&presets::many_users(scale)))
+}
+
+/// Render the many-users table from `many-users` records (axis
+/// `clients`): Jain fairness across the bulk fleet, web FCT tails from
+/// the rider workload, and aggregate throughput per client count.
+pub fn render_many_users(records: &[RunRecord]) -> String {
+    let counts = labels_of(records, "clients");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Many users — fairness and web tail FCT vs client count (one ABC bottleneck)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>8} {:>14} {:>14} {:>18}",
+        "Clients", "Jain", "FCT p95 (ms)", "FCT p99 (ms)", "total tput Mbit/s"
+    )
+    .unwrap();
+    for c in &counts {
+        let r = find(records, &[("clients", c)])
+            .unwrap_or_else(|| panic!("many-users cell clients={c} missing"));
+        let web = r
+            .report
+            .app
+            .as_ref()
+            .and_then(|a| a.web.as_ref())
+            .unwrap_or_else(|| panic!("clients={c} has no web metrics"));
+        writeln!(
+            out,
+            "{:<10} {:>8.3} {:>14.0} {:>14.0} {:>18.2}",
+            c, r.report.jain, web.fct_ms.p95, web.fct_ms.p99, r.report.total_tput_mbps
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// The complete figure index: campaign-backed figures (here) merged with
 /// the per-figure harnesses still in [`experiments::figures`], in the
 /// paper's order.
@@ -458,6 +500,11 @@ pub fn all() -> Vec<(&'static str, &'static str, FigureFn)> {
             "rtc-coexist",
             "RTC deadline misses beside a bulk flow",
             rtc_coexist_fig as FigureFn,
+        ),
+        (
+            "many-users",
+            "Jain fairness + web tail FCT at 10→10k clients",
+            many_users_fig as FigureFn,
         ),
     ]);
     v.sort_by_key(|(id, ..)| rank(id));

@@ -235,6 +235,7 @@ const SETTING_KEYS: &[&str] = &[
     "seed",
     "flows",
     "workloads",
+    "timer_slot_shift",
 ];
 
 fn apply_settings(spec: &mut ScenarioSpec, t: &Table, context: &str) -> Result<(), TomlError> {
@@ -257,15 +258,20 @@ fn setting(key: &str, v: &Spanned) -> Result<AxisValue, TomlError> {
         "duration_s" => AxisValue::DurationSecs(expect_u64(v, "`duration_s`")?),
         "warmup_s" => AxisValue::WarmupSecs(expect_u64(v, "`warmup_s`")?),
         "seed" => AxisValue::Seed(expect_u64(v, "`seed`")?),
-        "flows" => {
-            let n = expect_u64(v, "`flows`")?;
-            AxisValue::Flows(if n == 0 {
-                FlowSchedule::Explicit(Vec::new())
-            } else {
-                let n = u32::try_from(n)
-                    .map_err(|_| err(v.pos, format!("`flows` is too large ({n})")))?;
-                FlowSchedule::backlogged(n)
-            })
+        "flows" => AxisValue::Flows(flow_schedule(v)?),
+        "timer_slot_shift" => {
+            let shift = expect_u32(v, "`timer_slot_shift`")?;
+            if !netsim::event::SLOT_SHIFT_RANGE.contains(&shift) {
+                return Err(err(
+                    v.pos,
+                    format!(
+                        "`timer_slot_shift` must be in {}..={} (log2 ns per wheel slot), found {shift}",
+                        netsim::event::SLOT_SHIFT_RANGE.start(),
+                        netsim::event::SLOT_SHIFT_RANGE.end()
+                    ),
+                ));
+            }
+            AxisValue::TimerSlotShift(shift)
         }
         "workloads" => {
             let entries = expect_array(v, "`workloads`")?
@@ -295,6 +301,68 @@ fn scheme(v: &Spanned) -> Result<Scheme, TomlError> {
 /// file layer and `abcsim` cannot drift apart.
 pub fn parse_scheme(s: &str) -> Option<Scheme> {
     Scheme::from_name(s)
+}
+
+/// A flow-schedule literal. Two forms:
+///
+/// * an integer — `0` means "no campaign-managed flows" (workload-only
+///   scenarios), `n` means `n` backlogged flows all starting at 0;
+/// * a table `{ count = n, stagger_ms = 500, stagger_departures = true }`
+///   — `n` backlogged flows, flow `i` starting at `i × stagger_ms`;
+///   with `stagger_departures`, flows also stop one by one (Fig. 3's
+///   joins and leaves). Both stagger keys are optional.
+fn flow_schedule(v: &Spanned) -> Result<FlowSchedule, TomlError> {
+    if v.value.as_int().is_some() {
+        let n = expect_u64(v, "`flows`")?;
+        return Ok(if n == 0 {
+            FlowSchedule::Explicit(Vec::new())
+        } else {
+            let n =
+                u32::try_from(n).map_err(|_| err(v.pos, format!("`flows` is too large ({n})")))?;
+            FlowSchedule::backlogged(n)
+        });
+    }
+    let t = expect_table(v, "`flows`")
+        .map_err(|_| err(v.pos, format!("`flows` must be an integer count or a table like {{ count = 8, stagger_ms = 500 }}, found {}", v.value.kind())))?;
+    check_keys(t, "`flows`", &["count", "stagger_ms", "stagger_departures"])?;
+    let count_field = t
+        .get("count")
+        .ok_or_else(|| err(v.pos, "`flows` table needs a `count`"))?;
+    let n = expect_u32(count_field, "`count`")?;
+    if n == 0 {
+        return Err(err(
+            count_field.pos,
+            "`count` must be at least 1 (use `flows = 0` for no flows)",
+        ));
+    }
+    let stagger = match t.get("stagger_ms") {
+        Some(s) => SimDuration::from_millis(expect_u64(s, "`stagger_ms`")?),
+        None => SimDuration::ZERO,
+    };
+    let stagger_departures = match t.get("stagger_departures") {
+        Some(s) => s.value.as_bool().ok_or_else(|| {
+            err(
+                s.pos,
+                format!(
+                    "`stagger_departures` must be a boolean, found {}",
+                    s.value.kind()
+                ),
+            )
+        })?,
+        None => false,
+    };
+    if stagger_departures && stagger.is_zero() {
+        return Err(err(
+            v.pos,
+            "`stagger_departures` needs a non-zero `stagger_ms`",
+        ));
+    }
+    Ok(FlowSchedule::Uniform {
+        n,
+        app: netsim::flow::TrafficSource::Backlogged,
+        stagger,
+        stagger_departures,
+    })
 }
 
 /// A link literal:
@@ -657,7 +725,7 @@ fn abr_workload(v: &Spanned) -> Result<AbrWorkload, TomlError> {
 
 /// One `[[axis]]` table: a `name` plus exactly one value list — a typed
 /// shorthand (`schemes`, `traces`, `rtt_ms`, `buffer_pkts`, `seeds`,
-/// `durations_s`) or an explicit `[[axis.values]]` list.
+/// `durations_s`, `flows`) or an explicit `[[axis.values]]` list.
 fn compile_axis(t: &Table, pos: Pos) -> Result<Axis, TomlError> {
     check_keys(
         t,
@@ -670,6 +738,7 @@ fn compile_axis(t: &Table, pos: Pos) -> Result<Axis, TomlError> {
             "buffer_pkts",
             "seeds",
             "durations_s",
+            "flows",
             "values",
         ],
     )?;
@@ -685,7 +754,7 @@ fn compile_axis(t: &Table, pos: Pos) -> Result<Axis, TomlError> {
             pos,
             format!(
                 "axis `{name}` needs exactly one value list \
-                 (schemes, traces, rtt_ms, buffer_pkts, seeds, durations_s, or values)"
+                 (schemes, traces, rtt_ms, buffer_pkts, seeds, durations_s, flows, or values)"
             ),
         ));
     };
@@ -711,6 +780,19 @@ fn compile_axis(t: &Table, pos: Pos) -> Result<Axis, TomlError> {
         "buffer_pkts" => int_axis(val, "`buffer_pkts`", |p| AxisValue::BufferPkts(p as usize))?,
         "seeds" => int_axis(val, "`seeds`", AxisValue::Seed)?,
         "durations_s" => int_axis(val, "`durations_s`", AxisValue::DurationSecs)?,
+        // Client-count sweeps (`flows = [10, 100, 1000]`); each element
+        // is any flow-schedule literal, labelled by its count.
+        "flows" => expect_array(val, "`flows`")?
+            .iter()
+            .map(|entry| {
+                let sched = flow_schedule(entry)?;
+                let label = match &sched {
+                    FlowSchedule::Uniform { n, .. } => n.to_string(),
+                    FlowSchedule::Explicit(_) => "0".to_string(),
+                };
+                Ok((label, AxisValue::Flows(sched)))
+            })
+            .collect::<Result<_, _>>()?,
         "values" => expect_array(val, "`values`")?
             .iter()
             .map(|entry| {
@@ -947,6 +1029,43 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn flows_table_form_compiles_to_staggered_uniform() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"f\"\n[base]\nflows = { count = 4, stagger_ms = 500, stagger_departures = true }\n",
+        )
+        .unwrap();
+        match &c.base.flows {
+            FlowSchedule::Uniform {
+                n,
+                stagger,
+                stagger_departures,
+                ..
+            } => {
+                assert_eq!(*n, 4);
+                assert_eq!(*stagger, SimDuration::from_millis(500));
+                assert!(*stagger_departures);
+            }
+            other => panic!("expected Uniform, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flows_axis_shorthand_labels_by_count() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"f\"\n[[axis]]\nname = \"clients\"\nflows = [10, 100, { count = 4, stagger_ms = 250 }]\n",
+        )
+        .unwrap();
+        let keys: Vec<String> = c.expand().iter().map(|p| p.coords.key()).collect();
+        assert_eq!(keys, ["clients=10", "clients=100", "clients=4"]);
+    }
+
+    #[test]
+    fn timer_slot_shift_setting_applies() {
+        let c = compile_tiny("[campaign]\nname = \"t\"\n[base]\ntimer_slot_shift = 20\n").unwrap();
+        assert_eq!(c.base.timer_slot_shift, Some(20));
+    }
+
     // ---- negative cases: every diagnostic names a line and column ----
 
     fn error_at(text: &str) -> (usize, usize, String) {
@@ -974,6 +1093,28 @@ mod tests {
             error_at("[campaign]\nname = \"x\"\n[base]\nscheme = \"Reno2000\"\n");
         assert_eq!((line, col), (4, 10));
         assert!(msg.contains("unknown scheme"), "{msg}");
+    }
+
+    #[test]
+    fn timer_slot_shift_out_of_range_is_rejected() {
+        let (line, _, msg) = error_at("[campaign]\nname = \"t\"\n[base]\ntimer_slot_shift = 30\n");
+        assert_eq!(line, 4);
+        assert!(msg.contains("timer_slot_shift"), "{msg}");
+    }
+
+    #[test]
+    fn stagger_departures_without_stagger_is_rejected() {
+        let (line, _, msg) = error_at(
+            "[campaign]\nname = \"f\"\n[base]\nflows = { count = 4, stagger_departures = true }\n",
+        );
+        assert_eq!(line, 4);
+        assert!(msg.contains("non-zero `stagger_ms`"), "{msg}");
+    }
+
+    #[test]
+    fn flows_zero_count_table_is_rejected() {
+        let (_, _, msg) = error_at("[campaign]\nname = \"f\"\n[base]\nflows = { count = 0 }\n");
+        assert!(msg.contains("at least 1"), "{msg}");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! trips.
 
 pub mod aggregate;
+pub mod bench_diff;
 pub mod diff;
 pub mod figures;
 pub mod file;

@@ -201,6 +201,46 @@ pub fn rtc_coexist(scale: Scale) -> Campaign {
     Campaign::new("rtc-coexist", base).axis(Axis::schemes(&WORKLOAD_LINEUP))
 }
 
+/// Dense-fleet scaling — the regime the arena flow tables and batched
+/// ACK paths exist for. Each axis value is a staggered backlogged fleet
+/// of `n` "users" sharing one 96 Mbit/s ABC bottleneck (the fleet ramps
+/// in over the first fifth of the run), with a 100-client web request
+/// fleet and an HD video session riding along for app-level tail
+/// metrics. Counts: 10/100/1k, plus 10k at full scale; tiny stops at
+/// 100 so the CI gate stays fast.
+pub fn many_users(scale: Scale) -> Campaign {
+    let link = Rate::from_mbps(96.0);
+    let duration = scale.secs(60, 10, 2);
+    let counts: &[u32] = scale.pick(
+        &[10, 100, 1_000, 10_000][..],
+        &[10, 100, 1_000][..],
+        &[10, 100][..],
+    );
+    let values = counts
+        .iter()
+        .map(|&n| {
+            let stagger = SimDuration::from_nanos(duration.as_nanos() / 5 / n as u64);
+            (
+                n.to_string(),
+                AxisValue::Flows(FlowSchedule::Uniform {
+                    n,
+                    app: netsim::flow::TrafficSource::Backlogged,
+                    stagger,
+                    stagger_departures: false,
+                }),
+            )
+        })
+        .collect();
+    let mut base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(link))
+        .duration(duration)
+        .warmup(SimDuration::ZERO);
+    base.workloads = vec![
+        WorkloadEntry::new(WorkloadSpec::Web(WebWorkload::fleet(100, 0.2))),
+        WorkloadEntry::new(WorkloadSpec::AbrVideo(AbrWorkload::hd(duration))),
+    ];
+    Campaign::new("many-users", base).axis(Axis::new("clients", values))
+}
+
 /// A preset builder: a pure `Scale → Campaign` function.
 pub type PresetFn = fn(Scale) -> Campaign;
 
@@ -244,6 +284,11 @@ pub fn all() -> Vec<(&'static str, &'static str, PresetFn)> {
             "RTC deadline misses beside a bulk flow, per scheme",
             rtc_coexist,
         ),
+        (
+            "many-users",
+            "dense-fleet scaling: 10→10k staggered users on one ABC bottleneck",
+            many_users,
+        ),
     ]
 }
 
@@ -286,6 +331,23 @@ mod tests {
         assert!(by_name("tiny", Scale::Tiny).is_some());
         assert!(by_name("rtt-grid", Scale::Tiny).is_some());
         assert!(by_name("nope", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn many_users_truncates_counts_by_scale() {
+        assert_eq!(many_users(Scale::Tiny).expand().len(), 2);
+        assert_eq!(many_users(Scale::Fast).expand().len(), 3);
+        assert_eq!(many_users(Scale::Full).expand().len(), 4);
+        // every fleet ramps in over the first fifth of the run
+        for p in many_users(Scale::Tiny).expand() {
+            match &p.spec.flows {
+                FlowSchedule::Uniform { n, stagger, .. } => {
+                    assert!(*n >= 10);
+                    assert!(*stagger * *n as u64 <= p.spec.duration);
+                }
+                other => panic!("expected Uniform fleet, got {other:?}"),
+            }
+        }
     }
 
     #[test]

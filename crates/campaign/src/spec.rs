@@ -44,6 +44,9 @@ pub enum AxisValue {
     Seed(u64),
     /// Replace the spec's application-layer workload mix (web/RTC/ABR).
     Workloads(Vec<WorkloadEntry>),
+    /// Set the timer-wheel slot width (`2^shift` ns slots) — a pure
+    /// performance knob; outputs are invariant to it.
+    TimerSlotShift(u32),
 }
 
 impl AxisValue {
@@ -61,6 +64,7 @@ impl AxisValue {
             AxisValue::WarmupSecs(s) => spec.warmup = SimDuration::from_secs(*s),
             AxisValue::Seed(s) => spec.seed = *s,
             AxisValue::Workloads(w) => spec.workloads = w.clone(),
+            AxisValue::TimerSlotShift(s) => spec.timer_slot_shift = Some(*s),
         }
     }
 }
@@ -131,6 +135,18 @@ impl Axis {
             buffers
                 .iter()
                 .map(|&p| (p.to_string(), AxisValue::BufferPkts(p)))
+                .collect(),
+        )
+    }
+
+    /// The `"flows"` axis: `n` backlogged flows per value, labeled by the
+    /// count — the client-density sweep of the many-users regime.
+    pub fn flow_counts(counts: &[u32]) -> Axis {
+        Axis::new(
+            "flows",
+            counts
+                .iter()
+                .map(|&n| (n.to_string(), AxisValue::Flows(FlowSchedule::backlogged(n))))
                 .collect(),
         )
     }

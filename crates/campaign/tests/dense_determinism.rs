@@ -1,0 +1,74 @@
+//! Determinism at high flow density: a 1 000-flow scenario must produce
+//! bit-identical reports regardless of worker-pool size and across
+//! reruns. This is the dense-regime counterpart of the CI store
+//! comparisons on the sparse `tiny` preset — it pins the flow arena,
+//! the batched ACK/timer hot path, and the per-slot throughput bins to
+//! a single canonical output.
+
+use campaign::store::render_record;
+use campaign::{run_campaign, Axis, Campaign, RunOptions};
+use experiments::engine::{FlowSchedule, ScenarioSpec};
+use experiments::scenario::LinkSpec;
+use experiments::Scheme;
+use netsim::rate::Rate;
+
+/// Two seeds × 1 000 backlogged flows through one 96 Mbit/s ABC
+/// bottleneck. Two points (not one) so multi-worker pools actually
+/// split the batch; a short horizon keeps the debug-build run cheap
+/// while still pushing tens of thousands of deliveries through the
+/// arena.
+fn dense_campaign() -> Campaign {
+    let mut base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(480.0)))
+        .duration(netsim::time::SimDuration::from_millis(1_000))
+        .warmup_secs(0);
+    base.flows = FlowSchedule::backlogged(1_000);
+    // The default 250-pkt buffer admits only 125 initial windows
+    // (cwnd 2); size it so every flow's first flight survives and the
+    // whole arena goes live inside the short horizon.
+    base.buffer_pkts = 4_000;
+    Campaign::new("dense-determinism", base).axis(Axis::seeds(&[1, 2]))
+}
+
+/// Serialize a full run to the exact JSONL record text the store
+/// emits — byte equality here is the same invariant CI enforces on
+/// committed baselines.
+fn run_serialized(jobs: usize) -> String {
+    let records = run_campaign(
+        &dense_campaign(),
+        &RunOptions {
+            jobs: Some(jobs),
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(records.len(), 2);
+    for r in &records {
+        // Sanity: the dense regime actually exercised the arena.
+        assert!(
+            r.report.flow_tputs_mbps.len() >= 900,
+            "expected ~1k active flows, saw {}",
+            r.report.flow_tputs_mbps.len()
+        );
+    }
+    records
+        .iter()
+        .map(render_record)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn thousand_flow_report_is_bit_identical_across_pools_and_reruns() {
+    let single = run_serialized(1);
+    for jobs in [2, 4, 8] {
+        assert_eq!(
+            single,
+            run_serialized(jobs),
+            "1k-flow store diverged between 1-worker and {jobs}-worker pools"
+        );
+    }
+    assert_eq!(
+        single,
+        run_serialized(1),
+        "1k-flow store diverged between identical reruns"
+    );
+}

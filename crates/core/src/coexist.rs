@@ -31,7 +31,10 @@ use std::collections::VecDeque;
 pub enum WeightPolicy {
     /// Max-min over estimated demands; `headroom` is X (demands of top-K
     /// flows are assumed X% above current throughput; the paper uses 10%).
-    MaxMin { headroom: f64 },
+    MaxMin {
+        /// Demand headroom X: top-K demands assumed X% above throughput.
+        headroom: f64,
+    },
     /// RCP's approach: weight ∝ estimated number of flows.
     ZombieList,
     /// Fixed ABC-queue weight.
@@ -173,7 +176,9 @@ impl QueueMeter {
 /// Configuration of the dual-queue coexistence router.
 #[derive(Debug, Clone, Copy)]
 pub struct DualQueueConfig {
+    /// Control-law configuration for the ABC queue.
     pub abc: AbcRouterConfig,
+    /// How scheduler weights are assigned.
     pub policy: WeightPolicy,
     /// Per-queue buffer (packets).
     pub buffer_pkts: usize,
@@ -229,6 +234,7 @@ enum Class {
 }
 
 impl DualQueue {
+    /// A dual queue at the configured initial weight, both queues empty.
     pub fn new(cfg: DualQueueConfig) -> Self {
         let abc_cfg = AbcRouterConfig {
             buffer_pkts: cfg.buffer_pkts,
@@ -255,14 +261,17 @@ impl DualQueue {
         }
     }
 
+    /// Current scheduler weight of the ABC queue.
     pub fn weight_abc(&self) -> f64 {
         self.w_abc
     }
 
+    /// The ABC-side qdisc.
     pub fn abc_queue(&self) -> &AbcQdisc {
         &self.abc_q
     }
 
+    /// Packets queued on the non-ABC side.
     pub fn other_len_pkts(&self) -> usize {
         self.other_q.len()
     }

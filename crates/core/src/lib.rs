@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # abc-core — Accel-Brake Control
 //!
 //! The primary contribution of *ABC: A Simple Explicit Congestion

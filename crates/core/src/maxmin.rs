@@ -18,8 +18,11 @@ pub struct Demand {
 /// Result of the allocation for one demand, same order as the input.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Allocation {
+    /// The demand's tag, echoed back.
     pub tag: usize,
+    /// The requested rate, echoed back.
     pub demand: f64,
+    /// The granted amount (≤ demand).
     pub allocated: f64,
 }
 

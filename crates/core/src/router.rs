@@ -17,7 +17,9 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FeedbackBasis {
     #[default]
+    /// Compute feedback at departure time (ABC, §4).
     Dequeue,
+    /// Compute feedback at arrival time (prior explicit schemes).
     Enqueue,
 }
 
@@ -63,8 +65,11 @@ pub struct AbcRouterConfig {
     /// Sliding window T over which cr(t) (and the enqueue rate) are
     /// measured.
     pub rate_window: SimDuration,
+    /// When feedback is computed (dequeue vs enqueue).
     pub basis: FeedbackBasis,
+    /// How the marking fraction is turned into per-packet marks.
     pub marking: MarkingMode,
+    /// Which ECN codepoints carry accelerate/brake.
     pub dialect: EcnDialect,
     /// Buffer limit in packets (tail-drop beyond).
     pub buffer_pkts: usize,
@@ -115,6 +120,7 @@ pub struct AbcQdisc {
 }
 
 impl AbcQdisc {
+    /// An empty ABC queue under `cfg`, token bucket at zero.
     pub fn new(cfg: AbcRouterConfig) -> Self {
         assert!(cfg.eta > 0.0 && cfg.eta <= 1.0, "eta out of (0,1]");
         assert!(!cfg.delta.is_zero(), "delta must be positive");
@@ -136,18 +142,22 @@ impl AbcQdisc {
         }
     }
 
+    /// The configuration this queue runs.
     pub fn config(&self) -> &AbcRouterConfig {
         &self.cfg
     }
 
+    /// Most recent marking fraction f(t) (tests/telemetry).
     pub fn last_marking_fraction(&self) -> f64 {
         self.last_f
     }
 
+    /// Most recent target rate tr(t) (tests/telemetry).
     pub fn last_target_rate(&self) -> Rate {
         self.last_target
     }
 
+    /// Current token-bucket level (packets).
     pub fn token(&self) -> f64 {
         self.token
     }

@@ -25,6 +25,7 @@ pub struct AbcSenderConfig {
     pub dual_window: bool,
     /// Cap both windows at this multiple of the in-flight packet count.
     pub inflight_cap_factor: f64,
+    /// Initial congestion window (packets).
     pub init_cwnd: f64,
     /// ECN codepoint interpretation (§5.1.2): must match the routers'.
     pub dialect: EcnDialect,
@@ -42,6 +43,8 @@ impl Default for AbcSenderConfig {
     }
 }
 
+/// The ABC endpoint: the accelerate/brake window rule plus the
+/// non-ABC (Cubic) companion window of §5.1.1.
 pub struct AbcSender {
     cfg: AbcSenderConfig,
     w_abc: f64,
@@ -57,10 +60,12 @@ pub struct AbcSender {
 }
 
 impl AbcSender {
+    /// An ABC sender under the default configuration.
     pub fn new() -> Self {
         Self::with_config(AbcSenderConfig::default())
     }
 
+    /// An ABC sender under `cfg`, both windows at their initial sizes.
     pub fn with_config(cfg: AbcSenderConfig) -> Self {
         AbcSender {
             cfg,
@@ -81,14 +86,17 @@ impl AbcSender {
         })
     }
 
+    /// Current ABC window (packets).
     pub fn w_abc(&self) -> f64 {
         self.w_abc
     }
 
+    /// Current non-ABC (Cubic) companion window (packets).
     pub fn w_nonabc(&self) -> f64 {
         self.w_nonabc.cwnd()
     }
 
+    /// `(accelerate, brake)` ACK counts seen so far.
     pub fn accel_brake_counts(&self) -> (u64, u64) {
         (self.accel_count, self.brake_count)
     }

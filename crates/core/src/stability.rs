@@ -51,6 +51,7 @@ pub struct FluidTrace {
     pub samples: Vec<(f64, f64)>,
     /// Largest |x − x*| over the final quarter of the horizon.
     pub residual: f64,
+    /// The analytic equilibrium x* the trace should settle at.
     pub fixed_point: f64,
 }
 

@@ -10,8 +10,11 @@ use std::collections::HashMap;
 /// One monitored flow: estimated count and maximum possible overestimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopEntry {
+    /// The monitored flow.
     pub flow: FlowId,
+    /// Estimated byte count (may overestimate by up to `error`).
     pub count: u64,
+    /// Maximum possible overestimate inherited at insertion.
     pub error: u64,
 }
 
@@ -23,6 +26,7 @@ pub struct SpaceSaving {
 }
 
 impl SpaceSaving {
+    /// A sketch tracking at most `k` flows.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
         SpaceSaving {
@@ -31,6 +35,7 @@ impl SpaceSaving {
         }
     }
 
+    /// The configured capacity.
     pub fn k(&self) -> usize {
         self.k
     }

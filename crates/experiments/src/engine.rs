@@ -373,6 +373,11 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// PK-ABC: let the first hop's control law see µ(t + lookahead).
     pub oracle_lookahead: Option<SimDuration>,
+    /// Timer-wheel slot width override, as the exponent of a `2^shift` ns
+    /// slot (`None` keeps netsim's default). A pure performance knob —
+    /// every output is invariant to it — that lets µs-dense many-flow
+    /// scenarios use wider slots with intra-slot batch pops.
+    pub timer_slot_shift: Option<u32>,
 }
 
 impl ScenarioSpec {
@@ -393,6 +398,7 @@ impl ScenarioSpec {
             warmup: SimDuration::from_secs(5),
             seed: 7,
             oracle_lookahead: None,
+            timer_slot_shift: None,
         }
     }
 
@@ -501,6 +507,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Override the timer-wheel slot width (`2^shift` ns slots). Outputs
+    /// are invariant to this; it only trades wheel precision for
+    /// intra-slot batching under dense event storms.
+    pub fn timer_slot_shift(mut self, shift: u32) -> Self {
+        self.timer_slot_shift = Some(shift);
+        self
+    }
+
     /// Expand the schedule (+ Poisson churn) into concrete flows.
     fn expand_flows(&self) -> Vec<FlowSpec> {
         let mut out = match &self.flows {
@@ -604,7 +618,10 @@ impl ScenarioEngine {
     /// harness needs to sample mid-run state; otherwise call
     /// [`run`](Self::run).
     pub fn build(&self, spec: &ScenarioSpec) -> BuiltScenario {
-        let mut sim = Simulator::new();
+        let mut sim = match spec.timer_slot_shift {
+            Some(shift) => Simulator::with_slot_shift(shift),
+            None => Simulator::new(),
+        };
         let hub = new_hub();
         hub.borrow_mut().set_epoch(SimTime::ZERO + spec.warmup);
 

@@ -65,10 +65,15 @@ pub enum EventKind {
     Timer(u64),
 }
 
+/// A scheduled occurrence: `kind` happens at `node` when the clock
+/// reaches `time`.
 #[derive(Debug)]
 pub struct Event {
+    /// When the event fires.
     pub time: SimTime,
+    /// The node that handles it.
     pub node: NodeId,
+    /// What happens (packet delivery or timer).
     pub kind: EventKind,
     /// Global insertion order: equal-time events fire in the order they
     /// were scheduled, which makes runs bit-reproducible.
@@ -106,19 +111,17 @@ impl Ord for Event {
     }
 }
 
-/// Slot width: 2^16 ns ≈ 65.5 µs — near the densest inter-event gap the
-/// pacing clocks produce, so a slot rarely holds more than a handful of
-/// events and the near heap stays tiny.
-const SLOT_SHIFT: u32 = 16;
-/// Wheel span: 1024 slots ≈ 67 ms — longer than any propagation or
-/// serialization delay in the evaluated scenarios, so only RTO-scale
-/// timers ever touch the overflow heap.
+/// Default slot width exponent: 2^16 ns ≈ 65.5 µs — near the densest
+/// inter-event gap the pacing clocks produce, so a slot rarely holds more
+/// than a handful of events and the near heap stays tiny.
+pub const DEFAULT_SLOT_SHIFT: u32 = 16;
+/// Accepted range for a configured slot-width exponent: 2^10 ns (1 µs,
+/// heap-like precision) up to 2^26 ns (~67 ms slots, ~69 s horizon).
+pub const SLOT_SHIFT_RANGE: std::ops::RangeInclusive<u32> = 10..=26;
+/// Wheel span: 1024 slots (≈ 67 ms at the default shift) — longer than
+/// any propagation or serialization delay in the evaluated scenarios, so
+/// only RTO-scale timers ever touch the overflow heap.
 const WHEEL_SLOTS: u64 = 1024;
-
-#[inline]
-fn slot_of(t: SimTime) -> u64 {
-    t.as_nanos() >> SLOT_SHIFT
-}
 
 /// The timer-wheel backend.
 #[derive(Debug)]
@@ -132,21 +135,34 @@ struct Wheel {
     /// `(cur_slot, cur_slot + WHEEL_SLOTS)` map to `slots[slot % WHEEL_SLOTS]`;
     /// later ones wait in `overflow`.
     cur_slot: u64,
+    /// Slot width exponent: a slot spans `2^slot_shift` ns. Wider slots
+    /// trade per-push wheel precision for larger intra-slot batches —
+    /// the right trade once µs-dense event storms (thousands of flows)
+    /// put many events into every slot anyway. Pop order is exact
+    /// `(time, seq)` at every width: the near heap re-sorts whatever a
+    /// slot drains into it, so the shift is a pure performance knob.
+    slot_shift: u32,
 }
 
 impl Wheel {
-    fn new() -> Self {
+    fn new(slot_shift: u32) -> Self {
         Wheel {
             near: BinaryHeap::new(),
             slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
             wheel_len: 0,
             overflow: BinaryHeap::new(),
             cur_slot: 0,
+            slot_shift,
         }
     }
 
+    #[inline]
+    fn slot_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() >> self.slot_shift
+    }
+
     fn push(&mut self, ev: Event) {
-        let s = slot_of(ev.time);
+        let s = self.slot_of(ev.time);
         if s <= self.cur_slot {
             self.near.push(ev);
         } else if s < self.cur_slot + WHEEL_SLOTS {
@@ -166,7 +182,7 @@ impl Wheel {
                 let Some(head) = self.overflow.peek() else {
                     return;
                 };
-                self.cur_slot = slot_of(head.time);
+                self.cur_slot = self.slot_of(head.time);
             } else {
                 self.cur_slot += 1;
             }
@@ -177,7 +193,7 @@ impl Wheel {
             }
             // The horizon moved: migrate overflow events that now fit.
             while let Some(head) = self.overflow.peek() {
-                let s = slot_of(head.time);
+                let s = self.slot_of(head.time);
                 if s >= self.cur_slot + WHEEL_SLOTS {
                     break;
                 }
@@ -255,9 +271,24 @@ impl Default for EventQueue {
 }
 
 impl EventQueue {
+    /// An empty queue at the default timer-wheel slot width
+    /// ([`DEFAULT_SLOT_SHIFT`]).
     pub fn new() -> Self {
+        Self::with_slot_shift(DEFAULT_SLOT_SHIFT)
+    }
+
+    /// A wheel-backed queue with a configured slot width of `2^shift` ns.
+    /// Pop order is identical at every width (the near heap restores
+    /// exact `(time, seq)` order within a drained slot); wider slots
+    /// amortize cursor advances when µs-dense event storms put many
+    /// events into every slot. `shift` must lie in [`SLOT_SHIFT_RANGE`].
+    pub fn with_slot_shift(shift: u32) -> Self {
+        assert!(
+            SLOT_SHIFT_RANGE.contains(&shift),
+            "slot shift {shift} outside supported range {SLOT_SHIFT_RANGE:?}"
+        );
         EventQueue {
-            backend: Backend::Wheel(Wheel::new()),
+            backend: Backend::Wheel(Wheel::new(shift)),
             cancelled: SeqSet::default(),
             live: 0,
             next_seq: 0,
@@ -309,6 +340,8 @@ impl EventQueue {
         }
     }
 
+    /// Remove and return the earliest live event (time, then insertion
+    /// order); cancelled tombstones are skipped.
     pub fn pop(&mut self) -> Option<Event> {
         loop {
             let ev = self.backend.pop_min()?;
@@ -335,6 +368,35 @@ impl EventQueue {
         }
     }
 
+    /// Pop the head event only if it is a `Deliver` firing at exactly
+    /// `time` for `node`.
+    ///
+    /// The simulator uses this to coalesce an adjacent run of
+    /// same-instant deliveries to one node into a single batched handler
+    /// call ([`crate::node::Node::handle_batch`]). The check is
+    /// restricted to `Deliver` events because delivers can never be
+    /// tombstoned — only timers hand out cancellation handles — so an
+    /// earlier handler in the batch cannot invalidate a later batch
+    /// member, and batching stays order-equivalent to popping one event
+    /// at a time.
+    pub fn pop_if_deliver_matching(&mut self, time: SimTime, node: NodeId) -> Option<Event> {
+        loop {
+            let head = self.backend.peek_min()?;
+            if self.cancelled.contains(&head.seq) {
+                let ev = self.backend.pop_min().expect("peeked event vanished");
+                self.cancelled.remove(&ev.seq);
+                continue; // tombstone — skip and forget
+            }
+            if head.time != time || head.node != node || !matches!(head.kind, EventKind::Deliver(_))
+            {
+                return None;
+            }
+            let ev = self.backend.pop_min().expect("peeked event vanished");
+            self.live -= 1;
+            return Some(ev);
+        }
+    }
+
     /// Earliest pending event time. Takes `&mut self`: the wheel advances
     /// its cursor and discards tombstones to find the head.
     pub fn peek_time(&mut self) -> Option<SimTime> {
@@ -351,10 +413,12 @@ impl EventQueue {
         }
     }
 
+    /// Live (not-cancelled) events still queued.
     pub fn len(&self) -> usize {
         self.live
     }
 
+    /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
         self.live == 0
     }
@@ -461,6 +525,65 @@ mod tests {
         q.push(t(50), NodeId(0), EventKind::Timer(1));
         assert_eq!(q.pop().unwrap().time, t(50));
         assert_eq!(q.pop().unwrap().time, t(200));
+    }
+
+    #[test]
+    fn slot_shift_never_changes_pop_order() {
+        // The slot width is a pure performance knob: every configured
+        // shift must reproduce the reference heap's exact (time, seq)
+        // pop order on a dense mixed-horizon schedule.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut times = Vec::new();
+        for i in 0..3_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let ns = match i % 4 {
+                0 => x % 1_000,
+                1 => x % 1_000_000,
+                2 => x % 100_000_000,
+                _ => x % 10_000_000_000,
+            };
+            times.push(ns);
+        }
+        for shift in [10u32, 16, 20, 26] {
+            let mut wheel = EventQueue::with_slot_shift(shift);
+            let mut naive = EventQueue::new_reference();
+            for (i, &ns) in times.iter().enumerate() {
+                let tm = SimTime::from_nanos(ns);
+                wheel.push(tm, NodeId(0), EventKind::Timer(i as u64));
+                naive.push(tm, NodeId(0), EventKind::Timer(i as u64));
+            }
+            loop {
+                match (wheel.pop(), naive.pop()) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!((a.time, a.seq), (b.time, b.seq), "shift {shift}")
+                    }
+                    (None, None) => break,
+                    _ => panic!("shift {shift}: queues drained at different lengths"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pop_if_deliver_matching_takes_only_adjacent_deliveries() {
+        let mut q = EventQueue::new();
+        let pkt = || EventKind::Deliver(crate::queue::test_packet(0, 100));
+        q.push(t(10), NodeId(2), pkt());
+        q.push(t(10), NodeId(2), pkt());
+        q.push(t(10), NodeId(2), EventKind::Timer(7));
+        q.push(t(10), NodeId(3), pkt());
+        // no head yet at a different coordinate
+        assert!(q.pop_if_deliver_matching(t(10), NodeId(3)).is_none());
+        let first = q.pop().unwrap();
+        assert_eq!(first.node, NodeId(2));
+        // second same-instant delivery to the same node batches…
+        assert!(q.pop_if_deliver_matching(t(10), NodeId(2)).is_some());
+        // …but the timer stops the batch even at the same (time, node)
+        assert!(q.pop_if_deliver_matching(t(10), NodeId(2)).is_none());
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Timer(7)));
+        assert_eq!(q.pop().unwrap().node, NodeId(3));
     }
 
     #[test]

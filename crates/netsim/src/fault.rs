@@ -31,11 +31,14 @@ pub struct LossyWire {
     p: f64,
     what: Impairment,
     rng: StdRng,
+    /// Packets forwarded untouched.
     pub passed: u64,
+    /// Packets hit by the impairment.
     pub impaired: u64,
 }
 
 impl LossyWire {
+    /// A wire applying `what` with probability `p`, randomized by `seed`.
     pub fn new(p: f64, what: Impairment, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
         LossyWire {

@@ -14,12 +14,16 @@ use std::rc::Rc;
 /// Everything a congestion controller may want to know about an ACK.
 #[derive(Debug, Clone, Copy)]
 pub struct AckEvent {
+    /// Arrival time of the ACK at the sender.
     pub now: SimTime,
     /// RTT sample for this ACK; `None` when the acked packet was a
     /// retransmission (Karn's rule).
     pub rtt: Option<SimDuration>,
+    /// Minimum RTT observed on this flow so far.
     pub min_rtt: SimDuration,
+    /// Smoothed RTT (EWMA) as of this ACK.
     pub srtt: SimDuration,
+    /// Wire bytes newly acknowledged by this ACK.
     pub acked_bytes: u32,
     /// ECN bits as received by the peer: `Accelerate`/`Brake` for ABC,
     /// `Ce` for legacy AQM marks.
@@ -50,6 +54,7 @@ pub enum Pacing {
 /// Implementations live in the `abc-core`, `baselines`, and `explicit`
 /// crates; the sender is generic over all of them.
 pub trait CongestionControl {
+    /// Scheme name as it appears in reports and figures.
     fn name(&self) -> &'static str;
 
     /// Process an ACK (the common case — every algorithm reacts here).
@@ -66,6 +71,7 @@ pub trait CongestionControl {
     /// the sender floors for admission).
     fn cwnd_pkts(&self) -> f64;
 
+    /// How this scheme releases packets (ACK-clocked by default).
     fn pacing(&self) -> Pacing {
         Pacing::AckClocked
     }
@@ -125,6 +131,7 @@ pub trait AppDriver: std::any::Any {
 
     /// Downcast support for post-run metric extraction.
     fn as_any(&self) -> &dyn std::any::Any;
+    /// Mutable downcast support (mid-run parameter adjustment).
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
@@ -135,25 +142,47 @@ pub enum TrafficSource {
     Backlogged,
     /// Token bucket: data becomes available at `rate`, with at most
     /// `burst_bytes` accumulating while the flow is blocked.
-    RateLimited { rate: Rate, burst_bytes: f64 },
+    RateLimited {
+        /// Sustained application data rate.
+        rate: Rate,
+        /// Bucket depth: bytes that may accumulate while blocked.
+        burst_bytes: f64,
+    },
     /// A flow of fixed total size; the sender stops offering data once
     /// everything has been handed to the transport.
-    Finite { bytes: u64 },
+    Finite {
+        /// Total application bytes to transfer.
+        bytes: u64,
+    },
     /// Backlogged during `[0, on)`, silent during `[on, on+off)`, repeating.
-    OnOff { on: SimDuration, off: SimDuration },
+    OnOff {
+        /// Length of each talking burst.
+        on: SimDuration,
+        /// Length of each silence between bursts.
+        off: SimDuration,
+    },
 }
 
 /// Counters exposed for harnesses and tests.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SenderStats {
+    /// Data packets transmitted (including retransmissions).
     pub sent_pkts: u64,
+    /// Wire bytes transmitted (including retransmissions).
     pub sent_bytes: u64,
+    /// Data packets acknowledged.
     pub acked_pkts: u64,
+    /// Wire bytes acknowledged.
     pub acked_bytes: u64,
+    /// Packets retransmitted (dup-ACK or RTO recovery).
     pub retransmits: u64,
+    /// Loss episodes inferred via the duplicate-ACK threshold.
     pub losses_detected: u64,
+    /// Retransmission-timer expirations.
     pub rtos: u64,
+    /// ACKs echoing the Accelerate codepoint.
     pub accel_acks: u64,
+    /// ACKs echoing the Brake codepoint.
     pub brake_acks: u64,
 }
 
@@ -276,6 +305,11 @@ pub struct Sender {
     /// When the pending timer will fire (valid while `rto_timer` is Some).
     rto_timer_at: SimTime,
     rto_deadline: SimTime,
+    /// Batched-dispatch mode ([`Node::handle_batch`]): while set,
+    /// `arm_rto` only moves `rto_deadline`, and a single
+    /// `sync_rto_timer` call at batch end reconciles the queue timer —
+    /// N same-instant ACKs cost one timer operation instead of N.
+    batch_rto_defer: bool,
 
     /// At most one pacing timer is outstanding; the flag (not a generation
     /// tag) guarantees it, so pace ticks never go stale.
@@ -300,6 +334,8 @@ pub struct Sender {
 }
 
 impl Sender {
+    /// A sender for `flow` running `cc`, sending along `route`, fed by
+    /// the application pattern `app`.
     pub fn new(
         flow: FlowId,
         cc: Box<dyn CongestionControl>,
@@ -326,6 +362,7 @@ impl Sender {
             rto_timer: None,
             rto_timer_at: SimTime::ZERO,
             rto_deadline: SimTime::ZERO,
+            batch_rto_defer: false,
             pace_armed: false,
             app_timer_armed: false,
             app_tokens: 0.0,
@@ -351,6 +388,7 @@ impl Sender {
         self
     }
 
+    /// Use `size`-byte data packets instead of the MTU default.
     pub fn with_pkt_size(mut self, size: u32) -> Self {
         assert!(size > 0);
         self.pkt_size = size;
@@ -374,26 +412,32 @@ impl Sender {
         self.driver.as_deref_mut()
     }
 
+    /// Lifetime transmission counters.
     pub fn stats(&self) -> SenderStats {
         self.stats
     }
 
+    /// The congestion controller driving this sender.
     pub fn cc(&self) -> &dyn CongestionControl {
         &*self.cc
     }
 
+    /// Current congestion window (packets, fractional).
     pub fn cwnd_pkts(&self) -> f64 {
         self.cc.cwnd_pkts()
     }
 
+    /// Smoothed RTT, once at least one sample exists.
     pub fn srtt(&self) -> Option<SimDuration> {
         self.srtt
     }
 
+    /// Minimum RTT observed so far, once at least one sample exists.
     pub fn min_rtt(&self) -> Option<SimDuration> {
         (self.min_rtt != SimDuration::MAX).then_some(self.min_rtt)
     }
 
+    /// Packets currently in flight (sent, not yet acked or written off).
     pub fn inflight(&self) -> usize {
         self.outstanding.len()
     }
@@ -574,9 +618,27 @@ impl Sender {
         // Push the deadline; only arm a queue timer when none is pending.
         // The pending timer catches up via deferral when it fires early.
         self.rto_deadline = ctx.now() + timeout;
+        if self.batch_rto_defer {
+            return; // one sync_rto_timer call at batch end
+        }
+        self.sync_rto_timer(ctx);
+    }
+
+    /// Reconcile the queue timer with the current retransmission state:
+    /// cancel it when nothing is outstanding, otherwise make sure a timer
+    /// is pending no later than `rto_deadline` (a pending timer at or
+    /// before the deadline defers itself at fire time).
+    fn sync_rto_timer(&mut self, ctx: &mut Context) {
+        if self.outstanding.is_empty() {
+            // quiesce: unlink the RTO timer from the queue entirely
+            if let Some(id) = self.rto_timer.take() {
+                ctx.cancel_timer(id);
+            }
+            return;
+        }
         match self.rto_timer {
             None => {
-                self.rto_timer = Some(ctx.set_timer(timeout, TOK_RTO));
+                self.rto_timer = Some(ctx.set_timer_at(self.rto_deadline, TOK_RTO));
                 self.rto_timer_at = self.rto_deadline;
             }
             // Deadline moved earlier than the pending fire time (the RTO
@@ -584,7 +646,7 @@ impl Sender {
             // INITIAL_RTO): deferral can only wait, so cancel and re-arm.
             Some(id) if self.rto_deadline < self.rto_timer_at => {
                 ctx.cancel_timer(id);
-                self.rto_timer = Some(ctx.set_timer(timeout, TOK_RTO));
+                self.rto_timer = Some(ctx.set_timer_at(self.rto_deadline, TOK_RTO));
                 self.rto_timer_at = self.rto_deadline;
             }
             // Deadline at/after the pending fire time: the fired timer
@@ -731,9 +793,10 @@ impl Sender {
             d.on_progress(now, self.delivered_bytes);
         }
         if self.outstanding.is_empty() {
-            // quiesce: unlink the RTO timer from the queue entirely
-            if let Some(id) = self.rto_timer.take() {
-                ctx.cancel_timer(id);
+            // quiesce: unlink the RTO timer from the queue entirely (in
+            // batched dispatch, the end-of-batch sync does it once)
+            if !self.batch_rto_defer {
+                self.sync_rto_timer(ctx);
             }
         } else {
             self.arm_rto(ctx);
@@ -810,6 +873,24 @@ impl Node for Sender {
             },
         }
     }
+
+    /// Coalesce a same-instant ACK burst (e.g. from a batching
+    /// [`Sink`]) into one RTO-timer reconciliation. Every per-ACK
+    /// semantic — congestion-control updates with the per-ACK inflight
+    /// count, loss inference, app progress, window-driven sends — runs
+    /// per event exactly as in single dispatch; only the RTO timer's
+    /// queue churn is deferred: `arm_rto` moves the deadline per event
+    /// and a single `sync_rto_timer` call reconciles the queue at batch
+    /// end, the same catch-up the `TOK_RTO` handler performs when a
+    /// deferred timer fires early.
+    fn handle_batch(&mut self, ctx: &mut Context, batch: &mut Vec<EventKind>) {
+        self.batch_rto_defer = true;
+        for event in batch.drain(..) {
+            self.handle(ctx, event);
+        }
+        self.batch_rto_defer = false;
+        self.sync_rto_timer(ctx);
+    }
 }
 
 /// Per-flow receiver: records deliveries, echoes feedback in an ACK sent
@@ -825,7 +906,9 @@ pub struct Sink {
     flow: FlowId,
     ack_route: Rc<Route>,
     metrics: Option<Metrics>,
+    /// Data packets received (duplicates included).
     pub received_pkts: u64,
+    /// Wire bytes received (duplicates included).
     pub received_bytes: u64,
     batch: usize,
     max_delay: SimDuration,
@@ -844,6 +927,8 @@ pub struct Sink {
 const TOK_FLUSH: u64 = 7;
 
 impl Sink {
+    /// A receiver for `flow` returning ACKs along `ack_route`,
+    /// acknowledging every packet immediately.
     pub fn new(flow: FlowId, ack_route: Rc<Route>) -> Self {
         Sink {
             flow,
@@ -860,6 +945,7 @@ impl Sink {
         }
     }
 
+    /// Report per-delivery metrics to `metrics`.
     pub fn with_metrics(mut self, metrics: Metrics) -> Self {
         self.metrics = Some(metrics);
         self

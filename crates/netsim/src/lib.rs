@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # netsim — deterministic discrete-event network simulator
 //!
 //! The substrate under the ABC reproduction: a single-threaded,

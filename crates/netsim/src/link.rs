@@ -99,12 +99,16 @@ impl RateProcess for StepSchedule {
 /// — the Appendix D "12↔24 Mbit/s every 500 ms" link (Fig. 17).
 #[derive(Debug, Clone, Copy)]
 pub struct SquareWave {
+    /// Rate during the first half-period.
     pub first: Rate,
+    /// Rate during the second half-period.
     pub second: Rate,
+    /// Dwell time at each rate.
     pub half_period: SimDuration,
 }
 
 impl SquareWave {
+    /// A square wave holding `first` and `second` for `half_period` each.
     pub fn new(first: Rate, second: Rate, half_period: SimDuration) -> Self {
         assert!(!half_period.is_zero(), "zero half-period");
         SquareWave {
@@ -173,6 +177,7 @@ pub struct SerialLink<P: RateProcess> {
 }
 
 impl<P: RateProcess> SerialLink<P> {
+    /// An idle link serializing packets at the rate `process` dictates.
     pub fn new(process: P) -> Self {
         SerialLink {
             process,
@@ -180,6 +185,7 @@ impl<P: RateProcess> SerialLink<P> {
         }
     }
 
+    /// The rate process driving this link.
     pub fn process(&self) -> &P {
         &self.process
     }
@@ -309,18 +315,21 @@ impl TraceLink {
         }
     }
 
+    /// Width of the sliding window used to report instantaneous capacity.
     pub fn with_rate_window(mut self, w: SimDuration) -> Self {
         assert!(!w.is_zero());
         self.rate_window = w;
         self
     }
 
+    /// Wire bytes deliverable per transmission opportunity (MTU default).
     pub fn with_bytes_per_opportunity(mut self, b: u32) -> Self {
         assert!(b > 0);
         self.bytes_per_opp = b;
         self
     }
 
+    /// Length of the trace before it repeats.
     pub fn period(&self) -> SimDuration {
         self.period
     }

@@ -15,6 +15,8 @@ use crate::time::{SimDuration, SimTime};
 
 const TX_DONE: u64 = 1;
 
+/// A link node: a queueing discipline feeding a transmitter (see the
+/// module docs for the drive cycle).
 pub struct LinkQueue {
     qdisc: Box<dyn Qdisc>,
     tx: Box<dyn Transmitter>,
@@ -33,6 +35,7 @@ pub struct LinkQueue {
 }
 
 impl LinkQueue {
+    /// A link serving `qdisc` through `tx`, reporting no metrics.
     pub fn new(qdisc: Box<dyn Qdisc>, tx: Box<dyn Transmitter>) -> Self {
         LinkQueue {
             qdisc,
@@ -46,6 +49,7 @@ impl LinkQueue {
         }
     }
 
+    /// Report per-link metrics to `metrics` under `tag`.
     pub fn with_metrics(mut self, tag: &'static str, metrics: Metrics) -> Self {
         self.tag = tag;
         self.metrics = Some(metrics);
@@ -58,10 +62,12 @@ impl LinkQueue {
         self
     }
 
+    /// The qdisc at this link.
     pub fn qdisc(&self) -> &dyn Qdisc {
         &*self.qdisc
     }
 
+    /// Mutable access to the qdisc at this link.
     pub fn qdisc_mut(&mut self) -> &mut dyn Qdisc {
         &mut *self.qdisc
     }
@@ -71,6 +77,7 @@ impl LinkQueue {
         &mut self.qdisc
     }
 
+    /// The transmitter (capacity model) behind the queue.
     pub fn transmitter(&self) -> &dyn Transmitter {
         &*self.tx
     }

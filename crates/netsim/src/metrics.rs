@@ -13,6 +13,120 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+/// Dense arena-backed flow table: a sparse `FlowId → slot` index over
+/// struct-of-arrays per-slot storage.
+///
+/// The per-delivery hot path (`MetricsHub::on_delivery`) resolves a flow
+/// to a slot with one bounds-checked vector load and then touches dense,
+/// cache-adjacent arrays — no tree walk, no per-flow allocation beyond
+/// the slot itself. This is what keeps O(10³–10⁴)-flow scenarios flat
+/// relative to the sparse regime.
+///
+/// The read API mirrors the `BTreeMap<FlowId, FlowRecord>` it replaced:
+/// [`get`](FlowTable::get), [`values`](FlowTable::values),
+/// [`iter`](FlowTable::iter), `table[&flow]`, [`len`](FlowTable::len).
+/// Iteration yields flows in ascending `FlowId` order (slots are sorted
+/// on demand — iteration is a cold, report-time path), so aggregate
+/// float reductions downstream remain bit-identical to the map era.
+///
+/// `FlowId`s are expected to be small dense integers (the experiment
+/// engine assigns `1..=n`); the sparse index is a flat vector sized to
+/// the largest id seen.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    /// `FlowId.0 → slot + 1` (0 = no slot yet).
+    index: Vec<u32>,
+    /// FlowId of each slot (parallel to `records`).
+    ids: Vec<FlowId>,
+    /// Per-slot delivery accounting.
+    records: Vec<FlowRecord>,
+    /// Per-slot application expectations (see `register_app_flow`).
+    metas: Vec<Option<AppFlowMeta>>,
+    /// Slot visibility. App-flow registration pre-creates a *hidden*
+    /// slot; it becomes a reportable flow only on its first post-epoch
+    /// delivery — exactly the old map semantics, where registration
+    /// never created a `FlowRecord` (a registered-but-idle flow must not
+    /// show up in fairness or throughput aggregates).
+    live: Vec<bool>,
+    /// Number of live (visible) slots.
+    live_count: usize,
+    /// Number of slots carrying an `AppFlowMeta`; the per-delivery
+    /// fast path skips all app accounting while this is zero.
+    meta_count: usize,
+}
+
+impl FlowTable {
+    /// Slot for `flow`, creating a hidden one on first touch.
+    fn slot_of(&mut self, flow: FlowId) -> usize {
+        let key = flow.0 as usize;
+        if key >= self.index.len() {
+            self.index.resize(key + 1, 0);
+        }
+        match self.index[key] {
+            0 => {
+                let slot = self.ids.len();
+                self.index[key] = slot as u32 + 1;
+                self.ids.push(flow);
+                self.records.push(FlowRecord::default());
+                self.metas.push(None);
+                self.live.push(false);
+                slot
+            }
+            s => s as usize - 1,
+        }
+    }
+
+    /// Slot for `flow` if one was ever created (live or hidden).
+    fn slot_lookup(&self, flow: FlowId) -> Option<usize> {
+        match self.index.get(flow.0 as usize) {
+            Some(&s) if s != 0 => Some(s as usize - 1),
+            _ => None,
+        }
+    }
+
+    /// Live slot indices in ascending `FlowId` order.
+    fn ordered(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.ids.len()).filter(|&i| self.live[i]).collect();
+        v.sort_unstable_by_key(|&i| self.ids[i]);
+        v
+    }
+
+    /// The record for `flow`, if it has delivered anything.
+    pub fn get(&self, flow: &FlowId) -> Option<&FlowRecord> {
+        let slot = self.slot_lookup(*flow)?;
+        self.live[slot].then(|| &self.records[slot])
+    }
+
+    /// Number of flows that have delivered at least one packet.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// True if no flow has delivered anything yet.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Flow records in ascending `FlowId` order.
+    pub fn values(&self) -> impl Iterator<Item = &FlowRecord> + '_ {
+        self.ordered().into_iter().map(move |i| &self.records[i])
+    }
+
+    /// `(FlowId, record)` pairs in ascending `FlowId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &FlowRecord)> + '_ {
+        self.ordered()
+            .into_iter()
+            .map(move |i| (self.ids[i], &self.records[i]))
+    }
+}
+
+impl std::ops::Index<&FlowId> for FlowTable {
+    type Output = FlowRecord;
+    fn index(&self, flow: &FlowId) -> &FlowRecord {
+        self.get(flow).expect("no record for flow")
+    }
+}
+
 /// Initial capacity hint for per-packet sample vectors: a few thousand
 /// deliveries is the floor for any measured scenario, so early growth
 /// reallocations are skipped.
@@ -21,6 +135,7 @@ const SAMPLES_HINT: usize = 4096;
 /// Cheap shared handle to the hub.
 pub type Metrics = Rc<RefCell<MetricsHub>>;
 
+/// A fresh, empty, shareable [`MetricsHub`].
 pub fn new_hub() -> Metrics {
     Rc::new(RefCell::new(MetricsHub::default()))
 }
@@ -43,14 +158,19 @@ pub struct AppFlowMeta {
 /// Per-flow delivery accounting (recorded by sinks).
 #[derive(Debug, Clone, Default)]
 pub struct FlowRecord {
+    /// Wire bytes delivered (duplicates included).
     pub delivered_bytes: u64,
+    /// Packets delivered (duplicates included).
     pub delivered_pkts: u64,
     /// Bytes/packets counted once per sequence number: duplicates from
     /// spurious retransmissions are excluded. App-level completion and
     /// deadline accounting key off these, never the wire counts.
     pub unique_bytes: u64,
+    /// Packets counted once per sequence number.
     pub unique_pkts: u64,
+    /// When the flow's first packet arrived (post-epoch).
     pub first_delivery: Option<SimTime>,
+    /// When the flow's most recent packet arrived.
     pub last_delivery: Option<SimTime>,
     /// One-way packet delays (s), as observed by the receiver.
     pub delays_s: Vec<f64>,
@@ -90,8 +210,11 @@ impl FlowRecord {
 /// Per-link accounting (recorded by link nodes).
 #[derive(Debug, Clone, Default)]
 pub struct LinkRecord {
+    /// Wire bytes the link transmitted.
     pub delivered_bytes: u64,
+    /// Packets the link transmitted.
     pub delivered_pkts: u64,
+    /// Packets the link's qdisc dropped.
     pub dropped_pkts: u64,
     /// Bits the link could have carried while the experiment ran.
     pub opportunity_bits: f64,
@@ -103,6 +226,8 @@ pub struct LinkRecord {
 }
 
 impl LinkRecord {
+    /// Delivered bits over opportunity bits, clamped to 1 (zero when no
+    /// opportunity accounting ran).
     pub fn utilization(&self) -> f64 {
         if self.opportunity_bits <= 0.0 {
             return 0.0;
@@ -134,17 +259,20 @@ impl LinkRecord {
 /// One throughput sample bin: delivered bytes per flow in `[start, start+width)`.
 #[derive(Debug, Clone)]
 pub struct ThroughputBin {
+    /// Bin start time.
     pub start: SimTime,
-    pub bytes: BTreeMap<FlowId, u64>,
+    /// Delivered bytes per [`FlowTable`] slot (dense, grown on write;
+    /// slots beyond the vector's length delivered nothing in this bin).
+    pub bytes: Vec<u64>,
 }
 
+/// The simulation-wide measurement collector (see the module docs).
 #[derive(Debug)]
 pub struct MetricsHub {
-    pub flows: BTreeMap<FlowId, FlowRecord>,
+    /// Per-flow delivery accounting.
+    pub flows: FlowTable,
+    /// Per-link accounting, keyed by the link's metrics tag.
     pub links: BTreeMap<&'static str, LinkRecord>,
-    /// Application expectations keyed by flow (empty for bulk-only runs,
-    /// so the per-delivery check costs one branch).
-    pub app_flows: BTreeMap<FlowId, AppFlowMeta>,
     bin_width: SimDuration,
     bins: Vec<ThroughputBin>,
     /// Measurement starts here; earlier samples are warm-up and ignored.
@@ -157,9 +285,8 @@ pub struct MetricsHub {
 impl Default for MetricsHub {
     fn default() -> Self {
         MetricsHub {
-            flows: BTreeMap::new(),
+            flows: FlowTable::default(),
             links: BTreeMap::new(),
-            app_flows: BTreeMap::new(),
             bin_width: SimDuration::from_millis(100),
             bins: Vec::new(),
             epoch: SimTime::ZERO,
@@ -174,10 +301,12 @@ impl MetricsHub {
         self.epoch = t;
     }
 
+    /// The configured measurement-start instant.
     pub fn epoch(&self) -> SimTime {
         self.epoch
     }
 
+    /// Width of the throughput time-series bins (100 ms default).
     pub fn set_bin_width(&mut self, w: SimDuration) {
         assert!(!w.is_zero());
         self.bin_width = w;
@@ -186,8 +315,14 @@ impl MetricsHub {
     /// Register application expectations for `flow` (FCT completion
     /// target and/or a per-packet delay deadline). Call before the run;
     /// bytes delivered during warmup do not count toward completion.
+    /// Registration pre-creates a hidden arena slot; the flow is not
+    /// visible in reports until its first post-epoch delivery.
     pub fn register_app_flow(&mut self, flow: FlowId, meta: AppFlowMeta) {
-        self.app_flows.insert(flow, meta);
+        let slot = self.flows.slot_of(flow);
+        if self.flows.metas[slot].is_none() {
+            self.flows.meta_count += 1;
+        }
+        self.flows.metas[slot] = Some(meta);
     }
 
     /// Called by sinks for every delivered data packet. `unique` is false
@@ -208,7 +343,20 @@ impl MetricsHub {
         if now < self.epoch {
             return;
         }
-        let rec = self.flows.entry(flow).or_default();
+        let ft = &mut self.flows;
+        let slot = ft.slot_of(flow);
+        if !ft.live[slot] {
+            ft.live[slot] = true;
+            ft.live_count += 1;
+        }
+        // Copy the meta out before the record borrow: one slot resolution
+        // serves both, where the map era paid two tree lookups.
+        let meta = if unique && ft.meta_count > 0 {
+            ft.metas[slot]
+        } else {
+            None
+        };
+        let rec = &mut ft.records[slot];
         rec.delivered_bytes += bytes as u64;
         rec.delivered_pkts += 1;
         if unique {
@@ -221,33 +369,35 @@ impl MetricsHub {
             rec.delays_s.reserve(SAMPLES_HINT);
         }
         rec.delays_s.push(delay.as_secs_f64());
-        if unique && !self.app_flows.is_empty() {
-            if let Some(meta) = self.app_flows.get(&flow) {
-                // A retransmitted frame busts the deadline regardless of
-                // its own wire OWD: the original was lost, and the
-                // replacement arrives at least a loss-recovery delay
-                // after the application produced it.
-                if meta.deadline.is_some_and(|d| retransmit || delay > d) {
-                    rec.deadline_misses += 1;
-                }
-                if rec.completed_at.is_none()
-                    && meta.expected_bytes.is_some_and(|b| rec.unique_bytes >= b)
-                {
-                    rec.completed_at = Some(now);
-                }
+        if let Some(meta) = meta {
+            // A retransmitted frame busts the deadline regardless of
+            // its own wire OWD: the original was lost, and the
+            // replacement arrives at least a loss-recovery delay
+            // after the application produced it.
+            if meta.deadline.is_some_and(|d| retransmit || delay > d) {
+                rec.deadline_misses += 1;
+            }
+            if rec.completed_at.is_none()
+                && meta.expected_bytes.is_some_and(|b| rec.unique_bytes >= b)
+            {
+                rec.completed_at = Some(now);
             }
         }
 
-        // throughput time series
+        // throughput time series: dense per-slot counters per bin
         let bin_idx = (now.since(self.epoch).as_nanos() / self.bin_width.as_nanos()) as usize;
         while self.bins.len() <= bin_idx {
             let start = self.epoch + self.bin_width * self.bins.len() as u64;
             self.bins.push(ThroughputBin {
                 start,
-                bytes: BTreeMap::new(),
+                bytes: Vec::new(),
             });
         }
-        *self.bins[bin_idx].bytes.entry(flow).or_insert(0) += bytes as u64;
+        let bin = &mut self.bins[bin_idx];
+        if bin.bytes.len() <= slot {
+            bin.bytes.resize(slot + 1, 0);
+        }
+        bin.bytes[slot] += bytes as u64;
     }
 
     /// Called by link nodes at each dequeue.
@@ -270,6 +420,7 @@ impl MetricsHub {
         rec.qdelay_series.push((now, qdelay));
     }
 
+    /// Called by link nodes for every packet their qdisc drops.
     pub fn on_link_drop(&mut self, link: &'static str, now: SimTime) {
         if now < self.epoch {
             return;
@@ -321,10 +472,12 @@ impl MetricsHub {
     /// Throughput time series for `flow`: (bin start seconds, Mbit/s).
     pub fn throughput_series_mbps(&self, flow: FlowId) -> Vec<(f64, f64)> {
         let w = self.bin_width.as_secs_f64();
+        // Resolve the arena slot once, not once per bin.
+        let slot = self.flows.slot_lookup(flow);
         self.bins
             .iter()
             .map(|b| {
-                let bytes = b.bytes.get(&flow).copied().unwrap_or(0);
+                let bytes = slot.and_then(|s| b.bytes.get(s)).copied().unwrap_or(0);
                 (b.start.as_secs_f64(), bytes as f64 * 8.0 / w / 1e6)
             })
             .collect()
@@ -336,7 +489,7 @@ impl MetricsHub {
         self.bins
             .iter()
             .map(|b| {
-                let bytes: u64 = b.bytes.values().sum();
+                let bytes: u64 = b.bytes.iter().sum();
                 (b.start.as_secs_f64(), bytes as f64 * 8.0 / w / 1e6)
             })
             .collect()

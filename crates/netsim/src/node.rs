@@ -179,8 +179,24 @@ pub trait Node: std::any::Any {
     /// Handle a delivered packet or a fired timer.
     fn handle(&mut self, ctx: &mut Context, event: EventKind);
 
+    /// Handle a run of same-instant events addressed to this node in one
+    /// event-loop drain. The simulator only batches adjacent `Deliver`
+    /// events (they can never be cancelled, so membership is fixed at
+    /// collection time); the first element may be any kind. The default
+    /// dispatches each event to [`Node::handle`] in pop order, which is
+    /// semantically identical to individual delivery. Nodes with
+    /// expensive per-event bookkeeping (e.g. the sender's RTO re-arm)
+    /// override this to coalesce that bookkeeping across the batch —
+    /// the override must preserve per-event observable behavior.
+    fn handle_batch(&mut self, ctx: &mut Context, batch: &mut Vec<EventKind>) {
+        for event in batch.drain(..) {
+            self.handle(ctx, event);
+        }
+    }
+
     /// Downcast support for post-run inspection of node state.
     fn as_any(&self) -> &dyn std::any::Any;
+    /// Mutable downcast support (end-of-run finalization hooks).
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 

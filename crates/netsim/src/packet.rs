@@ -49,6 +49,7 @@ impl Ecn {
         }
     }
 
+    /// Decode the two-bit header value produced by [`Ecn::bits`].
     pub fn from_bits(bits: u8) -> Ecn {
         match bits & 0b11 {
             0b00 => Ecn::NotEct,
@@ -77,13 +78,19 @@ pub enum Feedback {
     /// XCP congestion header: sender states cwnd and rtt, router writes a
     /// per-packet window delta (bytes, may be negative).
     Xcp {
+        /// Sender's current congestion window (bytes).
         cwnd_bytes: f64,
+        /// Sender's current RTT estimate (seconds).
         rtt_s: f64,
+        /// Router-written per-packet window adjustment (bytes).
         delta_bytes: f64,
     },
     /// RCP header: router stamps the rate (bit/s) it currently offers;
     /// the sender takes the minimum along the path.
-    Rcp { rate_bps: f64 },
+    Rcp {
+        /// Offered rate (bit/s), minimum over the routers traversed.
+        rate_bps: f64,
+    },
     /// VCP: a 2-bit load factor classification.
     Vcp(VcpLoad),
 }
@@ -91,9 +98,12 @@ pub enum Feedback {
 /// VCP's three load regions, encoded in 2 bits on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VcpLoad {
+    /// Load factor below the low threshold: multiplicative increase.
     #[default]
     Low,
+    /// Load factor near capacity: additive increase.
     High,
+    /// Load factor above 1: multiplicative decrease.
     Overload,
 }
 
@@ -133,6 +143,7 @@ pub struct AckData {
 /// are always rewritten — so results are unaffected.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Route {
+    /// `(next node, propagation delay to reach it)` pairs, in path order.
     pub hops: Vec<(NodeId, crate::time::SimDuration)>,
 }
 
@@ -163,6 +174,7 @@ impl Drop for Route {
 }
 
 impl Route {
+    /// A shared route over an owned hop list.
     pub fn new(hops: Vec<(NodeId, crate::time::SimDuration)>) -> Rc<Route> {
         Rc::new(Route { hops })
     }
@@ -182,10 +194,12 @@ impl Route {
         Rc::new(Route { hops: buf })
     }
 
+    /// Number of hops on the route.
     pub fn len(&self) -> usize {
         self.hops.len()
     }
 
+    /// True for a route with no hops.
     pub fn is_empty(&self) -> bool {
         self.hops.is_empty()
     }
@@ -201,12 +215,15 @@ impl Route {
 /// A simulated packet. Value type; the simulator moves it between nodes.
 #[derive(Debug, Clone)]
 pub struct Packet {
+    /// The flow this packet belongs to.
     pub flow: FlowId,
     /// Per-flow sequence number (data packets) or the seq being ACKed.
     pub seq: u64,
     /// Wire size in bytes, headers included.
     pub size: u32,
+    /// ECN codepoint (ABC reinterpretation — see [`Ecn`]).
     pub ecn: Ecn,
+    /// Explicit-scheme header fields, if any.
     pub feedback: Feedback,
     /// True for flows whose packets an ABC router classifies into the ABC
     /// queue (§5.2 assumes routers can identify ABC traffic, e.g. via the
@@ -220,12 +237,14 @@ pub struct Packet {
     pub ack: Option<AckData>,
     /// Remaining path. `hop` indexes the *next* node to visit.
     pub route: Rc<Route>,
+    /// Index into `route.hops` of the next node to visit.
     pub hop: usize,
     /// Scratch: when this packet entered the queue it currently occupies.
     pub enqueued_at: SimTime,
 }
 
 impl Packet {
+    /// True if this packet carries acknowledgment data.
     pub fn is_ack(&self) -> bool {
         self.ack.is_some()
     }

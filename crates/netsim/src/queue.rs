@@ -14,9 +14,13 @@ use std::collections::VecDeque;
 /// Counters every qdisc maintains for the metrics pipeline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QdiscStats {
+    /// Packets accepted into the queue.
     pub enqueued_pkts: u64,
+    /// Packets handed to the link for transmission.
     pub dequeued_pkts: u64,
+    /// Packets rejected or discarded (tail drop / AQM drop).
     pub dropped_pkts: u64,
+    /// Wire bytes handed to the link for transmission.
     pub dequeued_bytes: u64,
     /// Packets marked CE (legacy AQM in ECN mode).
     pub ce_marked: u64,
@@ -24,6 +28,9 @@ pub struct QdiscStats {
     pub braked: u64,
 }
 
+/// A queueing discipline at a link: buffers packets, decides drops and
+/// marks, and picks the next departure. See the module docs for the
+/// enqueue/dequeue driving contract.
 pub trait Qdisc: std::any::Any {
     /// Downcast support (harnesses inspect concrete qdisc state mid-run).
     fn as_any_qdisc(&self) -> &dyn std::any::Any;
@@ -42,9 +49,12 @@ pub trait Qdisc: std::any::Any {
     /// Wire size of the packet `dequeue` would return, without effects.
     fn peek_size(&self) -> Option<u32>;
 
+    /// Packets currently buffered.
     fn len_pkts(&self) -> usize;
+    /// Wire bytes currently buffered.
     fn len_bytes(&self) -> u64;
 
+    /// True when nothing is buffered.
     fn is_empty(&self) -> bool {
         self.len_pkts() == 0
     }
@@ -58,6 +68,7 @@ pub trait Qdisc: std::any::Any {
     /// departing packet has experienced).
     fn head_sojourn(&self, now: SimTime) -> Option<SimDuration>;
 
+    /// Lifetime counters for the metrics pipeline.
     fn stats(&self) -> QdiscStats;
 }
 
@@ -73,6 +84,7 @@ pub struct DropTail {
 }
 
 impl DropTail {
+    /// A FIFO accepting at most `limit_pkts` buffered packets.
     pub fn new(limit_pkts: usize) -> Self {
         assert!(limit_pkts > 0, "zero-capacity queue");
         DropTail {

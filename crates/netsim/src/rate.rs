@@ -14,19 +14,23 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 pub struct Rate(f64);
 
 impl Rate {
+    /// No throughput at all (a stalled link).
     pub const ZERO: Rate = Rate(0.0);
 
+    /// A rate of `bps` bits per second.
     #[inline]
     pub fn from_bps(bps: f64) -> Self {
         debug_assert!(bps >= 0.0 && bps.is_finite(), "invalid rate: {bps}");
         Rate(bps)
     }
 
+    /// A rate of `kbps` kilobits per second.
     #[inline]
     pub fn from_kbps(kbps: f64) -> Self {
         Self::from_bps(kbps * 1e3)
     }
 
+    /// A rate of `mbps` megabits per second.
     #[inline]
     pub fn from_mbps(mbps: f64) -> Self {
         Self::from_bps(mbps * 1e6)
@@ -43,16 +47,19 @@ impl Rate {
         }
     }
 
+    /// The rate in bits per second.
     #[inline]
     pub fn bps(self) -> f64 {
         self.0
     }
 
+    /// The rate in megabits per second.
     #[inline]
     pub fn mbps(self) -> f64 {
         self.0 / 1e6
     }
 
+    /// True for a stalled (zero) rate.
     #[inline]
     pub fn is_zero(self) -> bool {
         self.0 <= 0.0
@@ -75,16 +82,19 @@ impl Rate {
         self.0 * dur.as_secs_f64()
     }
 
+    /// The slower of the two rates.
     #[inline]
     pub fn min(self, other: Rate) -> Rate {
         Rate(self.0.min(other.0))
     }
 
+    /// The faster of the two rates.
     #[inline]
     pub fn max(self, other: Rate) -> Rate {
         Rate(self.0.max(other.0))
     }
 
+    /// The rate restricted to `[lo, hi]`.
     #[inline]
     pub fn clamp(self, lo: Rate, hi: Rate) -> Rate {
         Rate(self.0.clamp(lo.0, hi.0))

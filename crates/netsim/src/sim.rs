@@ -74,6 +74,7 @@ fn fnv_mix(h: u64, x: u64) -> u64 {
 }
 
 impl Simulator {
+    /// A simulator at time zero with an empty default event queue.
     pub fn new() -> Self {
         Self::with_queue(EventQueue::new())
     }
@@ -82,6 +83,14 @@ impl Simulator {
     /// pop-order tests that pin the wheel against the original ordering.
     pub fn new_with_reference_queue() -> Self {
         Self::with_queue(EventQueue::new_reference())
+    }
+
+    /// A simulator whose timer wheel uses `2^shift` ns slots (see
+    /// [`EventQueue::with_slot_shift`]). Pop order — and therefore every
+    /// simulation output — is identical at any width; wider slots
+    /// amortize cursor advances under µs-dense event storms.
+    pub fn with_slot_shift(shift: u32) -> Self {
+        Self::with_queue(EventQueue::with_slot_shift(shift))
     }
 
     fn with_queue(queue: EventQueue) -> Self {
@@ -124,10 +133,12 @@ impl Simulator {
         *slot = Some(node);
     }
 
+    /// The current simulation clock.
     pub fn now(&self) -> SimTime {
         self.clock
     }
 
+    /// Total events handled since construction.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }
@@ -187,37 +198,78 @@ impl Simulator {
         }
     }
 
+    /// Per-event accounting: the processed-event counter, the order
+    /// fingerprint, and the optional trace. Runs for every event exactly
+    /// when it is popped, so batched dispatch is indistinguishable from
+    /// one-at-a-time dispatch to every order witness.
+    fn account(&mut self, time: SimTime, node: NodeId, kind: &EventKind, seq: u64) {
+        self.events_processed += 1;
+        let mut h = fnv_mix(self.fingerprint, time.as_nanos());
+        h = fnv_mix(h, node.0 as u64);
+        h = match kind {
+            EventKind::Timer(tok) => fnv_mix(fnv_mix(h, 1), *tok),
+            EventKind::Deliver(p) => fnv_mix(fnv_mix(fnv_mix(h, 2), p.flow.0 as u64), p.seq),
+        };
+        self.fingerprint = h;
+        if let Some(t) = &mut self.trace {
+            t.push((time, node, seq));
+        }
+    }
+
     /// Run until the clock reaches `deadline` (events at exactly `deadline`
     /// are processed) or the event queue drains, whichever is first.
+    ///
+    /// Adjacent same-instant `Deliver` events to one node are dispatched
+    /// as a single [`Node::handle_batch`] call. This is order-equivalent
+    /// to one-at-a-time dispatch: batch members were already queued ahead
+    /// of anything a batch handler can schedule (new effects always get
+    /// higher sequence numbers at times ≥ now), and `Deliver` events can
+    /// never be cancelled, so nothing a handler does can invalidate or
+    /// reorder the collected batch.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_all();
+        let mut batch: Vec<EventKind> = Vec::new();
         while let Some(ev) = self.queue.pop_before(deadline) {
             debug_assert!(ev.time >= self.clock, "event queue time went backwards");
             self.clock = ev.time;
-            self.events_processed += 1;
-            let mut h = fnv_mix(self.fingerprint, ev.time.as_nanos());
-            h = fnv_mix(h, ev.node.0 as u64);
-            h = match &ev.kind {
-                EventKind::Timer(tok) => fnv_mix(fnv_mix(h, 1), *tok),
-                EventKind::Deliver(p) => fnv_mix(fnv_mix(fnv_mix(h, 2), p.flow.0 as u64), p.seq),
-            };
-            self.fingerprint = h;
-            if let Some(t) = &mut self.trace {
-                t.push((ev.time, ev.node, ev.seq()));
-            }
-            let idx = ev.node.0 as usize;
+            let (time, node_id) = (ev.time, ev.node);
+            self.account(time, node_id, &ev.kind, ev.seq());
+            let idx = node_id.0 as usize;
             // Take the node out so the handler can't alias the registry.
             // A missing node (reserved but never installed) drops the event.
             if let Some(mut node) = self.nodes.get_mut(idx).and_then(Option::take) {
-                {
-                    let mut ctx = Context::new(
-                        self.clock,
-                        ev.node,
-                        &mut self.scratch,
-                        &mut self.next_seq,
-                        &mut self.pool,
-                    );
-                    node.handle(&mut ctx, ev.kind);
+                // One peek decides singleton vs batch; the common
+                // singleton case dispatches directly, no Vec traffic.
+                match self.queue.pop_if_deliver_matching(time, node_id) {
+                    None => {
+                        let mut ctx = Context::new(
+                            self.clock,
+                            node_id,
+                            &mut self.scratch,
+                            &mut self.next_seq,
+                            &mut self.pool,
+                        );
+                        node.handle(&mut ctx, ev.kind);
+                    }
+                    Some(second) => {
+                        self.account(time, node_id, &second.kind, second.seq());
+                        batch.clear();
+                        batch.push(ev.kind);
+                        batch.push(second.kind);
+                        while let Some(next) = self.queue.pop_if_deliver_matching(time, node_id) {
+                            self.account(time, node_id, &next.kind, next.seq());
+                            batch.push(next.kind);
+                        }
+                        let mut ctx = Context::new(
+                            self.clock,
+                            node_id,
+                            &mut self.scratch,
+                            &mut self.next_seq,
+                            &mut self.pool,
+                        );
+                        node.handle_batch(&mut ctx, &mut batch);
+                        debug_assert!(batch.is_empty(), "handle_batch must drain the batch");
+                    }
                 }
                 self.nodes[idx] = Some(node);
                 self.flush_scratch();

@@ -18,6 +18,7 @@ pub struct WindowedRate {
 }
 
 impl WindowedRate {
+    /// An empty estimator over a sliding `window`.
     pub fn new(window: SimDuration) -> Self {
         assert!(!window.is_zero(), "rate window must be positive");
         WindowedRate {
@@ -28,6 +29,7 @@ impl WindowedRate {
         }
     }
 
+    /// The configured averaging window.
     pub fn window(&self) -> SimDuration {
         self.window
     }
@@ -81,6 +83,8 @@ impl Ewma {
         Ewma { alpha, value: None }
     }
 
+    /// Fold in a sample and return the new average (the first sample
+    /// seeds the average directly).
     pub fn update(&mut self, sample: f64) -> f64 {
         let v = match self.value {
             None => sample,
@@ -90,14 +94,17 @@ impl Ewma {
         v
     }
 
+    /// The current average, once at least one sample has arrived.
     pub fn get(&self) -> Option<f64> {
         self.value
     }
 
+    /// The current average, or `default` before any sample.
     pub fn get_or(&self, default: f64) -> f64 {
         self.value.unwrap_or(default)
     }
 
+    /// Forget all samples.
     pub fn reset(&mut self) {
         self.value = None;
     }
@@ -106,13 +113,21 @@ impl Ewma {
 /// Summary statistics over a set of `f64` samples.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
+    /// Number of samples summarized.
     pub count: usize,
+    /// Arithmetic mean.
     pub mean: f64,
+    /// Population standard deviation.
     pub std_dev: f64,
+    /// Smallest sample.
     pub min: f64,
+    /// Largest sample.
     pub max: f64,
+    /// Median (50th percentile).
     pub p50: f64,
+    /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile.
     pub p99: f64,
 }
 

@@ -16,36 +16,46 @@ pub struct SimTime(u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
+/// Nanoseconds per second.
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+/// Nanoseconds per millisecond.
 pub const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Nanoseconds per microsecond.
 pub const NANOS_PER_MICRO: u64 = 1_000;
 
 impl SimTime {
+    /// The simulation's start instant.
     pub const ZERO: SimTime = SimTime(0);
     /// A sentinel far in the future (~584 years of simulated time).
     pub const MAX: SimTime = SimTime(u64::MAX);
 
+    /// The instant `ns` nanoseconds after simulation start.
     #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)
     }
 
+    /// Nanoseconds since simulation start.
     #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
+    /// The instant `s` (fractional) seconds after simulation start,
+    /// rounded to the nearest nanosecond.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0, "negative SimTime");
         SimTime((s * NANOS_PER_SEC as f64).round() as u64)
     }
 
+    /// Seconds since simulation start (lossy above 2⁵³ ns).
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64
     }
 
+    /// Milliseconds since simulation start (lossy above 2⁵³ ns).
     #[inline]
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_MILLI as f64
@@ -59,6 +69,7 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// `self − d`, clamped at the simulation's start instant.
     #[inline]
     pub fn saturating_sub(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_sub(d.0))
@@ -66,76 +77,95 @@ impl SimTime {
 }
 
 impl SimDuration {
+    /// The empty span.
     pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span (~584 years).
     pub const MAX: SimDuration = SimDuration(u64::MAX);
 
+    /// A span of `ns` nanoseconds.
     #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
         SimDuration(ns)
     }
 
+    /// A span of `us` microseconds.
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
         SimDuration(us * NANOS_PER_MICRO)
     }
 
+    /// A span of `ms` milliseconds.
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
         SimDuration(ms * NANOS_PER_MILLI)
     }
 
+    /// A span of `s` seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * NANOS_PER_SEC)
     }
 
+    /// A span of `s` (fractional) seconds, rounded to the nearest
+    /// nanosecond.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0 && s.is_finite(), "invalid SimDuration: {s}");
         SimDuration((s * NANOS_PER_SEC as f64).round() as u64)
     }
 
+    /// A span of `ms` (fractional) milliseconds, rounded to the nearest
+    /// nanosecond.
     #[inline]
     pub fn from_millis_f64(ms: f64) -> Self {
         Self::from_secs_f64(ms / 1e3)
     }
 
+    /// The span in whole nanoseconds.
     #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
+    /// The span in seconds (lossy above 2⁵³ ns).
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64
     }
 
+    /// The span in milliseconds (lossy above 2⁵³ ns).
     #[inline]
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_MILLI as f64
     }
 
+    /// True for the empty span.
     #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
 
+    /// `self − other`, clamped at zero.
     #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
+    /// The span scaled by a non-negative factor, rounded to the nearest
+    /// nanosecond.
     #[inline]
     pub fn mul_f64(self, k: f64) -> SimDuration {
         debug_assert!(k >= 0.0 && k.is_finite());
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 
+    /// The shorter of the two spans.
     #[inline]
     pub fn min(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.min(other.0))
     }
 
+    /// The longer of the two spans.
     #[inline]
     pub fn max(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.max(other.0))

@@ -1,0 +1,210 @@
+//! Property tests for the arena-backed [`FlowTable`] inside
+//! [`MetricsHub`]: under arbitrary interleavings of app-flow
+//! registration and deliveries, the arena must be observationally
+//! identical to the naive `BTreeMap<FlowId, FlowRecord>` it replaced —
+//! same lookups, same lengths, and iteration in ascending `FlowId`
+//! order (which is what keeps report-time float reductions
+//! bit-identical to the map era).
+//!
+//! [`FlowTable`]: netsim::metrics::FlowTable
+
+use netsim::metrics::{AppFlowMeta, FlowRecord, MetricsHub};
+use netsim::packet::FlowId;
+use netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The pre-arena reference: the exact per-delivery bookkeeping
+/// `MetricsHub::on_delivery` performed when `flows` was a
+/// `BTreeMap<FlowId, FlowRecord>` and registration lived in a side map.
+#[derive(Default)]
+struct MapHub {
+    epoch: SimTime,
+    flows: BTreeMap<FlowId, FlowRecord>,
+    metas: BTreeMap<FlowId, AppFlowMeta>,
+}
+
+impl MapHub {
+    fn register_app_flow(&mut self, flow: FlowId, meta: AppFlowMeta) {
+        self.metas.insert(flow, meta);
+    }
+
+    fn on_delivery(
+        &mut self,
+        flow: FlowId,
+        now: SimTime,
+        delay: SimDuration,
+        bytes: u32,
+        unique: bool,
+        retransmit: bool,
+    ) {
+        if now < self.epoch {
+            return;
+        }
+        let rec = self.flows.entry(flow).or_default();
+        rec.delivered_bytes += bytes as u64;
+        rec.delivered_pkts += 1;
+        if unique {
+            rec.unique_bytes += bytes as u64;
+            rec.unique_pkts += 1;
+        }
+        rec.first_delivery.get_or_insert(now);
+        rec.last_delivery = Some(now);
+        rec.delays_s.push(delay.as_secs_f64());
+        if unique {
+            if let Some(meta) = self.metas.get(&flow) {
+                if meta.deadline.is_some_and(|d| retransmit || delay > d) {
+                    rec.deadline_misses += 1;
+                }
+                if rec.completed_at.is_none()
+                    && meta.expected_bytes.is_some_and(|b| rec.unique_bytes >= b)
+                {
+                    rec.completed_at = Some(now);
+                }
+            }
+        }
+    }
+}
+
+/// Field-by-field record equality; delay samples compared bitwise so a
+/// float-path divergence can't hide behind `==` on equal-looking NaNs.
+/// Returns the proptest-shim error type so `?` composes with
+/// `prop_assert!` inside `proptest!` bodies.
+fn assert_records_eq(a: &FlowRecord, b: &FlowRecord) -> Result<(), String> {
+    prop_assert_eq!(a.delivered_bytes, b.delivered_bytes);
+    prop_assert_eq!(a.delivered_pkts, b.delivered_pkts);
+    prop_assert_eq!(a.unique_bytes, b.unique_bytes);
+    prop_assert_eq!(a.unique_pkts, b.unique_pkts);
+    prop_assert_eq!(a.first_delivery, b.first_delivery);
+    prop_assert_eq!(a.last_delivery, b.last_delivery);
+    prop_assert_eq!(a.completed_at, b.completed_at);
+    prop_assert_eq!(a.deadline_misses, b.deadline_misses);
+    let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+    prop_assert_eq!(bits(&a.delays_s), bits(&b.delays_s));
+    Ok(())
+}
+
+/// Flow-id universe kept deliberately small so cases revisit the same
+/// flows (exercising slot reuse) and leave gaps (exercising the sparse
+/// index and registered-but-idle hidden slots).
+const FLOW_IDS: u64 = 24;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arena hub and map hub observe identical state under arbitrary
+    /// register/deliver interleavings: `get` per flow, `len`, and
+    /// ascending-`FlowId` iteration via both `iter()` and `values()`.
+    #[test]
+    fn arena_matches_btreemap_reference(
+        ops in proptest::collection::vec(
+            (0u8..10, 0u64..FLOW_IDS, 0u64..20_000_000_000),
+            1..300,
+        ),
+    ) {
+        let mut arena = MetricsHub::default();
+        let mut model = MapHub::default();
+        // Nonzero epoch so early deliveries are warm-up-dropped in both.
+        let epoch = SimTime::from_nanos(1_000_000_000);
+        arena.set_epoch(epoch);
+        model.epoch = epoch;
+
+        for (op, raw_flow, raw_t) in ops {
+            let flow = FlowId(raw_flow as u32);
+            let now = SimTime::from_nanos(raw_t);
+            match op {
+                // 70% deliveries, varying delay/size/uniqueness with
+                // the timestamp so duplicates and retransmits appear.
+                0..=6 => {
+                    let delay = SimDuration::from_nanos(raw_t % 50_000_000);
+                    let bytes = (raw_t % 1500 + 1) as u32;
+                    let unique = raw_t % 4 != 0;
+                    let retransmit = raw_t % 5 == 0;
+                    arena.on_delivery(flow, now, delay, bytes, unique, retransmit);
+                    model.on_delivery(flow, now, delay, bytes, unique, retransmit);
+                }
+                // 30% registrations, sometimes re-registering a flow
+                // that already delivered (meta replacement).
+                _ => {
+                    let meta = AppFlowMeta {
+                        start: now,
+                        expected_bytes: (raw_t % 3 != 0).then_some(raw_t % 40_000),
+                        deadline: (raw_t % 2 == 0)
+                            .then(|| SimDuration::from_nanos(raw_t % 10_000_000)),
+                    };
+                    arena.register_app_flow(flow, meta);
+                    model.register_app_flow(flow, meta);
+                }
+            }
+        }
+
+        prop_assert_eq!(arena.flows.len(), model.flows.len());
+        prop_assert_eq!(arena.flows.is_empty(), model.flows.is_empty());
+
+        // Point lookups agree over the whole id universe, including ids
+        // never touched and ids registered but never delivered (hidden
+        // slots must stay invisible, exactly like the map).
+        for id in 0..FLOW_IDS {
+            let flow = FlowId(id as u32);
+            match (arena.flows.get(&flow), model.flows.get(&flow)) {
+                (Some(a), Some(b)) => assert_records_eq(a, b)?,
+                (None, None) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "visibility diverged for {:?}: arena={} model={}",
+                    flow, a.is_some(), b.is_some()
+                ),
+            }
+        }
+
+        // Iteration yields the same flows in the same ascending-FlowId
+        // order with the same records.
+        let arena_ids: Vec<FlowId> = arena.flows.iter().map(|(id, _)| id).collect();
+        let model_ids: Vec<FlowId> = model.flows.keys().copied().collect();
+        prop_assert_eq!(&arena_ids, &model_ids);
+        let mut sorted = arena_ids.clone();
+        sorted.sort();
+        prop_assert_eq!(&arena_ids, &sorted);
+        for ((aid, arec), (mid, mrec)) in arena.flows.iter().zip(model.flows.iter()) {
+            prop_assert_eq!(aid, *mid);
+            assert_records_eq(arec, mrec)?;
+        }
+        for (arec, mrec) in arena.flows.values().zip(model.flows.values()) {
+            assert_records_eq(arec, mrec)?;
+        }
+    }
+}
+
+/// Registration pre-creates only a *hidden* slot: a registered-but-idle
+/// flow must not appear in lookups, lengths, or iteration until its
+/// first post-epoch delivery — the old map semantics, where fairness
+/// and throughput aggregates never saw idle flows.
+#[test]
+fn registered_but_idle_flow_stays_hidden() {
+    let mut hub = MetricsHub::default();
+    hub.register_app_flow(
+        FlowId(7),
+        AppFlowMeta {
+            start: SimTime::ZERO,
+            expected_bytes: Some(1_000),
+            deadline: None,
+        },
+    );
+    assert!(hub.flows.is_empty());
+    assert!(hub.flows.get(&FlowId(7)).is_none());
+    assert_eq!(hub.flows.iter().count(), 0);
+
+    hub.on_delivery(
+        FlowId(7),
+        SimTime::from_nanos(5),
+        SimDuration::from_nanos(1),
+        1_200,
+        true,
+        false,
+    );
+    assert_eq!(hub.flows.len(), 1);
+    let rec = &hub.flows[&FlowId(7)];
+    assert_eq!(rec.unique_bytes, 1_200);
+    // 1 200 unique bytes ≥ the registered 1 000-byte target.
+    assert!(rec.completed_at.is_some());
+}

@@ -144,6 +144,25 @@ impl WebWorkload {
         }
     }
 
+    /// A fleet of `clients` browsing users, each issuing
+    /// `per_client_per_sec` Poisson requests with the built-in
+    /// object-size distribution. Memoryless arrivals superpose, so the
+    /// fleet expands as one Poisson process at the aggregate rate — the
+    /// expansion cost is O(requests), not O(clients), which is what lets
+    /// the many-users campaigns size fleets in the thousands.
+    pub fn fleet(clients: u32, per_client_per_sec: f64) -> WebWorkload {
+        assert!(
+            per_client_per_sec.is_finite() && per_client_per_sec >= 0.0,
+            "invalid per-client rate: {per_client_per_sec}"
+        );
+        WebWorkload {
+            arrivals: ArrivalProcess::Poisson {
+                per_sec: clients as f64 * per_client_per_sec,
+            },
+            sizes: SizeDist::web_objects(),
+        }
+    }
+
     /// Expand into concrete requests over `[0, duration)`. Deterministic:
     /// a pure function of `(self, seed, duration)`.
     pub fn expand(&self, seed: u64, duration: SimDuration) -> Vec<WebFlow> {
