@@ -78,6 +78,34 @@ impl BenchDiffReport {
         }
         out
     }
+
+    /// Machine-readable single-line JSON for CI artifacts: the threshold,
+    /// the overall verdict, and every delta. Deterministic key order, so
+    /// two runs over the same trajectory produce identical bytes.
+    pub fn render_json(&self) -> String {
+        Value::Obj(vec![
+            ("threshold".into(), Value::num(self.threshold)),
+            ("regressed".into(), Value::Bool(self.has_regressions())),
+            (
+                "deltas".into(),
+                Value::Arr(
+                    self.deltas
+                        .iter()
+                        .map(|d| {
+                            Value::Obj(vec![
+                                ("key".into(), Value::str(&d.key)),
+                                ("baseline".into(), Value::num(d.baseline)),
+                                ("candidate".into(), Value::num(d.candidate)),
+                                ("improvement".into(), Value::num(d.improvement)),
+                                ("regressed".into(), Value::Bool(d.regressed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
 }
 
 /// Errors a malformed trajectory produces (exit-2 material, distinct

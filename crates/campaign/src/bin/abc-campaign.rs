@@ -50,11 +50,15 @@ USAGE:
   abc-campaign merge <shard.jsonl>... [--out F]  stitch shard stores into one
   abc-campaign diff <baseline.jsonl> <candidate.jsonl> [options]
                                                  regression gate (exit 1 on regression)
-  abc-campaign bench-diff <BENCH_*.json> [--threshold X]
+  abc-campaign bench-diff <BENCH_*.json> [--threshold X] [--json]
                                                  gate a bench trajectory's newest entry
                                                  against the previous one (exit 1 when a
                                                  *_per_sec / *_ns_per_op metric moves more
-                                                 than X in the bad direction; default 0.2)
+                                                 than X in the bad direction; default 0.2;
+                                                 --json prints a machine-readable report)
+  abc-campaign dynamics <sidecar.jsonl>          render the control-law timeline (marks,
+                                                 token level, qdelay, cwnd) from a
+                                                 telemetry sidecar — no re-simulation
 
 CAMPAIGN SOURCE:
   <preset>                 a built-in (see `abc-campaign list`)
@@ -75,6 +79,8 @@ RUN OPTIONS:
                            the SAME --scale (and --shard) as the
                            interrupted run (the header records axes, not
                            scale)
+  --telemetry-dir <d>      write one telemetry sidecar per point to d/
+                           (<ordinal>.jsonl; the results store is unaffected)
   --quiet                  no progress on stderr
 
 DIFF OPTIONS:
@@ -108,7 +114,7 @@ fn main() {
                     return false;
                 }
                 if a.starts_with("--") {
-                    skip_next = !matches!(a.as_str(), "--csv" | "--quiet" | "--resume");
+                    skip_next = !matches!(a.as_str(), "--csv" | "--quiet" | "--resume" | "--json");
                     return false;
                 }
                 true
@@ -165,6 +171,7 @@ fn main() {
                 jobs: get("--jobs").map(|x| parse_flag("--jobs", &x)),
                 chunk: get("--chunk").map_or(32, |x| parse_flag("--chunk", &x)),
                 progress: !args.iter().any(|a| a == "--quiet"),
+                telemetry_dir: get("--telemetry-dir").map(std::path::PathBuf::from),
             };
             let shard = get("--shard").map(|s| parse_shard(&s));
             let out = get("--out").unwrap_or_else(|| match shard {
@@ -310,16 +317,38 @@ fn main() {
                 Ok(v) => v,
                 Err(e) => fail(format!("{path}: {e}")),
             };
+            let as_json = args.iter().any(|a| a == "--json");
             match campaign::bench_diff::bench_diff(&trajectory, threshold) {
                 Ok(Some(report)) => {
-                    print!("{}", report.render());
+                    if as_json {
+                        println!("{}", report.render_json());
+                    } else {
+                        print!("{}", report.render());
+                    }
                     if report.has_regressions() {
                         std::process::exit(1);
                     }
                 }
                 Ok(None) => {
-                    println!("bench-diff: {path} has fewer than two entries; nothing to gate");
+                    if as_json {
+                        println!("{{\"threshold\":{threshold},\"regressed\":false,\"deltas\":[]}}");
+                    } else {
+                        println!("bench-diff: {path} has fewer than two entries; nothing to gate");
+                    }
                 }
+                Err(e) => fail(format!("{path}: {e}")),
+            }
+        }
+        "dynamics" => {
+            let Some(path) = positional.get(1) else {
+                usage()
+            };
+            let sidecar = match std::fs::read_to_string(path.as_str()) {
+                Ok(t) => t,
+                Err(e) => fail(format!("cannot read {path}: {e}")),
+            };
+            match campaign::dynamics::render_dynamics(&sidecar) {
+                Ok(fig) => print!("{fig}"),
                 Err(e) => fail(format!("{path}: {e}")),
             }
         }

@@ -506,6 +506,11 @@ pub fn all() -> Vec<(&'static str, &'static str, FigureFn)> {
             "Jain fairness + web tail FCT at 10→10k clients",
             many_users_fig as FigureFn,
         ),
+        (
+            "dynamics",
+            "control-law timeline (marks/token/qdelay/cwnd) from a telemetry sidecar",
+            crate::dynamics::dynamics_figure as FigureFn,
+        ),
     ]);
     v.sort_by_key(|(id, ..)| rank(id));
     v

@@ -157,7 +157,7 @@ fn compile(root: &Table, scale: Scale) -> Result<Campaign, TomlError> {
     check_keys(
         root,
         "the top level",
-        &["campaign", "base", "axis", "filter", "scale"],
+        &["campaign", "base", "axis", "filter", "scale", "telemetry"],
     )?;
 
     // [campaign] name = "…"
@@ -216,6 +216,49 @@ fn compile(root: &Table, scale: Scale) -> Result<Campaign, TomlError> {
                 &axis_names,
             )?);
         }
+    }
+
+    // [telemetry] — attach a sidecar config to every expanded point.
+    if let Some(t) = root.get("telemetry") {
+        let t_t = expect_table(t, "[telemetry]")?;
+        check_keys(t_t, "[telemetry]", &["signals", "sample_every_ms"])?;
+        let mut cfg = match t_t.get("signals") {
+            Some(s) => {
+                let mut names = Vec::new();
+                for item in expect_array(s, "telemetry signals")? {
+                    names.push((expect_str(item, "a telemetry signal")?, item.pos));
+                }
+                let mut signals = Vec::with_capacity(names.len());
+                for (name, pos) in names {
+                    match netsim::telemetry::Signal::from_name(name) {
+                        Some(sig) => signals.push(sig),
+                        None => {
+                            let catalog: Vec<&str> = netsim::telemetry::Signal::ALL
+                                .iter()
+                                .map(|s| s.name())
+                                .collect();
+                            return Err(err(
+                                pos,
+                                format!(
+                                    "unknown telemetry signal `{name}` (expected one of: {})",
+                                    catalog.join(", ")
+                                ),
+                            ));
+                        }
+                    }
+                }
+                netsim::telemetry::TelemetryConfig {
+                    signals,
+                    ..Default::default()
+                }
+            }
+            None => netsim::telemetry::TelemetryConfig::default(),
+        };
+        if let Some(ms) = t_t.get("sample_every_ms") {
+            let ms = expect_positive(ms, "telemetry sample_every_ms")?;
+            cfg = cfg.with_sample_every(SimDuration::from_millis(ms));
+        }
+        campaign.telemetry = Some(cfg);
     }
 
     Ok(campaign)
@@ -1030,6 +1073,37 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_table_compiles_and_reaches_every_point() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"t\"\n[[axis]]\nname = \"seed\"\nseeds = [1, 2]\n[telemetry]\nsignals = [\"cwnd\", \"qdelay_ms\"]\nsample_every_ms = 50\n",
+        )
+        .unwrap();
+        let cfg = c.telemetry.clone().expect("[telemetry] sets the config");
+        assert_eq!(
+            cfg.signals,
+            vec![
+                netsim::telemetry::Signal::Cwnd,
+                netsim::telemetry::Signal::QdelayMs
+            ]
+        );
+        assert_eq!(cfg.sample_every, SimDuration::from_millis(50));
+        for p in c.expand() {
+            assert_eq!(p.spec.telemetry.as_ref(), Some(&cfg));
+        }
+    }
+
+    #[test]
+    fn empty_telemetry_table_means_the_default_config() {
+        let c = compile_tiny("[campaign]\nname = \"t\"\n[telemetry]\n").unwrap();
+        assert_eq!(
+            c.telemetry,
+            Some(netsim::telemetry::TelemetryConfig::default())
+        );
+        // and no [telemetry] table at all means none
+        assert_eq!(compile_tiny(MINIMAL).unwrap().telemetry, None);
+    }
+
+    #[test]
     fn flows_table_form_compiles_to_staggered_uniform() {
         let c = compile_tiny(
             "[campaign]\nname = \"f\"\n[base]\nflows = { count = 4, stagger_ms = 500, stagger_departures = true }\n",
@@ -1152,6 +1226,32 @@ mod tests {
         );
         assert_eq!(line, 8);
         assert!(msg.contains("unknown axis `scheme`"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_telemetry_signal_is_rejected_with_the_catalog() {
+        let (line, col, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[telemetry]\nsignals = [\"cwnd\", \"congestion\"]\n",
+        );
+        assert_eq!((line, col), (4, 20));
+        assert!(
+            msg.contains("unknown telemetry signal `congestion`"),
+            "{msg}"
+        );
+        assert!(msg.contains("qdelay_ms"), "catalog missing from: {msg}");
+    }
+
+    #[test]
+    fn telemetry_cadence_must_be_a_positive_integer() {
+        let (line, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[telemetry]\nsample_every_ms = 0\n");
+        assert_eq!(line, 4);
+        assert!(msg.contains("at least 1"), "{msg}");
+        let (_, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[telemetry]\nsample_every_ms = \"fast\"\n");
+        assert!(msg.contains("must be an integer, found string"), "{msg}");
+        let (_, _, msg) = error_at("[campaign]\nname = \"x\"\n[telemetry]\ncadence = 5\n");
+        assert!(msg.contains("unknown key `cadence`"), "{msg}");
     }
 
     #[test]

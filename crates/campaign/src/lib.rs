@@ -24,6 +24,8 @@
 //!   `pareto`, `rtt-grid`, …).
 //! * [`figures`] — the matrix/pareto/RTT figures as pure renderers over
 //!   run records, and the workspace's complete figure index.
+//! * [`dynamics`] — the paper-style dynamics timeline rendered purely
+//!   from a [`netsim::telemetry`] JSONL sidecar.
 //!
 //! The `abc-campaign` binary drives all of it from the command line
 //! (`run` / `expand` / `diff` / `export` / `list`); `figgen` regenerates
@@ -36,6 +38,7 @@
 pub mod aggregate;
 pub mod bench_diff;
 pub mod diff;
+pub mod dynamics;
 pub mod figures;
 pub mod file;
 pub mod json;

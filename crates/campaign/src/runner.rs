@@ -23,6 +23,11 @@ pub struct RunOptions {
     pub chunk: usize,
     /// Report progress to stderr after every chunk.
     pub progress: bool,
+    /// Write one telemetry sidecar per executed point to this directory
+    /// (`<ordinal>.jsonl`). Points whose spec carries no telemetry config
+    /// get the default signal set. Sidecars bypass the results store, so
+    /// stored bytes stay identical with or without this.
+    pub telemetry_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -31,6 +36,7 @@ impl Default for RunOptions {
             jobs: None,
             chunk: 32,
             progress: false,
+            telemetry_dir: None,
         }
     }
 }
@@ -50,6 +56,12 @@ impl RunOptions {
     /// Toggle stderr progress reporting.
     pub fn with_progress(mut self, progress: bool) -> Self {
         self.progress = progress;
+        self
+    }
+
+    /// Write per-point telemetry sidecars to `dir` (`None` disables).
+    pub fn with_telemetry_dir(mut self, dir: Option<std::path::PathBuf>) -> Self {
+        self.telemetry_dir = dir;
         self
     }
 
@@ -130,12 +142,37 @@ fn run_points_with<F: FnMut(&[RunRecord])>(
             engine.threads().min(total.max(1)),
         );
     }
+    if let Some(dir) = &opts.telemetry_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "[abc-campaign] cannot create telemetry dir {}: {e}",
+                dir.display()
+            );
+        }
+    }
     let mut records = Vec::with_capacity(total);
+    let mut events_total = 0u64;
     for chunk in points.chunks(opts.chunk.max(1)) {
-        let specs: Vec<ScenarioSpec> = chunk.iter().map(|p| p.spec.clone()).collect();
-        let reports = engine.run_batch(&specs);
+        let specs: Vec<ScenarioSpec> = chunk
+            .iter()
+            .map(|p| {
+                let mut spec = p.spec.clone();
+                if opts.telemetry_dir.is_some() && spec.telemetry.is_none() {
+                    spec.telemetry = Some(netsim::telemetry::TelemetryConfig::default());
+                }
+                spec
+            })
+            .collect();
+        let results = engine.run_batch_map(&specs, |e, s| e.run_instrumented(s));
         let chunk_start = records.len();
-        for (point, report) in chunk.iter().zip(reports) {
+        for (point, (report, events, sidecar)) in chunk.iter().zip(results) {
+            events_total += events;
+            if let (Some(dir), Some(sidecar)) = (&opts.telemetry_dir, sidecar) {
+                let path = dir.join(format!("{}.jsonl", point.ordinal));
+                if let Err(e) = std::fs::write(&path, sidecar) {
+                    eprintln!("[abc-campaign] cannot write {}: {e}", path.display());
+                }
+            }
             records.push(RunRecord {
                 ordinal: point.ordinal,
                 coords: point.coords.clone(),
@@ -144,13 +181,27 @@ fn run_points_with<F: FnMut(&[RunRecord])>(
         }
         on_chunk(&records[chunk_start..]);
         if opts.progress {
+            let done = records.len();
+            let elapsed = start.elapsed().as_secs_f64();
+            // ETA from completed-scenario wall times; blank until the
+            // first wave lands (no rate to extrapolate from yet).
+            let eta = if done > 0 && done < total {
+                format!(
+                    " · ETA {:.0}s",
+                    elapsed / done as f64 * (total - done) as f64
+                )
+            } else {
+                String::new()
+            };
             eprintln!(
-                "[abc-campaign] {}: {}/{} scenarios ({:.0}%) in {:.1}s",
+                "[abc-campaign] {}: {}/{} scenarios ({:.0}%) in {:.1}s · {:.1} Mev/s{}",
                 campaign.name,
-                records.len(),
+                done,
                 total,
-                100.0 * records.len() as f64 / total.max(1) as f64,
-                start.elapsed().as_secs_f64(),
+                100.0 * done as f64 / total.max(1) as f64,
+                elapsed,
+                events_total as f64 / elapsed.max(1e-9) / 1e6,
+                eta,
             );
         }
     }

@@ -299,6 +299,10 @@ pub struct Campaign {
     pub axes: Vec<Axis>,
     /// Constraints dropping points before execution.
     pub filters: Vec<Filter>,
+    /// Telemetry sidecar recording applied to every expanded point
+    /// (`None` leaves each point's spec untouched). Sidecars never enter
+    /// the results store, so this does not perturb stored bytes.
+    pub telemetry: Option<netsim::telemetry::TelemetryConfig>,
 }
 
 impl Campaign {
@@ -309,7 +313,16 @@ impl Campaign {
             base,
             axes: Vec::new(),
             filters: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Record telemetry sidecars for every point (signals and cadence per
+    /// `cfg`). The runner writes them out when given a directory; the
+    /// results store never sees them.
+    pub fn telemetry(mut self, cfg: netsim::telemetry::TelemetryConfig) -> Campaign {
+        self.telemetry = Some(cfg);
+        self
     }
 
     /// Append an axis (panics on a duplicate axis name).
@@ -363,6 +376,9 @@ impl Campaign {
             let mut spec = self.base.clone();
             for (axis, &i) in self.axes.iter().zip(&idx) {
                 axis.values[i].1.apply(&mut spec);
+            }
+            if let Some(cfg) = &self.telemetry {
+                spec.telemetry = Some(cfg.clone());
             }
             out.push(CampaignPoint {
                 ordinal,

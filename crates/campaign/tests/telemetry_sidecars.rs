@@ -1,0 +1,95 @@
+//! The telemetry pipeline's two store-level contracts:
+//!
+//! * **inertness** — attaching a telemetry config to a campaign changes
+//!   results-store bytes by nothing at all (sidecars are a separate
+//!   artifact stream);
+//! * **pool invariance** — a point's sidecar is bit-identical across
+//!   1/2/4/8-worker engine pools, like every other campaign artifact.
+
+use campaign::presets;
+use campaign::runner::{run_campaign, RunOptions};
+use campaign::store::ResultsStore;
+use experiments::engine::ScenarioEngine;
+use experiments::figures::Scale;
+use netsim::telemetry::{TelemetryConfig, SIDECAR_SCHEMA};
+
+#[test]
+fn telemetry_never_touches_the_results_store() {
+    let plain = presets::tiny(Scale::Tiny);
+    let want = ResultsStore::new(&plain, run_campaign(&plain, &RunOptions::quiet())).to_jsonl();
+
+    let instrumented = presets::tiny(Scale::Tiny).telemetry(TelemetryConfig::default());
+    let got = ResultsStore::new(
+        &instrumented,
+        run_campaign(&instrumented, &RunOptions::quiet()),
+    )
+    .to_jsonl();
+
+    assert_eq!(got, want, "telemetry config leaked into the results store");
+}
+
+#[test]
+fn sidecars_are_bit_identical_across_worker_pool_sizes() {
+    let campaign = presets::tiny(Scale::Tiny).telemetry(TelemetryConfig::default());
+    let specs: Vec<_> = campaign.expand().into_iter().map(|p| p.spec).collect();
+    assert!(
+        specs.len() >= 4,
+        "tiny preset shrank: {} points",
+        specs.len()
+    );
+
+    let sidecars_at = |threads: usize| -> Vec<String> {
+        let engine = ScenarioEngine::with_threads(threads);
+        engine
+            .run_batch_map(&specs, |e, s| e.run_instrumented(s))
+            .into_iter()
+            .map(|(_, _, sidecar)| sidecar.expect("telemetry was attached to every spec"))
+            .collect()
+    };
+
+    let golden = sidecars_at(1);
+    for sidecar in &golden {
+        let header = sidecar.lines().next().expect("nonempty sidecar");
+        assert!(
+            header.contains(SIDECAR_SCHEMA),
+            "first line is not a schema header: {header}"
+        );
+    }
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            sidecars_at(threads),
+            golden,
+            "sidecar bytes diverged at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn runner_writes_one_sidecar_per_point_into_the_telemetry_dir() {
+    let dir = std::env::temp_dir().join(format!("abc-telemetry-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // No per-campaign config: --telemetry-dir alone must fall back to the
+    // default signal set for every point.
+    let campaign = presets::tiny(Scale::Tiny);
+    let points = campaign.expand();
+    let opts = RunOptions::quiet().with_telemetry_dir(Some(dir.clone()));
+    let records = run_campaign(&campaign, &opts);
+    assert_eq!(records.len(), points.len());
+
+    for p in &points {
+        let path = dir.join(format!("{}.jsonl", p.ordinal));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing sidecar {}: {e}", path.display()));
+        assert!(
+            text.lines()
+                .next()
+                .is_some_and(|l| l.contains(SIDECAR_SCHEMA)),
+            "{} lacks the schema header",
+            path.display()
+        );
+        campaign::dynamics::render_dynamics(&text)
+            .unwrap_or_else(|e| panic!("{} does not render: {e}", path.display()));
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -286,6 +286,14 @@ impl Qdisc for AbcQdisc {
     fn stats(&self) -> QdiscStats {
         self.stats
     }
+
+    fn control_signals(&self) -> Option<netsim::telemetry::ControlSignals> {
+        Some(netsim::telemetry::ControlSignals {
+            token: self.token,
+            mark_frac: self.last_f,
+            target_rate_mbps: self.last_target.mbps(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,8 @@ OPTIONS:
   --app-mbps <x>     rate-limit the application (default: backlogged)
   --pk-ms <x>        PK-ABC oracle lookahead
   --jobs <n>         engine worker-pool size (default: $ABC_JOBS, else all cores)
-  --series           print capacity/goodput/qdelay sparklines"
+  --series           print capacity/goodput/qdelay sparklines
+  --telemetry <out>  write a JSONL telemetry sidecar (abc-telemetry/v1) to <out>"
     );
     std::process::exit(2)
 }
@@ -142,7 +143,19 @@ fn main() {
         },
         None => ScenarioEngine::new(), // honors $ABC_JOBS
     };
-    let r = engine.run(&sc.spec());
+    let telemetry_out = get("--telemetry");
+    let mut spec = sc.spec();
+    if telemetry_out.is_some() {
+        spec = spec.telemetry(netsim::telemetry::TelemetryConfig::default());
+    }
+    let (r, _events, sidecar) = engine.run_instrumented(&spec);
+    if let (Some(path), Some(sidecar)) = (&telemetry_out, &sidecar) {
+        if let Err(e) = std::fs::write(path, sidecar) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("telemetry sidecar written to {path}");
+    }
     if args.iter().any(|a| a == "--series") {
         println!("capacity: {}", sparkline(&r.capacity_series, 70));
         println!("goodput : {}", sparkline(&r.tput_series, 70));

@@ -86,9 +86,11 @@ use netsim::packet::{FlowId, NodeId, Route, MTU_BYTES};
 use netsim::queue::{DropTail, Qdisc};
 use netsim::rate::Rate;
 use netsim::sim::Simulator;
+use netsim::telemetry::{new_hub as new_telemetry_hub, Shared, TelemetryConfig, TelemetryHub};
 use netsim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -378,6 +380,12 @@ pub struct ScenarioSpec {
     /// every output is invariant to it — that lets µs-dense many-flow
     /// scenarios use wider slots with intra-slot batch pops.
     pub timer_slot_shift: Option<u32>,
+    /// Telemetry sidecar recording: `Some(cfg)` installs a
+    /// [`netsim::telemetry`] hub behind the simulator so probe sites
+    /// sample per-flow/per-link dynamics at `cfg`'s cadence. `None` (the
+    /// default) leaves the no-op sink in place — the run is byte-identical
+    /// to a build without telemetry compiled in.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ScenarioSpec {
@@ -399,6 +407,7 @@ impl ScenarioSpec {
             seed: 7,
             oracle_lookahead: None,
             timer_slot_shift: None,
+            telemetry: None,
         }
     }
 
@@ -515,6 +524,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Record a telemetry sidecar for this scenario (signals and sample
+    /// cadence per `cfg`). Retrieve it with [`BuiltScenario::sidecar`] or
+    /// [`ScenarioEngine::run_instrumented`].
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// Expand the schedule (+ Poisson churn) into concrete flows.
     fn expand_flows(&self) -> Vec<FlowSpec> {
         let mut out = match &self.flows {
@@ -624,6 +641,11 @@ impl ScenarioEngine {
         };
         let hub = new_hub();
         hub.borrow_mut().set_epoch(SimTime::ZERO + spec.warmup);
+        let telemetry = spec.telemetry.as_ref().map(|cfg| {
+            let t = new_telemetry_hub(cfg.clone());
+            sim.set_telemetry(Box::new(Shared(t.clone())));
+            t
+        });
 
         let tags = spec.topology.hop_tags();
         let hop_ids: Vec<NodeId> = tags.iter().map(|_| sim.reserve_node()).collect();
@@ -830,6 +852,7 @@ impl ScenarioEngine {
         BuiltScenario {
             sim,
             hub,
+            telemetry,
             hops: tags.iter().copied().zip(hop_ids).collect(),
             sender_ids,
             flows: flow_ids,
@@ -846,6 +869,18 @@ impl ScenarioEngine {
         let mut b = self.build(spec);
         b.run_to_end();
         b.finish()
+    }
+
+    /// Like [`run`](Self::run), but also return the number of simulator
+    /// events processed and the rendered telemetry sidecar (when the spec
+    /// enabled one). The campaign runner uses the event count for its
+    /// live events/sec readout and the sidecar for `--telemetry-dir`.
+    pub fn run_instrumented(&self, spec: &ScenarioSpec) -> (Report, u64, Option<String>) {
+        let mut b = self.build(spec);
+        b.run_to_end();
+        let events = b.sim.events_processed();
+        let sidecar = b.sidecar();
+        (b.finish(), events, sidecar)
     }
 
     /// Run independent scenarios in parallel; `reports[i]` belongs to
@@ -950,6 +985,8 @@ pub struct BuiltScenario {
     pub sim: Simulator,
     /// The metrics hub every node reports into.
     pub hub: Metrics,
+    /// The telemetry hub, when the spec asked for one.
+    pub telemetry: Option<Rc<RefCell<TelemetryHub>>>,
     /// `(metrics tag, node id)` of each hop, in path order.
     pub hops: Vec<(&'static str, NodeId)>,
     /// Node ids of the senders, in flow order.
@@ -972,6 +1009,13 @@ impl BuiltScenario {
     /// Advance simulated time by `d` (for sampling loops).
     pub fn run_chunk(&mut self, d: SimDuration) {
         self.sim.run_for(d);
+    }
+
+    /// Render the telemetry sidecar recorded so far as self-describing
+    /// JSONL (`None` when the spec asked for no telemetry). Deterministic:
+    /// same spec, same bytes, regardless of worker-pool width.
+    pub fn sidecar(&self) -> Option<String> {
+        self.telemetry.as_ref().map(|t| t.borrow().render_jsonl())
     }
 
     /// When the scenario ends.

@@ -422,6 +422,16 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.live == 0
     }
+
+    /// Tier occupancy `(near, wheel slots, overflow)`, tombstones
+    /// included — a raw structural snapshot for the event-loop profiler.
+    /// The reference heap reports everything as `near`.
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        match &self.backend {
+            Backend::Wheel(w) => (w.near.len(), w.wheel_len, w.overflow.len()),
+            Backend::Naive(h) => (h.len(), 0, 0),
+        }
+    }
 }
 
 #[cfg(test)]

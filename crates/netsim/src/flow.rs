@@ -7,6 +7,7 @@ use crate::metrics::Metrics;
 use crate::node::{Context, Node, TimerId};
 use crate::packet::{AckData, Ecn, Feedback, FlowId, Packet, Route, MTU_BYTES};
 use crate::rate::Rate;
+use crate::telemetry::{Scope, Signal};
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -618,6 +619,7 @@ impl Sender {
         // Push the deadline; only arm a queue timer when none is pending.
         // The pending timer catches up via deferral when it fires early.
         self.rto_deadline = ctx.now() + timeout;
+        ctx.count(Signal::RtoArm, Scope::Flow(self.flow.0), 1);
         if self.batch_rto_defer {
             return; // one sync_rto_timer call at batch end
         }
@@ -633,6 +635,7 @@ impl Sender {
             // quiesce: unlink the RTO timer from the queue entirely
             if let Some(id) = self.rto_timer.take() {
                 ctx.cancel_timer(id);
+                ctx.count(Signal::RtoCancel, Scope::Flow(self.flow.0), 1);
             }
             return;
         }
@@ -646,6 +649,7 @@ impl Sender {
             // INITIAL_RTO): deferral can only wait, so cancel and re-arm.
             Some(id) if self.rto_deadline < self.rto_timer_at => {
                 ctx.cancel_timer(id);
+                ctx.count(Signal::RtoCancel, Scope::Flow(self.flow.0), 1);
                 self.rto_timer = Some(ctx.set_timer_at(self.rto_deadline, TOK_RTO));
                 self.rto_timer_at = self.rto_deadline;
             }
@@ -789,6 +793,19 @@ impl Sender {
             one_way_delay: ack.one_way_delay,
         };
         self.cc.on_ack(&ev);
+        if ctx.telemetry_on() {
+            let scope = Scope::Flow(self.flow.0);
+            ctx.sample(Signal::Cwnd, scope, self.cc.cwnd_pkts());
+            ctx.sample(Signal::Inflight, scope, self.outstanding.len() as f64);
+            ctx.sample(
+                Signal::SrttMs,
+                scope,
+                self.srtt.unwrap_or(SimDuration::ZERO).as_millis_f64(),
+            );
+            if let Pacing::Rate(r) = self.cc.pacing() {
+                ctx.sample(Signal::PacingRateMbps, scope, r.mbps());
+            }
+        }
         if let Some(d) = &mut self.driver {
             d.on_progress(now, self.delivered_bytes);
         }
@@ -811,6 +828,7 @@ impl Sender {
         let now = ctx.now();
         self.stats.rtos += 1;
         self.rto_backoff += 1;
+        ctx.count(Signal::RtoFire, Scope::Flow(self.flow.0), 1);
         self.cc.on_rto(now);
         // conservative go-back-N: everything outstanding is presumed lost
         let seqs: Vec<u64> = self.outstanding.all_seqs().collect();

@@ -17,7 +17,10 @@
 //! * [`flow`] — a reliable sender with pluggable [`flow::CongestionControl`]
 //!   and a feedback-echoing sink;
 //! * [`metrics`] / [`stats`] — utilization, per-packet delay percentiles,
-//!   Jain fairness, throughput time series.
+//!   Jain fairness, throughput time series;
+//! * [`telemetry`] — the deterministic observability layer: signal probes
+//!   threaded through every [`node::Context`], an opt-in wall-clock
+//!   event-loop profiler, and the JSONL dynamics sidecar.
 //!
 //! Design follows the smoltcp school: event-driven, no async runtime (the
 //! workload is CPU-bound and deterministic), simplicity and robustness over
@@ -35,6 +38,7 @@ pub mod queue;
 pub mod rate;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use fault::{Impairment, LossyWire};
@@ -47,4 +51,5 @@ pub use packet::{AckData, Ecn, Feedback, FlowId, NodeId, Packet, Route, VcpLoad}
 pub use queue::{DropTail, Qdisc, QdiscStats};
 pub use rate::Rate;
 pub use sim::Simulator;
+pub use telemetry::{TelemetryConfig, TelemetryHub, TelemetrySink};
 pub use time::{SimDuration, SimTime};

@@ -152,6 +152,21 @@ impl Node for LinkQueue {
                             }
                             m.on_link_dequeue(self.tag, now, now.since(pkt.enqueued_at), pkt.size);
                         }
+                        if ctx.telemetry_on() {
+                            use crate::telemetry::{Scope, Signal};
+                            let scope = Scope::Link(self.tag);
+                            ctx.sample(
+                                Signal::QdelayMs,
+                                scope,
+                                now.since(pkt.enqueued_at).as_millis_f64(),
+                            );
+                            ctx.sample(Signal::QdiscDepthPkts, scope, self.qdisc.len_pkts() as f64);
+                            if let Some(cs) = self.qdisc.control_signals() {
+                                ctx.sample(Signal::AbcToken, scope, cs.token);
+                                ctx.sample(Signal::MarkFrac, scope, cs.mark_frac);
+                                ctx.sample(Signal::TargetRateMbps, scope, cs.target_rate_mbps);
+                            }
+                        }
                         if pkt.next_hop().is_some() {
                             ctx.forward_boxed(pkt);
                         } else {

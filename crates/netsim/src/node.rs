@@ -2,6 +2,7 @@
 
 use crate::event::EventKind;
 use crate::packet::{NodeId, Packet};
+use crate::telemetry::{PoolStats, Scope, Signal, TelemetrySink};
 use crate::time::{SimDuration, SimTime};
 
 /// Recycled `Deliver` boxes kept per simulator; bounds pool memory while
@@ -45,6 +46,14 @@ pub struct Context<'a> {
     /// indirection.
     #[allow(clippy::vec_box)]
     pool: &'a mut Vec<Box<Packet>>,
+    /// Pool hit/miss counters (simulator-owned, always on — two integer
+    /// increments per packet with no observable output unless profiled).
+    pool_stats: &'a mut PoolStats,
+    /// The telemetry sink probes record through.
+    sink: &'a mut dyn TelemetrySink,
+    /// `sink.is_enabled()`, cached once per dispatch so each probe site
+    /// costs a predictable branch instead of a virtual call.
+    telemetry_on: bool,
 }
 
 impl<'a> Context<'a> {
@@ -55,13 +64,19 @@ impl<'a> Context<'a> {
         out: &'a mut Vec<Effect>,
         next_seq: &'a mut u64,
         pool: &'a mut Vec<Box<Packet>>,
+        pool_stats: &'a mut PoolStats,
+        sink: &'a mut dyn TelemetrySink,
     ) -> Self {
+        let telemetry_on = sink.is_enabled();
         Context {
             now,
             self_id,
             out,
             next_seq,
             pool,
+            pool_stats,
+            sink,
+            telemetry_on,
         }
     }
 
@@ -86,10 +101,14 @@ impl<'a> Context<'a> {
     fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
         match self.pool.pop() {
             Some(mut b) => {
+                self.pool_stats.hits += 1;
                 *b = pkt;
                 b
             }
-            None => Box::new(pkt),
+            None => {
+                self.pool_stats.misses += 1;
+                Box::new(pkt)
+            }
         }
     }
 
@@ -166,6 +185,31 @@ impl<'a> Context<'a> {
     /// timer's event arrives.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.out.push(Effect::Cancel(id.0));
+    }
+
+    /// Whether a live telemetry sink is attached. Probe sites that need
+    /// to compute a value before sampling guard on this so the disabled
+    /// path does no work at all.
+    #[inline]
+    pub fn telemetry_on(&self) -> bool {
+        self.telemetry_on
+    }
+
+    /// Record a gauge observation (one line at a probe site; a dead
+    /// branch when the sink is [`Off`](crate::telemetry::Off)).
+    #[inline]
+    pub fn sample(&mut self, signal: Signal, scope: Scope, value: f64) {
+        if self.telemetry_on {
+            self.sink.sample(self.now, signal, scope, value);
+        }
+    }
+
+    /// Bump a counter signal (same cost contract as [`Context::sample`]).
+    #[inline]
+    pub fn count(&mut self, signal: Signal, scope: Scope, delta: u64) {
+        if self.telemetry_on {
+            self.sink.count(signal, scope, delta);
+        }
     }
 }
 

@@ -70,6 +70,13 @@ pub trait Qdisc: std::any::Any {
 
     /// Lifetime counters for the metrics pipeline.
     fn stats(&self) -> QdiscStats;
+
+    /// Control-law internals for the telemetry layer (token level, mark
+    /// fraction, target rate). Passive qdiscs have none; ABC overrides
+    /// this so the per-link probe site stays scheme-agnostic.
+    fn control_signals(&self) -> Option<crate::telemetry::ControlSignals> {
+        None
+    }
 }
 
 /// Plain FIFO tail-drop queue with a byte or packet capacity limit.

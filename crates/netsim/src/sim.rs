@@ -3,7 +3,13 @@
 use crate::event::{EventKind, EventQueue};
 use crate::node::{Context, Effect, PACKET_POOL_CAP};
 use crate::packet::{NodeId, Packet};
-use crate::time::SimTime;
+use crate::telemetry::{
+    new_hub, Off, Phase, PoolStats, ProfileReport, Profiler, Shared, Signal, TelemetryConfig,
+    TelemetryHub, TelemetrySink,
+};
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// A deterministic discrete-event simulator.
 ///
@@ -51,7 +57,17 @@ pub struct Simulator {
     /// FNV-1a over the `(time, node, kind)` sequence of processed events —
     /// a cheap always-on order witness for determinism tests.
     fingerprint: u64,
-    trace: Option<Vec<(SimTime, NodeId, u64)>>,
+    /// Packet-pool hit/miss counters (always on; read by the profiler).
+    pool_stats: PoolStats,
+    /// The telemetry sink probes record through; [`Off`] by default.
+    telemetry: Box<dyn TelemetrySink>,
+    /// `telemetry.is_enabled()`, cached at install time so per-event
+    /// accounting pays one predictable branch, not a virtual call.
+    telemetry_on: bool,
+    /// Hub backing the deprecated `enable_event_trace` wrapper.
+    legacy_trace: Option<Rc<RefCell<TelemetryHub>>>,
+    /// Opt-in wall-clock event-loop profiler.
+    profiler: Option<Profiler>,
 }
 
 use crate::node::Node;
@@ -104,7 +120,11 @@ impl Simulator {
             pool: Vec::new(),
             events_processed: 0,
             fingerprint: FNV_OFFSET,
-            trace: None,
+            pool_stats: PoolStats::default(),
+            telemetry: Box::new(Off),
+            telemetry_on: false,
+            legacy_trace: None,
+            profiler: None,
         }
     }
 
@@ -149,15 +169,56 @@ impl Simulator {
         self.fingerprint
     }
 
+    /// Install a telemetry sink; probes in every node's `Context` and the
+    /// per-event accounting record through it from now on. Installing
+    /// [`Off`] (the default) disables telemetry again.
+    pub fn set_telemetry(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.telemetry_on = sink.is_enabled();
+        self.telemetry = sink;
+    }
+
+    /// Start the wall-clock event-loop profiler (see
+    /// [`Simulator::profile_report`]). Wall time is host-dependent by
+    /// nature: profiles explain bench numbers and are never part of a
+    /// deterministic artifact.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Profiler::new());
+    }
+
+    /// Snapshot the profiler's report, or `None` when
+    /// [`Simulator::enable_profiler`] was never called.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.profiler.as_ref().map(|p| p.report(self.pool_stats))
+    }
+
+    /// Packet-pool hit/miss counters (always maintained).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool_stats
+    }
+
     /// Start recording `(time, node, seq)` for every processed event.
+    #[deprecated(note = "use `set_telemetry` with a hub selecting the `events` signal")]
     pub fn enable_event_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        let cfg = TelemetryConfig {
+            signals: vec![Signal::Events],
+            sample_every: SimDuration::ZERO,
+        };
+        let hub = new_hub(cfg);
+        self.set_telemetry(Box::new(Shared(hub.clone())));
+        self.legacy_trace = Some(hub);
     }
 
     /// Take the recorded event trace (empty unless
     /// [`Simulator::enable_event_trace`] was called before running).
+    #[deprecated(note = "use `set_telemetry` and read the hub's `events` rows instead")]
     pub fn take_event_trace(&mut self) -> Vec<(SimTime, NodeId, u64)> {
-        self.trace.take().unwrap_or_default()
+        match self.legacy_trace.take() {
+            Some(hub) => {
+                self.set_telemetry(Box::new(Off));
+                hub.borrow_mut().take_events()
+            }
+            None => Vec::new(),
+        }
     }
 
     fn start_all(&mut self) {
@@ -175,6 +236,8 @@ impl Simulator {
                         &mut self.scratch,
                         &mut self.next_seq,
                         &mut self.pool,
+                        &mut self.pool_stats,
+                        &mut *self.telemetry,
                     );
                     node.start(&mut ctx);
                 }
@@ -211,8 +274,8 @@ impl Simulator {
             EventKind::Deliver(p) => fnv_mix(fnv_mix(fnv_mix(h, 2), p.flow.0 as u64), p.seq),
         };
         self.fingerprint = h;
-        if let Some(t) = &mut self.trace {
-            t.push((time, node, seq));
+        if self.telemetry_on {
+            self.telemetry.event(time, node, seq);
         }
     }
 
@@ -238,6 +301,14 @@ impl Simulator {
             // Take the node out so the handler can't alias the registry.
             // A missing node (reserved but never installed) drops the event.
             if let Some(mut node) = self.nodes.get_mut(idx).and_then(Option::take) {
+                // Wall-clock instrumentation only when the profiler is on:
+                // the disabled path pays one branch per dispatch.
+                let prof_t0 = self.profiler.as_ref().map(|_| std::time::Instant::now());
+                let mut phase = match ev.kind {
+                    EventKind::Timer(_) => Phase::Timer,
+                    EventKind::Deliver(_) => Phase::Deliver,
+                };
+                let mut dispatched: u64 = 1;
                 // One peek decides singleton vs batch; the common
                 // singleton case dispatches directly, no Vec traffic.
                 match self.queue.pop_if_deliver_matching(time, node_id) {
@@ -248,10 +319,14 @@ impl Simulator {
                             &mut self.scratch,
                             &mut self.next_seq,
                             &mut self.pool,
+                            &mut self.pool_stats,
+                            &mut *self.telemetry,
                         );
                         node.handle(&mut ctx, ev.kind);
                     }
                     Some(second) => {
+                        phase = Phase::Batch;
+                        dispatched = 2;
                         self.account(time, node_id, &second.kind, second.seq());
                         batch.clear();
                         batch.push(ev.kind);
@@ -259,6 +334,7 @@ impl Simulator {
                         while let Some(next) = self.queue.pop_if_deliver_matching(time, node_id) {
                             self.account(time, node_id, &next.kind, next.seq());
                             batch.push(next.kind);
+                            dispatched += 1;
                         }
                         let mut ctx = Context::new(
                             self.clock,
@@ -266,6 +342,8 @@ impl Simulator {
                             &mut self.scratch,
                             &mut self.next_seq,
                             &mut self.pool,
+                            &mut self.pool_stats,
+                            &mut *self.telemetry,
                         );
                         node.handle_batch(&mut ctx, &mut batch);
                         debug_assert!(batch.is_empty(), "handle_batch must drain the batch");
@@ -273,6 +351,14 @@ impl Simulator {
                 }
                 self.nodes[idx] = Some(node);
                 self.flush_scratch();
+                if let (Some(p), Some(t0)) = (&mut self.profiler, prof_t0) {
+                    p.note_dispatch(phase, dispatched, t0.elapsed().as_nanos() as u64);
+                    // Occupancy checkpoint every 1024 processed events.
+                    if self.events_processed & 0x3ff == 0 {
+                        let (near, slots, overflow) = self.queue.occupancy();
+                        p.note_occupancy(near, slots, overflow);
+                    }
+                }
             } else if let EventKind::Deliver(b) = ev.kind {
                 if self.pool.len() < PACKET_POOL_CAP {
                     self.pool.push(b);

@@ -1,0 +1,1007 @@
+//! Deterministic, schema-versioned observability for the simulator.
+//!
+//! Three legs, per the design doc:
+//!
+//! 1. **Signal probes** — gauges sampled on sim-time events (cwnd,
+//!    in-flight, qdisc depth, ABC token level, …), counters (RTO arms/
+//!    cancels/fires), and log-bucketed histograms, all recorded through
+//!    the [`TelemetrySink`] threaded into every [`Context`]. Probe sites
+//!    are one-line `ctx.sample(..)` calls guarded by a cached boolean, so
+//!    with the default [`Off`] sink they compile down to a dead branch:
+//!    the event-order fingerprint and every results-store byte are
+//!    identical with telemetry compiled in but disabled.
+//! 2. **Host self-profiling** — an opt-in wall-clock [`Profiler`] for the
+//!    event loop (time per dispatch phase, events/sec over wall time,
+//!    wheel occupancy, packet-pool hit rate). Wall-clock numbers are
+//!    machine-dependent by nature and are *never* written to a results
+//!    store; they exist to explain bench trajectories.
+//! 3. **The sidecar** — [`TelemetryHub::render_jsonl`] emits a
+//!    self-describing JSONL document (schema header first, then sample /
+//!    counter / histogram / event rows) that downstream tooling renders
+//!    into paper-style dynamics timelines without re-running anything.
+//!
+//! Sim-time signals are bit-deterministic: identical scenario, identical
+//! sidecar bytes, regardless of host, worker-pool width, or wall-clock
+//! load.
+//!
+//! [`Context`]: crate::node::Context
+
+use crate::packet::NodeId;
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Version tag written as the `schema` field of a sidecar's header line.
+pub const SIDECAR_SCHEMA: &str = "abc-telemetry/v1";
+
+/// A probe signal. The numeric value doubles as the bit index in the
+/// hub's enabled-signal mask, so membership tests are one shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Signal {
+    /// Congestion window, packets (per flow; fractional).
+    Cwnd = 0,
+    /// Packets in flight after each ACK (per flow).
+    Inflight = 1,
+    /// Pacing-clock rate in Mbit/s (per flow; rate-paced schemes only).
+    PacingRateMbps = 2,
+    /// Smoothed RTT in milliseconds (per flow).
+    SrttMs = 3,
+    /// Bottleneck qdisc depth in packets, sampled at each dequeue (per link).
+    QdiscDepthPkts = 4,
+    /// Per-packet queueing (sojourn) delay in milliseconds (per link).
+    QdelayMs = 5,
+    /// ABC token-bucket level, in tokens (per link; ABC qdiscs only).
+    AbcToken = 6,
+    /// ABC accelerate fraction `f(t)` from the last control-law update
+    /// (per link; ABC qdiscs only).
+    MarkFrac = 7,
+    /// ABC target rate `tr(t)` in Mbit/s (per link; ABC qdiscs only).
+    TargetRateMbps = 8,
+    /// RTO timer armed / deadline pushed (counter, per flow).
+    RtoArm = 9,
+    /// RTO timer cancelled on quiesce or re-arm (counter, per flow).
+    RtoCancel = 10,
+    /// RTO timer actually fired (counter, per flow).
+    RtoFire = 11,
+    /// Raw `(time, node, seq)` event-order trace — the telemetry-layer
+    /// form of the old ad-hoc `enable_event_trace`. Off by default:
+    /// one row per processed event is bulky.
+    Events = 12,
+}
+
+impl Signal {
+    /// Every signal, in mask-bit order.
+    pub const ALL: [Signal; 13] = [
+        Signal::Cwnd,
+        Signal::Inflight,
+        Signal::PacingRateMbps,
+        Signal::SrttMs,
+        Signal::QdiscDepthPkts,
+        Signal::QdelayMs,
+        Signal::AbcToken,
+        Signal::MarkFrac,
+        Signal::TargetRateMbps,
+        Signal::RtoArm,
+        Signal::RtoCancel,
+        Signal::RtoFire,
+        Signal::Events,
+    ];
+
+    /// The default selection: everything except the bulky [`Signal::Events`].
+    pub const DEFAULT: [Signal; 12] = [
+        Signal::Cwnd,
+        Signal::Inflight,
+        Signal::PacingRateMbps,
+        Signal::SrttMs,
+        Signal::QdiscDepthPkts,
+        Signal::QdelayMs,
+        Signal::AbcToken,
+        Signal::MarkFrac,
+        Signal::TargetRateMbps,
+        Signal::RtoArm,
+        Signal::RtoCancel,
+        Signal::RtoFire,
+    ];
+
+    /// Stable wire name, used in sidecar rows and `[telemetry]` tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::Cwnd => "cwnd",
+            Signal::Inflight => "inflight",
+            Signal::PacingRateMbps => "pacing_rate_mbps",
+            Signal::SrttMs => "srtt_ms",
+            Signal::QdiscDepthPkts => "qdisc_depth_pkts",
+            Signal::QdelayMs => "qdelay_ms",
+            Signal::AbcToken => "abc_token",
+            Signal::MarkFrac => "mark_frac",
+            Signal::TargetRateMbps => "target_rate_mbps",
+            Signal::RtoArm => "rto_arm",
+            Signal::RtoCancel => "rto_cancel",
+            Signal::RtoFire => "rto_fire",
+            Signal::Events => "events",
+        }
+    }
+
+    /// Inverse of [`Signal::name`]; `None` for unknown names (the TOML
+    /// layer turns that into a schema error listing the catalog).
+    pub fn from_name(name: &str) -> Option<Signal> {
+        Signal::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// Counters accumulate and emit once at end-of-run; gauges are
+    /// sampled (and cadence-decimated) along the way.
+    pub fn is_counter(self) -> bool {
+        matches!(self, Signal::RtoArm | Signal::RtoCancel | Signal::RtoFire)
+    }
+
+    /// Gauges whose every observation additionally feeds a
+    /// [`LogHistogram`] (distribution shape survives decimation).
+    pub fn is_histogrammed(self) -> bool {
+        matches!(self, Signal::QdelayMs)
+    }
+
+    fn bit(self) -> u32 {
+        1 << (self as u8)
+    }
+}
+
+/// What a sample or counter is *about*. Ordered so end-of-run emission
+/// (counters, histograms) is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// Simulation-wide, no particular entity.
+    Global,
+    /// A transport flow, by flow id.
+    Flow(u32),
+    /// A link queue, by its metrics tag.
+    Link(&'static str),
+}
+
+impl Scope {
+    /// Stable wire form: `global`, `flow:3`, `link:bottleneck`.
+    pub fn render(self) -> String {
+        match self {
+            Scope::Global => "global".to_string(),
+            Scope::Flow(id) => format!("flow:{id}"),
+            Scope::Link(tag) => format!("link:{tag}"),
+        }
+    }
+}
+
+/// ABC control-law internals surfaced through the qdisc trait for the
+/// per-link probe site (netsim cannot name `abc-core` types directly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlSignals {
+    /// Token-bucket level, tokens.
+    pub token: f64,
+    /// Accelerate fraction `f(t)` from the last dequeue.
+    pub mark_frac: f64,
+    /// Target rate `tr(t)`, Mbit/s.
+    pub target_rate_mbps: f64,
+}
+
+/// Which signals to record and how densely to sample gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Enabled signals (see [`Signal::DEFAULT`]).
+    pub signals: Vec<Signal>,
+    /// Minimum sim-time gap between consecutive samples of one
+    /// `(signal, scope)` gauge series; `ZERO` keeps every observation.
+    pub sample_every: SimDuration,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            signals: Signal::DEFAULT.to_vec(),
+            sample_every: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A config selecting `names`, or the unknown name that failed to
+    /// resolve (callers render the catalog in their error message).
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Result<Self, String> {
+        let mut signals = Vec::with_capacity(names.len());
+        for n in names {
+            match Signal::from_name(n.as_ref()) {
+                Some(s) => signals.push(s),
+                None => return Err(n.as_ref().to_string()),
+            }
+        }
+        Ok(TelemetryConfig {
+            signals,
+            ..TelemetryConfig::default()
+        })
+    }
+
+    /// Builder: set the gauge sample cadence.
+    pub fn with_sample_every(mut self, d: SimDuration) -> Self {
+        self.sample_every = d;
+        self
+    }
+
+    fn mask(&self) -> u32 {
+        self.signals.iter().fold(0, |m, s| m | s.bit())
+    }
+}
+
+/// A power-of-two log-bucketed histogram over `u64` values.
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values whose highest
+/// set bit is `i − 1`, i.e. `[2^(i−1), 2^i)`. Recording and merging are
+/// integer-only, so a histogram is bit-deterministic and merging is
+/// associative and commutative — shard-local histograms fold into the
+/// same result in any grouping (property-tested in this crate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+        }
+    }
+
+    /// The bucket index `v` falls into.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (used when reporting quantiles).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+    }
+
+    /// Fold another histogram in (element-wise bucket addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`), or `None` when empty.
+    pub fn quantile_upper(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_upper(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Sparse `(bucket, count)` pairs for nonempty buckets, low to high.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+}
+
+/// One emitted gauge sample.
+#[derive(Debug, Clone, PartialEq)]
+struct SampleRow {
+    t_ns: u64,
+    signal: Signal,
+    scope: Scope,
+    value: f64,
+}
+
+/// The recording half of the telemetry layer: receives probe calls
+/// (usually via the [`Shared`] sink), applies signal selection and
+/// cadence decimation, and renders the JSONL sidecar at end-of-run.
+#[derive(Debug)]
+pub struct TelemetryHub {
+    cfg: TelemetryConfig,
+    mask: u32,
+    sample_every_ns: u64,
+    samples: Vec<SampleRow>,
+    /// Last-emitted sim time per gauge series, for decimation.
+    last_emit: BTreeMap<(Signal, Scope), u64>,
+    counters: BTreeMap<(Signal, Scope), u64>,
+    hists: BTreeMap<(Signal, Scope), LogHistogram>,
+    events: Vec<(SimTime, NodeId, u64)>,
+}
+
+impl TelemetryHub {
+    /// A hub recording the signals `cfg` selects.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        let mask = cfg.mask();
+        let sample_every_ns = cfg.sample_every.as_nanos();
+        TelemetryHub {
+            cfg,
+            mask,
+            sample_every_ns,
+            samples: Vec::new(),
+            last_emit: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The config this hub was built with.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+
+    fn wants(&self, signal: Signal) -> bool {
+        self.mask & signal.bit() != 0
+    }
+
+    /// Record a gauge observation at sim time `now`. Observations inside
+    /// the cadence window are dropped (histogrammed signals still feed
+    /// their histogram, so distributions stay exact).
+    pub fn sample(&mut self, now: SimTime, signal: Signal, scope: Scope, value: f64) {
+        if !self.wants(signal) {
+            return;
+        }
+        let t_ns = now.as_nanos();
+        if signal.is_histogrammed() && value.is_finite() && value >= 0.0 {
+            // nanosecond resolution for time-valued signals
+            let v = if signal == Signal::QdelayMs {
+                (value * 1e6) as u64
+            } else {
+                value as u64
+            };
+            self.hists.entry((signal, scope)).or_default().record(v);
+        }
+        let key = (signal, scope);
+        if let Some(&last) = self.last_emit.get(&key) {
+            if t_ns < last.saturating_add(self.sample_every_ns) {
+                return;
+            }
+        }
+        self.last_emit.insert(key, t_ns);
+        self.samples.push(SampleRow {
+            t_ns,
+            signal,
+            scope,
+            value,
+        });
+    }
+
+    /// Bump a counter signal.
+    pub fn count(&mut self, signal: Signal, scope: Scope, delta: u64) {
+        if !self.wants(signal) {
+            return;
+        }
+        *self.counters.entry((signal, scope)).or_insert(0) += delta;
+    }
+
+    /// Record one processed event for the `events` signal.
+    pub fn event(&mut self, time: SimTime, node: NodeId, seq: u64) {
+        if self.wants(Signal::Events) {
+            self.events.push((time, node, seq));
+        }
+    }
+
+    /// Drain the recorded `events` rows (the legacy
+    /// `take_event_trace` envelope).
+    pub fn take_events(&mut self) -> Vec<(SimTime, NodeId, u64)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of gauge samples emitted so far.
+    pub fn samples_len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Render the self-describing JSONL sidecar: one header object, then
+    /// one object per gauge sample (sim-time order), per counter, per
+    /// histogram (key order), per raw event. Bit-deterministic for a
+    /// given scenario.
+    pub fn render_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"");
+        out.push_str(SIDECAR_SCHEMA);
+        out.push_str("\",\"signals\":[");
+        for (i, s) in self.cfg.signals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\"{}\"", s.name()).unwrap();
+        }
+        writeln!(out, "],\"sample_every_ns\":{}}}", self.sample_every_ns).unwrap();
+        for r in &self.samples {
+            writeln!(
+                out,
+                "{{\"t_ns\":{},\"signal\":\"{}\",\"scope\":\"{}\",\"v\":{}}}",
+                r.t_ns,
+                r.signal.name(),
+                r.scope.render(),
+                fmt_json_num(r.value)
+            )
+            .unwrap();
+        }
+        for (&(signal, scope), &n) in &self.counters {
+            writeln!(
+                out,
+                "{{\"counter\":\"{}\",\"scope\":\"{}\",\"n\":{}}}",
+                signal.name(),
+                scope.render(),
+                n
+            )
+            .unwrap();
+        }
+        for (&(signal, scope), h) in &self.hists {
+            write!(
+                out,
+                "{{\"hist\":\"{}_ns\",\"scope\":\"{}\",\"count\":{},\"buckets\":[",
+                signal.name().trim_end_matches("_ms"),
+                scope.render(),
+                h.count()
+            )
+            .unwrap();
+            for (i, (b, n)) in h.nonzero_buckets().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "[{b},{n}]").unwrap();
+            }
+            out.push_str("]}\n");
+        }
+        for &(time, node, seq) in &self.events {
+            writeln!(
+                out,
+                "{{\"t_ns\":{},\"signal\":\"events\",\"node\":{},\"seq\":{}}}",
+                time.as_nanos(),
+                node.0,
+                seq
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// JSON number formatting: Rust's shortest-round-trip `Display`, with
+/// non-finite values mapped to `null` (they never arise from well-formed
+/// probes, but a sidecar must stay parseable regardless).
+fn fmt_json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The sink every [`Context`](crate::node::Context) carries. All methods
+/// default to no-ops so [`Off`] is a zero-cost implementation; probe
+/// sites additionally guard on a cached [`TelemetrySink::is_enabled`]
+/// so a disabled sink costs one predictable branch per probe.
+pub trait TelemetrySink {
+    /// Whether probes should bother calling in. Cached per dispatch.
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// A gauge observation at sim time `now`.
+    fn sample(&mut self, _now: SimTime, _signal: Signal, _scope: Scope, _value: f64) {}
+
+    /// A counter increment.
+    fn count(&mut self, _signal: Signal, _scope: Scope, _delta: u64) {}
+
+    /// One processed event, for the `events` signal.
+    fn event(&mut self, _time: SimTime, _node: NodeId, _seq: u64) {}
+}
+
+/// The default sink: telemetry disabled, every probe a dead branch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Off;
+
+impl TelemetrySink for Off {}
+
+/// A sink recording into a shared [`TelemetryHub`] — the handle half
+/// stays with the harness for end-of-run extraction, mirroring the
+/// `Metrics = Rc<RefCell<MetricsHub>>` idiom.
+#[derive(Debug, Clone)]
+pub struct Shared(pub Rc<RefCell<TelemetryHub>>);
+
+impl TelemetrySink for Shared {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn sample(&mut self, now: SimTime, signal: Signal, scope: Scope, value: f64) {
+        self.0.borrow_mut().sample(now, signal, scope, value);
+    }
+
+    fn count(&mut self, signal: Signal, scope: Scope, delta: u64) {
+        self.0.borrow_mut().count(signal, scope, delta);
+    }
+
+    fn event(&mut self, time: SimTime, node: NodeId, seq: u64) {
+        self.0.borrow_mut().event(time, node, seq);
+    }
+}
+
+/// A fresh shared hub for `cfg`; install the sink half with
+/// [`Simulator::set_telemetry`](crate::sim::Simulator::set_telemetry):
+///
+/// ```
+/// use netsim::sim::Simulator;
+/// use netsim::telemetry::{new_hub, Shared, TelemetryConfig};
+///
+/// let hub = new_hub(TelemetryConfig::default());
+/// let mut sim = Simulator::new();
+/// sim.set_telemetry(Box::new(Shared(hub.clone())));
+/// // … run …
+/// let sidecar = hub.borrow().render_jsonl();
+/// assert!(sidecar.starts_with("{\"schema\":\"abc-telemetry/v1\""));
+/// ```
+pub fn new_hub(cfg: TelemetryConfig) -> Rc<RefCell<TelemetryHub>> {
+    Rc::new(RefCell::new(TelemetryHub::new(cfg)))
+}
+
+/// Packet-pool traffic counters, kept unconditionally by the simulator
+/// (two integer increments per packet — no observable output unless the
+/// profiler reads them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `Context::boxed` served from the recycled-box pool.
+    pub hits: u64,
+    /// `Context::boxed` had to heap-allocate.
+    pub misses: u64,
+}
+
+impl PoolStats {
+    /// Pool hit rate in `[0, 1]`; `1.0` when no allocations happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Event-loop dispatch phases the profiler attributes wall time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Singleton `Deliver` dispatch.
+    Deliver,
+    /// Singleton `Timer` dispatch.
+    Timer,
+    /// Batched same-instant `Deliver` dispatch (`handle_batch`).
+    Batch,
+}
+
+/// Opt-in wall-clock profiler for [`Simulator::run_until`]
+/// (see [`Simulator::enable_profiler`]).
+///
+/// Everything here is host wall time — useful for explaining a bench
+/// number, excluded by contract from any deterministic artifact.
+///
+/// [`Simulator::run_until`]: crate::sim::Simulator::run_until
+/// [`Simulator::enable_profiler`]: crate::sim::Simulator::enable_profiler
+#[derive(Debug)]
+pub struct Profiler {
+    started: std::time::Instant,
+    deliver_ns: u64,
+    deliver_events: u64,
+    timer_ns: u64,
+    timer_events: u64,
+    batch_ns: u64,
+    batch_events: u64,
+    batches: u64,
+    occ_samples: u64,
+    occ_near: u64,
+    occ_slots: u64,
+    occ_overflow: u64,
+    dispatch_ns_hist: LogHistogram,
+}
+
+impl Profiler {
+    /// A profiler whose wall clock starts now.
+    pub fn new() -> Self {
+        Profiler {
+            started: std::time::Instant::now(),
+            deliver_ns: 0,
+            deliver_events: 0,
+            timer_ns: 0,
+            timer_events: 0,
+            batch_ns: 0,
+            batch_events: 0,
+            batches: 0,
+            occ_samples: 0,
+            occ_near: 0,
+            occ_slots: 0,
+            occ_overflow: 0,
+            dispatch_ns_hist: LogHistogram::new(),
+        }
+    }
+
+    /// Attribute `ns` of wall time covering `events` events to `phase`.
+    pub fn note_dispatch(&mut self, phase: Phase, events: u64, ns: u64) {
+        match phase {
+            Phase::Deliver => {
+                self.deliver_ns += ns;
+                self.deliver_events += events;
+            }
+            Phase::Timer => {
+                self.timer_ns += ns;
+                self.timer_events += events;
+            }
+            Phase::Batch => {
+                self.batch_ns += ns;
+                self.batch_events += events;
+                self.batches += 1;
+            }
+        }
+        self.dispatch_ns_hist.record(ns);
+    }
+
+    /// Record an event-queue occupancy observation
+    /// (near heap / wheel slots / overflow heap).
+    pub fn note_occupancy(&mut self, near: usize, slots: usize, overflow: usize) {
+        self.occ_samples += 1;
+        self.occ_near += near as u64;
+        self.occ_slots += slots as u64;
+        self.occ_overflow += overflow as u64;
+    }
+
+    /// Snapshot a report; `pool` comes from the simulator's counters.
+    pub fn report(&self, pool: PoolStats) -> ProfileReport {
+        let wall_secs = self.started.elapsed().as_secs_f64();
+        let events = self.deliver_events + self.timer_events + self.batch_events;
+        let occ = |sum: u64| {
+            if self.occ_samples == 0 {
+                0.0
+            } else {
+                sum as f64 / self.occ_samples as f64
+            }
+        };
+        ProfileReport {
+            wall_secs,
+            events,
+            events_per_wall_sec: if wall_secs > 0.0 {
+                events as f64 / wall_secs
+            } else {
+                0.0
+            },
+            deliver_ns: self.deliver_ns,
+            deliver_events: self.deliver_events,
+            timer_ns: self.timer_ns,
+            timer_events: self.timer_events,
+            batch_ns: self.batch_ns,
+            batch_events: self.batch_events,
+            batches: self.batches,
+            avg_near: occ(self.occ_near),
+            avg_slots: occ(self.occ_slots),
+            avg_overflow: occ(self.occ_overflow),
+            pool,
+            dispatch_ns_hist: self.dispatch_ns_hist.clone(),
+        }
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// End-of-run event-loop profile (see [`Profiler`]). Wall-clock only;
+/// by contract never part of a results store or sidecar.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Wall seconds from profiler creation to the report snapshot.
+    pub wall_secs: f64,
+    /// Events dispatched while profiled.
+    pub events: u64,
+    /// Events per wall second.
+    pub events_per_wall_sec: f64,
+    /// Wall ns in singleton `Deliver` dispatch.
+    pub deliver_ns: u64,
+    /// Events dispatched as singleton `Deliver`s.
+    pub deliver_events: u64,
+    /// Wall ns in singleton `Timer` dispatch.
+    pub timer_ns: u64,
+    /// Events dispatched as singleton `Timer`s.
+    pub timer_events: u64,
+    /// Wall ns in batched dispatch.
+    pub batch_ns: u64,
+    /// Events dispatched inside batches.
+    pub batch_events: u64,
+    /// Number of batched dispatches.
+    pub batches: u64,
+    /// Mean near-heap occupancy over the sampled checkpoints.
+    pub avg_near: f64,
+    /// Mean wheel-slot occupancy over the sampled checkpoints.
+    pub avg_slots: f64,
+    /// Mean overflow-heap occupancy over the sampled checkpoints.
+    pub avg_overflow: f64,
+    /// Packet-pool traffic counters.
+    pub pool: PoolStats,
+    /// Wall-ns-per-dispatch distribution.
+    pub dispatch_ns_hist: LogHistogram,
+}
+
+impl ProfileReport {
+    /// Fraction of attributed dispatch time spent in `phase`.
+    pub fn phase_frac(&self, phase: Phase) -> f64 {
+        let total = (self.deliver_ns + self.timer_ns + self.batch_ns) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let ns = match phase {
+            Phase::Deliver => self.deliver_ns,
+            Phase::Timer => self.timer_ns,
+            Phase::Batch => self.batch_ns,
+        };
+        ns as f64 / total
+    }
+
+    /// Structured, human-readable end-of-run report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "# event-loop profile (wall clock — not a store artifact)"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "events: {} in {:.3}s wall = {:.2} Mev/s",
+            self.events,
+            self.wall_secs,
+            self.events_per_wall_sec / 1e6
+        )
+        .unwrap();
+        let phase = |name: &str, ns: u64, ev: u64, frac: f64| {
+            format!(
+                "  {name:<8} {:>8.1} ms ({:>5.1}%) over {ev} events",
+                ns as f64 / 1e6,
+                frac * 100.0
+            )
+        };
+        writeln!(
+            out,
+            "{}",
+            phase(
+                "deliver",
+                self.deliver_ns,
+                self.deliver_events,
+                self.phase_frac(Phase::Deliver)
+            )
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{}",
+            phase(
+                "timer",
+                self.timer_ns,
+                self.timer_events,
+                self.phase_frac(Phase::Timer)
+            )
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{} in {} batches",
+            phase(
+                "batch",
+                self.batch_ns,
+                self.batch_events,
+                self.phase_frac(Phase::Batch)
+            ),
+            self.batches
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "wheel occupancy (mean): near {:.1} / slots {:.1} / overflow {:.1}",
+            self.avg_near, self.avg_slots, self.avg_overflow
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "packet pool: {} hits / {} misses ({:.1}% hit rate)",
+            self.pool.hits,
+            self.pool.misses,
+            self.pool.hit_rate() * 100.0
+        )
+        .unwrap();
+        if let Some(p50) = self.dispatch_ns_hist.quantile_upper(0.5) {
+            writeln!(
+                out,
+                "dispatch wall ns: p50 ≤ {} / p99 ≤ {}",
+                p50,
+                self.dispatch_ns_hist.quantile_upper(0.99).unwrap_or(0)
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    /// Context key/values for embedding next to bench metrics. None of
+    /// these keys end in `_per_sec` or `_ns_per_op`, so `bench-diff`
+    /// treats them as context, never as gated metrics.
+    pub fn context_kv(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("profile_deliver_frac", self.phase_frac(Phase::Deliver)),
+            ("profile_timer_frac", self.phase_frac(Phase::Timer)),
+            ("profile_batch_frac", self.phase_frac(Phase::Batch)),
+            ("profile_pool_hit_rate", self.pool.hit_rate()),
+            ("profile_wheel_near_avg", self.avg_near),
+            ("profile_wheel_overflow_avg", self.avg_overflow),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn off_sink_reports_disabled() {
+        let sink = Off;
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn hub_filters_unselected_signals() {
+        let cfg = TelemetryConfig::from_names(&["cwnd"]).unwrap();
+        let mut hub = TelemetryHub::new(cfg);
+        hub.sample(t(0), Signal::Cwnd, Scope::Flow(1), 10.0);
+        hub.sample(t(0), Signal::QdelayMs, Scope::Link("x"), 3.0);
+        hub.count(Signal::RtoArm, Scope::Flow(1), 1);
+        assert_eq!(hub.samples_len(), 1);
+        assert!(hub.counters.is_empty());
+    }
+
+    #[test]
+    fn cadence_decimates_gauges_per_series() {
+        let cfg = TelemetryConfig::default().with_sample_every(SimDuration::from_millis(10));
+        let mut hub = TelemetryHub::new(cfg);
+        for ms in 0..30 {
+            hub.sample(t(ms), Signal::Cwnd, Scope::Flow(1), ms as f64);
+            hub.sample(t(ms), Signal::Cwnd, Scope::Flow(2), ms as f64);
+        }
+        // each series keeps t=0,10,20
+        assert_eq!(hub.samples_len(), 6);
+    }
+
+    #[test]
+    fn histogrammed_signals_survive_decimation() {
+        let cfg = TelemetryConfig::default().with_sample_every(SimDuration::from_secs(1));
+        let mut hub = TelemetryHub::new(cfg);
+        for ms in 0..100 {
+            hub.sample(t(ms), Signal::QdelayMs, Scope::Link("b"), 1.0);
+        }
+        assert_eq!(hub.samples_len(), 1); // decimated to one row
+        let h = &hub.hists[&(Signal::QdelayMs, Scope::Link("b"))];
+        assert_eq!(h.count(), 100); // histogram saw everything
+    }
+
+    #[test]
+    fn sidecar_header_is_first_and_schema_versioned() {
+        let mut hub = TelemetryHub::new(TelemetryConfig::default());
+        hub.sample(t(1), Signal::Cwnd, Scope::Flow(0), 4.0);
+        hub.count(Signal::RtoFire, Scope::Flow(0), 2);
+        let jsonl = hub.render_jsonl();
+        let first = jsonl.lines().next().unwrap();
+        assert!(first.contains("\"schema\":\"abc-telemetry/v1\""));
+        assert!(first.contains("\"signals\":["));
+        assert!(jsonl.contains("\"signal\":\"cwnd\""));
+        assert!(jsonl.contains("\"counter\":\"rto_fire\""));
+    }
+
+    #[test]
+    fn sidecar_is_reproducible() {
+        let build = || {
+            let mut hub = TelemetryHub::new(TelemetryConfig::default());
+            for ms in 0..50 {
+                hub.sample(t(ms), Signal::Cwnd, Scope::Flow(0), (ms as f64).sqrt());
+                hub.sample(t(ms), Signal::QdelayMs, Scope::Link("b"), ms as f64 * 0.3);
+            }
+            hub.count(Signal::RtoArm, Scope::Flow(0), 7);
+            hub.render_jsonl()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn signal_names_round_trip() {
+        for s in Signal::ALL {
+            assert_eq!(Signal::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Signal::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn log_histogram_buckets_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(1000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile_upper(0.0), Some(0));
+        assert_eq!(h.quantile_upper(1.0), Some(LogHistogram::bucket_upper(10)));
+    }
+
+    #[test]
+    fn profile_report_phase_fracs_sum_to_one() {
+        let mut p = Profiler::new();
+        p.note_dispatch(Phase::Deliver, 1, 100);
+        p.note_dispatch(Phase::Timer, 1, 200);
+        p.note_dispatch(Phase::Batch, 4, 700);
+        p.note_occupancy(3, 10, 1);
+        let r = p.report(PoolStats { hits: 9, misses: 1 });
+        let sum =
+            r.phase_frac(Phase::Deliver) + r.phase_frac(Phase::Timer) + r.phase_frac(Phase::Batch);
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(r.events, 6);
+        assert!((r.pool.hit_rate() - 0.9).abs() < 1e-12);
+        assert!(r.render().contains("event-loop profile"));
+        for (k, _) in r.context_kv() {
+            assert!(!k.ends_with("_per_sec") && !k.ends_with("_ns_per_op"));
+        }
+    }
+}

@@ -11,6 +11,11 @@
 //! * a **property test** driving the wheel and the reference heap through
 //!   arbitrary push/cancel/pop interleavings.
 
+// The golden test exercises the deprecated `enable_event_trace` wrappers
+// on purpose — they must keep returning the same trace envelope now that
+// the telemetry layer's `events` signal backs them.
+#![allow(deprecated)]
+
 use netsim::event::{EventKind, EventQueue};
 use netsim::flow::{AckEvent, CongestionControl, Pacing, Sender, Sink, TrafficSource};
 use netsim::link::{SerialLink, SquareWave, TraceLink};
@@ -20,6 +25,7 @@ use netsim::packet::{FlowId, NodeId, Route};
 use netsim::queue::DropTail;
 use netsim::rate::Rate;
 use netsim::sim::Simulator;
+use netsim::telemetry::{new_hub as new_telemetry_hub, Shared, TelemetryConfig};
 use netsim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -61,8 +67,19 @@ impl CongestionControl for GreedyWindow {
 /// A two-flow scenario over a trace link and a square-wave serial link in
 /// series: pacing clocks, RTO arming/cancellation, delayed-ACK flush
 /// timers, and Mahimahi-style delivery opportunities all interleave.
-fn run_mixed_scenario(mut sim: Simulator) -> (Vec<(SimTime, NodeId, u64)>, u64) {
-    sim.enable_event_trace();
+fn run_mixed_scenario(
+    mut sim: Simulator,
+    full_telemetry: bool,
+) -> (Vec<(SimTime, NodeId, u64)>, u64) {
+    if full_telemetry {
+        // All default signals recording through a live hub: every probe
+        // site fires, and the event order must not move by one event.
+        sim.set_telemetry(Box::new(Shared(new_telemetry_hub(
+            TelemetryConfig::default(),
+        ))));
+    } else {
+        sim.enable_event_trace();
+    }
     let hub = new_hub();
 
     let s1 = sim.reserve_node();
@@ -159,8 +176,8 @@ const GOLDEN_FINGERPRINT: u64 = 0x971a0f55ff24d3e8;
 
 #[test]
 fn golden_mixed_scenario_pop_order_pinned() {
-    let (wheel_trace, wheel_fp) = run_mixed_scenario(Simulator::new());
-    let (ref_trace, ref_fp) = run_mixed_scenario(Simulator::new_with_reference_queue());
+    let (wheel_trace, wheel_fp) = run_mixed_scenario(Simulator::new(), false);
+    let (ref_trace, ref_fp) = run_mixed_scenario(Simulator::new_with_reference_queue(), false);
 
     assert!(
         wheel_trace.len() > 2_000,
@@ -179,6 +196,18 @@ fn golden_mixed_scenario_pop_order_pinned() {
     assert_eq!(
         wheel_fp, GOLDEN_FINGERPRINT,
         "event order changed (fingerprint {wheel_fp:#018x})"
+    );
+}
+
+/// Telemetry's zero-perturbation contract: a live hub recording every
+/// default signal must reproduce the pinned fingerprint exactly —
+/// probes observe the simulation, they never reschedule it.
+#[test]
+fn full_telemetry_recording_reproduces_the_pinned_fingerprint() {
+    let (_, fp) = run_mixed_scenario(Simulator::new(), true);
+    assert_eq!(
+        fp, GOLDEN_FINGERPRINT,
+        "telemetry recording perturbed event order (fingerprint {fp:#018x})"
     );
 }
 

@@ -1,0 +1,80 @@
+//! Property tests for the telemetry layer's deterministic aggregates.
+//!
+//! [`LogHistogram`] is the one telemetry structure that survives into
+//! rendered artifacts (the `qdelay_ns` sidecar rows and the profiler's
+//! dispatch distribution), so its claims are pinned here: recording is
+//! bit-deterministic, merging is associative and commutative, and a
+//! merge of shards equals one histogram over the concatenated stream —
+//! regardless of how observations were sharded.
+
+use netsim::telemetry::LogHistogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Same observations, any recording order → identical bits.
+    #[test]
+    fn recording_is_bit_deterministic_and_order_free(
+        mut values in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let a = hist_of(&values);
+        prop_assert_eq!(&a, &hist_of(&values));
+        values.reverse();
+        let b = hist_of(&values);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.count(), values.len() as u64);
+    }
+
+    /// `(a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)` and `a ⊔ b == b ⊔ a`: shard-local
+    /// histograms fold into the same result in any grouping.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(any::<u64>(), 0..100),
+        ys in proptest::collection::vec(any::<u64>(), 0..100),
+        zs in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right_inner = b.clone();
+        right_inner.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // merging shards == one histogram over the concatenated stream
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// Every observation lands in the bucket whose bounds contain it,
+    /// and the quantile upper bound never undershoots the bucket floor.
+    #[test]
+    fn buckets_contain_their_observations(v in any::<u64>()) {
+        let i = LogHistogram::bucket_of(v);
+        prop_assert!(v <= LogHistogram::bucket_upper(i));
+        if i > 0 {
+            prop_assert!(v > LogHistogram::bucket_upper(i - 1));
+        }
+        let mut h = LogHistogram::new();
+        h.record(v);
+        prop_assert_eq!(h.quantile_upper(1.0), Some(LogHistogram::bucket_upper(i)));
+    }
+}
