@@ -81,7 +81,23 @@ RUN OPTIONS:
                            scale)
   --telemetry-dir <d>      write one telemetry sidecar per point to d/
                            (<ordinal>.jsonl; the results store is unaffected)
+  --keep-going             keep executing the remaining points after one
+                           fails; every failure is stored as a structured
+                           error record either way, and --resume
+                           re-attempts exactly the failed points
+  --watchdog-budget <s>    wall-clock budget per point (seconds, may be
+                           fractional); a point exceeding it is cancelled
+                           and stored as a watchdog error instead of
+                           hanging the campaign
+  --retries <n>            extra attempts for a panicking point before it
+                           is recorded as failed (default 1)
   --quiet                  no progress on stderr
+
+EXIT CODES:
+  0  success        1  diff/bench-diff regression found
+  2  malformed input (flags, campaign files, stores)
+  3  run completed but one or more points failed (see the store's
+     error records; rerun with --resume once the cause is fixed)
 
 DIFF OPTIONS:
   --util-drop <x>          absolute utilization drop that fails (default 0.05)
@@ -114,7 +130,10 @@ fn main() {
                     return false;
                 }
                 if a.starts_with("--") {
-                    skip_next = !matches!(a.as_str(), "--csv" | "--quiet" | "--resume" | "--json");
+                    skip_next = !matches!(
+                        a.as_str(),
+                        "--csv" | "--quiet" | "--resume" | "--json" | "--keep-going"
+                    );
                     return false;
                 }
                 true
@@ -172,6 +191,12 @@ fn main() {
                 chunk: get("--chunk").map_or(32, |x| parse_flag("--chunk", &x)),
                 progress: !args.iter().any(|a| a == "--quiet"),
                 telemetry_dir: get("--telemetry-dir").map(std::path::PathBuf::from),
+                keep_going: args.iter().any(|a| a == "--keep-going"),
+                retries: get("--retries").map_or(1, |x| match x.parse::<u32>() {
+                    Ok(n) => n,
+                    Err(_) => fail(format!("--retries needs a non-negative integer, got {x:?}")),
+                }),
+                watchdog: get("--watchdog-budget").map(|x| parse_budget(&x)),
             };
             let shard = get("--shard").map(|s| parse_shard(&s));
             let out = get("--out").unwrap_or_else(|| match shard {
@@ -220,10 +245,10 @@ fn main() {
                 Err(e) => fail(format!("cannot write {target}: {e}")),
             };
             let mut w = std::io::BufWriter::new(sink);
-            let written = match campaign::runner::run_campaign_streaming_sharded(
+            let tally = match campaign::runner::run_campaign_streaming_sharded(
                 &campaign, &opts, prior, shard, &mut w,
             ) {
-                Ok(n) => n,
+                Ok(t) => t,
                 Err(e) => fail(format!("cannot write {target}: {e}")),
             };
             drop(w);
@@ -236,13 +261,26 @@ fn main() {
                 eprintln!(
                     "[abc-campaign] resumed {out}: {} record(s) reused, {} executed",
                     reused,
-                    written - reused
+                    tally.lines() - reused
                 );
             }
             eprintln!(
-                "[abc-campaign] wrote {written} record(s) to {out} (schema {})",
+                "[abc-campaign] wrote {} record(s) to {out} (schema {})",
+                tally.lines(),
                 store::SCHEMA
             );
+            // Point failures are data (the store holds their error
+            // records), but the run as a whole did not succeed: exit 3 so
+            // CI notices, distinct from exit 1 (regression gates) and
+            // exit 2 (malformed input).
+            if tally.errors > 0 {
+                eprintln!(
+                    "[abc-campaign] {} point(s) failed — structured error records are in {out}; \
+                     rerun with --resume to re-attempt them",
+                    tally.errors
+                );
+                std::process::exit(3);
+            }
         }
         "export" => {
             let store = load(positional.get(1));
@@ -366,6 +404,16 @@ fn parse_shard(value: &str) -> (usize, usize) {
     match parsed {
         Some(s) => s,
         None => fail(format!("--shard needs k/n with 1 <= k <= n, got {value:?}")),
+    }
+}
+
+/// `--watchdog-budget` seconds: a positive (possibly fractional) number.
+fn parse_budget(value: &str) -> std::time::Duration {
+    match value.parse::<f64>() {
+        Ok(s) if s > 0.0 && s.is_finite() => std::time::Duration::from_secs_f64(s),
+        _ => fail(format!(
+            "--watchdog-budget needs a positive number of seconds, got {value:?}"
+        )),
     }
 }
 

@@ -454,6 +454,49 @@ pub fn render_many_users(records: &[RunRecord]) -> String {
     out
 }
 
+/// Robustness figure: every scheme under the adversarial impairment
+/// axis (loss, burst loss, reordering, jitter, outages, ACK
+/// decimation), with the impaired-packet counts the wires recorded.
+pub fn robustness_fig(scale: Scale) -> String {
+    render_robustness(&run(&presets::robustness(scale)))
+}
+
+/// Render the robustness table from `robustness` records (axes
+/// `scheme` × `impairment`). The `none` control row shows each scheme's
+/// clean-path baseline; every other row shows how far throughput and
+/// tail delay degrade under that impairment, plus how many packets the
+/// impairment wires actually hit.
+pub fn render_robustness(records: &[RunRecord]) -> String {
+    let impairments = labels_of(records, "impairment");
+    let schemes = labels_of(records, "scheme");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Robustness — throughput and 95p delay under adversarial impairments"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} {:<14} {:>12} {:>14} {:>14} {:>14}",
+        "Impairment", "Scheme", "tput Mbit/s", "delay p95 (ms)", "delay p99 (ms)", "pkts impaired"
+    )
+    .unwrap();
+    for imp in &impairments {
+        for s in &schemes {
+            let r = find(records, &[("impairment", imp), ("scheme", s)])
+                .unwrap_or_else(|| panic!("robustness cell impairment={imp} scheme={s} missing"));
+            let hit: u64 = r.report.impairments.iter().map(|i| i.impaired).sum();
+            writeln!(
+                out,
+                "{:<14} {:<14} {:>12.2} {:>14.1} {:>14.1} {:>14}",
+                imp, s, r.report.total_tput_mbps, r.report.delay_ms.p95, r.report.delay_ms.p99, hit
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
 /// The complete figure index: campaign-backed figures (here) merged with
 /// the per-figure harnesses still in [`experiments::figures`], in the
 /// paper's order.
@@ -505,6 +548,11 @@ pub fn all() -> Vec<(&'static str, &'static str, FigureFn)> {
             "many-users",
             "Jain fairness + web tail FCT at 10→10k clients",
             many_users_fig as FigureFn,
+        ),
+        (
+            "robustness",
+            "throughput/delay degradation under adversarial impairments",
+            robustness_fig as FigureFn,
         ),
         (
             "dynamics",

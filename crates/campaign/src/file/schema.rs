@@ -37,10 +37,11 @@
 
 use super::toml::{self, Pos, Spanned, Table, TomlError, Value};
 use crate::spec::{Axis, AxisValue, Campaign, Coords, Filter};
-use experiments::engine::{FlowSchedule, ScenarioSpec, Topology, WorkloadEntry};
+use experiments::engine::{FlowSchedule, InjectedFault, ScenarioSpec, Topology, WorkloadEntry};
 use experiments::figures::Scale;
 use experiments::scenario::LinkSpec;
 use experiments::Scheme;
+use netsim::fault::{Direction, ImpairmentKind, ImpairmentSpec};
 use netsim::packet::MTU_BYTES;
 use netsim::rate::Rate;
 use netsim::time::{SimDuration, SimTime};
@@ -138,6 +139,19 @@ fn expect_positive(s: &Spanned, what: &str) -> Result<u64, TomlError> {
         0 => Err(err(s.pos, format!("{what} must be at least 1"))),
         v => Ok(v),
     }
+}
+
+/// A probability: finite and in `0..=1` (a negative drop rate or a
+/// `loss_bad = 1.5` must not flow into an impairment wire).
+fn expect_prob(s: &Spanned, what: &str) -> Result<f64, TomlError> {
+    let p = expect_f64(s, what)?;
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(err(
+            s.pos,
+            format!("{what} must be a probability in 0..=1, found {p}"),
+        ));
+    }
+    Ok(p)
 }
 
 /// A rate in Mbit/s: finite and non-negative (a negative or NaN rate
@@ -279,6 +293,8 @@ const SETTING_KEYS: &[&str] = &[
     "flows",
     "workloads",
     "timer_slot_shift",
+    "impairments",
+    "inject_fault",
 ];
 
 fn apply_settings(spec: &mut ScenarioSpec, t: &Table, context: &str) -> Result<(), TomlError> {
@@ -323,8 +339,158 @@ fn setting(key: &str, v: &Spanned) -> Result<AxisValue, TomlError> {
                 .collect::<Result<Vec<_>, _>>()?;
             AxisValue::Workloads(entries)
         }
+        "impairments" => {
+            let imps = expect_array(v, "`impairments`")?
+                .iter()
+                .map(impairment)
+                .collect::<Result<Vec<_>, _>>()?;
+            AxisValue::Impairments(imps)
+        }
+        "inject_fault" => {
+            let s = expect_str(v, "`inject_fault`")?;
+            match InjectedFault::from_name(s) {
+                Some(f) => AxisValue::Fault(Some(f)),
+                None if s == "none" => AxisValue::Fault(None),
+                None => {
+                    return Err(err(
+                        v.pos,
+                        format!("unknown fault {s:?} (expected \"panic\", \"stall\", or \"none\")"),
+                    ))
+                }
+            }
+        }
         other => return Err(err(v.pos, format!("unknown setting `{other}`"))),
     })
+}
+
+/// One impairment literal: a `kind` plus its parameters, with optional
+/// `direction` (`"data"`/`"ack"`, default data) and `hop` (default 0) —
+/// e.g. `{ kind = "drop", p = 0.01 }`,
+/// `{ kind = "gilbert-elliott", p_good_bad = 0.01, p_bad_good = 0.3,
+///    loss_good = 0.0, loss_bad = 0.5 }`,
+/// `{ kind = "outage", start_ms = 3000, duration_ms = 200,
+///    period_ms = 5000 }` (periodic flap; omit `period_ms` for one
+/// outage), or `{ kind = "decimate", keep_one_in = 4, direction = "ack" }`.
+fn impairment(v: &Spanned) -> Result<ImpairmentSpec, TomlError> {
+    let t = expect_table(v, "an impairment")?;
+    let kind_field = t
+        .get("kind")
+        .ok_or_else(|| err(v.pos, "an impairment needs a `kind`"))?;
+    let kind_name = expect_str(kind_field, "impairment `kind`")?;
+    let direction = match t.get("direction") {
+        Some(d) => match expect_str(d, "`direction`")? {
+            "data" => Direction::Data,
+            "ack" => Direction::Ack,
+            other => {
+                return Err(err(
+                    d.pos,
+                    format!("unknown direction {other:?} (expected \"data\" or \"ack\")"),
+                ))
+            }
+        },
+        None => Direction::Data,
+    };
+    let hop = match t.get("hop") {
+        Some(h) => expect_u64(h, "`hop`")? as usize,
+        None => 0,
+    };
+    let field = |k: &str| -> Result<&Spanned, TomlError> {
+        t.get(k)
+            .ok_or_else(|| err(v.pos, format!("impairment kind {kind_name:?} needs `{k}`")))
+    };
+    const COMMON: [&str; 3] = ["kind", "direction", "hop"];
+    let keys = |extra: &[&'static str]| -> Vec<&'static str> {
+        COMMON.iter().chain(extra).copied().collect()
+    };
+    let kind = match kind_name {
+        "drop" => {
+            check_keys(t, "a `drop` impairment", &keys(&["p"]))?;
+            ImpairmentKind::Drop {
+                p: expect_prob(field("p")?, "`p`")?,
+            }
+        }
+        "bleach-ecn" => {
+            check_keys(t, "a `bleach-ecn` impairment", &keys(&["p"]))?;
+            ImpairmentKind::BleachEcn {
+                p: expect_prob(field("p")?, "`p`")?,
+            }
+        }
+        "strip-feedback" => {
+            check_keys(t, "a `strip-feedback` impairment", &keys(&["p"]))?;
+            ImpairmentKind::StripFeedback {
+                p: expect_prob(field("p")?, "`p`")?,
+            }
+        }
+        "gilbert-elliott" => {
+            check_keys(
+                t,
+                "a `gilbert-elliott` impairment",
+                &keys(&["p_good_bad", "p_bad_good", "loss_good", "loss_bad"]),
+            )?;
+            ImpairmentKind::GilbertElliott {
+                p_good_bad: expect_prob(field("p_good_bad")?, "`p_good_bad`")?,
+                p_bad_good: expect_prob(field("p_bad_good")?, "`p_bad_good`")?,
+                loss_good: expect_prob(field("loss_good")?, "`loss_good`")?,
+                loss_bad: expect_prob(field("loss_bad")?, "`loss_bad`")?,
+            }
+        }
+        "reorder" => {
+            check_keys(t, "a `reorder` impairment", &keys(&["p", "hold_ms"]))?;
+            ImpairmentKind::Reorder {
+                p: expect_prob(field("p")?, "`p`")?,
+                hold: SimDuration::from_millis(expect_positive(field("hold_ms")?, "`hold_ms`")?),
+            }
+        }
+        "jitter" => {
+            check_keys(t, "a `jitter` impairment", &keys(&["max_ms"]))?;
+            ImpairmentKind::Jitter {
+                max: SimDuration::from_millis(expect_positive(field("max_ms")?, "`max_ms`")?),
+            }
+        }
+        "outage" => {
+            check_keys(
+                t,
+                "an `outage` impairment",
+                &keys(&["start_ms", "duration_ms", "period_ms"]),
+            )?;
+            ImpairmentKind::Outage {
+                start: SimDuration::from_millis(expect_u64(field("start_ms")?, "`start_ms`")?),
+                duration: SimDuration::from_millis(expect_positive(
+                    field("duration_ms")?,
+                    "`duration_ms`",
+                )?),
+                period: t
+                    .get("period_ms")
+                    .map(|p| expect_positive(p, "`period_ms`").map(SimDuration::from_millis))
+                    .transpose()?,
+            }
+        }
+        "decimate" => {
+            check_keys(t, "a `decimate` impairment", &keys(&["keep_one_in"]))?;
+            ImpairmentKind::Decimate {
+                keep_one_in: expect_positive(field("keep_one_in")?, "`keep_one_in`")?,
+            }
+        }
+        other => {
+            return Err(err(
+                kind_field.pos,
+                format!(
+                    "unknown impairment kind {other:?} (expected one of: drop, bleach-ecn, \
+                     strip-feedback, gilbert-elliott, reorder, jitter, outage, decimate)"
+                ),
+            ))
+        }
+    };
+    let spec = ImpairmentSpec {
+        kind,
+        direction,
+        hop,
+    };
+    // The schema checks above should leave nothing for validate() to
+    // reject, but route it anyway: the wire constructor panics on
+    // invalid specs, and a file error must never panic the CLI.
+    spec.validate().map_err(|m| err(v.pos, m))?;
+    Ok(spec)
 }
 
 /// A scheme by its display name (`ABC`, `Cubic+Codel`, `ABC_50`, …),
@@ -1140,11 +1306,123 @@ mod tests {
         assert_eq!(c.base.timer_slot_shift, Some(20));
     }
 
+    #[test]
+    fn impairments_compile_inline_and_as_array_of_tables() {
+        // inline array form
+        let c = compile_tiny(
+            "[campaign]\nname = \"i\"\n[base]\nimpairments = [{ kind = \"drop\", p = 0.01 }, { kind = \"decimate\", keep_one_in = 4, direction = \"ack\" }]\n",
+        )
+        .unwrap();
+        assert_eq!(c.base.impairments.len(), 2);
+        assert!(matches!(
+            c.base.impairments[0].kind,
+            ImpairmentKind::Drop { p } if p == 0.01
+        ));
+        assert_eq!(c.base.impairments[1].direction, Direction::Ack);
+
+        // [[base.impairments]] array-of-tables form
+        let c = compile_tiny(
+            "[campaign]\nname = \"i\"\n[[base.impairments]]\nkind = \"gilbert-elliott\"\np_good_bad = 0.01\np_bad_good = 0.3\nloss_good = 0.0\nloss_bad = 0.5\n[[base.impairments]]\nkind = \"outage\"\nstart_ms = 3000\nduration_ms = 200\nperiod_ms = 5000\nhop = 0\n",
+        )
+        .unwrap();
+        assert_eq!(c.base.impairments.len(), 2);
+        assert!(matches!(
+            c.base.impairments[0].kind,
+            ImpairmentKind::GilbertElliott { .. }
+        ));
+        assert!(matches!(
+            c.base.impairments[1].kind,
+            ImpairmentKind::Outage {
+                period: Some(p), ..
+            } if p == SimDuration::from_millis(5000)
+        ));
+    }
+
+    #[test]
+    fn impairment_axis_compiles_with_an_unimpaired_control() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"i\"\n[[axis]]\nname = \"impairment\"\n[[axis.values]]\nlabel = \"none\"\nimpairments = []\n[[axis.values]]\nlabel = \"burst\"\nimpairments = [{ kind = \"reorder\", p = 0.05, hold_ms = 10 }]\n",
+        )
+        .unwrap();
+        let pts = c.expand();
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].spec.impairments.is_empty());
+        assert_eq!(pts[1].spec.impairments.len(), 1);
+        assert_eq!(pts[1].coords.key(), "impairment=burst");
+    }
+
+    #[test]
+    fn inject_fault_setting_compiles() {
+        let c =
+            compile_tiny("[campaign]\nname = \"f\"\n[base]\ninject_fault = \"panic\"\n").unwrap();
+        assert_eq!(c.base.fault, Some(InjectedFault::Panic));
+        let c =
+            compile_tiny("[campaign]\nname = \"f\"\n[base]\ninject_fault = \"none\"\n").unwrap();
+        assert_eq!(c.base.fault, None);
+    }
+
     // ---- negative cases: every diagnostic names a line and column ----
 
     fn error_at(text: &str) -> (usize, usize, String) {
         let e = compile_tiny(text).unwrap_err();
         (e.pos.line, e.pos.col, e.message)
+    }
+
+    #[test]
+    fn unknown_impairment_kind_is_rejected_with_position() {
+        let (line, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[[base.impairments]]\nkind = \"packet-eater\"\n");
+        assert_eq!(line, 4);
+        assert!(msg.contains("unknown impairment kind"), "{msg}");
+        assert!(msg.contains("gilbert-elliott"), "{msg}");
+    }
+
+    #[test]
+    fn impairment_probability_out_of_range_is_rejected() {
+        let (line, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[[base.impairments]]\nkind = \"drop\"\np = 1.5\n");
+        assert_eq!(line, 5);
+        assert!(msg.contains("probability"), "{msg}");
+    }
+
+    #[test]
+    fn impairment_bad_direction_is_rejected() {
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[[base.impairments]]\nkind = \"drop\"\np = 0.1\ndirection = \"sideways\"\n",
+        );
+        assert!(msg.contains("direction"), "{msg}");
+    }
+
+    #[test]
+    fn impairment_zero_duration_is_rejected() {
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[[base.impairments]]\nkind = \"outage\"\nstart_ms = 100\nduration_ms = 0\n",
+        );
+        assert!(msg.contains("duration_ms"), "{msg}");
+    }
+
+    #[test]
+    fn impairment_missing_kind_param_is_rejected() {
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[[base.impairments]]\nkind = \"reorder\"\np = 0.1\n",
+        );
+        assert!(msg.contains("hold_ms"), "{msg}");
+    }
+
+    #[test]
+    fn decimate_keep_one_in_zero_is_rejected() {
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[[base.impairments]]\nkind = \"decimate\"\nkeep_one_in = 0\n",
+        );
+        assert!(msg.contains("keep_one_in"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_inject_fault_is_rejected() {
+        let (line, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[base]\ninject_fault = \"gremlin\"\n");
+        assert_eq!(line, 4);
+        assert!(msg.contains("unknown fault"), "{msg}");
     }
 
     #[test]

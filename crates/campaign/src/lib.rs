@@ -48,6 +48,9 @@ pub mod spec;
 pub mod store;
 
 pub use diff::{DiffConfig, DiffReport};
-pub use runner::{run_campaign, RunOptions, RunRecord};
+pub use runner::{
+    run_campaign, run_campaign_outcomes, split_outcomes, ErrorKind, ErrorRecord, PointError,
+    PointOutcome, RunOptions, RunRecord, StreamTally,
+};
 pub use spec::{Axis, AxisValue, Campaign, CampaignPoint, Coords, Filter};
 pub use store::{ResultsStore, StoreError, StoreHeader, SCHEMA};

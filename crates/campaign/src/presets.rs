@@ -9,6 +9,7 @@ use experiments::engine::{FlowSchedule, ScenarioSpec, Topology, WorkloadEntry};
 use experiments::figures::Scale;
 use experiments::scenario::LinkSpec;
 use experiments::{Scheme, CELLULAR_LINEUP, EXPLICIT_LINEUP};
+use netsim::fault::{ImpairmentKind, ImpairmentSpec};
 use netsim::rate::Rate;
 use netsim::time::SimDuration;
 use workload::{AbrWorkload, RtcWorkload, WebWorkload, WorkloadSpec};
@@ -241,6 +242,70 @@ pub fn many_users(scale: Scale) -> Campaign {
     Campaign::new("many-users", base).axis(Axis::new("clients", values))
 }
 
+/// Adversarial-network robustness: ABC vs Cubic on a clean 12 Mbit/s
+/// bottleneck, swept across an impairment axis — an unimpaired control,
+/// Bernoulli loss, Gilbert–Elliott burst loss, reordering, delay
+/// jitter, a periodic link outage, and ACK decimation. Like every
+/// preset this is a pure function of `Scale`, and the control point
+/// shares the impaired points' node graph, so its bytes match the
+/// equivalent impairment-free run.
+pub fn robustness(scale: Scale) -> Campaign {
+    let duration = scale.secs(60, 10, 2);
+    // Outage timing scales with the run so every scale sees the link
+    // flap at least once after warmup.
+    let start = SimDuration::from_nanos(duration.as_nanos() / 4);
+    let period = SimDuration::from_nanos(duration.as_nanos() / 2);
+    let values = vec![
+        ("none".to_string(), Vec::new()),
+        (
+            "loss-2pct".to_string(),
+            vec![ImpairmentSpec::data(ImpairmentKind::Drop { p: 0.02 })],
+        ),
+        (
+            "burst-loss".to_string(),
+            vec![ImpairmentSpec::data(ImpairmentKind::GilbertElliott {
+                p_good_bad: 0.01,
+                p_bad_good: 0.2,
+                loss_good: 0.0,
+                loss_bad: 0.5,
+            })],
+        ),
+        (
+            "reorder".to_string(),
+            vec![ImpairmentSpec::data(ImpairmentKind::Reorder {
+                p: 0.05,
+                hold: SimDuration::from_millis(5),
+            })],
+        ),
+        (
+            "jitter".to_string(),
+            vec![ImpairmentSpec::data(ImpairmentKind::Jitter {
+                max: SimDuration::from_millis(10),
+            })],
+        ),
+        (
+            "outage".to_string(),
+            vec![ImpairmentSpec::data(ImpairmentKind::Outage {
+                start,
+                duration: SimDuration::from_millis(200),
+                period: Some(period),
+            })],
+        ),
+        (
+            "ack-decimate".to_string(),
+            vec![ImpairmentSpec::ack(ImpairmentKind::Decimate {
+                keep_one_in: 2,
+            })],
+        ),
+    ];
+    let base = ScenarioSpec::single(Scheme::Abc, LinkSpec::Constant(Rate::from_mbps(12.0)))
+        .duration(duration)
+        .warmup(SimDuration::ZERO);
+    Campaign::new("robustness", base)
+        .axis(Axis::schemes(&[Scheme::Abc, Scheme::Cubic]))
+        .axis(Axis::impairments(values))
+}
+
 /// A preset builder: a pure `Scale → Campaign` function.
 pub type PresetFn = fn(Scale) -> Campaign;
 
@@ -288,6 +353,11 @@ pub fn all() -> Vec<(&'static str, &'static str, PresetFn)> {
             "many-users",
             "dense-fleet scaling: 10→10k staggered users on one ABC bottleneck",
             many_users,
+        ),
+        (
+            "robustness",
+            "adversarial networks: schemes × {loss, burst, reorder, jitter, outage, ACK decimation}",
+            robustness,
         ),
     ]
 }

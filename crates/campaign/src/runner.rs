@@ -5,10 +5,19 @@
 //! engine guarantees each report is a pure function of its spec, chunking
 //! only affects dispatch granularity (never result order), and progress
 //! goes to stderr so the artifact stream stays clean.
+//!
+//! Execution is **fault-tolerant**: every point runs inside a panic
+//! boundary ([`std::panic::catch_unwind`]) with an optional per-point
+//! wall-clock watchdog (the simulator's cooperative
+//! [`RunGuards`]). A point that panics is retried
+//! a bounded number of times, then recorded as a structured
+//! [`ErrorRecord`] — the store stays valid, diffable, and resumable, and
+//! `--resume` re-attempts exactly the failed ordinals.
 
 use crate::spec::{Campaign, Coords};
 use experiments::engine::{ScenarioEngine, ScenarioSpec};
 use experiments::report::Report;
+use netsim::sim::RunGuards;
 use std::time::Instant;
 
 /// How a campaign run is executed. `jobs: None` defers to
@@ -28,6 +37,19 @@ pub struct RunOptions {
     /// get the default signal set. Sidecars bypass the results store, so
     /// stored bytes stay identical with or without this.
     pub telemetry_dir: Option<std::path::PathBuf>,
+    /// Keep executing the remaining points after one fails (panic or
+    /// watchdog abort). When `false` — the default — dispatch stops after
+    /// the wave that failed; either way the failed point becomes an
+    /// [`ErrorRecord`] and the store stays valid and resumable.
+    pub keep_going: bool,
+    /// How many extra attempts a *panicking* point gets before it is
+    /// recorded as failed. Watchdog aborts are never retried — the budget
+    /// would only expire again.
+    pub retries: u32,
+    /// Wall-clock budget per point. Exceeding it cancels the point
+    /// cooperatively (via [`RunGuards`]) and records a
+    /// [`ErrorKind::Watchdog`] error instead of hanging the campaign.
+    pub watchdog: Option<std::time::Duration>,
 }
 
 impl Default for RunOptions {
@@ -37,6 +59,9 @@ impl Default for RunOptions {
             chunk: 32,
             progress: false,
             telemetry_dir: None,
+            keep_going: false,
+            retries: 1,
+            watchdog: None,
         }
     }
 }
@@ -65,6 +90,24 @@ impl RunOptions {
         self
     }
 
+    /// Keep executing remaining points after a failure.
+    pub fn with_keep_going(mut self, keep_going: bool) -> Self {
+        self.keep_going = keep_going;
+        self
+    }
+
+    /// Extra attempts for panicking points before recording an error.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Per-point wall-clock budget (`None` disables the watchdog).
+    pub fn with_watchdog(mut self, budget: Option<std::time::Duration>) -> Self {
+        self.watchdog = budget;
+        self
+    }
+
     fn engine(&self) -> ScenarioEngine {
         match self.jobs {
             Some(n) => ScenarioEngine::with_threads(n),
@@ -85,8 +128,104 @@ pub struct RunRecord {
     pub report: Report,
 }
 
+/// Why a campaign point failed to produce a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The scenario panicked; the panic was caught at the point boundary.
+    Panic,
+    /// The per-point wall-clock watchdog cancelled the run.
+    Watchdog,
+}
+
+impl ErrorKind {
+    /// The stable store-schema name: `"panic"` or `"watchdog"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorKind::Panic => "panic",
+            ErrorKind::Watchdog => "watchdog",
+        }
+    }
+
+    /// Inverse of [`ErrorKind::as_str`].
+    pub fn from_name(name: &str) -> Option<ErrorKind> {
+        match name {
+            "panic" => Some(ErrorKind::Panic),
+            "watchdog" => Some(ErrorKind::Watchdog),
+            _ => None,
+        }
+    }
+}
+
+/// The structured failure a crashed point leaves behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointError {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// The panic payload, or the watchdog's abort description. Watchdog
+    /// messages name the configured budget — never the elapsed time — so
+    /// they are deterministic and safe to store.
+    pub message: String,
+}
+
+/// A failed campaign point. The store writes these alongside the clean
+/// records, so a campaign with a crashing point still leaves a valid,
+/// diffable, resumable store behind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorRecord {
+    /// The point's position in the unfiltered cartesian product.
+    pub ordinal: usize,
+    /// `(axis, label)` coordinates in axis order.
+    pub coords: Coords,
+    /// What went wrong.
+    pub error: PointError,
+}
+
+/// One executed point: a clean [`RunRecord`] or a structured
+/// [`ErrorRecord`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Ok is the overwhelmingly common case
+pub enum PointOutcome {
+    /// The point ran to completion.
+    Ok(RunRecord),
+    /// The point panicked (after retries) or tripped the watchdog.
+    Err(ErrorRecord),
+}
+
+impl PointOutcome {
+    /// The point's stable ordinal, whichever way it went.
+    pub fn ordinal(&self) -> usize {
+        match self {
+            PointOutcome::Ok(r) => r.ordinal,
+            PointOutcome::Err(e) => e.ordinal,
+        }
+    }
+
+    /// The clean record, if the point succeeded.
+    pub fn ok(self) -> Option<RunRecord> {
+        match self {
+            PointOutcome::Ok(r) => Some(r),
+            PointOutcome::Err(_) => None,
+        }
+    }
+}
+
+/// Split a run's outcomes into clean records and errors, both in the
+/// original (expansion) order.
+pub fn split_outcomes(outcomes: Vec<PointOutcome>) -> (Vec<RunRecord>, Vec<ErrorRecord>) {
+    let mut records = Vec::new();
+    let mut errors = Vec::new();
+    for o in outcomes {
+        match o {
+            PointOutcome::Ok(r) => records.push(r),
+            PointOutcome::Err(e) => errors.push(e),
+        }
+    }
+    (records, errors)
+}
+
 /// Expand and execute a campaign; `records[i]` belongs to the `i`-th
-/// surviving point of [`Campaign::expand`].
+/// surviving point of [`Campaign::expand`]. Panics if any point fails —
+/// use [`run_campaign_outcomes`] to observe failures as data instead.
 pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> Vec<RunRecord> {
     run_campaign_skipping(campaign, opts, &std::collections::HashSet::new())
 }
@@ -99,32 +238,68 @@ pub fn run_campaign_skipping(
     opts: &RunOptions,
     skip: &std::collections::HashSet<usize>,
 ) -> Vec<RunRecord> {
-    run_campaign_with(campaign, opts, skip, |_| {})
+    expect_clean(run_campaign_with(campaign, opts, skip, |_| {}))
+}
+
+/// Expand and execute a campaign, returning every point's outcome —
+/// clean reports and structured errors alike. The fault-tolerant
+/// counterpart of [`run_campaign`].
+pub fn run_campaign_outcomes(campaign: &Campaign, opts: &RunOptions) -> Vec<PointOutcome> {
+    run_campaign_with(campaign, opts, &std::collections::HashSet::new(), |_| {})
+}
+
+fn expect_clean(outcomes: Vec<PointOutcome>) -> Vec<RunRecord> {
+    outcomes
+        .into_iter()
+        .map(|o| match o {
+            PointOutcome::Ok(r) => r,
+            PointOutcome::Err(e) => panic!(
+                "campaign point {} failed ({}): {}",
+                e.ordinal,
+                e.error.kind.as_str(),
+                e.error.message
+            ),
+        })
+        .collect()
 }
 
 /// [`run_campaign_skipping`] with a per-chunk callback: `on_chunk` sees
-/// each dispatch wave's records as soon as they complete, in expansion
+/// each dispatch wave's outcomes as soon as they complete, in expansion
 /// order — the hook the CLI uses to stream a store to disk so an
 /// interrupted run leaves every finished chunk behind for `--resume`.
-pub fn run_campaign_with<F: FnMut(&[RunRecord])>(
+pub fn run_campaign_with<F: FnMut(&[PointOutcome])>(
     campaign: &Campaign,
     opts: &RunOptions,
     skip: &std::collections::HashSet<usize>,
     on_chunk: F,
-) -> Vec<RunRecord> {
+) -> Vec<PointOutcome> {
     run_points_with(campaign, campaign.expand(), opts, skip, on_chunk)
+}
+
+/// Render a caught panic payload the way `std`'s default hook would.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// The execution core under every run path: takes an already-expanded
 /// point list so callers that need the expansion for other purposes
-/// (header point counts, shard slicing) expand exactly once.
-fn run_points_with<F: FnMut(&[RunRecord])>(
+/// (header point counts, shard slicing) expand exactly once. Each point
+/// runs inside a panic boundary with the configured watchdog; failures
+/// become [`PointOutcome::Err`] and — unless `keep_going` is set — stop
+/// dispatch after the current wave.
+fn run_points_with<F: FnMut(&[PointOutcome])>(
     campaign: &Campaign,
     points: Vec<crate::spec::CampaignPoint>,
     opts: &RunOptions,
     skip: &std::collections::HashSet<usize>,
     mut on_chunk: F,
-) -> Vec<RunRecord> {
+) -> Vec<PointOutcome> {
     let points: Vec<_> = points
         .into_iter()
         .filter(|p| !skip.contains(&p.ordinal))
@@ -150,8 +325,14 @@ fn run_points_with<F: FnMut(&[RunRecord])>(
             );
         }
     }
-    let mut records = Vec::with_capacity(total);
+    let guards = RunGuards {
+        max_events: None,
+        max_wall_time: opts.watchdog,
+    };
+    let retries = opts.retries;
+    let mut outcomes: Vec<PointOutcome> = Vec::with_capacity(total);
     let mut events_total = 0u64;
+    let mut failed = false;
     for chunk in points.chunks(opts.chunk.max(1)) {
         let specs: Vec<ScenarioSpec> = chunk
             .iter()
@@ -163,25 +344,74 @@ fn run_points_with<F: FnMut(&[RunRecord])>(
                 spec
             })
             .collect();
-        let results = engine.run_batch_map(&specs, |e, s| e.run_instrumented(s));
-        let chunk_start = records.len();
-        for (point, (report, events, sidecar)) in chunk.iter().zip(results) {
-            events_total += events;
-            if let (Some(dir), Some(sidecar)) = (&opts.telemetry_dir, sidecar) {
-                let path = dir.join(format!("{}.jsonl", point.ordinal));
-                if let Err(e) = std::fs::write(&path, sidecar) {
-                    eprintln!("[abc-campaign] cannot write {}: {e}", path.display());
+        // The boundary must sit *inside* the worker closure: a panic that
+        // escapes it would poison the pool's result slots and abort the
+        // whole process instead of failing one point.
+        let results = engine.run_batch_map(&specs, |e, s| {
+            let mut attempts = 0u32;
+            loop {
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    e.run_instrumented_guarded(s, guards)
+                }));
+                match run {
+                    Ok(Ok(out)) => return Ok(out),
+                    // Watchdog abort: deterministic, retrying would only
+                    // burn the budget again.
+                    Ok(Err(msg)) => {
+                        return Err(PointError {
+                            kind: ErrorKind::Watchdog,
+                            message: msg,
+                        })
+                    }
+                    Err(payload) => {
+                        if attempts < retries {
+                            attempts += 1;
+                            continue;
+                        }
+                        return Err(PointError {
+                            kind: ErrorKind::Panic,
+                            message: panic_message(payload),
+                        });
+                    }
                 }
             }
-            records.push(RunRecord {
-                ordinal: point.ordinal,
-                coords: point.coords.clone(),
-                report,
-            });
+        });
+        let chunk_start = outcomes.len();
+        for (point, result) in chunk.iter().zip(results) {
+            match result {
+                Ok((report, events, sidecar)) => {
+                    events_total += events;
+                    if let (Some(dir), Some(sidecar)) = (&opts.telemetry_dir, sidecar) {
+                        let path = dir.join(format!("{}.jsonl", point.ordinal));
+                        if let Err(e) = std::fs::write(&path, sidecar) {
+                            eprintln!("[abc-campaign] cannot write {}: {e}", path.display());
+                        }
+                    }
+                    outcomes.push(PointOutcome::Ok(RunRecord {
+                        ordinal: point.ordinal,
+                        coords: point.coords.clone(),
+                        report,
+                    }));
+                }
+                Err(error) => {
+                    failed = true;
+                    eprintln!(
+                        "[abc-campaign] point {} failed ({}): {}",
+                        point.ordinal,
+                        error.kind.as_str(),
+                        error.message
+                    );
+                    outcomes.push(PointOutcome::Err(ErrorRecord {
+                        ordinal: point.ordinal,
+                        coords: point.coords.clone(),
+                        error,
+                    }));
+                }
+            }
         }
-        on_chunk(&records[chunk_start..]);
+        on_chunk(&outcomes[chunk_start..]);
         if opts.progress {
-            let done = records.len();
+            let done = outcomes.len();
             let elapsed = start.elapsed().as_secs_f64();
             // ETA from completed-scenario wall times; blank until the
             // first wave lands (no rate to extrapolate from yet).
@@ -204,8 +434,15 @@ fn run_points_with<F: FnMut(&[RunRecord])>(
                 eta,
             );
         }
+        if failed && !opts.keep_going {
+            eprintln!(
+                "[abc-campaign] {}: stopping after failed wave (pass --keep-going to run the rest)",
+                campaign.name
+            );
+            break;
+        }
     }
-    records
+    outcomes
 }
 
 /// Does `ordinal` belong to shard `k` of `n` (`k` is 1-based)? The
@@ -221,17 +458,47 @@ pub fn in_shard(ordinal: usize, (k, n): (usize, usize)) -> bool {
 /// executes the points missing from `prior` and returns the full record
 /// set in expansion (ordinal) order — byte-identical to an uninterrupted
 /// run, because each record is a pure function of its spec. The in-memory
-/// sibling of [`run_campaign_streaming`].
+/// sibling of [`run_campaign_streaming`]. Panics if a fresh point fails;
+/// prior *error* records must not be passed in (resume re-attempts them).
 pub fn resume_campaign(
     campaign: &Campaign,
     opts: &RunOptions,
     prior: Vec<RunRecord>,
 ) -> Vec<RunRecord> {
     let mut records = Vec::new();
-    run_campaign_merged(campaign, campaign.expand(), opts, prior, None, |r| {
-        records.push(r.clone())
-    });
+    run_campaign_merged(
+        campaign,
+        campaign.expand(),
+        opts,
+        prior,
+        None,
+        |o| match o {
+            PointOutcome::Ok(r) => records.push(r.clone()),
+            PointOutcome::Err(e) => panic!(
+                "campaign point {} failed ({}): {}",
+                e.ordinal,
+                e.error.kind.as_str(),
+                e.error.message
+            ),
+        },
+    );
     records
+}
+
+/// What a streaming run wrote to its store, after the header line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamTally {
+    /// Clean record lines written (reused prior + freshly run).
+    pub records: usize,
+    /// Structured error lines written.
+    pub errors: usize,
+}
+
+impl StreamTally {
+    /// Total store lines written after the header.
+    pub fn lines(&self) -> usize {
+        self.records + self.errors
+    }
 }
 
 /// Execute the points missing from `prior` and stream the complete store
@@ -240,13 +507,13 @@ pub fn resume_campaign(
 /// to `w`. An interrupted write leaves a valid partial store behind for
 /// `--resume`; a completed one is byte-identical to
 /// [`crate::store::ResultsStore::to_jsonl`] of an uninterrupted run.
-/// Returns the record count written.
+/// Failed points are written as structured error lines and tallied.
 pub fn run_campaign_streaming<W: std::io::Write>(
     campaign: &Campaign,
     opts: &RunOptions,
     prior: Vec<RunRecord>,
     w: &mut W,
-) -> std::io::Result<usize> {
+) -> std::io::Result<StreamTally> {
     run_campaign_streaming_sharded(campaign, opts, prior, None, w)
 }
 
@@ -262,7 +529,7 @@ pub fn run_campaign_streaming_sharded<W: std::io::Write>(
     prior: Vec<RunRecord>,
     shard: Option<(usize, usize)>,
     w: &mut W,
-) -> std::io::Result<usize> {
+) -> std::io::Result<StreamTally> {
     use crate::store;
     // One expansion serves the header count, the shard slice, and the
     // execution itself (points carry cloned specs — traces included — so
@@ -274,13 +541,20 @@ pub fn run_campaign_streaming_sharded<W: std::io::Write>(
     };
     let header = store::header_for(campaign, in_shard_count);
     writeln!(w, "{}", store::render_header(&header))?;
-    let mut written = 0usize;
+    let mut tally = StreamTally::default();
     let mut err: Option<std::io::Error> = None;
-    run_campaign_merged(campaign, points, opts, prior, shard, |r| {
+    run_campaign_merged(campaign, points, opts, prior, shard, |o| {
         if err.is_none() {
+            let line = match o {
+                PointOutcome::Ok(r) => store::render_record(r),
+                PointOutcome::Err(e) => store::render_error_record(e),
+            };
             // flush per record: a kill can tear at most the line in flight
-            match writeln!(w, "{}", store::render_record(r)).and_then(|()| w.flush()) {
-                Ok(()) => written += 1,
+            match writeln!(w, "{line}").and_then(|()| w.flush()) {
+                Ok(()) => match o {
+                    PointOutcome::Ok(_) => tally.records += 1,
+                    PointOutcome::Err(_) => tally.errors += 1,
+                },
                 Err(e) => err = Some(e),
             }
         }
@@ -289,14 +563,16 @@ pub fn run_campaign_streaming_sharded<W: std::io::Write>(
         return Err(e);
     }
     w.flush()?;
-    Ok(written)
+    Ok(tally)
 }
 
 /// The single prior/fresh merge the resume and shard paths share: runs
 /// the in-shard points whose ordinals are missing from `prior` and emits
-/// every record — reused and fresh — in ordinal order, each as soon as
-/// it is available.
-fn run_campaign_merged<F: FnMut(&RunRecord)>(
+/// every outcome — reused and fresh — in ordinal order, each as soon as
+/// it is available. Prior records are emitted as clean outcomes; callers
+/// resuming a store with error records must leave those out of `prior` so
+/// the failed ordinals are re-attempted.
+fn run_campaign_merged<F: FnMut(&PointOutcome)>(
     campaign: &Campaign,
     points: Vec<crate::spec::CampaignPoint>,
     opts: &RunOptions,
@@ -314,10 +590,13 @@ fn run_campaign_merged<F: FnMut(&RunRecord)>(
                 .filter(|&o| !in_shard(o, s)),
         );
     }
-    let mut prior_iter = prior.into_iter().peekable();
+    let mut prior_iter = prior.into_iter().map(PointOutcome::Ok).peekable();
     run_points_with(campaign, points, opts, &skip, |chunk| {
         for rec in chunk {
-            while prior_iter.peek().is_some_and(|p| p.ordinal < rec.ordinal) {
+            while prior_iter
+                .peek()
+                .is_some_and(|p| p.ordinal() < rec.ordinal())
+            {
                 let p = prior_iter.next().expect("peeked record vanished");
                 emit(&p);
             }
@@ -397,5 +676,39 @@ mod tests {
         let abc = find(&records, &[("scheme", "ABC"), ("seed", "1")]).unwrap();
         assert_eq!(abc.report.scheme, "ABC");
         assert!(find(&records, &[("scheme", "BBR")]).is_none());
+    }
+
+    #[test]
+    fn error_kind_names_round_trip() {
+        for kind in [ErrorKind::Panic, ErrorKind::Watchdog] {
+            assert_eq!(ErrorKind::from_name(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_name("oom"), None);
+    }
+
+    #[test]
+    fn split_outcomes_partitions_in_order() {
+        let c = tiny_campaign(&[1]);
+        let template = run_campaign(&c, &RunOptions::quiet()).remove(0);
+        let ok = |o: usize| {
+            let mut r = template.clone();
+            r.ordinal = o;
+            PointOutcome::Ok(r)
+        };
+        let err = PointOutcome::Err(ErrorRecord {
+            ordinal: 1,
+            coords: Coords(Vec::new()),
+            error: PointError {
+                kind: ErrorKind::Panic,
+                message: "boom".into(),
+            },
+        });
+        let (records, errors) = split_outcomes(vec![ok(0), err, ok(2)]);
+        assert_eq!(
+            records.iter().map(|r| r.ordinal).collect::<Vec<_>>(),
+            [0, 2]
+        );
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].ordinal, 1);
     }
 }

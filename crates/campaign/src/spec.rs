@@ -12,9 +12,12 @@
 //! stable shard ids as filters evolve.
 
 use cellular::CellTrace;
-use experiments::engine::{FlowSchedule, QdiscSpec, ScenarioSpec, Topology, WorkloadEntry};
+use experiments::engine::{
+    FlowSchedule, InjectedFault, QdiscSpec, ScenarioSpec, Topology, WorkloadEntry,
+};
 use experiments::scenario::LinkSpec;
 use experiments::Scheme;
+use netsim::fault::ImpairmentSpec;
 use netsim::time::SimDuration;
 use std::fmt;
 use std::sync::Arc;
@@ -47,6 +50,14 @@ pub enum AxisValue {
     /// Set the timer-wheel slot width (`2^shift` ns slots) — a pure
     /// performance knob; outputs are invariant to it.
     TimerSlotShift(u32),
+    /// Replace the spec's adversarial-impairment list. An empty list is
+    /// the unimpaired control: its points build the exact same node graph
+    /// as a spec with no impairment axis at all, so stored bytes match.
+    Impairments(Vec<ImpairmentSpec>),
+    /// Inject a test-only execution fault (`None` clears it) — the hook
+    /// the fault-tolerance tests use to make exactly one point panic or
+    /// stall inside a real campaign.
+    Fault(Option<InjectedFault>),
 }
 
 impl AxisValue {
@@ -65,6 +76,8 @@ impl AxisValue {
             AxisValue::Seed(s) => spec.seed = *s,
             AxisValue::Workloads(w) => spec.workloads = w.clone(),
             AxisValue::TimerSlotShift(s) => spec.timer_slot_shift = Some(*s),
+            AxisValue::Impairments(i) => spec.impairments = i.clone(),
+            AxisValue::Fault(f) => spec.fault = *f,
         }
     }
 }
@@ -170,6 +183,20 @@ impl Axis {
             paths
                 .into_iter()
                 .map(|(label, t)| (label, AxisValue::Topology(t)))
+                .collect(),
+        )
+    }
+
+    /// The `"impairment"` axis: each value is a labeled impairment list.
+    /// Include a `("none", vec![])` value to keep an unimpaired control
+    /// point in the sweep — an empty list builds the exact node graph an
+    /// impairment-free spec would.
+    pub fn impairments(values: Vec<(String, Vec<ImpairmentSpec>)>) -> Axis {
+        Axis::new(
+            "impairment",
+            values
+                .into_iter()
+                .map(|(label, imps)| (label, AxisValue::Impairments(imps)))
                 .collect(),
         )
     }

@@ -3,7 +3,11 @@
 //! Line 1 is a self-describing header (schema id, campaign name, axes
 //! with their labels, filter names, point count); every following line is
 //! one [`RunRecord`] — the full [`Report`] in the units the paper uses,
-//! plus the point's stable ordinal and coordinates.
+//! plus the point's stable ordinal and coordinates — or one structured
+//! [`ErrorRecord`] (`{"ordinal":…,"coords":{…},"error":{"kind":…,
+//! "message":…}}`) for a point that panicked or tripped the watchdog.
+//! Error lines keep the store valid, diffable, and resumable: `--resume`
+//! re-attempts exactly the errored ordinals.
 //!
 //! Serialization is **bit-identical across reruns and worker-pool
 //! sizes**: records are written in expansion order, objects keep field
@@ -12,9 +16,10 @@
 //! report no utilization) serialize as `null` and read back as `NaN`.
 
 use crate::json::{self, Value};
-use crate::runner::RunRecord;
+use crate::runner::{ErrorKind, ErrorRecord, PointError, RunRecord};
 use crate::spec::{Campaign, Coords};
 use experiments::report::{AppReport, Report};
+use netsim::metrics::ImpairmentRecord;
 use netsim::stats::Summary;
 use std::fmt;
 use std::path::Path;
@@ -68,6 +73,9 @@ pub struct ResultsStore {
     /// One executed record per surviving campaign point, in ordinal
     /// order.
     pub records: Vec<RunRecord>,
+    /// Structured errors for points that panicked or tripped the
+    /// watchdog, in ordinal order. Empty for a clean run.
+    pub errors: Vec<ErrorRecord>,
 }
 
 /// Store I/O and format errors.
@@ -126,30 +134,59 @@ impl ResultsStore {
         ResultsStore {
             header: header_for(campaign, records.len()),
             records,
+            errors: Vec::new(),
         }
     }
 
-    /// Serialize to JSONL (header line + one line per record).
+    /// [`ResultsStore::new`] for a run that produced errors as well as
+    /// records: the header counts both (every point left *a* line).
+    pub fn with_errors(
+        campaign: &Campaign,
+        records: Vec<RunRecord>,
+        errors: Vec<ErrorRecord>,
+    ) -> ResultsStore {
+        ResultsStore {
+            header: header_for(campaign, records.len() + errors.len()),
+            records,
+            errors,
+        }
+    }
+
+    /// Serialize to JSONL: the header line, then every record and error
+    /// line interleaved in ordinal order — exactly the bytes a streaming
+    /// run writes.
     pub fn to_jsonl(&self) -> String {
         let mut out = render_header(&self.header);
         out.push('\n');
+        let mut errs = self.errors.iter().peekable();
         for r in &self.records {
+            while errs.peek().is_some_and(|e| e.ordinal < r.ordinal) {
+                let e = errs.next().expect("peeked error vanished");
+                out.push_str(&render_error_record(e));
+                out.push('\n');
+            }
             out.push_str(&render_record(r));
+            out.push('\n');
+        }
+        for e in errs {
+            out.push_str(&render_error_record(e));
             out.push('\n');
         }
         out
     }
 
-    /// Parse a JSONL store, validating the schema id and record count.
+    /// Parse a JSONL store, validating the schema id and that every
+    /// promised point left a line (a clean record or an error record).
     pub fn from_jsonl(text: &str) -> Result<ResultsStore, StoreError> {
         let store = Self::parse(text, false)?;
-        if store.records.len() != store.header.points {
+        if store.records.len() + store.errors.len() != store.header.points {
             return Err(StoreError::Format {
                 line: 1,
                 message: format!(
-                    "header promises {} records, file has {}",
+                    "header promises {} records, file has {} (+ {} errors)",
                     store.header.points,
-                    store.records.len()
+                    store.records.len(),
+                    store.errors.len()
                 ),
             });
         }
@@ -163,17 +200,19 @@ impl ResultsStore {
     /// Every complete record still validates; `--resume` re-runs the rest.
     pub fn from_jsonl_allow_partial(text: &str) -> Result<ResultsStore, StoreError> {
         let mut store = Self::parse(text, true)?;
-        if store.records.len() > store.header.points {
+        if store.records.len() + store.errors.len() > store.header.points {
             return Err(StoreError::Format {
                 line: 1,
                 message: format!(
-                    "header promises {} records, file has {}",
+                    "header promises {} records, file has {} (+ {} errors)",
                     store.header.points,
-                    store.records.len()
+                    store.records.len(),
+                    store.errors.len()
                 ),
             });
         }
         store.records.sort_by_key(|r| r.ordinal);
+        store.errors.sort_by_key(|e| e.ordinal);
         Ok(store)
     }
 
@@ -194,15 +233,30 @@ impl ResultsStore {
             });
         }
         let mut records = Vec::with_capacity(header.points);
+        let mut errors = Vec::new();
         while let Some((i, line)) = lines.next() {
             let last = lines.peek().is_none();
-            match parse_line(i, line).and_then(|v| record_from_value(&v, i + 1)) {
-                Ok(r) => records.push(r),
+            // A line with an "error" key is a failed point; anything else
+            // must be a clean record.
+            let parsed = parse_line(i, line).and_then(|v| {
+                if v.get("error").is_some() {
+                    error_record_from_value(&v, i + 1).map(Err)
+                } else {
+                    record_from_value(&v, i + 1).map(Ok)
+                }
+            });
+            match parsed {
+                Ok(Ok(r)) => records.push(r),
+                Ok(Err(e)) => errors.push(e),
                 Err(_) if drop_torn_tail && last => break,
                 Err(e) => return Err(e),
             }
         }
-        Ok(ResultsStore { header, records })
+        Ok(ResultsStore {
+            header,
+            records,
+            errors,
+        })
     }
 
     /// Write the store to `path` (exactly [`ResultsStore::to_jsonl`]).
@@ -237,6 +291,7 @@ pub fn merge_stores(stores: &[ResultsStore]) -> Result<ResultsStore, StoreError>
         .first()
         .ok_or_else(|| fmt_err(1, "nothing to merge"))?;
     let mut records: Vec<RunRecord> = Vec::new();
+    let mut errors: Vec<ErrorRecord> = Vec::new();
     for (i, s) in stores.iter().enumerate() {
         let h = &s.header;
         if h.schema != first.header.schema
@@ -255,22 +310,31 @@ pub fn merge_stores(stores: &[ResultsStore]) -> Result<ResultsStore, StoreError>
             ));
         }
         records.extend(s.records.iter().cloned());
+        errors.extend(s.errors.iter().cloned());
     }
     records.sort_by_key(|r| r.ordinal);
-    for w in records.windows(2) {
-        if w[0].ordinal == w[1].ordinal {
+    errors.sort_by_key(|e| e.ordinal);
+    let mut ordinals: Vec<usize> = records
+        .iter()
+        .map(|r| r.ordinal)
+        .chain(errors.iter().map(|e| e.ordinal))
+        .collect();
+    ordinals.sort_unstable();
+    for w in ordinals.windows(2) {
+        if w[0] == w[1] {
             return Err(fmt_err(
                 1,
-                format!("ordinal {} appears in more than one store", w[0].ordinal),
+                format!("ordinal {} appears in more than one store", w[0]),
             ));
         }
     }
     Ok(ResultsStore {
         header: StoreHeader {
-            points: records.len(),
+            points: records.len() + errors.len(),
             ..first.header.clone()
         },
         records,
+        errors,
     })
 }
 
@@ -299,6 +363,12 @@ pub fn render_header(h: &StoreHeader) -> String {
 /// Render one record line exactly as [`ResultsStore::to_jsonl`] does.
 pub fn render_record(r: &RunRecord) -> String {
     record_to_value(r).render()
+}
+
+/// Render one structured error line exactly as [`ResultsStore::to_jsonl`]
+/// does — for executors that stream a store to disk incrementally.
+pub fn render_error_record(e: &ErrorRecord) -> String {
+    error_record_to_value(e).render()
 }
 
 fn parse_line(idx: usize, line: &str) -> Result<Value, StoreError> {
@@ -337,20 +407,33 @@ fn header_to_value(h: &StoreHeader) -> Value {
     ])
 }
 
+fn coords_to_value(c: &Coords) -> Value {
+    Value::Obj(
+        c.0.iter()
+            .map(|(a, l)| (a.clone(), Value::str(l)))
+            .collect(),
+    )
+}
+
 fn record_to_value(r: &RunRecord) -> Value {
     Value::Obj(vec![
         ("ordinal".into(), Value::num(r.ordinal as f64)),
-        (
-            "coords".into(),
-            Value::Obj(
-                r.coords
-                    .0
-                    .iter()
-                    .map(|(a, l)| (a.clone(), Value::str(l)))
-                    .collect(),
-            ),
-        ),
+        ("coords".into(), coords_to_value(&r.coords)),
         ("report".into(), report_to_value(&r.report)),
+    ])
+}
+
+fn error_record_to_value(e: &ErrorRecord) -> Value {
+    Value::Obj(vec![
+        ("ordinal".into(), Value::num(e.ordinal as f64)),
+        ("coords".into(), coords_to_value(&e.coords)),
+        (
+            "error".into(),
+            Value::Obj(vec![
+                ("kind".into(), Value::str(e.error.kind.as_str())),
+                ("message".into(), Value::str(&e.error.message)),
+            ]),
+        ),
     ])
 }
 
@@ -378,6 +461,25 @@ fn report_to_value(r: &Report) -> Value {
     // pinned tiny baseline) keep their exact pre-workload bytes.
     if let Some(app) = &r.app {
         fields.push(("app".into(), app_to_value(app)));
+    }
+    // Same optional-trailing-field rule: unimpaired reports carry no
+    // impairment counters and keep their exact pre-impairment bytes.
+    if !r.impairments.is_empty() {
+        fields.push((
+            "impairments".into(),
+            Value::Arr(
+                r.impairments
+                    .iter()
+                    .map(|i| {
+                        Value::Obj(vec![
+                            ("label".into(), Value::str(&i.label)),
+                            ("passed".into(), Value::num(i.passed as f64)),
+                            ("impaired".into(), Value::num(i.impaired as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
     Value::Obj(fields)
 }
@@ -516,8 +618,8 @@ fn header_from_value(v: &Value, line: usize) -> Result<StoreHeader, StoreError> 
     })
 }
 
-fn record_from_value(v: &Value, line: usize) -> Result<RunRecord, StoreError> {
-    let coords = Coords(
+fn coords_from_value(v: &Value, line: usize) -> Result<Coords, StoreError> {
+    Ok(Coords(
         v.get("coords")
             .and_then(Value::as_obj)
             .ok_or_else(|| fmt_err(line, "missing \"coords\""))?
@@ -529,7 +631,11 @@ fn record_from_value(v: &Value, line: usize) -> Result<RunRecord, StoreError> {
                     .ok_or_else(|| fmt_err(line, "non-string coordinate label"))
             })
             .collect::<Result<Vec<_>, _>>()?,
-    );
+    ))
+}
+
+fn record_from_value(v: &Value, line: usize) -> Result<RunRecord, StoreError> {
+    let coords = coords_from_value(v, line)?;
     let report = v
         .get("report")
         .ok_or_else(|| fmt_err(line, "missing \"report\""))?;
@@ -537,6 +643,24 @@ fn record_from_value(v: &Value, line: usize) -> Result<RunRecord, StoreError> {
         ordinal: num_field(v, "ordinal", line)? as usize,
         coords,
         report: report_from_value(report, line)?,
+    })
+}
+
+fn error_record_from_value(v: &Value, line: usize) -> Result<ErrorRecord, StoreError> {
+    let coords = coords_from_value(v, line)?;
+    let e = v
+        .get("error")
+        .ok_or_else(|| fmt_err(line, "missing \"error\""))?;
+    let kind_name = str_field(e, "kind", line)?;
+    let kind = ErrorKind::from_name(&kind_name)
+        .ok_or_else(|| fmt_err(line, format!("unknown error kind {kind_name:?}")))?;
+    Ok(ErrorRecord {
+        ordinal: num_field(v, "ordinal", line)? as usize,
+        coords,
+        error: PointError {
+            kind,
+            message: str_field(e, "message", line)?,
+        },
     })
 }
 
@@ -564,7 +688,25 @@ fn report_from_value(v: &Value, line: usize) -> Result<Report, StoreError> {
             Some(a) => Some(app_from_value(a, line)?),
             None => None,
         },
+        impairments: match v.get("impairments") {
+            Some(i) => impairments_from_value(i, line)?,
+            None => Vec::new(),
+        },
     })
+}
+
+fn impairments_from_value(v: &Value, line: usize) -> Result<Vec<ImpairmentRecord>, StoreError> {
+    v.as_arr()
+        .ok_or_else(|| fmt_err(line, "\"impairments\" is not an array"))?
+        .iter()
+        .map(|i| {
+            Ok(ImpairmentRecord {
+                label: str_field(i, "label", line)?,
+                passed: num_field(i, "passed", line)? as u64,
+                impaired: num_field(i, "impaired", line)? as u64,
+            })
+        })
+        .collect()
 }
 
 fn app_from_value(v: &Value, line: usize) -> Result<AppReport, StoreError> {
@@ -697,6 +839,43 @@ mod tests {
             ResultsStore::from_jsonl(&truncated),
             Err(StoreError::Format { .. })
         ));
+    }
+
+    #[test]
+    fn error_records_round_trip_at_their_ordinal_position() {
+        let mut store = sample_store();
+        let victim = store.records.remove(1);
+        store.errors.push(ErrorRecord {
+            ordinal: victim.ordinal,
+            coords: victim.coords,
+            error: PointError {
+                kind: ErrorKind::Watchdog,
+                message: "exceeded wall-clock budget of 1s".into(),
+            },
+        });
+        let text = store.to_jsonl();
+        // The error line sits where the record's ordinal would: after the
+        // header and the surviving ordinal-0 record.
+        assert!(text.lines().nth(2).unwrap().contains("\"error\""));
+        let back = ResultsStore::from_jsonl(&text).unwrap();
+        assert_eq!(back, store, "error records changed across a round trip");
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn impairment_counters_round_trip() {
+        let mut store = sample_store();
+        store.records[0].report.impairments = vec![ImpairmentRecord {
+            label: "0:drop:data".into(),
+            passed: 10,
+            impaired: 3,
+        }];
+        let text = store.to_jsonl();
+        let back = ResultsStore::from_jsonl(&text).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.to_jsonl(), text);
+        // The unimpaired record keeps the pre-impairment line shape.
+        assert!(!text.lines().nth(2).unwrap().contains("impairments"));
     }
 
     #[test]

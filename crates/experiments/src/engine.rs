@@ -79,13 +79,14 @@ use crate::scheme::Scheme;
 use crate::wifi::McsSpec;
 use abc_core::coexist::{DualQueue, DualQueueConfig, WeightPolicy};
 use abc_core::router::{AbcQdisc, AbcRouterConfig};
+use netsim::fault::{Direction, ImpairmentSpec, ImpairmentWire};
 use netsim::flow::{Sender, Sink, TrafficSource};
 use netsim::linkqueue::LinkQueue;
 use netsim::metrics::{new_hub, AppFlowMeta, LinkRecord, Metrics};
 use netsim::packet::{FlowId, NodeId, Route, MTU_BYTES};
 use netsim::queue::{DropTail, Qdisc};
 use netsim::rate::Rate;
-use netsim::sim::Simulator;
+use netsim::sim::{RunGuards, Simulator};
 use netsim::telemetry::{new_hub as new_telemetry_hub, Shared, TelemetryConfig, TelemetryHub};
 use netsim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -386,6 +387,59 @@ pub struct ScenarioSpec {
     /// default) leaves the no-op sink in place — the run is byte-identical
     /// to a build without telemetry compiled in.
     pub telemetry: Option<TelemetryConfig>,
+    /// Adversarial-network impairments spliced into the path (see
+    /// [`netsim::fault`]). Empty (the default) reserves no nodes and
+    /// leaves every output byte-identical to the pre-impairment engine.
+    pub impairments: Vec<ImpairmentSpec>,
+    /// Test-only injected fault, exercising the campaign runner's panic
+    /// isolation and watchdog paths end-to-end. `None` in every real
+    /// scenario.
+    pub fault: Option<InjectedFault>,
+}
+
+/// A deliberate per-scenario failure mode, injectable from campaign
+/// axes and TOML (`inject_fault = "panic" | "stall"`) so the runner's
+/// fault-tolerance machinery can be tested through the real pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic while building the scenario.
+    Panic,
+    /// Livelock the event loop (a node re-arming a 1 ns timer forever),
+    /// so only a watchdog budget can end the run.
+    Stall,
+}
+
+impl InjectedFault {
+    /// Stable wire name, used by the campaign TOML layer.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectedFault::Panic => "panic",
+            InjectedFault::Stall => "stall",
+        }
+    }
+
+    /// Inverse of [`InjectedFault::name`].
+    pub fn from_name(name: &str) -> Option<InjectedFault> {
+        match name {
+            "panic" => Some(InjectedFault::Panic),
+            "stall" => Some(InjectedFault::Stall),
+            _ => None,
+        }
+    }
+}
+
+/// The [`InjectedFault::Stall`] implementation: re-arms a 1 ns timer
+/// forever, pinning the event loop at one simulated instant.
+struct StallNode;
+
+impl netsim::node::Node for StallNode {
+    netsim::impl_node_downcast!();
+    fn start(&mut self, ctx: &mut netsim::node::Context) {
+        ctx.set_timer(SimDuration::from_nanos(1), 0);
+    }
+    fn handle(&mut self, ctx: &mut netsim::node::Context, _: netsim::event::EventKind) {
+        ctx.set_timer(SimDuration::from_nanos(1), 0);
+    }
 }
 
 impl ScenarioSpec {
@@ -408,6 +462,8 @@ impl ScenarioSpec {
             oracle_lookahead: None,
             timer_slot_shift: None,
             telemetry: None,
+            impairments: Vec::new(),
+            fault: None,
         }
     }
 
@@ -532,6 +588,24 @@ impl ScenarioSpec {
         self
     }
 
+    /// Splice one adversarial impairment into the path.
+    pub fn impairment(mut self, imp: ImpairmentSpec) -> Self {
+        self.impairments.push(imp);
+        self
+    }
+
+    /// Replace the impairment list.
+    pub fn impairments(mut self, imps: Vec<ImpairmentSpec>) -> Self {
+        self.impairments = imps;
+        self
+    }
+
+    /// Inject a deliberate fault (testing only — see [`InjectedFault`]).
+    pub fn inject_fault(mut self, fault: InjectedFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Expand the schedule (+ Poisson churn) into concrete flows.
     fn expand_flows(&self) -> Vec<FlowSpec> {
         let mut out = match &self.flows {
@@ -647,8 +721,47 @@ impl ScenarioEngine {
             t
         });
 
+        if spec.fault == Some(InjectedFault::Panic) {
+            panic!("injected fault: panic");
+        }
+
         let tags = spec.topology.hop_tags();
         let hop_ids: Vec<NodeId> = tags.iter().map(|_| sim.reserve_node()).collect();
+
+        // Impairment wires: one shared node per spec entry, reserved
+        // immediately after the hop queues and ONLY when configured — an
+        // impairment-free spec allocates the exact same node ids (and so
+        // the exact same bytes) as before this feature existed. Each wire
+        // gets an independent RNG stream derived from the scenario seed
+        // with a constant distinct from the workload-seeding one.
+        let mut data_wires: Vec<Vec<NodeId>> = vec![Vec::new(); hop_ids.len()];
+        let mut ack_wires: Vec<NodeId> = Vec::new();
+        for (k, imp) in spec.impairments.iter().enumerate() {
+            if let Err(e) = imp.validate() {
+                panic!("invalid impairment {k}: {e}");
+            }
+            let id = sim.reserve_node();
+            let wseed = spec.seed ^ (k as u64 + 1).wrapping_mul(0x517c_c1b7_2722_0a95);
+            let slot = hub.borrow_mut().register_impairment(imp.label(k));
+            sim.install_node(
+                id,
+                Box::new(
+                    ImpairmentWire::from_kind(imp.kind, wseed).with_metrics(hub.clone(), slot),
+                ),
+            );
+            match imp.direction {
+                Direction::Data => {
+                    assert!(
+                        imp.hop < hop_ids.len(),
+                        "impairment {k} targets hop {} of a {}-hop topology",
+                        imp.hop,
+                        hop_ids.len()
+                    );
+                    data_wires[imp.hop].push(id);
+                }
+                Direction::Ack => ack_wires.push(id),
+            }
+        }
 
         // Split the propagation RTT: equal legs along the forward path
         // (sender → hop₁ → … → hopₙ → sink), half the RTT straight back.
@@ -675,13 +788,42 @@ impl ScenarioEngine {
                 entry_hop,
                 hop_ids.len()
             );
-            let fwd = Route::from_hops(
-                hop_ids[entry_hop..]
-                    .iter()
-                    .map(|&id| (id, leg))
-                    .chain([(sink_id, leg)]),
-            );
-            let back = Route::from_hops([(sender_id, back_d)]);
+            // Splice data-direction wires ahead of their hop queue: the
+            // wire takes over the leg's propagation delay and hands the
+            // packet on with zero extra delay, so an impaired path keeps
+            // the exact timing of the clean one.
+            let fwd = if spec.impairments.is_empty() {
+                Route::from_hops(
+                    hop_ids[entry_hop..]
+                        .iter()
+                        .map(|&id| (id, leg))
+                        .chain([(sink_id, leg)]),
+                )
+            } else {
+                let mut fwd_hops: Vec<(NodeId, SimDuration)> = Vec::new();
+                for (h, &hid) in hop_ids.iter().enumerate().skip(entry_hop) {
+                    let mut d = leg;
+                    for &w in &data_wires[h] {
+                        fwd_hops.push((w, d));
+                        d = SimDuration::ZERO;
+                    }
+                    fwd_hops.push((hid, d));
+                }
+                fwd_hops.push((sink_id, leg));
+                Route::from_hops(fwd_hops)
+            };
+            let back = if ack_wires.is_empty() {
+                Route::from_hops([(sender_id, back_d)])
+            } else {
+                let mut back_hops: Vec<(NodeId, SimDuration)> = Vec::new();
+                let mut d = back_d;
+                for &w in &ack_wires {
+                    back_hops.push((w, d));
+                    d = SimDuration::ZERO;
+                }
+                back_hops.push((sender_id, d));
+                Route::from_hops(back_hops)
+            };
             sim.install_node(
                 sink_id,
                 Box::new(Sink::new(flow, back).with_metrics(hub.clone())),
@@ -849,6 +991,10 @@ impl ScenarioEngine {
             }
         }
 
+        if spec.fault == Some(InjectedFault::Stall) {
+            sim.add_node(Box::new(StallNode));
+        }
+
         BuiltScenario {
             sim,
             hub,
@@ -876,11 +1022,28 @@ impl ScenarioEngine {
     /// enabled one). The campaign runner uses the event count for its
     /// live events/sec readout and the sidecar for `--telemetry-dir`.
     pub fn run_instrumented(&self, spec: &ScenarioSpec) -> (Report, u64, Option<String>) {
+        self.run_instrumented_guarded(spec, RunGuards::default())
+            .expect("unguarded run cannot be aborted")
+    }
+
+    /// [`run_instrumented`](Self::run_instrumented) under cooperative
+    /// [`RunGuards`]: if a budget trips mid-run, the partial results are
+    /// discarded and the deterministic abort description is returned
+    /// instead. This is the campaign watchdog's entry point.
+    pub fn run_instrumented_guarded(
+        &self,
+        spec: &ScenarioSpec,
+        guards: RunGuards,
+    ) -> Result<(Report, u64, Option<String>), String> {
         let mut b = self.build(spec);
+        b.sim.set_guards(guards);
         b.run_to_end();
+        if let Some(reason) = b.sim.aborted() {
+            return Err(reason.describe());
+        }
         let events = b.sim.events_processed();
         let sidecar = b.sidecar();
-        (b.finish(), events, sidecar)
+        Ok((b.finish(), events, sidecar))
     }
 
     /// Run independent scenarios in parallel; `reports[i]` belongs to
@@ -1217,6 +1380,7 @@ impl BuiltScenario {
             qdelay_series: downsample(&qdelay_series, 600),
             capacity_series,
             app,
+            impairments: hub.impairments.clone(),
         }
     }
 }

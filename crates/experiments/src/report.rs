@@ -1,5 +1,6 @@
 //! Experiment results in the units the paper reports.
 
+use netsim::metrics::ImpairmentRecord;
 use netsim::stats::Summary;
 use workload::{RtcMetrics, VideoMetrics, WebMetrics};
 
@@ -52,6 +53,10 @@ pub struct Report {
     pub capacity_series: Vec<(f64, f64)>,
     /// Application-level metrics; `None` for bulk-only scenarios.
     pub app: Option<AppReport>,
+    /// Per-impairment-wire pass/hit counters, in scenario spec order.
+    /// Empty for unimpaired scenarios, which keeps their serialized
+    /// records — and the pinned tiny campaign baseline — byte-identical.
+    pub impairments: Vec<ImpairmentRecord>,
 }
 
 /// Bitwise float equality: identical runs must compare equal even where
@@ -129,6 +134,7 @@ impl PartialEq for Report {
             && seq(&self.qdelay_series, &other.qdelay_series)
             && seq(&self.capacity_series, &other.capacity_series)
             && self.app == other.app
+            && self.impairments == other.impairments
     }
 }
 

@@ -41,7 +41,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 
-pub use fault::{Impairment, LossyWire};
+pub use fault::{Direction, Impairment, ImpairmentKind, ImpairmentSpec, ImpairmentWire, LossyWire};
 pub use flow::{AckEvent, CongestionControl, Pacing, Sender, Sink, TrafficSource};
 pub use link::{ConstantRate, SerialLink, SquareWave, StepSchedule, TraceLink, Transmitter};
 pub use linkqueue::LinkQueue;
@@ -50,6 +50,6 @@ pub use node::{Context, Node};
 pub use packet::{AckData, Ecn, Feedback, FlowId, NodeId, Packet, Route, VcpLoad};
 pub use queue::{DropTail, Qdisc, QdiscStats};
 pub use rate::Rate;
-pub use sim::Simulator;
+pub use sim::{AbortReason, RunGuards, Simulator};
 pub use telemetry::{TelemetryConfig, TelemetryHub, TelemetrySink};
 pub use time::{SimDuration, SimTime};

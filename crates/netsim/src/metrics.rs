@@ -266,6 +266,20 @@ pub struct ThroughputBin {
     pub bytes: Vec<u64>,
 }
 
+/// Pass/hit accounting for one configured impairment wire (see
+/// [`crate::fault`]). `label` is the spec's stable
+/// `"<index>:<kind>:<direction>"` form, so a report names each wire
+/// unambiguously even when two share a kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImpairmentRecord {
+    /// Stable identity: `"<index>:<kind>:<direction>"`.
+    pub label: String,
+    /// Packets forwarded untouched.
+    pub passed: u64,
+    /// Packets dropped, rewritten, or delayed.
+    pub impaired: u64,
+}
+
 /// The simulation-wide measurement collector (see the module docs).
 #[derive(Debug)]
 pub struct MetricsHub {
@@ -273,6 +287,8 @@ pub struct MetricsHub {
     pub flows: FlowTable,
     /// Per-link accounting, keyed by the link's metrics tag.
     pub links: BTreeMap<&'static str, LinkRecord>,
+    /// Per-impairment-wire counters, in scenario spec order.
+    pub impairments: Vec<ImpairmentRecord>,
     bin_width: SimDuration,
     bins: Vec<ThroughputBin>,
     /// Measurement starts here; earlier samples are warm-up and ignored.
@@ -287,6 +303,7 @@ impl Default for MetricsHub {
         MetricsHub {
             flows: FlowTable::default(),
             links: BTreeMap::new(),
+            impairments: Vec::new(),
             bin_width: SimDuration::from_millis(100),
             bins: Vec::new(),
             epoch: SimTime::ZERO,
@@ -323,6 +340,29 @@ impl MetricsHub {
             self.flows.meta_count += 1;
         }
         self.flows.metas[slot] = Some(meta);
+    }
+
+    /// Register an impairment wire by label, returning the slot its
+    /// [`on_impairment`](MetricsHub::on_impairment) updates. Call in spec
+    /// order so reports list wires deterministically.
+    pub fn register_impairment(&mut self, label: String) -> usize {
+        self.impairments.push(ImpairmentRecord {
+            label,
+            passed: 0,
+            impaired: 0,
+        });
+        self.impairments.len() - 1
+    }
+
+    /// Called by an impairment wire for every packet it inspects; `hit`
+    /// marks packets the impairment touched (dropped/rewrote/delayed).
+    pub fn on_impairment(&mut self, index: usize, hit: bool) {
+        let rec = &mut self.impairments[index];
+        if hit {
+            rec.impaired += 1;
+        } else {
+            rec.passed += 1;
+        }
     }
 
     /// Called by sinks for every delivered data packet. `unique` is false

@@ -68,6 +68,58 @@ pub struct Simulator {
     legacy_trace: Option<Rc<RefCell<TelemetryHub>>>,
     /// Opt-in wall-clock event-loop profiler.
     profiler: Option<Profiler>,
+    /// Cooperative run budgets; all `None` by default (no overhead
+    /// beyond one predictable branch per event).
+    guards: RunGuards,
+    /// Set when a guard trips; sticky until [`Simulator::set_guards`].
+    aborted: Option<AbortReason>,
+}
+
+/// Cooperative budgets for [`Simulator::run_until`]: the event loop
+/// checks them between events (its only cancellation point) and stops
+/// early when one trips, recording an [`AbortReason`]. This is how the
+/// campaign runner's watchdog cancels a runaway or livelocked scenario
+/// without killing the process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunGuards {
+    /// Stop once this many events have been processed (lifetime total).
+    pub max_events: Option<u64>,
+    /// Stop once this much wall-clock time has elapsed since the current
+    /// `run_until` call began. Polled every 4096 events, so enforcement
+    /// lags by at most one poll interval.
+    pub max_wall_time: Option<std::time::Duration>,
+}
+
+impl RunGuards {
+    /// True when at least one budget is set.
+    pub fn active(&self) -> bool {
+        self.max_events.is_some() || self.max_wall_time.is_some()
+    }
+}
+
+/// Why a guarded run stopped early. [`AbortReason::describe`] names the
+/// *budget*, never the elapsed amount, so the message is deterministic
+/// and safe to write into a results store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The [`RunGuards::max_events`] budget was exhausted.
+    MaxEvents(u64),
+    /// The [`RunGuards::max_wall_time`] budget was exhausted.
+    WallClock(std::time::Duration),
+}
+
+impl AbortReason {
+    /// Deterministic human-readable form (budget, not elapsed time).
+    pub fn describe(&self) -> String {
+        match self {
+            AbortReason::MaxEvents(n) => {
+                format!("exceeded event budget of {n} events")
+            }
+            AbortReason::WallClock(d) => {
+                format!("exceeded wall-clock budget of {}s", d.as_secs_f64())
+            }
+        }
+    }
 }
 
 use crate::node::Node;
@@ -125,6 +177,8 @@ impl Simulator {
             telemetry_on: false,
             legacy_trace: None,
             profiler: None,
+            guards: RunGuards::default(),
+            aborted: None,
         }
     }
 
@@ -291,8 +345,20 @@ impl Simulator {
     /// reorder the collected batch.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_all();
+        let guards_active = self.guards.active() || self.aborted.is_some();
+        let run_start = std::time::Instant::now();
         let mut batch: Vec<EventKind> = Vec::new();
         while let Some(ev) = self.queue.pop_before(deadline) {
+            if guards_active && self.guard_tripped(run_start) {
+                // The popped event is discarded: an aborted run's results
+                // are never reported, only the abort reason.
+                if let EventKind::Deliver(b) = ev.kind {
+                    if self.pool.len() < PACKET_POOL_CAP {
+                        self.pool.push(b);
+                    }
+                }
+                return;
+            }
             debug_assert!(ev.time >= self.clock, "event queue time went backwards");
             self.clock = ev.time;
             let (time, node_id) = (ev.time, ev.node);
@@ -369,6 +435,41 @@ impl Simulator {
         if self.clock < deadline {
             self.clock = deadline;
         }
+    }
+
+    /// Install cooperative run budgets (see [`RunGuards`]) and clear any
+    /// previous abort.
+    pub fn set_guards(&mut self, guards: RunGuards) {
+        self.guards = guards;
+        self.aborted = None;
+    }
+
+    /// Why the last guarded run stopped early, if it did. Sticky across
+    /// `run_until` calls until guards are (re)installed.
+    pub fn aborted(&self) -> Option<AbortReason> {
+        self.aborted
+    }
+
+    /// Check budgets between events; sets [`Simulator::aborted`] and
+    /// returns true when one trips. Wall clock is polled every 4096
+    /// events so the common path stays syscall-free.
+    fn guard_tripped(&mut self, run_start: std::time::Instant) -> bool {
+        if self.aborted.is_some() {
+            return true;
+        }
+        if let Some(max) = self.guards.max_events {
+            if self.events_processed >= max {
+                self.aborted = Some(AbortReason::MaxEvents(max));
+                return true;
+            }
+        }
+        if let Some(budget) = self.guards.max_wall_time {
+            if self.events_processed & 0xfff == 0 && run_start.elapsed() >= budget {
+                self.aborted = Some(AbortReason::WallClock(budget));
+                return true;
+            }
+        }
+        false
     }
 
     /// Run for `dur` of simulated time from the current clock.
@@ -569,5 +670,82 @@ mod tests {
         };
         assert_eq!(run(), run());
         assert_ne!(run(), FNV_OFFSET, "fingerprint never updated");
+    }
+
+    /// Re-arms a short timer forever: a livelocked node only a guard
+    /// can stop.
+    struct Spinner;
+
+    impl Node for Spinner {
+        crate::impl_node_downcast!();
+        fn start(&mut self, ctx: &mut Context) {
+            ctx.set_timer(SimDuration::from_nanos(1), 0);
+        }
+        fn handle(&mut self, ctx: &mut Context, _: EventKind) {
+            ctx.set_timer(SimDuration::from_nanos(1), 0);
+        }
+    }
+
+    #[test]
+    fn max_events_guard_aborts_a_runaway_run() {
+        let mut sim = Simulator::new();
+        sim.add_node(Box::new(Spinner));
+        sim.set_guards(RunGuards {
+            max_events: Some(1000),
+            max_wall_time: None,
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(3600));
+        assert_eq!(sim.aborted(), Some(AbortReason::MaxEvents(1000)));
+        assert_eq!(sim.events_processed(), 1000);
+        assert_eq!(
+            AbortReason::MaxEvents(1000).describe(),
+            "exceeded event budget of 1000 events"
+        );
+    }
+
+    #[test]
+    fn wall_clock_guard_cancels_a_livelock() {
+        let mut sim = Simulator::new();
+        sim.add_node(Box::new(Spinner));
+        sim.set_guards(RunGuards {
+            max_events: None,
+            max_wall_time: Some(std::time::Duration::from_millis(20)),
+        });
+        // One simulated hour of 1 ns self-timers would take minutes of
+        // wall time; the guard must cut it off promptly.
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(3600));
+        assert!(matches!(sim.aborted(), Some(AbortReason::WallClock(_))));
+    }
+
+    #[test]
+    fn inactive_guards_change_nothing() {
+        let run = |guarded: bool| {
+            let mut sim = Simulator::new();
+            let a = sim.reserve_node();
+            let b = sim.reserve_node();
+            sim.install_node(
+                a,
+                Box::new(PingPong {
+                    peer: Some(b),
+                    received: 0,
+                    limit: 5,
+                }),
+            );
+            sim.install_node(
+                b,
+                Box::new(PingPong {
+                    peer: Some(a),
+                    received: 0,
+                    limit: 5,
+                }),
+            );
+            if guarded {
+                sim.set_guards(RunGuards::default());
+            }
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            assert_eq!(sim.aborted(), None);
+            sim.events_fingerprint()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -69,11 +69,17 @@ pub enum Signal {
     /// form of the old ad-hoc `enable_event_trace`. Off by default:
     /// one row per processed event is bulky.
     Events = 12,
+    /// Packets an impairment wire forwarded untouched (counter, per
+    /// impairment kind — see [`crate::fault`]).
+    ImpairPass = 13,
+    /// Packets an impairment wire dropped, rewrote, or delayed (counter,
+    /// per impairment kind).
+    ImpairHit = 14,
 }
 
 impl Signal {
     /// Every signal, in mask-bit order.
-    pub const ALL: [Signal; 13] = [
+    pub const ALL: [Signal; 15] = [
         Signal::Cwnd,
         Signal::Inflight,
         Signal::PacingRateMbps,
@@ -87,10 +93,12 @@ impl Signal {
         Signal::RtoCancel,
         Signal::RtoFire,
         Signal::Events,
+        Signal::ImpairPass,
+        Signal::ImpairHit,
     ];
 
     /// The default selection: everything except the bulky [`Signal::Events`].
-    pub const DEFAULT: [Signal; 12] = [
+    pub const DEFAULT: [Signal; 14] = [
         Signal::Cwnd,
         Signal::Inflight,
         Signal::PacingRateMbps,
@@ -103,6 +111,8 @@ impl Signal {
         Signal::RtoArm,
         Signal::RtoCancel,
         Signal::RtoFire,
+        Signal::ImpairPass,
+        Signal::ImpairHit,
     ];
 
     /// Stable wire name, used in sidecar rows and `[telemetry]` tables.
@@ -121,6 +131,8 @@ impl Signal {
             Signal::RtoCancel => "rto_cancel",
             Signal::RtoFire => "rto_fire",
             Signal::Events => "events",
+            Signal::ImpairPass => "impair_pass",
+            Signal::ImpairHit => "impair_hit",
         }
     }
 
@@ -133,7 +145,14 @@ impl Signal {
     /// Counters accumulate and emit once at end-of-run; gauges are
     /// sampled (and cadence-decimated) along the way.
     pub fn is_counter(self) -> bool {
-        matches!(self, Signal::RtoArm | Signal::RtoCancel | Signal::RtoFire)
+        matches!(
+            self,
+            Signal::RtoArm
+                | Signal::RtoCancel
+                | Signal::RtoFire
+                | Signal::ImpairPass
+                | Signal::ImpairHit
+        )
     }
 
     /// Gauges whose every observation additionally feeds a
