@@ -40,6 +40,22 @@ fn main() {
         best = best.min(t.elapsed().as_secs_f64());
     }
 
+    // One instrumented run outside the timed loop: the run ledger's
+    // utilization and straggler ratio ride along as context (no
+    // `_per_sec` suffix, so bench-diff never gates on them).
+    let ledger_path = std::env::temp_dir().join(format!(
+        "abc-bench-campaign-runlog-{}.jsonl",
+        std::process::id()
+    ));
+    let ledger_opts = opts
+        .clone()
+        .with_runlog(Some(campaign::RunLogConfig::new(ledger_path.clone())));
+    run_campaign(&campaign, &ledger_opts);
+    let ledger_stats = campaign::runlog::RunLedger::load(&ledger_path)
+        .map(|l| campaign::runlog::stats(&l))
+        .expect("bench run ledger loads");
+    let _ = std::fs::remove_file(&ledger_path);
+
     let entry = Value::Obj(vec![
         ("schema".into(), Value::str("abc-campaign-bench/v1")),
         ("preset".into(), Value::str("tiny")),
@@ -53,6 +69,14 @@ fn main() {
         ),
         ("sim_x_realtime".into(), Value::num(sim_secs / best)),
         ("store_bytes".into(), Value::num(store_bytes as f64)),
+        (
+            "runlog_worker_utilization".into(),
+            Value::num(ledger_stats.utilization),
+        ),
+        (
+            "runlog_straggler_ratio".into(),
+            Value::num(ledger_stats.straggler_ratio),
+        ),
         (
             "unix_time".into(),
             Value::num(

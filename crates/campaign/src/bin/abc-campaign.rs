@@ -10,6 +10,9 @@
 //! abc-campaign export tiny.jsonl --csv
 //! abc-campaign diff baseline.jsonl candidate.jsonl
 //! abc-campaign bench-diff BENCH_netsim.json
+//! abc-campaign run tiny --runlog runlog.jsonl --profile
+//! abc-campaign trace-export runlog.jsonl -o trace.json
+//! abc-campaign report runlog.jsonl --telemetry-dir telemetry/
 //! ```
 //!
 //! `run` writes a schema-versioned JSONL store that is bit-identical
@@ -23,6 +26,7 @@
 use campaign::aggregate;
 use campaign::diff::{diff, DiffConfig};
 use campaign::presets;
+use campaign::runlog::{RunLedger, RunLogConfig};
 use campaign::runner::RunOptions;
 use campaign::store::{self, ResultsStore};
 use experiments::figures::Scale;
@@ -59,6 +63,16 @@ USAGE:
   abc-campaign dynamics <sidecar.jsonl>          render the control-law timeline (marks,
                                                  token level, qdelay, cwnd) from a
                                                  telemetry sidecar — no re-simulation
+  abc-campaign trace-export <runlog.jsonl> [-o trace.json]
+                                                 convert a run ledger to Chrome
+                                                 trace-event JSON (open in Perfetto or
+                                                 chrome://tracing)
+  abc-campaign report <runlog.jsonl> [--telemetry-dir d/]
+                                                 run-health summary from a ledger: wall
+                                                 breakdown, worker utilization,
+                                                 stragglers, retry/error rollup; with
+                                                 --telemetry-dir, also aggregates the
+                                                 per-point sidecars by axis value
 
 CAMPAIGN SOURCE:
   <preset>                 a built-in (see `abc-campaign list`)
@@ -91,6 +105,14 @@ RUN OPTIONS:
                            hanging the campaign
   --retries <n>            extra attempts for a panicking point before it
                            is recorded as failed (default 1)
+  --runlog <file>          write the wall-clock run ledger (abc-runlog/v1
+                           JSONL: per-point spans, waves, store flushes)
+                           to this file; with --telemetry-dir the ledger
+                           defaults to <dir>/runlog.jsonl. The results
+                           store stays byte-identical either way.
+  --profile                run every point with the self-profiler on and
+                           record per-point phase fractions in the run
+                           ledger (store bytes are unaffected)
   --quiet                  no progress on stderr
 
 EXIT CODES:
@@ -129,10 +151,10 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if a.starts_with("--") {
+                if a.starts_with("--") || a.as_str() == "-o" {
                     skip_next = !matches!(
                         a.as_str(),
-                        "--csv" | "--quiet" | "--resume" | "--json" | "--keep-going"
+                        "--csv" | "--quiet" | "--resume" | "--json" | "--keep-going" | "--profile"
                     );
                     return false;
                 }
@@ -186,6 +208,25 @@ fn main() {
         }
         "run" => {
             let campaign = build_campaign(positional.get(1), &file, scale);
+            let shard = get("--shard").map(|s| parse_shard(&s));
+            let scale_name = match scale {
+                Scale::Full => "full",
+                Scale::Fast => "fast",
+                Scale::Tiny => "tiny",
+            };
+            // Explicit --runlog wins; --telemetry-dir alone gets the
+            // ledger beside the sidecars. Built here (not in the runner)
+            // so the header carries the scale/shard the CLI resolved.
+            let runlog = get("--runlog")
+                .map(std::path::PathBuf::from)
+                .or_else(|| {
+                    get("--telemetry-dir").map(|d| std::path::PathBuf::from(d).join("runlog.jsonl"))
+                })
+                .map(|p| {
+                    RunLogConfig::new(p)
+                        .with_scale(Some(scale_name.to_string()))
+                        .with_shard(shard)
+                });
             let opts = RunOptions {
                 jobs: get("--jobs").map(|x| parse_flag("--jobs", &x)),
                 chunk: get("--chunk").map_or(32, |x| parse_flag("--chunk", &x)),
@@ -197,8 +238,9 @@ fn main() {
                     Err(_) => fail(format!("--retries needs a non-negative integer, got {x:?}")),
                 }),
                 watchdog: get("--watchdog-budget").map(|x| parse_budget(&x)),
+                runlog,
+                profile: args.iter().any(|a| a == "--profile"),
             };
-            let shard = get("--shard").map(|s| parse_shard(&s));
             let out = get("--out").unwrap_or_else(|| match shard {
                 Some((k, n)) => format!("campaign-{}.shard-{k}-of-{n}.jsonl", campaign.name),
                 None => format!("campaign-{}.jsonl", campaign.name),
@@ -377,6 +419,37 @@ fn main() {
                 Err(e) => fail(format!("{path}: {e}")),
             }
         }
+        "trace-export" => {
+            let Some(path) = positional.get(1) else {
+                usage()
+            };
+            let ledger = load_ledger(path);
+            let out = get("-o")
+                .or_else(|| get("--out"))
+                .unwrap_or_else(|| "trace.json".into());
+            let trace = campaign::trace::chrome_trace(&ledger);
+            if let Err(e) = std::fs::write(&out, trace) {
+                fail(format!("cannot write {out}: {e}"));
+            }
+            eprintln!(
+                "[abc-campaign] wrote {out}: {} point span(s), {} wave(s), {} flush(es) \
+                 (open in https://ui.perfetto.dev or chrome://tracing)",
+                ledger.points.len(),
+                ledger.waves.len(),
+                ledger.flushes.len()
+            );
+        }
+        "report" => {
+            let Some(path) = positional.get(1) else {
+                usage()
+            };
+            let ledger = load_ledger(path);
+            let dir = get("--telemetry-dir").map(std::path::PathBuf::from);
+            match campaign::report::render_report(&ledger, dir.as_deref()) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(e),
+            }
+        }
         "dynamics" => {
             let Some(path) = positional.get(1) else {
                 usage()
@@ -454,6 +527,14 @@ fn load_file(path: &str, scale: Scale) -> campaign::Campaign {
     match campaign::file::load(path, scale) {
         Ok(c) => c,
         Err(e) => fail(format!("{path}: {e}")),
+    }
+}
+
+/// Load a run ledger, exiting 2 with the offending line on malformed input.
+fn load_ledger(path: &str) -> RunLedger {
+    match RunLedger::load(std::path::Path::new(path)) {
+        Ok(l) => l,
+        Err(e) => fail(format!("cannot load {path}: {e}")),
     }
 }
 

@@ -26,6 +26,12 @@
 //!   run records, and the workspace's complete figure index.
 //! * [`dynamics`] — the paper-style dynamics timeline rendered purely
 //!   from a [`netsim::telemetry`] JSONL sidecar.
+//! * [`runlog`] — the schema-versioned wall-clock run ledger the runner
+//!   writes beside (never into) the store: per-point spans, wave
+//!   boundaries, store-flush spans.
+//! * [`trace`] — ledger → Chrome trace-event JSON, viewable in Perfetto.
+//! * [`report`] — ledger → run-health summary, with cross-point sidecar
+//!   aggregation grouped by axis value.
 //!
 //! The `abc-campaign` binary drives all of it from the command line
 //! (`run` / `expand` / `diff` / `export` / `list`); `figgen` regenerates
@@ -43,11 +49,15 @@ pub mod figures;
 pub mod file;
 pub mod json;
 pub mod presets;
+pub mod report;
+pub mod runlog;
 pub mod runner;
 pub mod spec;
 pub mod store;
+pub mod trace;
 
 pub use diff::{DiffConfig, DiffReport};
+pub use runlog::{RunLedger, RunLogConfig};
 pub use runner::{
     run_campaign, run_campaign_outcomes, split_outcomes, ErrorKind, ErrorRecord, PointError,
     PointOutcome, RunOptions, RunRecord, StreamTally,

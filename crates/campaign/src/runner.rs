@@ -13,11 +13,20 @@
 //! a bounded number of times, then recorded as a structured
 //! [`ErrorRecord`] — the store stays valid, diffable, and resumable, and
 //! `--resume` re-attempts exactly the failed ordinals.
+//!
+//! Execution is **observable**: with a [`RunLogConfig`] (or a telemetry
+//! dir, which gets a `runlog.jsonl` by default) the runner streams an
+//! `abc-runlog/v1` ledger of per-attempt point spans, wave boundaries,
+//! and store-flush spans (see [`crate::runlog`]). Wall-clock data lives
+//! only there — the results store stays byte-identical with or without
+//! the ledger and `--profile`.
 
+use crate::runlog::{self, RunLogConfig, SpanOutcome};
 use crate::spec::{Campaign, Coords};
-use experiments::engine::{ScenarioEngine, ScenarioSpec};
+use experiments::engine::{PointRun, ScenarioEngine, ScenarioSpec};
 use experiments::report::Report;
 use netsim::sim::RunGuards;
+use std::io::Write;
 use std::time::Instant;
 
 /// How a campaign run is executed. `jobs: None` defers to
@@ -50,6 +59,14 @@ pub struct RunOptions {
     /// cooperatively (via [`RunGuards`]) and records a
     /// [`ErrorKind::Watchdog`] error instead of hanging the campaign.
     pub watchdog: Option<std::time::Duration>,
+    /// Write an `abc-runlog/v1` run ledger (see [`crate::runlog`]).
+    /// `None` still emits one into `telemetry_dir` (as `runlog.jsonl`)
+    /// when that is set.
+    pub runlog: Option<RunLogConfig>,
+    /// Profile every point with the wall-clock event-loop profiler and
+    /// record the headline fractions on its ledger span. Wall-only:
+    /// the results store is unaffected.
+    pub profile: bool,
 }
 
 impl Default for RunOptions {
@@ -62,6 +79,8 @@ impl Default for RunOptions {
             keep_going: false,
             retries: 1,
             watchdog: None,
+            runlog: None,
+            profile: false,
         }
     }
 }
@@ -105,6 +124,19 @@ impl RunOptions {
     /// Per-point wall-clock budget (`None` disables the watchdog).
     pub fn with_watchdog(mut self, budget: Option<std::time::Duration>) -> Self {
         self.watchdog = budget;
+        self
+    }
+
+    /// Write the run ledger to this destination (`None` falls back to
+    /// `telemetry_dir/runlog.jsonl` when a telemetry dir is set).
+    pub fn with_runlog(mut self, runlog: Option<RunLogConfig>) -> Self {
+        self.runlog = runlog;
+        self
+    }
+
+    /// Profile every point and annotate its ledger span.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -276,6 +308,91 @@ pub fn run_campaign_with<F: FnMut(&[PointOutcome])>(
     run_points_with(campaign, campaign.expand(), opts, skip, on_chunk)
 }
 
+/// One execution attempt's wall-clock record, accumulated inside the
+/// worker closure against the shared run epoch.
+struct AttemptLog {
+    start_ns: u64,
+    end_ns: u64,
+    events: u64,
+    outcome: SpanOutcome,
+    profile: Option<runlog::ProfileFractions>,
+}
+
+/// What one point's worker-side execution returns: the store-facing
+/// result plus the ledger-facing span data (worker slot, one
+/// [`AttemptLog`] per attempt).
+struct PointExec {
+    result: Result<PointRun, PointError>,
+    worker: usize,
+    attempts: Vec<AttemptLog>,
+}
+
+/// Best-effort ledger writer: an I/O error prints once and disables the
+/// ledger — observability must never fail the run it observes.
+struct LedgerWriter(Option<(std::io::BufWriter<std::fs::File>, std::path::PathBuf)>);
+
+impl LedgerWriter {
+    fn off() -> Self {
+        LedgerWriter(None)
+    }
+
+    fn create(path: &std::path::Path) -> Self {
+        match std::fs::File::create(path) {
+            Ok(f) => LedgerWriter(Some((std::io::BufWriter::new(f), path.to_path_buf()))),
+            Err(e) => {
+                eprintln!(
+                    "[abc-campaign] cannot create run ledger {}: {e}",
+                    path.display()
+                );
+                LedgerWriter(None)
+            }
+        }
+    }
+
+    fn line(&mut self, line: &str) {
+        let failed = match &mut self.0 {
+            Some((w, path)) => match writeln!(w, "{line}") {
+                Ok(()) => false,
+                Err(e) => {
+                    eprintln!(
+                        "[abc-campaign] run ledger write to {} failed: {e} (disabling ledger)",
+                        path.display()
+                    );
+                    true
+                }
+            },
+            None => false,
+        };
+        if failed {
+            self.0 = None;
+        }
+    }
+
+    fn flush(&mut self) {
+        let failed = match &mut self.0 {
+            Some((w, path)) => match w.flush() {
+                Ok(()) => false,
+                Err(e) => {
+                    eprintln!(
+                        "[abc-campaign] run ledger flush to {} failed: {e} (disabling ledger)",
+                        path.display()
+                    );
+                    true
+                }
+            },
+            None => false,
+        };
+        if failed {
+            self.0 = None;
+        }
+    }
+}
+
+/// ETA extrapolates from this many most-recent waves (plus the current
+/// checkpoint), so one long-tail dense point early in the run stops
+/// skewing the estimate for the remainder.
+const ETA_WINDOW_WAVES: usize = 8;
+
 /// Render a caught panic payload the way `std`'s default hook would.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -307,6 +424,7 @@ fn run_points_with<F: FnMut(&[PointOutcome])>(
     let engine = opts.engine();
     let total = points.len();
     let start = Instant::now();
+    let workers = engine.threads().min(total.max(1));
     if opts.progress {
         eprintln!(
             "[abc-campaign] {}: {} scenarios ({} unfiltered, {} resumed) on {} worker(s)",
@@ -314,7 +432,7 @@ fn run_points_with<F: FnMut(&[PointOutcome])>(
             total,
             campaign.size_unfiltered(),
             skip.len(),
-            engine.threads().min(total.max(1)),
+            workers,
         );
     }
     if let Some(dir) = &opts.telemetry_dir {
@@ -325,15 +443,43 @@ fn run_points_with<F: FnMut(&[PointOutcome])>(
             );
         }
     }
+    // Ledger destination: an explicit config wins; a telemetry dir gets
+    // one by default so instrumented runs are self-contained.
+    let runlog_cfg = opts.runlog.clone().or_else(|| {
+        opts.telemetry_dir
+            .as_ref()
+            .map(|d| RunLogConfig::new(d.join("runlog.jsonl")))
+    });
+    let mut ledger = match &runlog_cfg {
+        Some(cfg) => LedgerWriter::create(&cfg.path),
+        None => LedgerWriter::off(),
+    };
+    if let Some(cfg) = &runlog_cfg {
+        ledger.line(&runlog::render_header(&runlog::LedgerHeader {
+            campaign: campaign.name.clone(),
+            scale: cfg.scale.clone(),
+            points: total,
+            workers,
+            chunk: opts.chunk.max(1),
+            shard: cfg.shard,
+            retries: opts.retries,
+            watchdog_budget_s: opts.watchdog.map(|d| d.as_secs_f64()),
+            keep_going: opts.keep_going,
+            profile: opts.profile,
+        }));
+    }
     let guards = RunGuards {
         max_events: None,
         max_wall_time: opts.watchdog,
     };
     let retries = opts.retries;
+    let profile_on = opts.profile;
     let mut outcomes: Vec<PointOutcome> = Vec::with_capacity(total);
     let mut events_total = 0u64;
     let mut failed = false;
-    for chunk in points.chunks(opts.chunk.max(1)) {
+    // `(elapsed, done)` checkpoints of recent waves for the ETA window.
+    let mut recent: std::collections::VecDeque<(f64, usize)> = std::collections::VecDeque::new();
+    for (wave_index, chunk) in points.chunks(opts.chunk.max(1)).enumerate() {
         let specs: Vec<ScenarioSpec> = chunk
             .iter()
             .map(|p| {
@@ -344,44 +490,100 @@ fn run_points_with<F: FnMut(&[PointOutcome])>(
                 spec
             })
             .collect();
+        let wave_start_ns = start.elapsed().as_nanos() as u64;
         // The boundary must sit *inside* the worker closure: a panic that
         // escapes it would poison the pool's result slots and abort the
         // whole process instead of failing one point.
-        let results = engine.run_batch_map(&specs, |e, s| {
-            let mut attempts = 0u32;
+        let results = engine.run_batch_map_indexed(&specs, |e, s, worker| {
+            let mut attempts: Vec<AttemptLog> = Vec::new();
             loop {
+                let t0 = start.elapsed().as_nanos() as u64;
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    e.run_instrumented_guarded(s, guards)
+                    e.run_point(s, guards, profile_on)
                 }));
+                let t1 = start.elapsed().as_nanos() as u64;
                 match run {
-                    Ok(Ok(out)) => return Ok(out),
+                    Ok(Ok(out)) => {
+                        attempts.push(AttemptLog {
+                            start_ns: t0,
+                            end_ns: t1,
+                            events: out.events,
+                            outcome: SpanOutcome::Ok,
+                            profile: out.profile.as_ref().map(runlog::ProfileFractions::of),
+                        });
+                        return PointExec {
+                            result: Ok(out),
+                            worker,
+                            attempts,
+                        };
+                    }
                     // Watchdog abort: deterministic, retrying would only
                     // burn the budget again.
                     Ok(Err(msg)) => {
-                        return Err(PointError {
-                            kind: ErrorKind::Watchdog,
-                            message: msg,
-                        })
+                        attempts.push(AttemptLog {
+                            start_ns: t0,
+                            end_ns: t1,
+                            events: 0,
+                            outcome: SpanOutcome::Watchdog(msg.clone()),
+                            profile: None,
+                        });
+                        return PointExec {
+                            result: Err(PointError {
+                                kind: ErrorKind::Watchdog,
+                                message: msg,
+                            }),
+                            worker,
+                            attempts,
+                        };
                     }
                     Err(payload) => {
-                        if attempts < retries {
-                            attempts += 1;
+                        let message = panic_message(payload);
+                        attempts.push(AttemptLog {
+                            start_ns: t0,
+                            end_ns: t1,
+                            events: 0,
+                            outcome: SpanOutcome::Panic(message.clone()),
+                            profile: None,
+                        });
+                        if (attempts.len() as u32) <= retries {
                             continue;
                         }
-                        return Err(PointError {
-                            kind: ErrorKind::Panic,
-                            message: panic_message(payload),
-                        });
+                        return PointExec {
+                            result: Err(PointError {
+                                kind: ErrorKind::Panic,
+                                message,
+                            }),
+                            worker,
+                            attempts,
+                        };
                     }
                 }
             }
         });
+        let wave_end_ns = start.elapsed().as_nanos() as u64;
         let chunk_start = outcomes.len();
-        for (point, result) in chunk.iter().zip(results) {
-            match result {
-                Ok((report, events, sidecar)) => {
-                    events_total += events;
-                    if let (Some(dir), Some(sidecar)) = (&opts.telemetry_dir, sidecar) {
+        for (point, exec) in chunk.iter().zip(results) {
+            // One ledger span per attempt, retries included.
+            for (attempt, a) in exec.attempts.iter().enumerate() {
+                let dur = a.end_ns.saturating_sub(a.start_ns).max(1);
+                ledger.line(&runlog::render_point(&runlog::PointSpan {
+                    ordinal: point.ordinal,
+                    coords: point.coords.clone(),
+                    attempt: attempt as u32,
+                    worker: exec.worker,
+                    queued_ns: wave_start_ns,
+                    start_ns: a.start_ns,
+                    end_ns: a.end_ns,
+                    events: a.events,
+                    events_per_sec: a.events as f64 * 1e9 / dur as f64,
+                    outcome: a.outcome.clone(),
+                    profile: a.profile,
+                }));
+            }
+            match exec.result {
+                Ok(out) => {
+                    events_total += out.events;
+                    if let (Some(dir), Some(sidecar)) = (&opts.telemetry_dir, out.sidecar) {
                         let path = dir.join(format!("{}.jsonl", point.ordinal));
                         if let Err(e) = std::fs::write(&path, sidecar) {
                             eprintln!("[abc-campaign] cannot write {}: {e}", path.display());
@@ -390,7 +592,7 @@ fn run_points_with<F: FnMut(&[PointOutcome])>(
                     outcomes.push(PointOutcome::Ok(RunRecord {
                         ordinal: point.ordinal,
                         coords: point.coords.clone(),
-                        report,
+                        report: out.report,
                     }));
                 }
                 Err(error) => {
@@ -409,17 +611,40 @@ fn run_points_with<F: FnMut(&[PointOutcome])>(
                 }
             }
         }
+        ledger.line(&runlog::render_wave(&runlog::WaveSpan {
+            index: wave_index,
+            start_ns: wave_start_ns,
+            end_ns: wave_end_ns,
+            points: chunk.len(),
+        }));
+        let flush_start_ns = start.elapsed().as_nanos() as u64;
         on_chunk(&outcomes[chunk_start..]);
+        let flush_end_ns = start.elapsed().as_nanos() as u64;
+        ledger.line(&runlog::render_flush(&runlog::FlushSpan {
+            wave: wave_index,
+            start_ns: flush_start_ns,
+            end_ns: flush_end_ns,
+        }));
+        ledger.flush();
         if opts.progress {
             let done = outcomes.len();
             let elapsed = start.elapsed().as_secs_f64();
-            // ETA from completed-scenario wall times; blank until the
-            // first wave lands (no rate to extrapolate from yet).
+            // ETA from a sliding window of recent waves (falling back to
+            // the whole-run average until a second checkpoint exists);
+            // blank until the first wave lands and once the run is done.
+            recent.push_back((elapsed, done));
+            while recent.len() > ETA_WINDOW_WAVES + 1 {
+                recent.pop_front();
+            }
             let eta = if done > 0 && done < total {
-                format!(
-                    " · ETA {:.0}s",
-                    elapsed / done as f64 * (total - done) as f64
-                )
+                let (t0, d0) = *recent.front().expect("window is nonempty");
+                let (dt, dd) = (elapsed - t0, done - d0);
+                let rate = if dd > 0 && dt > 1e-9 {
+                    dd as f64 / dt
+                } else {
+                    done as f64 / elapsed.max(1e-9)
+                };
+                format!(" · ETA {:.0}s", (total - done) as f64 / rate.max(1e-9))
             } else {
                 String::new()
             };

@@ -1,0 +1,252 @@
+//! Run ledger → Chrome trace-event JSON, viewable in Perfetto (or
+//! `chrome://tracing`): one track per worker slot carrying point spans,
+//! dedicated tracks for wave boundaries and store flushes, and instant
+//! events marking retries, panics, and watchdog cancellations.
+//!
+//! The output is the classic "JSON object format": a `traceEvents`
+//! array of `ph:"B"`/`ph:"E"` duration pairs (balanced by construction
+//! — CI counts them), `ph:"i"` instants, and `ph:"M"` metadata naming
+//! the tracks. Timestamps are microseconds from run start.
+
+use crate::json::Value;
+use crate::runlog::RunLedger;
+
+/// Synthetic thread id carrying wave-boundary spans.
+pub const WAVE_TID: u64 = 10_000;
+
+/// Synthetic thread id carrying store-flush spans.
+pub const FLUSH_TID: u64 = 10_001;
+
+fn ts_us(ns: u64) -> Value {
+    Value::num(ns as f64 / 1000.0)
+}
+
+fn meta(name: &str, tid: u64, value: &str) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::str(name)),
+        ("ph".into(), Value::str("M")),
+        ("pid".into(), Value::num(1.0)),
+        ("tid".into(), Value::num(tid as f64)),
+        (
+            "args".into(),
+            Value::Obj(vec![("name".into(), Value::str(value))]),
+        ),
+    ])
+}
+
+fn begin(name: &str, cat: &str, ts_ns: u64, tid: u64, args: Vec<(String, Value)>) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::str(name)),
+        ("cat".into(), Value::str(cat)),
+        ("ph".into(), Value::str("B")),
+        ("ts".into(), ts_us(ts_ns)),
+        ("pid".into(), Value::num(1.0)),
+        ("tid".into(), Value::num(tid as f64)),
+        ("args".into(), Value::Obj(args)),
+    ])
+}
+
+fn end(ts_ns: u64, tid: u64) -> Value {
+    Value::Obj(vec![
+        ("ph".into(), Value::str("E")),
+        ("ts".into(), ts_us(ts_ns)),
+        ("pid".into(), Value::num(1.0)),
+        ("tid".into(), Value::num(tid as f64)),
+    ])
+}
+
+fn instant(name: &str, cat: &str, ts_ns: u64, tid: u64, args: Vec<(String, Value)>) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::str(name)),
+        ("cat".into(), Value::str(cat)),
+        ("ph".into(), Value::str("i")),
+        ("s".into(), Value::str("t")),
+        ("ts".into(), ts_us(ts_ns)),
+        ("pid".into(), Value::num(1.0)),
+        ("tid".into(), Value::num(tid as f64)),
+        ("args".into(), Value::Obj(args)),
+    ])
+}
+
+/// Convert a parsed ledger into Chrome trace-event JSON. Every point
+/// span in the ledger — each attempt, retries included — becomes one
+/// `B`/`E` pair on its worker's track, so the trace covers every
+/// executed point.
+pub fn chrome_trace(ledger: &RunLedger) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(meta(
+        "process_name",
+        0,
+        &format!("abc-campaign {}", ledger.header.campaign),
+    ));
+    let mut workers: Vec<usize> = ledger.points.iter().map(|p| p.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for w in &workers {
+        events.push(meta("thread_name", *w as u64, &format!("worker {w}")));
+    }
+    if !ledger.waves.is_empty() {
+        events.push(meta("thread_name", WAVE_TID, "waves"));
+    }
+    if !ledger.flushes.is_empty() {
+        events.push(meta("thread_name", FLUSH_TID, "store flushes"));
+    }
+    for p in &ledger.points {
+        let tid = p.worker as u64;
+        let mut args = vec![
+            ("ordinal".to_string(), Value::num(p.ordinal as f64)),
+            ("attempt".to_string(), Value::num(p.attempt as f64)),
+            ("outcome".to_string(), Value::str(p.outcome.name())),
+            ("events".to_string(), Value::num(p.events as f64)),
+            ("events_per_sec".to_string(), Value::num(p.events_per_sec)),
+        ];
+        if let Some(reason) = p.outcome.reason() {
+            args.push(("reason".to_string(), Value::str(reason)));
+        }
+        if let Some(prof) = &p.profile {
+            args.push((
+                "profile".to_string(),
+                Value::Obj(vec![
+                    ("deliver_frac".into(), Value::num(prof.deliver_frac)),
+                    ("timer_frac".into(), Value::num(prof.timer_frac)),
+                    ("batch_frac".into(), Value::num(prof.batch_frac)),
+                    ("pool_hit_rate".into(), Value::num(prof.pool_hit_rate)),
+                ]),
+            ));
+        }
+        let name = format!("#{} {}", p.ordinal, p.coords.key());
+        events.push(begin(&name, "point", p.start_ns, tid, args));
+        if p.attempt > 0 {
+            events.push(instant(
+                "retry",
+                "fault",
+                p.start_ns,
+                tid,
+                vec![
+                    ("ordinal".to_string(), Value::num(p.ordinal as f64)),
+                    ("attempt".to_string(), Value::num(p.attempt as f64)),
+                ],
+            ));
+        }
+        if let Some(reason) = p.outcome.reason() {
+            events.push(instant(
+                p.outcome.name(),
+                "fault",
+                p.end_ns,
+                tid,
+                vec![
+                    ("ordinal".to_string(), Value::num(p.ordinal as f64)),
+                    ("reason".to_string(), Value::str(reason)),
+                ],
+            ));
+        }
+        events.push(end(p.end_ns, tid));
+    }
+    for w in &ledger.waves {
+        events.push(begin(
+            &format!("wave {}", w.index),
+            "wave",
+            w.start_ns,
+            WAVE_TID,
+            vec![("points".to_string(), Value::num(w.points as f64))],
+        ));
+        events.push(end(w.end_ns, WAVE_TID));
+    }
+    for f in &ledger.flushes {
+        events.push(begin(
+            &format!("flush {}", f.wave),
+            "flush",
+            f.start_ns,
+            FLUSH_TID,
+            Vec::new(),
+        ));
+        events.push(end(f.end_ns, FLUSH_TID));
+    }
+    Value::Obj(vec![
+        ("displayTimeUnit".into(), Value::str("ms")),
+        ("traceEvents".into(), Value::Arr(events)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::runlog::{LedgerHeader, PointSpan, SpanOutcome, WaveSpan};
+    use crate::spec::Coords;
+
+    fn tiny_ledger() -> RunLedger {
+        RunLedger {
+            header: LedgerHeader {
+                campaign: "t".into(),
+                scale: None,
+                points: 2,
+                workers: 2,
+                chunk: 32,
+                shard: None,
+                retries: 1,
+                watchdog_budget_s: None,
+                keep_going: false,
+                profile: false,
+            },
+            points: vec![
+                PointSpan {
+                    ordinal: 0,
+                    coords: Coords(vec![("seed".into(), "1".into())]),
+                    attempt: 0,
+                    worker: 0,
+                    queued_ns: 0,
+                    start_ns: 10,
+                    end_ns: 100,
+                    events: 50,
+                    events_per_sec: 5.0e8,
+                    outcome: SpanOutcome::Ok,
+                    profile: None,
+                },
+                PointSpan {
+                    ordinal: 1,
+                    coords: Coords(vec![("seed".into(), "2".into())]),
+                    attempt: 1,
+                    worker: 1,
+                    queued_ns: 0,
+                    start_ns: 20,
+                    end_ns: 90,
+                    events: 0,
+                    events_per_sec: 0.0,
+                    outcome: SpanOutcome::Panic("boom".into()),
+                    profile: None,
+                },
+            ],
+            waves: vec![WaveSpan {
+                index: 0,
+                start_ns: 0,
+                end_ns: 110,
+                points: 2,
+            }],
+            flushes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn trace_has_balanced_span_pairs_and_covers_every_point() {
+        let text = chrome_trace(&tiny_ledger());
+        let v = json::parse(&text).expect("trace parses as JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents array");
+        let ph = |p: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some(p))
+                .count()
+        };
+        assert_eq!(ph("B"), ph("E"), "unbalanced begin/end pairs");
+        // 2 point spans + 1 wave span
+        assert_eq!(ph("B"), 3);
+        // retry + panic instants for the failed attempt
+        assert_eq!(ph("i"), 2);
+        assert!(text.contains("#0 seed=1") && text.contains("#1 seed=2"));
+    }
+}

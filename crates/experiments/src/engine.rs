@@ -87,7 +87,9 @@ use netsim::packet::{FlowId, NodeId, Route, MTU_BYTES};
 use netsim::queue::{DropTail, Qdisc};
 use netsim::rate::Rate;
 use netsim::sim::{RunGuards, Simulator};
-use netsim::telemetry::{new_hub as new_telemetry_hub, Shared, TelemetryConfig, TelemetryHub};
+use netsim::telemetry::{
+    new_hub as new_telemetry_hub, ProfileReport, Shared, TelemetryConfig, TelemetryHub,
+};
 use netsim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -1035,15 +1037,39 @@ impl ScenarioEngine {
         spec: &ScenarioSpec,
         guards: RunGuards,
     ) -> Result<(Report, u64, Option<String>), String> {
+        self.run_point(spec, guards, false)
+            .map(|p| (p.report, p.events, p.sidecar))
+    }
+
+    /// The campaign runner's entry point: one guarded point execution
+    /// returning everything the run ledger records. With `profile` set
+    /// the wall-clock event-loop profiler runs too and its report rides
+    /// along — wall-clock data the caller must keep out of the results
+    /// store (the runlog is its quarantine zone).
+    pub fn run_point(
+        &self,
+        spec: &ScenarioSpec,
+        guards: RunGuards,
+        profile: bool,
+    ) -> Result<PointRun, String> {
         let mut b = self.build(spec);
+        if profile {
+            b.sim.enable_profiler();
+        }
         b.sim.set_guards(guards);
         b.run_to_end();
         if let Some(reason) = b.sim.aborted() {
             return Err(reason.describe());
         }
         let events = b.sim.events_processed();
+        let profile = b.sim.profile_report();
         let sidecar = b.sidecar();
-        Ok((b.finish(), events, sidecar))
+        Ok(PointRun {
+            report: b.finish(),
+            events,
+            sidecar,
+            profile,
+        })
     }
 
     /// Run independent scenarios in parallel; `reports[i]` belongs to
@@ -1065,6 +1091,19 @@ impl ScenarioEngine {
         parallel_map(specs, self.threads, |spec| f(self, spec))
     }
 
+    /// [`run_batch_map`](Self::run_batch_map) with the executing worker
+    /// slot (`0..workers`) passed to `f` — the campaign runner attributes
+    /// each point span to a worker track in its run ledger. Slot
+    /// assignment is wall-clock-dependent scheduling noise; results are
+    /// still returned in spec order and bit-identical across pool sizes.
+    pub fn run_batch_map_indexed<T, F>(&self, specs: &[ScenarioSpec], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ScenarioEngine, &ScenarioSpec, usize) -> T + Sync,
+    {
+        parallel_map_indexed(specs, self.threads, |spec, worker| f(self, spec, worker))
+    }
+
     /// The qdisc for a scheme-controlled hop with `buffer` packets of
     /// room (the Wi-Fi AP passes its own, larger buffer). The MixedPath
     /// wired hop is definitionally droptail and bypasses this.
@@ -1079,6 +1118,22 @@ impl ScenarioEngine {
             })),
         }
     }
+}
+
+/// Everything one campaign point's execution yields. The report feeds
+/// the results store; the event count, sidecar, and optional wall-clock
+/// profile feed the runner's observability artifacts.
+#[derive(Debug, Clone)]
+pub struct PointRun {
+    /// The scenario's folded report (sim-time data; store-safe).
+    pub report: Report,
+    /// Simulator events processed (deterministic; store-safe).
+    pub events: u64,
+    /// Rendered telemetry sidecar, when the spec enabled one.
+    pub sidecar: Option<String>,
+    /// Wall-clock event-loop profile, when requested. Never store-safe:
+    /// the runner quarantines it in the run ledger.
+    pub profile: Option<ProfileReport>,
 }
 
 /// The `ABC_JOBS` worker-pool override, if set to a positive integer.
@@ -1097,20 +1152,32 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
+    parallel_map_indexed(items, threads, |item, _| f(item))
+}
+
+/// [`parallel_map`] with the worker slot (`0..workers`) passed to `f`.
+/// The serial fast path is worker 0.
+fn parallel_map_indexed<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I, usize) -> T + Sync,
+{
     let workers = threads.min(items.len()).max(1);
     if workers == 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(|item| f(item, 0)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
+        for w in 0..workers {
+            let (next, slots, f) = (&next, &slots, &f);
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let out = f(&items[i]);
+                let out = f(&items[i], w);
                 *slots[i].lock().expect("result slot poisoned") = Some(out);
             });
         }

@@ -19,7 +19,7 @@ pub mod topos;
 pub mod wifi;
 
 pub use engine::{
-    BuiltScenario, FlowSchedule, FlowSpec, PoissonShortFlows, QdiscSpec, ScenarioEngine,
+    BuiltScenario, FlowSchedule, FlowSpec, PointRun, PoissonShortFlows, QdiscSpec, ScenarioEngine,
     ScenarioSpec, Topology, WorkloadEntry,
 };
 pub use report::{downsample, sparkline, AppReport, Report};

@@ -4,8 +4,8 @@ use crate::event::{EventKind, EventQueue};
 use crate::node::{Context, Effect, PACKET_POOL_CAP};
 use crate::packet::{NodeId, Packet};
 use crate::telemetry::{
-    new_hub, Off, Phase, PoolStats, ProfileReport, Profiler, Shared, Signal, TelemetryConfig,
-    TelemetryHub, TelemetrySink,
+    new_hub, Off, Phase, PoolStats, ProfileReport, Profiler, Scope, Shared, Signal,
+    TelemetryConfig, TelemetryHub, TelemetrySink,
 };
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
@@ -59,6 +59,9 @@ pub struct Simulator {
     fingerprint: u64,
     /// Packet-pool hit/miss counters (always on; read by the profiler).
     pool_stats: PoolStats,
+    /// Snapshot of `pool_stats` at the last telemetry counter flush, so
+    /// repeated `run_until` calls emit deltas, not running totals.
+    pool_flushed: PoolStats,
     /// The telemetry sink probes record through; [`Off`] by default.
     telemetry: Box<dyn TelemetrySink>,
     /// `telemetry.is_enabled()`, cached at install time so per-event
@@ -173,6 +176,7 @@ impl Simulator {
             events_processed: 0,
             fingerprint: FNV_OFFSET,
             pool_stats: PoolStats::default(),
+            pool_flushed: PoolStats::default(),
             telemetry: Box::new(Off),
             telemetry_on: false,
             legacy_trace: None,
@@ -419,10 +423,25 @@ impl Simulator {
                 self.flush_scratch();
                 if let (Some(p), Some(t0)) = (&mut self.profiler, prof_t0) {
                     p.note_dispatch(phase, dispatched, t0.elapsed().as_nanos() as u64);
-                    // Occupancy checkpoint every 1024 processed events.
-                    if self.events_processed & 0x3ff == 0 {
-                        let (near, slots, overflow) = self.queue.occupancy();
+                }
+                // Occupancy checkpoint every 1024 processed events. The
+                // checkpoint schedule is a pure function of the event
+                // count, so the `wheel_*` counters are deterministic.
+                if (self.profiler.is_some() || self.telemetry_on)
+                    && self.events_processed & 0x3ff == 0
+                {
+                    let (near, slots, overflow) = self.queue.occupancy();
+                    if let Some(p) = &mut self.profiler {
                         p.note_occupancy(near, slots, overflow);
+                    }
+                    if self.telemetry_on {
+                        self.telemetry
+                            .count(Signal::WheelNear, Scope::Global, near as u64);
+                        self.telemetry
+                            .count(Signal::WheelSlots, Scope::Global, slots as u64);
+                        self.telemetry
+                            .count(Signal::WheelOverflow, Scope::Global, overflow as u64);
+                        self.telemetry.count(Signal::WheelSamples, Scope::Global, 1);
                     }
                 }
             } else if let EventKind::Deliver(b) = ev.kind {
@@ -430,6 +449,21 @@ impl Simulator {
                     self.pool.push(b);
                 }
             }
+        }
+        // Flush packet-pool deltas into the pool_hit/pool_miss counters.
+        // Not reached on the guard-abort path above: an aborted run
+        // reports nothing but its abort reason.
+        if self.telemetry_on {
+            let hits = self.pool_stats.hits - self.pool_flushed.hits;
+            let misses = self.pool_stats.misses - self.pool_flushed.misses;
+            if hits > 0 {
+                self.telemetry.count(Signal::PoolHit, Scope::Global, hits);
+            }
+            if misses > 0 {
+                self.telemetry
+                    .count(Signal::PoolMiss, Scope::Global, misses);
+            }
+            self.pool_flushed = self.pool_stats;
         }
         // Advance the clock to the deadline even if we idled out early.
         if self.clock < deadline {

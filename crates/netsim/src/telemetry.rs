@@ -75,11 +75,31 @@ pub enum Signal {
     /// Packets an impairment wire dropped, rewrote, or delayed (counter,
     /// per impairment kind).
     ImpairHit = 14,
+    /// Packet-pool allocations served from the free list (counter,
+    /// global). With [`Signal::PoolMiss`] this yields the pool hit rate
+    /// without the bench profiler.
+    PoolHit = 15,
+    /// Packet-pool allocations that fell through to a fresh `Box`
+    /// (counter, global).
+    PoolMiss = 16,
+    /// Timer-wheel near-ring occupancy, summed over checkpoints taken
+    /// every 1024 processed events (counter, global). Divide by
+    /// [`Signal::WheelSamples`] for the mean.
+    WheelNear = 17,
+    /// Timer-wheel occupied-slot count, summed over the same
+    /// checkpoints (counter, global).
+    WheelSlots = 18,
+    /// Timer-wheel overflow-heap depth, summed over the same
+    /// checkpoints (counter, global).
+    WheelOverflow = 19,
+    /// Number of wheel-occupancy checkpoints taken (counter, global) —
+    /// the denominator for the three `wheel_*` sums.
+    WheelSamples = 20,
 }
 
 impl Signal {
     /// Every signal, in mask-bit order.
-    pub const ALL: [Signal; 15] = [
+    pub const ALL: [Signal; 21] = [
         Signal::Cwnd,
         Signal::Inflight,
         Signal::PacingRateMbps,
@@ -95,10 +115,16 @@ impl Signal {
         Signal::Events,
         Signal::ImpairPass,
         Signal::ImpairHit,
+        Signal::PoolHit,
+        Signal::PoolMiss,
+        Signal::WheelNear,
+        Signal::WheelSlots,
+        Signal::WheelOverflow,
+        Signal::WheelSamples,
     ];
 
     /// The default selection: everything except the bulky [`Signal::Events`].
-    pub const DEFAULT: [Signal; 14] = [
+    pub const DEFAULT: [Signal; 20] = [
         Signal::Cwnd,
         Signal::Inflight,
         Signal::PacingRateMbps,
@@ -113,6 +139,12 @@ impl Signal {
         Signal::RtoFire,
         Signal::ImpairPass,
         Signal::ImpairHit,
+        Signal::PoolHit,
+        Signal::PoolMiss,
+        Signal::WheelNear,
+        Signal::WheelSlots,
+        Signal::WheelOverflow,
+        Signal::WheelSamples,
     ];
 
     /// Stable wire name, used in sidecar rows and `[telemetry]` tables.
@@ -133,6 +165,12 @@ impl Signal {
             Signal::Events => "events",
             Signal::ImpairPass => "impair_pass",
             Signal::ImpairHit => "impair_hit",
+            Signal::PoolHit => "pool_hit",
+            Signal::PoolMiss => "pool_miss",
+            Signal::WheelNear => "wheel_near",
+            Signal::WheelSlots => "wheel_slots",
+            Signal::WheelOverflow => "wheel_overflow",
+            Signal::WheelSamples => "wheel_samples",
         }
     }
 
@@ -152,6 +190,12 @@ impl Signal {
                 | Signal::RtoFire
                 | Signal::ImpairPass
                 | Signal::ImpairHit
+                | Signal::PoolHit
+                | Signal::PoolMiss
+                | Signal::WheelNear
+                | Signal::WheelSlots
+                | Signal::WheelOverflow
+                | Signal::WheelSamples
         )
     }
 
@@ -300,6 +344,16 @@ impl LogHistogram {
     pub fn record(&mut self, v: u64) {
         self.buckets[Self::bucket_of(v)] += 1;
         self.count += 1;
+    }
+
+    /// Add `n` observations directly into bucket `i` (clamped to the
+    /// last bucket). This is the sidecar-side inverse of
+    /// [`LogHistogram::nonzero_buckets`]: a reader reconstructs the
+    /// exact histogram from serialized `[bucket, count]` pairs, then
+    /// merges across points.
+    pub fn add_bucket(&mut self, i: usize, n: u64) {
+        self.buckets[i.min(64)] += n;
+        self.count += n;
     }
 
     /// Fold another histogram in (element-wise bucket addition).
