@@ -497,6 +497,57 @@ pub fn render_robustness(records: &[RunRecord]) -> String {
     out
 }
 
+/// Incremental-deployment figure: throughput share and queueing delay
+/// as the ABC-capable hop count on a 4-hop parking lot grows 0 → 4.
+pub fn coexistence(scale: Scale) -> String {
+    render_coexistence(&run(&presets::parking_lot(scale)))
+}
+
+/// Render the coexistence table from `parking-lot` records (axes
+/// `abc_hops` × `seed`): the ABC-Cubic flow's throughput share against
+/// its Cubic cross flow, and the last-hop queueing delay, per
+/// ABC-capable hop count (averaged over seeds).
+pub fn render_coexistence(records: &[RunRecord]) -> String {
+    let hops = labels_of(records, "abc_hops");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# Coexistence — ABC-Cubic vs a Cubic cross flow on a 4-hop parking lot"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>9} {:>13} {:>14} {:>7} {:>16}",
+        "ABC hops", "ABC frac", "main Mbit/s", "cross Mbit/s", "share", "qdelay p95 (ms)"
+    )
+    .unwrap();
+    for h in &hops {
+        let cells: Vec<&RunRecord> = records
+            .iter()
+            .filter(|r| r.coords.get("abc_hops") == Some(h.as_str()))
+            .collect();
+        assert!(!cells.is_empty(), "parking-lot cell abc_hops={h} missing");
+        let n = cells.len() as f64;
+        let mean = |f: &dyn Fn(&RunRecord) -> f64| cells.iter().map(|r| f(r)).sum::<f64>() / n;
+        let main = mean(&|r| r.report.flow_tputs_mbps[0]);
+        let cross = mean(&|r| r.report.flow_tputs_mbps.get(1).copied().unwrap_or(0.0));
+        let qdelay = mean(&|r| r.report.qdelay_ms.p95);
+        let share = if main + cross > 0.0 {
+            main / (main + cross)
+        } else {
+            0.0
+        };
+        let frac = h.parse::<f64>().map(|k| k / 4.0).unwrap_or(0.0);
+        writeln!(
+            out,
+            "{:<10} {:>9.2} {:>13.2} {:>14.2} {:>7.2} {:>16.1}",
+            h, frac, main, cross, share, qdelay
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// The complete figure index: campaign-backed figures (here) merged with
 /// the per-figure harnesses still in [`experiments::figures`], in the
 /// paper's order.
@@ -553,6 +604,11 @@ pub fn all() -> Vec<(&'static str, &'static str, FigureFn)> {
             "robustness",
             "throughput/delay degradation under adversarial impairments",
             robustness_fig as FigureFn,
+        ),
+        (
+            "coexistence",
+            "ABC-Cubic throughput share + qdelay vs ABC-capable hop fraction",
+            coexistence as FigureFn,
         ),
         (
             "dynamics",

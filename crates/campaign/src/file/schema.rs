@@ -37,9 +37,13 @@
 
 use super::toml::{self, Pos, Spanned, Table, TomlError, Value};
 use crate::spec::{Axis, AxisValue, Campaign, Coords, Filter};
-use experiments::engine::{FlowSchedule, InjectedFault, ScenarioSpec, Topology, WorkloadEntry};
+use experiments::engine::{
+    AbcRouterConfig, FlowSchedule, HopQdisc, InjectedFault, ParkingHop, QdiscSpec, ScenarioSpec,
+    Topology, WorkloadEntry,
+};
 use experiments::figures::Scale;
 use experiments::scenario::LinkSpec;
+use experiments::wifi::McsSpec;
 use experiments::Scheme;
 use netsim::fault::{Direction, ImpairmentKind, ImpairmentSpec};
 use netsim::packet::MTU_BYTES;
@@ -649,20 +653,31 @@ fn link_spec(v: &Spanned) -> Result<LinkSpec, TomlError> {
 }
 
 /// A topology literal: `{ single = <link> }`,
-/// `{ two_hop = { up = <link>, down = <link> } }`, or
-/// `{ mixed_path = { wireless = <link>, wired_mbps = 12.0 } }`.
+/// `{ two_hop = { up = <link>, down = <link> } }`,
+/// `{ mixed_path = { wireless = <link>, wired_mbps = 12.0 } }`,
+/// `{ wifi = { mcs = <mcs>, ap_buffer_pkts = 100 } }`,
+/// `{ parking_lot = [<hop>, …] }` (1–8 hops), or
+/// `{ asymmetric = { down = <link>, up = <link>, down_delay_ms = 40,
+/// up_delay_ms = 10 } }`.
 fn topology(v: &Spanned) -> Result<Topology, TomlError> {
     let t = expect_table(v, "a topology literal")?;
     check_keys(
         t,
         "a topology literal",
-        &["single", "two_hop", "mixed_path"],
+        &[
+            "single",
+            "two_hop",
+            "mixed_path",
+            "wifi",
+            "parking_lot",
+            "asymmetric",
+        ],
     )?;
     if t.entries.len() != 1 {
         return Err(err(
             v.pos,
-            "a topology literal needs exactly one of: single, two_hop, mixed_path \
-             (wifi topologies are not expressible in campaign files yet)",
+            "a topology literal needs exactly one of: single, two_hop, mixed_path, \
+             wifi, parking_lot, asymmetric",
         ));
     }
     let (key, val) = &t.entries[0];
@@ -692,23 +707,236 @@ fn topology(v: &Spanned) -> Result<Topology, TomlError> {
                 wired: expect_rate_mbps(field("wired_mbps")?, "`wired_mbps`")?,
             }
         }
+        "wifi" => {
+            let h = expect_table(val, "`wifi`")?;
+            check_keys(h, "`wifi`", &["mcs", "ap_buffer_pkts"])?;
+            let mcs = h
+                .get("mcs")
+                .ok_or_else(|| err(val.pos, "`wifi` needs `mcs`"))?;
+            let buf = h
+                .get("ap_buffer_pkts")
+                .ok_or_else(|| err(val.pos, "`wifi` needs `ap_buffer_pkts`"))?;
+            Topology::Wifi {
+                mcs: mcs_spec(mcs)?,
+                ap_buffer_pkts: expect_positive(buf, "`ap_buffer_pkts`")? as usize,
+            }
+        }
+        "parking_lot" => {
+            let hops = expect_array(val, "`parking_lot`")?
+                .iter()
+                .map(parking_hop)
+                .collect::<Result<Vec<_>, _>>()?;
+            if hops.is_empty() || hops.len() > 8 {
+                return Err(err(
+                    val.pos,
+                    format!("`parking_lot` needs 1–8 hops, found {}", hops.len()),
+                ));
+            }
+            Topology::ParkingLot { hops }
+        }
+        "asymmetric" => {
+            let h = expect_table(val, "`asymmetric`")?;
+            check_keys(
+                h,
+                "`asymmetric`",
+                &["down", "up", "down_delay_ms", "up_delay_ms"],
+            )?;
+            let field = |k: &str| -> Result<&Spanned, TomlError> {
+                h.get(k)
+                    .ok_or_else(|| err(val.pos, format!("`asymmetric` needs `{k}`")))
+            };
+            Topology::Asymmetric {
+                down: link_spec(field("down")?)?,
+                up: link_spec(field("up")?)?,
+                down_delay: SimDuration::from_millis(expect_positive(
+                    field("down_delay_ms")?,
+                    "`down_delay_ms`",
+                )?),
+                up_delay: SimDuration::from_millis(expect_positive(
+                    field("up_delay_ms")?,
+                    "`up_delay_ms`",
+                )?),
+            }
+        }
         _ => unreachable!("key list checked above"),
     })
 }
 
-/// A qdisc literal: `"scheme-default"` or `"droptail"`. (The closure-y
-/// overrides — explicit ABC configs, dual-queue policies — stay
-/// Rust-side.)
-fn qdisc(v: &Spanned) -> Result<experiments::engine::QdiscSpec, TomlError> {
-    let s = expect_str(v, "`qdisc`")?;
-    match s {
-        "scheme-default" => Ok(experiments::engine::QdiscSpec::SchemeDefault),
-        "droptail" => Ok(experiments::engine::QdiscSpec::DropTail),
-        other => Err(err(
+/// An MCS-process literal: `{ fixed = 5 }`,
+/// `{ alternating = { a = 3, b = 7, period_ms = 500 } }`, or
+/// `{ brownian = { min = 1, max = 7, period_ms = 100, seed = 7 } }`.
+fn mcs_spec(v: &Spanned) -> Result<McsSpec, TomlError> {
+    let t = expect_table(v, "an mcs literal")?;
+    check_keys(t, "an mcs literal", &["fixed", "alternating", "brownian"])?;
+    if t.entries.len() != 1 {
+        return Err(err(
             v.pos,
-            format!("unknown qdisc {other:?} (expected \"scheme-default\" or \"droptail\")"),
-        )),
+            "an mcs literal needs exactly one of: fixed, alternating, brownian",
+        ));
     }
+    let (key, val) = &t.entries[0];
+    let mcs_index = |s: &Spanned, what: &str| -> Result<u8, TomlError> {
+        match s.value.as_int() {
+            Some(i) if (0..=7).contains(&i) => Ok(i as u8),
+            _ => Err(err(s.pos, format!("{what} must be an MCS index in 0..=7"))),
+        }
+    };
+    Ok(match key.as_str() {
+        "fixed" => McsSpec::Fixed(mcs_index(val, "`fixed`")?),
+        "alternating" => {
+            let h = expect_table(val, "`alternating`")?;
+            check_keys(h, "`alternating`", &["a", "b", "period_ms"])?;
+            let field = |k: &str| -> Result<&Spanned, TomlError> {
+                h.get(k)
+                    .ok_or_else(|| err(val.pos, format!("`alternating` needs `{k}`")))
+            };
+            McsSpec::Alternating(
+                mcs_index(field("a")?, "`a`")?,
+                mcs_index(field("b")?, "`b`")?,
+                SimDuration::from_millis(expect_positive(field("period_ms")?, "`period_ms`")?),
+            )
+        }
+        "brownian" => {
+            let h = expect_table(val, "`brownian`")?;
+            check_keys(h, "`brownian`", &["min", "max", "period_ms", "seed"])?;
+            let field = |k: &str| -> Result<&Spanned, TomlError> {
+                h.get(k)
+                    .ok_or_else(|| err(val.pos, format!("`brownian` needs `{k}`")))
+            };
+            let (lo, hi) = (
+                mcs_index(field("min")?, "`min`")?,
+                mcs_index(field("max")?, "`max`")?,
+            );
+            if lo > hi {
+                return Err(err(val.pos, "`brownian` needs `min` <= `max`"));
+            }
+            McsSpec::Brownian(
+                lo,
+                hi,
+                SimDuration::from_millis(expect_positive(field("period_ms")?, "`period_ms`")?),
+                expect_u64(field("seed")?, "`seed`")?,
+            )
+        }
+        _ => unreachable!("key list checked above"),
+    })
+}
+
+/// One parking-lot hop: `{ link = <link literal> [, qdisc = <hop qdisc>] }`
+/// (the qdisc defaults to `"scheme-default"`).
+fn parking_hop(v: &Spanned) -> Result<ParkingHop, TomlError> {
+    let t = expect_table(v, "a parking-lot hop")?;
+    check_keys(t, "a parking-lot hop", &["link", "qdisc"])?;
+    let link = t
+        .get("link")
+        .ok_or_else(|| err(v.pos, "a parking-lot hop needs `link`"))?;
+    let mut hop = ParkingHop::new(link_spec(link)?);
+    if let Some(q) = t.get("qdisc") {
+        hop = hop.qdisc(hop_qdisc(q)?);
+    }
+    Ok(hop)
+}
+
+/// A per-hop qdisc capability: `"scheme-default"`, `"droptail"`,
+/// `"codel"`, `"abc"` (default router config), or `{ abc = { … } }` with
+/// explicit [`AbcRouterConfig`] overrides.
+fn hop_qdisc(v: &Spanned) -> Result<HopQdisc, TomlError> {
+    if let Some(s) = v.value.as_str() {
+        return match s {
+            "scheme-default" => Ok(HopQdisc::SchemeDefault),
+            "droptail" => Ok(HopQdisc::DropTail),
+            "codel" => Ok(HopQdisc::Codel),
+            "abc" => Ok(HopQdisc::Abc(AbcRouterConfig::default())),
+            other => Err(err(
+                v.pos,
+                format!(
+                    "unknown hop qdisc {other:?} (expected \"scheme-default\", \
+                     \"droptail\", \"codel\", \"abc\", or an {{ abc = {{ … }} }} table)"
+                ),
+            )),
+        };
+    }
+    let t = expect_table(v, "a hop qdisc")?;
+    check_keys(t, "a hop qdisc", &["abc"])?;
+    let cfg = t
+        .get("abc")
+        .ok_or_else(|| err(v.pos, "a hop-qdisc table needs `abc`"))?;
+    Ok(HopQdisc::Abc(abc_router_config(cfg)?))
+}
+
+/// An explicit ABC router config: `{ eta = 0.95, delta_ms = 133,
+/// dt_ms = 20, token_limit = 10.0, rate_window_ms = 40,
+/// buffer_pkts = 250, seed = 2748 }` — every key optional, defaults
+/// match [`AbcRouterConfig::default`]. (The enum-valued knobs — feedback
+/// basis, marking mode, ECN dialect — stay Rust-side.)
+fn abc_router_config(v: &Spanned) -> Result<AbcRouterConfig, TomlError> {
+    let t = expect_table(v, "an ABC router config")?;
+    check_keys(
+        t,
+        "an ABC router config",
+        &[
+            "eta",
+            "delta_ms",
+            "dt_ms",
+            "token_limit",
+            "rate_window_ms",
+            "buffer_pkts",
+            "seed",
+        ],
+    )?;
+    let mut cfg = AbcRouterConfig::default();
+    if let Some(s) = t.get("eta") {
+        cfg.eta = expect_f64(s, "`eta`")?;
+        if !(cfg.eta.is_finite() && cfg.eta > 0.0 && cfg.eta <= 1.0) {
+            return Err(err(s.pos, "`eta` must be in (0, 1]"));
+        }
+    }
+    if let Some(s) = t.get("delta_ms") {
+        cfg.delta = SimDuration::from_millis(expect_positive(s, "`delta_ms`")?);
+    }
+    if let Some(s) = t.get("dt_ms") {
+        cfg.dt = SimDuration::from_millis(expect_u64(s, "`dt_ms`")?);
+    }
+    if let Some(s) = t.get("token_limit") {
+        cfg.token_limit = expect_f64(s, "`token_limit`")?;
+        if !(cfg.token_limit.is_finite() && cfg.token_limit >= 1.0) {
+            return Err(err(s.pos, "`token_limit` must be at least 1"));
+        }
+    }
+    if let Some(s) = t.get("rate_window_ms") {
+        cfg.rate_window = SimDuration::from_millis(expect_positive(s, "`rate_window_ms`")?);
+    }
+    if let Some(s) = t.get("buffer_pkts") {
+        cfg.buffer_pkts = expect_positive(s, "`buffer_pkts`")? as usize;
+    }
+    if let Some(s) = t.get("seed") {
+        cfg.seed = expect_u64(s, "`seed`")?;
+    }
+    Ok(cfg)
+}
+
+/// A qdisc literal: `"scheme-default"`, `"droptail"`, or
+/// `{ abc = { … } }` with explicit [`AbcRouterConfig`] overrides. (The
+/// dual-queue coexistence router stays Rust-side.)
+fn qdisc(v: &Spanned) -> Result<QdiscSpec, TomlError> {
+    if let Some(s) = v.value.as_str() {
+        return match s {
+            "scheme-default" => Ok(QdiscSpec::SchemeDefault),
+            "droptail" => Ok(QdiscSpec::DropTail),
+            other => Err(err(
+                v.pos,
+                format!(
+                    "unknown qdisc {other:?} (expected \"scheme-default\", \"droptail\", \
+                     or an {{ abc = {{ … }} }} table)"
+                ),
+            )),
+        };
+    }
+    let t = expect_table(v, "a qdisc literal")?;
+    check_keys(t, "a qdisc literal", &["abc"])?;
+    let cfg = t
+        .get("abc")
+        .ok_or_else(|| err(v.pos, "a qdisc table needs `abc`"))?;
+    Ok(QdiscSpec::AbcWith(abc_router_config(cfg)?))
 }
 
 /// A workload entry:
@@ -1649,6 +1877,157 @@ mod tests {
             msg.contains("`per_sec` must be a non-negative rate"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn wifi_topology_literal_compiles() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"w\"\n[base]\ntopology = { wifi = { mcs = { alternating = { a = 3, b = 7, period_ms = 500 } }, ap_buffer_pkts = 100 } }\n",
+        )
+        .unwrap();
+        match &c.base.topology {
+            Topology::Wifi {
+                mcs,
+                ap_buffer_pkts,
+            } => {
+                assert!(
+                    matches!(mcs, McsSpec::Alternating(3, 7, p) if *p == SimDuration::from_millis(500))
+                );
+                assert_eq!(*ap_buffer_pkts, 100);
+            }
+            other => panic!("expected wifi, got {other:?}"),
+        }
+        let c = compile_tiny(
+            "[campaign]\nname = \"w\"\n[base]\ntopology = { wifi = { mcs = { brownian = { min = 1, max = 7, period_ms = 100, seed = 9 } }, ap_buffer_pkts = 50 } }\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            &c.base.topology,
+            Topology::Wifi {
+                mcs: McsSpec::Brownian(1, 7, _, 9),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parking_lot_literal_compiles_with_per_hop_qdiscs() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"p\"\n[base]\ntopology = { parking_lot = [\
+             { link = { constant_mbps = 12.0 }, qdisc = \"abc\" }, \
+             { link = { constant_mbps = 12.0 }, qdisc = { abc = { eta = 0.9, dt_ms = 60 } } }, \
+             { link = { constant_mbps = 24.0 }, qdisc = \"codel\" }, \
+             { link = { constant_mbps = 12.0 }, qdisc = \"droptail\" }, \
+             { link = { constant_mbps = 12.0 } }] }\n",
+        )
+        .unwrap();
+        let Topology::ParkingLot { hops } = &c.base.topology else {
+            panic!("expected a parking lot, got {:?}", c.base.topology);
+        };
+        assert_eq!(hops.len(), 5);
+        assert!(matches!(&hops[0].qdisc, HopQdisc::Abc(cfg) if *cfg == AbcRouterConfig::default()));
+        match &hops[1].qdisc {
+            HopQdisc::Abc(cfg) => {
+                assert_eq!(cfg.eta, 0.9);
+                assert_eq!(cfg.dt, SimDuration::from_millis(60));
+                // untouched keys keep their defaults
+                assert_eq!(cfg.delta, AbcRouterConfig::default().delta);
+            }
+            other => panic!("expected explicit ABC config, got {other:?}"),
+        }
+        assert!(matches!(hops[2].qdisc, HopQdisc::Codel));
+        assert!(matches!(hops[3].qdisc, HopQdisc::DropTail));
+        assert!(matches!(hops[4].qdisc, HopQdisc::SchemeDefault));
+    }
+
+    #[test]
+    fn asymmetric_literal_compiles() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"a\"\n[base]\ntopology = { asymmetric = { down = { constant_mbps = 12.0 }, up = { constant_mbps = 1.0 }, down_delay_ms = 40, up_delay_ms = 10 } }\n",
+        )
+        .unwrap();
+        match &c.base.topology {
+            Topology::Asymmetric {
+                down_delay,
+                up_delay,
+                ..
+            } => {
+                assert_eq!(*down_delay, SimDuration::from_millis(40));
+                assert_eq!(*up_delay, SimDuration::from_millis(10));
+            }
+            other => panic!("expected asymmetric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abc_qdisc_table_compiles_at_base_and_axis() {
+        let c = compile_tiny(
+            "[campaign]\nname = \"q\"\n[base]\nqdisc = { abc = { eta = 0.95, buffer_pkts = 100 } }\n",
+        )
+        .unwrap();
+        match &c.base.qdisc {
+            QdiscSpec::AbcWith(cfg) => {
+                assert_eq!(cfg.eta, 0.95);
+                assert_eq!(cfg.buffer_pkts, 100);
+            }
+            other => panic!("expected AbcWith, got {other:?}"),
+        }
+        let c = compile_tiny(
+            "[campaign]\nname = \"q\"\n[[axis]]\nname = \"qdisc\"\n[[axis.values]]\nlabel = \"abc\"\nqdisc = { abc = { } }\n[[axis.values]]\nlabel = \"droptail\"\nqdisc = \"droptail\"\n",
+        )
+        .unwrap();
+        let pts = c.expand();
+        assert_eq!(pts.len(), 2);
+        assert!(matches!(
+            pts[0].spec.qdisc,
+            QdiscSpec::AbcWith(cfg) if cfg == AbcRouterConfig::default()
+        ));
+        assert!(matches!(pts[1].spec.qdisc, QdiscSpec::DropTail));
+    }
+
+    #[test]
+    fn bad_parking_lot_and_hop_qdisc_are_rejected_with_position() {
+        let (line, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[base]\ntopology = { parking_lot = [] }\n");
+        assert_eq!(line, 4);
+        assert!(msg.contains("1–8 hops"), "{msg}");
+        let (line, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\ntopology = { parking_lot = [{ link = { constant_mbps = 12.0 }, qdisc = \"red\" }] }\n",
+        );
+        assert_eq!(line, 4);
+        assert!(msg.contains("unknown hop qdisc"), "{msg}");
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\ntopology = { parking_lot = [{ qdisc = \"abc\" }] }\n",
+        );
+        assert!(msg.contains("needs `link`"), "{msg}");
+    }
+
+    #[test]
+    fn bad_wifi_and_asymmetric_are_rejected_with_position() {
+        let (line, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\ntopology = { wifi = { mcs = { fixed = 9 }, ap_buffer_pkts = 100 } }\n",
+        );
+        assert_eq!(line, 4);
+        assert!(msg.contains("MCS index in 0..=7"), "{msg}");
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\ntopology = { wifi = { mcs = { fixed = 5 } } }\n",
+        );
+        assert!(msg.contains("needs `ap_buffer_pkts`"), "{msg}");
+        let (_, _, msg) = error_at(
+            "[campaign]\nname = \"x\"\n[base]\ntopology = { asymmetric = { down = { constant_mbps = 12.0 }, up = { constant_mbps = 1.0 }, down_delay_ms = 40 } }\n",
+        );
+        assert!(msg.contains("needs `up_delay_ms`"), "{msg}");
+    }
+
+    #[test]
+    fn bad_abc_router_config_is_rejected_with_position() {
+        let (line, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[base]\nqdisc = { abc = { eta = 1.5 } }\n");
+        assert_eq!(line, 4);
+        assert!(msg.contains("`eta` must be in (0, 1]"), "{msg}");
+        let (_, _, msg) =
+            error_at("[campaign]\nname = \"x\"\n[base]\nqdisc = { abc = { delta = 133 } }\n");
+        assert!(msg.contains("unknown key `delta`"), "{msg}");
     }
 
     #[test]

@@ -5,13 +5,16 @@
 
 use crate::spec::{Axis, AxisValue, Campaign};
 use cellular::CellTrace;
-use experiments::engine::{FlowSchedule, ScenarioSpec, Topology, WorkloadEntry};
+use experiments::engine::{
+    AbcRouterConfig, FlowSchedule, FlowSpec, HopQdisc, ParkingHop, QdiscSpec, ScenarioSpec,
+    Topology, WorkloadEntry,
+};
 use experiments::figures::Scale;
 use experiments::scenario::LinkSpec;
 use experiments::{Scheme, CELLULAR_LINEUP, EXPLICIT_LINEUP};
 use netsim::fault::{ImpairmentKind, ImpairmentSpec};
 use netsim::rate::Rate;
-use netsim::time::SimDuration;
+use netsim::time::{SimDuration, SimTime};
 use workload::{AbrWorkload, RtcWorkload, WebWorkload, WorkloadSpec};
 
 /// The cellular traces for a run: all eight, or a truncated subset.
@@ -306,6 +309,81 @@ pub fn robustness(scale: Scale) -> Campaign {
         .axis(Axis::impairments(values))
 }
 
+/// Incremental-deployment coexistence (§4.1): ABC-Cubic against plain
+/// ABC and plain Cubic, each run over an ABC bottleneck and over a
+/// droptail bottleneck. On the ABC path ABC-Cubic should track ABC; on
+/// the droptail path it should track Cubic — the differential the
+/// `coexistence_differential` test suite pins.
+pub fn coexist(scale: Scale) -> Campaign {
+    let qdiscs = vec![
+        (
+            "abc".to_string(),
+            AxisValue::Qdisc(QdiscSpec::AbcWith(AbcRouterConfig::default())),
+        ),
+        (
+            "droptail".to_string(),
+            AxisValue::Qdisc(QdiscSpec::DropTail),
+        ),
+    ];
+    let base = ScenarioSpec::single(Scheme::AbcCubic, LinkSpec::Constant(Rate::from_mbps(12.0)))
+        .duration(scale.secs(60, 10, 2))
+        .warmup(SimDuration::ZERO);
+    Campaign::new("coexist", base)
+        .axis(Axis::schemes(&[
+            Scheme::AbcCubic,
+            Scheme::Abc,
+            Scheme::Cubic,
+        ]))
+        .axis(Axis::new("qdisc", qdiscs))
+        .axis(Axis::seeds(&[1, 2]))
+}
+
+/// A `k`-of-4 parking lot: hops 0..k run ABC routers, the rest droptail.
+fn lot_with_abc_hops(k: usize) -> Topology {
+    let hops = (0..4)
+        .map(|i| {
+            let hop = ParkingHop::new(LinkSpec::Constant(Rate::from_mbps(12.0)));
+            if i < k {
+                hop.qdisc(HopQdisc::Abc(AbcRouterConfig::default()))
+            } else {
+                hop.qdisc(HopQdisc::DropTail)
+            }
+        })
+        .collect();
+    Topology::ParkingLot { hops }
+}
+
+/// Multi-bottleneck incremental deployment: an ABC-Cubic flow rides a
+/// 4-hop parking lot whose leading `k ∈ {0,1,2,4}` hops are ABC-capable,
+/// while a Cubic cross flow enters at hop 1 and leaves after hop 2 a
+/// quarter of the way into the run. The `coexistence` figure reads the
+/// throughput share and queueing delay off this sweep.
+pub fn parking_lot(scale: Scale) -> Campaign {
+    let duration = scale.secs(60, 10, 2);
+    let cross_start = SimTime::ZERO + SimDuration::from_nanos(duration.as_nanos() / 4);
+    let abc_hops = vec![0usize, 1, 2, 4]
+        .into_iter()
+        .map(|k| (k.to_string(), AxisValue::Topology(lot_with_abc_hops(k))))
+        .collect();
+    let mut base = ScenarioSpec::parking_lot(
+        Scheme::AbcCubic,
+        vec![ParkingHop::new(LinkSpec::Constant(Rate::from_mbps(12.0)))],
+    )
+    .duration(duration)
+    .warmup(SimDuration::ZERO);
+    base.flows = FlowSchedule::Explicit(vec![
+        FlowSpec::new("abc-cubic"),
+        FlowSpec::new("cross-cubic")
+            .scheme(Scheme::Cubic)
+            .entry_hop(1)
+            .exit_hop(2)
+            .start_at(cross_start),
+    ]);
+    Campaign::new("parking-lot", base)
+        .axis(Axis::new("abc_hops", abc_hops))
+        .axis(Axis::seeds(&[1, 2]))
+}
+
 /// A preset builder: a pure `Scale → Campaign` function.
 pub type PresetFn = fn(Scale) -> Campaign;
 
@@ -358,6 +436,16 @@ pub fn all() -> Vec<(&'static str, &'static str, PresetFn)> {
             "robustness",
             "adversarial networks: schemes × {loss, burst, reorder, jitter, outage, ACK decimation}",
             robustness,
+        ),
+        (
+            "coexist",
+            "incremental deployment: ABC-Cubic/ABC/Cubic × {ABC, droptail} bottleneck",
+            coexist,
+        ),
+        (
+            "parking-lot",
+            "4-hop parking lot: ABC-capable hop count 0→4 vs a Cubic cross flow",
+            parking_lot,
         ),
     ]
 }
@@ -416,6 +504,30 @@ mod tests {
                     assert!(*stagger * *n as u64 <= p.spec.duration);
                 }
                 other => panic!("expected Uniform fleet, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn coexist_and_parking_lot_shapes() {
+        let pts = coexist(Scale::Tiny).expand();
+        assert_eq!(pts.len(), 3 * 2 * 2);
+        assert_eq!(pts[0].coords.key(), "scheme=ABC-Cubic,qdisc=abc,seed=1");
+
+        let lot = parking_lot(Scale::Tiny).expand();
+        assert_eq!(lot.len(), 4 * 2);
+        for p in &lot {
+            match &p.spec.topology {
+                Topology::ParkingLot { hops } => assert_eq!(hops.len(), 4),
+                other => panic!("expected a parking lot, got {other:?}"),
+            }
+            match &p.spec.flows {
+                FlowSchedule::Explicit(flows) => {
+                    assert_eq!(flows.len(), 2);
+                    assert_eq!(flows[1].entry_hop, 1);
+                    assert_eq!(flows[1].exit_hop, Some(2));
+                }
+                other => panic!("expected explicit flows, got {other:?}"),
             }
         }
     }

@@ -6,7 +6,10 @@
 use campaign::runner::{run_campaign, RunOptions};
 use campaign::store::ResultsStore;
 use campaign::{file, presets, Campaign};
+use experiments::engine::Topology;
 use experiments::figures::Scale;
+use netsim::time::SimDuration;
+use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 
 fn repo_root() -> PathBuf {
@@ -144,6 +147,21 @@ fn malformed_files_fail_with_line_and_column() {
             "needs `link_mbps`",
             4,
         ),
+        (
+            "[campaign]\nname = \"x\"\n[base]\ntopology = { parking_lot = [{ link = { constant_mbps = 12.0 }, qdisc = \"red\" }] }\n",
+            "unknown hop qdisc",
+            4,
+        ),
+        (
+            "[campaign]\nname = \"x\"\n[base]\ntopology = { wifi = { mcs = { fixed = 12 }, ap_buffer_pkts = 100 } }\n",
+            "MCS index in 0..=7",
+            4,
+        ),
+        (
+            "[campaign]\nname = \"x\"\n[base]\nqdisc = { abc = { eta = 2.0 } }\n",
+            "`eta` must be in (0, 1]",
+            4,
+        ),
     ];
     for (text, needle, line) in cases {
         let err = file::from_str(text, Scale::Tiny).unwrap_err();
@@ -153,5 +171,59 @@ fn malformed_files_fail_with_line_and_column() {
             msg.contains(&format!("line {line}")),
             "{msg:?} not anchored to line {line}"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// An asymmetric-link spec survives the whole chain: TOML text →
+    /// compiled `ScenarioSpec` (rates and one-way delays intact) →
+    /// executed store record → JSONL → reloaded record, unchanged.
+    #[test]
+    fn asymmetric_spec_roundtrips_toml_to_store_record(
+        down_mbps in 2u32..=8,
+        up_mbps in 1u32..=4,
+        down_delay_ms in 5u64..=60,
+        up_delay_ms in 5u64..=60,
+        seed in 1u64..=4,
+    ) {
+        let text = format!(
+            "[campaign]\nname = \"asym-prop\"\n[base]\nscheme = \"ABC-Cubic\"\n\
+             topology = {{ asymmetric = {{ down = {{ constant_mbps = {down_mbps}.0 }}, \
+             up = {{ constant_mbps = {up_mbps}.0 }}, down_delay_ms = {down_delay_ms}, \
+             up_delay_ms = {up_delay_ms} }} }}\n\
+             duration_s = 1\nwarmup_s = 0\nseed = {seed}\nflows = 1\n",
+        );
+        let c = file::from_str(&text, Scale::Tiny).unwrap();
+        // TOML → ScenarioSpec
+        match &c.base.topology {
+            Topology::Asymmetric { down, up, down_delay, up_delay } => {
+                prop_assert_eq!(
+                    down.nominal_rate(),
+                    netsim::rate::Rate::from_mbps(down_mbps as f64)
+                );
+                prop_assert_eq!(
+                    up.nominal_rate(),
+                    netsim::rate::Rate::from_mbps(up_mbps as f64)
+                );
+                prop_assert_eq!(*down_delay, SimDuration::from_millis(down_delay_ms));
+                prop_assert_eq!(*up_delay, SimDuration::from_millis(up_delay_ms));
+            }
+            other => prop_assert!(false, "expected asymmetric, got {other:?}"),
+        }
+        prop_assert_eq!(c.base.seed, seed);
+        // ScenarioSpec → store record: runs, respects the data-direction
+        // cap, and survives store serialization byte-for-byte.
+        let records = run_campaign(&c, &RunOptions::quiet());
+        prop_assert_eq!(records.len(), 1);
+        prop_assert!(
+            records[0].report.total_tput_mbps <= down_mbps as f64 + 0.5,
+            "tput {} exceeds the {down_mbps} Mbit/s data-direction bottleneck",
+            records[0].report.total_tput_mbps
+        );
+        let store = ResultsStore::new(&c, records.clone());
+        let back = ResultsStore::from_jsonl(&store.to_jsonl()).unwrap();
+        prop_assert_eq!(back.records, records);
     }
 }

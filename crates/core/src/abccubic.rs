@@ -1,0 +1,292 @@
+//! ABC-Cubic: the incremental-deployment endpoint (§4.1, `tcp_abccubic.c`).
+//!
+//! The paper's answer to "what does an ABC sender do on a path with no ABC
+//! router?" is a per-path mode switch. The endpoint keeps two controllers:
+//!
+//! * a full [`AbcSender`] (accel/brake reaction plus its own §5.1.1
+//!   companion window), used while the path demonstrably contains an ABC
+//!   hop;
+//! * a legacy Cubic window identical to the stand-alone `Cubic` baseline,
+//!   used on paths with no ABC hop.
+//!
+//! Every data packet still leaves stamped accelerate (ECT(1)). ABC routers
+//! demote that to brake (ECT(0)) and never promote, while droptail/CoDel
+//! hops pass the codepoint through untouched — so a *brake echo is proof*
+//! of an ABC router on the path, whereas an accelerate echo proves nothing
+//! (an all-droptail path echoes accelerate forever). The mode machine keys
+//! off exactly that asymmetry:
+//!
+//! * start in legacy (Cubic) mode;
+//! * the first brake echo switches to ABC mode;
+//! * a streak of [`FALLBACK_BRAKELESS_ACKS`] ACKs without a single brake
+//!   falls back to legacy mode (an ABC router under load brakes ≈50% of
+//!   packets, so the streak never trips while ABC is actually governing);
+//! * the next brake switches straight back.
+//!
+//! Both controllers consume the full ACK stream in both modes, so a mode
+//! switch resumes from live state rather than a cold window.
+
+use crate::sender::AbcSender;
+use baselines::cubic::CubicWindow;
+use netsim::flow::{AckEvent, CongestionControl};
+use netsim::packet::Ecn;
+use netsim::time::{SimDuration, SimTime};
+
+/// Consecutive brake-free ACKs after which the endpoint concludes the path
+/// has no ABC router and falls back to the legacy Cubic window. Roughly
+/// two large windows' worth: long enough that ACK batching or a brief
+/// underload can't trip it, short enough to fall back within a few RTTs.
+pub const FALLBACK_BRAKELESS_ACKS: u32 = 256;
+
+/// Which controller currently governs the congestion window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathMode {
+    /// No ABC router observed (yet, or recently): plain Cubic dynamics.
+    Legacy,
+    /// At least one recent brake echo: ABC accel/brake dynamics.
+    Abc,
+}
+
+/// The ABC-Cubic endpoint: ABC where the path marks, Cubic where it
+/// doesn't, selected per-path at ACK granularity.
+pub struct AbcCubic {
+    abc: AbcSender,
+    legacy: CubicWindow,
+    srtt: SimDuration,
+    mode: PathMode,
+    /// Consecutive ACKs since the last brake echo.
+    brakeless_acks: u32,
+}
+
+impl AbcCubic {
+    /// An ABC-Cubic endpoint in legacy mode, both controllers at their
+    /// defaults (the legacy window matches the stand-alone Cubic baseline
+    /// exactly, so an all-droptail path reproduces Cubic bit for bit).
+    pub fn new() -> Self {
+        AbcCubic {
+            abc: AbcSender::new(),
+            legacy: CubicWindow::default(),
+            srtt: SimDuration::from_millis(100),
+            mode: PathMode::Legacy,
+            brakeless_acks: 0,
+        }
+    }
+
+    /// The currently governing controller.
+    pub fn mode(&self) -> PathMode {
+        self.mode
+    }
+
+    /// Current ABC window of the embedded ABC sender (packets).
+    pub fn w_abc(&self) -> f64 {
+        self.abc.w_abc()
+    }
+
+    /// Current legacy (Cubic) window (packets).
+    pub fn legacy_cwnd(&self) -> f64 {
+        self.legacy.cwnd()
+    }
+
+    /// Consecutive ACKs seen without a brake echo.
+    pub fn brakeless_acks(&self) -> u32 {
+        self.brakeless_acks
+    }
+}
+
+impl Default for AbcCubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for AbcCubic {
+    fn name(&self) -> &'static str {
+        "abc-cubic"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if !ev.srtt.is_zero() {
+            self.srtt = ev.srtt;
+        }
+        // Mode machine: only a brake proves an ABC hop (§4.1; see the
+        // module docs for why accelerate echoes prove nothing).
+        if ev.ecn_echo == Ecn::Brake {
+            self.brakeless_acks = 0;
+            self.mode = PathMode::Abc;
+        } else {
+            self.brakeless_acks = self.brakeless_acks.saturating_add(1);
+            if self.brakeless_acks >= FALLBACK_BRAKELESS_ACKS {
+                self.mode = PathMode::Legacy;
+            }
+        }
+        // Both controllers track the path in both modes. The legacy window
+        // mirrors the loss-only Cubic baseline: every ACK is growth, CE is
+        // ignored (losses arrive via on_loss), and it is never clamped.
+        self.abc.on_ack(ev);
+        self.legacy.on_ack(ev.now, self.srtt);
+    }
+
+    fn on_loss(&mut self, now: SimTime) {
+        self.abc.on_loss(now);
+        self.legacy.on_congestion(now, self.srtt);
+    }
+
+    fn on_rto(&mut self, now: SimTime) {
+        self.abc.on_rto(now);
+        self.legacy.on_rto();
+    }
+
+    fn cwnd_pkts(&self) -> f64 {
+        match self.mode {
+            PathMode::Abc => self.abc.cwnd_pkts(),
+            PathMode::Legacy => self.legacy.cwnd().max(1.0),
+        }
+    }
+
+    fn outgoing_ecn(&self) -> Ecn {
+        // still accelerate-stamped in legacy mode: inert at droptail hops,
+        // and it keeps the probe alive so a newly deployed ABC router is
+        // noticed on its first brake
+        Ecn::Accelerate
+    }
+
+    fn is_abc(&self) -> bool {
+        true
+    }
+
+    fn as_abc_windows(&self) -> Option<(f64, f64)> {
+        // the deployment-relevant pair: the ABC window vs the legacy window
+        Some((self.abc.w_abc(), self.legacy.cwnd()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::cubic::Cubic;
+    use netsim::packet::Feedback;
+    use netsim::rate::Rate;
+
+    fn ack_at(ms: u64, ecn: Ecn, inflight: usize) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + SimDuration::from_millis(ms),
+            rtt: Some(SimDuration::from_millis(100)),
+            min_rtt: SimDuration::from_millis(100),
+            srtt: SimDuration::from_millis(100),
+            acked_bytes: 1500,
+            ecn_echo: ecn,
+            feedback: Feedback::None,
+            inflight_pkts: inflight,
+            delivery_rate: Rate::ZERO,
+            one_way_delay: SimDuration::from_millis(50),
+        }
+    }
+
+    fn ack(ecn: Ecn, inflight: usize) -> AckEvent {
+        ack_at(1000, ecn, inflight)
+    }
+
+    #[test]
+    fn starts_in_legacy_mode_at_cubic_initial_window() {
+        let s = AbcCubic::new();
+        assert_eq!(s.mode(), PathMode::Legacy);
+        assert_eq!(s.cwnd_pkts(), 10.0);
+    }
+
+    #[test]
+    fn first_brake_switches_to_abc_mode() {
+        let mut s = AbcCubic::new();
+        s.on_ack(&ack(Ecn::Accelerate, 100));
+        assert_eq!(s.mode(), PathMode::Legacy, "accelerate proves nothing");
+        s.on_ack(&ack(Ecn::Brake, 100));
+        assert_eq!(s.mode(), PathMode::Abc);
+    }
+
+    #[test]
+    fn brakeless_streak_falls_back_to_legacy() {
+        let mut s = AbcCubic::new();
+        s.on_ack(&ack(Ecn::Brake, 100));
+        assert_eq!(s.mode(), PathMode::Abc);
+        for _ in 0..FALLBACK_BRAKELESS_ACKS {
+            s.on_ack(&ack(Ecn::Accelerate, 100));
+        }
+        assert_eq!(s.mode(), PathMode::Legacy);
+        // …and the very next brake re-enters ABC mode
+        s.on_ack(&ack(Ecn::Brake, 100));
+        assert_eq!(s.mode(), PathMode::Abc);
+    }
+
+    #[test]
+    fn abc_load_never_trips_the_fallback() {
+        // an ABC router governing the flow brakes ≈ half the ACKs; the
+        // brakeless streak must stay far from the threshold
+        let mut s = AbcCubic::new();
+        for i in 0..2000u64 {
+            let e = if i % 2 == 0 {
+                Ecn::Accelerate
+            } else {
+                Ecn::Brake
+            };
+            s.on_ack(&ack(e, 100));
+            if i >= 1 {
+                assert_eq!(s.mode(), PathMode::Abc, "fell back at ack {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn abc_mode_uses_the_abc_window() {
+        let mut s = AbcCubic::new();
+        s.on_ack(&ack(Ecn::Brake, 100));
+        let mut abc = AbcSender::new();
+        abc.on_ack(&ack(Ecn::Brake, 100));
+        assert_eq!(s.cwnd_pkts(), abc.cwnd_pkts());
+    }
+
+    #[test]
+    fn legacy_mode_tracks_cubic_bit_for_bit() {
+        // an all-droptail path echoes accelerate on every ACK; the
+        // governing window must equal stand-alone loss-only Cubic exactly,
+        // including across losses and RTOs
+        let mut s = AbcCubic::new();
+        let mut c = Cubic::new();
+        let mut ms = 0u64;
+        for round in 0..50 {
+            for i in 0..20 {
+                let ev = ack_at(ms + i, Ecn::Accelerate, 40);
+                s.on_ack(&ev);
+                c.on_ack(&ev);
+            }
+            ms += 100;
+            if round % 7 == 3 {
+                let now = SimTime::ZERO + SimDuration::from_millis(ms);
+                s.on_loss(now);
+                c.on_loss(now);
+            }
+            if round == 30 {
+                let now = SimTime::ZERO + SimDuration::from_millis(ms);
+                s.on_rto(now);
+                c.on_rto(now);
+            }
+            assert_eq!(s.cwnd_pkts(), c.cwnd_pkts(), "diverged at round {round}");
+        }
+        assert_eq!(s.mode(), PathMode::Legacy);
+    }
+
+    #[test]
+    fn loss_shrinks_the_legacy_window() {
+        let mut s = AbcCubic::new();
+        let w0 = s.legacy_cwnd();
+        s.on_loss(SimTime::ZERO + SimDuration::from_secs(2));
+        assert!(s.legacy_cwnd() < w0);
+    }
+
+    #[test]
+    fn outgoing_packets_stay_accelerate_marked_in_legacy_mode() {
+        let s = AbcCubic::new();
+        assert_eq!(s.mode(), PathMode::Legacy);
+        assert_eq!(s.outgoing_ecn(), Ecn::Accelerate);
+        assert!(s.is_abc());
+        assert_eq!(s.as_abc_windows(), Some((s.w_abc(), s.legacy_cwnd())));
+    }
+}

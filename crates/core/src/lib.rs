@@ -11,6 +11,9 @@
 //! * [`router`] — the ABC queueing discipline (target rate Eq. 1, marking
 //!   fraction Eq. 2, deterministic token-bucket marking Algorithm 1,
 //!   per-packet feedback recomputation, dequeue- vs enqueue-rate ablation);
+//! * [`abccubic`] — the incremental-deployment endpoint (§4.1,
+//!   `tcp_abccubic.c`): ABC dynamics on paths that brake, a per-path
+//!   fallback to plain Cubic across paths with no ABC hop;
 //! * [`coexist`] — the dual-queue router isolating ABC from legacy flows,
 //!   with the max-min weight policy (§5.2) and the RCP Zombie-List
 //!   baseline it is compared against;
@@ -25,6 +28,7 @@
 //! ECT(0) (= brake) and never promote, and legacy CE (11) still means
 //! congestion — which is what lets ABC ride existing ECN plumbing.
 
+pub mod abccubic;
 pub mod coexist;
 pub mod maxmin;
 pub mod router;
@@ -32,6 +36,7 @@ pub mod sender;
 pub mod stability;
 pub mod topk;
 
+pub use abccubic::{AbcCubic, PathMode};
 pub use coexist::{DualQueue, DualQueueConfig, WeightPolicy};
 pub use maxmin::{max_min_allocate, Allocation, Demand};
 pub use router::{AbcQdisc, AbcRouterConfig, EcnDialect, FeedbackBasis, MarkingMode};

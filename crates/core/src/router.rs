@@ -51,7 +51,7 @@ pub enum EcnDialect {
 
 /// ABC router parameters. Defaults are the paper's evaluation settings:
 /// η = 0.98, δ = 133 ms, measurement window T = 40 ms.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AbcRouterConfig {
     /// Target utilization η (slightly < 1 trades bandwidth for delay).
     pub eta: f64,

@@ -78,7 +78,10 @@ use crate::scenario::LinkSpec;
 use crate::scheme::Scheme;
 use crate::wifi::McsSpec;
 use abc_core::coexist::{DualQueue, DualQueueConfig, WeightPolicy};
-use abc_core::router::{AbcQdisc, AbcRouterConfig};
+use abc_core::router::AbcQdisc;
+// Re-exported so downstream crates can build `QdiscSpec::AbcWith` /
+// `HopQdisc::Abc` literals without depending on abc-core directly.
+pub use abc_core::router::AbcRouterConfig;
 use netsim::fault::{Direction, ImpairmentSpec, ImpairmentWire};
 use netsim::flow::{Sender, Sink, TrafficSource};
 use netsim::linkqueue::LinkQueue;
@@ -132,7 +135,76 @@ pub enum Topology {
         /// The AP's (bufferbloat-sized) queue.
         ap_buffer_pkts: usize,
     },
+    /// N bottlenecks in series (tags `"hop1"…"hopN"`, N ≤ 8), each with
+    /// its own qdisc capability — the incremental-deployment parking lot
+    /// (§4.1), where only some hops are ABC routers and cross traffic
+    /// enters/leaves at interior hops ([`FlowSpec::entry_hop`] /
+    /// [`FlowSpec::exit_hop`]).
+    ParkingLot {
+        /// The hop chain, in path order.
+        hops: Vec<ParkingHop>,
+    },
+    /// A data-direction bottleneck (tag `"down"`, scheme qdisc) with an
+    /// independent return-direction bottleneck (tag `"up"`, droptail —
+    /// ACK echoes must pass unmodified) and independent one-way
+    /// propagation delays, overriding the spec's symmetric RTT split.
+    Asymmetric {
+        /// The data-direction bottleneck.
+        down: LinkSpec,
+        /// The ACK/return-direction bottleneck.
+        up: LinkSpec,
+        /// One-way propagation delay, data direction.
+        down_delay: SimDuration,
+        /// One-way propagation delay, return direction.
+        up_delay: SimDuration,
+    },
 }
+
+/// One parking-lot hop: its link and which qdisc capability it deploys.
+#[derive(Debug, Clone)]
+pub struct ParkingHop {
+    /// The hop's link.
+    pub link: LinkSpec,
+    /// The hop's qdisc capability.
+    pub qdisc: HopQdisc,
+}
+
+impl ParkingHop {
+    /// A hop running the scheme's default qdisc on `link`.
+    pub fn new(link: LinkSpec) -> Self {
+        ParkingHop {
+            link,
+            qdisc: HopQdisc::SchemeDefault,
+        }
+    }
+
+    /// Set the hop's qdisc capability.
+    pub fn qdisc(mut self, q: HopQdisc) -> Self {
+        self.qdisc = q;
+        self
+    }
+}
+
+/// Per-hop qdisc capability inside a [`Topology::ParkingLot`]: an
+/// ABC-capable hop runs the ABC router, a legacy hop runs droptail or
+/// CoDel and never touches the accel/brake marks.
+#[derive(Debug, Clone)]
+pub enum HopQdisc {
+    /// The scheme's own qdisc (ABC router under ABC schemes).
+    SchemeDefault,
+    /// A legacy droptail hop.
+    DropTail,
+    /// A legacy CoDel hop (drop mode; no ABC marks).
+    Codel,
+    /// An ABC router with an explicit config.
+    Abc(AbcRouterConfig),
+}
+
+/// Metrics tags for parking-lot hops (the `&'static str` tag table the
+/// metrics hub keys on); also the topology's hop-count ceiling.
+const PARKING_TAGS: [&str; 8] = [
+    "hop1", "hop2", "hop3", "hop4", "hop5", "hop6", "hop7", "hop8",
+];
 
 impl Topology {
     /// Metrics tags of the hop chain, in path order.
@@ -142,6 +214,26 @@ impl Topology {
             Topology::TwoHop { .. } => &["uplink", "downlink"],
             Topology::MixedPath { .. } => &["wireless", "wired"],
             Topology::Wifi { .. } => &["wifi"],
+            Topology::ParkingLot { hops } => {
+                assert!(
+                    (1..=PARKING_TAGS.len()).contains(&hops.len()),
+                    "a parking lot has 1..={} hops, got {}",
+                    PARKING_TAGS.len(),
+                    hops.len()
+                );
+                &PARKING_TAGS[..hops.len()]
+            }
+            Topology::Asymmetric { .. } => &["down", "up"],
+        }
+    }
+
+    /// How many leading hops of [`Topology::hop_tags`] lie on the *data*
+    /// (forward) path. Every topology's tags are all forward hops except
+    /// [`Topology::Asymmetric`], whose `"up"` hop sits on the ACK path.
+    pub fn forward_hop_count(&self) -> usize {
+        match self {
+            Topology::Asymmetric { .. } => 1,
+            other => other.hop_tags().len(),
         }
     }
 
@@ -153,6 +245,9 @@ impl Topology {
             Topology::TwoHop { .. } => "downlink",
             Topology::MixedPath { .. } => "wireless",
             Topology::Wifi { .. } => "wifi",
+            // the last hop, where end-to-end queuing shows up
+            Topology::ParkingLot { hops } => PARKING_TAGS[hops.len() - 1],
+            Topology::Asymmetric { .. } => "down",
         }
     }
 
@@ -161,6 +256,7 @@ impl Topology {
         match self {
             Topology::SingleBottleneck(l) => Some(l),
             Topology::MixedPath { wireless, .. } => Some(wireless),
+            Topology::Asymmetric { down, .. } => Some(down),
             _ => None,
         }
     }
@@ -198,6 +294,11 @@ pub struct FlowSpec {
     /// Index into [`Topology::hop_tags`]: 0 traverses the whole path;
     /// `k > 0` joins at hop `k` (cross traffic on the wired hop).
     pub entry_hop: usize,
+    /// Last forward hop this flow traverses before reaching its sink
+    /// (inclusive index into [`Topology::hop_tags`]). `None` rides to the
+    /// path's end; `Some(k)` exits after hop `k` — parking-lot cross
+    /// traffic leaving at an interior hop.
+    pub exit_hop: Option<usize>,
 }
 
 impl FlowSpec {
@@ -210,6 +311,7 @@ impl FlowSpec {
             stop: None,
             app: TrafficSource::Backlogged,
             entry_hop: 0,
+            exit_hop: None,
         }
     }
 
@@ -240,6 +342,12 @@ impl FlowSpec {
     /// Join the path at hop `hop` (see [`FlowSpec::entry_hop`]).
     pub fn entry_hop(mut self, hop: usize) -> Self {
         self.entry_hop = hop;
+        self
+    }
+
+    /// Leave the path after hop `hop` (see [`FlowSpec::exit_hop`]).
+    pub fn exit_hop(mut self, hop: usize) -> Self {
+        self.exit_hop = Some(hop);
         self
     }
 }
@@ -503,6 +611,39 @@ impl ScenarioSpec {
         }
     }
 
+    /// An N-hop parking lot (§4.1 incremental deployment). Shares the
+    /// single-bottleneck defaults; per-hop qdisc capability and cross
+    /// traffic come from the [`ParkingHop`]s and explicit flow specs.
+    pub fn parking_lot(scheme: Scheme, hops: Vec<ParkingHop>) -> Self {
+        ScenarioSpec {
+            topology: Topology::ParkingLot { hops },
+            ..ScenarioSpec::single(scheme, LinkSpec::Constant(Rate::ZERO))
+        }
+    }
+
+    /// An asymmetric path: independent down/up bottlenecks and one-way
+    /// delays. The spec's `rtt` is kept coherent (`down_delay +
+    /// up_delay`) for anything that reads it, but route construction uses
+    /// the explicit per-direction delays.
+    pub fn asymmetric(
+        scheme: Scheme,
+        down: LinkSpec,
+        up: LinkSpec,
+        down_delay: SimDuration,
+        up_delay: SimDuration,
+    ) -> Self {
+        ScenarioSpec {
+            topology: Topology::Asymmetric {
+                down,
+                up,
+                down_delay,
+                up_delay,
+            },
+            rtt: down_delay + up_delay,
+            ..ScenarioSpec::single(scheme, LinkSpec::Constant(Rate::ZERO))
+        }
+    }
+
     /// Replace the schedule with `n` backlogged flows.
     pub fn flows(mut self, n: u32) -> Self {
         self.flows = FlowSchedule::backlogged(n);
@@ -665,6 +806,8 @@ impl ScenarioSpec {
             // MCS 7, full batches ≈ 65 Mbit/s PHY; close enough for load
             // fractions, which only Fig. 12 (single-bottleneck) uses today.
             Topology::Wifi { .. } => Rate::from_mbps(65.0),
+            Topology::ParkingLot { hops } => hops[0].link.nominal_rate(),
+            Topology::Asymmetric { down, .. } => down.nominal_rate(),
         }
     }
 }
@@ -767,9 +910,23 @@ impl ScenarioEngine {
 
         // Split the propagation RTT: equal legs along the forward path
         // (sender → hop₁ → … → hopₙ → sink), half the RTT straight back.
-        let legs = (tags.len() + 1) as u64;
-        let leg = spec.rtt / (2 * legs);
-        let back_d = spec.rtt / 2;
+        // An asymmetric topology overrides both directions with its own
+        // one-way delays and threads the ACK path through its up hop;
+        // everything else keeps the symmetric split bit for bit.
+        let fwd_count = spec.topology.forward_hop_count();
+        let legs = (fwd_count + 1) as u64;
+        let (leg, back_d, back_hop) = match &spec.topology {
+            Topology::Asymmetric {
+                down_delay,
+                up_delay,
+                ..
+            } => (
+                *down_delay / legs,
+                *up_delay / 2,
+                Some((hop_ids[1], *up_delay / 2)),
+            ),
+            _ => (spec.rtt / (2 * legs), spec.rtt / 2, None),
+        };
 
         // One sender/sink pair per flow; routes reuse pooled hop buffers.
         // `wire` reserves sender-then-sink (node-id order is part of the
@@ -779,16 +936,27 @@ impl ScenarioEngine {
                     flow: FlowId,
                     label: &str,
                     entry_hop: usize,
+                    exit_hop: Option<usize>,
                     build: &mut dyn FnMut(Rc<Route>) -> Sender|
          -> NodeId {
             let sender_id = sim.reserve_node();
             let sink_id = sim.reserve_node();
+            // `end` is one past the last forward hop this flow traverses.
+            let end = exit_hop.map_or(fwd_count, |e| e + 1);
             assert!(
-                entry_hop < hop_ids.len(),
-                "flow {:?} enters hop {} of a {}-hop topology",
+                entry_hop < fwd_count,
+                "flow {:?} enters hop {} of a {}-forward-hop topology",
                 label,
                 entry_hop,
-                hop_ids.len()
+                fwd_count
+            );
+            assert!(
+                entry_hop < end && end <= fwd_count,
+                "flow {:?} exits after hop {} but enters at hop {} of {} forward hops",
+                label,
+                end - 1,
+                entry_hop,
+                fwd_count
             );
             // Splice data-direction wires ahead of their hop queue: the
             // wire takes over the leg's propagation delay and hands the
@@ -796,14 +964,14 @@ impl ScenarioEngine {
             // the exact timing of the clean one.
             let fwd = if spec.impairments.is_empty() {
                 Route::from_hops(
-                    hop_ids[entry_hop..]
+                    hop_ids[entry_hop..end]
                         .iter()
                         .map(|&id| (id, leg))
                         .chain([(sink_id, leg)]),
                 )
             } else {
                 let mut fwd_hops: Vec<(NodeId, SimDuration)> = Vec::new();
-                for (h, &hid) in hop_ids.iter().enumerate().skip(entry_hop) {
+                for (h, &hid) in hop_ids.iter().enumerate().take(end).skip(entry_hop) {
                     let mut d = leg;
                     for &w in &data_wires[h] {
                         fwd_hops.push((w, d));
@@ -814,17 +982,29 @@ impl ScenarioEngine {
                 fwd_hops.push((sink_id, leg));
                 Route::from_hops(fwd_hops)
             };
-            let back = if ack_wires.is_empty() {
-                Route::from_hops([(sender_id, back_d)])
-            } else {
-                let mut back_hops: Vec<(NodeId, SimDuration)> = Vec::new();
-                let mut d = back_d;
-                for &w in &ack_wires {
-                    back_hops.push((w, d));
-                    d = SimDuration::ZERO;
+            let back = {
+                // sink → [ack wires] → [up hop, asymmetric only] → sender
+                let mut chain: Vec<(NodeId, SimDuration)> = Vec::new();
+                match back_hop {
+                    Some((up_id, last_d)) => {
+                        chain.push((up_id, back_d));
+                        chain.push((sender_id, last_d));
+                    }
+                    None => chain.push((sender_id, back_d)),
                 }
-                back_hops.push((sender_id, d));
-                Route::from_hops(back_hops)
+                if !ack_wires.is_empty() {
+                    let first_d = chain[0].1;
+                    chain[0].1 = SimDuration::ZERO;
+                    let mut spliced: Vec<(NodeId, SimDuration)> = Vec::new();
+                    let mut d = first_d;
+                    for &w in &ack_wires {
+                        spliced.push((w, d));
+                        d = SimDuration::ZERO;
+                    }
+                    spliced.append(&mut chain);
+                    chain = spliced;
+                }
+                Route::from_hops(chain)
             };
             sim.install_node(
                 sink_id,
@@ -840,14 +1020,21 @@ impl ScenarioEngine {
         for (i, f) in flows.iter().enumerate() {
             let flow = FlowId(i as u32 + 1);
             let scheme = f.scheme.unwrap_or(spec.scheme);
-            let sender_id = wire(&mut sim, flow, &f.label, f.entry_hop, &mut |fwd| {
-                let mut sender =
-                    Sender::new(flow, scheme.make_cc(), fwd, f.app).with_start_at(f.start);
-                if let Some(stop) = f.stop {
-                    sender = sender.with_stop_at(stop);
-                }
-                sender
-            });
+            let sender_id = wire(
+                &mut sim,
+                flow,
+                &f.label,
+                f.entry_hop,
+                f.exit_hop,
+                &mut |fwd| {
+                    let mut sender =
+                        Sender::new(flow, scheme.make_cc(), fwd, f.app).with_start_at(f.start);
+                    if let Some(stop) = f.stop {
+                        sender = sender.with_stop_at(stop);
+                    }
+                    sender
+                },
+            );
             sender_ids.push(sender_id);
             flow_ids.push((f.label.clone(), flow));
         }
@@ -867,15 +1054,16 @@ impl ScenarioEngine {
                         let start = entry.start + req.start.since(SimTime::ZERO);
                         let label = format!("{} {}", entry.label, j + 1);
                         let bytes = req.bytes;
-                        let sender_id = wire(&mut sim, flow, &label, entry.entry_hop, &mut |fwd| {
-                            Sender::new(
-                                flow,
-                                scheme.make_cc(),
-                                fwd,
-                                TrafficSource::Finite { bytes },
-                            )
-                            .with_start_at(start)
-                        });
+                        let sender_id =
+                            wire(&mut sim, flow, &label, entry.entry_hop, None, &mut |fwd| {
+                                Sender::new(
+                                    flow,
+                                    scheme.make_cc(),
+                                    fwd,
+                                    TrafficSource::Finite { bytes },
+                                )
+                                .with_start_at(start)
+                            });
                         // The transport ships whole MTU packets, so the
                         // sink observes the request rounded up to packets.
                         let expected = bytes.div_ceil(MTU_BYTES as u64) * MTU_BYTES as u64;
@@ -901,13 +1089,19 @@ impl ScenarioEngine {
                     next_flow += 1;
                     let spec_r = *r;
                     let start = entry.start;
-                    let sender_id =
-                        wire(&mut sim, flow, &entry.label, entry.entry_hop, &mut |fwd| {
+                    let sender_id = wire(
+                        &mut sim,
+                        flow,
+                        &entry.label,
+                        entry.entry_hop,
+                        None,
+                        &mut |fwd| {
                             Sender::new(flow, scheme.make_cc(), fwd, TrafficSource::Backlogged)
                                 .with_start_at(start)
                                 .with_pkt_size(spec_r.frame_bytes)
                                 .with_app_driver(Box::new(RtcSource::new(spec_r, start)))
-                        });
+                        },
+                    );
                     hub.borrow_mut().register_app_flow(
                         flow,
                         AppFlowMeta {
@@ -925,12 +1119,18 @@ impl ScenarioEngine {
                     next_flow += 1;
                     let spec_a = a.clone();
                     let start = entry.start;
-                    let sender_id =
-                        wire(&mut sim, flow, &entry.label, entry.entry_hop, &mut |fwd| {
+                    let sender_id = wire(
+                        &mut sim,
+                        flow,
+                        &entry.label,
+                        entry.entry_hop,
+                        None,
+                        &mut |fwd| {
                             Sender::new(flow, scheme.make_cc(), fwd, TrafficSource::Backlogged)
                                 .with_start_at(start)
                                 .with_app_driver(Box::new(AbrClient::new(spec_a.clone(), start)))
-                        });
+                        },
+                    );
                     app_accounts.push(AppAccount::Video {
                         sender_idx: sender_ids.len(),
                     });
@@ -990,6 +1190,40 @@ impl ScenarioEngine {
                 )
                 .with_metrics("wifi", hub.clone());
                 sim.install_node(hop_ids[0], Box::new(ap));
+            }
+            Topology::ParkingLot { hops } => {
+                for (idx, hop) in hops.iter().enumerate() {
+                    let qdisc: Box<dyn Qdisc> = match &hop.qdisc {
+                        HopQdisc::SchemeDefault => self.make_qdisc(spec, spec.buffer_pkts),
+                        HopQdisc::DropTail => Box::new(DropTail::new(spec.buffer_pkts)),
+                        HopQdisc::Codel => Box::new(aqm::Codel::new(aqm::CodelConfig {
+                            buffer_pkts: spec.buffer_pkts,
+                            ..Default::default()
+                        })),
+                        HopQdisc::Abc(cfg) => Box::new(AbcQdisc::new(*cfg)),
+                    };
+                    let mut lq = LinkQueue::new(qdisc, hop.link.build())
+                        .with_metrics(tags[idx], hub.clone());
+                    if idx == 0 {
+                        if let Some(look) = spec.oracle_lookahead {
+                            lq = lq.with_oracle_lookahead(look);
+                        }
+                    }
+                    sim.install_node(hop_ids[idx], Box::new(lq));
+                }
+            }
+            Topology::Asymmetric { down, up, .. } => {
+                let mut lq = LinkQueue::new(self.make_qdisc(spec, spec.buffer_pkts), down.build())
+                    .with_metrics("down", hub.clone());
+                if let Some(look) = spec.oracle_lookahead {
+                    lq = lq.with_oracle_lookahead(look);
+                }
+                sim.install_node(hop_ids[0], Box::new(lq));
+                // The return hop carries ACKs: droptail, never the scheme's
+                // qdisc — an AQM rewriting ACK ECN would corrupt the echoes.
+                let up_lq = LinkQueue::new(Box::new(DropTail::new(spec.buffer_pkts)), up.build())
+                    .with_metrics("up", hub.clone());
+                sim.install_node(hop_ids[1], Box::new(up_lq));
             }
         }
 
@@ -1397,7 +1631,23 @@ impl BuiltScenario {
         let primary = link_of(self.topology.primary_tag());
 
         let utilization = match &self.topology {
-            Topology::SingleBottleneck(_) | Topology::MixedPath { .. } => primary.utilization(),
+            Topology::SingleBottleneck(_)
+            | Topology::MixedPath { .. }
+            | Topology::Asymmetric { .. } => primary.utilization(),
+            Topology::ParkingLot { .. } => {
+                // Generalized two-hop rule: the tightest hop bounds what
+                // was achievable; report final-hop delivery against it.
+                let min_opportunity = self
+                    .hops
+                    .iter()
+                    .map(|(tag, _)| link_of(tag).opportunity_bits)
+                    .fold(f64::INFINITY, f64::min);
+                if min_opportunity > 0.0 && min_opportunity.is_finite() {
+                    (primary.delivered_bytes as f64 * 8.0 / min_opportunity).min(1.0)
+                } else {
+                    0.0
+                }
+            }
             Topology::TwoHop { .. } => {
                 // The tighter hop determines achievable utilization: report
                 // the final hop's delivery against the min-capacity hop.

@@ -23,6 +23,9 @@ pub enum Scheme {
     AbcNoAi,
     /// ABC computing f(t) from the enqueue rate (Fig. 2 ablation).
     AbcEnqueue,
+    /// ABC-Cubic, the incremental-deployment endpoint (§4.1): ABC on
+    /// paths that brake, per-path fallback to Cubic where nothing does.
+    AbcCubic,
     /// TCP Cubic over droptail.
     Cubic,
     /// Cubic with a CoDel bottleneck.
@@ -100,6 +103,7 @@ impl Scheme {
             Scheme::AbcDt(ms) => format!("ABC_{ms}"),
             Scheme::AbcNoAi => "ABC-noAI".into(),
             Scheme::AbcEnqueue => "ABC-enq".into(),
+            Scheme::AbcCubic => "ABC-Cubic".into(),
             Scheme::Cubic => "Cubic".into(),
             Scheme::CubicCodel => "Cubic+Codel".into(),
             Scheme::CubicPie => "Cubic+PIE".into(),
@@ -129,6 +133,7 @@ impl Scheme {
             "abc" => Scheme::Abc,
             "abc+noai" => Scheme::AbcNoAi,
             "abc+enq" | "abc+enqueue" => Scheme::AbcEnqueue,
+            "abc+cubic" | "abccubic" => Scheme::AbcCubic,
             "cubic" => Scheme::Cubic,
             "cubic+codel" | "codel" => Scheme::CubicCodel,
             "cubic+pie" | "pie" => Scheme::CubicPie,
@@ -158,7 +163,11 @@ impl Scheme {
     pub fn is_abc(&self) -> bool {
         matches!(
             self,
-            Scheme::Abc | Scheme::AbcDt(_) | Scheme::AbcNoAi | Scheme::AbcEnqueue
+            Scheme::Abc
+                | Scheme::AbcDt(_)
+                | Scheme::AbcNoAi
+                | Scheme::AbcEnqueue
+                | Scheme::AbcCubic
         )
     }
 
@@ -167,6 +176,7 @@ impl Scheme {
         match self {
             Scheme::Abc | Scheme::AbcDt(_) | Scheme::AbcEnqueue => Box::new(AbcSender::new()),
             Scheme::AbcNoAi => Box::new(AbcSender::without_additive_increase()),
+            Scheme::AbcCubic => Box::new(abc_core::AbcCubic::new()),
             Scheme::Cubic | Scheme::CubicCodel | Scheme::CubicPie => Box::new(Cubic::new()),
             Scheme::NewReno => Box::new(NewReno::new()),
             Scheme::Vegas => Box::new(Vegas::new()),
@@ -184,10 +194,12 @@ impl Scheme {
     /// Build the bottleneck qdisc this scheme runs over.
     pub fn make_qdisc(&self, buffer_pkts: usize) -> Box<dyn Qdisc> {
         match self {
-            Scheme::Abc | Scheme::AbcNoAi => Box::new(AbcQdisc::new(AbcRouterConfig {
-                buffer_pkts,
-                ..Default::default()
-            })),
+            Scheme::Abc | Scheme::AbcNoAi | Scheme::AbcCubic => {
+                Box::new(AbcQdisc::new(AbcRouterConfig {
+                    buffer_pkts,
+                    ..Default::default()
+                }))
+            }
             Scheme::AbcDt(ms) => Box::new(AbcQdisc::new(AbcRouterConfig {
                 buffer_pkts,
                 dt: SimDuration::from_millis(*ms),
@@ -238,6 +250,7 @@ mod tests {
             Scheme::AbcDt(60),
             Scheme::AbcNoAi,
             Scheme::AbcEnqueue,
+            Scheme::AbcCubic,
             Scheme::Cubic,
             Scheme::CubicCodel,
             Scheme::CubicPie,
@@ -266,6 +279,7 @@ mod tests {
     fn abc_variants_flagged() {
         assert!(Scheme::Abc.is_abc());
         assert!(Scheme::AbcDt(20).is_abc());
+        assert!(Scheme::AbcCubic.is_abc());
         assert!(!Scheme::Cubic.is_abc());
         assert!(!Scheme::Xcp.is_abc());
     }

@@ -1,0 +1,116 @@
+//! Differential validation of the ABC-Cubic deployment endpoint (§4.1).
+//!
+//! The scheme's contract is a two-sided sandwich:
+//!
+//! * on an all-ABC path it must behave like plain ABC (the embedded
+//!   [`AbcSender`] governs from the first brake echo onward), and
+//! * on an all-droptail path it must behave like plain Cubic (the legacy
+//!   window mirrors the loss-only baseline bit for bit, so the flow-level
+//!   report is *identical*, not merely close).
+//!
+//! Both sides run the real engine end to end — sender, pacing, qdisc,
+//! metrics — not the unit-level mode machine, so a regression anywhere in
+//! the stack (ECN stamping, qdisc selection, ACK plumbing) trips them.
+
+use experiments::engine::{AbcRouterConfig, QdiscSpec, ScenarioEngine, ScenarioSpec};
+use experiments::report::Report;
+use experiments::scenario::LinkSpec;
+use experiments::Scheme;
+use netsim::rate::Rate;
+use netsim::time::SimDuration;
+
+fn run(scheme: Scheme, qdisc: QdiscSpec, seed: u64) -> Report {
+    // 2 s of warmup hides the one startup difference the scheme is
+    // allowed (legacy slow start until the first brake echo); everything
+    // after it must match the reference scheme.
+    let spec = ScenarioSpec::single(scheme, LinkSpec::Constant(Rate::from_mbps(12.0)))
+        .qdisc(qdisc)
+        .duration(SimDuration::from_secs(8))
+        .warmup(SimDuration::from_secs(2))
+        .seed(seed);
+    ScenarioEngine::with_threads(1).run(&spec)
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-9)
+}
+
+/// On a path whose bottleneck marks, ABC-Cubic locks into ABC mode and
+/// its flow-level behavior matches plain ABC within a tight band. The
+/// two are not bit-identical — ABC-Cubic's first window, before the
+/// first brake echo arrives, is Cubic's — so the tolerance covers one
+/// startup RTT of divergence and nothing more.
+#[test]
+fn abc_cubic_matches_abc_on_an_all_abc_path() {
+    for seed in [1, 2, 3] {
+        let abc_qdisc = QdiscSpec::AbcWith(AbcRouterConfig::default());
+        let hybrid = run(Scheme::AbcCubic, abc_qdisc.clone(), seed);
+        let pure = run(Scheme::Abc, abc_qdisc, seed);
+        assert!(
+            rel_diff(hybrid.total_tput_mbps, pure.total_tput_mbps) < 0.02,
+            "seed {seed}: throughput diverged — ABC-Cubic {} vs ABC {} Mbit/s",
+            hybrid.total_tput_mbps,
+            pure.total_tput_mbps
+        );
+        assert!(
+            (hybrid.qdelay_ms.p95 - pure.qdelay_ms.p95).abs() < 2.0,
+            "seed {seed}: qdelay p95 diverged — ABC-Cubic {} vs ABC {} ms",
+            hybrid.qdelay_ms.p95,
+            pure.qdelay_ms.p95
+        );
+        assert!(
+            (hybrid.qdelay_ms.mean - pure.qdelay_ms.mean).abs() < 2.0,
+            "seed {seed}: qdelay mean diverged — ABC-Cubic {} vs ABC {} ms",
+            hybrid.qdelay_ms.mean,
+            pure.qdelay_ms.mean
+        );
+    }
+}
+
+/// On an all-droptail path no brake echo ever arrives, so the legacy
+/// window governs for the whole run — and the legacy window *is* the
+/// stand-alone Cubic baseline. The accelerate stamp ABC-Cubic keeps on
+/// its packets is inert at a droptail hop, so every flow-level metric
+/// must come out bitwise identical, not just close.
+#[test]
+fn abc_cubic_is_bitwise_cubic_on_an_all_droptail_path() {
+    for seed in [1, 2] {
+        let hybrid = run(Scheme::AbcCubic, QdiscSpec::DropTail, seed);
+        let pure = run(Scheme::Cubic, QdiscSpec::DropTail, seed);
+        assert_eq!(
+            hybrid.flow_tputs_mbps, pure.flow_tputs_mbps,
+            "seed {seed}: per-flow throughput diverged from Cubic"
+        );
+        assert_eq!(
+            hybrid.total_tput_mbps, pure.total_tput_mbps,
+            "seed {seed}: total throughput diverged from Cubic"
+        );
+        assert_eq!(
+            hybrid.qdelay_ms, pure.qdelay_ms,
+            "seed {seed}: qdelay summary diverged from Cubic"
+        );
+        assert_eq!(
+            hybrid.delay_ms, pure.delay_ms,
+            "seed {seed}: delay summary diverged from Cubic"
+        );
+        assert_eq!(
+            hybrid.drops, pure.drops,
+            "seed {seed}: drop count diverged from Cubic"
+        );
+        assert_eq!(
+            hybrid.utilization, pure.utilization,
+            "seed {seed}: utilization diverged from Cubic"
+        );
+    }
+}
+
+/// The same spec run twice is byte-identical — the coexistence paths add
+/// no hidden nondeterminism (this is the per-scenario face of the
+/// store-level determinism gate in CI).
+#[test]
+fn coexistence_runs_are_deterministic() {
+    let abc_qdisc = QdiscSpec::AbcWith(AbcRouterConfig::default());
+    let a = run(Scheme::AbcCubic, abc_qdisc.clone(), 9);
+    let b = run(Scheme::AbcCubic, abc_qdisc, 9);
+    assert_eq!(a, b, "ABC-Cubic rerun diverged");
+}

@@ -1,0 +1,129 @@
+//! Property tests for parking-lot route construction.
+//!
+//! Two invariants, over randomly drawn hop counts, per-hop rates and
+//! qdisc capabilities, and flow entry/exit hops:
+//!
+//! * **route visit**: a flow's data packets traverse exactly the hops
+//!   `entry..=exit`, in path order — zero packets are ever offered to a
+//!   hop outside that span, every hop inside it sees traffic, and no hop
+//!   receives more than its predecessor forwarded;
+//! * **per-hop conservation**: at any quiescent point, every packet (and
+//!   byte) a hop was offered is accounted for — delivered downstream,
+//!   dropped, or still sitting in the hop's qdisc.
+//!
+//! Both read the per-link metrics records directly (warmup is zero, so
+//! the epoch gate never discards an event), not the flow-level report.
+
+use experiments::engine::{
+    AbcRouterConfig, FlowSchedule, FlowSpec, HopQdisc, ParkingHop, ScenarioEngine, ScenarioSpec,
+};
+use experiments::scenario::LinkSpec;
+use experiments::Scheme;
+use netsim::packet::MTU_BYTES;
+use netsim::rate::Rate;
+use netsim::time::SimDuration;
+use proptest::prelude::*;
+
+/// Build an `n`-hop lot whose per-hop rate and qdisc are carved out of
+/// the two sampled bitmasks: rates span 8–15 Mbit/s, qdiscs cycle
+/// through all four [`HopQdisc`] arms.
+fn lot(n: usize, rate_mask: u64, qdisc_mask: u64) -> Vec<ParkingHop> {
+    (0..n)
+        .map(|i| {
+            let mbps = 8 + ((rate_mask >> (3 * i)) & 7);
+            let hop = ParkingHop::new(LinkSpec::Constant(Rate::from_mbps(mbps as f64)));
+            match (qdisc_mask >> (2 * i)) & 3 {
+                0 => hop, // SchemeDefault
+                1 => hop.qdisc(HopQdisc::DropTail),
+                2 => hop.qdisc(HopQdisc::Codel),
+                _ => hop.qdisc(HopQdisc::Abc(AbcRouterConfig::default())),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn routes_visit_declared_hops_in_order_and_conserve_bytes(
+        n_raw in 2usize..=5,
+        entry_raw in 0usize..=64,
+        span_raw in 0usize..=64,
+        rate_mask in 0u64..=u64::MAX / 2,
+        qdisc_mask in 0u64..=u64::MAX / 2,
+        seed in 1u64..=8,
+    ) {
+        let n = n_raw;
+        let entry = entry_raw % n;
+        let exit = entry + span_raw % (n - entry);
+        let mut spec = ScenarioSpec::parking_lot(Scheme::AbcCubic, lot(n, rate_mask, qdisc_mask))
+            .duration(SimDuration::from_secs(1))
+            .warmup(SimDuration::ZERO)
+            .seed(seed);
+        spec.flows = FlowSchedule::Explicit(vec![FlowSpec::new("main")
+            .entry_hop(entry)
+            .exit_hop(exit)]);
+
+        let mut built = ScenarioEngine::with_threads(1).build(&spec);
+        built.run_to_end();
+
+        let tags: Vec<&'static str> = built.hops.iter().map(|(t, _)| *t).collect();
+        prop_assert_eq!(tags.len(), n, "expected one metrics tag per hop");
+
+        let hub = built.hub.borrow();
+        let mut prev_delivered: Option<u64> = None;
+        for (i, tag) in tags.iter().enumerate() {
+            let rec = hub.links.get(tag).cloned().unwrap_or_default();
+            let on_route = (entry..=exit).contains(&i);
+
+            // --- route visit ---
+            if on_route {
+                prop_assert!(
+                    rec.offered_pkts > 0,
+                    "hop {tag} is on the route ({entry}..={exit}) but saw no packets"
+                );
+                if let Some(upstream) = prev_delivered {
+                    prop_assert!(
+                        rec.offered_pkts <= upstream,
+                        "hop {tag} was offered {} pkts but its upstream hop only \
+                         delivered {upstream} — packets skipped a hop",
+                        rec.offered_pkts
+                    );
+                }
+                prev_delivered = Some(rec.delivered_pkts);
+            } else {
+                prop_assert_eq!(
+                    rec.offered_pkts,
+                    0,
+                    "hop {} is off the route ({}..={}) but was offered packets",
+                    tag,
+                    entry,
+                    exit
+                );
+            }
+
+            // --- per-hop conservation ---
+            let q = built.link_queue(tag).qdisc();
+            let queued_pkts = q.len_pkts() as u64;
+            prop_assert_eq!(
+                rec.offered_pkts,
+                rec.delivered_pkts + rec.dropped_pkts + queued_pkts,
+                "hop {}: offered {} != delivered {} + dropped {} + queued {}",
+                tag,
+                rec.offered_pkts,
+                rec.delivered_pkts,
+                rec.dropped_pkts,
+                queued_pkts
+            );
+            // Every data packet on a parking lot is MTU-sized (ACKs take
+            // the direct back route), so the byte ledger closes exactly.
+            prop_assert_eq!(
+                rec.offered_bytes,
+                rec.delivered_bytes + rec.dropped_pkts * MTU_BYTES as u64 + q.len_bytes(),
+                "hop {}: byte ledger does not close",
+                tag
+            );
+        }
+    }
+}

@@ -128,6 +128,9 @@ impl Node for LinkQueue {
         self.finished_at = now;
         match event {
             EventKind::Deliver(pkt) => {
+                if let Some(m) = &self.metrics {
+                    m.borrow_mut().on_link_offered(self.tag, now, pkt.size);
+                }
                 let accepted = self.qdisc.enqueue(pkt, now);
                 if !accepted {
                     if let Some(m) = &self.metrics {

@@ -216,6 +216,12 @@ pub struct LinkRecord {
     pub delivered_pkts: u64,
     /// Packets the link's qdisc dropped.
     pub dropped_pkts: u64,
+    /// Packets offered to the link (accepted or dropped). Conservation:
+    /// `offered == delivered + dropped + still queued` over a full
+    /// measurement window (warmup 0, so no arrival predates the epoch).
+    pub offered_pkts: u64,
+    /// Bytes offered to the link (accepted or dropped).
+    pub offered_bytes: u64,
     /// Bits the link could have carried while the experiment ran.
     pub opportunity_bits: f64,
     /// (time, queuing delay) samples taken at each dequeue.
@@ -458,6 +464,19 @@ impl MetricsHub {
             rec.qdelay_series.reserve(SAMPLES_HINT);
         }
         rec.qdelay_series.push((now, qdelay));
+    }
+
+    /// Called by link nodes for every packet arriving at their qdisc,
+    /// before the enqueue decision — the arrival side of the per-hop
+    /// byte-conservation ledger (`offered == delivered + dropped +
+    /// queued`).
+    pub fn on_link_offered(&mut self, link: &'static str, now: SimTime, bytes: u32) {
+        if now < self.epoch {
+            return;
+        }
+        let rec = self.links.entry(link).or_default();
+        rec.offered_pkts += 1;
+        rec.offered_bytes += bytes as u64;
     }
 
     /// Called by link nodes for every packet their qdisc drops.
